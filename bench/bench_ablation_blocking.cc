@@ -1,0 +1,91 @@
+// Extension study (DESIGN.md): candidate blocking for stage 1. The
+// paper prunes candidates by position (|pos diff| <= 2), which assumes
+// an ordered context. This bench compares three candidate generators on
+// object-rich pages — all pairs, the positional window, and MinHash/LSH
+// content blocking — by candidate volume and by recall of the true
+// matches. LSH is the natural stage-1 replacement for unordered contexts
+// such as data lakes.
+
+#include "bench_util.h"
+#include "extract/features.h"
+#include "sim/minhash.h"
+
+int main() {
+  using namespace somr;
+
+  const extract::ObjectType type = extract::ObjectType::kTable;
+  bench::PreparedCorpus prepared = bench::PrepareCorpus(type);
+
+  size_t all_pairs = 0, pos_pairs = 0, lsh_pairs = 0;
+  size_t true_matches = 0, pos_hits = 0, lsh_hits = 0;
+
+  for (size_t p = 0; p < prepared.corpus.pages.size(); ++p) {
+    const auto& instances = prepared.instances[p];
+    auto pred = eval::PredecessorMap(prepared.corpus.pages[p].TruthFor(type));
+    for (size_t r = 1; r < instances.size(); ++r) {
+      const auto& prev = instances[r - 1];
+      const auto& next = instances[r];
+      if (prev.empty() || next.empty()) continue;
+      all_pairs += prev.size() * next.size();
+
+      // LSH index over the previous revision's instances.
+      sim::LshIndex index(/*bands=*/16, /*rows=*/4);
+      for (size_t i = 0; i < prev.size(); ++i) {
+        index.Add(static_cast<int>(i),
+                  sim::ComputeMinHash(extract::BuildBagOfWords(prev[i]),
+                                      64));
+      }
+
+      for (size_t j = 0; j < next.size(); ++j) {
+        std::vector<int> lsh = index.Candidates(sim::ComputeMinHash(
+            extract::BuildBagOfWords(next[j]), 64));
+        lsh_pairs += lsh.size();
+
+        matching::VersionRef target{static_cast<int>(r),
+                                    next[j].position};
+        auto it = pred.find(target);
+        int true_prev = -1;
+        if (it != pred.end() &&
+            it->second.revision == static_cast<int>(r) - 1) {
+          true_prev = it->second.position;
+          ++true_matches;
+        }
+        for (size_t i = 0; i < prev.size(); ++i) {
+          bool in_window =
+              std::abs(prev[i].position - next[j].position) <= 2;
+          if (in_window) ++pos_pairs;
+          if (static_cast<int>(prev[i].position) == true_prev) {
+            if (in_window) ++pos_hits;
+            for (int candidate : lsh) {
+              if (prev[static_cast<size_t>(candidate)].position ==
+                  true_prev) {
+                ++lsh_hits;
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  bench::PrintHeader("Stage-1 blocking ablation: position vs MinHash/LSH");
+  std::printf("%-22s %14s %18s\n", "candidate generator", "pairs",
+              "true-match recall");
+  auto pct = [&](size_t hits) {
+    return true_matches == 0 ? 1.0
+                             : static_cast<double>(hits) /
+                                   static_cast<double>(true_matches);
+  };
+  std::printf("%-22s %14zu %18s\n", "all pairs", all_pairs, "100.0 %");
+  std::printf("%-22s %14zu %18s\n", "position window <= 2", pos_pairs,
+              bench::Pct(pct(pos_hits)).c_str());
+  std::printf("%-22s %14zu %18s\n", "MinHash LSH (16x4)", lsh_pairs,
+              bench::Pct(pct(lsh_hits)).c_str());
+  std::printf("consecutive-revision true matches: %zu\n", true_matches);
+  std::printf(
+      "\nExpected: both blockers prune the vast majority of pairs at\n"
+      "near-total recall; the positional window is cheaper, LSH needs no\n"
+      "page order (data-lake contexts).\n");
+  return 0;
+}

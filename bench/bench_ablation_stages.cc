@@ -1,0 +1,81 @@
+// Ablation (DESIGN.md): contribution of each matching stage. The paper
+// assigns roles: stage 1 is a performance optimization, stage 2 obtains
+// high-precision matches, stage 3 adds recall (Sec. IV-A1). This bench
+// removes stages one at a time and measures non-trivial edge quality and
+// total matching time. Also ablates the IOF token weighting (Fig. 10's
+// quality effect, here end-to-end).
+
+#include "bench_util.h"
+#include "common/timer.h"
+
+namespace {
+
+using namespace somr;
+
+struct Variant {
+  const char* name;
+  matching::MatcherConfig config;
+};
+
+}  // namespace
+
+int main() {
+  const extract::ObjectType type = extract::ObjectType::kTable;
+  bench::PreparedCorpus prepared = bench::PrepareCorpus(type);
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"all stages (default)", {}};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no stage 1", {}};
+    v.config.enable_stage1 = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no stage 3 (strict only)", {}};
+    v.config.enable_stage3 = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no stage 2 (stage1+relaxed)", {}};
+    v.config.enable_stage2 = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"stage 3 only (relaxed)", {}};
+    v.config.enable_stage1 = false;
+    v.config.enable_stage2 = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no IOF weighting", {}};
+    v.config.use_idf_weighting = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no rear view (k=1)", {}};
+    v.config.rear_view_window = 1;
+    variants.push_back(v);
+  }
+
+  bench::PrintHeader("Stage & feature ablation (tables, non-trivial edges)");
+  std::printf("%-28s %10s %10s %10s %10s\n", "variant", "Precision",
+              "Recall", "F1", "time (s)");
+  for (const Variant& variant : variants) {
+    Timer timer;
+    eval::EdgeMetrics metrics = bench::PooledNonTrivialEdgeMetrics(
+        prepared, eval::Approach::kOurs, type, variant.config);
+    std::printf("%-28s %10s %10s %10s %10.2f\n", variant.name,
+                bench::Pct(metrics.Precision()).c_str(),
+                bench::Pct(metrics.Recall()).c_str(),
+                bench::Pct(metrics.F1()).c_str(), timer.ElapsedSeconds());
+  }
+  std::printf(
+      "\nExpected roles: dropping stage 3 costs recall; relying on the\n"
+      "relaxed measure alone costs precision; stage 1 costs nothing in\n"
+      "quality but saves time; IOF weighting and the rear view each\n"
+      "protect against specific confusions.\n");
+  return 0;
+}

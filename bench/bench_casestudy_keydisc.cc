@@ -1,0 +1,58 @@
+// Section V-E case study: natural key discovery over table version
+// histories. Compares the classifier with static (single-snapshot)
+// features against the same classifier with temporal features added.
+// Expected shape: temporal features raise the F-measure by several
+// points (paper: +4.5 pp on average), because columns that merely look
+// unique in the current snapshot are exposed by their history.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "keydisc/key_discovery.h"
+#include "keydisc/workload.h"
+
+int main() {
+  using namespace somr;
+
+  keydisc::KeyWorkloadConfig config;
+  config.num_tables =
+      std::max(40, static_cast<int>(120 * bench::ScaleFromEnv()));
+  config.seed = 99;
+  auto data = keydisc::GenerateKeyWorkload(config);
+
+  bench::PrintHeader("Sec. V-E — natural key discovery");
+  std::printf("%-22s %10s %10s %10s\n", "features", "Precision", "Recall",
+              "F1");
+  keydisc::KeyMetrics static_only =
+      keydisc::EvaluateKeyDiscovery(data, /*use_temporal=*/false);
+  keydisc::KeyMetrics temporal =
+      keydisc::EvaluateKeyDiscovery(data, /*use_temporal=*/true);
+  std::printf("%-22s %10s %10s %10s\n", "static (snapshot)",
+              bench::Pct(static_only.Precision()).c_str(),
+              bench::Pct(static_only.Recall()).c_str(),
+              bench::Pct(static_only.F1()).c_str());
+  std::printf("%-22s %10s %10s %10s\n", "static + temporal",
+              bench::Pct(temporal.Precision()).c_str(),
+              bench::Pct(temporal.Recall()).c_str(),
+              bench::Pct(temporal.F1()).c_str());
+  std::printf("F1 improvement from history: %+.1f pp\n",
+              100.0 * (temporal.F1() - static_only.F1()));
+
+  // Threshold sweep: the improvement is not an artifact of one cut-off.
+  bench::PrintHeader("Threshold sweep");
+  std::printf("%-10s %14s %14s %10s\n", "threshold", "static F1",
+              "temporal F1", "delta");
+  for (double threshold : {0.80, 0.85, 0.90, 0.95}) {
+    keydisc::KeyMetrics s =
+        keydisc::EvaluateKeyDiscovery(data, false, threshold);
+    keydisc::KeyMetrics t =
+        keydisc::EvaluateKeyDiscovery(data, true, threshold);
+    std::printf("%-10.2f %14s %14s %+9.1f pp\n", threshold,
+                bench::Pct(s.F1()).c_str(), bench::Pct(t.F1()).c_str(),
+                100.0 * (t.F1() - s.F1()));
+  }
+  std::printf(
+      "\nPaper shape: temporal features raise the key-discovery F-measure\n"
+      "(paper: +4.5 pp) — history exposes transiently-unique columns.\n");
+  return 0;
+}

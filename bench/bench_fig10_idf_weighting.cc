@@ -1,0 +1,79 @@
+// Figure 10: effect of the inverse-object-frequency token weighting on
+// similarity scores of true matches vs non-matches. Expected shape: true
+// matches keep high similarity under weighting while non-match pairs drop
+// significantly — the weighting widens the margin the thresholds exploit.
+
+#include "bench_util.h"
+#include "common/percentile.h"
+#include "extract/features.h"
+#include "sim/similarity.h"
+
+int main() {
+  using namespace somr;
+
+  const extract::ObjectType type = extract::ObjectType::kTable;
+  bench::PreparedCorpus prepared = bench::PrepareCorpus(type);
+
+  std::vector<double> match_plain, match_weighted;
+  std::vector<double> nonmatch_plain, nonmatch_weighted;
+
+  for (size_t p = 0; p < prepared.corpus.pages.size(); ++p) {
+    const auto& instances = prepared.instances[p];
+    const auto& truth = prepared.corpus.pages[p].TruthFor(type);
+    auto pred = eval::PredecessorMap(truth);
+    for (size_t r = 1; r < instances.size(); ++r) {
+      const auto& prev = instances[r - 1];
+      const auto& next = instances[r];
+      if (prev.empty() || next.empty()) continue;
+      std::vector<BagOfWords> prev_bags, next_bags;
+      std::vector<const BagOfWords*> prev_ptrs, next_ptrs;
+      for (const auto& o : prev) prev_bags.push_back(extract::BuildBagOfWords(o));
+      for (const auto& o : next) next_bags.push_back(extract::BuildBagOfWords(o));
+      for (const auto& b : prev_bags) prev_ptrs.push_back(&b);
+      for (const auto& b : next_bags) next_ptrs.push_back(&b);
+      sim::TokenWeighting weighting =
+          sim::TokenWeighting::InverseObjectFrequency(prev_ptrs, next_ptrs);
+      for (size_t i = 0; i < prev.size(); ++i) {
+        for (size_t j = 0; j < next.size(); ++j) {
+          double plain = sim::Ruzicka(prev_bags[i], next_bags[j]);
+          double weighted =
+              sim::WeightedRuzicka(prev_bags[i], next_bags[j], weighting);
+          matching::VersionRef target{static_cast<int>(r),
+                                      next[j].position};
+          auto it = pred.find(target);
+          bool is_match =
+              it != pred.end() &&
+              it->second == matching::VersionRef{static_cast<int>(r) - 1,
+                                                 prev[i].position};
+          if (is_match) {
+            match_plain.push_back(plain);
+            match_weighted.push_back(weighted);
+          } else {
+            nonmatch_plain.push_back(plain);
+            nonmatch_weighted.push_back(weighted);
+          }
+        }
+      }
+    }
+  }
+
+  bench::PrintHeader("Figure 10 — similarity with/without IOF weighting");
+  auto report = [](const char* label, const std::vector<double>& values) {
+    std::printf("%-26s %8zu pairs  mean %.3f  median %.3f  p90 %.3f\n",
+                label, values.size(), Mean(values),
+                Percentile(values, 0.5), Percentile(values, 0.9));
+  };
+  report("true matches, unweighted", match_plain);
+  report("true matches, weighted", match_weighted);
+  report("non-matches, unweighted", nonmatch_plain);
+  report("non-matches, weighted", nonmatch_weighted);
+  std::printf(
+      "margin (mean match - mean non-match): unweighted %.3f, weighted "
+      "%.3f\n",
+      Mean(match_plain) - Mean(nonmatch_plain),
+      Mean(match_weighted) - Mean(nonmatch_weighted));
+  std::printf(
+      "\nPaper shape: weighting barely moves true-match scores but pushes\n"
+      "non-match scores down, increasing the separation margin.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 11a: distribution of per-revision table-matching runtimes over
+// the gold corpus, with and without the first (local-search) matching
+// stage. Expected shape: stage 1 cuts the median moderately and the tail
+// (p90/p99) dramatically, because it avoids the all-pairs similarity
+// computation on object-rich pages.
+
+#include "bench_util.h"
+#include "common/percentile.h"
+
+int main() {
+  using namespace somr;
+
+  const extract::ObjectType type = extract::ObjectType::kTable;
+  bench::PreparedCorpus prepared = bench::PrepareCorpus(type);
+
+  auto run = [&](bool stage1) {
+    matching::MatcherConfig config;
+    config.enable_stage1 = stage1;
+    std::vector<double> step_millis;
+    size_t sims = 0;
+    for (size_t p = 0; p < prepared.corpus.pages.size(); ++p) {
+      matching::TemporalMatcher matcher(type, config);
+      eval::RunMatcher(matcher, prepared.instances[p]);
+      const auto& stats = matcher.stats();
+      step_millis.insert(step_millis.end(), stats.step_millis.begin(),
+                         stats.step_millis.end());
+      sims += stats.similarities_computed;
+    }
+    return std::make_pair(step_millis, sims);
+  };
+
+  bench::PrintHeader("Figure 11a — matching-step runtime distribution");
+  std::printf("%-18s %10s %10s %10s %10s %12s %14s\n", "configuration",
+              "median", "p90", "p99", "max", "total (s)", "similarities");
+  for (bool stage1 : {true, false}) {
+    auto [millis, sims] = run(stage1);
+    double total = 0.0;
+    for (double m : millis) total += m;
+    std::printf("%-18s %8.3fms %8.3fms %8.3fms %8.3fms %12.2f %14zu\n",
+                stage1 ? "with stage 1" : "without stage 1",
+                Percentile(millis, 0.5), Percentile(millis, 0.9),
+                Percentile(millis, 0.99), Percentile(millis, 1.0),
+                total / 1000.0, sims);
+  }
+  std::printf(
+      "\nPaper shape: stage 1 lowers the median and, far more strongly,\n"
+      "the tail percentiles (paper: median 6.2ms -> 4.2ms, p90 55.7ms ->\n"
+      "11.9ms; absolute values depend on hardware and corpus scale).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 11b: mean matching-step runtime as a function of the number of
+// tables on the page, with and without the first matching stage.
+// Expected shape: without stage 1 the cost grows superlinearly
+// (all-pairs); with stage 1 it is much flatter, near-linear.
+
+#include "bench_util.h"
+#include "common/percentile.h"
+#include "eval/harness.h"
+#include "extract/wikitext_extractor.h"
+#include "wikigen/evolver.h"
+
+int main() {
+  using namespace somr;
+
+  const extract::ObjectType type = extract::ObjectType::kTable;
+  bench::PrintHeader("Figure 11b — runtime vs number of tables on page");
+  std::printf("%-10s %16s %16s %14s\n", "#tables", "stage1 on (ms)",
+              "stage1 off (ms)", "speedup");
+
+  for (int tables : {1, 2, 4, 8, 16, 32, 64}) {
+    // A page that quickly fills up to `tables` tables and keeps editing.
+    wikigen::EvolverConfig config;
+    config.focal_type = type;
+    config.max_focal_objects = tables;
+    config.num_revisions = 60;
+    config.theme = wikigen::PageTheme::kAwards;
+    config.seed = 9000 + static_cast<uint64_t>(tables);
+    config.initial_focal_objects = tables;  // start at full size
+    wikigen::GeneratedPage page = wikigen::PageEvolver(config).Generate();
+    std::vector<std::vector<extract::ObjectInstance>> instances;
+    for (const auto& rev : page.revisions) {
+      instances.push_back(
+          extract::ExtractFromWikitextSource(rev.wikitext).tables);
+    }
+
+    double mean_ms[2] = {0.0, 0.0};
+    int idx = 0;
+    for (bool stage1 : {true, false}) {
+      matching::MatcherConfig matcher_config;
+      matcher_config.enable_stage1 = stage1;
+      // Repeat to stabilize timings on fast pages.
+      const int kRepeats = 3;
+      std::vector<double> millis;
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        matching::TemporalMatcher matcher(type, matcher_config);
+        eval::RunMatcher(matcher, instances);
+        const auto& stats = matcher.stats();
+        millis.insert(millis.end(), stats.step_millis.begin(),
+                      stats.step_millis.end());
+      }
+      mean_ms[idx++] = Mean(millis);
+    }
+    std::printf("%-10d %16.4f %16.4f %13.2fx\n", tables, mean_ms[0],
+                mean_ms[1],
+                mean_ms[0] > 0 ? mean_ms[1] / mean_ms[0] : 0.0);
+  }
+  std::printf(
+      "\nPaper shape: the gap widens with the table count — stage 1 turns\n"
+      "the quadratic all-pairs scaling into near-linear behavior.\n");
+  return 0;
+}

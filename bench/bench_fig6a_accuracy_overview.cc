@@ -1,0 +1,55 @@
+// Figure 6a: overall matching accuracy (fraction of objects whose entire
+// version chain is correct) for the two baselines, Korn et al. and our
+// approach, per object type. Expected shape: ours > schema > Korn >
+// position; ours close to 1.0 for all three types.
+
+#include "bench_util.h"
+#include "eval/bootstrap.h"
+
+int main() {
+  using namespace somr;
+  using bench::Pct;
+
+  bench::PrintHeader(
+      "Figure 6a — object accuracy overview (95% bootstrap CI over pages)");
+  std::printf("%-10s %20s %20s %20s %20s\n", "type", "Position", "Schema",
+              "Korn et al.", "Ours");
+
+  for (extract::ObjectType type :
+       {extract::ObjectType::kInfobox, extract::ObjectType::kList,
+        extract::ObjectType::kTable}) {
+    bench::PreparedCorpus prepared = bench::PrepareCorpus(type);
+    std::string row[4];
+    eval::Approach approaches[4] = {
+        eval::Approach::kPosition, eval::Approach::kSchema,
+        eval::Approach::kKorn, eval::Approach::kOurs};
+    for (int a = 0; a < 4; ++a) {
+      if (!eval::ApproachApplies(approaches[a], type)) {
+        row[a] = "—";
+        continue;
+      }
+      // Per-page (correct, total) counts feed the bootstrap.
+      std::vector<std::pair<size_t, size_t>> per_page;
+      for (size_t p = 0; p < prepared.corpus.pages.size(); ++p) {
+        matching::IdentityGraph output = eval::RunApproachOnPage(
+            approaches[a], type, prepared.instances[p]);
+        eval::ObjectAccuracyCounts counts = eval::CountCorrectObjects(
+            prepared.corpus.pages[p].TruthFor(type), output);
+        per_page.emplace_back(counts.correct, counts.total);
+      }
+      eval::ConfidenceInterval ci =
+          eval::BootstrapAccuracyCi(per_page, 400);
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%5.1f [%4.1f,%5.1f]",
+                    100 * ci.point, 100 * ci.lower, 100 * ci.upper);
+      row[a] = buf;
+    }
+    std::printf("%-10s %20s %20s %20s %20s\n",
+                extract::ObjectTypeName(type), row[0].c_str(),
+                row[1].c_str(), row[2].c_str(), row[3].c_str());
+  }
+  std::printf(
+      "\nPaper shape: ours highest everywhere (>= ~95%%), position worst;\n"
+      "schema does not apply to lists, Korn et al. only to tables.\n");
+  return 0;
+}

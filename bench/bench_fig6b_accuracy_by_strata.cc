@@ -1,0 +1,48 @@
+// Figure 6b: object accuracy by sampling stratum (max simultaneous
+// objects of the focal type on the page). Expected shape: the baselines
+// degrade sharply as pages carry more objects (more movement, more
+// shared schemata); our approach stays high.
+
+#include <map>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace somr;
+  using bench::Pct;
+
+  extract::ObjectType type = extract::ObjectType::kTable;
+  bench::PreparedCorpus prepared = bench::PrepareCorpus(type);
+
+  bench::PrintHeader("Figure 6b — table accuracy by stratum (max #tables)");
+  std::printf("%-10s %12s %12s %12s %12s\n", "stratum", "Position",
+              "Schema", "Korn et al.", "Ours");
+
+  eval::Approach approaches[4] = {
+      eval::Approach::kPosition, eval::Approach::kSchema,
+      eval::Approach::kKorn, eval::Approach::kOurs};
+
+  // stratum cap -> per-approach pooled counts
+  std::map<int, eval::ObjectAccuracyCounts> pooled[4];
+  for (size_t p = 0; p < prepared.corpus.pages.size(); ++p) {
+    int cap = prepared.corpus.page_stratum_cap[p];
+    const auto& truth = prepared.corpus.pages[p].TruthFor(type);
+    for (int a = 0; a < 4; ++a) {
+      matching::IdentityGraph output = eval::RunApproachOnPage(
+          approaches[a], type, prepared.instances[p]);
+      pooled[a][cap].Add(eval::CountCorrectObjects(truth, output));
+    }
+  }
+
+  for (const auto& [cap, counts] : pooled[0]) {
+    std::printf("%-10d %12s %12s %12s %12s\n", cap,
+                Pct(counts.Accuracy()).c_str(),
+                Pct(pooled[1][cap].Accuracy()).c_str(),
+                Pct(pooled[2][cap].Accuracy()).c_str(),
+                Pct(pooled[3][cap].Accuracy()).c_str());
+  }
+  std::printf(
+      "\nPaper shape: baselines fall off steeply with larger strata; our\n"
+      "approach declines only gently.\n");
+  return 0;
+}

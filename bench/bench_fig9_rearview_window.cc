@@ -1,0 +1,56 @@
+// Figure 9: effect of the rear-view window size k — how many additional
+// candidate comparisons a larger window costs and what it buys in
+// matching quality. Also sweeps the decay factor phi (DESIGN.md ablation).
+// Expected shape: quality jumps from k=1 to small k, then flattens near
+// k=5 while the comparison count keeps growing linearly.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace somr;
+
+  const extract::ObjectType type = extract::ObjectType::kTable;
+  bench::PreparedCorpus prepared = bench::PrepareCorpus(type);
+
+  bench::PrintHeader("Figure 9 — rear-view window size k");
+  std::printf("%-6s %14s %10s %10s %10s\n", "k", "similarities",
+              "Precision", "Recall", "F1");
+  for (int k : {1, 2, 3, 5, 7, 10}) {
+    matching::MatcherConfig config;
+    config.rear_view_window = k;
+    eval::EdgeMetrics total;
+    size_t sims = 0;
+    for (size_t p = 0; p < prepared.corpus.pages.size(); ++p) {
+      matching::TemporalMatcher matcher(type, config);
+      matching::IdentityGraph output =
+          eval::RunMatcher(matcher, prepared.instances[p]);
+      sims += matcher.stats().similarities_computed;
+      total.Add(eval::CompareEdges(
+          prepared.corpus.pages[p].TruthFor(type), output,
+          &prepared.nontrivial[p]));
+    }
+    std::printf("%-6d %14zu %10s %10s %10s%s\n", k, sims,
+                bench::Pct(total.Precision()).c_str(),
+                bench::Pct(total.Recall()).c_str(),
+                bench::Pct(total.F1()).c_str(),
+                k == 5 ? "   <- paper default" : "");
+  }
+
+  bench::PrintHeader("Ablation — decay factor phi (k = 5)");
+  std::printf("%-6s %10s %10s %10s\n", "phi", "Precision", "Recall", "F1");
+  for (double phi : {0.5, 0.7, 0.8, 0.9, 0.95, 1.0}) {
+    matching::MatcherConfig config;
+    config.decay = phi;
+    eval::EdgeMetrics total = bench::PooledNonTrivialEdgeMetrics(
+        prepared, eval::Approach::kOurs, type, config);
+    std::printf("%-6.2f %10s %10s %10s%s\n", phi,
+                bench::Pct(total.Precision()).c_str(),
+                bench::Pct(total.Recall()).c_str(),
+                bench::Pct(total.F1()).c_str(),
+                phi == 0.9 ? "   <- default" : "");
+  }
+  std::printf(
+      "\nPaper shape: small windows already capture almost all value —\n"
+      "k=5 is enough; larger k only adds similarity computations.\n");
+  return 0;
+}

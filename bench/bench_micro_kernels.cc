@@ -1,0 +1,141 @@
+// Google-benchmark microbenchmarks of the core kernels the matcher is
+// built from: similarity computation, IOF weighting, Hungarian matching,
+// wikitext/HTML parsing and object extraction. These quantify the
+// constants behind Fig. 11.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/subject_column.h"
+#include "common/rng.h"
+#include "extract/features.h"
+#include "extract/html_extractor.h"
+#include "extract/wikitext_extractor.h"
+#include "matching/hungarian.h"
+#include "sim/similarity.h"
+#include "wikigen/content_gen.h"
+#include "wikigen/render.h"
+
+namespace {
+
+using namespace somr;
+
+BagOfWords MakeBag(Rng& rng, int tokens, int vocabulary) {
+  BagOfWords bag;
+  for (int i = 0; i < tokens; ++i) {
+    bag.Add("token" + std::to_string(rng.UniformInt(0, vocabulary - 1)));
+  }
+  return bag;
+}
+
+void BM_Ruzicka(benchmark::State& state) {
+  Rng rng(1);
+  int tokens = static_cast<int>(state.range(0));
+  BagOfWords a = MakeBag(rng, tokens, tokens);
+  BagOfWords b = MakeBag(rng, tokens, tokens);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::Ruzicka(a, b));
+  }
+}
+BENCHMARK(BM_Ruzicka)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_WeightedRuzicka(benchmark::State& state) {
+  Rng rng(2);
+  int tokens = static_cast<int>(state.range(0));
+  BagOfWords a = MakeBag(rng, tokens, tokens);
+  BagOfWords b = MakeBag(rng, tokens, tokens);
+  sim::TokenWeighting weighting =
+      sim::TokenWeighting::InverseObjectFrequency({&a, &b}, {&a, &b});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::WeightedRuzicka(a, b, weighting));
+  }
+}
+BENCHMARK(BM_WeightedRuzicka)->Arg(64)->Arg(256);
+
+void BM_Hungarian(benchmark::State& state) {
+  Rng rng(3);
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<matching::WeightedEdge> edges;
+  for (size_t l = 0; l < n; ++l) {
+    for (size_t r = 0; r < n; ++r) {
+      if (rng.Bernoulli(0.5)) {
+        edges.push_back({static_cast<int>(l), static_cast<int>(r),
+                         0.4 + 0.6 * rng.UniformDouble()});
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::MaxWeightMatching(n, n, edges));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(4)->Arg(16)->Arg(64);
+
+std::string SampleWikitext() {
+  Rng rng(4);
+  wikigen::ContentGenerator gen(rng, wikigen::PageTheme::kAwards);
+  wikigen::LogicalPage page;
+  page.title = "Bench";
+  for (int i = 0; i < 8; ++i) {
+    page.InsertObject(i, gen.NewTable(), page.items.size());
+  }
+  page.InsertObject(100, gen.NewInfobox(), 0);
+  page.InsertObject(101, gen.NewList(), page.items.size());
+  return wikigen::RenderWikitext(page);
+}
+
+void BM_ParseAndExtractWikitext(benchmark::State& state) {
+  std::string source = SampleWikitext();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract::ExtractFromWikitextSource(source));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(source.size()));
+}
+BENCHMARK(BM_ParseAndExtractWikitext);
+
+void BM_ParseAndExtractHtml(benchmark::State& state) {
+  Rng rng(5);
+  wikigen::ContentGenerator gen(rng, wikigen::PageTheme::kGeneric);
+  wikigen::LogicalPage page;
+  page.title = "Bench";
+  for (int i = 0; i < 8; ++i) {
+    page.InsertObject(i, gen.NewTable(), page.items.size());
+  }
+  std::string html = wikigen::RenderHtml(page);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract::ExtractFromHtmlSource(html));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(html.size()));
+}
+BENCHMARK(BM_ParseAndExtractHtml);
+
+void BM_BuildBagOfWords(benchmark::State& state) {
+  Rng rng(6);
+  wikigen::ContentGenerator gen(rng, wikigen::PageTheme::kGeneric);
+  wikigen::LogicalPage page;
+  page.InsertObject(0, gen.NewTable(), 0);
+  extract::PageObjects objects =
+      extract::ExtractFromWikitextSource(wikigen::RenderWikitext(page));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract::BuildBagOfWords(objects.tables[0]));
+  }
+}
+BENCHMARK(BM_BuildBagOfWords);
+
+void BM_SubjectColumnDetection(benchmark::State& state) {
+  Rng rng(7);
+  wikigen::ContentGenerator gen(rng, wikigen::PageTheme::kGeneric);
+  wikigen::LogicalPage page;
+  page.InsertObject(0, gen.NewTable(), 0);
+  extract::PageObjects objects =
+      extract::ExtractFromWikitextSource(wikigen::RenderWikitext(page));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baselines::DetectSubjectColumn(objects.tables[0]));
+  }
+}
+BENCHMARK(BM_SubjectColumnDetection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Section V-A basic statistics of the gold corpus: per-object re-insert /
+// delete / update counts (with fresh-vs-restored splits), lifetimes,
+// presence ratios, growth/shrink shares, and object movement rates.
+// These are the numbers that calibrate the generator against the paper.
+
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace somr;
+
+  const extract::ObjectType type = extract::ObjectType::kTable;
+  bench::PreparedCorpus prepared = bench::PrepareCorpus(type);
+
+  size_t objects = 0, versions = 0;
+  size_t reinserts = 0, reinserts_fresh = 0;
+  size_t deletes = 0;
+  size_t updates = 0, updates_fresh = 0;
+  double lifetime_years_sum = 0.0;
+  double presence_sum = 0.0;
+  size_t grew_or_shrank_rows = 0, grew_or_shrank_cols = 0, static_size = 0;
+  size_t moved_up = 0, moved_down = 0, same_position = 0, transitions = 0;
+
+  for (size_t p = 0; p < prepared.corpus.pages.size(); ++p) {
+    const wikigen::GeneratedPage& page = prepared.corpus.pages[p];
+    const auto& instances = prepared.instances[p];
+    UnixSeconds corpus_end = page.revisions.back().timestamp;
+    for (const auto& obj : page.TruthFor(type).objects()) {
+      ++objects;
+      versions += obj.versions.size();
+      // Content history of this object.
+      std::set<std::vector<std::vector<std::string>>> seen_contents;
+      std::set<size_t> row_counts, col_counts;
+      UnixSeconds present_seconds = 0;
+      const extract::ObjectInstance* prev_instance = nullptr;
+      for (size_t v = 0; v < obj.versions.size(); ++v) {
+        const auto& ref = obj.versions[v];
+        const auto& instance =
+            instances[static_cast<size_t>(ref.revision)]
+                     [static_cast<size_t>(ref.position)];
+        row_counts.insert(instance.RowCount());
+        col_counts.insert(instance.ColumnCount());
+        bool fresh = seen_contents.insert(instance.rows).second;
+        if (v > 0) {
+          const auto& prev_ref = obj.versions[v - 1];
+          if (ref.revision > prev_ref.revision + 1) {
+            ++reinserts;
+            if (fresh) ++reinserts_fresh;
+          } else if (prev_instance != nullptr &&
+                     instance.rows != prev_instance->rows) {
+            ++updates;
+            if (fresh) ++updates_fresh;
+          }
+          if (ref.position == prev_ref.position) {
+            ++same_position;
+          } else if (ref.position < prev_ref.position) {
+            ++moved_up;
+          } else {
+            ++moved_down;
+          }
+          ++transitions;
+          // Presence time: from previous version to this one only when
+          // consecutive.
+          if (ref.revision == prev_ref.revision + 1) {
+            present_seconds +=
+                page.revisions[static_cast<size_t>(ref.revision)].timestamp -
+                page.revisions[static_cast<size_t>(prev_ref.revision)]
+                    .timestamp;
+          }
+        }
+        prev_instance = &instance;
+      }
+      // Deletions: gaps plus disappearing before the corpus end.
+      for (size_t v = 1; v < obj.versions.size(); ++v) {
+        if (obj.versions[v].revision > obj.versions[v - 1].revision + 1) {
+          ++deletes;
+        }
+      }
+      int last_rev = obj.versions.back().revision;
+      if (static_cast<size_t>(last_rev) + 1 < page.revisions.size()) {
+        ++deletes;
+      }
+      UnixSeconds born =
+          page.revisions[static_cast<size_t>(obj.versions.front().revision)]
+              .timestamp;
+      UnixSeconds died =
+          static_cast<size_t>(last_rev) + 1 < page.revisions.size()
+              ? page.revisions[static_cast<size_t>(last_rev)].timestamp
+              : corpus_end;
+      double lifetime = static_cast<double>(died - born);
+      lifetime_years_sum += lifetime / kSecondsPerYear;
+      if (lifetime > 0) {
+        presence_sum += static_cast<double>(present_seconds) / lifetime;
+      } else {
+        presence_sum += 1.0;
+      }
+      bool rows_changed = row_counts.size() > 1;
+      bool cols_changed = col_counts.size() > 1;
+      if (rows_changed) ++grew_or_shrank_rows;
+      if (cols_changed) ++grew_or_shrank_cols;
+      if (!rows_changed && !cols_changed) ++static_size;
+    }
+  }
+
+  double n = static_cast<double>(std::max<size_t>(objects, 1));
+  bench::PrintHeader("Sec. V-A — basic statistics (tables, gold corpus)");
+  std::printf("objects: %zu, object versions: %zu\n", objects, versions);
+  std::printf("per object: re-inserted %.2f (fresh %.2f), deleted %.2f, "
+              "updated %.2f (fresh %.2f)\n",
+              reinserts / n, reinserts_fresh / n, deletes / n, updates / n,
+              updates_fresh / n);
+  std::printf("mean lifetime: %.2f years; present %s of lifetime\n",
+              lifetime_years_sum / n,
+              bench::Pct(presence_sum / n).c_str());
+  std::printf("tables changing row count: %s, column count: %s, "
+              "size-static: %s\n",
+              bench::Pct(grew_or_shrank_rows / n).c_str(),
+              bench::Pct(grew_or_shrank_cols / n).c_str(),
+              bench::Pct(static_size / n).c_str());
+  double t = static_cast<double>(std::max<size_t>(transitions, 1));
+  std::printf("version transitions: same position %s, moved up %s, "
+              "moved down %s\n",
+              bench::Pct(same_position / t).c_str(),
+              bench::Pct(moved_up / t).c_str(),
+              bench::Pct(moved_down / t).c_str());
+  std::printf(
+      "\nPaper reference: re-inserted 1.78 (0.10 fresh), deleted 2.28,\n"
+      "updated 10.33 (8.82 fresh); lifetime 3.62 years, present 97.0%%;\n"
+      "21.7%%/30.0%% of tables change columns/rows, 62.1%% size-static;\n"
+      "83.3%% same position, moves down (9.8%%) > up (6.9%%).\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Table I: matching results on the two validation datasets —
+//   DWTC-style general web tables (HTML pages, Internet-Archive crawl
+//   sampling, pages with >= 2 tables), and
+//   a Socrata-style open data lake (subdomain contexts, no ordering).
+// Also prints the paper's spatial-feature ablation (Sec. V-B): matching
+// quality with all spatial features disabled.
+
+#include "archive/crawl_sampler.h"
+#include "archive/socrata.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace somr;
+
+struct Row {
+  eval::EdgeMetrics edges;
+  eval::ObjectAccuracyCounts objects;
+};
+
+void PrintRow(const char* name, const Row& row, bool applicable = true) {
+  if (!applicable) {
+    std::printf("%-14s %10s %10s %10s %10s\n", name, "—", "—", "—", "—");
+    return;
+  }
+  std::printf("%-14s %10s %10s %10s %10s\n", name,
+              bench::Pct(row.edges.Precision()).c_str(),
+              bench::Pct(row.edges.Recall()).c_str(),
+              bench::Pct(row.edges.F1()).c_str(),
+              bench::Pct(row.objects.Accuracy()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const extract::ObjectType type = extract::ObjectType::kTable;
+
+  // ---- DWTC: general web tables via Internet-Archive-style crawls ----
+  // Pages with at least two tables, random (non-stratified) page sizes.
+  int num_pages = std::max(4, static_cast<int>(8 * bench::ScaleFromEnv()));
+  Rng rng(4242);
+  std::vector<archive::SampledHistory> histories;
+  while (static_cast<int>(histories.size()) < num_pages) {
+    wikigen::EvolverConfig config;
+    config.focal_type = type;
+    config.max_focal_objects = 2 + static_cast<int>(rng.UniformInt(0, 8));
+    config.num_revisions = 60 + static_cast<int>(rng.UniformInt(0, 80));
+    config.theme = rng.Bernoulli(0.5) ? wikigen::PageTheme::kGeneric
+                                      : wikigen::PageTheme::kSettlement;
+    config.seed = rng.engine()();
+    config.html_web_chrome = true;  // crawled pages carry site furniture
+    wikigen::GeneratedPage page = wikigen::PageEvolver(config).Generate();
+    archive::SampledHistory sampled =
+        archive::SampleCrawls(page, /*mean_crawl_interval_days=*/45.0, rng);
+    if (sampled.page.revisions.size() < 3) continue;
+    // The paper's DWTC sample requires >= 2 tables on the page.
+    if (sampled.truth_tables.ObjectCount() < 2) continue;
+    histories.push_back(std::move(sampled));
+  }
+
+  bench::PrintHeader("Table I — DWTC web tables (crawl-sampled HTML)");
+  std::printf("%-14s %10s %10s %10s %10s\n", "approach", "Precision",
+              "Recall", "F1", "Accuracy");
+  eval::Approach approaches[4] = {
+      eval::Approach::kPosition, eval::Approach::kSchema,
+      eval::Approach::kKorn, eval::Approach::kOurs};
+  for (eval::Approach approach : approaches) {
+    Row row;
+    for (const archive::SampledHistory& sampled : histories) {
+      auto revisions = eval::ExtractRevisionObjects(sampled.page);
+      auto tables = eval::SliceType(revisions, type);
+      matching::IdentityGraph output =
+          eval::RunApproachOnPage(approach, type, tables);
+      row.edges.Add(eval::CompareEdges(sampled.truth_tables, output));
+      row.objects.Add(
+          eval::CountCorrectObjects(sampled.truth_tables, output));
+    }
+    PrintRow(eval::ApproachName(approach), row);
+  }
+
+  // ---- Socrata: open data lake, no ordering ----
+  bench::PrintHeader("Table I — Socrata open data lake (no page order)");
+  std::printf("%-14s %10s %10s %10s %10s\n", "approach", "Precision",
+              "Recall", "F1", "Accuracy");
+  archive::SocrataConfig socrata_config;
+  socrata_config.datasets_per_subdomain =
+      std::max(10, static_cast<int>(30 * bench::ScaleFromEnv()));
+  socrata_config.num_snapshots = 12;
+  auto contexts = archive::GenerateSocrata(socrata_config);
+
+  matching::MatcherConfig no_spatial;
+  no_spatial.use_spatial_features = false;
+  for (eval::Approach approach :
+       {eval::Approach::kSchema, eval::Approach::kKorn,
+        eval::Approach::kOurs}) {
+    Row row;
+    for (const archive::SocrataContext& context : contexts) {
+      matching::IdentityGraph output = eval::RunApproachOnPage(
+          approach, type, context.snapshots, no_spatial);
+      row.edges.Add(eval::CompareEdges(context.truth, output));
+      row.objects.Add(eval::CountCorrectObjects(context.truth, output));
+    }
+    PrintRow(eval::ApproachName(approach), row);
+  }
+  PrintRow("Position", {}, /*applicable=*/false);
+  std::printf("(position baseline inapplicable: datasets are unordered)\n");
+
+  // ---- Spatial-feature ablation on the Wikipedia gold corpus ----
+  bench::PrintHeader(
+      "Sec. V-B ablation — our approach with spatial features disabled");
+  std::printf("%-14s %14s %14s %10s\n", "object type", "edge F1 (on)",
+              "edge F1 (off)", "delta");
+  for (extract::ObjectType t :
+       {extract::ObjectType::kInfobox, extract::ObjectType::kList,
+        extract::ObjectType::kTable}) {
+    bench::PreparedCorpus prepared = bench::PrepareCorpus(t);
+    eval::EdgeMetrics on =
+        bench::PooledEdgeMetrics(prepared, eval::Approach::kOurs, t);
+    eval::EdgeMetrics off = bench::PooledEdgeMetrics(
+        prepared, eval::Approach::kOurs, t, no_spatial);
+    std::printf("%-14s %14s %14s %+9.2f pp\n", extract::ObjectTypeName(t),
+                bench::Pct(on.F1()).c_str(), bench::Pct(off.F1()).c_str(),
+                100.0 * (on.F1() - off.F1()));
+  }
+  std::printf(
+      "\nPaper shape: ours best on DWTC; all content approaches near-perfect\n"
+      "on Socrata (large tables, rich evidence); disabling spatial features\n"
+      "costs only ~1 pp (they mostly act as tie-breakers).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Table II: precision / recall / F1 of non-trivial identity edges for
+// infobox, list and table matching, plus the time-resolution experiment
+// (every edit, day, week, month, year) discussed alongside it.
+
+#include "archive/crawl_sampler.h"
+#include "bench_util.h"
+#include "eval/trivial.h"
+
+int main() {
+  using namespace somr;
+
+  bench::PrintHeader(
+      "Table II — non-trivial edge precision/recall/F1 (our approach)");
+  std::printf("%-14s %10s %10s %10s %14s\n", "object type", "Precision",
+              "Recall", "F1", "scored edges");
+  for (extract::ObjectType type :
+       {extract::ObjectType::kInfobox, extract::ObjectType::kList,
+        extract::ObjectType::kTable}) {
+    bench::PreparedCorpus prepared = bench::PrepareCorpus(type);
+    eval::EdgeMetrics total;
+    size_t scored = 0;
+    for (size_t p = 0; p < prepared.corpus.pages.size(); ++p) {
+      const auto& truth = prepared.corpus.pages[p].TruthFor(type);
+      auto nontrivial =
+          eval::NonTrivialEdges(prepared.instances[p], truth);
+      scored += nontrivial.size();
+      matching::IdentityGraph output = eval::RunApproachOnPage(
+          eval::Approach::kOurs, type, prepared.instances[p]);
+      total.Add(eval::CompareEdges(truth, output, &nontrivial));
+    }
+    std::printf("%-14s %10s %10s %10s %14zu\n",
+                extract::ObjectTypeName(type),
+                bench::Pct(total.Precision()).c_str(),
+                bench::Pct(total.Recall()).c_str(),
+                bench::Pct(total.F1()).c_str(), scored);
+  }
+
+  bench::PrintHeader(
+      "Time-resolution sweep — table edge F1 per approach");
+  std::printf("%-12s %12s %12s %12s %12s\n", "resolution", "Position",
+              "Schema", "Korn et al.", "Ours");
+  const extract::ObjectType type = extract::ObjectType::kTable;
+  bench::PreparedCorpus prepared = bench::PrepareCorpus(type);
+  struct Resolution {
+    const char* name;
+    UnixSeconds seconds;
+  };
+  Resolution resolutions[] = {
+      {"every edit", 0},
+      {"day", kSecondsPerDay},
+      {"week", 7 * kSecondsPerDay},
+      {"month", 30 * kSecondsPerDay},
+      {"year", kSecondsPerYear},
+  };
+  for (const Resolution& resolution : resolutions) {
+    eval::EdgeMetrics totals[4];
+    eval::Approach approaches[4] = {
+        eval::Approach::kPosition, eval::Approach::kSchema,
+        eval::Approach::kKorn, eval::Approach::kOurs};
+    for (const wikigen::GeneratedPage& page : prepared.corpus.pages) {
+      archive::SampledHistory sampled =
+          archive::ReduceTimeResolution(page, resolution.seconds);
+      auto revisions = eval::ExtractRevisionObjects(sampled.page);
+      auto tables = eval::SliceType(revisions, type);
+      for (int a = 0; a < 4; ++a) {
+        matching::IdentityGraph output =
+            eval::RunApproachOnPage(approaches[a], type, tables);
+        totals[a].Add(
+            eval::CompareEdges(sampled.TruthFor(type), output));
+      }
+    }
+    std::printf("%-12s %12s %12s %12s %12s\n", resolution.name,
+                bench::Pct(totals[0].F1()).c_str(),
+                bench::Pct(totals[1].F1()).c_str(),
+                bench::Pct(totals[2].F1()).c_str(),
+                bench::Pct(totals[3].F1()).c_str());
+  }
+  std::printf(
+      "\nPaper shape: near-perfect matching when every edit is available;\n"
+      "lower resolutions have minor impact until roughly one revision per\n"
+      "year, where every approach degrades.\n");
+  return 0;
+}

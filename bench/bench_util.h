@@ -1,0 +1,127 @@
+#ifndef SOMR_BENCH_BENCH_UTIL_H_
+#define SOMR_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the paper-reproduction bench binaries. Every bench
+// regenerates its corpus deterministically (fixed seeds), so output is
+// stable run-to-run. Set SOMR_SCALE (default 1.0) to grow or shrink the
+// corpora; 3.0 reproduces the paper's 15 pages per stratum.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "eval/trivial.h"
+#include "extract/wikitext_extractor.h"
+#include "wikigen/corpus.h"
+
+namespace somr::bench {
+
+inline double ScaleFromEnv() {
+  const char* env = std::getenv("SOMR_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+/// Paper-shaped stratified corpus for one focal type (Sec. V-A): strata
+/// cap the focal-object count at 1, 3, 7, 15, 31, 64. At SOMR_SCALE=1 we
+/// generate 5 pages per stratum (the paper used 15; 3x scale matches it).
+inline wikigen::CorpusConfig GoldConfig(extract::ObjectType type) {
+  wikigen::CorpusConfig config;
+  config.focal_type = type;
+  config.strata_caps = {1, 3, 7, 15, 31, 64};
+  config.pages_per_stratum =
+      std::max(1, static_cast<int>(5 * ScaleFromEnv() + 0.5));
+  config.min_revisions = 60;
+  config.max_revisions = 150;
+  config.seed = 1000 + static_cast<uint64_t>(type);
+  return config;
+}
+
+/// Per-page extracted instances of the focal type, cached alongside the
+/// corpus.
+struct PreparedCorpus {
+  wikigen::GoldCorpus corpus;
+  // per page, per revision, instances of the focal type
+  std::vector<std::vector<std::vector<extract::ObjectInstance>>> instances;
+  // per page, the non-trivial subset of the truth edges (Table II)
+  std::vector<std::set<matching::IdentityEdge>> nontrivial;
+};
+
+inline PreparedCorpus PrepareCorpus(extract::ObjectType type) {
+  PreparedCorpus prepared;
+  prepared.corpus = wikigen::GenerateGoldCorpus(GoldConfig(type));
+  for (const wikigen::GeneratedPage& page : prepared.corpus.pages) {
+    std::vector<std::vector<extract::ObjectInstance>> per_revision;
+    per_revision.reserve(page.revisions.size());
+    for (const wikigen::GeneratedRevision& rev : page.revisions) {
+      per_revision.push_back(
+          extract::ExtractFromWikitextSource(rev.wikitext).OfType(type));
+    }
+    prepared.nontrivial.push_back(
+        eval::NonTrivialEdges(per_revision, page.TruthFor(type)));
+    prepared.instances.push_back(std::move(per_revision));
+  }
+  return prepared;
+}
+
+/// Pools object-level accuracy of one approach over the whole corpus.
+inline eval::ObjectAccuracyCounts PooledObjectAccuracy(
+    const PreparedCorpus& prepared, eval::Approach approach,
+    extract::ObjectType type, const matching::MatcherConfig& config = {}) {
+  eval::ObjectAccuracyCounts counts;
+  for (size_t p = 0; p < prepared.corpus.pages.size(); ++p) {
+    matching::IdentityGraph output = eval::RunApproachOnPage(
+        approach, type, prepared.instances[p], config);
+    counts.Add(eval::CountCorrectObjects(
+        prepared.corpus.pages[p].TruthFor(type), output));
+  }
+  return counts;
+}
+
+/// Pools edge metrics of one approach over the whole corpus.
+inline eval::EdgeMetrics PooledEdgeMetrics(
+    const PreparedCorpus& prepared, eval::Approach approach,
+    extract::ObjectType type, const matching::MatcherConfig& config = {}) {
+  eval::EdgeMetrics total;
+  for (size_t p = 0; p < prepared.corpus.pages.size(); ++p) {
+    matching::IdentityGraph output = eval::RunApproachOnPage(
+        approach, type, prepared.instances[p], config);
+    total.Add(eval::CompareEdges(prepared.corpus.pages[p].TruthFor(type),
+                                 output));
+  }
+  return total;
+}
+
+/// Pools edge metrics restricted to the non-trivial truth edges — the
+/// paper's Table II / Fig. 7 measurement, where the easy bulk of
+/// unchanged-object matches does not mask differences.
+inline eval::EdgeMetrics PooledNonTrivialEdgeMetrics(
+    const PreparedCorpus& prepared, eval::Approach approach,
+    extract::ObjectType type, const matching::MatcherConfig& config = {}) {
+  eval::EdgeMetrics total;
+  for (size_t p = 0; p < prepared.corpus.pages.size(); ++p) {
+    matching::IdentityGraph output = eval::RunApproachOnPage(
+        approach, type, prepared.instances[p], config);
+    total.Add(eval::CompareEdges(prepared.corpus.pages[p].TruthFor(type),
+                                 output, &prepared.nontrivial[p]));
+  }
+  return total;
+}
+
+inline std::string Pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%5.1f %%", 100.0 * fraction);
+  return buf;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace somr::bench
+
+#endif  // SOMR_BENCH_BENCH_UTIL_H_

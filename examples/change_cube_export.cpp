@@ -1,0 +1,107 @@
+// Change-cube export: the paper's core motivation (Sec. I) is that
+// temporal object matching is what enables populating the change-cube —
+// (time, entity, property, value) records of every atomic change. This
+// example simulates a settlement page, matches its objects, derives the
+// change-cube, classifies each update (presentation / semantic /
+// structural / vandalism / revert), and writes CSV + JSONL exports.
+//
+// Run: ./build/examples/change_cube_export [out_prefix]
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "core/change_classifier.h"
+#include "core/change_cube.h"
+#include "core/pipeline.h"
+#include "wikigen/corpus.h"
+
+int main(int argc, char** argv) {
+  using namespace somr;
+
+  wikigen::EvolverConfig gen;
+  gen.focal_type = extract::ObjectType::kTable;
+  gen.max_focal_objects = 4;
+  gen.num_revisions = 60;
+  gen.theme = wikigen::PageTheme::kSettlement;
+  gen.seed = 314;
+  wikigen::GeneratedPage generated = wikigen::PageEvolver(gen).Generate();
+
+  // Timestamps feed the cube's time dimension.
+  std::vector<UnixSeconds> timestamps;
+  for (const auto& rev : generated.revisions) {
+    timestamps.push_back(rev.timestamp);
+  }
+
+  wikigen::GoldCorpus corpus;
+  corpus.pages.push_back(std::move(generated));
+  corpus.page_stratum_cap.push_back(4);
+  xmldump::Dump dump = wikigen::CorpusToDump(corpus);
+
+  core::Pipeline pipeline;
+  core::PageResult page = pipeline.ProcessPage(dump.pages[0]);
+
+  // Build the cube over all three object types.
+  std::vector<core::ChangeCubeRecord> cube;
+  for (extract::ObjectType type :
+       {extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+        extract::ObjectType::kList}) {
+    auto records = core::BuildChangeCube(page, type, timestamps);
+    cube.insert(cube.end(), records.begin(), records.end());
+  }
+  std::printf("Page \"%s\": %zu change-cube records\n", page.title.c_str(),
+              cube.size());
+
+  // Aggregate by change kind — the typical first exploration query.
+  std::map<std::string, int> by_change;
+  for (const auto& record : cube) by_change[record.change]++;
+  for (const auto& [change, count] : by_change) {
+    std::printf("  %-8s %5d\n", change.c_str(), count);
+  }
+
+  // Update classification (the paper's future-work extension).
+  std::map<const char*, int> by_class;
+  for (extract::ObjectType type :
+       {extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+        extract::ObjectType::kList}) {
+    for (const auto& classified : core::ClassifyChanges(
+             page.GraphFor(type), page.revisions, type,
+             static_cast<int>(page.revisions.size()))) {
+      if (classified.record.kind == core::ChangeKind::kUpdate) {
+        by_class[core::ChangeClassName(classified.change_class)]++;
+      }
+    }
+  }
+  std::printf("update classification:\n");
+  for (const auto& [name, count] : by_class) {
+    std::printf("  %-14s %5d\n", name, count);
+  }
+
+  // Exports.
+  std::string prefix = argc >= 2 ? argv[1] : "/tmp/somr_change_cube";
+  {
+    std::ofstream csv(prefix + ".csv");
+    csv << core::ChangeCubeToCsv(cube);
+  }
+  {
+    std::ofstream jsonl(prefix + ".jsonl");
+    jsonl << core::ChangeCubeToJsonLines(cube);
+  }
+  std::printf("wrote %s.csv and %s.jsonl\n", prefix.c_str(),
+              prefix.c_str());
+
+  // Show a few sample records.
+  std::printf("\nsample records:\n");
+  int shown = 0;
+  for (const auto& record : cube) {
+    if (record.change != "cell") continue;
+    std::printf("  r%-4d %-19s %-8s obj#%lld  %s[%s]: \"%s\" -> \"%s\"\n",
+                record.revision, FormatIso8601(record.timestamp).c_str(),
+                extract::ObjectTypeName(record.object_type),
+                static_cast<long long>(record.object_id),
+                record.property.c_str(), record.entity.c_str(),
+                record.old_value.c_str(), record.new_value.c_str());
+    if (++shown >= 5) break;
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Open-data-lake scenario (Sec. V-B, Socrata validation): datasets in a
+// subdomain are published, updated, unpublished and re-published. There
+// is no page order, so spatial features are disabled; the matcher
+// reconstructs dataset identities from content alone. The example also
+// demonstrates the "timeliness" use case: per dataset, when was it last
+// updated?
+//
+// Run: ./build/examples/open_data_lake
+
+#include <cstdio>
+
+#include "archive/socrata.h"
+#include "eval/metrics.h"
+#include "matching/matcher.h"
+
+int main() {
+  using namespace somr;
+
+  archive::SocrataConfig config;
+  config.subdomains = {"chicago", "utah"};
+  config.datasets_per_subdomain = 25;
+  config.num_snapshots = 12;  // monthly snapshots over one year
+  config.seed = 4711;
+  auto contexts = archive::GenerateSocrata(config);
+
+  matching::MatcherConfig matcher_config;
+  matcher_config.use_spatial_features = false;  // no order in a lake
+
+  for (const archive::SocrataContext& context : contexts) {
+    matching::TemporalMatcher matcher(extract::ObjectType::kTable,
+                                      matcher_config);
+    for (size_t snapshot = 0; snapshot < context.snapshots.size();
+         ++snapshot) {
+      matcher.ProcessRevision(static_cast<int>(snapshot),
+                              context.snapshots[snapshot]);
+    }
+    const matching::IdentityGraph& graph = matcher.graph();
+    eval::EdgeMetrics quality = eval::CompareEdges(context.truth, graph);
+    std::printf(
+        "subdomain %-8s: %3zu datasets reconstructed (truth: %3zu), "
+        "edge F1 %.3f\n",
+        context.subdomain.c_str(), graph.ObjectCount(),
+        context.truth.ObjectCount(), quality.F1());
+
+    // Timeliness report: months since each dataset's last content change.
+    int stale = 0, fresh = 0, gone = 0;
+    int last_snapshot = static_cast<int>(context.snapshots.size()) - 1;
+    for (const auto& object : graph.objects()) {
+      int last_seen = object.versions.back().revision;
+      if (last_seen < last_snapshot) {
+        ++gone;  // unpublished before the end of the year
+      } else if (object.versions.size() >= 2 &&
+                 object.versions[object.versions.size() - 2].revision ==
+                     last_seen - 1) {
+        ++fresh;
+      } else {
+        ++stale;
+      }
+    }
+    std::printf(
+        "  still published and continuously tracked: %d; republished "
+        "after a gap: %d; unpublished: %d\n",
+        fresh, stale, gone);
+
+    // Re-publication detection (the rear-view mirror at work): datasets
+    // whose identity survived an absence.
+    for (const auto& object : graph.objects()) {
+      for (size_t v = 1; v < object.versions.size(); ++v) {
+        int gap = object.versions[v].revision -
+                  object.versions[v - 1].revision;
+        if (gap > 1) {
+          std::printf(
+              "  dataset #%lld re-published after %d month(s) offline\n",
+              static_cast<long long>(object.object_id), gap - 1);
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "archive/crawl_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace somr::archive {
+
+const matching::IdentityGraph& SampledHistory::TruthFor(
+    extract::ObjectType type) const {
+  switch (type) {
+    case extract::ObjectType::kTable:
+      return truth_tables;
+    case extract::ObjectType::kInfobox:
+      return truth_infoboxes;
+    case extract::ObjectType::kList:
+      return truth_lists;
+  }
+  return truth_tables;
+}
+
+matching::IdentityGraph RestrictTruth(const matching::IdentityGraph& truth,
+                                      const std::vector<int>& kept) {
+  std::unordered_map<int, int> renumber;
+  for (size_t i = 0; i < kept.size(); ++i) {
+    renumber[kept[i]] = static_cast<int>(i);
+  }
+  matching::IdentityGraph restricted(truth.type());
+  for (const matching::TrackedObjectRecord& obj : truth.objects()) {
+    int64_t new_id = -1;
+    for (const matching::VersionRef& v : obj.versions) {
+      auto it = renumber.find(v.revision);
+      if (it == renumber.end()) continue;
+      matching::VersionRef ref{it->second, v.position};
+      if (new_id < 0) {
+        new_id = restricted.AddObject(ref);
+      } else {
+        restricted.AppendVersion(new_id, ref);
+      }
+    }
+  }
+  return restricted;
+}
+
+namespace {
+
+SampledHistory BuildSampled(const wikigen::GeneratedPage& page,
+                            const std::vector<int>& kept, bool html) {
+  SampledHistory sampled;
+  sampled.kept_revisions = kept;
+  sampled.page.title = page.title;
+  int64_t rev_id = 1;
+  for (int original : kept) {
+    const wikigen::GeneratedRevision& src =
+        page.revisions[static_cast<size_t>(original)];
+    xmldump::Revision rev;
+    rev.id = rev_id++;
+    rev.timestamp = src.timestamp;
+    rev.comment = src.comment;
+    rev.contributor = src.contributor;
+    if (html) {
+      rev.text = src.html;
+      rev.model = "html";
+    } else {
+      rev.text = src.wikitext;
+      rev.model = "wikitext";
+    }
+    sampled.page.revisions.push_back(std::move(rev));
+  }
+  sampled.truth_tables = RestrictTruth(page.truth_tables, kept);
+  sampled.truth_infoboxes = RestrictTruth(page.truth_infoboxes, kept);
+  sampled.truth_lists = RestrictTruth(page.truth_lists, kept);
+  return sampled;
+}
+
+}  // namespace
+
+SampledHistory SampleCrawls(const wikigen::GeneratedPage& page,
+                            double mean_crawl_interval_days, Rng& rng) {
+  std::vector<int> kept;
+  if (!page.revisions.empty()) {
+    UnixSeconds start = page.revisions.front().timestamp;
+    UnixSeconds end = page.revisions.back().timestamp;
+    UnixSeconds t = start;
+    int last_kept = -1;
+    while (t <= end) {
+      // Latest revision at or before the crawl time.
+      int idx = -1;
+      for (size_t r = 0; r < page.revisions.size(); ++r) {
+        if (page.revisions[r].timestamp <= t) {
+          idx = static_cast<int>(r);
+        } else {
+          break;
+        }
+      }
+      if (idx >= 0 && idx != last_kept) {
+        kept.push_back(idx);
+        last_kept = idx;
+      }
+      double gap_days = -std::log(1.0 - rng.UniformDouble()) *
+                        mean_crawl_interval_days;
+      t += static_cast<UnixSeconds>(
+          std::max(3600.0, gap_days * kSecondsPerDay));
+    }
+  }
+  return BuildSampled(page, kept, /*html=*/true);
+}
+
+SampledHistory ReduceTimeResolution(const wikigen::GeneratedPage& page,
+                                    UnixSeconds resolution_seconds) {
+  std::vector<int> kept;
+  if (resolution_seconds <= 0) {
+    for (size_t r = 0; r < page.revisions.size(); ++r) {
+      kept.push_back(static_cast<int>(r));
+    }
+  } else {
+    // Keep the last revision in every time bucket.
+    for (size_t r = 0; r < page.revisions.size(); ++r) {
+      UnixSeconds bucket = page.revisions[r].timestamp / resolution_seconds;
+      bool last_in_bucket =
+          r + 1 == page.revisions.size() ||
+          page.revisions[r + 1].timestamp / resolution_seconds != bucket;
+      if (last_in_bucket) kept.push_back(static_cast<int>(r));
+    }
+  }
+  return BuildSampled(page, kept, /*html=*/false);
+}
+
+}  // namespace somr::archive

@@ -1,0 +1,51 @@
+#ifndef SOMR_ARCHIVE_CRAWL_SAMPLER_H_
+#define SOMR_ARCHIVE_CRAWL_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_util.h"
+#include "matching/identity_graph.h"
+#include "wikigen/evolver.h"
+#include "xmldump/dump.h"
+
+namespace somr::archive {
+
+/// A page history reduced to a subset of its revisions, with the ground
+/// truth restricted and re-indexed accordingly.
+struct SampledHistory {
+  xmldump::PageHistory page;
+  matching::IdentityGraph truth_tables{extract::ObjectType::kTable};
+  matching::IdentityGraph truth_infoboxes{extract::ObjectType::kInfobox};
+  matching::IdentityGraph truth_lists{extract::ObjectType::kList};
+  /// Original revision index of each kept revision.
+  std::vector<int> kept_revisions;
+
+  const matching::IdentityGraph& TruthFor(extract::ObjectType type) const;
+};
+
+/// Restricts `truth` to the revisions listed in `kept` (sorted original
+/// indices), renumbering revisions to 0..kept.size()-1. Objects whose
+/// versions are all dropped disappear; adjacent surviving versions of an
+/// object become direct edges, exactly as a lower crawl resolution would
+/// present them.
+matching::IdentityGraph RestrictTruth(const matching::IdentityGraph& truth,
+                                      const std::vector<int>& kept);
+
+/// Simulates Internet-Archive-style crawling of a generated page
+/// (Sec. V-A, DWTC validation set): crawl times form a Poisson process
+/// with the given mean interval; each crawl captures the page's HTML as
+/// of that time. Consecutive crawls that captured the same revision are
+/// collapsed. The result's revisions carry model = "html".
+SampledHistory SampleCrawls(const wikigen::GeneratedPage& page,
+                            double mean_crawl_interval_days, Rng& rng);
+
+/// Deterministic time-resolution reduction (Table II discussion): keeps
+/// the last revision within each bucket of `resolution_seconds` (pass 0
+/// to keep every edit). Revisions keep wikitext form.
+SampledHistory ReduceTimeResolution(const wikigen::GeneratedPage& page,
+                                    UnixSeconds resolution_seconds);
+
+}  // namespace somr::archive
+
+#endif  // SOMR_ARCHIVE_CRAWL_SAMPLER_H_

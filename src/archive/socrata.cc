@@ -1,0 +1,142 @@
+#include "archive/socrata.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "wikigen/content_gen.h"
+
+namespace somr::archive {
+
+namespace {
+
+/// A civic open-data dataset: a large table with a descriptive title.
+struct Dataset {
+  int64_t uid;
+  wikigen::LogicalContent content;
+  bool published = true;
+};
+
+wikigen::LogicalContent NewDataset(wikigen::ContentGenerator& gen,
+                                   Rng& rng) {
+  wikigen::LogicalContent table = gen.NewTable();
+  table.type = extract::ObjectType::kTable;
+  // Open-data tables are much larger than web tables: grow to 20-150 rows.
+  int target_rows = static_cast<int>(rng.UniformInt(20, 150));
+  while (static_cast<int>(table.rows.size()) < target_rows) {
+    table.rows.push_back(gen.NewTableRow(table));
+  }
+  table.caption = gen.vocab().PlaceName() + " " +
+                  gen.vocab().NounPhrase(2) + " dataset";
+  return table;
+}
+
+void UpdateDataset(wikigen::ContentGenerator& gen, Rng& rng,
+                   wikigen::LogicalContent& table) {
+  int edits = 1 + rng.Poisson(3.0);
+  for (int e = 0; e < edits; ++e) {
+    double u = rng.UniformDouble();
+    if (u < 0.55) {  // append rows — the dominant open-data change
+      table.rows.push_back(gen.NewTableRow(table));
+    } else if (u < 0.85 && !table.rows.empty()) {  // update cells
+      auto& row = table.rows[rng.Index(table.rows.size())];
+      if (!row.empty()) {
+        size_t col = rng.Index(row.size());
+        row[col] = gen.CellValue(table, col);
+      }
+    } else if (u < 0.92 && table.rows.size() > 10) {  // delete rows
+      table.rows.erase(table.rows.begin() +
+                       static_cast<long>(rng.Index(table.rows.size())));
+    } else {  // schema extension
+      std::string header = gen.vocab().ColumnHeader();
+      table.header.push_back(header);
+      for (auto& row : table.rows) {
+        row.push_back(gen.vocab().ValueFor(header));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SocrataContext> GenerateSocrata(const SocrataConfig& config) {
+  std::vector<SocrataContext> contexts;
+  Rng root(config.seed);
+  for (const std::string& subdomain : config.subdomains) {
+    Rng rng = root.Fork();
+    wikigen::ContentGenerator gen(rng, wikigen::PageTheme::kGeneric);
+    SocrataContext context;
+    context.subdomain = subdomain;
+
+    std::vector<Dataset> datasets;
+    std::vector<Dataset> unpublished;
+    int64_t next_uid = 0;
+    for (int d = 0; d < config.datasets_per_subdomain; ++d) {
+      datasets.push_back({next_uid++, NewDataset(gen, rng), true});
+    }
+
+    std::unordered_map<int64_t, int64_t> truth_ids;
+    for (int snap = 0; snap < config.num_snapshots; ++snap) {
+      if (snap > 0) {
+        // Evolve between snapshots.
+        for (Dataset& ds : datasets) {
+          if (rng.Bernoulli(config.p_update)) {
+            UpdateDataset(gen, rng, ds.content);
+          }
+        }
+        // Unpublish some datasets.
+        for (size_t i = 0; i < datasets.size();) {
+          if (rng.Bernoulli(config.p_remove)) {
+            unpublished.push_back(std::move(datasets[i]));
+            datasets.erase(datasets.begin() + static_cast<long>(i));
+          } else {
+            ++i;
+          }
+        }
+        // Re-publish or add datasets.
+        if (!unpublished.empty() && rng.Bernoulli(config.p_republish)) {
+          size_t i = rng.Index(unpublished.size());
+          datasets.push_back(std::move(unpublished[i]));
+          unpublished.erase(unpublished.begin() + static_cast<long>(i));
+        }
+        if (rng.Bernoulli(config.p_add * config.datasets_per_subdomain)) {
+          datasets.push_back({next_uid++, NewDataset(gen, rng), true});
+        }
+      }
+
+      // Snapshot in arbitrary order: there is no position signal.
+      std::vector<size_t> order(datasets.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      rng.Shuffle(order);
+
+      std::vector<extract::ObjectInstance> snapshot;
+      int revision = snap;
+      for (size_t pos = 0; pos < order.size(); ++pos) {
+        const Dataset& ds = datasets[order[pos]];
+        extract::ObjectInstance obj;
+        obj.type = extract::ObjectType::kTable;
+        obj.position = static_cast<int>(pos);
+        obj.caption = ds.content.caption;
+        obj.schema = ds.content.header;
+        if (!ds.content.header.empty()) {
+          obj.rows.push_back(ds.content.header);
+        }
+        for (const auto& row : ds.content.rows) obj.rows.push_back(row);
+        snapshot.push_back(std::move(obj));
+
+        matching::VersionRef ref{revision, static_cast<int>(pos)};
+        auto it = truth_ids.find(ds.uid);
+        if (it == truth_ids.end()) {
+          truth_ids[ds.uid] = context.truth.AddObject(ref);
+        } else {
+          context.truth.AppendVersion(it->second, ref);
+        }
+      }
+      context.snapshots.push_back(std::move(snapshot));
+    }
+    contexts.push_back(std::move(context));
+  }
+  return contexts;
+}
+
+}  // namespace somr::archive

@@ -1,0 +1,48 @@
+#ifndef SOMR_ARCHIVE_SOCRATA_H_
+#define SOMR_ARCHIVE_SOCRATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "extract/object.h"
+#include "matching/identity_graph.h"
+
+namespace somr::archive {
+
+/// Configuration of the synthetic open-data-lake workload (Sec. V-A/V-B:
+/// 2,722 Socrata datasets from the Chicago and Utah subdomains, tracked
+/// over a year). Datasets are large tables with rich content — the "easy"
+/// validation case — but carry no page order, so spatial features must be
+/// disabled when matching them.
+struct SocrataConfig {
+  std::vector<std::string> subdomains = {"chicago", "utah"};
+  int datasets_per_subdomain = 60;
+  int num_snapshots = 12;  // monthly snapshots over one year
+  uint64_t seed = 2022;
+  /// Per-snapshot probability that a given dataset receives an update.
+  double p_update = 0.6;
+  /// Per-snapshot probability that a dataset is unpublished / published.
+  double p_remove = 0.02;
+  double p_add = 0.03;
+  /// Probability that an unpublished dataset is re-published later.
+  double p_republish = 0.3;
+};
+
+/// One subdomain acting as a matching context: snapshots of its datasets
+/// (in arbitrary order — position carries no information) plus the true
+/// identity graph derived from the hidden stable dataset ids.
+struct SocrataContext {
+  std::string subdomain;
+  std::vector<std::vector<extract::ObjectInstance>> snapshots;
+  matching::IdentityGraph truth{extract::ObjectType::kTable};
+};
+
+/// Generates the data-lake workload: every subdomain evolves
+/// independently; each snapshot lists the currently published datasets in
+/// shuffled order.
+std::vector<SocrataContext> GenerateSocrata(const SocrataConfig& config);
+
+}  // namespace somr::archive
+
+#endif  // SOMR_ARCHIVE_SOCRATA_H_

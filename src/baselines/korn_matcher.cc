@@ -1,0 +1,79 @@
+#include "baselines/korn_matcher.h"
+
+#include "baselines/subject_column.h"
+#include "matching/hungarian.h"
+
+namespace somr::baselines {
+
+namespace {
+
+std::unordered_set<std::string> SubjectEntities(
+    const extract::ObjectInstance& table) {
+  std::unordered_set<std::string> entities;
+  int col = DetectSubjectColumn(table);
+  if (col < 0) return entities;
+  for (std::string& value : ColumnValues(table, col)) {
+    if (!value.empty()) entities.insert(std::move(value));
+  }
+  return entities;
+}
+
+double SetJaccard(const std::unordered_set<std::string>& a,
+                  const std::unordered_set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  size_t inter = 0;
+  for (const std::string& v : small) {
+    if (large.count(v) > 0) ++inter;
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) /
+                              static_cast<double>(uni);
+}
+
+}  // namespace
+
+KornMatcher::KornMatcher(Config config)
+    : config_(config), graph_(extract::ObjectType::kTable) {}
+
+void KornMatcher::ProcessRevision(
+    int revision_index,
+    const std::vector<extract::ObjectInstance>& instances) {
+  std::vector<std::unordered_set<std::string>> incoming;
+  incoming.reserve(instances.size());
+  for (const extract::ObjectInstance& obj : instances) {
+    incoming.push_back(SubjectEntities(obj));
+  }
+
+  std::vector<matching::WeightedEdge> edges;
+  for (size_t ti = 0; ti < tracked_.size(); ++ti) {
+    for (size_t ni = 0; ni < instances.size(); ++ni) {
+      double s = SetJaccard(tracked_[ti].subject_entities, incoming[ni]);
+      if (s < config_.jaccard_threshold) continue;
+      edges.push_back({static_cast<int>(ti), static_cast<int>(ni), s});
+    }
+  }
+
+  std::vector<int64_t> assignment(instances.size(), -1);
+  for (auto [ti, ni] :
+       matching::MaxWeightMatching(tracked_.size(), instances.size(),
+                                   edges)) {
+    assignment[static_cast<size_t>(ni)] = tracked_[static_cast<size_t>(ti)].id;
+  }
+
+  for (size_t ni = 0; ni < instances.size(); ++ni) {
+    matching::VersionRef ref{revision_index, instances[ni].position};
+    int64_t object_id = assignment[ni];
+    if (object_id < 0) {
+      object_id = graph_.AddObject(ref);
+      tracked_.push_back({object_id, {}});
+    } else {
+      graph_.AppendVersion(object_id, ref);
+    }
+    tracked_[static_cast<size_t>(object_id)].subject_entities =
+        std::move(incoming[ni]);
+  }
+}
+
+}  // namespace somr::baselines

@@ -1,0 +1,47 @@
+#ifndef SOMR_BASELINES_KORN_MATCHER_H_
+#define SOMR_BASELINES_KORN_MATCHER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "matching/interface.h"
+
+namespace somr::baselines {
+
+/// Reimplementation of the table-matching step of Korn et al. [9]
+/// (fact extraction over Wikipedia table histories): each table is keyed
+/// by the entity set of its subject column (detected TableMiner+-style);
+/// tables across revisions are matched when their subject-entity sets
+/// overlap sufficiently (set Jaccard), via maximum-weight matching.
+/// Applies to tables only — the harness never instantiates it for
+/// infoboxes or lists (Sec. V-B).
+class KornMatcher : public matching::RevisionMatcher {
+ public:
+  struct Config {
+    double jaccard_threshold = 0.5;
+  };
+
+  KornMatcher() : KornMatcher(Config()) {}
+  explicit KornMatcher(Config config);
+
+  void ProcessRevision(
+      int revision_index,
+      const std::vector<extract::ObjectInstance>& instances) override;
+
+  const matching::IdentityGraph& graph() const override { return graph_; }
+
+ private:
+  struct Tracked {
+    int64_t id = 0;
+    std::unordered_set<std::string> subject_entities;
+  };
+
+  Config config_;
+  matching::IdentityGraph graph_;
+  std::vector<Tracked> tracked_;
+};
+
+}  // namespace somr::baselines
+
+#endif  // SOMR_BASELINES_KORN_MATCHER_H_

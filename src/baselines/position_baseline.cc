@@ -1,0 +1,26 @@
+#include "baselines/position_baseline.h"
+
+namespace somr::baselines {
+
+void PositionBaseline::ProcessRevision(
+    int revision_index,
+    const std::vector<extract::ObjectInstance>& instances) {
+  std::vector<int64_t> current_by_position(instances.size(), -1);
+  for (const extract::ObjectInstance& obj : instances) {
+    matching::VersionRef ref{revision_index, obj.position};
+    size_t pos = static_cast<size_t>(obj.position);
+    int64_t object_id = -1;
+    if (pos < previous_by_position_.size()) {
+      object_id = previous_by_position_[pos];
+    }
+    if (object_id >= 0) {
+      graph_.AppendVersion(object_id, ref);
+    } else {
+      object_id = graph_.AddObject(ref);
+    }
+    current_by_position[pos] = object_id;
+  }
+  previous_by_position_ = std::move(current_by_position);
+}
+
+}  // namespace somr::baselines

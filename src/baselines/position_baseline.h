@@ -1,0 +1,34 @@
+#ifndef SOMR_BASELINES_POSITION_BASELINE_H_
+#define SOMR_BASELINES_POSITION_BASELINE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "matching/interface.h"
+
+namespace somr::baselines {
+
+/// The paper's position baseline (Sec. V-B): an object instance in the
+/// new page version is matched to the previously identified object that
+/// occupied the same position rank in the immediately preceding version.
+/// No content is inspected; objects that move or whose predecessors were
+/// deleted are matched incorrectly or treated as new.
+class PositionBaseline : public matching::RevisionMatcher {
+ public:
+  explicit PositionBaseline(extract::ObjectType type) : graph_(type) {}
+
+  void ProcessRevision(
+      int revision_index,
+      const std::vector<extract::ObjectInstance>& instances) override;
+
+  const matching::IdentityGraph& graph() const override { return graph_; }
+
+ private:
+  matching::IdentityGraph graph_;
+  // Object id at each position rank in the previous revision.
+  std::vector<int64_t> previous_by_position_;
+};
+
+}  // namespace somr::baselines
+
+#endif  // SOMR_BASELINES_POSITION_BASELINE_H_

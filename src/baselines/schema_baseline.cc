@@ -1,0 +1,72 @@
+#include "baselines/schema_baseline.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "extract/features.h"
+#include "matching/hungarian.h"
+
+namespace somr::baselines {
+
+namespace {
+// Same tie-break precedence as the main matcher: lifetime over position.
+constexpr double kLifetimeEps = 1e-6;
+constexpr double kPosEps = 1e-8;
+}  // namespace
+
+SchemaBaseline::SchemaBaseline(extract::ObjectType type, Config config)
+    : config_(config), graph_(type) {}
+
+void SchemaBaseline::ProcessRevision(
+    int revision_index,
+    const std::vector<extract::ObjectInstance>& instances) {
+  std::vector<BagOfWords> incoming;
+  incoming.reserve(instances.size());
+  for (const extract::ObjectInstance& obj : instances) {
+    incoming.push_back(extract::BuildSchemaBag(obj));
+  }
+
+  std::vector<matching::WeightedEdge> edges;
+  for (size_t ti = 0; ti < tracked_.size(); ++ti) {
+    for (size_t ni = 0; ni < instances.size(); ++ni) {
+      double s = sim::Ruzicka(tracked_[ti].schema_bag, incoming[ni]);
+      if (s < config_.threshold) continue;
+      double weight = s;
+      if (config_.use_position_tiebreak) {
+        double diff = std::abs(tracked_[ti].last_position -
+                               instances[ni].position);
+        weight -= kPosEps * (diff / (diff + 8.0));
+      }
+      double lifetime =
+          static_cast<double>(revision_index - tracked_[ti].first_revision);
+      weight += kLifetimeEps * (lifetime / (lifetime + 64.0));
+      edges.push_back({static_cast<int>(ti), static_cast<int>(ni), weight});
+    }
+  }
+
+  std::vector<int64_t> assignment(instances.size(), -1);
+  for (auto [ti, ni] :
+       matching::MaxWeightMatching(tracked_.size(), instances.size(),
+                                   edges)) {
+    assignment[static_cast<size_t>(ni)] = tracked_[static_cast<size_t>(ti)].id;
+  }
+
+  for (size_t ni = 0; ni < instances.size(); ++ni) {
+    matching::VersionRef ref{revision_index, instances[ni].position};
+    int64_t object_id = assignment[ni];
+    if (object_id < 0) {
+      object_id = graph_.AddObject(ref);
+      Tracked tracked;
+      tracked.id = object_id;
+      tracked.first_revision = revision_index;
+      tracked_.push_back(std::move(tracked));
+    } else {
+      graph_.AppendVersion(object_id, ref);
+    }
+    Tracked& t = tracked_[static_cast<size_t>(object_id)];
+    t.schema_bag = incoming[ni];
+    t.last_position = instances[ni].position;
+  }
+}
+
+}  // namespace somr::baselines

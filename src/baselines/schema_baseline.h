@@ -1,0 +1,50 @@
+#ifndef SOMR_BASELINES_SCHEMA_BASELINE_H_
+#define SOMR_BASELINES_SCHEMA_BASELINE_H_
+
+#include <deque>
+#include <vector>
+
+#include "matching/interface.h"
+#include "sim/similarity.h"
+#include "text/bag_of_words.h"
+
+namespace somr::baselines {
+
+/// The paper's schema baseline (Sec. V-B): infoboxes and tables are
+/// matched on their schema (header cells / property keys) with a single
+/// sim_strict threshold, combined with the position and lifetime
+/// tie-breakers. Lists have no schema, so the baseline does not apply to
+/// them — constructing one for lists is an error the harness avoids.
+class SchemaBaseline : public matching::RevisionMatcher {
+ public:
+  struct Config {
+    double threshold = 0.5;
+    bool use_position_tiebreak = true;
+  };
+
+  explicit SchemaBaseline(extract::ObjectType type)
+      : SchemaBaseline(type, Config()) {}
+  SchemaBaseline(extract::ObjectType type, Config config);
+
+  void ProcessRevision(
+      int revision_index,
+      const std::vector<extract::ObjectInstance>& instances) override;
+
+  const matching::IdentityGraph& graph() const override { return graph_; }
+
+ private:
+  struct Tracked {
+    int64_t id = 0;
+    BagOfWords schema_bag;
+    int last_position = 0;
+    int first_revision = 0;
+  };
+
+  Config config_;
+  matching::IdentityGraph graph_;
+  std::vector<Tracked> tracked_;
+};
+
+}  // namespace somr::baselines
+
+#endif  // SOMR_BASELINES_SCHEMA_BASELINE_H_

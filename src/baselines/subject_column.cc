@@ -1,0 +1,74 @@
+#include "baselines/subject_column.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace somr::baselines {
+
+namespace {
+
+/// Index of the first data row: row 0 is skipped when it served as the
+/// schema row.
+size_t FirstDataRow(const extract::ObjectInstance& table) {
+  return table.schema.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+std::vector<std::string> ColumnValues(const extract::ObjectInstance& table,
+                                      int col) {
+  std::vector<std::string> values;
+  for (size_t r = FirstDataRow(table); r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    if (static_cast<size_t>(col) < row.size()) {
+      values.push_back(row[static_cast<size_t>(col)]);
+    }
+  }
+  return values;
+}
+
+int DetectSubjectColumn(const extract::ObjectInstance& table) {
+  size_t cols = table.ColumnCount();
+  size_t first_data = FirstDataRow(table);
+  if (cols == 0 || table.rows.size() <= first_data) return -1;
+
+  double best_score = -1.0;
+  int best_col = -1;
+  for (size_t c = 0; c < cols; ++c) {
+    std::unordered_set<std::string> distinct;
+    size_t non_numeric = 0;
+    size_t non_empty = 0;
+    size_t total = 0;
+    for (size_t r = first_data; r < table.rows.size(); ++r) {
+      const auto& row = table.rows[r];
+      if (c >= row.size()) continue;
+      ++total;
+      const std::string& cell = row[c];
+      if (cell.empty()) continue;
+      ++non_empty;
+      distinct.insert(cell);
+      if (!LooksNumeric(cell)) ++non_numeric;
+    }
+    if (total == 0) continue;
+    double uniqueness =
+        non_empty == 0 ? 0.0
+                       : static_cast<double>(distinct.size()) /
+                             static_cast<double>(non_empty);
+    double textness = static_cast<double>(non_numeric) /
+                      static_cast<double>(total);
+    double fillness = static_cast<double>(non_empty) /
+                      static_cast<double>(total);
+    double leftness =
+        1.0 - static_cast<double>(c) / static_cast<double>(cols);
+    double score =
+        2.0 * uniqueness + 1.5 * textness + 0.5 * fillness + 0.4 * leftness;
+    if (score > best_score) {
+      best_score = score;
+      best_col = static_cast<int>(c);
+    }
+  }
+  return best_col;
+}
+
+}  // namespace somr::baselines

@@ -1,0 +1,27 @@
+#ifndef SOMR_BASELINES_SUBJECT_COLUMN_H_
+#define SOMR_BASELINES_SUBJECT_COLUMN_H_
+
+#include <string>
+#include <vector>
+
+#include "extract/object.h"
+
+namespace somr::baselines {
+
+/// Detects a table's subject column — the column naming the entities the
+/// rows describe — in the style of TableMiner+ [8], which Korn et al. [9]
+/// require as a preprocessing step. We score each column by:
+///   - uniqueness: fraction of distinct values among data rows,
+///   - text-ness: fraction of non-numeric, non-empty cells,
+///   - leftness: columns further left are preferred,
+/// and return the argmax. Returns -1 for tables without data rows.
+int DetectSubjectColumn(const extract::ObjectInstance& table);
+
+/// The values of column `col` across the table's data rows (rows after
+/// the schema/header row when one exists).
+std::vector<std::string> ColumnValues(const extract::ObjectInstance& table,
+                                      int col);
+
+}  // namespace somr::baselines
+
+#endif  // SOMR_BASELINES_SUBJECT_COLUMN_H_

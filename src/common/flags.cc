@@ -1,0 +1,177 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace somr {
+
+void FlagParser::AddString(const std::string& name,
+                           std::string default_value, std::string help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = std::move(help);
+  flag.string_value = std::move(default_value);
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddInt(const std::string& name, int64_t default_value,
+                        std::string help) {
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = std::move(help);
+  flag.int_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           std::string help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = std::move(help);
+  flag.double_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         std::string help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = std::move(help);
+  flag.bool_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+Status FlagParser::SetValue(const std::string& name,
+                            const std::string& value, bool value_given) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    // --no-foo clears boolean --foo.
+    if (name.rfind("no-", 0) == 0) {
+      auto base = flags_.find(name.substr(3));
+      if (base != flags_.end() && base->second.type == Type::kBool &&
+          !value_given) {
+        base->second.bool_value = false;
+        return Status::OK();
+      }
+    }
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kString:
+      if (!value_given) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " requires a value");
+      }
+      flag.string_value = value;
+      return Status::OK();
+    case Type::kInt:
+      if (!value_given) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " requires a value");
+      }
+      flag.int_value = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" +
+                                       value + "'");
+      }
+      return Status::OK();
+    case Type::kDouble:
+      if (!value_given) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " requires a value");
+      }
+      flag.double_value = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      return Status::OK();
+    case Type::kBool:
+      if (!value_given) {
+        flag.bool_value = true;
+        return Status::OK();
+      }
+      if (value == "true" || value == "1") {
+        flag.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" +
+                                       value + "'");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      SOMR_RETURN_IF_ERROR(
+          SetValue(body.substr(0, eq), body.substr(eq + 1), true));
+      continue;
+    }
+    // `--name value` form: only when the flag is known and non-boolean.
+    auto it = flags_.find(body);
+    if (it != flags_.end() && it->second.type != Type::kBool &&
+        i + 1 < argc) {
+      SOMR_RETURN_IF_ERROR(SetValue(body, argv[i + 1], true));
+      ++i;
+      continue;
+    }
+    SOMR_RETURN_IF_ERROR(SetValue(body, "", false));
+  }
+  return Status::OK();
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return flags_.at(name).string_value;
+}
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return flags_.at(name).int_value;
+}
+double FlagParser::GetDouble(const std::string& name) const {
+  return flags_.at(name).double_value;
+}
+bool FlagParser::GetBool(const std::string& name) const {
+  return flags_.at(name).bool_value;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags] [args]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name;
+    switch (flag.type) {
+      case Type::kString:
+        out += "=<string>  (default \"" + flag.string_value + "\")";
+        break;
+      case Type::kInt:
+        out += "=<int>  (default " + std::to_string(flag.int_value) + ")";
+        break;
+      case Type::kDouble:
+        out += "=<number>  (default " + std::to_string(flag.double_value) +
+               ")";
+        break;
+      case Type::kBool:
+        out += std::string("  (default ") +
+               (flag.bool_value ? "true" : "false") + ")";
+        break;
+    }
+    out += "\n      " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace somr

@@ -1,0 +1,63 @@
+#ifndef SOMR_COMMON_FLAGS_H_
+#define SOMR_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace somr {
+
+/// Minimal command-line flag parser for the repository's tools:
+/// `--name=value`, `--name value`, and boolean `--name` / `--no-name`
+/// forms; everything else is a positional argument. Unknown flags are
+/// an error so typos fail fast.
+class FlagParser {
+ public:
+  /// Registers a flag. `help` appears in Usage().
+  void AddString(const std::string& name, std::string default_value,
+                 std::string help);
+  void AddInt(const std::string& name, int64_t default_value,
+              std::string help);
+  void AddDouble(const std::string& name, double default_value,
+                 std::string help);
+  void AddBool(const std::string& name, bool default_value,
+               std::string help);
+
+  /// Parses argv (skipping argv[0]). On success, values are queryable
+  /// and Positional() holds the non-flag arguments.
+  Status Parse(int argc, const char* const* argv);
+
+  const std::string& GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& Positional() const { return positional_; }
+
+  /// Human-readable flag summary.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string string_value;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value,
+                  bool value_given);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace somr
+
+#endif  // SOMR_COMMON_FLAGS_H_

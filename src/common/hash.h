@@ -1,0 +1,27 @@
+#ifndef SOMR_COMMON_HASH_H_
+#define SOMR_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace somr {
+
+/// 64-bit FNV-1a hash. Stable across platforms and runs (unlike
+/// std::hash), so it is safe to persist derived identifiers.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Combines two hash values (boost-style mix).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace somr
+
+#endif  // SOMR_COMMON_HASH_H_

@@ -1,0 +1,34 @@
+#ifndef SOMR_COMMON_PERCENTILE_H_
+#define SOMR_COMMON_PERCENTILE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace somr {
+
+/// Returns the p-quantile (p in [0,1]) of `values` by linear interpolation
+/// between closest ranks; 0 for an empty input. Copies and sorts internally.
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 1.0) return values.back();
+  double rank = p * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+/// Arithmetic mean; 0 for an empty input.
+inline double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace somr
+
+#endif  // SOMR_COMMON_PERCENTILE_H_

@@ -1,0 +1,79 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace somr {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+int Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  std::poisson_distribution<int> dist(mean);
+  return dist(engine_);
+}
+
+int Rng::Geometric(double p) {
+  p = std::clamp(p, 1e-9, 1.0);
+  if (p >= 1.0) return 0;
+  std::geometric_distribution<int> dist(p);
+  return dist(engine_);
+}
+
+int Rng::Zipf(int n, double s) {
+  ZipfTable table(n, s);
+  return table.Sample(*this);
+}
+
+size_t Rng::Index(size_t n) {
+  std::uniform_int_distribution<size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+Rng Rng::Fork() {
+  uint64_t seed = engine_();
+  // Mix to decorrelate the fork from subsequent draws of this generator.
+  seed ^= seed >> 33;
+  seed *= 0xff51afd7ed558ccdULL;
+  seed ^= seed >> 33;
+  return Rng(seed);
+}
+
+ZipfTable::ZipfTable(int n, double s) {
+  cdf_.reserve(static_cast<size_t>(std::max(n, 0)));
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+int ZipfTable::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<int>(cdf_.size()) - 1;
+  return static_cast<int>(it - cdf_.begin());
+}
+
+}  // namespace somr

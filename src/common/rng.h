@@ -1,0 +1,79 @@
+#ifndef SOMR_COMMON_RNG_H_
+#define SOMR_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace somr {
+
+/// Deterministic random number generator used by the workload generators.
+/// Every experiment seeds its own Rng so that results are reproducible
+/// run-to-run; nothing in the library touches global random state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double UniformDouble();
+
+  /// Uniform real in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (mean <= 0 yields 0).
+  int Poisson(double mean);
+
+  /// Geometric number of failures before first success, success prob `p`.
+  int Geometric(double p);
+
+  /// Zipf-distributed integer in [0, n) with exponent `s`. Linear-time
+  /// sampling against precomputed weights is intentionally avoided; this
+  /// uses rejection-free inverse CDF over the harmonic weights, O(n) setup
+  /// per call — callers needing many draws should use ZipfTable.
+  int Zipf(int n, double s);
+
+  /// Uniformly chosen index in [0, n). Requires n > 0.
+  size_t Index(size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Forks an independent generator; the fork is a deterministic function
+  /// of this generator's current state.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Precomputed Zipf sampler for repeated draws over a fixed domain.
+class ZipfTable {
+ public:
+  /// Domain [0, n), exponent s >= 0 (s = 0 degenerates to uniform).
+  ZipfTable(int n, double s);
+
+  int Sample(Rng& rng) const;
+  int n() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace somr
+
+#endif  // SOMR_COMMON_RNG_H_

@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace somr {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code_);
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+namespace internal {
+
+void DieBadStatusAccess(const Status& status) {
+  std::fprintf(stderr, "StatusOr::value() called on error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace somr

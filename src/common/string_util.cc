@@ -1,0 +1,133 @@
+#include "common/string_util.h"
+
+#include <cctype>
+
+namespace somr {
+
+namespace {
+bool IsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+}  // namespace
+
+std::string_view StripAsciiWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsAsciiSpace(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsAsciiSpace(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitString(std::string_view s, char sep) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.push_back(s.substr(start));
+      break;
+    }
+    pieces.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::vector<std::string_view> SplitAndTrim(std::string_view s, char sep) {
+  std::vector<std::string_view> pieces;
+  for (std::string_view piece : SplitString(s, sep)) {
+    std::string_view trimmed = StripAsciiWhitespace(piece);
+    if (!trimmed.empty()) pieces.push_back(trimmed);
+  }
+  return pieces;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  out.reserve(s.size());
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(s.substr(start));
+      break;
+    }
+    out.append(s.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+  return out;
+}
+
+bool LooksNumeric(std::string_view s) {
+  s = StripAsciiWhitespace(s);
+  if (s.empty()) return false;
+  size_t i = 0;
+  if (s[0] == '-' || s[0] == '+') i = 1;
+  bool saw_digit = false;
+  bool saw_dot = false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c >= '0' && c <= '9') {
+      saw_digit = true;
+    } else if (c == '.' && !saw_dot) {
+      saw_dot = true;
+    } else if (c == ',') {
+      // thousands separator; ignore
+    } else {
+      return false;
+    }
+  }
+  return saw_digit;
+}
+
+std::string CollapseWhitespace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = true;  // true at start drops leading whitespace
+  for (char c : s) {
+    if (IsAsciiSpace(c)) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+bool EqualsIgnoreAsciiCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace somr

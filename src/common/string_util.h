@@ -1,0 +1,46 @@
+#ifndef SOMR_COMMON_STRING_UTIL_H_
+#define SOMR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace somr {
+
+/// Returns `s` without leading/trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Returns a lowercase copy of `s` (ASCII only; bytes >= 0x80 untouched).
+std::string AsciiToLower(std::string_view s);
+
+/// Splits `s` on the single character `sep`. Adjacent separators produce
+/// empty pieces; an empty input produces one empty piece.
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+/// Splits `s` on `sep` and drops pieces that are empty after trimming
+/// ASCII whitespace. The returned pieces are trimmed.
+std::vector<std::string_view> SplitAndTrim(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// Replaces every occurrence of `from` (must be non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// True if `s` consists only of ASCII digits (and is non-empty), with an
+/// optional leading '-' or '+', optionally one '.' and thousands ','.
+/// Used by the subject-column detector to classify numeric-looking cells.
+bool LooksNumeric(std::string_view s);
+
+/// Collapses runs of whitespace into single spaces and trims. "a  b\n c"
+/// becomes "a b c".
+std::string CollapseWhitespace(std::string_view s);
+
+/// True if `a` equals `b` ignoring ASCII case.
+bool EqualsIgnoreAsciiCase(std::string_view a, std::string_view b);
+
+}  // namespace somr
+
+#endif  // SOMR_COMMON_STRING_UTIL_H_

@@ -1,0 +1,85 @@
+#include "common/time_util.h"
+
+#include <cstdio>
+
+namespace somr {
+
+namespace {
+
+// Days from 1970-01-01 to year/month/day (proleptic Gregorian); Howard
+// Hinnant's days_from_civil algorithm.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t z, int& y, int& m, int& d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+}  // namespace
+
+std::string FormatIso8601(UnixSeconds t) {
+  int64_t days = t / kSecondsPerDay;
+  int64_t secs = t % kSecondsPerDay;
+  if (secs < 0) {
+    secs += kSecondsPerDay;
+    days -= 1;
+  }
+  int y, m, d;
+  CivilFromDays(days, y, m, d);
+  int hour = static_cast<int>(secs / 3600);
+  int minute = static_cast<int>((secs % 3600) / 60);
+  int second = static_cast<int>(secs % 60);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ", y, m, d,
+                hour, minute, second);
+  return buf;
+}
+
+StatusOr<UnixSeconds> ParseIso8601(std::string_view s) {
+  int y, m, d, hour, minute, second;
+  char sep;
+  // Copy to NUL-terminated buffer for sscanf.
+  char buf[40];
+  if (s.size() >= sizeof(buf)) {
+    return Status::ParseError("timestamp too long");
+  }
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  int n = std::sscanf(buf, "%d-%d-%d%c%d:%d:%d", &y, &m, &d, &sep, &hour,
+                      &minute, &second);
+  if (n != 7 || (sep != 'T' && sep != ' ')) {
+    return Status::ParseError("bad ISO-8601 timestamp: " + std::string(s));
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31 || hour < 0 || hour > 23 ||
+      minute < 0 || minute > 59 || second < 0 || second > 60) {
+    return Status::ParseError("out-of-range ISO-8601 field: " +
+                              std::string(s));
+  }
+  return FromCivil(y, m, d, hour, minute, second);
+}
+
+UnixSeconds FromCivil(int year, int month, int day, int hour, int minute,
+                      int second) {
+  return DaysFromCivil(year, month, day) * kSecondsPerDay + hour * 3600 +
+         minute * 60 + second;
+}
+
+}  // namespace somr

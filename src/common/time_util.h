@@ -1,0 +1,31 @@
+#ifndef SOMR_COMMON_TIME_UTIL_H_
+#define SOMR_COMMON_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace somr {
+
+/// Seconds since the Unix epoch (UTC). Revisions in MediaWiki dumps carry
+/// ISO-8601 "YYYY-MM-DDThh:mm:ssZ" timestamps.
+using UnixSeconds = int64_t;
+
+inline constexpr UnixSeconds kSecondsPerDay = 86400;
+inline constexpr UnixSeconds kSecondsPerYear = 31556952;  // 365.2425 days
+
+/// Formats `t` as "YYYY-MM-DDThh:mm:ssZ".
+std::string FormatIso8601(UnixSeconds t);
+
+/// Parses "YYYY-MM-DDThh:mm:ssZ" (the trailing 'Z' optional).
+StatusOr<UnixSeconds> ParseIso8601(std::string_view s);
+
+/// Seconds for the given UTC civil date/time. Months 1-12, days 1-31.
+UnixSeconds FromCivil(int year, int month, int day, int hour = 0,
+                      int minute = 0, int second = 0);
+
+}  // namespace somr
+
+#endif  // SOMR_COMMON_TIME_UTIL_H_

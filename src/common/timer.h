@@ -1,0 +1,28 @@
+#ifndef SOMR_COMMON_TIMER_H_
+#define SOMR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace somr {
+
+/// Simple monotonic stopwatch for the runtime experiments (Fig. 11).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace somr
+
+#endif  // SOMR_COMMON_TIMER_H_

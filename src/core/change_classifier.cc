@@ -1,0 +1,163 @@
+#include "core/change_classifier.h"
+
+#include <algorithm>
+
+#include "extract/features.h"
+#include "sim/similarity.h"
+#include "text/tokenizer.h"
+
+namespace somr::core {
+
+namespace {
+
+/// Token-level quality heuristic: vandalism text is dominated by tokens
+/// with long same-character runs or very low character diversity
+/// ("aslkdjf", "zzzzz", "lolol").
+bool LooksLikeJunkToken(const std::string& token) {
+  if (token.size() < 4) return false;
+  size_t longest_run = 1, run = 1;
+  for (size_t i = 1; i < token.size(); ++i) {
+    run = token[i] == token[i - 1] ? run + 1 : 1;
+    longest_run = std::max(longest_run, run);
+  }
+  if (longest_run >= 3) return true;
+  // Low bigram diversity: few distinct adjacent pairs relative to length.
+  std::vector<std::pair<char, char>> bigrams;
+  for (size_t i = 1; i < token.size(); ++i) {
+    bigrams.emplace_back(token[i - 1], token[i]);
+  }
+  std::sort(bigrams.begin(), bigrams.end());
+  bigrams.erase(std::unique(bigrams.begin(), bigrams.end()), bigrams.end());
+  return bigrams.size() * 2 < token.size() - 1;
+}
+
+double JunkFraction(const extract::ObjectInstance& obj) {
+  size_t junk = 0, total = 0;
+  for (const auto& row : obj.rows) {
+    for (const auto& cell : row) {
+      for (const std::string& token : Tokenize(cell)) {
+        ++total;
+        if (LooksLikeJunkToken(token)) ++junk;
+      }
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(junk) / static_cast<double>(total);
+}
+
+bool SameRows(const extract::ObjectInstance& a,
+              const extract::ObjectInstance& b) {
+  return a.rows == b.rows && a.schema == b.schema;
+}
+
+}  // namespace
+
+const char* ChangeClassName(ChangeClass cls) {
+  switch (cls) {
+    case ChangeClass::kSemantic:
+      return "semantic";
+    case ChangeClass::kPresentation:
+      return "presentation";
+    case ChangeClass::kStructuralGrowth:
+      return "structural";
+    case ChangeClass::kSuspectVandalism:
+      return "vandalism?";
+    case ChangeClass::kRevert:
+      return "revert";
+  }
+  return "unknown";
+}
+
+ChangeClass ClassifyChange(
+    const extract::ObjectInstance& before,
+    const extract::ObjectInstance& after,
+    const std::vector<const extract::ObjectInstance*>& history) {
+  // Revert: the new content equals some strictly older version that the
+  // previous version had diverged from.
+  for (const extract::ObjectInstance* old : history) {
+    if (old != nullptr && SameRows(*old, after) && !SameRows(*old, before)) {
+      return ChangeClass::kRevert;
+    }
+  }
+
+  extract::FeatureOptions content_only;
+  content_only.include_section_headers = false;
+  content_only.include_caption = false;
+  BagOfWords bag_before = extract::BuildBagOfWords(before, content_only);
+  BagOfWords bag_after = extract::BuildBagOfWords(after, content_only);
+
+  // Identical token multiset but different arrangement / caption /
+  // context: presentation only.
+  if (bag_before == bag_after) return ChangeClass::kPresentation;
+
+  // Vandalism signature: much of the old content destroyed, or a burst
+  // of junk tokens appearing.
+  double retained = sim::Containment(bag_before, bag_after);
+  double junk_delta = JunkFraction(after) - JunkFraction(before);
+  if (junk_delta > 0.2 ||
+      (retained < 0.3 && bag_before.TotalCount() >= 8.0)) {
+    return ChangeClass::kSuspectVandalism;
+  }
+
+  // Growth/shrink with existing content preserved: the smaller version's
+  // tokens are (almost) contained in the larger one.
+  if (before.RowCount() != after.RowCount() ||
+      before.ColumnCount() != after.ColumnCount()) {
+    if (retained >= 0.9) return ChangeClass::kStructuralGrowth;
+  }
+
+  return ChangeClass::kSemantic;
+}
+
+std::vector<ClassifiedChange> ClassifyChanges(
+    const matching::IdentityGraph& graph,
+    const std::vector<extract::PageObjects>& revisions,
+    extract::ObjectType type, int total_revisions) {
+  auto instance_at =
+      [&](const matching::VersionRef& ref) -> const extract::ObjectInstance* {
+    if (ref.revision < 0 ||
+        static_cast<size_t>(ref.revision) >= revisions.size()) {
+      return nullptr;
+    }
+    const auto& bucket =
+        revisions[static_cast<size_t>(ref.revision)].OfType(type);
+    if (ref.position < 0 ||
+        static_cast<size_t>(ref.position) >= bucket.size()) {
+      return nullptr;
+    }
+    return &bucket[static_cast<size_t>(ref.position)];
+  };
+
+  std::vector<ClassifiedChange> classified;
+  for (const ChangeRecord& record :
+       ExtractChanges(graph, revisions, type, total_revisions)) {
+    ClassifiedChange entry;
+    entry.record = record;
+    if (record.kind == ChangeKind::kUpdate) {
+      // Find the object's version chain to locate before/after/history.
+      for (const auto& object : graph.objects()) {
+        if (object.object_id != record.object_id) continue;
+        for (size_t v = 1; v < object.versions.size(); ++v) {
+          if (object.versions[v].revision != record.revision) continue;
+          const extract::ObjectInstance* before =
+              instance_at(object.versions[v - 1]);
+          const extract::ObjectInstance* after =
+              instance_at(object.versions[v]);
+          if (before != nullptr && after != nullptr) {
+            std::vector<const extract::ObjectInstance*> history;
+            for (size_t h = 0; h + 1 < v; ++h) {
+              history.push_back(instance_at(object.versions[h]));
+            }
+            entry.change_class = ClassifyChange(*before, *after, history);
+          }
+          break;
+        }
+        break;
+      }
+    }
+    classified.push_back(entry);
+  }
+  return classified;
+}
+
+}  // namespace somr::core

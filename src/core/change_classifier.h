@@ -1,0 +1,57 @@
+#ifndef SOMR_CORE_CHANGE_CLASSIFIER_H_
+#define SOMR_CORE_CHANGE_CLASSIFIER_H_
+
+#include <vector>
+
+#include "core/changes.h"
+#include "extract/object.h"
+
+namespace somr::core {
+
+/// Classification of an update edge, implementing the paper's stated
+/// future work (Sec. VI): distinguish changes that affect only the
+/// presentation of data from changes of the data itself, and flag
+/// destructive changes such as vandalism.
+enum class ChangeClass {
+  /// The data changed: cell values added, removed or rewritten.
+  kSemantic,
+  /// Same token content, different arrangement: row/item reordering,
+  /// caption/section cosmetics — the underlying data is untouched.
+  kPresentation,
+  /// The object grew or shrank while keeping its existing content: rows
+  /// or columns appended/removed (list extension, new award entries).
+  kStructuralGrowth,
+  /// A large fraction of the previous content was destroyed or replaced
+  /// by low-quality tokens — the signature of vandalism.
+  kSuspectVandalism,
+  /// The new version exactly restores an earlier version's content — an
+  /// explicit revert.
+  kRevert,
+};
+
+const char* ChangeClassName(ChangeClass cls);
+
+/// Classifies the transition `before` -> `after` of one object. `history`
+/// optionally holds all earlier versions of the object (oldest first,
+/// excluding `before`), enabling revert detection.
+ChangeClass ClassifyChange(
+    const extract::ObjectInstance& before,
+    const extract::ObjectInstance& after,
+    const std::vector<const extract::ObjectInstance*>& history = {});
+
+/// A change record together with its classification (updates only; other
+/// change kinds keep their ChangeKind semantics).
+struct ClassifiedChange {
+  ChangeRecord record;
+  ChangeClass change_class = ChangeClass::kSemantic;
+};
+
+/// Classifies every update in a page's change log.
+std::vector<ClassifiedChange> ClassifyChanges(
+    const matching::IdentityGraph& graph,
+    const std::vector<extract::PageObjects>& revisions,
+    extract::ObjectType type, int total_revisions);
+
+}  // namespace somr::core
+
+#endif  // SOMR_CORE_CHANGE_CLASSIFIER_H_

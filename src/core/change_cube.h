@@ -1,0 +1,50 @@
+#ifndef SOMR_CORE_CHANGE_CUBE_H_
+#define SOMR_CORE_CHANGE_CUBE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time_util.h"
+#include "core/pipeline.h"
+
+namespace somr::core {
+
+/// One record of the change-cube (Bleifuß et al., "Exploring Change",
+/// reference [3] of the paper): a (time, entity, property, value) tuple
+/// describing one atomic change. The identity graph is what makes these
+/// derivable — without temporal object matching there is no stable
+/// object id to attach changes to (Sec. I-A).
+struct ChangeCubeRecord {
+  std::string page_title;
+  extract::ObjectType object_type = extract::ObjectType::kTable;
+  int64_t object_id = 0;
+  int revision = 0;
+  UnixSeconds timestamp = 0;
+
+  /// What changed: "cell" / "row+" / "row-" / "object+" / "object-".
+  std::string change;
+  /// Property: the column header (tables), the property key (infoboxes),
+  /// or "item" (lists); empty for object-level records.
+  std::string property;
+  /// Entity: the row's leading cell value (its best available key).
+  std::string entity;
+  std::string old_value;
+  std::string new_value;
+};
+
+/// Populates the change-cube for one object type of a processed page.
+/// `timestamps` holds one value per revision (pass {} to emit zeros).
+std::vector<ChangeCubeRecord> BuildChangeCube(
+    const PageResult& page, extract::ObjectType type,
+    const std::vector<UnixSeconds>& timestamps = {});
+
+/// Serializes records to CSV (header row included; RFC-4180 quoting).
+std::string ChangeCubeToCsv(const std::vector<ChangeCubeRecord>& records);
+
+/// Serializes records to newline-delimited JSON.
+std::string ChangeCubeToJsonLines(
+    const std::vector<ChangeCubeRecord>& records);
+
+}  // namespace somr::core
+
+#endif  // SOMR_CORE_CHANGE_CUBE_H_

@@ -1,0 +1,145 @@
+#include "core/changes.h"
+
+#include <algorithm>
+
+namespace somr::core {
+
+const char* ChangeKindName(ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kCreate:
+      return "create";
+    case ChangeKind::kUpdate:
+      return "update";
+    case ChangeKind::kUnchanged:
+      return "unchanged";
+    case ChangeKind::kMove:
+      return "move";
+    case ChangeKind::kDelete:
+      return "delete";
+    case ChangeKind::kRestore:
+      return "restore";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const extract::ObjectInstance* InstanceAt(
+    const std::vector<extract::PageObjects>& revisions,
+    extract::ObjectType type, const matching::VersionRef& ref) {
+  if (ref.revision < 0 ||
+      static_cast<size_t>(ref.revision) >= revisions.size()) {
+    return nullptr;
+  }
+  const auto& bucket =
+      revisions[static_cast<size_t>(ref.revision)].OfType(type);
+  if (ref.position < 0 || static_cast<size_t>(ref.position) >= bucket.size()) {
+    return nullptr;
+  }
+  return &bucket[static_cast<size_t>(ref.position)];
+}
+
+bool SameContent(const extract::ObjectInstance& a,
+                 const extract::ObjectInstance& b) {
+  return a.rows == b.rows && a.schema == b.schema && a.caption == b.caption &&
+         a.section_path == b.section_path;
+}
+
+}  // namespace
+
+std::vector<ChangeRecord> ExtractChanges(
+    const matching::IdentityGraph& graph,
+    const std::vector<extract::PageObjects>& revisions,
+    extract::ObjectType type, int total_revisions) {
+  std::vector<ChangeRecord> changes;
+  for (const matching::TrackedObjectRecord& obj : graph.objects()) {
+    for (size_t v = 0; v < obj.versions.size(); ++v) {
+      const matching::VersionRef& ref = obj.versions[v];
+      ChangeRecord record;
+      record.object_id = obj.object_id;
+      record.type = type;
+      record.revision = ref.revision;
+      record.position = ref.position;
+      if (v == 0) {
+        record.kind = ChangeKind::kCreate;
+      } else {
+        const matching::VersionRef& prev = obj.versions[v - 1];
+        if (ref.revision > prev.revision + 1) {
+          record.kind = ChangeKind::kRestore;
+        } else {
+          const extract::ObjectInstance* a =
+              InstanceAt(revisions, type, prev);
+          const extract::ObjectInstance* b = InstanceAt(revisions, type, ref);
+          if (a != nullptr && b != nullptr && SameContent(*a, *b)) {
+            record.kind = prev.position == ref.position
+                              ? ChangeKind::kUnchanged
+                              : ChangeKind::kMove;
+          } else {
+            record.kind = ChangeKind::kUpdate;
+          }
+        }
+      }
+      changes.push_back(record);
+      // Emit a delete after a version that is followed by a gap or by
+      // nothing at all.
+      bool last = v + 1 == obj.versions.size();
+      int next_revision = last ? total_revisions
+                               : obj.versions[v + 1].revision;
+      if (next_revision > ref.revision + 1 &&
+          ref.revision + 1 < total_revisions) {
+        ChangeRecord del;
+        del.object_id = obj.object_id;
+        del.type = type;
+        del.revision = ref.revision + 1;
+        del.kind = ChangeKind::kDelete;
+        del.position = -1;
+        changes.push_back(del);
+      }
+    }
+  }
+  std::sort(changes.begin(), changes.end(),
+            [](const ChangeRecord& a, const ChangeRecord& b) {
+              if (a.revision != b.revision) return a.revision < b.revision;
+              if (a.object_id != b.object_id) return a.object_id < b.object_id;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return changes;
+}
+
+std::vector<std::vector<int>> CellVolatility(
+    const matching::TrackedObjectRecord& object,
+    const std::vector<extract::PageObjects>& revisions,
+    extract::ObjectType type) {
+  std::vector<std::vector<int>> volatility;
+  if (object.versions.empty()) return volatility;
+  const extract::ObjectInstance* latest =
+      InstanceAt(revisions, type, object.versions.back());
+  if (latest == nullptr) return volatility;
+  volatility.resize(latest->rows.size());
+  for (size_t r = 0; r < latest->rows.size(); ++r) {
+    volatility[r].assign(latest->rows[r].size(), 0);
+  }
+  for (size_t v = 1; v < object.versions.size(); ++v) {
+    const extract::ObjectInstance* prev =
+        InstanceAt(revisions, type, object.versions[v - 1]);
+    const extract::ObjectInstance* cur =
+        InstanceAt(revisions, type, object.versions[v]);
+    if (prev == nullptr || cur == nullptr) continue;
+    for (size_t r = 0; r < volatility.size(); ++r) {
+      for (size_t c = 0; c < volatility[r].size(); ++c) {
+        const bool in_prev = r < prev->rows.size() &&
+                             c < prev->rows[r].size();
+        const bool in_cur = r < cur->rows.size() && c < cur->rows[r].size();
+        if (in_prev != in_cur) {
+          ++volatility[r][c];
+        } else if (in_prev && in_cur &&
+                   prev->rows[r][c] != cur->rows[r][c]) {
+          ++volatility[r][c];
+        }
+      }
+    }
+  }
+  return volatility;
+}
+
+}  // namespace somr::core

@@ -1,0 +1,52 @@
+#ifndef SOMR_CORE_CHANGES_H_
+#define SOMR_CORE_CHANGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace somr::core {
+
+/// The kinds of per-object change events derivable from the identity
+/// graph (the change-cube population the paper motivates in Sec. I).
+enum class ChangeKind {
+  kCreate,     // first appearance of a new object
+  kUpdate,     // content or context differs from the previous version
+  kUnchanged,  // present and identical to the previous version
+  kMove,       // same content, different position
+  kDelete,     // object absent after this revision (emitted at last+1)
+  kRestore,    // reappears after one or more absent revisions
+};
+
+const char* ChangeKindName(ChangeKind kind);
+
+/// One change event of one object.
+struct ChangeRecord {
+  int64_t object_id = 0;
+  extract::ObjectType type = extract::ObjectType::kTable;
+  int revision = 0;
+  ChangeKind kind = ChangeKind::kUnchanged;
+  int position = -1;  // position after the change (-1 for deletes)
+};
+
+/// Derives the chronological change log for one object type of one page.
+/// `total_revisions` is needed to emit deletes for objects that vanish
+/// before the last revision.
+std::vector<ChangeRecord> ExtractChanges(
+    const matching::IdentityGraph& graph,
+    const std::vector<extract::PageObjects>& revisions,
+    extract::ObjectType type, int total_revisions);
+
+/// Cell-level volatility of one object: for each (row, col) of the most
+/// recent version, the number of versions in which that cell's value
+/// differs from the version before — the heat-map use case of Fig. 2.
+std::vector<std::vector<int>> CellVolatility(
+    const matching::TrackedObjectRecord& object,
+    const std::vector<extract::PageObjects>& revisions,
+    extract::ObjectType type);
+
+}  // namespace somr::core
+
+#endif  // SOMR_CORE_CHANGES_H_

@@ -1,0 +1,127 @@
+#include "core/diff.h"
+
+#include <algorithm>
+
+#include "matching/hungarian.h"
+#include "sim/similarity.h"
+#include "text/bag_of_words.h"
+#include "text/tokenizer.h"
+
+namespace somr::core {
+
+namespace {
+
+BagOfWords RowBag(const std::vector<std::string>& row) {
+  BagOfWords bag;
+  for (const std::string& cell : row) {
+    bag.AddTokens(Tokenize(cell));
+  }
+  return bag;
+}
+
+size_t FirstDataRow(const extract::ObjectInstance& obj) {
+  return obj.schema.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+RowAlignment AlignRows(const extract::ObjectInstance& before,
+                       const extract::ObjectInstance& after,
+                       double min_similarity) {
+  RowAlignment alignment;
+  size_t before_start = FirstDataRow(before);
+  size_t after_start = FirstDataRow(after);
+  size_t n_before =
+      before.rows.size() >= before_start ? before.rows.size() - before_start
+                                         : 0;
+  size_t n_after =
+      after.rows.size() >= after_start ? after.rows.size() - after_start : 0;
+
+  std::vector<BagOfWords> before_bags, after_bags;
+  before_bags.reserve(n_before);
+  after_bags.reserve(n_after);
+  for (size_t r = 0; r < n_before; ++r) {
+    before_bags.push_back(RowBag(before.rows[before_start + r]));
+  }
+  for (size_t r = 0; r < n_after; ++r) {
+    after_bags.push_back(RowBag(after.rows[after_start + r]));
+  }
+
+  // Position proximity breaks ties between equally similar rows (e.g.
+  // duplicate rows): prefer keeping the original order.
+  std::vector<matching::WeightedEdge> edges;
+  for (size_t i = 0; i < n_before; ++i) {
+    for (size_t j = 0; j < n_after; ++j) {
+      double s = sim::Ruzicka(before_bags[i], after_bags[j]);
+      if (s < min_similarity) continue;
+      double distance = static_cast<double>(
+          i > j ? i - j : j - i);
+      double weight = s - 1e-6 * (distance / (distance + 8.0));
+      edges.push_back(
+          {static_cast<int>(i), static_cast<int>(j), weight});
+    }
+  }
+
+  std::vector<bool> before_used(n_before, false), after_used(n_after, false);
+  for (auto [i, j] :
+       matching::MaxWeightMatching(n_before, n_after, edges)) {
+    alignment.matched.emplace_back(before_start + static_cast<size_t>(i),
+                                   after_start + static_cast<size_t>(j));
+    before_used[static_cast<size_t>(i)] = true;
+    after_used[static_cast<size_t>(j)] = true;
+  }
+  for (size_t i = 0; i < n_before; ++i) {
+    if (!before_used[i]) alignment.deleted_rows.push_back(before_start + i);
+  }
+  for (size_t j = 0; j < n_after; ++j) {
+    if (!after_used[j]) alignment.inserted_rows.push_back(after_start + j);
+  }
+  std::sort(alignment.matched.begin(), alignment.matched.end());
+  return alignment;
+}
+
+std::vector<CellChange> DiffVersions(const extract::ObjectInstance& before,
+                                     const extract::ObjectInstance& after) {
+  std::vector<CellChange> changes;
+  RowAlignment alignment = AlignRows(before, after);
+  for (auto [bi, ai] : alignment.matched) {
+    const auto& brow = before.rows[bi];
+    const auto& arow = after.rows[ai];
+    size_t cols = std::max(brow.size(), arow.size());
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string* bv = c < brow.size() ? &brow[c] : nullptr;
+      const std::string* av = c < arow.size() ? &arow[c] : nullptr;
+      if (bv != nullptr && av != nullptr && *bv == *av) continue;
+      CellChange change;
+      change.kind = CellChange::Kind::kCellEdited;
+      change.row = ai;
+      change.column = c;
+      if (bv != nullptr) change.before_value = *bv;
+      if (av != nullptr) change.after_value = *av;
+      changes.push_back(std::move(change));
+    }
+  }
+  for (size_t r : alignment.inserted_rows) {
+    CellChange change;
+    change.kind = CellChange::Kind::kRowInserted;
+    change.row = r;
+    for (const std::string& cell : after.rows[r]) {
+      if (!change.after_value.empty()) change.after_value.append(" | ");
+      change.after_value.append(cell);
+    }
+    changes.push_back(std::move(change));
+  }
+  for (size_t r : alignment.deleted_rows) {
+    CellChange change;
+    change.kind = CellChange::Kind::kRowDeleted;
+    change.row = r;
+    for (const std::string& cell : before.rows[r]) {
+      if (!change.before_value.empty()) change.before_value.append(" | ");
+      change.before_value.append(cell);
+    }
+    changes.push_back(std::move(change));
+  }
+  return changes;
+}
+
+}  // namespace somr::core

@@ -1,0 +1,49 @@
+#ifndef SOMR_CORE_DIFF_H_
+#define SOMR_CORE_DIFF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "extract/object.h"
+
+namespace somr::core {
+
+/// Alignment of the rows of two versions of one object: which row of the
+/// old version corresponds to which row of the new one. Rows are matched
+/// by content similarity via maximum-weight matching, so reordered rows
+/// stay aligned. Unmatched rows are insertions/deletions.
+struct RowAlignment {
+  /// Pairs of (old row index, new row index).
+  std::vector<std::pair<size_t, size_t>> matched;
+  std::vector<size_t> deleted_rows;   // old rows with no partner
+  std::vector<size_t> inserted_rows;  // new rows with no partner
+};
+
+/// Aligns data rows (the schema/header row, when present, is aligned to
+/// the schema row and excluded from these indices — indices refer to
+/// `ObjectInstance::rows` positions).
+RowAlignment AlignRows(const extract::ObjectInstance& before,
+                       const extract::ObjectInstance& after,
+                       double min_similarity = 0.3);
+
+/// One cell-level difference between two aligned versions.
+struct CellChange {
+  enum class Kind { kCellEdited, kRowInserted, kRowDeleted };
+  Kind kind = Kind::kCellEdited;
+  /// Row index in the version that contains the data (after for inserts
+  /// and edits, before for deletions).
+  size_t row = 0;
+  /// Column index for kCellEdited; 0 otherwise.
+  size_t column = 0;
+  std::string before_value;  // empty for insertions
+  std::string after_value;   // empty for deletions
+};
+
+/// Computes all cell-level changes between two versions of one object.
+std::vector<CellChange> DiffVersions(const extract::ObjectInstance& before,
+                                     const extract::ObjectInstance& after);
+
+}  // namespace somr::core
+
+#endif  // SOMR_CORE_DIFF_H_

@@ -1,0 +1,128 @@
+#include "core/history_report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/changes.h"
+#include "html/entities.h"
+
+namespace somr::core {
+
+namespace {
+
+const extract::ObjectInstance* LatestInstance(
+    const PageResult& page, extract::ObjectType type,
+    const matching::TrackedObjectRecord& object) {
+  if (object.versions.empty()) return nullptr;
+  const matching::VersionRef& ref = object.versions.back();
+  if (static_cast<size_t>(ref.revision) >= page.revisions.size()) {
+    return nullptr;
+  }
+  const auto& bucket =
+      page.revisions[static_cast<size_t>(ref.revision)].OfType(type);
+  if (static_cast<size_t>(ref.position) >= bucket.size()) return nullptr;
+  return &bucket[static_cast<size_t>(ref.position)];
+}
+
+/// Background color for a cell that changed `count` times out of a
+/// maximum of `max_count`: white -> saturated amber.
+std::string HeatColor(int count, int max_count) {
+  if (count <= 0 || max_count <= 0) return "#ffffff";
+  double intensity = std::min(
+      1.0, static_cast<double>(count) / static_cast<double>(max_count));
+  int green = 235 - static_cast<int>(140 * intensity);
+  int blue = 220 - static_cast<int>(190 * intensity);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "#ff%02x%02x", green, blue);
+  return buf;
+}
+
+void AppendObjectReport(std::string& out, const PageResult& page,
+                        extract::ObjectType type,
+                        const matching::TrackedObjectRecord& object) {
+  const extract::ObjectInstance* latest =
+      LatestInstance(page, type, object);
+  out += "<h2>" + std::string(extract::ObjectTypeName(type)) + " #" +
+         std::to_string(object.object_id) + " — " +
+         std::to_string(object.versions.size()) + " versions</h2>\n";
+  if (latest == nullptr) {
+    out += "<p>(no retrievable latest version)</p>\n";
+    return;
+  }
+  if (!latest->caption.empty()) {
+    out += "<p><b>" + html::EscapeEntities(latest->caption) + "</b></p>\n";
+  }
+
+  std::vector<std::vector<int>> volatility =
+      CellVolatility(object, page.revisions, type);
+  int max_count = 1;
+  for (const auto& row : volatility) {
+    for (int v : row) max_count = std::max(max_count, v);
+  }
+
+  out += "<table border=\"1\" cellspacing=\"0\" cellpadding=\"4\">\n";
+  for (size_t r = 0; r < latest->rows.size(); ++r) {
+    out += "<tr>";
+    for (size_t c = 0; c < latest->rows[r].size(); ++c) {
+      int count = r < volatility.size() && c < volatility[r].size()
+                      ? volatility[r][c]
+                      : 0;
+      out += "<td style=\"background:" + HeatColor(count, max_count) +
+             "\" title=\"" + std::to_string(count) + " change(s)\">";
+      out += html::EscapeEntities(latest->rows[r][c]);
+      out += "</td>";
+    }
+    out += "</tr>\n";
+  }
+  out += "</table>\n";
+
+  // Chronological change log for this object.
+  out += "<ul>\n";
+  for (const ChangeRecord& change :
+       ExtractChanges(page.GraphFor(type), page.revisions, type,
+                      static_cast<int>(page.revisions.size()))) {
+    if (change.object_id != object.object_id) continue;
+    if (change.kind == ChangeKind::kUnchanged) continue;
+    out += "<li>r" + std::to_string(change.revision) + ": " +
+           ChangeKindName(change.kind);
+    if (change.position >= 0) {
+      out += " (position " + std::to_string(change.position) + ")";
+    }
+    out += "</li>\n";
+  }
+  out += "</ul>\n";
+}
+
+std::string DocumentOpen(const PageResult& page) {
+  return "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>" +
+         html::EscapeEntities(page.title) +
+         " — object history</title></head>\n<body>\n<h1>" +
+         html::EscapeEntities(page.title) + "</h1>\n";
+}
+
+}  // namespace
+
+std::string RenderHistoryReport(const PageResult& page,
+                                extract::ObjectType type,
+                                int64_t object_id) {
+  std::string out = DocumentOpen(page);
+  for (const auto& object : page.GraphFor(type).objects()) {
+    if (object.object_id == object_id) {
+      AppendObjectReport(out, page, type, object);
+    }
+  }
+  out += "</body></html>\n";
+  return out;
+}
+
+std::string RenderPageReport(const PageResult& page,
+                             extract::ObjectType type) {
+  std::string out = DocumentOpen(page);
+  for (const auto& object : page.GraphFor(type).objects()) {
+    AppendObjectReport(out, page, type, object);
+  }
+  out += "</body></html>\n";
+  return out;
+}
+
+}  // namespace somr::core

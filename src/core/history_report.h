@@ -1,0 +1,26 @@
+#ifndef SOMR_CORE_HISTORY_REPORT_H_
+#define SOMR_CORE_HISTORY_REPORT_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace somr::core {
+
+/// Renders the Fig. 2 use case as a self-contained HTML page: the most
+/// recent version of one object overlaid with a per-cell volatility heat
+/// map (warmer background = more historical changes), followed by the
+/// object's chronological change log. This is the "visual change
+/// exploration" application the identity graph enables (Sec. I).
+std::string RenderHistoryReport(const PageResult& page,
+                                extract::ObjectType type,
+                                int64_t object_id);
+
+/// Renders the heat-map reports of all objects of `type` on one page,
+/// concatenated into a single document.
+std::string RenderPageReport(const PageResult& page,
+                             extract::ObjectType type);
+
+}  // namespace somr::core
+
+#endif  // SOMR_CORE_HISTORY_REPORT_H_

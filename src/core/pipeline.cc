@@ -1,0 +1,83 @@
+#include "core/pipeline.h"
+
+#include <atomic>
+#include <thread>
+
+#include "eval/harness.h"
+
+namespace somr::core {
+
+const matching::IdentityGraph& PageResult::GraphFor(
+    extract::ObjectType type) const {
+  switch (type) {
+    case extract::ObjectType::kTable:
+      return tables;
+    case extract::ObjectType::kInfobox:
+      return infoboxes;
+    case extract::ObjectType::kList:
+      return lists;
+  }
+  return tables;
+}
+
+PageResult Pipeline::ProcessPage(const xmldump::PageHistory& page) const {
+  PageResult result;
+  result.title = page.title;
+  result.revisions = eval::ExtractRevisionObjects(page);
+  result.timestamps.reserve(page.revisions.size());
+  for (const xmldump::Revision& rev : page.revisions) {
+    result.timestamps.push_back(rev.timestamp);
+  }
+
+  matching::PageMatcher matcher(config_);
+  for (size_t r = 0; r < result.revisions.size(); ++r) {
+    matcher.ProcessRevision(static_cast<int>(r), result.revisions[r]);
+  }
+  result.tables = matcher.GraphFor(extract::ObjectType::kTable);
+  result.infoboxes = matcher.GraphFor(extract::ObjectType::kInfobox);
+  result.lists = matcher.GraphFor(extract::ObjectType::kList);
+  result.table_stats = matcher.StatsFor(extract::ObjectType::kTable);
+  result.infobox_stats = matcher.StatsFor(extract::ObjectType::kInfobox);
+  result.list_stats = matcher.StatsFor(extract::ObjectType::kList);
+  return result;
+}
+
+StatusOr<std::vector<PageResult>> Pipeline::ProcessDumpXml(
+    std::string_view xml) const {
+  StatusOr<xmldump::Dump> dump = xmldump::ReadDump(xml);
+  if (!dump.ok()) return dump.status();
+  std::vector<PageResult> results;
+  results.reserve(dump->pages.size());
+  for (const xmldump::PageHistory& page : dump->pages) {
+    results.push_back(ProcessPage(page));
+  }
+  return results;
+}
+
+StatusOr<std::vector<PageResult>> Pipeline::ProcessDumpXmlParallel(
+    std::string_view xml, unsigned num_threads) const {
+  if (num_threads <= 1) return ProcessDumpXml(xml);
+  StatusOr<xmldump::Dump> dump = xmldump::ReadDump(xml);
+  if (!dump.ok()) return dump.status();
+
+  std::vector<PageResult> results(dump->pages.size());
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= dump->pages.size()) return;
+      results[index] = ProcessPage(dump->pages[index]);
+    }
+  };
+  std::vector<std::thread> threads;
+  unsigned spawned = std::min<unsigned>(
+      num_threads, static_cast<unsigned>(dump->pages.size()));
+  threads.reserve(spawned);
+  for (unsigned t = 0; t < spawned; ++t) {
+    threads.emplace_back(worker);
+  }
+  for (std::thread& thread : threads) thread.join();
+  return results;
+}
+
+}  // namespace somr::core

@@ -1,0 +1,61 @@
+#ifndef SOMR_CORE_PIPELINE_H_
+#define SOMR_CORE_PIPELINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "extract/object.h"
+#include "matching/matcher.h"
+#include "xmldump/dump.h"
+
+namespace somr::core {
+
+/// Everything the pipeline produces for one page: the per-type identity
+/// graphs, the extracted instances they refer to, and runtime stats.
+struct PageResult {
+  std::string title;
+  std::vector<extract::PageObjects> revisions;  // extracted instances
+  std::vector<UnixSeconds> timestamps;          // one per revision
+  matching::IdentityGraph tables{extract::ObjectType::kTable};
+  matching::IdentityGraph infoboxes{extract::ObjectType::kInfobox};
+  matching::IdentityGraph lists{extract::ObjectType::kList};
+  matching::MatchStats table_stats;
+  matching::MatchStats infobox_stats;
+  matching::MatchStats list_stats;
+
+  const matching::IdentityGraph& GraphFor(extract::ObjectType type) const;
+};
+
+/// The end-to-end public API: MediaWiki dump XML (or per-page histories)
+/// in, identity graphs out. Parsing, extraction and matching use the
+/// paper's published configuration by default.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  explicit Pipeline(matching::MatcherConfig config) : config_(config) {}
+
+  /// Processes a full dump: every page independently.
+  StatusOr<std::vector<PageResult>> ProcessDumpXml(std::string_view xml) const;
+
+  /// Like ProcessDumpXml but processes pages on `num_threads` worker
+  /// threads (pages are independent). Results keep dump order and are
+  /// bit-identical to the sequential ones. `num_threads <= 1` falls back
+  /// to sequential processing.
+  StatusOr<std::vector<PageResult>> ProcessDumpXmlParallel(
+      std::string_view xml, unsigned num_threads) const;
+
+  /// Processes one page history. Revisions whose model is "html" are
+  /// parsed as HTML; all others as wikitext.
+  PageResult ProcessPage(const xmldump::PageHistory& page) const;
+
+  const matching::MatcherConfig& config() const { return config_; }
+
+ private:
+  matching::MatcherConfig config_;
+};
+
+}  // namespace somr::core
+
+#endif  // SOMR_CORE_PIPELINE_H_

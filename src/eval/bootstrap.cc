@@ -1,0 +1,54 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+
+#include "common/percentile.h"
+
+namespace somr::eval {
+
+ConfidenceInterval BootstrapCi(
+    size_t num_units,
+    const std::function<double(const std::vector<size_t>&)>& statistic,
+    int replicates, double alpha, uint64_t seed) {
+  ConfidenceInterval ci;
+  std::vector<size_t> full(num_units);
+  for (size_t i = 0; i < num_units; ++i) full[i] = i;
+  ci.point = statistic(full);
+  if (num_units == 0 || replicates <= 0) {
+    ci.lower = ci.upper = ci.point;
+    return ci;
+  }
+  Rng rng(seed);
+  std::vector<double> replicated;
+  replicated.reserve(static_cast<size_t>(replicates));
+  std::vector<size_t> sample(num_units);
+  for (int r = 0; r < replicates; ++r) {
+    for (size_t i = 0; i < num_units; ++i) {
+      sample[i] = rng.Index(num_units);
+    }
+    replicated.push_back(statistic(sample));
+  }
+  ci.lower = Percentile(replicated, alpha / 2.0);
+  ci.upper = Percentile(replicated, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+ConfidenceInterval BootstrapAccuracyCi(
+    const std::vector<std::pair<size_t, size_t>>& unit_counts,
+    int replicates, double alpha, uint64_t seed) {
+  return BootstrapCi(
+      unit_counts.size(),
+      [&](const std::vector<size_t>& units) {
+        size_t correct = 0, total = 0;
+        for (size_t unit : units) {
+          correct += unit_counts[unit].first;
+          total += unit_counts[unit].second;
+        }
+        return total == 0 ? 1.0
+                          : static_cast<double>(correct) /
+                                static_cast<double>(total);
+      },
+      replicates, alpha, seed);
+}
+
+}  // namespace somr::eval

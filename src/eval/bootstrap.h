@@ -1,0 +1,38 @@
+#ifndef SOMR_EVAL_BOOTSTRAP_H_
+#define SOMR_EVAL_BOOTSTRAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace somr::eval {
+
+/// A two-sided percentile confidence interval.
+struct ConfidenceInterval {
+  double point = 0.0;  // statistic on the full sample
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Percentile-bootstrap confidence interval for a statistic over per-unit
+/// observations (pages, objects): resamples units with replacement
+/// `replicates` times and takes the (alpha/2, 1-alpha/2) percentiles of
+/// the replicated statistic. `statistic` maps a multiset of unit indices
+/// to the statistic value (so pooled ratios can be computed correctly —
+/// resampling pre-averaged page scores would understate the variance of
+/// pooled counts).
+ConfidenceInterval BootstrapCi(
+    size_t num_units,
+    const std::function<double(const std::vector<size_t>&)>& statistic,
+    int replicates = 1000, double alpha = 0.05, uint64_t seed = 17);
+
+/// Convenience for pooled binomial accuracies: units carry (correct,
+/// total) counts; the statistic is sum(correct)/sum(total).
+ConfidenceInterval BootstrapAccuracyCi(
+    const std::vector<std::pair<size_t, size_t>>& unit_counts,
+    int replicates = 1000, double alpha = 0.05, uint64_t seed = 17);
+
+}  // namespace somr::eval
+
+#endif  // SOMR_EVAL_BOOTSTRAP_H_

@@ -1,0 +1,179 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace somr::eval {
+
+double EdgeMetrics::Precision() const {
+  size_t denom = true_positives + false_positives;
+  return denom == 0 ? 1.0 : static_cast<double>(true_positives) /
+                                static_cast<double>(denom);
+}
+
+double EdgeMetrics::Recall() const {
+  size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 1.0 : static_cast<double>(true_positives) /
+                                static_cast<double>(denom);
+}
+
+double EdgeMetrics::F1() const {
+  double p = Precision();
+  double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+EdgeMetrics CompareEdges(const matching::IdentityGraph& truth,
+                         const matching::IdentityGraph& output,
+                         const std::set<matching::IdentityEdge>* edge_filter) {
+  std::set<matching::IdentityEdge> truth_edges = truth.EdgeSet();
+  std::set<matching::IdentityEdge> output_edges = output.EdgeSet();
+  const std::set<matching::IdentityEdge>& scored =
+      edge_filter != nullptr ? *edge_filter : truth_edges;
+
+  EdgeMetrics metrics;
+  for (const matching::IdentityEdge& e : scored) {
+    if (output_edges.count(e) > 0) {
+      ++metrics.true_positives;
+    } else {
+      ++metrics.false_negatives;
+    }
+  }
+  for (const matching::IdentityEdge& e : output_edges) {
+    // Output edges that are simply wrong count as false positives even if
+    // the filter would have skipped the corresponding truth edge; edges
+    // that correctly reproduce a filtered-out (trivial) truth edge are
+    // not scored.
+    if (truth_edges.count(e) == 0) ++metrics.false_positives;
+  }
+  return metrics;
+}
+
+ObjectAccuracyCounts CountCorrectObjects(
+    const matching::IdentityGraph& truth,
+    const matching::IdentityGraph& output) {
+  // Index output objects by their first version for O(1) candidate lookup.
+  std::map<matching::VersionRef, const matching::TrackedObjectRecord*>
+      by_first;
+  for (const matching::TrackedObjectRecord& obj : output.objects()) {
+    if (!obj.versions.empty()) by_first[obj.versions.front()] = &obj;
+  }
+  ObjectAccuracyCounts counts;
+  counts.total = truth.objects().size();
+  for (const matching::TrackedObjectRecord& obj : truth.objects()) {
+    if (obj.versions.empty()) continue;
+    auto it = by_first.find(obj.versions.front());
+    if (it != by_first.end() && it->second->versions == obj.versions) {
+      ++counts.correct;
+    }
+  }
+  return counts;
+}
+
+double ObjectAccuracy(const matching::IdentityGraph& truth,
+                      const matching::IdentityGraph& output) {
+  return CountCorrectObjects(truth, output).Accuracy();
+}
+
+std::map<size_t, ObjectAccuracyCounts> CountCorrectObjectsByVersions(
+    const matching::IdentityGraph& truth,
+    const matching::IdentityGraph& output) {
+  std::map<matching::VersionRef, const matching::TrackedObjectRecord*>
+      by_first;
+  for (const matching::TrackedObjectRecord& obj : output.objects()) {
+    if (!obj.versions.empty()) by_first[obj.versions.front()] = &obj;
+  }
+  std::map<size_t, ObjectAccuracyCounts> buckets;
+  for (const matching::TrackedObjectRecord& obj : truth.objects()) {
+    if (obj.versions.empty()) continue;
+    ObjectAccuracyCounts& bucket = buckets[obj.versions.size()];
+    ++bucket.total;
+    auto it = by_first.find(obj.versions.front());
+    if (it != by_first.end() && it->second->versions == obj.versions) {
+      ++bucket.correct;
+    }
+  }
+  return buckets;
+}
+
+std::map<matching::VersionRef, matching::VersionRef> PredecessorMap(
+    const matching::IdentityGraph& graph) {
+  std::map<matching::VersionRef, matching::VersionRef> preds;
+  for (const matching::IdentityEdge& e : graph.Edges()) {
+    preds[e.second] = e.first;
+  }
+  return preds;
+}
+
+namespace {
+
+/// Outcome codes for the Table III taxonomy.
+enum Outcome { kCorrect = 0, kFalseNegative = 1, kFalsePositive = 2,
+               kWrongMatch = 3 };
+
+Outcome OutcomeFor(
+    const matching::VersionRef& instance,
+    const std::map<matching::VersionRef, matching::VersionRef>& truth_pred,
+    const std::map<matching::VersionRef, matching::VersionRef>& out_pred) {
+  auto t = truth_pred.find(instance);
+  auto o = out_pred.find(instance);
+  bool has_t = t != truth_pred.end();
+  bool has_o = o != out_pred.end();
+  if (!has_t && !has_o) return kCorrect;
+  if (has_t && !has_o) return kFalseNegative;
+  if (!has_t && has_o) return kFalsePositive;
+  return t->second == o->second ? kCorrect : kWrongMatch;
+}
+
+std::vector<matching::VersionRef> AllInstances(
+    const matching::IdentityGraph& truth) {
+  std::vector<matching::VersionRef> instances;
+  for (const matching::TrackedObjectRecord& obj : truth.objects()) {
+    for (const matching::VersionRef& v : obj.versions) {
+      instances.push_back(v);
+    }
+  }
+  return instances;
+}
+
+}  // namespace
+
+ErrorBreakdown ClassifyErrors(const matching::IdentityGraph& truth,
+                              const matching::IdentityGraph& output) {
+  auto truth_pred = PredecessorMap(truth);
+  auto out_pred = PredecessorMap(output);
+  ErrorBreakdown breakdown;
+  for (const matching::VersionRef& instance : AllInstances(truth)) {
+    switch (OutcomeFor(instance, truth_pred, out_pred)) {
+      case kCorrect:
+        ++breakdown.correct;
+        break;
+      case kFalseNegative:
+        ++breakdown.false_negative;
+        break;
+      case kFalsePositive:
+        ++breakdown.false_positive;
+        break;
+      case kWrongMatch:
+        ++breakdown.wrong_match;
+        break;
+    }
+  }
+  return breakdown;
+}
+
+ErrorConfusion CrossClassifyErrors(const matching::IdentityGraph& truth,
+                                   const matching::IdentityGraph& output_a,
+                                   const matching::IdentityGraph& output_b) {
+  auto truth_pred = PredecessorMap(truth);
+  auto pred_a = PredecessorMap(output_a);
+  auto pred_b = PredecessorMap(output_b);
+  ErrorConfusion confusion{};
+  for (const matching::VersionRef& instance : AllInstances(truth)) {
+    Outcome a = OutcomeFor(instance, truth_pred, pred_a);
+    Outcome b = OutcomeFor(instance, truth_pred, pred_b);
+    ++confusion[static_cast<size_t>(a)][static_cast<size_t>(b)];
+  }
+  return confusion;
+}
+
+}  // namespace somr::eval

@@ -1,0 +1,107 @@
+#ifndef SOMR_EVAL_METRICS_H_
+#define SOMR_EVAL_METRICS_H_
+
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "matching/identity_graph.h"
+
+namespace somr::eval {
+
+/// Precision/recall/F1 over identity edges (Table II).
+struct EdgeMetrics {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+
+  /// Pools counts across pages.
+  void Add(const EdgeMetrics& other) {
+    true_positives += other.true_positives;
+    false_positives += other.false_positives;
+    false_negatives += other.false_negatives;
+  }
+};
+
+/// Compares output edges against truth edges. When `edge_filter` is
+/// given, only edges in the filter set (computed on the truth side, e.g.
+/// the non-trivial edges) and output edges whose *target instance* is the
+/// target of a filtered truth edge are scored — mirroring the paper's
+/// evaluation on non-trivial edges.
+EdgeMetrics CompareEdges(const matching::IdentityGraph& truth,
+                         const matching::IdentityGraph& output,
+                         const std::set<matching::IdentityEdge>* edge_filter =
+                             nullptr);
+
+/// Object-level accuracy (Fig. 6): the fraction of truth objects whose
+/// exact version chain appears as an object in the output. An object with
+/// even one mis-matched version counts as wrong.
+double ObjectAccuracy(const matching::IdentityGraph& truth,
+                      const matching::IdentityGraph& output);
+
+/// Counts of correctly matched truth objects and total truth objects —
+/// for aggregating accuracy across pages.
+struct ObjectAccuracyCounts {
+  size_t correct = 0;
+  size_t total = 0;
+
+  double Accuracy() const {
+    return total == 0 ? 1.0 : static_cast<double>(correct) /
+                                  static_cast<double>(total);
+  }
+  void Add(const ObjectAccuracyCounts& other) {
+    correct += other.correct;
+    total += other.total;
+  }
+};
+
+ObjectAccuracyCounts CountCorrectObjects(
+    const matching::IdentityGraph& truth,
+    const matching::IdentityGraph& output);
+
+/// Like CountCorrectObjects but buckets objects by their number of
+/// versions (Fig. 6c). Keys are version counts.
+std::map<size_t, ObjectAccuracyCounts> CountCorrectObjectsByVersions(
+    const matching::IdentityGraph& truth,
+    const matching::IdentityGraph& output);
+
+/// The per-instance error taxonomy of Table III, comparing each
+/// instance's predecessor in the output against the gold standard.
+struct ErrorBreakdown {
+  size_t correct = 0;
+  size_t false_negative = 0;  // predecessor only in gold
+  size_t false_positive = 0;  // predecessor only in output
+  size_t wrong_match = 0;     // different predecessors (FP and FN)
+
+  void Add(const ErrorBreakdown& other) {
+    correct += other.correct;
+    false_negative += other.false_negative;
+    false_positive += other.false_positive;
+    wrong_match += other.wrong_match;
+  }
+};
+
+ErrorBreakdown ClassifyErrors(const matching::IdentityGraph& truth,
+                              const matching::IdentityGraph& output);
+
+/// Predecessor lookup: instance -> its predecessor instance, if any.
+std::map<matching::VersionRef, matching::VersionRef> PredecessorMap(
+    const matching::IdentityGraph& graph);
+
+/// Cross-tabulates the per-instance outcome of two approaches against the
+/// same gold standard (the overlap analysis in Table III): result[a][b]
+/// counts instances where approach A had outcome a and approach B had
+/// outcome b. Outcomes: 0 = correct, 1 = FN, 2 = FP, 3 = wrong match.
+using ErrorConfusion = std::array<std::array<size_t, 4>, 4>;
+ErrorConfusion CrossClassifyErrors(const matching::IdentityGraph& truth,
+                                   const matching::IdentityGraph& output_a,
+                                   const matching::IdentityGraph& output_b);
+
+}  // namespace somr::eval
+
+#endif  // SOMR_EVAL_METRICS_H_

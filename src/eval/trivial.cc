@@ -1,0 +1,89 @@
+#include "eval/trivial.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace somr::eval {
+
+namespace {
+
+/// Content+context fingerprint used for the "same content and same
+/// context" test: rows, schema, caption and section path.
+bool SameContentAndContext(const extract::ObjectInstance& a,
+                           const extract::ObjectInstance& b) {
+  return a.rows == b.rows && a.schema == b.schema && a.caption == b.caption &&
+         a.section_path == b.section_path;
+}
+
+/// True when the multiset of instances of the two revisions agree on all
+/// but at most one element (by content+context).
+bool AllButOneUnchanged(
+    const std::vector<extract::ObjectInstance>& prev,
+    const std::vector<extract::ObjectInstance>& next) {
+  std::vector<bool> next_used(next.size(), false);
+  size_t prev_unmatched = 0;
+  for (const extract::ObjectInstance& p : prev) {
+    bool found = false;
+    for (size_t j = 0; j < next.size(); ++j) {
+      if (next_used[j]) continue;
+      if (SameContentAndContext(p, next[j])) {
+        next_used[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) ++prev_unmatched;
+  }
+  size_t next_unmatched = 0;
+  for (bool used : next_used) {
+    if (!used) ++next_unmatched;
+  }
+  return prev_unmatched <= 1 && next_unmatched <= 1;
+}
+
+}  // namespace
+
+std::set<matching::IdentityEdge> NonTrivialEdges(
+    const std::vector<std::vector<extract::ObjectInstance>>& per_revision,
+    const matching::IdentityGraph& truth) {
+  std::set<matching::IdentityEdge> result;
+  for (const matching::IdentityEdge& edge : truth.Edges()) {
+    const matching::VersionRef& from = edge.first;
+    const matching::VersionRef& to = edge.second;
+    // (never trivial across gaps)
+    if (to.revision != from.revision + 1) {
+      result.insert(edge);
+      continue;
+    }
+    if (from.revision < 0 ||
+        static_cast<size_t>(to.revision) >= per_revision.size()) {
+      result.insert(edge);
+      continue;
+    }
+    const auto& prev = per_revision[static_cast<size_t>(from.revision)];
+    const auto& next = per_revision[static_cast<size_t>(to.revision)];
+    // (i) object count almost constant.
+    if (std::abs(static_cast<long>(prev.size()) -
+                 static_cast<long>(next.size())) > 1) {
+      result.insert(edge);
+      continue;
+    }
+    // (iii) this object's content and context unchanged.
+    if (static_cast<size_t>(from.position) >= prev.size() ||
+        static_cast<size_t>(to.position) >= next.size() ||
+        !SameContentAndContext(prev[static_cast<size_t>(from.position)],
+                               next[static_cast<size_t>(to.position)])) {
+      result.insert(edge);
+      continue;
+    }
+    // (ii) everything else (except at most one object) unchanged.
+    if (!AllButOneUnchanged(prev, next)) {
+      result.insert(edge);
+      continue;
+    }
+    // Trivial: skipped.
+  }
+  return result;
+}
+
+}  // namespace somr::eval

@@ -1,0 +1,28 @@
+#ifndef SOMR_EVAL_TRIVIAL_H_
+#define SOMR_EVAL_TRIVIAL_H_
+
+#include <set>
+#include <vector>
+
+#include "extract/object.h"
+#include "matching/identity_graph.h"
+
+namespace somr::eval {
+
+/// Computes the non-trivial subset of a page's truth edges (Table II).
+/// A matching between two object versions of two *consecutive* page
+/// versions is trivial iff:
+///   (i)   the object count changes by at most one between the versions,
+///   (ii)  all objects, or all except one, have identical content and
+///         context across the two versions, and
+///   (iii) the matched object's own content and context are unchanged.
+/// Edges across non-consecutive revisions (delete + restore) are never
+/// trivial. `per_revision[r]` must hold the instances of the graph's
+/// object type in revision r, in position order.
+std::set<matching::IdentityEdge> NonTrivialEdges(
+    const std::vector<std::vector<extract::ObjectInstance>>& per_revision,
+    const matching::IdentityGraph& truth);
+
+}  // namespace somr::eval
+
+#endif  // SOMR_EVAL_TRIVIAL_H_

@@ -1,0 +1,35 @@
+#include "extract/features.h"
+
+#include "text/tokenizer.h"
+
+namespace somr::extract {
+
+BagOfWords BuildBagOfWords(const ObjectInstance& obj,
+                           const FeatureOptions& options) {
+  BagOfWords bag;
+  for (const auto& row : obj.rows) {
+    for (const auto& cell : row) {
+      bag.AddTokens(TokenizeTruncated(cell, options.element_token_limit));
+    }
+  }
+  if (options.include_caption && !obj.caption.empty()) {
+    bag.AddTokens(TokenizeTruncated(obj.caption, options.element_token_limit));
+  }
+  if (options.include_section_headers) {
+    for (const std::string& title : obj.section_path) {
+      bag.AddTokens(
+          TokenizeTruncated(title, options.element_token_limit));
+    }
+  }
+  return bag;
+}
+
+BagOfWords BuildSchemaBag(const ObjectInstance& obj) {
+  BagOfWords bag;
+  for (const std::string& header : obj.schema) {
+    bag.AddTokens(Tokenize(header));
+  }
+  return bag;
+}
+
+}  // namespace somr::extract

@@ -1,0 +1,35 @@
+#ifndef SOMR_EXTRACT_FEATURES_H_
+#define SOMR_EXTRACT_FEATURES_H_
+
+#include "extract/object.h"
+#include "text/bag_of_words.h"
+
+namespace somr::extract {
+
+/// Options for the bag-of-words feature construction (Sec. IV-B1).
+struct FeatureOptions {
+  /// Truncate each element value (cell / item / property value) to this
+  /// many tokens so long cells do not dominate.
+  size_t element_token_limit = 10;
+
+  /// Include the hierarchical section titles (or HTML headings) of the
+  /// surrounding sections in the bag.
+  bool include_section_headers = true;
+
+  /// Include the table caption / infobox name.
+  bool include_caption = true;
+};
+
+/// Builds the bag-of-words content representation for one object
+/// instance: every cell value truncated to `element_token_limit` tokens,
+/// plus the enclosing section titles and caption.
+BagOfWords BuildBagOfWords(const ObjectInstance& obj,
+                           const FeatureOptions& options = {});
+
+/// Builds the schema bag (header cells / infobox keys) used by the schema
+/// baseline. Not truncated — schema elements are short.
+BagOfWords BuildSchemaBag(const ObjectInstance& obj);
+
+}  // namespace somr::extract
+
+#endif  // SOMR_EXTRACT_FEATURES_H_

@@ -1,0 +1,24 @@
+#ifndef SOMR_EXTRACT_HTML_EXTRACTOR_H_
+#define SOMR_EXTRACT_HTML_EXTRACTOR_H_
+
+#include <string_view>
+
+#include "extract/object.h"
+#include "html/dom.h"
+
+namespace somr::extract {
+
+/// Extracts structured objects from an HTML DOM:
+///   - `<table class="infobox">` elements become infoboxes (th/td pairs);
+///   - other `<table>` elements become tables;
+///   - top-level `<ul>`/`<ol>` elements (not nested in another list or in
+///     a table) become lists.
+/// Section paths follow `<h2>`..`<h6>` headings in document order.
+PageObjects ExtractFromHtml(const html::Node& document);
+
+/// Convenience: parse + extract in one step.
+PageObjects ExtractFromHtmlSource(std::string_view source);
+
+}  // namespace somr::extract
+
+#endif  // SOMR_EXTRACT_HTML_EXTRACTOR_H_

@@ -1,0 +1,58 @@
+#include "extract/object.h"
+
+#include <algorithm>
+
+namespace somr::extract {
+
+const char* ObjectTypeName(ObjectType type) {
+  switch (type) {
+    case ObjectType::kTable:
+      return "table";
+    case ObjectType::kInfobox:
+      return "infobox";
+    case ObjectType::kList:
+      return "list";
+  }
+  return "unknown";
+}
+
+size_t ObjectInstance::ColumnCount() const {
+  size_t cols = 0;
+  for (const auto& row : rows) cols = std::max(cols, row.size());
+  return cols;
+}
+
+std::vector<std::string> ObjectInstance::FlatCells() const {
+  std::vector<std::string> flat;
+  for (const auto& row : rows) {
+    for (const auto& cell : row) flat.push_back(cell);
+  }
+  return flat;
+}
+
+const std::vector<ObjectInstance>& PageObjects::OfType(
+    ObjectType type) const {
+  switch (type) {
+    case ObjectType::kTable:
+      return tables;
+    case ObjectType::kInfobox:
+      return infoboxes;
+    case ObjectType::kList:
+      return lists;
+  }
+  return tables;
+}
+
+std::vector<ObjectInstance>& PageObjects::OfType(ObjectType type) {
+  switch (type) {
+    case ObjectType::kTable:
+      return tables;
+    case ObjectType::kInfobox:
+      return infoboxes;
+    case ObjectType::kList:
+      return lists;
+  }
+  return tables;
+}
+
+}  // namespace somr::extract

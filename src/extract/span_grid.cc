@@ -1,0 +1,53 @@
+#include "extract/span_grid.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace somr::extract {
+
+int ParseSpanValue(const std::string& value) {
+  int parsed = std::atoi(value.c_str());
+  return std::clamp(parsed, 1, 1000);
+}
+
+ExpandedGrid ExpandSpans(const std::vector<std::vector<SpannedCell>>& rows) {
+  ExpandedGrid grid;
+  // Pending rowspans: per column, (remaining rows, text) to inject.
+  struct Pending {
+    int remaining = 0;
+    std::string text;
+  };
+  std::vector<Pending> pending;
+
+  for (const auto& source_row : rows) {
+    std::vector<std::string> row;
+    bool all_header = !source_row.empty();
+    size_t col = 0;
+    auto fill_pending = [&]() {
+      while (col < pending.size() && pending[col].remaining > 0) {
+        row.push_back(pending[col].text);
+        --pending[col].remaining;
+        ++col;
+      }
+    };
+    fill_pending();
+    for (const SpannedCell& cell : source_row) {
+      all_header = all_header && cell.header;
+      for (int c = 0; c < cell.colspan; ++c) {
+        if (col >= pending.size()) pending.resize(col + 1);
+        row.push_back(cell.text);
+        if (cell.rowspan > 1) {
+          pending[col].remaining = cell.rowspan - 1;
+          pending[col].text = cell.text;
+        }
+        ++col;
+        fill_pending();
+      }
+    }
+    grid.rows.push_back(std::move(row));
+    grid.all_header.push_back(all_header);
+  }
+  return grid;
+}
+
+}  // namespace somr::extract

@@ -1,0 +1,140 @@
+#include "extract/wikitext_extractor.h"
+
+#include "extract/span_grid.h"
+#include "wikitext/inline_markup.h"
+#include "wikitext/parser.h"
+
+namespace somr::extract {
+
+namespace {
+
+/// Maintains the stack of section titles as headings stream by.
+class SectionTracker {
+ public:
+  void OnHeading(const wikitext::Heading& heading) {
+    // A heading of level L replaces all sections of level >= L.
+    while (!stack_.empty() && stack_.back().level >= heading.level) {
+      stack_.pop_back();
+    }
+    stack_.push_back(
+        {heading.level, wikitext::StripInlineMarkup(heading.title)});
+  }
+
+  std::vector<std::string> Path() const {
+    std::vector<std::string> path;
+    path.reserve(stack_.size());
+    for (const auto& entry : stack_) path.push_back(entry.title);
+    return path;
+  }
+
+ private:
+  struct Entry {
+    int level;
+    std::string title;
+  };
+  std::vector<Entry> stack_;
+};
+
+/// Reads colspan/rowspan from a wikitext cell attribute string like
+/// `colspan=2` or `rowspan="3" style="..."`.
+int SpanFromAttrs(const std::string& attrs, const char* name) {
+  size_t pos = attrs.find(name);
+  if (pos == std::string::npos) return 1;
+  pos = attrs.find('=', pos);
+  if (pos == std::string::npos) return 1;
+  ++pos;
+  while (pos < attrs.size() &&
+         (attrs[pos] == ' ' || attrs[pos] == '"' || attrs[pos] == '\'')) {
+    ++pos;
+  }
+  std::string digits;
+  while (pos < attrs.size() && attrs[pos] >= '0' && attrs[pos] <= '9') {
+    digits.push_back(attrs[pos]);
+    ++pos;
+  }
+  return ParseSpanValue(digits);
+}
+
+ObjectInstance ExtractTable(const wikitext::Table& table) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kTable;
+  obj.caption = wikitext::StripInlineMarkup(table.caption);
+  std::vector<std::vector<SpannedCell>> spanned;
+  for (const wikitext::TableRow& row : table.rows) {
+    if (row.cells.empty()) continue;
+    std::vector<SpannedCell> cells;
+    for (const wikitext::TableCell& cell : row.cells) {
+      SpannedCell spanned_cell;
+      spanned_cell.text = wikitext::StripInlineMarkup(cell.content);
+      spanned_cell.header = cell.header;
+      spanned_cell.colspan = SpanFromAttrs(cell.attrs, "colspan");
+      spanned_cell.rowspan = SpanFromAttrs(cell.attrs, "rowspan");
+      cells.push_back(std::move(spanned_cell));
+    }
+    spanned.push_back(std::move(cells));
+  }
+  ExpandedGrid grid = ExpandSpans(spanned);
+  for (size_t r = 0; r < grid.rows.size(); ++r) {
+    if (grid.all_header[r] && obj.schema.empty() && obj.rows.empty()) {
+      obj.schema = grid.rows[r];  // header row doubles as the schema
+    }
+    obj.rows.push_back(std::move(grid.rows[r]));
+  }
+  return obj;
+}
+
+ObjectInstance ExtractInfobox(const wikitext::Template& tmpl) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kInfobox;
+  obj.caption = tmpl.name;
+  for (const auto& [key, value] : tmpl.params) {
+    obj.schema.push_back(key);
+    obj.rows.push_back({key, wikitext::StripInlineMarkup(value)});
+  }
+  return obj;
+}
+
+ObjectInstance ExtractList(const wikitext::List& list) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kList;
+  for (const wikitext::ListItem& item : list.items) {
+    obj.rows.push_back({wikitext::StripInlineMarkup(item.content)});
+  }
+  return obj;
+}
+
+}  // namespace
+
+PageObjects ExtractFromWikitext(const wikitext::Document& doc) {
+  PageObjects objects;
+  SectionTracker sections;
+  for (const wikitext::Element& element : doc.elements) {
+    if (const auto* heading = std::get_if<wikitext::Heading>(&element)) {
+      sections.OnHeading(*heading);
+      continue;
+    }
+    ObjectInstance obj;
+    if (const auto* table = std::get_if<wikitext::Table>(&element)) {
+      obj = ExtractTable(*table);
+    } else if (const auto* tmpl =
+                   std::get_if<wikitext::Template>(&element)) {
+      if (!tmpl->IsInfobox()) continue;
+      obj = ExtractInfobox(*tmpl);
+    } else if (const auto* list = std::get_if<wikitext::List>(&element)) {
+      obj = ExtractList(*list);
+    } else {
+      continue;
+    }
+    obj.section_path = sections.Path();
+    std::vector<ObjectInstance>& bucket = objects.OfType(obj.type);
+    obj.position = static_cast<int>(bucket.size());
+    bucket.push_back(std::move(obj));
+  }
+  return objects;
+}
+
+PageObjects ExtractFromWikitextSource(std::string_view source) {
+  return ExtractFromWikitext(wikitext::ParseWikitext(source));
+}
+
+}  // namespace somr::extract

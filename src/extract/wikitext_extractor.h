@@ -1,0 +1,23 @@
+#ifndef SOMR_EXTRACT_WIKITEXT_EXTRACTOR_H_
+#define SOMR_EXTRACT_WIKITEXT_EXTRACTOR_H_
+
+#include <string_view>
+
+#include "extract/object.h"
+#include "wikitext/ast.h"
+
+namespace somr::extract {
+
+/// Extracts the structured objects of a parsed wikitext document:
+/// `{| ... |}` tables, `{{Infobox ...}}` templates, and item lists. Cell
+/// contents are reduced to plain text (links resolved, formatting
+/// stripped); section paths follow the `==` heading hierarchy; position
+/// ranks are assigned per object type in source order.
+PageObjects ExtractFromWikitext(const wikitext::Document& doc);
+
+/// Convenience: parse + extract in one step.
+PageObjects ExtractFromWikitextSource(std::string_view source);
+
+}  // namespace somr::extract
+
+#endif  // SOMR_EXTRACT_WIKITEXT_EXTRACTOR_H_

@@ -1,0 +1,25 @@
+#ifndef SOMR_HTML_ENTITIES_H_
+#define SOMR_HTML_ENTITIES_H_
+
+#include <string>
+#include <string_view>
+
+namespace somr::html {
+
+/// Decodes HTML character references: named entities from a common subset
+/// (&amp; &lt; &gt; &quot; &apos; &nbsp; &ndash; &mdash; &hellip; &copy;
+/// &deg; &middot; &times; &laquo; &raquo; &amp;#NN; &amp;#xNN;). Unknown
+/// references are passed through verbatim.
+std::string DecodeEntities(std::string_view s);
+
+/// Escapes the five XML-significant characters for safe embedding in
+/// element content or attribute values.
+std::string EscapeEntities(std::string_view s);
+
+/// Appends the UTF-8 encoding of `code_point` to `out`. Invalid code
+/// points (surrogates, > U+10FFFF) emit U+FFFD.
+void AppendUtf8(uint32_t code_point, std::string& out);
+
+}  // namespace somr::html
+
+#endif  // SOMR_HTML_ENTITIES_H_

@@ -1,0 +1,155 @@
+#include "keydisc/key_discovery.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace somr::keydisc {
+
+namespace {
+
+size_t FirstDataRow(const extract::ObjectInstance& table) {
+  return table.schema.empty() ? 0 : 1;
+}
+
+/// Uniqueness/fill/numeric statistics of one column in one version.
+struct SnapshotStats {
+  double uniqueness = 0.0;
+  double fill_ratio = 0.0;
+  double non_numeric = 0.0;
+  size_t rows = 0;
+};
+
+SnapshotStats ColumnSnapshotStats(const extract::ObjectInstance& table,
+                                  size_t col) {
+  SnapshotStats stats;
+  std::unordered_set<std::string> distinct;
+  size_t non_empty = 0;
+  size_t non_numeric = 0;
+  for (size_t r = FirstDataRow(table); r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    ++stats.rows;
+    if (col >= row.size() || row[col].empty()) continue;
+    ++non_empty;
+    distinct.insert(row[col]);
+    if (!LooksNumeric(row[col])) ++non_numeric;
+  }
+  if (stats.rows == 0) return stats;
+  stats.fill_ratio =
+      static_cast<double>(non_empty) / static_cast<double>(stats.rows);
+  stats.uniqueness = non_empty == 0
+                         ? 0.0
+                         : static_cast<double>(distinct.size()) /
+                               static_cast<double>(non_empty);
+  stats.non_numeric = non_empty == 0
+                          ? 0.0
+                          : static_cast<double>(non_numeric) /
+                                static_cast<double>(non_empty);
+  return stats;
+}
+
+}  // namespace
+
+ColumnFeatures ComputeColumnFeatures(
+    const std::vector<extract::ObjectInstance>& history, size_t col) {
+  ColumnFeatures f;
+  if (history.empty()) return f;
+
+  const extract::ObjectInstance& latest = history.back();
+  SnapshotStats latest_stats = ColumnSnapshotStats(latest, col);
+  f.uniqueness = latest_stats.uniqueness;
+  f.fill_ratio = latest_stats.fill_ratio;
+  f.non_numeric = latest_stats.non_numeric;
+  size_t cols = std::max<size_t>(latest.ColumnCount(), 1);
+  f.position = 1.0 - static_cast<double>(col) / static_cast<double>(cols);
+
+  double min_uniqueness = 1.0;
+  double sum_uniqueness = 0.0;
+  size_t unique_versions = 0;
+  size_t considered = 0;
+  for (const extract::ObjectInstance& version : history) {
+    SnapshotStats stats = ColumnSnapshotStats(version, col);
+    if (stats.rows == 0) continue;
+    ++considered;
+    min_uniqueness = std::min(min_uniqueness, stats.uniqueness);
+    sum_uniqueness += stats.uniqueness;
+    if (stats.uniqueness >= 1.0) ++unique_versions;
+  }
+  if (considered > 0) {
+    f.min_historical_uniqueness = min_uniqueness;
+    f.mean_historical_uniqueness =
+        sum_uniqueness / static_cast<double>(considered);
+    f.always_unique = static_cast<double>(unique_versions) /
+                      static_cast<double>(considered);
+  }
+
+  // Value stability: how many of a version's values survive into the next
+  // version (multiset overlap). Keys are static; volatile columns churn.
+  double stability_sum = 0.0;
+  size_t stability_steps = 0;
+  for (size_t v = 1; v < history.size(); ++v) {
+    std::unordered_map<std::string, int> prev_values;
+    size_t prev_count = 0;
+    const extract::ObjectInstance& prev = history[v - 1];
+    for (size_t r = FirstDataRow(prev); r < prev.rows.size(); ++r) {
+      if (col < prev.rows[r].size() && !prev.rows[r][col].empty()) {
+        prev_values[prev.rows[r][col]] += 1;
+        ++prev_count;
+      }
+    }
+    if (prev_count == 0) continue;
+    size_t kept = 0;
+    const extract::ObjectInstance& next = history[v];
+    for (size_t r = FirstDataRow(next); r < next.rows.size(); ++r) {
+      if (col < next.rows[r].size() && !next.rows[r][col].empty()) {
+        auto it = prev_values.find(next.rows[r][col]);
+        if (it != prev_values.end() && it->second > 0) {
+          --it->second;
+          ++kept;
+        }
+      }
+    }
+    stability_sum += static_cast<double>(std::min(kept, prev_count)) /
+                     static_cast<double>(prev_count);
+    ++stability_steps;
+  }
+  if (stability_steps > 0) {
+    f.value_stability = stability_sum / static_cast<double>(stability_steps);
+  }
+  return f;
+}
+
+double StaticKeyScore(const ColumnFeatures& f) {
+  return 0.70 * f.uniqueness + 0.15 * f.fill_ratio + 0.10 * f.position +
+         0.05 * f.non_numeric;
+}
+
+double TemporalKeyScore(const ColumnFeatures& f) {
+  // The temporal features dominate: a key must be unique in every
+  // version and its values must not churn. Value stability is the
+  // discriminator against volatile-but-unique columns (the paper's
+  // "current standings" example), historical uniqueness against columns
+  // that merely look unique in the final snapshot.
+  return 0.25 * f.uniqueness + 0.06 * f.fill_ratio + 0.04 * f.position +
+         0.25 * f.min_historical_uniqueness + 0.15 * f.always_unique +
+         0.25 * f.value_stability;
+}
+
+std::vector<bool> DiscoverKeys(
+    const std::vector<extract::ObjectInstance>& history, bool use_temporal,
+    double threshold) {
+  std::vector<bool> keys;
+  if (history.empty()) return keys;
+  size_t cols = history.back().ColumnCount();
+  for (size_t c = 0; c < cols; ++c) {
+    ColumnFeatures f = ComputeColumnFeatures(history, c);
+    double score = use_temporal ? TemporalKeyScore(f) : StaticKeyScore(f);
+    keys.push_back(score >= threshold);
+  }
+  return keys;
+}
+
+}  // namespace somr::keydisc

@@ -1,0 +1,50 @@
+#ifndef SOMR_KEYDISC_KEY_DISCOVERY_H_
+#define SOMR_KEYDISC_KEY_DISCOVERY_H_
+
+#include <vector>
+
+#include "extract/object.h"
+
+namespace somr::keydisc {
+
+/// Features of one table column, computed either from the latest snapshot
+/// only (static) or additionally from the table's version history
+/// (temporal) — the case study of Sec. V-E: key columns are static in
+/// nature and unique in *every* version, while a non-key column may be
+/// coincidentally unique in the current snapshot.
+struct ColumnFeatures {
+  // Static features (latest version).
+  double uniqueness = 0.0;    // distinct / non-empty values
+  double fill_ratio = 0.0;    // non-empty / rows
+  double non_numeric = 0.0;   // fraction of non-numeric values
+  double position = 0.0;      // 1 - col/num_cols (leftmost = 1)
+
+  // Temporal features (over all versions).
+  double min_historical_uniqueness = 1.0;
+  double mean_historical_uniqueness = 1.0;
+  double always_unique = 1.0;  // fraction of versions with uniqueness == 1
+  double value_stability = 1.0;  // fraction of values kept across versions
+};
+
+/// Computes features for column `col` of a table history (`history` is
+/// the chronologically ordered list of versions of one table; the last
+/// entry is the current snapshot). Data rows only (the header row is
+/// skipped when a schema is present).
+ColumnFeatures ComputeColumnFeatures(
+    const std::vector<extract::ObjectInstance>& history, size_t col);
+
+/// Key score from static features only.
+double StaticKeyScore(const ColumnFeatures& f);
+
+/// Key score using both static and temporal features.
+double TemporalKeyScore(const ColumnFeatures& f);
+
+/// Classifies every column of the table history. Returns, per column,
+/// whether it is predicted to be a key under the given score threshold.
+std::vector<bool> DiscoverKeys(
+    const std::vector<extract::ObjectInstance>& history, bool use_temporal,
+    double threshold = 0.95);
+
+}  // namespace somr::keydisc
+
+#endif  // SOMR_KEYDISC_KEY_DISCOVERY_H_

@@ -1,0 +1,204 @@
+#include "keydisc/workload.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+#include "keydisc/key_discovery.h"
+#include "wikigen/vocab.h"
+
+namespace somr::keydisc {
+
+namespace {
+
+/// Column roles the generator plants.
+enum class Role {
+  kKey,        // stable unique ids — the natural key
+  kTrapUnique, // unique *now*, duplicated in earlier versions
+  kCategory,   // few distinct values (never unique)
+  kVolatile,   // frequently rewritten values (e.g. current standings)
+  kMostlyUnique,  // near-unique names with occasional duplicates
+};
+
+struct TableSpec {
+  std::vector<Role> roles;
+  std::vector<std::string> headers;
+};
+
+std::string KeyValue(int row_id) { return "ID-" + std::to_string(row_id); }
+
+std::string ValueForRole(Role role, int row_id, Rng& rng,
+                         wikigen::Vocab& vocab) {
+  switch (role) {
+    case Role::kKey:
+      return KeyValue(row_id);
+    case Role::kTrapUnique:
+      return vocab.PersonName() + " " + std::to_string(row_id);
+    case Role::kCategory:
+      return vocab.AwardCategory();
+    case Role::kVolatile:
+      // Small range: score-like columns collide, as real ones do.
+      return std::to_string(rng.UniformInt(0, 40));
+    case Role::kMostlyUnique:
+      return vocab.PersonName();
+  }
+  return vocab.PlaceName();
+}
+
+}  // namespace
+
+std::vector<LabelledHistory> GenerateKeyWorkload(
+    const KeyWorkloadConfig& config) {
+  std::vector<LabelledHistory> result;
+  Rng rng(config.seed);
+  wikigen::Vocab vocab(rng);
+  for (int t = 0; t < config.num_tables; ++t) {
+    TableSpec spec;
+    spec.roles.push_back(Role::kKey);
+    spec.headers.push_back("ID");
+    bool has_trap = rng.Bernoulli(0.55);
+    if (has_trap) {
+      spec.roles.push_back(Role::kTrapUnique);
+      spec.headers.push_back("Name");
+    }
+    int extra = static_cast<int>(rng.UniformInt(1, 3));
+    for (int c = 0; c < extra; ++c) {
+      spec.roles.push_back(rng.Bernoulli(0.5) ? Role::kCategory
+                                              : Role::kVolatile);
+      spec.headers.push_back(spec.roles.back() == Role::kCategory
+                                 ? "Category"
+                                 : "Score");
+    }
+    if (rng.Bernoulli(0.4)) {
+      spec.roles.push_back(Role::kMostlyUnique);
+      spec.headers.push_back("Contact");
+    }
+
+    int rows = static_cast<int>(
+        rng.UniformInt(config.min_rows, config.max_rows));
+    int versions = static_cast<int>(
+        rng.UniformInt(config.min_versions, config.max_versions));
+
+    // Build the initial table. Trap columns start with duplicates that
+    // are cleaned up over the history.
+    std::vector<std::vector<std::string>> data;
+    int next_id = 1;
+    for (int r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      for (Role role : spec.roles) {
+        row.push_back(ValueForRole(role, next_id, rng, vocab));
+      }
+      data.push_back(std::move(row));
+      ++next_id;
+    }
+    // Plant duplicates in trap columns (early versions only).
+    for (size_t c = 0; c < spec.roles.size(); ++c) {
+      if (spec.roles[c] != Role::kTrapUnique || data.size() < 2) continue;
+      size_t dupes = 1 + rng.Index(std::max<size_t>(data.size() / 3, 1));
+      for (size_t d = 0; d < dupes; ++d) {
+        size_t from = rng.Index(data.size());
+        size_t to = rng.Index(data.size());
+        data[to][c] = data[from][c];
+      }
+    }
+    // Occasional duplicates in "mostly unique" columns, persisting.
+    for (size_t c = 0; c < spec.roles.size(); ++c) {
+      if (spec.roles[c] != Role::kMostlyUnique || data.size() < 3) continue;
+      if (rng.Bernoulli(0.6)) {
+        size_t from = rng.Index(data.size());
+        size_t to = rng.Index(data.size());
+        data[to][c] = data[from][c];
+      }
+    }
+
+    LabelledHistory history;
+    for (Role role : spec.roles) {
+      history.is_key.push_back(role == Role::kKey);
+    }
+
+    int trap_cleanup_version = versions / 2;
+    for (int v = 0; v < versions; ++v) {
+      // Emit the snapshot.
+      extract::ObjectInstance snapshot;
+      snapshot.type = extract::ObjectType::kTable;
+      snapshot.schema = spec.headers;
+      snapshot.rows.push_back(spec.headers);
+      for (const auto& row : data) snapshot.rows.push_back(row);
+      history.versions.push_back(std::move(snapshot));
+      if (v + 1 == versions) break;
+
+      // Evolve toward the next version.
+      int edits = 1 + rng.Poisson(2.0);
+      for (int e = 0; e < edits; ++e) {
+        double u = rng.UniformDouble();
+        if (u < 0.35) {  // append a row
+          std::vector<std::string> row;
+          for (Role role : spec.roles) {
+            row.push_back(ValueForRole(role, next_id, rng, vocab));
+          }
+          data.push_back(std::move(row));
+          ++next_id;
+        } else if (u < 0.9 && !data.empty()) {  // rewrite volatile cells
+          for (size_t c = 0; c < spec.roles.size(); ++c) {
+            if (spec.roles[c] != Role::kVolatile) continue;
+            for (auto& row : data) {
+              if (rng.Bernoulli(0.3)) {
+                row[c] = ValueForRole(Role::kVolatile, 0, rng, vocab);
+              }
+            }
+          }
+        } else if (data.size() > 3) {  // drop a row
+          data.erase(data.begin() + static_cast<long>(rng.Index(data.size())));
+        }
+      }
+      // Clean trap duplicates halfway through the history so the final
+      // snapshot looks unique.
+      if (v == trap_cleanup_version) {
+        for (size_t c = 0; c < spec.roles.size(); ++c) {
+          if (spec.roles[c] != Role::kTrapUnique) continue;
+          for (size_t r = 0; r < data.size(); ++r) {
+            data[r][c] = vocab.PersonName() + " #" +
+                         std::to_string(1000 + static_cast<int>(r)) + "-" +
+                         std::to_string(t);
+          }
+        }
+      }
+    }
+    result.push_back(std::move(history));
+  }
+  return result;
+}
+
+double KeyMetrics::Precision() const {
+  return tp + fp == 0 ? 1.0
+                      : static_cast<double>(tp) /
+                            static_cast<double>(tp + fp);
+}
+double KeyMetrics::Recall() const {
+  return tp + fn == 0 ? 1.0
+                      : static_cast<double>(tp) /
+                            static_cast<double>(tp + fn);
+}
+double KeyMetrics::F1() const {
+  double p = Precision();
+  double r = Recall();
+  return p + r == 0.0 ? 0.0 : 2 * p * r / (p + r);
+}
+
+KeyMetrics EvaluateKeyDiscovery(const std::vector<LabelledHistory>& data,
+                                bool use_temporal, double threshold) {
+  KeyMetrics metrics;
+  for (const LabelledHistory& history : data) {
+    std::vector<bool> predicted =
+        DiscoverKeys(history.versions, use_temporal, threshold);
+    for (size_t c = 0; c < history.is_key.size() && c < predicted.size();
+         ++c) {
+      if (predicted[c] && history.is_key[c]) ++metrics.tp;
+      if (predicted[c] && !history.is_key[c]) ++metrics.fp;
+      if (!predicted[c] && history.is_key[c]) ++metrics.fn;
+    }
+  }
+  return metrics;
+}
+
+}  // namespace somr::keydisc

@@ -1,0 +1,51 @@
+#ifndef SOMR_KEYDISC_WORKLOAD_H_
+#define SOMR_KEYDISC_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "extract/object.h"
+
+namespace somr::keydisc {
+
+/// One labelled table history for the key-discovery case study: a
+/// chronological list of table versions plus, per column, whether the
+/// column is a true natural key.
+struct LabelledHistory {
+  std::vector<extract::ObjectInstance> versions;
+  std::vector<bool> is_key;
+};
+
+struct KeyWorkloadConfig {
+  int num_tables = 120;
+  int min_versions = 4;
+  int max_versions = 25;
+  int min_rows = 4;
+  int max_rows = 18;
+  uint64_t seed = 99;
+};
+
+/// Generates table histories with designed column roles:
+///  - a true key column (stable unique identifiers),
+///  - a "trap" column that is unique in the final snapshot but had
+///    duplicates earlier (the paper's motivating example for temporal
+///    features), present in roughly half the tables,
+///  - ordinary attribute columns (duplicated and/or volatile).
+std::vector<LabelledHistory> GenerateKeyWorkload(
+    const KeyWorkloadConfig& config);
+
+/// Precision/recall/F-measure of predicted key labels against the truth,
+/// aggregated over all columns of all histories.
+struct KeyMetrics {
+  size_t tp = 0, fp = 0, fn = 0;
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+KeyMetrics EvaluateKeyDiscovery(const std::vector<LabelledHistory>& data,
+                                bool use_temporal, double threshold = 0.95);
+
+}  // namespace somr::keydisc
+
+#endif  // SOMR_KEYDISC_WORKLOAD_H_

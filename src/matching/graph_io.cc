@@ -1,0 +1,71 @@
+#include "matching/graph_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace somr::matching {
+
+std::string SerializeIdentityGraph(const IdentityGraph& graph) {
+  std::string out = "# somr-identity-graph v1 type=";
+  out += extract::ObjectTypeName(graph.type());
+  out += '\n';
+  for (const TrackedObjectRecord& object : graph.objects()) {
+    out += "object " + std::to_string(object.object_id) + "\n";
+    for (const VersionRef& version : object.versions) {
+      out += std::to_string(version.revision) + " " +
+             std::to_string(version.position) + "\n";
+    }
+  }
+  return out;
+}
+
+StatusOr<IdentityGraph> ParseIdentityGraph(std::string_view text) {
+  std::vector<std::string_view> lines = SplitString(text, '\n');
+  if (lines.empty()) return Status::ParseError("empty identity graph");
+  std::string_view header = StripAsciiWhitespace(lines[0]);
+  if (header.substr(0, 28) != "# somr-identity-graph v1 typ") {
+    return Status::ParseError("missing identity-graph header");
+  }
+  extract::ObjectType type = extract::ObjectType::kTable;
+  size_t eq = header.rfind('=');
+  if (eq != std::string_view::npos) {
+    std::string_view name = header.substr(eq + 1);
+    if (name == "infobox") {
+      type = extract::ObjectType::kInfobox;
+    } else if (name == "list") {
+      type = extract::ObjectType::kList;
+    } else if (name != "table") {
+      return Status::ParseError("unknown object type: " +
+                                std::string(name));
+    }
+  }
+
+  IdentityGraph graph(type);
+  int64_t current = -1;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = StripAsciiWhitespace(lines[i]);
+    if (line.empty() || line[0] == '#') continue;
+    if (line.substr(0, 7) == "object ") {
+      current = -2;  // next version line starts the object
+      continue;
+    }
+    int revision = 0, position = 0;
+    if (std::sscanf(std::string(line).c_str(), "%d %d", &revision,
+                    &position) != 2) {
+      return Status::ParseError("bad version line: " + std::string(line));
+    }
+    if (current == -1) {
+      return Status::ParseError("version line before any object");
+    }
+    if (current == -2) {
+      current = graph.AddObject({revision, position});
+    } else {
+      graph.AppendVersion(current, {revision, position});
+    }
+  }
+  return graph;
+}
+
+}  // namespace somr::matching

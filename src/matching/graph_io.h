@@ -1,0 +1,32 @@
+#ifndef SOMR_MATCHING_GRAPH_IO_H_
+#define SOMR_MATCHING_GRAPH_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "matching/identity_graph.h"
+
+namespace somr::matching {
+
+/// Serializes an identity graph to a line-oriented text format suitable
+/// for publishing matching outputs (the paper releases its gold standard
+/// and output datasets in this spirit):
+///
+///   # somr-identity-graph v1 type=table
+///   object 0
+///   0 0
+///   1 0
+///   object 1
+///   0 1
+///
+/// Each object lists its versions as "revision position" pairs in
+/// chronological order.
+std::string SerializeIdentityGraph(const IdentityGraph& graph);
+
+/// Parses the format written by SerializeIdentityGraph.
+StatusOr<IdentityGraph> ParseIdentityGraph(std::string_view text);
+
+}  // namespace somr::matching
+
+#endif  // SOMR_MATCHING_GRAPH_IO_H_

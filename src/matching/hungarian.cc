@@ -1,0 +1,85 @@
+#include "matching/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace somr::matching {
+
+std::vector<std::pair<int, int>> MaxWeightMatching(
+    size_t num_left, size_t num_right,
+    const std::vector<WeightedEdge>& edges) {
+  if (num_left == 0 || num_right == 0 || edges.empty()) return {};
+
+  // Square cost matrix (1-indexed), minimization of negated weights.
+  // Padding rows/columns have cost 0, so leaving a node unmatched is
+  // always an option.
+  const size_t n = std::max(num_left, num_right);
+  std::vector<std::vector<double>> cost(n + 1,
+                                        std::vector<double>(n + 1, 0.0));
+  for (const WeightedEdge& e : edges) {
+    if (e.left < 0 || static_cast<size_t>(e.left) >= num_left) continue;
+    if (e.right < 0 || static_cast<size_t>(e.right) >= num_right) continue;
+    // Keep the best weight for duplicate pairs.
+    double c = -e.weight;
+    double& slot = cost[static_cast<size_t>(e.left) + 1]
+                       [static_cast<size_t>(e.right) + 1];
+    slot = std::min(slot, c);
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<size_t> p(n + 1, 0), way(n + 1, 0);
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      size_t i0 = p[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        double cur = cost[i0][j] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<std::pair<int, int>> matching;
+  for (size_t j = 1; j <= n; ++j) {
+    size_t i = p[j];
+    if (i == 0) continue;
+    if (i <= num_left && j <= num_right && cost[i][j] < 0.0) {
+      matching.emplace_back(static_cast<int>(i - 1),
+                            static_cast<int>(j - 1));
+    }
+  }
+  std::sort(matching.begin(), matching.end());
+  return matching;
+}
+
+}  // namespace somr::matching

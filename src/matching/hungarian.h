@@ -1,0 +1,32 @@
+#ifndef SOMR_MATCHING_HUNGARIAN_H_
+#define SOMR_MATCHING_HUNGARIAN_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace somr::matching {
+
+/// One weighted edge of a bipartite graph.
+struct WeightedEdge {
+  int left = 0;
+  int right = 0;
+  double weight = 0.0;
+};
+
+/// Computes a maximum-weight bipartite matching (not necessarily perfect)
+/// of the given edges over `num_left` x `num_right` nodes using the
+/// Hungarian algorithm on a zero-padded square matrix. All edge weights
+/// must be positive; absent pairs are treated as weight 0 and never
+/// matched. Returns (left, right) index pairs.
+///
+/// Used by every matching stage (Alg. 1 line 5). Complexity
+/// O((num_left + num_right)^3) — pages have at most a few dozen objects of
+/// one type, so this is well within budget (see Fig. 11 benches).
+std::vector<std::pair<int, int>> MaxWeightMatching(
+    size_t num_left, size_t num_right,
+    const std::vector<WeightedEdge>& edges);
+
+}  // namespace somr::matching
+
+#endif  // SOMR_MATCHING_HUNGARIAN_H_

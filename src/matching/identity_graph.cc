@@ -1,0 +1,55 @@
+#include "matching/identity_graph.h"
+
+namespace somr::matching {
+
+int64_t IdentityGraph::AddObject(VersionRef ref) {
+  TrackedObjectRecord record;
+  record.object_id = static_cast<int64_t>(objects_.size());
+  record.type = type_;
+  record.versions.push_back(ref);
+  objects_.push_back(std::move(record));
+  return objects_.back().object_id;
+}
+
+void IdentityGraph::AppendVersion(int64_t object_id, VersionRef ref) {
+  objects_[static_cast<size_t>(object_id)].versions.push_back(ref);
+}
+
+size_t IdentityGraph::VersionCount() const {
+  size_t total = 0;
+  for (const TrackedObjectRecord& obj : objects_) {
+    total += obj.versions.size();
+  }
+  return total;
+}
+
+std::vector<IdentityEdge> IdentityGraph::Edges() const {
+  std::vector<IdentityEdge> edges;
+  for (const TrackedObjectRecord& obj : objects_) {
+    for (size_t i = 1; i < obj.versions.size(); ++i) {
+      edges.emplace_back(obj.versions[i - 1], obj.versions[i]);
+    }
+  }
+  return edges;
+}
+
+std::set<IdentityEdge> IdentityGraph::EdgeSet() const {
+  std::vector<IdentityEdge> edges = Edges();
+  return std::set<IdentityEdge>(edges.begin(), edges.end());
+}
+
+std::vector<std::pair<VersionRef, VersionRef>>
+IdentityGraph::PredecessorPairs() const {
+  return Edges();
+}
+
+int64_t IdentityGraph::ObjectIdOf(VersionRef ref) const {
+  for (const TrackedObjectRecord& obj : objects_) {
+    for (const VersionRef& v : obj.versions) {
+      if (v == ref) return obj.object_id;
+    }
+  }
+  return -1;
+}
+
+}  // namespace somr::matching

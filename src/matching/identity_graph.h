@@ -1,0 +1,80 @@
+#ifndef SOMR_MATCHING_IDENTITY_GRAPH_H_
+#define SOMR_MATCHING_IDENTITY_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "extract/object.h"
+
+namespace somr::matching {
+
+/// Identifies one object instance within one page's revision stream: the
+/// revision index and the instance's position rank among objects of the
+/// same type in that revision.
+struct VersionRef {
+  int revision = 0;
+  int position = 0;
+
+  auto operator<=>(const VersionRef&) const = default;
+};
+
+/// An identity edge connects an object instance to its successor instance
+/// (Definition 1).
+using IdentityEdge = std::pair<VersionRef, VersionRef>;
+
+/// One identified object: the chronologically ordered list of its
+/// instances across revisions. Adjacent versions may come from
+/// non-consecutive revisions (the object was deleted in between).
+struct TrackedObjectRecord {
+  int64_t object_id = 0;
+  extract::ObjectType type = extract::ObjectType::kTable;
+  std::vector<VersionRef> versions;
+};
+
+/// The identity graph of one page for one object type: a set of linear
+/// version chains. This is both the matcher's output and the ground-truth
+/// representation of the generator.
+class IdentityGraph {
+ public:
+  IdentityGraph() = default;
+  explicit IdentityGraph(extract::ObjectType type) : type_(type) {}
+
+  extract::ObjectType type() const { return type_; }
+
+  /// Starts a new object whose first instance is `ref`; returns its id.
+  int64_t AddObject(VersionRef ref);
+
+  /// Appends `ref` as the newest version of `object_id`.
+  void AppendVersion(int64_t object_id, VersionRef ref);
+
+  const std::vector<TrackedObjectRecord>& objects() const {
+    return objects_;
+  }
+
+  size_t ObjectCount() const { return objects_.size(); }
+  size_t VersionCount() const;
+
+  /// All identity edges (consecutive version pairs of every object).
+  std::vector<IdentityEdge> Edges() const;
+
+  /// Edges as a set for fast lookup during evaluation.
+  std::set<IdentityEdge> EdgeSet() const;
+
+  /// The predecessor of instance `ref`, if any.
+  std::vector<std::pair<VersionRef, VersionRef>> PredecessorPairs() const;
+
+  /// Object id that contains instance `ref`, or -1.
+  int64_t ObjectIdOf(VersionRef ref) const;
+
+ private:
+  extract::ObjectType type_ = extract::ObjectType::kTable;
+  std::vector<TrackedObjectRecord> objects_;
+};
+
+}  // namespace somr::matching
+
+#endif  // SOMR_MATCHING_IDENTITY_GRAPH_H_

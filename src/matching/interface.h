@@ -1,0 +1,30 @@
+#ifndef SOMR_MATCHING_INTERFACE_H_
+#define SOMR_MATCHING_INTERFACE_H_
+
+#include <vector>
+
+#include "extract/object.h"
+#include "matching/identity_graph.h"
+
+namespace somr::matching {
+
+/// Common interface of all temporal-matching approaches (ours and the
+/// baselines), so the evaluation harness can drive them uniformly. All
+/// implementations are online: one call per page version, in order.
+class RevisionMatcher {
+ public:
+  virtual ~RevisionMatcher() = default;
+
+  /// Processes the instances of this matcher's object type for one page
+  /// version, in page order (position ranks 0..n-1).
+  virtual void ProcessRevision(
+      int revision_index,
+      const std::vector<extract::ObjectInstance>& instances) = 0;
+
+  /// The identity graph built so far.
+  virtual const IdentityGraph& graph() const = 0;
+};
+
+}  // namespace somr::matching
+
+#endif  // SOMR_MATCHING_INTERFACE_H_

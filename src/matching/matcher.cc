@@ -1,0 +1,244 @@
+#include "matching/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "matching/hungarian.h"
+
+namespace somr::matching {
+
+namespace {
+
+// Tie-break epsilons (Sec. IV-A3, Alg. 1: matching(G, ↓LT, ↓POS)):
+// lifetime dominates position. For a duplicated instance both candidate
+// edges share the same object, so lifetime ties and position decides; for
+// a deleted duplicate the longer-lived object wins. Both epsilons are far
+// below any similarity resolution that matters (sims live in [0,1],
+// thresholds >= 0.4).
+constexpr double kLifetimeEps = 1e-6;
+constexpr double kPosEps = 1e-8;
+
+/// Cache key for pairwise similarities within one matching step.
+struct PairKey {
+  size_t tracked;
+  size_t incoming;
+  bool operator==(const PairKey&) const = default;
+};
+
+struct PairKeyHash {
+  size_t operator()(const PairKey& key) const {
+    return key.tracked * 1000003u + key.incoming;
+  }
+};
+
+}  // namespace
+
+TemporalMatcher::TemporalMatcher(extract::ObjectType type,
+                                 MatcherConfig config)
+    : type_(type), config_(config), graph_(type) {}
+
+double TemporalMatcher::DecayedSim(sim::SimilarityKind kind,
+                                   const Tracked& tracked,
+                                   const BagOfWords& candidate,
+                                   const sim::TokenWeighting& weighting) {
+  stats_.similarities_computed +=
+      std::min<size_t>(tracked.recent_bags.size(),
+                       static_cast<size_t>(config_.rear_view_window));
+  double best = 0.0;
+  double decay = 1.0;
+  int considered = 0;
+  for (auto it = tracked.recent_bags.rbegin();
+       it != tracked.recent_bags.rend() &&
+       considered < config_.rear_view_window;
+       ++it, ++considered) {
+    double s = decay * sim::Similarity(kind, *it, candidate, weighting);
+    best = std::max(best, s);
+    decay *= config_.decay;
+  }
+  return best;
+}
+
+double TemporalMatcher::TieBreakBonus(const Tracked& tracked,
+                                      int new_position,
+                                      int revision_index) const {
+  double bonus = 0.0;
+  if (config_.use_spatial_features) {
+    double pos_diff = std::abs(tracked.last_position - new_position);
+    bonus -= kPosEps * (pos_diff / (pos_diff + 8.0));
+  }
+  if (config_.enable_lifetime_tiebreak) {
+    double lifetime =
+        static_cast<double>(revision_index - tracked.first_revision);
+    bonus += kLifetimeEps * (lifetime / (lifetime + 64.0));
+  }
+  return bonus;
+}
+
+void TemporalMatcher::ProcessRevision(
+    int revision_index, const std::vector<extract::ObjectInstance>& instances) {
+  Timer timer;
+
+  // Build bags for the incoming instances.
+  std::vector<BagOfWords> incoming_bags;
+  incoming_bags.reserve(instances.size());
+  for (const extract::ObjectInstance& obj : instances) {
+    incoming_bags.push_back(extract::BuildBagOfWords(obj, config_.features));
+  }
+
+  // Token weighting for this step (Sec. IV-B2).
+  sim::TokenWeighting weighting;
+  if (config_.use_idf_weighting) {
+    std::vector<const BagOfWords*> prev_bags;
+    prev_bags.reserve(tracked_.size());
+    for (const Tracked& t : tracked_) {
+      if (!t.recent_bags.empty()) prev_bags.push_back(&t.recent_bags.back());
+    }
+    std::vector<const BagOfWords*> new_bags;
+    new_bags.reserve(incoming_bags.size());
+    for (const BagOfWords& bag : incoming_bags) new_bags.push_back(&bag);
+    weighting =
+        sim::TokenWeighting::InverseObjectFrequency(prev_bags, new_bags);
+  }
+
+  std::vector<bool> tracked_matched(tracked_.size(), false);
+  std::vector<bool> incoming_matched(instances.size(), false);
+  std::vector<int64_t> assignment(instances.size(), -1);
+
+  // Similarity caches shared across stages: stage 2 reuses stage-1 strict
+  // similarities (Sec. IV-B4).
+  std::unordered_map<PairKey, double, PairKeyHash> strict_cache;
+  std::unordered_map<PairKey, double, PairKeyHash> relaxed_cache;
+
+  auto cached_sim = [&](sim::SimilarityKind kind, size_t ti, size_t ni) {
+    auto& cache = kind == sim::SimilarityKind::kStrict ? strict_cache
+                                                       : relaxed_cache;
+    PairKey key{ti, ni};
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+    double s = DecayedSim(kind, tracked_[ti], incoming_bags[ni], weighting);
+    cache.emplace(key, s);
+    return s;
+  };
+
+  struct Stage {
+    bool local_only;
+    sim::SimilarityKind kind;
+    double threshold;
+    size_t* match_counter;
+  };
+  std::vector<Stage> stages;
+  if (config_.enable_stage1 && config_.use_spatial_features) {
+    stages.push_back({true, sim::SimilarityKind::kStrict, config_.theta1,
+                      &stats_.stage1_matches});
+  }
+  if (config_.enable_stage2) {
+    stages.push_back({false, sim::SimilarityKind::kStrict, config_.theta2,
+                      &stats_.stage2_matches});
+  }
+  if (config_.enable_stage3) {
+    stages.push_back({false, sim::SimilarityKind::kRelaxed, config_.theta3,
+                      &stats_.stage3_matches});
+  }
+
+  for (const Stage& stage : stages) {
+    std::vector<WeightedEdge> edges;
+    for (size_t ti = 0; ti < tracked_.size(); ++ti) {
+      if (tracked_matched[ti]) continue;
+      for (size_t ni = 0; ni < instances.size(); ++ni) {
+        if (incoming_matched[ni]) continue;
+        if (stage.local_only) {
+          int diff = std::abs(tracked_[ti].last_position -
+                              instances[ni].position);
+          if (diff > config_.theta_pos) continue;
+        }
+        double s = cached_sim(stage.kind, ti, ni);
+        if (s < stage.threshold) continue;
+        double weight = s + TieBreakBonus(tracked_[ti],
+                                          instances[ni].position,
+                                          revision_index);
+        edges.push_back({static_cast<int>(ti), static_cast<int>(ni),
+                         weight});
+      }
+    }
+    if (edges.empty()) continue;
+    for (auto [ti, ni] :
+         MaxWeightMatching(tracked_.size(), instances.size(), edges)) {
+      Tracked& tracked = tracked_[static_cast<size_t>(ti)];
+      tracked_matched[static_cast<size_t>(ti)] = true;
+      incoming_matched[static_cast<size_t>(ni)] = true;
+      assignment[static_cast<size_t>(ni)] = tracked.id;
+      ++*stage.match_counter;
+    }
+  }
+
+  // Apply the assignments and create new objects for the leftovers
+  // (Alg. 1 line 7).
+  for (size_t ni = 0; ni < instances.size(); ++ni) {
+    VersionRef ref{revision_index, instances[ni].position};
+    int64_t object_id = assignment[ni];
+    if (object_id < 0) {
+      object_id = graph_.AddObject(ref);
+      Tracked tracked;
+      tracked.id = object_id;
+      tracked.first_revision = revision_index;
+      tracked_.push_back(std::move(tracked));
+      ++stats_.new_objects;
+    } else {
+      graph_.AppendVersion(object_id, ref);
+    }
+    // Update the rear-view history of the (new or matched) object.
+    // Object ids are assigned sequentially, so they index tracked_.
+    Tracked& t = tracked_[static_cast<size_t>(object_id)];
+    t.recent_bags.push_back(incoming_bags[ni]);
+    while (t.recent_bags.size() >
+           static_cast<size_t>(std::max(config_.rear_view_window, 1))) {
+      t.recent_bags.pop_front();
+    }
+    t.last_position = instances[ni].position;
+    t.last_revision = revision_index;
+  }
+
+  stats_.step_millis.push_back(timer.ElapsedMillis());
+}
+
+PageMatcher::PageMatcher(MatcherConfig config)
+    : tables_(extract::ObjectType::kTable, config),
+      infoboxes_(extract::ObjectType::kInfobox, config),
+      lists_(extract::ObjectType::kList, config) {}
+
+void PageMatcher::ProcessRevision(int revision_index,
+                                  const extract::PageObjects& objects) {
+  tables_.ProcessRevision(revision_index, objects.tables);
+  infoboxes_.ProcessRevision(revision_index, objects.infoboxes);
+  lists_.ProcessRevision(revision_index, objects.lists);
+}
+
+const IdentityGraph& PageMatcher::GraphFor(extract::ObjectType type) const {
+  switch (type) {
+    case extract::ObjectType::kTable:
+      return tables_.graph();
+    case extract::ObjectType::kInfobox:
+      return infoboxes_.graph();
+    case extract::ObjectType::kList:
+      return lists_.graph();
+  }
+  return tables_.graph();
+}
+
+const MatchStats& PageMatcher::StatsFor(extract::ObjectType type) const {
+  switch (type) {
+    case extract::ObjectType::kTable:
+      return tables_.stats();
+    case extract::ObjectType::kInfobox:
+      return infoboxes_.stats();
+    case extract::ObjectType::kList:
+      return lists_.stats();
+  }
+  return tables_.stats();
+}
+
+}  // namespace somr::matching

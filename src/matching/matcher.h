@@ -1,0 +1,125 @@
+#ifndef SOMR_MATCHING_MATCHER_H_
+#define SOMR_MATCHING_MATCHER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "extract/features.h"
+#include "extract/object.h"
+#include "matching/identity_graph.h"
+#include "matching/interface.h"
+#include "sim/similarity.h"
+#include "text/bag_of_words.h"
+
+namespace somr::matching {
+
+/// Configuration of the multi-stage matcher, defaults set to the paper's
+/// published parameter choices (Sec. V-C).
+struct MatcherConfig {
+  /// Stage-1 neighborhood: |pos(x) - pos(o)| <= theta_pos.
+  int theta_pos = 2;
+  /// Stage-1 similarity threshold (strict measure, local candidates).
+  double theta1 = 0.8;
+  /// Stage-2 threshold (strict measure, all pairs).
+  double theta2 = 0.6;
+  /// Stage-3 threshold (relaxed measure, all pairs).
+  double theta3 = 0.4;
+  /// Rear-view mirror window k: number of recent non-empty versions of an
+  /// object compared against each new instance (Sec. IV-A2).
+  int rear_view_window = 5;
+  /// Decay factor phi applied per skipped version in the rear view.
+  double decay = 0.9;
+  /// Inverse-object-frequency token weighting (Sec. IV-B2).
+  bool use_idf_weighting = true;
+  /// Spatial features: stage 1 and the position tie-breaker. Disabled for
+  /// contexts without an order, e.g. the Socrata data lake (Sec. V-B).
+  bool use_spatial_features = true;
+  /// Stage 1 can be disabled independently for the runtime ablation
+  /// (Fig. 11) while keeping the position tie-breaker.
+  bool enable_stage1 = true;
+  /// Stages 2 and 3 can be disabled for the stage-composition ablation
+  /// (stage 2 drives precision, stage 3 recall — Sec. IV-B3).
+  bool enable_stage2 = true;
+  bool enable_stage3 = true;
+  /// Lifetime tie-breaker (prefer objects with longer histories).
+  bool enable_lifetime_tiebreak = true;
+  /// Bag-of-words construction options.
+  extract::FeatureOptions features;
+};
+
+/// Runtime accounting for the performance experiments (Fig. 11).
+struct MatchStats {
+  std::vector<double> step_millis;  // wall time of each matching step
+  size_t similarities_computed = 0;
+  size_t stage1_matches = 0;
+  size_t stage2_matches = 0;
+  size_t stage3_matches = 0;
+  size_t new_objects = 0;
+};
+
+/// Matches the object instances of one object type on one page across its
+/// revision stream, building the identity graph incrementally (online):
+/// call ProcessRevision once per page version, in order. This implements
+/// Algorithm 1 with the three stages of Sec. IV-B3.
+class TemporalMatcher : public RevisionMatcher {
+ public:
+  explicit TemporalMatcher(extract::ObjectType type,
+                           MatcherConfig config = {});
+
+  /// Processes one page version. `instances` must be the instances of
+  /// this matcher's object type, in page order (position ranks 0..n-1).
+  void ProcessRevision(
+      int revision_index,
+      const std::vector<extract::ObjectInstance>& instances) override;
+
+  const IdentityGraph& graph() const override { return graph_; }
+  const MatchStats& stats() const { return stats_; }
+  const MatcherConfig& config() const { return config_; }
+
+ private:
+  struct Tracked {
+    int64_t id = 0;
+    std::deque<BagOfWords> recent_bags;  // oldest .. newest, size <= k
+    int last_position = 0;
+    int first_revision = 0;
+    int last_revision = 0;
+  };
+
+  double DecayedSim(sim::SimilarityKind kind, const Tracked& tracked,
+                    const BagOfWords& candidate,
+                    const sim::TokenWeighting& weighting);
+
+  /// Tie-break perturbation added to a similarity score; strictly smaller
+  /// than any meaningful similarity difference.
+  double TieBreakBonus(const Tracked& tracked, int new_position,
+                       int revision_index) const;
+
+  extract::ObjectType type_;
+  MatcherConfig config_;
+  IdentityGraph graph_;
+  MatchStats stats_;
+  std::vector<Tracked> tracked_;
+};
+
+/// Convenience driver that runs three TemporalMatchers (tables, infoboxes,
+/// lists) over a stream of PageObjects.
+class PageMatcher {
+ public:
+  explicit PageMatcher(MatcherConfig config = {});
+
+  void ProcessRevision(int revision_index,
+                       const extract::PageObjects& objects);
+
+  const IdentityGraph& GraphFor(extract::ObjectType type) const;
+  const MatchStats& StatsFor(extract::ObjectType type) const;
+
+ private:
+  TemporalMatcher tables_;
+  TemporalMatcher infoboxes_;
+  TemporalMatcher lists_;
+};
+
+}  // namespace somr::matching
+
+#endif  // SOMR_MATCHING_MATCHER_H_

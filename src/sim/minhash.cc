@@ -1,0 +1,90 @@
+#include "sim/minhash.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/hash.h"
+
+namespace somr::sim {
+
+namespace {
+
+/// Cheap 64-bit mixer (splitmix64 finalizer) applied per hash function.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+MinHashSignature ComputeMinHash(const BagOfWords& bag, int num_hashes,
+                                uint64_t seed) {
+  MinHashSignature signature(
+      static_cast<size_t>(std::max(num_hashes, 0)),
+      std::numeric_limits<uint64_t>::max());
+  for (const auto& [token, count] : bag.counts()) {
+    uint64_t base = Fnv1a64(token);
+    for (size_t h = 0; h < signature.size(); ++h) {
+      uint64_t value = Mix(base ^ Mix(seed + h));
+      signature[h] = std::min(signature[h], value);
+    }
+  }
+  return signature;
+}
+
+double EstimateJaccard(const MinHashSignature& a,
+                       const MinHashSignature& b) {
+  size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(n);
+}
+
+void LshIndex::Add(int id, const MinHashSignature& signature) {
+  if (buckets_.empty()) {
+    buckets_.resize(static_cast<size_t>(bands_));
+  }
+  for (int band = 0; band < bands_; ++band) {
+    buckets_[static_cast<size_t>(band)][BandKey(signature, band)]
+        .push_back(id);
+  }
+  ++items_;
+}
+
+uint64_t LshIndex::BandKey(const MinHashSignature& signature,
+                           int band) const {
+  uint64_t key = 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(band);
+  for (int r = 0; r < rows_; ++r) {
+    size_t index = static_cast<size_t>(band * rows_ + r);
+    uint64_t value =
+        index < signature.size() ? signature[index] : 0;
+    key = HashCombine(key, value);
+  }
+  return key;
+}
+
+std::vector<int> LshIndex::Candidates(
+    const MinHashSignature& signature) const {
+  std::vector<int> candidates;
+  for (int band = 0; band < bands_ && !buckets_.empty(); ++band) {
+    const auto& bucket = buckets_[static_cast<size_t>(band)];
+    auto it = bucket.find(BandKey(signature, band));
+    if (it != bucket.end()) {
+      candidates.insert(candidates.end(), it->second.begin(),
+                        it->second.end());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+}  // namespace somr::sim

@@ -1,0 +1,57 @@
+#ifndef SOMR_SIM_MINHASH_H_
+#define SOMR_SIM_MINHASH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/bag_of_words.h"
+
+namespace somr::sim {
+
+/// MinHash signature of a token set (counts are ignored — MinHash
+/// estimates set Jaccard). Used by the LSH candidate-blocking extension:
+/// a content-based alternative to the paper's positional stage-1 pruning
+/// for contexts without an order (documented in DESIGN.md as an
+/// extension, not part of the paper's method).
+using MinHashSignature = std::vector<uint64_t>;
+
+/// Computes a `num_hashes`-long signature. Deterministic for a given
+/// (bag, num_hashes, seed).
+MinHashSignature ComputeMinHash(const BagOfWords& bag, int num_hashes,
+                                uint64_t seed = 0x5eed);
+
+/// Unbiased estimate of the token-set Jaccard similarity.
+double EstimateJaccard(const MinHashSignature& a,
+                       const MinHashSignature& b);
+
+/// Banded locality-sensitive hashing index over MinHash signatures:
+/// signatures are split into `bands` bands of `rows` hashes; two items
+/// collide (become candidates) when any band hashes identically.
+/// Signature length must be bands * rows.
+class LshIndex {
+ public:
+  LshIndex(int bands, int rows) : bands_(bands), rows_(rows) {}
+
+  /// Adds an item. Signatures must all have length bands*rows.
+  void Add(int id, const MinHashSignature& signature);
+
+  /// Ids that share at least one band with `signature` (deduplicated,
+  /// ascending). An item is its own candidate if it was added.
+  std::vector<int> Candidates(const MinHashSignature& signature) const;
+
+  size_t size() const { return items_; }
+
+ private:
+  uint64_t BandKey(const MinHashSignature& signature, int band) const;
+
+  int bands_;
+  int rows_;
+  size_t items_ = 0;
+  // band index -> (band hash -> item ids)
+  std::vector<std::unordered_map<uint64_t, std::vector<int>>> buckets_;
+};
+
+}  // namespace somr::sim
+
+#endif  // SOMR_SIM_MINHASH_H_

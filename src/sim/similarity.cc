@@ -1,0 +1,102 @@
+#include "sim/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace somr::sim {
+
+TokenWeighting TokenWeighting::InverseObjectFrequency(
+    const std::vector<const BagOfWords*>& previous,
+    const std::vector<const BagOfWords*>& incoming) {
+  std::unordered_map<std::string, int> prev_df;
+  std::unordered_map<std::string, int> new_df;
+  for (const BagOfWords* bag : previous) {
+    for (const auto& [token, count] : bag->counts()) prev_df[token] += 1;
+  }
+  for (const BagOfWords* bag : incoming) {
+    for (const auto& [token, count] : bag->counts()) new_df[token] += 1;
+  }
+  TokenWeighting weighting;
+  for (const auto& [token, df] : prev_df) {
+    auto it = new_df.find(token);
+    int other = it == new_df.end() ? 0 : it->second;
+    int denom = std::max({df, other, 1});
+    if (denom > 1) weighting.weights_[token] = 1.0 / denom;
+  }
+  for (const auto& [token, df] : new_df) {
+    if (weighting.weights_.count(token) > 0) continue;
+    if (df > 1) weighting.weights_[token] = 1.0 / df;
+  }
+  return weighting;
+}
+
+double TokenWeighting::Weight(const std::string& token) const {
+  auto it = weights_.find(token);
+  return it == weights_.end() ? 1.0 : it->second;
+}
+
+double Ruzicka(const BagOfWords& a, const BagOfWords& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  double sum_min = a.SumMin(b);
+  double sum_max = a.TotalCount() + b.TotalCount() - sum_min;
+  return sum_max <= 0.0 ? 0.0 : sum_min / sum_max;
+}
+
+double Containment(const BagOfWords& a, const BagOfWords& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  double smaller = std::min(a.TotalCount(), b.TotalCount());
+  if (smaller <= 0.0) return 0.0;
+  return a.SumMin(b) / smaller;
+}
+
+double WeightedRuzicka(const BagOfWords& a, const BagOfWords& b,
+                       const TokenWeighting& weighting) {
+  if (weighting.IsUniform()) return Ruzicka(a, b);
+  if (a.empty() && b.empty()) return 1.0;
+  auto weight = [&](const std::string& t) { return weighting.Weight(t); };
+  double sum_min = a.WeightedSumMin(b, weight);
+  double sum_max =
+      a.WeightedTotal(weight) + b.WeightedTotal(weight) - sum_min;
+  return sum_max <= 0.0 ? 0.0 : sum_min / sum_max;
+}
+
+double WeightedContainment(const BagOfWords& a, const BagOfWords& b,
+                           const TokenWeighting& weighting) {
+  if (weighting.IsUniform()) return Containment(a, b);
+  if (a.empty() && b.empty()) return 1.0;
+  auto weight = [&](const std::string& t) { return weighting.Weight(t); };
+  double smaller =
+      std::min(a.WeightedTotal(weight), b.WeightedTotal(weight));
+  if (smaller <= 0.0) return 0.0;
+  return a.WeightedSumMin(b, weight) / smaller;
+}
+
+double Similarity(SimilarityKind kind, const BagOfWords& a,
+                  const BagOfWords& b, const TokenWeighting& weighting) {
+  switch (kind) {
+    case SimilarityKind::kStrict:
+      return WeightedRuzicka(a, b, weighting);
+    case SimilarityKind::kRelaxed:
+      return WeightedContainment(a, b, weighting);
+  }
+  return 0.0;
+}
+
+double DecayedSimilarity(SimilarityKind kind,
+                         const std::vector<const BagOfWords*>& history,
+                         const BagOfWords& candidate, int k, double phi,
+                         const TokenWeighting& weighting) {
+  if (history.empty() || k <= 0) return 0.0;
+  double best = 0.0;
+  double decay = 1.0;
+  int considered = 0;
+  for (auto it = history.rbegin();
+       it != history.rend() && considered < k; ++it, ++considered) {
+    double s = decay * Similarity(kind, **it, candidate, weighting);
+    best = std::max(best, s);
+    decay *= phi;
+  }
+  return best;
+}
+
+}  // namespace somr::sim

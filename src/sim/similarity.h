@@ -1,0 +1,72 @@
+#ifndef SOMR_SIM_SIMILARITY_H_
+#define SOMR_SIM_SIMILARITY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/bag_of_words.h"
+
+namespace somr::sim {
+
+/// Token weighting in the spirit of inverse document frequencies
+/// (Sec. IV-B2): a token is down-weighted by the inverse of the number of
+/// previously identified objects or new object instances containing it,
+/// whichever is larger. Tokens appearing in at most one object on each
+/// side keep weight 1.
+class TokenWeighting {
+ public:
+  /// No weighting: every token weighs 1.
+  TokenWeighting() = default;
+
+  /// Computes the inverse-object-frequency weighting for one matching
+  /// step. `previous` holds the most recent bag of each previously
+  /// identified object, `incoming` the bags of the new object instances.
+  static TokenWeighting InverseObjectFrequency(
+      const std::vector<const BagOfWords*>& previous,
+      const std::vector<const BagOfWords*>& incoming);
+
+  /// Weight for `token` (1 when unweighted or unseen).
+  double Weight(const std::string& token) const;
+
+  bool IsUniform() const { return weights_.empty(); }
+
+ private:
+  std::unordered_map<std::string, double> weights_;
+};
+
+/// Generalized Jaccard (Ruzicka) similarity of two weighted multisets:
+/// sum_min / sum_max. This is the paper's strict measure sim_strict.
+double Ruzicka(const BagOfWords& a, const BagOfWords& b);
+
+/// Element-wise containment: sum_min / min(total_a, total_b). The paper's
+/// relaxed measure sim_relaxed — tolerant of objects that grow or shrink.
+double Containment(const BagOfWords& a, const BagOfWords& b);
+
+/// Weighted variants used by the matcher.
+double WeightedRuzicka(const BagOfWords& a, const BagOfWords& b,
+                       const TokenWeighting& weighting);
+double WeightedContainment(const BagOfWords& a, const BagOfWords& b,
+                           const TokenWeighting& weighting);
+
+/// Which base measure a matching stage uses.
+enum class SimilarityKind {
+  kStrict,   // Ruzicka
+  kRelaxed,  // containment
+};
+
+double Similarity(SimilarityKind kind, const BagOfWords& a,
+                  const BagOfWords& b, const TokenWeighting& weighting);
+
+/// The "rear-view mirror" similarity sim_{k,phi} (Sec. IV-A2): the maximum
+/// over the last k non-empty versions of the object of
+/// phi^i * sim(version_{n-i}, candidate). `history` is ordered oldest to
+/// newest.
+double DecayedSimilarity(SimilarityKind kind,
+                         const std::vector<const BagOfWords*>& history,
+                         const BagOfWords& candidate, int k, double phi,
+                         const TokenWeighting& weighting);
+
+}  // namespace somr::sim
+
+#endif  // SOMR_SIM_SIMILARITY_H_

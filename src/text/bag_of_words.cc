@@ -1,0 +1,44 @@
+#include "text/bag_of_words.h"
+
+#include <algorithm>
+
+namespace somr {
+
+void BagOfWords::Add(std::string_view token, double weight) {
+  if (weight == 0.0) return;
+  counts_[std::string(token)] += weight;
+  total_ += weight;
+}
+
+void BagOfWords::AddTokens(const std::vector<std::string>& tokens) {
+  for (const std::string& t : tokens) Add(t);
+}
+
+void BagOfWords::Merge(const BagOfWords& other) {
+  for (const auto& [token, count] : other.counts_) {
+    counts_[token] += count;
+  }
+  total_ += other.total_;
+}
+
+double BagOfWords::Count(std::string_view token) const {
+  auto it = counts_.find(std::string(token));
+  return it == counts_.end() ? 0.0 : it->second;
+}
+
+double BagOfWords::SumMin(const BagOfWords& other) const {
+  return WeightedSumMin(other, [](const std::string&) { return 1.0; });
+}
+
+std::vector<std::pair<std::string, double>> BagOfWords::SortedEntries() const {
+  std::vector<std::pair<std::string, double>> entries(counts_.begin(),
+                                                      counts_.end());
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+bool BagOfWords::operator==(const BagOfWords& other) const {
+  return total_ == other.total_ && counts_ == other.counts_;
+}
+
+}  // namespace somr

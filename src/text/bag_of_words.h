@@ -1,0 +1,87 @@
+#ifndef SOMR_TEXT_BAG_OF_WORDS_H_
+#define SOMR_TEXT_BAG_OF_WORDS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace somr {
+
+/// A weighted multiset of tokens — the content representation every
+/// similarity measure in the paper operates on (Sec. IV-B1). Counts are
+/// doubles so that inverse-object-frequency weighting (Sec. IV-B2) can
+/// rescale a bag without changing its type.
+class BagOfWords {
+ public:
+  BagOfWords() = default;
+
+  /// Adds `weight` occurrences of `token`.
+  void Add(std::string_view token, double weight = 1.0);
+
+  /// Adds every token of `tokens` with weight 1.
+  void AddTokens(const std::vector<std::string>& tokens);
+
+  /// Merges another bag into this one (element-wise count addition).
+  void Merge(const BagOfWords& other);
+
+  /// Count for `token`, 0 if absent.
+  double Count(std::string_view token) const;
+
+  /// Sum of all counts (the multiset cardinality).
+  double TotalCount() const { return total_; }
+
+  /// Number of distinct tokens.
+  size_t DistinctCount() const { return counts_.size(); }
+
+  bool empty() const { return counts_.empty(); }
+
+  /// Sum over tokens of min(count_this, count_other). Together with the
+  /// totals this determines both Ruzicka and containment similarity, since
+  /// sum(max) = total_a + total_b - sum(min).
+  double SumMin(const BagOfWords& other) const;
+
+  /// Weighted SumMin: each token's min-count is multiplied by
+  /// `weight(token)`; used for IDF-weighted similarities.
+  template <typename WeightFn>
+  double WeightedSumMin(const BagOfWords& other, WeightFn weight) const {
+    const BagOfWords* small = this;
+    const BagOfWords* large = &other;
+    if (small->counts_.size() > large->counts_.size()) std::swap(small, large);
+    double sum = 0.0;
+    for (const auto& [token, count] : small->counts_) {
+      double other_count = large->Count(token);
+      if (other_count > 0.0) {
+        sum += weight(token) * (count < other_count ? count : other_count);
+      }
+    }
+    return sum;
+  }
+
+  /// Sum over all tokens of weight(token) * count(token).
+  template <typename WeightFn>
+  double WeightedTotal(WeightFn weight) const {
+    double sum = 0.0;
+    for (const auto& [token, count] : counts_) sum += weight(token) * count;
+    return sum;
+  }
+
+  const std::unordered_map<std::string, double>& counts() const {
+    return counts_;
+  }
+
+  /// Entries sorted by token — deterministic iteration for tests/output.
+  std::vector<std::pair<std::string, double>> SortedEntries() const;
+
+  /// Exact multiset equality.
+  bool operator==(const BagOfWords& other) const;
+
+ private:
+  std::unordered_map<std::string, double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace somr
+
+#endif  // SOMR_TEXT_BAG_OF_WORDS_H_

@@ -1,0 +1,27 @@
+#ifndef SOMR_TEXT_TOKENIZER_H_
+#define SOMR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace somr {
+
+/// Splits `s` into lowercase word tokens. A word is a maximal run of ASCII
+/// alphanumerics or non-ASCII bytes (so UTF-8 words survive intact);
+/// everything else separates tokens. "Best Actor (2019)" ->
+/// ["best", "actor", "2019"].
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// Tokenizes like Tokenize() but keeps only the first `max_tokens` tokens.
+/// The paper truncates element values after 10 words so that long cells do
+/// not dominate the bag-of-words representation (Sec. IV-B1).
+std::vector<std::string> TokenizeTruncated(std::string_view s,
+                                           size_t max_tokens);
+
+/// Default truncation used for object element values.
+inline constexpr size_t kElementTokenLimit = 10;
+
+}  // namespace somr
+
+#endif  // SOMR_TEXT_TOKENIZER_H_

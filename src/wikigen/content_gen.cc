@@ -1,0 +1,229 @@
+#include "wikigen/content_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace somr::wikigen {
+
+LogicalContent ContentGenerator::NewTable() {
+  LogicalContent table;
+  table.type = extract::ObjectType::kTable;
+  // Paper Sec. V-A: ~62% of tables never change size; award and
+  // discography tables are inherently dynamic (they grow with releases
+  // and ceremonies); standings tables keep their size but churn values.
+  double p_dynamic = 0.3;
+  if (theme_ == PageTheme::kAwards) p_dynamic = 0.6;
+  if (theme_ == PageTheme::kDiscography) p_dynamic = 0.5;
+  if (theme_ == PageTheme::kSports) p_dynamic = 0.15;
+  table.dynamic_size = rng_.Bernoulli(p_dynamic);
+  if (theme_ == PageTheme::kSports) {
+    // Standings: one row per team, heavily updated numeric cells. Every
+    // standings table on the page shares the schema — like award tables,
+    // a deliberately hard case.
+    table.caption = vocab_.NounPhrase(1) + " group " +
+                    std::string(1, static_cast<char>(
+                                       'A' + rng_.UniformInt(0, 5)));
+    table.header = {"Pos", "Team", "Played", "Won", "Lost", "Points",
+                    "Qualification"};
+    table.key_column = 1;  // team names never change mid-season
+    int teams = static_cast<int>(rng_.UniformInt(4, 10));
+    for (int t = 0; t < teams; ++t) {
+      table.rows.push_back(NewTableRow(table));
+      table.rows.back()[0] = std::to_string(t + 1);
+      table.rows.back()[1] = UniqueTeamName();
+      // Qualification notes reference concrete places/rounds, giving the
+      // table textual identity, as real standings do.
+      table.rows.back()[6] =
+          t == 0 ? "Promoted to " + vocab_.PlaceName() + " division"
+          : t < 3 ? "Playoff round at " + vocab_.PlaceName()
+                  : "";
+    }
+    return table;
+  }
+  if (theme_ == PageTheme::kDiscography) {
+    table.caption = rng_.Bernoulli(0.5) ? "Studio albums" : "Singles";
+    table.header = {"Year", "Title", "Label", "Peak"};
+    table.key_column = 1;  // release titles are fixed once published
+    int releases = static_cast<int>(rng_.UniformInt(2, 9));
+    int year = static_cast<int>(rng_.UniformInt(1975, 2005));
+    for (int r = 0; r < releases; ++r) {
+      table.rows.push_back({std::to_string(year), vocab_.WorkTitle(),
+                            vocab_.PlaceName() + " Records",
+                            std::to_string(rng_.UniformInt(1, 100))});
+      year += static_cast<int>(rng_.UniformInt(1, 4));
+    }
+    return table;
+  }
+  if (theme_ == PageTheme::kAwards) {
+    // Same schema for every table on the page — the paper's hard case.
+    table.caption = vocab_.AwardName();
+    table.header = {"Year", "Category", "Work", "Result"};
+    int rows = static_cast<int>(rng_.UniformInt(2, 8));
+    int year = static_cast<int>(rng_.UniformInt(1985, 2010));
+    for (int r = 0; r < rows; ++r) {
+      table.rows.push_back({std::to_string(year),
+                            vocab_.AwardCategory(), vocab_.WorkTitle(),
+                            vocab_.AwardResult()});
+      year += static_cast<int>(rng_.UniformInt(1, 3));
+    }
+    return table;
+  }
+  // Settlement / generic: sampled schema.
+  if (rng_.Bernoulli(0.4)) table.caption = vocab_.NounPhrase(2);
+  int cols = static_cast<int>(rng_.UniformInt(2, 6));
+  std::unordered_set<std::string> used;
+  while (static_cast<int>(table.header.size()) < cols) {
+    std::string h = vocab_.ColumnHeader();
+    if (used.insert(h).second) table.header.push_back(std::move(h));
+  }
+  int rows = static_cast<int>(rng_.UniformInt(2, 10));
+  for (int r = 0; r < rows; ++r) {
+    table.rows.push_back(NewTableRow(table));
+  }
+  return table;
+}
+
+LogicalContent ContentGenerator::NewInfobox() {
+  LogicalContent infobox;
+  infobox.type = extract::ObjectType::kInfobox;
+  infobox.dynamic_size = rng_.Bernoulli(0.4);  // 37% change schema (V-A)
+  infobox.caption = theme_ == PageTheme::kSettlement
+                        ? "Infobox settlement"
+                        : (rng_.Bernoulli(0.5) ? "Infobox person"
+                                               : "Infobox venue");
+  int props = static_cast<int>(rng_.UniformInt(4, 10));
+  std::unordered_set<std::string> used;
+  infobox.rows.push_back(
+      {"name", theme_ == PageTheme::kSettlement ? vocab_.PlaceName()
+                                                : vocab_.PersonName()});
+  used.insert("name");
+  while (static_cast<int>(infobox.rows.size()) < props) {
+    std::string key = vocab_.InfoboxKey();
+    if (!used.insert(key).second) continue;
+    infobox.rows.push_back({key, vocab_.ValueFor(key)});
+  }
+  return infobox;
+}
+
+LogicalContent ContentGenerator::NewList() {
+  LogicalContent list;
+  list.type = extract::ObjectType::kList;
+  list.dynamic_size = rng_.Bernoulli(0.3);  // 27% change item count (V-A)
+  int items = static_cast<int>(rng_.UniformInt(3, 12));
+  for (int i = 0; i < items; ++i) {
+    list.rows.push_back({NewListItem()});
+  }
+  return list;
+}
+
+LogicalContent ContentGenerator::NewOfType(extract::ObjectType type) {
+  switch (type) {
+    case extract::ObjectType::kTable:
+      return NewTable();
+    case extract::ObjectType::kInfobox:
+      return NewInfobox();
+    case extract::ObjectType::kList:
+      return NewList();
+  }
+  return NewTable();
+}
+
+std::string ContentGenerator::UniqueTeamName() {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::string name = vocab_.PlaceName();
+    if (used_team_names_.insert(name).second) return name;
+  }
+  // Pool exhausted (pathological page): disambiguate numerically.
+  std::string name = vocab_.PlaceName() + " " +
+                     std::to_string(used_team_names_.size());
+  used_team_names_.insert(name);
+  return name;
+}
+
+std::vector<std::string> ContentGenerator::NewTableRow(
+    const LogicalContent& table) {
+  std::vector<std::string> row;
+  row.reserve(table.header.size());
+  for (size_t c = 0; c < table.header.size(); ++c) {
+    row.push_back(CellValue(table, c));
+  }
+  return row;
+}
+
+std::string ContentGenerator::NewListItem() {
+  double u = rng_.UniformDouble();
+  if (u < 0.4) return vocab_.WikiLink() + " — " + vocab_.NounPhrase(2);
+  if (u < 0.7) return vocab_.Sentence();
+  return vocab_.WorkTitle() + " (" + vocab_.Year() + ")";
+}
+
+std::vector<std::string> ContentGenerator::NewInfoboxProperty(
+    const LogicalContent& infobox) {
+  std::unordered_set<std::string> used;
+  for (const auto& row : infobox.rows) {
+    if (!row.empty()) used.insert(row[0]);
+  }
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    std::string key = vocab_.InfoboxKey();
+    if (used.count(key) == 0) {
+      std::string value = vocab_.ValueFor(key);
+      return {std::move(key), std::move(value)};
+    }
+  }
+  // Pool exhausted: reuse a key with a fresh value (MediaWiki allows it).
+  std::string key = vocab_.InfoboxKey();
+  return {key, vocab_.ValueFor(key)};
+}
+
+std::string ContentGenerator::CellValue(const LogicalContent& table,
+                                        size_t col) {
+  if (theme_ == PageTheme::kSports && table.header.size() == 7) {
+    switch (col) {
+      case 0:
+      case 2:
+      case 3:
+      case 4:
+        return std::to_string(rng_.UniformInt(0, 40));
+      case 5:
+        return std::to_string(rng_.UniformInt(0, 99));
+      case 6:
+        return rng_.Bernoulli(0.5)
+                   ? ""
+                   : "Playoff round at " + vocab_.PlaceName();
+      default:
+        return vocab_.PlaceName();  // team name
+    }
+  }
+  if (theme_ == PageTheme::kDiscography && table.header.size() == 4) {
+    switch (col) {
+      case 0:
+        return vocab_.Year();
+      case 1:
+        return vocab_.WorkTitle();
+      case 2:
+        return vocab_.PlaceName() + " Records";
+      default:
+        return std::to_string(rng_.UniformInt(1, 100));
+    }
+  }
+  if (theme_ == PageTheme::kAwards && table.header.size() == 4) {
+    switch (col) {
+      case 0:
+        return vocab_.Year();
+      case 1:
+        return vocab_.AwardCategory();
+      case 2:
+        return vocab_.WorkTitle();
+      case 3:
+        return vocab_.AwardResult();
+      default:
+        break;
+    }
+  }
+  if (col < table.header.size()) {
+    return vocab_.ValueFor(table.header[col]);
+  }
+  return vocab_.NounPhrase(2);
+}
+
+}  // namespace somr::wikigen

@@ -1,0 +1,73 @@
+#ifndef SOMR_WIKIGEN_CONTENT_GEN_H_
+#define SOMR_WIKIGEN_CONTENT_GEN_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "wikigen/logical_page.h"
+#include "wikigen/vocab.h"
+
+namespace somr::wikigen {
+
+/// Page theme, controlling what kind of objects a page accumulates. Award
+/// pages deliberately produce many small same-schema tables (the paper's
+/// hard case, Example 1); settlement pages mix infoboxes and statistics
+/// tables; generic pages mix everything.
+enum class PageTheme {
+  kAwards,      // many small same-schema award tables (the hard case)
+  kSettlement,  // infobox-centric place pages with statistics tables
+  kSports,      // league-season pages: standings tables with volatile
+                // numeric cells, fixture lists
+  kDiscography, // artist pages: release tables per era, singles lists
+  kGeneric,     // mixed sampled schemas
+};
+
+/// Creates fresh object content of each type.
+class ContentGenerator {
+ public:
+  ContentGenerator(Rng& rng, PageTheme theme)
+      : rng_(rng), vocab_(rng), theme_(theme) {}
+
+  /// A new table. On award pages tables share the schema
+  /// {Year, Category, Work, Result} and draw categories from a small
+  /// shared pool; elsewhere schemas are sampled per table.
+  LogicalContent NewTable();
+
+  /// A new infobox with 4-10 properties.
+  LogicalContent NewInfobox();
+
+  /// A new list with 3-12 items (sentences or link items).
+  LogicalContent NewList();
+
+  LogicalContent NewOfType(extract::ObjectType type);
+
+  /// A fresh data row consistent with the table's header.
+  std::vector<std::string> NewTableRow(const LogicalContent& table);
+
+  /// A new list item.
+  std::string NewListItem();
+
+  /// A new (key, value) infobox property not already present.
+  std::vector<std::string> NewInfoboxProperty(const LogicalContent& infobox);
+
+  /// A value for table column `col` (consistent with the header).
+  std::string CellValue(const LogicalContent& table, size_t col);
+
+  Vocab& vocab() { return vocab_; }
+  PageTheme theme() const { return theme_; }
+
+ private:
+  /// A team name not used elsewhere on this page: real league pages have
+  /// disjoint team sets per group.
+  std::string UniqueTeamName();
+
+  Rng& rng_;
+  Vocab vocab_;
+  PageTheme theme_;
+  std::unordered_set<std::string> used_team_names_;
+};
+
+}  // namespace somr::wikigen
+
+#endif  // SOMR_WIKIGEN_CONTENT_GEN_H_

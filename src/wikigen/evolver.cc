@@ -1,0 +1,573 @@
+#include "wikigen/evolver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wikigen/render.h"
+
+namespace somr::wikigen {
+
+const matching::IdentityGraph& GeneratedPage::TruthFor(
+    extract::ObjectType type) const {
+  switch (type) {
+    case extract::ObjectType::kTable:
+      return truth_tables;
+    case extract::ObjectType::kInfobox:
+      return truth_infoboxes;
+    case extract::ObjectType::kList:
+      return truth_lists;
+  }
+  return truth_tables;
+}
+
+PageEvolver::PageEvolver(EvolverConfig config)
+    : config_(config), rng_(config.seed), content_(rng_, config.theme) {}
+
+void PageEvolver::SeedInitialPage() {
+  Vocab& vocab = content_.vocab();
+  switch (config_.theme) {
+    case PageTheme::kAwards:
+      page_.title = "List of awards and nominations received by " +
+                    vocab.PersonName();
+      break;
+    case PageTheme::kSettlement:
+      page_.title = vocab.PlaceName();
+      break;
+    case PageTheme::kSports:
+      page_.title = std::to_string(rng_.UniformInt(1990, 2015)) + " " +
+                    vocab.PlaceName() + " League season";
+      break;
+    case PageTheme::kDiscography:
+      page_.title = vocab.PersonName() + " discography";
+      break;
+    case PageTheme::kGeneric:
+      page_.title = vocab.NounPhrase(2);
+      break;
+  }
+
+  // Lead paragraph.
+  page_.items.push_back({LogicalPage::ItemKind::kParagraph, 2,
+                         vocab.Sentence() + " " + vocab.Sentence(), -1});
+
+  // 2-4 sections, each with a heading and a filler paragraph.
+  int sections = static_cast<int>(rng_.UniformInt(2, 4));
+  for (int s = 0; s < sections; ++s) {
+    page_.items.push_back({LogicalPage::ItemKind::kHeading, 2,
+                           vocab.NounPhrase(1 + (s % 2)), -1});
+    page_.items.push_back(
+        {LogicalPage::ItemKind::kParagraph, 2, vocab.Sentence(), -1});
+  }
+
+  // Initial objects: at least one of the focal type.
+  int initial_focal =
+      config_.initial_focal_objects > 0
+          ? std::min(config_.initial_focal_objects,
+                     config_.max_focal_objects)
+          : static_cast<int>(rng_.UniformInt(
+                1, std::max(1, config_.max_focal_objects / 2)));
+  for (int i = 0; i < initial_focal; ++i) {
+    page_.InsertObject(next_uid_++,
+                       content_.NewOfType(config_.focal_type),
+                       RandomInsertIndex());
+    ++ops_.inserts;
+  }
+  // A sprinkle of the other types.
+  for (extract::ObjectType other :
+       {extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+        extract::ObjectType::kList}) {
+    if (other == config_.focal_type) continue;
+    if (rng_.Bernoulli(0.5)) {
+      page_.InsertObject(next_uid_++, content_.NewOfType(other),
+                         RandomInsertIndex());
+      ++ops_.inserts;
+    }
+  }
+}
+
+size_t PageEvolver::RandomInsertIndex() {
+  if (page_.items.empty()) return 0;
+  // Mild top bias: editors tend to add new content early on the page,
+  // pushing existing objects down — the paper observes more down-moves
+  // (9.8%) than up-moves (6.9%).
+  double u = std::pow(rng_.UniformDouble(), 1.4);
+  size_t index =
+      1 + static_cast<size_t>(u * static_cast<double>(page_.items.size()));
+  return std::min(index, page_.items.size());
+}
+
+int PageEvolver::FocalCount() const {
+  return static_cast<int>(page_.PresentUids(config_.focal_type).size());
+}
+
+int PageEvolver::CapFor(extract::ObjectType type) const {
+  if (type == config_.focal_type) return config_.max_focal_objects;
+  return type == extract::ObjectType::kInfobox ? 1 : 3;
+}
+
+bool PageEvolver::AtCap(extract::ObjectType type) const {
+  return static_cast<int>(page_.PresentUids(type).size()) >= CapFor(type);
+}
+
+int64_t PageEvolver::PickPresentObject(bool focal_bias) {
+  std::vector<int64_t> uids = focal_bias && rng_.Bernoulli(0.75)
+                                  ? page_.PresentUids(config_.focal_type)
+                                  : page_.AllPresentUids();
+  if (uids.empty()) uids = page_.AllPresentUids();
+  if (uids.empty()) return -1;
+  return uids[rng_.Index(uids.size())];
+}
+
+void PageEvolver::UpdateTable(LogicalContent& table) {
+  double u = rng_.UniformDouble();
+  if (table.dynamic_size) {
+    // Dynamic tables grow (and occasionally shrink) over time.
+    if (u < 0.38) {  // append row
+      table.rows.push_back(content_.NewTableRow(table));
+      return;
+    }
+    if (u < 0.48 && table.rows.size() > 1) {  // remove row
+      table.rows.erase(table.rows.begin() +
+                       static_cast<long>(rng_.Index(table.rows.size())));
+      return;
+    }
+    if (u < 0.52) {  // add column
+      std::string header = content_.vocab().ColumnHeader();
+      table.header.push_back(header);
+      for (auto& row : table.rows) {
+        row.push_back(content_.vocab().ValueFor(header));
+      }
+      return;
+    }
+    if (u < 0.55 && table.header.size() > 2) {  // remove column
+      size_t col = rng_.Index(table.header.size());
+      table.header.erase(table.header.begin() + static_cast<long>(col));
+      for (auto& row : table.rows) {
+        if (col < row.size()) {
+          row.erase(row.begin() + static_cast<long>(col));
+        }
+      }
+      return;
+    }
+  }
+  // Size-preserving edits (the only edits static tables receive).
+  if (u < 0.88 && !table.rows.empty()) {  // edit one cell
+    auto& row = table.rows[rng_.Index(table.rows.size())];
+    if (!row.empty()) {
+      size_t col = rng_.Index(row.size());
+      // Identity-bearing columns (team names, titles) are never
+      // rewritten in place.
+      if (static_cast<int>(col) == table.key_column && row.size() > 1) {
+        col = (col + 1) % row.size();
+      }
+      row[col] = content_.CellValue(table, col);
+    }
+  } else if (u < 0.95) {  // edit caption
+    table.caption = config_.theme == PageTheme::kAwards
+                        ? content_.vocab().AwardName()
+                        : content_.vocab().NounPhrase(2);
+  } else if (table.rows.size() > 1) {  // reorder rows
+    rng_.Shuffle(table.rows);
+  }
+}
+
+void PageEvolver::UpdateInfobox(LogicalContent& infobox) {
+  double u = rng_.UniformDouble();
+  if (infobox.dynamic_size) {
+    if (u < 0.22) {  // add property
+      infobox.rows.push_back(content_.NewInfoboxProperty(infobox));
+      return;
+    }
+    if (u < 0.32 && infobox.rows.size() > 2) {  // remove property
+      // Never remove the name property at row 0.
+      size_t idx = 1 + rng_.Index(infobox.rows.size() - 1);
+      infobox.rows.erase(infobox.rows.begin() + static_cast<long>(idx));
+      return;
+    }
+    if (u < 0.38 && infobox.rows.size() > 1) {  // rename key
+      auto& row = infobox.rows[1 + rng_.Index(infobox.rows.size() - 1)];
+      if (!row.empty()) row[0] = content_.vocab().InfoboxKey();
+      return;
+    }
+  }
+  if (!infobox.rows.empty()) {  // edit a value
+    auto& row = infobox.rows[rng_.Index(infobox.rows.size())];
+    if (row.size() >= 2) row[1] = content_.vocab().ValueFor(row[0]);
+  }
+}
+
+void PageEvolver::UpdateList(LogicalContent& list) {
+  double u = rng_.UniformDouble();
+  if (list.dynamic_size) {
+    if (u < 0.35) {  // add item
+      size_t at = list.rows.empty() ? 0 : rng_.Index(list.rows.size() + 1);
+      list.rows.insert(list.rows.begin() + static_cast<long>(at),
+                       {content_.NewListItem()});
+      return;
+    }
+    if (u < 0.5 && list.rows.size() > 1) {  // remove item
+      list.rows.erase(list.rows.begin() +
+                      static_cast<long>(rng_.Index(list.rows.size())));
+      return;
+    }
+  }
+  if (u < 0.95 && !list.rows.empty()) {  // edit item
+    list.rows[rng_.Index(list.rows.size())] = {content_.NewListItem()};
+  } else if (list.rows.size() > 1) {  // reorder
+    rng_.Shuffle(list.rows);
+  }
+}
+
+void PageEvolver::OpUpdate(std::string& comment) {
+  int64_t uid = PickPresentObject();
+  if (uid < 0) return;
+  LogicalContent& content = page_.contents[uid];
+  switch (content.type) {
+    case extract::ObjectType::kTable:
+      UpdateTable(content);
+      break;
+    case extract::ObjectType::kInfobox:
+      UpdateInfobox(content);
+      break;
+    case extract::ObjectType::kList:
+      UpdateList(content);
+      break;
+  }
+  if (content.Empty()) {
+    // An object edited down to nothing disappears from the page.
+    size_t index = static_cast<size_t>(std::max(0, page_.FindObjectItem(uid)));
+    graveyard_.push_back({uid, page_.RemoveObject(uid), index});
+    ++ops_.deletes;
+    comment += " emptied object;";
+    return;
+  }
+  ++ops_.updates;
+  comment += " updated content;";
+}
+
+void PageEvolver::OpDelete(std::string& comment) {
+  int64_t uid = PickPresentObject();
+  if (uid < 0) return;
+  size_t index = static_cast<size_t>(std::max(0, page_.FindObjectItem(uid)));
+  graveyard_.push_back({uid, page_.RemoveObject(uid), index});
+  if (graveyard_.size() > 64) graveyard_.pop_front();
+  ++ops_.deletes;
+  comment += " removed object;";
+}
+
+void PageEvolver::OpRestore(std::string& comment) {
+  if (graveyard_.empty()) return;
+  // Prefer recently deleted entries (vandalism-style restores).
+  size_t idx = graveyard_.size() - 1 -
+               std::min<size_t>(static_cast<size_t>(rng_.Geometric(0.5)),
+                                graveyard_.size() - 1);
+  GraveyardEntry entry = std::move(graveyard_[idx]);
+  graveyard_.erase(graveyard_.begin() + static_cast<long>(idx));
+  if (AtCap(entry.content.type)) {
+    return;  // per-type cap
+  }
+  bool exact = rng_.Bernoulli(config_.p_restore_exact);
+  if (!exact) {
+    // Restore a mutated version ("fresh" re-insert).
+    switch (entry.content.type) {
+      case extract::ObjectType::kTable:
+        UpdateTable(entry.content);
+        break;
+      case extract::ObjectType::kInfobox:
+        UpdateInfobox(entry.content);
+        break;
+      case extract::ObjectType::kList:
+        UpdateList(entry.content);
+        break;
+    }
+  }
+  if (entry.content.Empty()) return;
+  // Restores — mostly reverts — put the object back where it was;
+  // occasionally an editor re-adds it elsewhere.
+  size_t index = rng_.Bernoulli(0.85)
+                     ? std::min(entry.item_index, page_.items.size())
+                     : RandomInsertIndex();
+  page_.InsertObject(entry.uid, std::move(entry.content), index);
+  ++ops_.restores;
+  if (exact) ++ops_.restores_exact;
+  comment += " restored object;";
+}
+
+void PageEvolver::OpInsert(std::string& comment) {
+  extract::ObjectType type = config_.focal_type;
+  if (rng_.Bernoulli(0.3)) {
+    // Occasionally insert a non-focal object.
+    int pick = static_cast<int>(rng_.UniformInt(0, 2));
+    type = static_cast<extract::ObjectType>(pick);
+  }
+  if (AtCap(type)) return;
+  page_.InsertObject(next_uid_++, content_.NewOfType(type),
+                     RandomInsertIndex());
+  ++ops_.inserts;
+  comment += " added object;";
+}
+
+void PageEvolver::OpMove(std::string& comment) {
+  int64_t uid = PickPresentObject(/*focal_bias=*/false);
+  if (uid < 0) return;
+  int from = page_.FindObjectItem(uid);
+  if (from < 0) return;
+  LogicalPage::Item item = page_.items[static_cast<size_t>(from)];
+  page_.items.erase(page_.items.begin() + from);
+  // Paper: objects move down (9.8%) more often than up (6.9%).
+  bool down = rng_.Bernoulli(0.59);
+  int distance = 1 + rng_.Geometric(0.45);
+  int to = down ? from + distance : from - distance;
+  to = std::clamp(to, 1, static_cast<int>(page_.items.size()));
+  page_.items.insert(page_.items.begin() + to, item);
+  if (to > from) {
+    ++ops_.moves_down;
+  } else if (to < from) {
+    ++ops_.moves_up;
+  }
+  comment += " rearranged page;";
+}
+
+void PageEvolver::OpDuplicate(std::string& comment) {
+  int64_t uid = PickPresentObject();
+  if (uid < 0) return;
+  const LogicalContent& original = page_.contents[uid];
+  if (AtCap(original.type)) return;
+  // An exact copy: the accidental copy-paste phenomenon (Sec. IV-A3).
+  page_.InsertObject(next_uid_++, original, RandomInsertIndex());
+  ++ops_.duplicates;
+  comment += " duplicated content;";
+}
+
+void PageEvolver::OpVandalize(int revision, std::string& comment) {
+  int64_t uid = PickPresentObject();
+  if (uid < 0) return;
+  PendingRevert revert;
+  revert.uid = uid;
+  revert.due_revision =
+      revision + 1 + static_cast<int>(rng_.UniformInt(0, 1));
+  revert.item_index =
+      static_cast<size_t>(std::max(0, page_.FindObjectItem(uid)));
+  if (rng_.Bernoulli(0.5)) {
+    // Blank the object.
+    revert.content = page_.RemoveObject(uid);
+    revert.was_deleted = true;
+  } else {
+    // Replace part of the content with junk: vandals typically hit a few
+    // cells or one row, not every element.
+    revert.content = page_.contents[uid];
+    revert.was_deleted = false;
+    LogicalContent& content = page_.contents[uid];
+    Vocab& vocab = content_.vocab();
+    int hits = 1 + static_cast<int>(rng_.UniformInt(0, 2));
+    for (int h = 0; h < hits && !content.rows.empty(); ++h) {
+      auto& row = content.rows[rng_.Index(content.rows.size())];
+      if (rng_.Bernoulli(0.3)) {
+        for (auto& cell : row) cell = vocab.VandalismText();
+      } else if (!row.empty()) {
+        row[rng_.Index(row.size())] = vocab.VandalismText();
+      }
+    }
+  }
+  pending_reverts_.push_back(std::move(revert));
+  ++ops_.vandalisms;
+  comment += " vandalism;";
+}
+
+void PageEvolver::ApplyDueReverts(int revision, std::string& comment) {
+  for (size_t i = 0; i < pending_reverts_.size();) {
+    if (pending_reverts_[i].due_revision > revision) {
+      ++i;
+      continue;
+    }
+    PendingRevert revert = std::move(pending_reverts_[i]);
+    pending_reverts_.erase(pending_reverts_.begin() +
+                           static_cast<long>(i));
+    if (revert.was_deleted) {
+      if (page_.contents.count(revert.uid) == 0) {
+        // A revert restores the page verbatim: same location.
+        page_.InsertObject(revert.uid, std::move(revert.content),
+                           std::min(revert.item_index, page_.items.size()));
+        ++ops_.restores;
+        ++ops_.restores_exact;
+      }
+    } else if (page_.contents.count(revert.uid) > 0) {
+      page_.contents[revert.uid] = std::move(revert.content);
+    }
+    ++ops_.reverts;
+    comment += " reverted vandalism;";
+  }
+}
+
+void PageEvolver::OpSectionEdit(std::string& comment) {
+  std::vector<size_t> headings;
+  for (size_t i = 0; i < page_.items.size(); ++i) {
+    if (page_.items[i].kind == LogicalPage::ItemKind::kHeading) {
+      headings.push_back(i);
+    }
+  }
+  Vocab& vocab = content_.vocab();
+  if (headings.empty() || rng_.Bernoulli(0.3)) {
+    // Add a new section at the end.
+    page_.items.push_back({LogicalPage::ItemKind::kHeading, 2,
+                           vocab.NounPhrase(2), -1});
+    comment += " new section;";
+    return;
+  }
+  // Rename an existing section (changes the context of its objects).
+  page_.items[headings[rng_.Index(headings.size())]].text =
+      vocab.NounPhrase(2);
+  comment += " renamed section;";
+}
+
+void PageEvolver::OpParagraphEdit(std::string& comment) {
+  std::vector<size_t> paragraphs;
+  for (size_t i = 0; i < page_.items.size(); ++i) {
+    if (page_.items[i].kind == LogicalPage::ItemKind::kParagraph) {
+      paragraphs.push_back(i);
+    }
+  }
+  Vocab& vocab = content_.vocab();
+  if (paragraphs.empty() || rng_.Bernoulli(0.4)) {
+    page_.items.insert(
+        page_.items.begin() + static_cast<long>(RandomInsertIndex()),
+        {LogicalPage::ItemKind::kParagraph, 2, vocab.Sentence(), -1});
+  } else {
+    page_.items[paragraphs[rng_.Index(paragraphs.size())]].text =
+        vocab.Sentence() + " " + vocab.Sentence();
+  }
+  comment += " copyedit;";
+}
+
+void PageEvolver::ApplyRandomOp(int revision, std::string& comment) {
+  // On real pages the edit volume is page-level: pages with few objects
+  // receive mostly prose edits. Without this damping, a one-table page
+  // would funnel its whole revision history into that table, giving
+  // objects far more change events than the paper's gold standard
+  // (~14 per object, Sec. V-A).
+  double objects = static_cast<double>(page_.AllPresentUids().size());
+  double object_share = objects / (objects + 4.0);
+  if (!rng_.Bernoulli(object_share)) {
+    if (rng_.Bernoulli(0.25)) {
+      OpSectionEdit(comment);
+    } else {
+      OpParagraphEdit(comment);
+    }
+    return;
+  }
+  double total = config_.w_update + config_.w_delete + config_.w_restore +
+                 config_.w_insert + config_.w_move + config_.w_duplicate +
+                 config_.w_vandalize + config_.w_section_edit +
+                 config_.w_paragraph_edit;
+  double u = rng_.UniformDouble() * total;
+  auto take = [&u](double w) {
+    if (u < w) return true;
+    u -= w;
+    return false;
+  };
+  if (take(config_.w_update)) {
+    OpUpdate(comment);
+  } else if (take(config_.w_delete)) {
+    OpDelete(comment);
+  } else if (take(config_.w_restore)) {
+    OpRestore(comment);
+  } else if (take(config_.w_insert)) {
+    OpInsert(comment);
+  } else if (take(config_.w_move)) {
+    OpMove(comment);
+  } else if (take(config_.w_duplicate)) {
+    OpDuplicate(comment);
+  } else if (take(config_.w_vandalize)) {
+    OpVandalize(revision, comment);
+  } else if (take(config_.w_section_edit)) {
+    OpSectionEdit(comment);
+  } else {
+    OpParagraphEdit(comment);
+  }
+}
+
+void PageEvolver::RecordTruth(int revision) {
+  for (extract::ObjectType type :
+       {extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+        extract::ObjectType::kList}) {
+    std::vector<int64_t> uids = page_.PresentUids(type);
+    for (size_t pos = 0; pos < uids.size(); ++pos) {
+      int64_t uid = uids[pos];
+      auto it = chain_index_.find(uid);
+      if (it == chain_index_.end()) {
+        chain_index_[uid] = chains_.size();
+        chains_.push_back({uid, type, {{revision, static_cast<int>(pos)}}});
+      } else {
+        chains_[it->second].versions.push_back(
+            {revision, static_cast<int>(pos)});
+      }
+    }
+  }
+}
+
+GeneratedPage PageEvolver::Generate() {
+  SeedInitialPage();
+
+  GeneratedPage result;
+  Vocab& vocab = content_.vocab();
+
+  UnixSeconds timestamp =
+      FromCivil(static_cast<int>(rng_.UniformInt(2004, 2012)),
+                static_cast<int>(rng_.UniformInt(1, 12)),
+                static_cast<int>(rng_.UniformInt(1, 28)),
+                static_cast<int>(rng_.UniformInt(0, 23)));
+
+  for (int revision = 0; revision < config_.num_revisions; ++revision) {
+    std::string comment;
+    if (revision > 0) {
+      ApplyDueReverts(revision, comment);
+      int ops = 1 + rng_.Poisson(config_.extra_ops_per_revision);
+      for (int i = 0; i < ops; ++i) {
+        ApplyRandomOp(revision, comment);
+      }
+    } else {
+      comment = "created page";
+    }
+
+    RecordTruth(revision);
+
+    GeneratedRevision rev;
+    rev.timestamp = timestamp;
+    rev.comment = comment.empty() ? "minor edit" : comment;
+    rev.contributor = vocab.UserName();
+    rev.wikitext = RenderWikitext(page_);
+    rev.html = RenderHtml(page_, config_.html_web_chrome);
+    result.revisions.push_back(std::move(rev));
+
+    // Exponentially distributed gap between revisions.
+    double gap_days = -std::log(1.0 - rng_.UniformDouble()) *
+                      config_.mean_revision_gap_days;
+    timestamp += static_cast<UnixSeconds>(
+        std::max(60.0, gap_days * kSecondsPerDay));
+  }
+
+  result.title = page_.title;
+  result.ops = ops_;
+
+  // Build the ground-truth identity graphs from the recorded chains.
+  for (const Chain& chain : chains_) {
+    matching::IdentityGraph* graph = nullptr;
+    switch (chain.type) {
+      case extract::ObjectType::kTable:
+        graph = &result.truth_tables;
+        break;
+      case extract::ObjectType::kInfobox:
+        graph = &result.truth_infoboxes;
+        break;
+      case extract::ObjectType::kList:
+        graph = &result.truth_lists;
+        break;
+    }
+    int64_t id = graph->AddObject(chain.versions.front());
+    for (size_t i = 1; i < chain.versions.size(); ++i) {
+      graph->AppendVersion(id, chain.versions[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace somr::wikigen

@@ -1,0 +1,177 @@
+#ifndef SOMR_WIKIGEN_EVOLVER_H_
+#define SOMR_WIKIGEN_EVOLVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_util.h"
+#include "extract/object.h"
+#include "matching/identity_graph.h"
+#include "wikigen/content_gen.h"
+#include "wikigen/logical_page.h"
+
+namespace somr::wikigen {
+
+/// Per-revision edit-operation mix. The defaults are calibrated so the
+/// emergent per-object statistics resemble the paper's gold standard
+/// (Sec. V-A): ~10 updates, ~2 deletes and ~1.8 re-inserts per object,
+/// of which ~94% restore previously existing content; occasional
+/// duplications, moves (slightly biased downwards), and quickly-reverted
+/// vandalism.
+struct EvolverConfig {
+  extract::ObjectType focal_type = extract::ObjectType::kTable;
+  /// Stratum cap: maximum simultaneous objects of the focal type.
+  int max_focal_objects = 8;
+  int num_revisions = 200;
+  PageTheme theme = PageTheme::kGeneric;
+  uint64_t seed = 1;
+
+  /// Expected extra edit operations per revision beyond the first.
+  double extra_ops_per_revision = 0.5;
+
+  /// Number of focal objects the page starts with; -1 draws uniformly
+  /// from [1, max_focal_objects / 2].
+  int initial_focal_objects = -1;
+
+  // Relative operation weights.
+  double w_update = 0.66;
+  double w_delete = 0.10;
+  double w_restore = 0.09;
+  double w_insert = 0.04;
+  double w_move = 0.045;
+  double w_duplicate = 0.012;
+  double w_vandalize = 0.018;
+  double w_section_edit = 0.02;
+  double w_paragraph_edit = 0.015;
+
+  /// Probability that a restore reinstates the exact deleted content
+  /// (vs. a mutated version). Paper: 1.68 of 1.78 re-inserts are old.
+  double p_restore_exact = 0.94;
+
+  /// Mean revision gap in days (exponentially distributed).
+  double mean_revision_gap_days = 12.0;
+
+  /// Wrap the HTML renderings in general-web site chrome (navigation
+  /// menus, sidebar, footer) — on for the DWTC/Internet-Archive
+  /// experiments, where extraction must ignore page furniture.
+  bool html_web_chrome = false;
+};
+
+/// Aggregate operation counts for the basic-statistics experiment.
+struct EditOpCounts {
+  int inserts = 0;
+  int deletes = 0;
+  int restores = 0;
+  int restores_exact = 0;
+  int updates = 0;
+  int moves_up = 0;
+  int moves_down = 0;
+  int duplicates = 0;
+  int vandalisms = 0;
+  int reverts = 0;
+};
+
+/// One generated revision: the serialized page plus dump metadata.
+struct GeneratedRevision {
+  UnixSeconds timestamp = 0;
+  std::string comment;
+  std::string contributor;
+  std::string wikitext;
+  std::string html;
+};
+
+/// A complete generated page history with its ground truth.
+struct GeneratedPage {
+  std::string title;
+  std::vector<GeneratedRevision> revisions;
+  matching::IdentityGraph truth_tables{extract::ObjectType::kTable};
+  matching::IdentityGraph truth_infoboxes{extract::ObjectType::kInfobox};
+  matching::IdentityGraph truth_lists{extract::ObjectType::kList};
+  EditOpCounts ops;
+
+  const matching::IdentityGraph& TruthFor(extract::ObjectType type) const;
+};
+
+/// Simulates the edit history of one page: applies random edit operations
+/// revision by revision, rendering each state to wikitext and HTML and
+/// recording the true object identities.
+class PageEvolver {
+ public:
+  explicit PageEvolver(EvolverConfig config);
+
+  GeneratedPage Generate();
+
+ private:
+  struct GraveyardEntry {
+    int64_t uid;
+    LogicalContent content;
+    size_t item_index;  // where the object sat before deletion
+  };
+  struct PendingRevert {
+    int64_t uid;
+    LogicalContent content;  // pre-vandalism content; empty = was deleted
+    bool was_deleted;
+    int due_revision;
+    size_t item_index;
+  };
+
+  void SeedInitialPage();
+  void ApplyRandomOp(int revision, std::string& comment);
+  void OpUpdate(std::string& comment);
+  void OpDelete(std::string& comment);
+  void OpRestore(std::string& comment);
+  void OpInsert(std::string& comment);
+  void OpMove(std::string& comment);
+  void OpDuplicate(std::string& comment);
+  void OpVandalize(int revision, std::string& comment);
+  void OpSectionEdit(std::string& comment);
+  void OpParagraphEdit(std::string& comment);
+  void ApplyDueReverts(int revision, std::string& comment);
+
+  void UpdateTable(LogicalContent& table);
+  void UpdateInfobox(LogicalContent& infobox);
+  void UpdateList(LogicalContent& list);
+
+  /// Picks a random present object uid, preferring the focal type;
+  /// returns -1 when none exists.
+  int64_t PickPresentObject(bool focal_bias = true);
+
+  /// Maximum simultaneous objects of `type`: the stratum cap for the
+  /// focal type; small constants otherwise (real pages rarely carry more
+  /// than one infobox or a handful of secondary objects).
+  int CapFor(extract::ObjectType type) const;
+  bool AtCap(extract::ObjectType type) const;
+
+  /// Random insertion index in the items vector (never before index 0's
+  /// lead paragraph).
+  size_t RandomInsertIndex();
+
+  int FocalCount() const;
+
+  void RecordTruth(int revision);
+
+  EvolverConfig config_;
+  Rng rng_;
+  ContentGenerator content_;
+  LogicalPage page_;
+  std::deque<GraveyardEntry> graveyard_;
+  std::vector<PendingRevert> pending_reverts_;
+  int64_t next_uid_ = 0;
+  EditOpCounts ops_;
+
+  // Ground-truth accumulation: uid -> version chain.
+  struct Chain {
+    int64_t uid;
+    extract::ObjectType type;
+    std::vector<matching::VersionRef> versions;
+  };
+  std::vector<Chain> chains_;
+  std::unordered_map<int64_t, size_t> chain_index_;
+};
+
+}  // namespace somr::wikigen
+
+#endif  // SOMR_WIKIGEN_EVOLVER_H_

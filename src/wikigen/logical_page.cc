@@ -1,0 +1,59 @@
+#include "wikigen/logical_page.h"
+
+#include <algorithm>
+
+namespace somr::wikigen {
+
+int LogicalPage::FindObjectItem(int64_t uid) const {
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].kind == ItemKind::kObject && items[i].uid == uid) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<int64_t> LogicalPage::PresentUids(
+    extract::ObjectType type) const {
+  std::vector<int64_t> uids;
+  for (const Item& item : items) {
+    if (item.kind != ItemKind::kObject) continue;
+    auto it = contents.find(item.uid);
+    if (it == contents.end()) continue;
+    if (it->second.type == type) uids.push_back(item.uid);
+  }
+  return uids;
+}
+
+std::vector<int64_t> LogicalPage::AllPresentUids() const {
+  std::vector<int64_t> uids;
+  for (const Item& item : items) {
+    if (item.kind == ItemKind::kObject && contents.count(item.uid) > 0) {
+      uids.push_back(item.uid);
+    }
+  }
+  return uids;
+}
+
+LogicalContent LogicalPage::RemoveObject(int64_t uid) {
+  int index = FindObjectItem(uid);
+  if (index >= 0) items.erase(items.begin() + index);
+  auto it = contents.find(uid);
+  if (it == contents.end()) return {};
+  LogicalContent content = std::move(it->second);
+  contents.erase(it);
+  return content;
+}
+
+void LogicalPage::InsertObject(int64_t uid, LogicalContent content,
+                               size_t item_index) {
+  item_index = std::min(item_index, items.size());
+  Item item;
+  item.kind = ItemKind::kObject;
+  item.uid = uid;
+  items.insert(items.begin() + static_cast<long>(item_index),
+               std::move(item));
+  contents[uid] = std::move(content);
+}
+
+}  // namespace somr::wikigen

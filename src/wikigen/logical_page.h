@@ -1,0 +1,77 @@
+#ifndef SOMR_WIKIGEN_LOGICAL_PAGE_H_
+#define SOMR_WIKIGEN_LOGICAL_PAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "extract/object.h"
+
+namespace somr::wikigen {
+
+/// The generator-side content of one logical object. `header` holds table
+/// column headers (empty for lists; property keys are in rows for
+/// infoboxes). Rows follow the same convention as
+/// extract::ObjectInstance: table rows / (key,value) pairs / single-item
+/// rows.
+struct LogicalContent {
+  extract::ObjectType type = extract::ObjectType::kTable;
+  std::string caption;                 // table caption / infobox name
+  std::vector<std::string> header;     // table column headers
+  std::vector<std::vector<std::string>> rows;
+
+  /// Volatility profile: objects representing dynamic real-world facts
+  /// (award lists, standings) grow and shrink; static reference objects
+  /// only see cell corrections. Drives the paper's Sec. V-A shape where
+  /// 62% of tables never change size.
+  bool dynamic_size = false;
+
+  /// Identity-bearing column (team name, release title) that edits never
+  /// rewrite — real entities keep their names while their attributes
+  /// churn. -1 when no single column carries identity.
+  int key_column = -1;
+
+  bool Empty() const { return rows.empty(); }
+  bool operator==(const LogicalContent&) const = default;
+};
+
+/// The editable state of one page: an ordered sequence of items
+/// (headings, paragraphs, object slots). Object content is stored by uid
+/// so that delete + restore cycles preserve identity — this is the
+/// ground truth the matcher is evaluated against.
+struct LogicalPage {
+  enum class ItemKind { kHeading, kParagraph, kObject };
+
+  struct Item {
+    ItemKind kind = ItemKind::kParagraph;
+    int heading_level = 2;   // kHeading
+    std::string text;        // kHeading title / kParagraph text
+    int64_t uid = -1;        // kObject
+  };
+
+  std::string title;
+  std::vector<Item> items;
+  std::unordered_map<int64_t, LogicalContent> contents;  // present objects
+
+  /// Index in `items` of the object with `uid`, or -1.
+  int FindObjectItem(int64_t uid) const;
+
+  /// The uids of all present objects of `type`, in page order. Their
+  /// index in this vector is their position rank.
+  std::vector<int64_t> PresentUids(extract::ObjectType type) const;
+
+  /// All present object uids in page order, any type.
+  std::vector<int64_t> AllPresentUids() const;
+
+  /// Removes the object item and returns its content.
+  LogicalContent RemoveObject(int64_t uid);
+
+  /// Inserts an object with `content` at item index `item_index`
+  /// (clamped).
+  void InsertObject(int64_t uid, LogicalContent content, size_t item_index);
+};
+
+}  // namespace somr::wikigen
+
+#endif  // SOMR_WIKIGEN_LOGICAL_PAGE_H_

@@ -1,0 +1,219 @@
+#include "wikigen/render.h"
+
+#include "html/entities.h"
+#include "wikitext/inline_markup.h"
+#include "wikitext/serializer.h"
+
+namespace somr::wikigen {
+
+namespace {
+
+wikitext::Table ToWikiTable(const LogicalContent& content) {
+  wikitext::Table table;
+  table.attrs = "class=\"wikitable\"";
+  table.caption = content.caption;
+  if (!content.header.empty()) {
+    wikitext::TableRow header_row;
+    for (const std::string& h : content.header) {
+      wikitext::TableCell cell;
+      cell.header = true;
+      cell.content = h;
+      header_row.cells.push_back(std::move(cell));
+    }
+    table.rows.push_back(std::move(header_row));
+  }
+  for (const auto& row : content.rows) {
+    wikitext::TableRow wiki_row;
+    for (const std::string& value : row) {
+      wikitext::TableCell cell;
+      cell.content = value;
+      wiki_row.cells.push_back(std::move(cell));
+    }
+    table.rows.push_back(std::move(wiki_row));
+  }
+  return table;
+}
+
+wikitext::Template ToWikiInfobox(const LogicalContent& content) {
+  wikitext::Template tmpl;
+  tmpl.name = content.caption.empty() ? "Infobox" : content.caption;
+  for (const auto& row : content.rows) {
+    if (row.size() >= 2) {
+      tmpl.params.emplace_back(row[0], row[1]);
+    }
+  }
+  return tmpl;
+}
+
+wikitext::List ToWikiList(const LogicalContent& content) {
+  wikitext::List list;
+  for (const auto& row : content.rows) {
+    if (row.empty()) continue;
+    wikitext::ListItem item;
+    item.markers = "*";
+    item.content = row[0];
+    list.items.push_back(std::move(item));
+  }
+  return list;
+}
+
+}  // namespace
+
+wikitext::Document BuildWikitextDocument(const LogicalPage& page) {
+  wikitext::Document doc;
+  for (const LogicalPage::Item& item : page.items) {
+    switch (item.kind) {
+      case LogicalPage::ItemKind::kHeading:
+        doc.elements.push_back(
+            wikitext::Heading{item.heading_level, item.text});
+        break;
+      case LogicalPage::ItemKind::kParagraph:
+        doc.elements.push_back(wikitext::Paragraph{item.text});
+        break;
+      case LogicalPage::ItemKind::kObject: {
+        auto it = page.contents.find(item.uid);
+        if (it == page.contents.end() || it->second.Empty()) break;
+        const LogicalContent& content = it->second;
+        switch (content.type) {
+          case extract::ObjectType::kTable:
+            doc.elements.push_back(ToWikiTable(content));
+            break;
+          case extract::ObjectType::kInfobox:
+            doc.elements.push_back(ToWikiInfobox(content));
+            break;
+          case extract::ObjectType::kList:
+            doc.elements.push_back(ToWikiList(content));
+            break;
+        }
+        break;
+      }
+    }
+  }
+  return doc;
+}
+
+std::string RenderWikitext(const LogicalPage& page) {
+  return wikitext::SerializeDocument(BuildWikitextDocument(page));
+}
+
+namespace {
+
+void AppendHtmlText(std::string& out, const std::string& wiki_value) {
+  // HTML pages carry plain text; wiki inline markup is resolved first.
+  out.append(html::EscapeEntities(wikitext::StripInlineMarkup(wiki_value)));
+}
+
+void RenderHtmlTable(std::string& out, const LogicalContent& content,
+                     bool infobox) {
+  out.append(infobox ? "<table class=\"infobox\">\n" : "<table>\n");
+  if (!content.caption.empty()) {
+    out.append("<caption>");
+    AppendHtmlText(out, content.caption);
+    out.append("</caption>\n");
+  }
+  if (infobox) {
+    for (const auto& row : content.rows) {
+      if (row.size() < 2) continue;
+      out.append("<tr><th>");
+      AppendHtmlText(out, row[0]);
+      out.append("</th><td>");
+      AppendHtmlText(out, row[1]);
+      out.append("</td></tr>\n");
+    }
+  } else {
+    if (!content.header.empty()) {
+      out.append("<tr>");
+      for (const std::string& h : content.header) {
+        out.append("<th>");
+        AppendHtmlText(out, h);
+        out.append("</th>");
+      }
+      out.append("</tr>\n");
+    }
+    for (const auto& row : content.rows) {
+      out.append("<tr>");
+      for (const std::string& value : row) {
+        out.append("<td>");
+        AppendHtmlText(out, value);
+        out.append("</td>");
+      }
+      out.append("</tr>\n");
+    }
+  }
+  out.append("</table>\n");
+}
+
+}  // namespace
+
+std::string RenderHtml(const LogicalPage& page, bool web_chrome) {
+  std::string out = "<!DOCTYPE html>\n<html><head><title>";
+  out.append(html::EscapeEntities(page.title));
+  out.append("</title></head>\n<body>\n");
+  if (web_chrome) {
+    // Site furniture as found on crawled pages: none of these lists and
+    // tables are content objects.
+    out.append(
+        "<header><nav><ul>"
+        "<li><a href=\"/\">Home</a></li>"
+        "<li><a href=\"/archive\">Archive</a></li>"
+        "<li><a href=\"/about\">About</a></li>"
+        "<li><a href=\"/contact\">Contact</a></li>"
+        "</ul></nav></header>\n"
+        "<aside><ul><li>Recent edits</li><li>Popular pages</li>"
+        "<li>Random page</li></ul></aside>\n");
+  }
+  out.append("<h1>");
+  out.append(html::EscapeEntities(page.title));
+  out.append("</h1>\n");
+  for (const LogicalPage::Item& item : page.items) {
+    switch (item.kind) {
+      case LogicalPage::ItemKind::kHeading: {
+        std::string tag = "h" + std::to_string(item.heading_level);
+        out.append("<").append(tag).append(">");
+        AppendHtmlText(out, item.text);
+        out.append("</").append(tag).append(">\n");
+        break;
+      }
+      case LogicalPage::ItemKind::kParagraph:
+        out.append("<p>");
+        AppendHtmlText(out, item.text);
+        out.append("</p>\n");
+        break;
+      case LogicalPage::ItemKind::kObject: {
+        auto it = page.contents.find(item.uid);
+        if (it == page.contents.end() || it->second.Empty()) break;
+        const LogicalContent& content = it->second;
+        switch (content.type) {
+          case extract::ObjectType::kTable:
+            RenderHtmlTable(out, content, /*infobox=*/false);
+            break;
+          case extract::ObjectType::kInfobox:
+            RenderHtmlTable(out, content, /*infobox=*/true);
+            break;
+          case extract::ObjectType::kList:
+            out.append("<ul>\n");
+            for (const auto& row : content.rows) {
+              if (row.empty()) continue;
+              out.append("<li>");
+              AppendHtmlText(out, row[0]);
+              out.append("</li>\n");
+            }
+            out.append("</ul>\n");
+            break;
+        }
+        break;
+      }
+    }
+  }
+  if (web_chrome) {
+    out.append(
+        "<footer><table role=\"presentation\"><tr>"
+        "<td><a href=\"/terms\">Terms</a></td>"
+        "<td><a href=\"/privacy\">Privacy</a></td>"
+        "<td>\xC2\xA9 2019</td></tr></table></footer>\n");
+  }
+  out.append("</body></html>\n");
+  return out;
+}
+
+}  // namespace somr::wikigen

@@ -1,0 +1,29 @@
+#ifndef SOMR_WIKIGEN_RENDER_H_
+#define SOMR_WIKIGEN_RENDER_H_
+
+#include <string>
+
+#include "wikigen/logical_page.h"
+#include "wikitext/ast.h"
+
+namespace somr::wikigen {
+
+/// Builds the wikitext AST for the current page state. Objects appear in
+/// item order; extracting objects from the rendered page yields exactly
+/// the logical objects, in the same order (round-trip property, tested).
+wikitext::Document BuildWikitextDocument(const LogicalPage& page);
+
+/// Renders the page state to wikitext markup.
+std::string RenderWikitext(const LogicalPage& page);
+
+/// Renders the page state to an HTML document (tables, `<table
+/// class="infobox">`, `<ul>` lists, `<h2>`/`<h3>` headings) — the form
+/// general web pages take in the DWTC / Internet-Archive experiment.
+/// With `web_chrome`, the content is wrapped in realistic site furniture
+/// (a <header> with a navigation menu, an <aside> sidebar list, a
+/// <footer> link table) that extraction must ignore.
+std::string RenderHtml(const LogicalPage& page, bool web_chrome = false);
+
+}  // namespace somr::wikigen
+
+#endif  // SOMR_WIKIGEN_RENDER_H_

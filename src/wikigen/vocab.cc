@@ -1,0 +1,226 @@
+#include "wikigen/vocab.h"
+
+#include <array>
+#include <string_view>
+
+namespace somr::wikigen {
+
+namespace {
+
+constexpr std::array<std::string_view, 24> kFirstNames = {
+    "Maria",  "James",  "Elena",   "Tobias", "Leon",   "Divesh",
+    "Felix",  "Anna",   "Robert",  "Sofia",  "Henrik", "Clara",
+    "Marcus", "Ingrid", "Pauline", "Viktor", "Amara",  "Jonas",
+    "Lucia",  "Oscar",  "Renate",  "Samuel", "Teresa", "Walter"};
+
+constexpr std::array<std::string_view, 24> kLastNames = {
+    "Keller",   "Bennett",  "Okafor",   "Lindqvist", "Moreau",  "Tanaka",
+    "Petrov",   "Alvarez",  "Schmidt",  "Haugen",    "Rossi",   "Novak",
+    "Anders",   "Caruso",   "Dittrich", "Eriksen",   "Falk",    "Grieg",
+    "Hoffmann", "Iversen",  "Jansen",   "Kowalski",  "Larsen",  "Meier"};
+
+constexpr std::array<std::string_view, 20> kPlacePrefix = {
+    "Port",  "New",    "Lake",  "Fort",  "Saint", "East", "West",
+    "North", "South",  "Upper", "Lower", "Old",   "Mount", "Cape",
+    "Glen",  "Little", "Grand", "Bay",   "Rock",  "Star"};
+
+constexpr std::array<std::string_view, 20> kPlaceStem = {
+    "Aurelia",  "Brighton", "Calder",  "Dunmore",  "Eastvale",
+    "Farrow",   "Garland",  "Holloway", "Ivydale",  "Juniper",
+    "Kingsley", "Larkspur", "Midvale",  "Norwood",  "Oakhurst",
+    "Pinecrest", "Quarry",  "Ridgeway", "Seabrook", "Thornton"};
+
+constexpr std::array<std::string_view, 12> kAwardAdjectives = {
+    "Golden", "Silver",   "Crystal",  "National", "International",
+    "Annual", "Critics'", "People's", "Grand",    "Royal",
+    "Pacific", "Northern"};
+
+constexpr std::array<std::string_view, 12> kAwardNouns = {
+    "Meridian", "Laurel", "Globe",  "Compass", "Lantern", "Orbit",
+    "Spire",    "Harbor", "Summit", "Beacon",  "Quill",   "Reel"};
+
+// Small pool on purpose: categories collide across award tables on the
+// same page, which is exactly what makes matching hard (Example 1).
+constexpr std::array<std::string_view, 10> kAwardCategories = {
+    "Best Actor",           "Best Actress",
+    "Best Supporting Actor", "Best Supporting Actress",
+    "Best Director",        "Best Picture",
+    "Best Original Song",   "Best Screenplay",
+    "Best Newcomer",        "Album of the Year"};
+
+constexpr std::array<std::string_view, 14> kWorkAdjectives = {
+    "Silent", "Hidden", "Crimson", "Endless", "Broken", "Distant",
+    "Velvet", "Frozen", "Burning", "Hollow",  "Gilded", "Wandering",
+    "Quiet",  "Electric"};
+
+constexpr std::array<std::string_view, 14> kWorkNouns = {
+    "Harbor", "Mirror", "Orchard", "Parallel", "Harvest", "Signal",
+    "Garden", "Winter",  "Archive", "Horizon",  "Letter",  "Cathedral",
+    "Voyage", "Tide"};
+
+constexpr std::array<std::string_view, 22> kNouns = {
+    "river",   "council",  "station",  "festival", "museum",  "bridge",
+    "library", "district", "railway",  "harbor",   "castle",  "garden",
+    "market",  "theatre",  "airport",  "stadium",  "valley",  "island",
+    "forest",  "cathedral", "quarter", "province"};
+
+constexpr std::array<std::string_view, 18> kAdjectives = {
+    "historic",  "northern", "famous",   "large",    "ancient",
+    "modern",    "coastal",  "regional", "annual",   "public",
+    "national",  "small",    "popular",  "western",  "central",
+    "important", "notable",  "official"};
+
+constexpr std::array<std::string_view, 16> kVerbsPast = {
+    "opened",      "closed",     "expanded",  "renovated", "founded",
+    "established", "relocated",  "merged",    "dissolved", "completed",
+    "announced",   "inaugurated", "restored", "rebuilt",   "extended",
+    "modernized"};
+
+constexpr std::array<std::string_view, 14> kColumnHeaders = {
+    "Name",   "Year",   "Location", "Population", "Area",   "Notes",
+    "Result", "Rank",   "Country",  "Length",     "Height", "Status",
+    "Date",   "Capacity"};
+
+constexpr std::array<std::string_view, 18> kInfoboxKeys = {
+    "name",        "birth_date", "birth_place", "occupation",
+    "nationality", "population", "area",        "elevation",
+    "established", "website",    "coordinates", "mayor",
+    "genre",       "label",      "years_active", "spouse",
+    "children",    "education"};
+
+constexpr std::array<std::string_view, 10> kVandalWords = {
+    "aslkdjf", "zzzzz",    "qwerty",  "hahaha", "nonsense",
+    "deleted", "xxxxxxx",  "spamspam", "lolol",  "blanked"};
+
+template <size_t N>
+std::string_view Pick(Rng& rng, const std::array<std::string_view, N>& pool) {
+  return pool[rng.Index(N)];
+}
+
+}  // namespace
+
+std::string Vocab::PersonName() {
+  return std::string(Pick(rng_, kFirstNames)) + " " +
+         std::string(Pick(rng_, kLastNames));
+}
+
+std::string Vocab::PlaceName() {
+  return std::string(Pick(rng_, kPlacePrefix)) + " " +
+         std::string(Pick(rng_, kPlaceStem));
+}
+
+std::string Vocab::AwardName() {
+  return std::string(Pick(rng_, kAwardAdjectives)) + " " +
+         std::string(Pick(rng_, kAwardNouns)) + " Award";
+}
+
+std::string Vocab::AwardCategory() {
+  return std::string(Pick(rng_, kAwardCategories));
+}
+
+std::string Vocab::AwardResult() {
+  double u = rng_.UniformDouble();
+  if (u < 0.45) return "Won";
+  if (u < 0.92) return "Nominated";
+  return "Pending";
+}
+
+std::string Vocab::WorkTitle() {
+  std::string title = "The " + std::string(Pick(rng_, kWorkAdjectives)) +
+                      " " + std::string(Pick(rng_, kWorkNouns));
+  // Qualifiers grow the title space far beyond the adjective x noun grid;
+  // accidental title collisions across unrelated tables are rare in
+  // reality.
+  double u = rng_.UniformDouble();
+  if (u < 0.25) {
+    title += " of " + std::string(Pick(rng_, kPlaceStem));
+  } else if (u < 0.45) {
+    title += " " + std::string(1, static_cast<char>('I' + 0)) +
+             (rng_.Bernoulli(0.5) ? "I" : "II");
+  } else if (u < 0.6) {
+    title = std::string(Pick(rng_, kLastNames)) + "'s " + title.substr(4);
+  }
+  return title;
+}
+
+std::string Vocab::Year() {
+  return std::to_string(rng_.UniformInt(1960, 2019));
+}
+
+std::string Vocab::NounPhrase(int words) {
+  std::string phrase;
+  for (int i = 0; i < words - 1; ++i) {
+    phrase += std::string(Pick(rng_, kAdjectives)) + " ";
+  }
+  phrase += std::string(Pick(rng_, kNouns));
+  return phrase;
+}
+
+std::string Vocab::Sentence() {
+  std::string s = "The " + NounPhrase(2) + " " +
+                  std::string(Pick(rng_, kVerbsPast)) + " in " + Year() +
+                  " near " + PlaceName() + ".";
+  return s;
+}
+
+std::string Vocab::WikiLink() {
+  std::string target =
+      rng_.Bernoulli(0.5) ? PlaceName() : PersonName();
+  if (rng_.Bernoulli(0.3)) {
+    return "[[" + target + "|" + NounPhrase(1) + "]]";
+  }
+  return "[[" + target + "]]";
+}
+
+std::string Vocab::ColumnHeader() {
+  return std::string(Pick(rng_, kColumnHeaders));
+}
+
+std::string Vocab::ValueFor(const std::string& header) {
+  if (header == "Year" || header == "Date" || header == "established") {
+    return Year();
+  }
+  if (header == "Population" || header == "Capacity") {
+    return std::to_string(rng_.UniformInt(500, 2000000));
+  }
+  if (header == "Area" || header == "Length" || header == "Height") {
+    return std::to_string(rng_.UniformInt(1, 9000));
+  }
+  if (header == "Rank") {
+    return std::to_string(rng_.UniformInt(1, 200));
+  }
+  if (header == "Result") {
+    return AwardResult();
+  }
+  if (header == "Status") {
+    return rng_.Bernoulli(0.5) ? "Active" : "Closed";
+  }
+  if (header == "Country" || header == "Location") {
+    return PlaceName();
+  }
+  if (header == "Notes") {
+    return NounPhrase(3);
+  }
+  return rng_.Bernoulli(0.5) ? PersonName() : PlaceName();
+}
+
+std::string Vocab::InfoboxKey() {
+  return std::string(Pick(rng_, kInfoboxKeys));
+}
+
+std::string Vocab::UserName() {
+  return std::string(Pick(rng_, kFirstNames)) +
+         std::to_string(rng_.UniformInt(1, 999));
+}
+
+std::string Vocab::VandalismText() {
+  std::string s;
+  int n = static_cast<int>(rng_.UniformInt(1, 4));
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) s.push_back(' ');
+    s += std::string(Pick(rng_, kVandalWords));
+  }
+  return s;
+}
+
+}  // namespace somr::wikigen

@@ -1,0 +1,73 @@
+#ifndef SOMR_WIKIGEN_VOCAB_H_
+#define SOMR_WIKIGEN_VOCAB_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace somr::wikigen {
+
+/// Random natural-language building blocks for the synthetic corpus. All
+/// functions are pure draws from fixed word pools, so that generated
+/// content is deterministic per seed, plausible, and — importantly for
+/// matching difficulty — *overlapping*: different objects on a page share
+/// many tokens (award categories, country names, years), as on real
+/// Wikipedia pages (Example 1 of the paper).
+class Vocab {
+ public:
+  explicit Vocab(Rng& rng) : rng_(rng) {}
+
+  /// A person name, e.g. "Maria Keller".
+  std::string PersonName();
+
+  /// A place name, e.g. "Port Aurelia".
+  std::string PlaceName();
+
+  /// An award/event name, e.g. "Golden Meridian Award".
+  std::string AwardName();
+
+  /// An award category, e.g. "Best Supporting Actor". Drawn from a small
+  /// pool so categories collide across tables, as in the paper.
+  std::string AwardCategory();
+
+  /// "Won" / "Nominated" / "Pending".
+  std::string AwardResult();
+
+  /// A film/album/work title, e.g. "The Silent Harbor".
+  std::string WorkTitle();
+
+  /// A year in [1960, 2019] as a string.
+  std::string Year();
+
+  /// A short noun phrase, `words` words long.
+  std::string NounPhrase(int words);
+
+  /// A filler sentence for paragraphs and list items.
+  std::string Sentence();
+
+  /// A wiki-link to a random entity: "[[Target]]" or "[[Target|label]]".
+  std::string WikiLink();
+
+  /// A column header for a generic table.
+  std::string ColumnHeader();
+
+  /// A value appropriate for the given header (years for "Year", numbers
+  /// for "Population", names otherwise).
+  std::string ValueFor(const std::string& header);
+
+  /// An infobox property key from a fixed pool.
+  std::string InfoboxKey();
+
+  /// Random contributor username.
+  std::string UserName();
+
+  /// Gibberish used by the vandalism edit operation.
+  std::string VandalismText();
+
+ private:
+  Rng& rng_;
+};
+
+}  // namespace somr::wikigen
+
+#endif  // SOMR_WIKIGEN_VOCAB_H_

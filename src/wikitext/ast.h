@@ -1,0 +1,99 @@
+#ifndef SOMR_WIKITEXT_AST_H_
+#define SOMR_WIKITEXT_AST_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace somr::wikitext {
+
+/// One table cell. `header` distinguishes `!` cells from `|` cells.
+/// `content` is raw wikitext (inline markup not yet stripped); `attrs` is
+/// the optional attribute string before the cell's content pipe
+/// (e.g. `colspan=2`).
+struct TableCell {
+  bool header = false;
+  std::string attrs;
+  std::string content;
+
+  bool operator==(const TableCell&) const = default;
+};
+
+struct TableRow {
+  std::string attrs;
+  std::vector<TableCell> cells;
+
+  bool operator==(const TableRow&) const = default;
+};
+
+/// A `{| ... |}` wikitext table.
+struct Table {
+  std::string attrs;    // attributes on the `{|` line (e.g. class="wikitable")
+  std::string caption;  // `|+` caption, if any
+  std::vector<TableRow> rows;
+
+  bool operator==(const Table&) const = default;
+};
+
+/// One list item; `markers` is the full prefix ("*", "**", "#", ";", ":").
+struct ListItem {
+  std::string markers;
+  std::string content;
+
+  bool operator==(const ListItem&) const = default;
+
+  int Level() const { return static_cast<int>(markers.size()); }
+};
+
+/// A maximal run of consecutive list-item lines.
+struct List {
+  std::vector<ListItem> items;
+
+  bool operator==(const List&) const = default;
+};
+
+/// A `{{Name | k = v | ... }}` template invocation. Positional parameters
+/// get keys "1", "2", ... as in MediaWiki.
+struct Template {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  bool operator==(const Template&) const = default;
+
+  /// True for `{{Infobox ...}}` templates (case-insensitive prefix match).
+  bool IsInfobox() const;
+
+  /// Value for parameter `key`, or "" if absent.
+  const std::string& Param(const std::string& key) const;
+};
+
+/// `== Title ==`; level = number of '=' characters (2..6).
+struct Heading {
+  int level = 2;
+  std::string title;
+
+  bool operator==(const Heading&) const = default;
+};
+
+/// A run of plain text lines.
+struct Paragraph {
+  std::string text;
+
+  bool operator==(const Paragraph&) const = default;
+};
+
+using Element =
+    std::variant<Heading, Paragraph, Table, List, Template>;
+
+/// A parsed wikitext page: a flat sequence of block-level elements.
+/// Section structure is recovered from the heading levels.
+struct Document {
+  std::vector<Element> elements;
+
+  bool operator==(const Document&) const = default;
+};
+
+}  // namespace somr::wikitext
+
+#endif  // SOMR_WIKITEXT_AST_H_

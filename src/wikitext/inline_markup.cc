@@ -1,0 +1,238 @@
+#include "wikitext/inline_markup.h"
+
+#include "common/string_util.h"
+#include "html/entities.h"
+
+namespace somr::wikitext {
+
+namespace {
+
+/// Removes <ref>...</ref> (including attributes and self-closing form).
+std::string DropRefs(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] == '<' && i + 4 <= s.size() &&
+        EqualsIgnoreAsciiCase(s.substr(i, 4), "<ref")) {
+      size_t close = s.find('>', i);
+      if (close == std::string_view::npos) break;
+      if (s[close - 1] == '/') {  // self-closing <ref name=x />
+        i = close + 1;
+        continue;
+      }
+      size_t end = std::string_view::npos;
+      for (size_t j = close; j + 6 <= s.size(); ++j) {
+        if (EqualsIgnoreAsciiCase(s.substr(j, 6), "</ref>")) {
+          end = j;
+          break;
+        }
+      }
+      if (end == std::string_view::npos) break;
+      i = end + 6;
+      continue;
+    }
+    out.push_back(s[i]);
+    ++i;
+  }
+  return out;
+}
+
+/// Removes remaining <...> tags, keeping their inner text.
+std::string DropTags(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_tag = false;
+  for (char c : s) {
+    if (c == '<') {
+      in_tag = true;
+    } else if (c == '>' && in_tag) {
+      in_tag = false;
+    } else if (!in_tag) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+/// Renders an inline template invocation `{{name|p1|k=v|...}}` the way a
+/// reader sees it, approximately: positional parameter values joined by
+/// spaces (covers {{start date|2001|2|3}} -> "2001 2 3"); named
+/// parameters' values included, keys dropped. Unknown no-parameter
+/// templates ({{citation needed}}) render to nothing.
+std::string ExpandInlineTemplates(std::string_view s);
+
+std::string RenderInlineTemplate(std::string_view body) {
+  std::string out;
+  int brace_depth = 0, bracket_depth = 0;
+  size_t start = 0;
+  bool first_part = true;  // the template name
+  auto emit = [&](std::string_view part) {
+    if (first_part) {
+      first_part = false;  // drop the name
+      return;
+    }
+    size_t eq = part.find('=');
+    std::string_view value =
+        eq != std::string_view::npos && part.find("[[") > eq
+            ? part.substr(eq + 1)
+            : part;
+    value = StripAsciiWhitespace(value);
+    if (value.empty()) return;
+    if (!out.empty()) out.push_back(' ');
+    if (value.find("{{") != std::string_view::npos) {
+      out.append(ExpandInlineTemplates(value));  // nested templates
+    } else {
+      out.append(value);
+    }
+  };
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i + 1 < body.size()) {
+      if (body[i] == '{' && body[i + 1] == '{') {
+        brace_depth++;
+        ++i;
+        continue;
+      }
+      if (body[i] == '}' && body[i + 1] == '}' && brace_depth > 0) {
+        brace_depth--;
+        ++i;
+        continue;
+      }
+      if (body[i] == '[' && body[i + 1] == '[') {
+        bracket_depth++;
+        ++i;
+        continue;
+      }
+      if (body[i] == ']' && body[i + 1] == ']' && bracket_depth > 0) {
+        bracket_depth--;
+        ++i;
+        continue;
+      }
+    }
+    if (body[i] == '|' && brace_depth == 0 && bracket_depth == 0) {
+      emit(body.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  emit(body.substr(start));
+  return out;
+}
+
+/// Replaces top-level `{{...}}` invocations with their rendered text.
+std::string ExpandInlineTemplates(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (i + 1 < s.size() && s[i] == '{' && s[i + 1] == '{') {
+      // Find the matching close, honoring nesting.
+      int depth = 0;
+      size_t j = i;
+      size_t end = std::string_view::npos;
+      while (j + 1 < s.size() + 1) {
+        if (j + 1 < s.size() && s[j] == '{' && s[j + 1] == '{') {
+          depth++;
+          j += 2;
+          continue;
+        }
+        if (j + 1 < s.size() && s[j] == '}' && s[j + 1] == '}') {
+          depth--;
+          j += 2;
+          if (depth == 0) {
+            end = j;
+            break;
+          }
+          continue;
+        }
+        ++j;
+      }
+      if (end != std::string_view::npos) {
+        out.append(RenderInlineTemplate(s.substr(i + 2, end - i - 4)));
+        i = end;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StripInlineMarkup(std::string_view input) {
+  std::string s = DropRefs(input);
+  if (s.find("{{") != std::string::npos) {
+    s = ExpandInlineTemplates(s);
+  }
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    // Internal link [[Target|Label]] or [[Target]].
+    if (i + 1 < s.size() && s[i] == '[' && s[i + 1] == '[') {
+      size_t end = s.find("]]", i + 2);
+      if (end != std::string::npos) {
+        std::string_view body = std::string_view(s).substr(i + 2, end - i - 2);
+        size_t pipe = body.rfind('|');
+        std::string_view shown =
+            pipe == std::string_view::npos ? body : body.substr(pipe + 1);
+        out.append(shown);
+        i = end + 2;
+        continue;
+      }
+    }
+    // External link [http://... label].
+    if (s[i] == '[' && (i + 1 >= s.size() || s[i + 1] != '[')) {
+      size_t end = s.find(']', i + 1);
+      if (end != std::string::npos) {
+        std::string_view body = std::string_view(s).substr(i + 1, end - i - 1);
+        size_t space = body.find(' ');
+        if (space != std::string_view::npos) {
+          out.append(body.substr(space + 1));
+        }
+        // Bare external link: drop the URL entirely.
+        i = end + 1;
+        continue;
+      }
+    }
+    // Bold/italic quote runs '' ''' '''''.
+    if (s[i] == '\'' && i + 1 < s.size() && s[i + 1] == '\'') {
+      size_t run = 0;
+      while (i + run < s.size() && s[i + run] == '\'') ++run;
+      i += run;
+      continue;
+    }
+    out.push_back(s[i]);
+    ++i;
+  }
+  out = DropTags(out);
+  out = html::DecodeEntities(out);
+  return CollapseWhitespace(out);
+}
+
+std::vector<std::string> ExtractLinkTargets(std::string_view s) {
+  std::vector<std::string> targets;
+  size_t i = 0;
+  while (i + 1 < s.size()) {
+    if (s[i] == '[' && s[i + 1] == '[') {
+      size_t end = s.find("]]", i + 2);
+      if (end == std::string_view::npos) break;
+      std::string_view body = s.substr(i + 2, end - i - 2);
+      size_t pipe = body.find('|');
+      std::string_view target =
+          pipe == std::string_view::npos ? body : body.substr(0, pipe);
+      targets.emplace_back(StripAsciiWhitespace(target));
+      i = end + 2;
+    } else {
+      ++i;
+    }
+  }
+  return targets;
+}
+
+}  // namespace somr::wikitext

@@ -1,0 +1,21 @@
+#ifndef SOMR_WIKITEXT_INLINE_MARKUP_H_
+#define SOMR_WIKITEXT_INLINE_MARKUP_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace somr::wikitext {
+
+/// Converts inline wikitext to plain text: `[[Target|Label]]` -> "Label",
+/// `[[Target]]` -> "Target", `[url label]` -> "label", bold/italic quotes
+/// stripped, `<ref>...</ref>` dropped, remaining HTML-ish tags removed,
+/// entities decoded.
+std::string StripInlineMarkup(std::string_view s);
+
+/// Extracts the targets of all `[[...]]` internal links, in order.
+std::vector<std::string> ExtractLinkTargets(std::string_view s);
+
+}  // namespace somr::wikitext
+
+#endif  // SOMR_WIKITEXT_INLINE_MARKUP_H_

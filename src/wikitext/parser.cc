@@ -1,0 +1,445 @@
+#include "wikitext/parser.h"
+
+#include <cstddef>
+
+#include "common/string_util.h"
+
+namespace somr::wikitext {
+
+namespace {
+
+bool IsListMarker(char c) {
+  return c == '*' || c == '#' || c == ';' || c == ':';
+}
+
+/// Splits `body` on top-level `|`: pipes inside nested `{{...}}`,
+/// `[[...]]`, or `{|...|}` do not split.
+std::vector<std::string_view> SplitTopLevelPipes(std::string_view body) {
+  std::vector<std::string_view> parts;
+  int brace_depth = 0;
+  int bracket_depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i + 1 < body.size()) {
+      if (body[i] == '{' && body[i + 1] == '{') {
+        brace_depth++;
+        ++i;
+        continue;
+      }
+      if (body[i] == '}' && body[i + 1] == '}' && brace_depth > 0) {
+        brace_depth--;
+        ++i;
+        continue;
+      }
+      if (body[i] == '[' && body[i + 1] == '[') {
+        bracket_depth++;
+        ++i;
+        continue;
+      }
+      if (body[i] == ']' && body[i + 1] == ']' && bracket_depth > 0) {
+        bracket_depth--;
+        ++i;
+        continue;
+      }
+    }
+    if (body[i] == '|' && brace_depth == 0 && bracket_depth == 0) {
+      parts.push_back(body.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  parts.push_back(body.substr(start));
+  return parts;
+}
+
+/// Finds the end (index one past "}}") of a template starting at `pos`
+/// (which must point at "{{"); npos if unbalanced.
+size_t FindTemplateEnd(std::string_view s, size_t pos) {
+  int depth = 0;
+  for (size_t i = pos; i + 1 < s.size() + 1; ++i) {
+    if (i + 1 < s.size() && s[i] == '{' && s[i + 1] == '{') {
+      depth++;
+      ++i;
+    } else if (i + 1 < s.size() && s[i] == '}' && s[i + 1] == '}') {
+      depth--;
+      ++i;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Parses the cells on a table content line. `header` selects `!!` vs `||`
+/// as the in-line separator.
+void ParseCellLine(std::string_view line, bool header, TableRow& row) {
+  // Strip the leading '|' or '!'.
+  line.remove_prefix(1);
+  std::string_view sep = header ? "!!" : "||";
+  std::vector<std::string_view> cells;
+  size_t start = 0;
+  int bracket_depth = 0;
+  int brace_depth = 0;
+  for (size_t i = 0; i + 1 < line.size() + 1; ++i) {
+    if (i + 1 < line.size()) {
+      if (line[i] == '[' && line[i + 1] == '[') bracket_depth++;
+      if (line[i] == ']' && line[i + 1] == ']' && bracket_depth > 0) {
+        bracket_depth--;
+      }
+      if (line[i] == '{' && line[i + 1] == '{') brace_depth++;
+      if (line[i] == '}' && line[i + 1] == '}' && brace_depth > 0) {
+        brace_depth--;
+      }
+      if (bracket_depth == 0 && brace_depth == 0 &&
+          line.substr(i, 2) == sep) {
+        cells.push_back(line.substr(start, i - start));
+        start = i + 2;
+        ++i;
+      }
+    }
+  }
+  cells.push_back(line.substr(start));
+
+  for (std::string_view cell_src : cells) {
+    TableCell cell;
+    cell.header = header;
+    // `attrs | content`: a single top-level pipe whose left side contains
+    // '=' but no link separates attributes from content.
+    size_t pipe = std::string_view::npos;
+    int bd = 0, cd = 0;
+    for (size_t i = 0; i < cell_src.size(); ++i) {
+      if (i + 1 < cell_src.size()) {
+        if (cell_src[i] == '[' && cell_src[i + 1] == '[') bd++;
+        if (cell_src[i] == ']' && cell_src[i + 1] == ']' && bd > 0) bd--;
+        if (cell_src[i] == '{' && cell_src[i + 1] == '{') cd++;
+        if (cell_src[i] == '}' && cell_src[i + 1] == '}' && cd > 0) cd--;
+      }
+      if (cell_src[i] == '|' && bd == 0 && cd == 0) {
+        pipe = i;
+        break;
+      }
+    }
+    if (pipe != std::string_view::npos) {
+      std::string_view maybe_attrs = cell_src.substr(0, pipe);
+      if (maybe_attrs.find('=') != std::string_view::npos &&
+          maybe_attrs.find("[[") == std::string_view::npos) {
+        cell.attrs = std::string(StripAsciiWhitespace(maybe_attrs));
+        cell_src = cell_src.substr(pipe + 1);
+      }
+    }
+    cell.content = std::string(StripAsciiWhitespace(cell_src));
+    row.cells.push_back(std::move(cell));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) {
+    for (std::string_view line : SplitString(input, '\n')) {
+      // Tolerate \r\n dumps.
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      lines_.push_back(line);
+    }
+  }
+
+  Document Run() {
+    Document doc;
+    std::string paragraph;
+    auto flush_paragraph = [&]() {
+      std::string_view trimmed = StripAsciiWhitespace(paragraph);
+      if (!trimmed.empty()) {
+        doc.elements.push_back(Paragraph{std::string(trimmed)});
+      }
+      paragraph.clear();
+    };
+
+    while (pos_ < lines_.size()) {
+      std::string_view line = lines_[pos_];
+      std::string_view trimmed = StripAsciiWhitespace(line);
+
+      if (trimmed.empty()) {
+        flush_paragraph();
+        ++pos_;
+        continue;
+      }
+      if (Heading h; TryParseHeading(trimmed, h)) {
+        flush_paragraph();
+        doc.elements.push_back(std::move(h));
+        ++pos_;
+        continue;
+      }
+      if (trimmed.substr(0, 2) == "{|") {
+        flush_paragraph();
+        doc.elements.push_back(ParseTable());
+        continue;
+      }
+      if (trimmed.substr(0, 2) == "{{") {
+        // Block template only when braces balance within the page.
+        std::string combined = GatherTemplate();
+        if (!combined.empty()) {
+          flush_paragraph();
+          doc.elements.push_back(ParseTemplateSource(combined));
+          continue;
+        }
+        // Unbalanced: fall through to paragraph.
+      }
+      if (IsListMarker(trimmed[0])) {
+        flush_paragraph();
+        doc.elements.push_back(ParseList());
+        continue;
+      }
+      if (!paragraph.empty()) paragraph.push_back('\n');
+      paragraph.append(line);
+      ++pos_;
+    }
+    flush_paragraph();
+    return doc;
+  }
+
+ private:
+  static bool TryParseHeading(std::string_view trimmed, Heading& out) {
+    if (trimmed.size() < 5 || trimmed[0] != '=') return false;
+    size_t level = 0;
+    while (level < trimmed.size() && trimmed[level] == '=') ++level;
+    if (level < 2 || level > 6) return false;
+    size_t end = trimmed.size();
+    size_t tail = 0;
+    while (end > 0 && trimmed[end - 1] == '=') {
+      --end;
+      ++tail;
+    }
+    if (tail != level || end <= level) return false;
+    std::string_view title =
+        StripAsciiWhitespace(trimmed.substr(level, end - level));
+    if (title.empty()) return false;
+    out.level = static_cast<int>(level);
+    out.title = std::string(title);
+    return true;
+  }
+
+  /// Gathers lines from pos_ until `{{ }}` braces balance; returns the
+  /// combined source and advances pos_, or returns "" and leaves pos_
+  /// unchanged when unbalanced.
+  std::string GatherTemplate() {
+    std::string combined;
+    int depth = 0;
+    size_t end = pos_;
+    for (; end < lines_.size(); ++end) {
+      std::string_view line = lines_[end];
+      if (!combined.empty()) combined.push_back('\n');
+      combined.append(line);
+      for (size_t i = 0; i + 1 < line.size(); ++i) {
+        if (line[i] == '{' && line[i + 1] == '{') {
+          depth++;
+          ++i;
+        } else if (line[i] == '}' && line[i + 1] == '}') {
+          depth--;
+          ++i;
+        }
+      }
+      if (depth <= 0) break;
+    }
+    if (depth > 0 || end == lines_.size()) return "";
+    pos_ = end + 1;
+    return combined;
+  }
+
+  Table ParseTable() {
+    Table table;
+    std::string_view first = StripAsciiWhitespace(lines_[pos_]);
+    table.attrs = std::string(StripAsciiWhitespace(first.substr(2)));
+    ++pos_;
+    bool have_row = false;
+    int nested_depth = 0;
+    std::string nested_src;
+
+    auto current_row = [&]() -> TableRow& {
+      if (!have_row) {
+        table.rows.emplace_back();
+        have_row = true;
+      }
+      return table.rows.back();
+    };
+
+    while (pos_ < lines_.size()) {
+      std::string_view raw = lines_[pos_];
+      std::string_view line = StripAsciiWhitespace(raw);
+
+      if (nested_depth > 0) {
+        // Inside a nested table: accumulate raw source into the last cell.
+        nested_src.append(raw);
+        nested_src.push_back('\n');
+        if (line.substr(0, 2) == "{|") nested_depth++;
+        if (line == "|}" ) {
+          nested_depth--;
+          if (nested_depth == 0) {
+            TableRow& row = current_row();
+            if (row.cells.empty()) row.cells.emplace_back();
+            row.cells.back().content.append("\n").append(nested_src);
+            nested_src.clear();
+          }
+        }
+        ++pos_;
+        continue;
+      }
+
+      if (line.empty()) {
+        // Blank lines inside a table are layout noise.
+        ++pos_;
+        continue;
+      }
+      if (line.substr(0, 2) == "{|") {
+        nested_depth = 1;
+        nested_src.assign(raw);
+        nested_src.push_back('\n');
+        ++pos_;
+        continue;
+      }
+      if (line == "|}") {
+        ++pos_;
+        break;
+      }
+      if (line.substr(0, 2) == "|+") {
+        // `|+ attrs | Caption` carries attributes before a single pipe.
+        std::string_view caption = StripAsciiWhitespace(line.substr(2));
+        size_t pipe = caption.find('|');
+        if (pipe != std::string_view::npos &&
+            caption.substr(0, pipe).find('=') != std::string_view::npos &&
+            caption.substr(0, pipe).find("[[") == std::string_view::npos) {
+          caption = StripAsciiWhitespace(caption.substr(pipe + 1));
+        }
+        table.caption = std::string(caption);
+        ++pos_;
+        continue;
+      }
+      if (line.substr(0, 2) == "|-") {
+        table.rows.emplace_back();
+        table.rows.back().attrs =
+            std::string(StripAsciiWhitespace(line.substr(2)));
+        have_row = true;
+        ++pos_;
+        continue;
+      }
+      if (!line.empty() && line[0] == '!') {
+        ParseCellLine(line, /*header=*/true, current_row());
+        ++pos_;
+        continue;
+      }
+      if (!line.empty() && line[0] == '|') {
+        ParseCellLine(line, /*header=*/false, current_row());
+        ++pos_;
+        continue;
+      }
+      // Continuation of the previous cell's content.
+      if (have_row && !table.rows.back().cells.empty()) {
+        TableCell& cell = table.rows.back().cells.back();
+        if (!cell.content.empty()) cell.content.push_back(' ');
+        cell.content.append(line);
+      }
+      ++pos_;
+    }
+    // Drop a leading empty row created by cells before any |- marker when
+    // the table begins directly with |-.
+    while (!table.rows.empty() && table.rows.front().cells.empty() &&
+           table.rows.size() > 1) {
+      table.rows.erase(table.rows.begin());
+    }
+    return table;
+  }
+
+  List ParseList() {
+    List list;
+    while (pos_ < lines_.size()) {
+      std::string_view line = StripAsciiWhitespace(lines_[pos_]);
+      if (line.empty() || !IsListMarker(line[0])) break;
+      ListItem item;
+      size_t level = 0;
+      while (level < line.size() && IsListMarker(line[level])) ++level;
+      item.markers = std::string(line.substr(0, level));
+      item.content = std::string(StripAsciiWhitespace(line.substr(level)));
+      list.items.push_back(std::move(item));
+      ++pos_;
+    }
+    return list;
+  }
+
+  std::vector<std::string_view> lines_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Template ParseTemplateSource(std::string_view source) {
+  Template tmpl;
+  std::string_view s = StripAsciiWhitespace(source);
+  if (s.substr(0, 2) == "{{") s.remove_prefix(2);
+  size_t end = FindTemplateEnd(source, 0);
+  if (end != std::string_view::npos) {
+    // Strip the trailing braces relative to the trimmed view.
+    if (s.size() >= 2 && s.substr(s.size() - 2) == "}}") {
+      s.remove_suffix(2);
+    }
+  }
+  std::vector<std::string_view> parts = SplitTopLevelPipes(s);
+  if (parts.empty()) return tmpl;
+  tmpl.name = std::string(StripAsciiWhitespace(parts[0]));
+  int positional = 1;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    std::string_view part = parts[i];
+    size_t eq = part.find('=');
+    // '=' inside a link or template does not make a named parameter.
+    size_t link = part.find("[[");
+    size_t brace = part.find("{{");
+    bool named = eq != std::string_view::npos &&
+                 (link == std::string_view::npos || eq < link) &&
+                 (brace == std::string_view::npos || eq < brace);
+    if (named) {
+      tmpl.params.emplace_back(
+          std::string(StripAsciiWhitespace(part.substr(0, eq))),
+          std::string(StripAsciiWhitespace(part.substr(eq + 1))));
+    } else {
+      tmpl.params.emplace_back(std::to_string(positional++),
+                               std::string(StripAsciiWhitespace(part)));
+    }
+  }
+  return tmpl;
+}
+
+bool Template::IsInfobox() const {
+  return name.size() >= 7 && EqualsIgnoreAsciiCase(
+                                 std::string_view(name).substr(0, 7),
+                                 "infobox");
+}
+
+const std::string& Template::Param(const std::string& key) const {
+  static const std::string kEmpty;
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return kEmpty;
+}
+
+Document ParseWikitext(std::string_view input) {
+  // MediaWiki strips HTML comments before any other parsing; they can
+  // span lines and may hide table or list markup.
+  if (input.find("<!--") != std::string_view::npos) {
+    std::string stripped;
+    stripped.reserve(input.size());
+    size_t pos = 0;
+    while (pos < input.size()) {
+      size_t open = input.find("<!--", pos);
+      if (open == std::string_view::npos) {
+        stripped.append(input.substr(pos));
+        break;
+      }
+      stripped.append(input.substr(pos, open - pos));
+      size_t close = input.find("-->", open + 4);
+      if (close == std::string_view::npos) break;  // unterminated: drop
+      pos = close + 3;
+    }
+    Parser parser(stripped);
+    return parser.Run();
+  }
+  Parser parser(input);
+  return parser.Run();
+}
+
+}  // namespace somr::wikitext

@@ -1,0 +1,24 @@
+#ifndef SOMR_WIKITEXT_PARSER_H_
+#define SOMR_WIKITEXT_PARSER_H_
+
+#include <string_view>
+
+#include "wikitext/ast.h"
+
+namespace somr::wikitext {
+
+/// Parses a wikitext page into a flat block-level Document. The parser is
+/// total: malformed markup degrades to Paragraph text, mirroring
+/// MediaWiki's forgiving rendering. Handles `{| ... |}` tables (with
+/// `|-` rows, `|`/`!` cells, `||`/`!!` inline cell separators, `|+`
+/// captions, cell attributes), block-level `{{ ... }}` templates with
+/// multi-line parameters, `*`/`#`/`;`/`:` lists, and `== ... ==` headings.
+Document ParseWikitext(std::string_view input);
+
+/// Parses only the parameter body of a template given its full source
+/// (including the surrounding braces). Exposed for tests.
+Template ParseTemplateSource(std::string_view source);
+
+}  // namespace somr::wikitext
+
+#endif  // SOMR_WIKITEXT_PARSER_H_

@@ -1,0 +1,83 @@
+#include "wikitext/serializer.h"
+
+namespace somr::wikitext {
+
+std::string SerializeHeading(const Heading& heading) {
+  std::string marks(static_cast<size_t>(heading.level), '=');
+  return marks + " " + heading.title + " " + marks;
+}
+
+std::string SerializeTable(const Table& table) {
+  std::string out = "{|";
+  if (!table.attrs.empty()) {
+    out.push_back(' ');
+    out.append(table.attrs);
+  }
+  out.push_back('\n');
+  if (!table.caption.empty()) {
+    out.append("|+ ").append(table.caption).push_back('\n');
+  }
+  for (const TableRow& row : table.rows) {
+    out.append("|-");
+    if (!row.attrs.empty()) {
+      out.push_back(' ');
+      out.append(row.attrs);
+    }
+    out.push_back('\n');
+    for (const TableCell& cell : row.cells) {
+      out.push_back(cell.header ? '!' : '|');
+      out.push_back(' ');
+      if (!cell.attrs.empty()) {
+        out.append(cell.attrs).append(" | ");
+      }
+      out.append(cell.content);
+      out.push_back('\n');
+    }
+  }
+  out.append("|}");
+  return out;
+}
+
+std::string SerializeTemplate(const Template& tmpl) {
+  std::string out = "{{";
+  out.append(tmpl.name);
+  for (const auto& [key, value] : tmpl.params) {
+    out.append("\n| ").append(key).append(" = ").append(value);
+  }
+  out.append("\n}}");
+  return out;
+}
+
+std::string SerializeList(const List& list) {
+  std::string out;
+  for (size_t i = 0; i < list.items.size(); ++i) {
+    if (i > 0) out.push_back('\n');
+    out.append(list.items[i].markers);
+    out.push_back(' ');
+    out.append(list.items[i].content);
+  }
+  return out;
+}
+
+std::string SerializeDocument(const Document& doc) {
+  std::string out;
+  for (size_t i = 0; i < doc.elements.size(); ++i) {
+    if (i > 0) out.append("\n\n");
+    const Element& element = doc.elements[i];
+    if (const auto* h = std::get_if<Heading>(&element)) {
+      out.append(SerializeHeading(*h));
+    } else if (const auto* p = std::get_if<Paragraph>(&element)) {
+      out.append(p->text);
+    } else if (const auto* t = std::get_if<Table>(&element)) {
+      out.append(SerializeTable(*t));
+    } else if (const auto* l = std::get_if<List>(&element)) {
+      out.append(SerializeList(*l));
+    } else if (const auto* tm = std::get_if<Template>(&element)) {
+      out.append(SerializeTemplate(*tm));
+    }
+  }
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace somr::wikitext

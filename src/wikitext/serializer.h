@@ -1,0 +1,22 @@
+#ifndef SOMR_WIKITEXT_SERIALIZER_H_
+#define SOMR_WIKITEXT_SERIALIZER_H_
+
+#include <string>
+
+#include "wikitext/ast.h"
+
+namespace somr::wikitext {
+
+/// Renders a Document back to wikitext. Parsing the output reproduces the
+/// same Document (round-trip property, checked by tests) for documents
+/// that the generator produces.
+std::string SerializeDocument(const Document& doc);
+
+std::string SerializeTable(const Table& table);
+std::string SerializeTemplate(const Template& tmpl);
+std::string SerializeList(const List& list);
+std::string SerializeHeading(const Heading& heading);
+
+}  // namespace somr::wikitext
+
+#endif  // SOMR_WIKITEXT_SERIALIZER_H_

@@ -1,0 +1,125 @@
+#include "wikitext/to_html.h"
+
+#include "html/entities.h"
+#include "wikitext/inline_markup.h"
+#include "wikitext/parser.h"
+
+namespace somr::wikitext {
+
+namespace {
+
+void AppendText(std::string& out, const std::string& wiki) {
+  out.append(html::EscapeEntities(StripInlineMarkup(wiki)));
+}
+
+void AppendTable(std::string& out, const Table& table) {
+  out.append("<table>\n");
+  if (!table.caption.empty()) {
+    out.append("<caption>");
+    AppendText(out, table.caption);
+    out.append("</caption>\n");
+  }
+  for (const TableRow& row : table.rows) {
+    if (row.cells.empty()) continue;
+    out.append("<tr>");
+    for (const TableCell& cell : row.cells) {
+      const char* tag = cell.header ? "th" : "td";
+      out.push_back('<');
+      out.append(tag);
+      out.push_back('>');
+      AppendText(out, cell.content);
+      out.append("</");
+      out.append(tag);
+      out.push_back('>');
+    }
+    out.append("</tr>\n");
+  }
+  out.append("</table>\n");
+}
+
+void AppendInfobox(std::string& out, const Template& tmpl) {
+  out.append("<table class=\"infobox\">\n<caption>");
+  AppendText(out, tmpl.name);
+  out.append("</caption>\n");
+  for (const auto& [key, value] : tmpl.params) {
+    out.append("<tr><th>");
+    AppendText(out, key);
+    out.append("</th><td>");
+    AppendText(out, value);
+    out.append("</td></tr>\n");
+  }
+  out.append("</table>\n");
+}
+
+void AppendList(std::string& out, const List& list) {
+  // Nested levels become nested <ul> elements.
+  int depth = 0;
+  for (const ListItem& item : list.items) {
+    int level = std::max(item.Level(), 1);
+    while (depth < level) {
+      out.append("<ul>\n");
+      ++depth;
+    }
+    while (depth > level) {
+      out.append("</ul>\n");
+      --depth;
+    }
+    out.append("<li>");
+    AppendText(out, item.content);
+    out.append("</li>\n");
+  }
+  while (depth > 0) {
+    out.append("</ul>\n");
+    --depth;
+  }
+}
+
+}  // namespace
+
+std::string DocumentToHtml(const Document& doc,
+                           std::string_view page_title) {
+  std::string out = "<!DOCTYPE html>\n<html><head><title>";
+  out.append(html::EscapeEntities(page_title));
+  out.append("</title></head>\n<body>\n");
+  if (!page_title.empty()) {
+    out.append("<h1>");
+    out.append(html::EscapeEntities(page_title));
+    out.append("</h1>\n");
+  }
+  for (const Element& element : doc.elements) {
+    if (const auto* heading = std::get_if<Heading>(&element)) {
+      std::string tag = "h" + std::to_string(heading->level);
+      out.push_back('<');
+      out.append(tag);
+      out.push_back('>');
+      AppendText(out, heading->title);
+      out.append("</");
+      out.append(tag);
+      out.append(">\n");
+    } else if (const auto* paragraph = std::get_if<Paragraph>(&element)) {
+      out.append("<p>");
+      AppendText(out, paragraph->text);
+      out.append("</p>\n");
+    } else if (const auto* table = std::get_if<Table>(&element)) {
+      AppendTable(out, *table);
+    } else if (const auto* tmpl = std::get_if<Template>(&element)) {
+      if (tmpl->IsInfobox()) {
+        AppendInfobox(out, *tmpl);
+      }
+      // Non-infobox templates have no generic HTML rendering; MediaWiki
+      // expands them server-side. We drop them, as a text-only renderer
+      // would.
+    } else if (const auto* list = std::get_if<List>(&element)) {
+      AppendList(out, *list);
+    }
+  }
+  out.append("</body></html>\n");
+  return out;
+}
+
+std::string WikitextToHtml(std::string_view source,
+                           std::string_view page_title) {
+  return DocumentToHtml(ParseWikitext(source), page_title);
+}
+
+}  // namespace somr::wikitext

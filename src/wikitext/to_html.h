@@ -1,0 +1,26 @@
+#ifndef SOMR_WIKITEXT_TO_HTML_H_
+#define SOMR_WIKITEXT_TO_HTML_H_
+
+#include <string>
+#include <string_view>
+
+#include "wikitext/ast.h"
+
+namespace somr::wikitext {
+
+/// Renders a parsed wikitext document to HTML, the way MediaWiki would
+/// (simplified): tables become <table> (infobox templates become
+/// <table class="infobox">), lists become <ul>, headings become
+/// <h2>..<h6>, paragraphs become <p>; inline markup is resolved to plain
+/// text. Extracting objects from the produced HTML yields the same
+/// objects as extracting from the wikitext directly (tested).
+std::string DocumentToHtml(const Document& doc,
+                           std::string_view page_title = "");
+
+/// Convenience: parse + convert.
+std::string WikitextToHtml(std::string_view source,
+                           std::string_view page_title = "");
+
+}  // namespace somr::wikitext
+
+#endif  // SOMR_WIKITEXT_TO_HTML_H_

@@ -1,0 +1,207 @@
+#include "xmldump/xml_reader.h"
+
+#include "html/entities.h"
+
+namespace somr::xmldump {
+
+namespace {
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+}  // namespace
+
+std::string_view XmlEvent::Attribute(std::string_view key) const {
+  for (const auto& [name, value] : attributes) {
+    if (name == key) return value;
+  }
+  return {};
+}
+
+XmlEvent XmlReader::MakeEnd(std::string name) {
+  XmlEvent e;
+  e.type = XmlEventType::kEndElement;
+  e.name = std::move(name);
+  return e;
+}
+
+XmlEvent XmlReader::Next() {
+  if (pending_end_) {
+    pending_end_ = false;
+    return MakeEnd(std::move(pending_end_name_));
+  }
+  while (pos_ < input_.size()) {
+    if (input_[pos_] != '<') {
+      // Character data until next '<'.
+      size_t end = input_.find('<', pos_);
+      if (end == std::string_view::npos) end = input_.size();
+      std::string_view raw = input_.substr(pos_, end - pos_);
+      pos_ = end;
+      // Suppress pure-whitespace runs between elements.
+      bool all_space = true;
+      for (char c : raw) {
+        if (!IsSpace(c)) {
+          all_space = false;
+          break;
+        }
+      }
+      if (all_space) continue;
+      XmlEvent e;
+      e.type = XmlEventType::kText;
+      e.text = html::DecodeEntities(raw);
+      return e;
+    }
+    // CDATA.
+    if (input_.substr(pos_).substr(0, 9) == "<![CDATA[") {
+      size_t end = input_.find("]]>", pos_ + 9);
+      if (end == std::string_view::npos) end = input_.size();
+      XmlEvent e;
+      e.type = XmlEventType::kText;
+      e.text = std::string(input_.substr(pos_ + 9, end - pos_ - 9));
+      pos_ = (end == input_.size()) ? end : end + 3;
+      return e;
+    }
+    // Comment.
+    if (input_.substr(pos_).substr(0, 4) == "<!--") {
+      size_t end = input_.find("-->", pos_ + 4);
+      pos_ = (end == std::string_view::npos) ? input_.size() : end + 3;
+      continue;
+    }
+    // Declaration / PI / DOCTYPE.
+    if (pos_ + 1 < input_.size() &&
+        (input_[pos_ + 1] == '?' || input_[pos_ + 1] == '!')) {
+      size_t end = input_.find('>', pos_);
+      pos_ = (end == std::string_view::npos) ? input_.size() : end + 1;
+      continue;
+    }
+    // End tag.
+    if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '/') {
+      size_t end = input_.find('>', pos_);
+      if (end == std::string_view::npos) {
+        pos_ = input_.size();
+        break;
+      }
+      std::string name(input_.substr(pos_ + 2, end - pos_ - 2));
+      // Trim possible whitespace in `</name >`.
+      while (!name.empty() && IsSpace(name.back())) name.pop_back();
+      pos_ = end + 1;
+      if (!open_elements_.empty()) open_elements_.pop_back();
+      return MakeEnd(std::move(name));
+    }
+    // Start tag.
+    if (pos_ + 1 < input_.size() && IsNameStart(input_[pos_ + 1])) {
+      size_t i = pos_ + 1;
+      XmlEvent e;
+      e.type = XmlEventType::kStartElement;
+      while (i < input_.size() && IsNameChar(input_[i])) {
+        e.name.push_back(input_[i]);
+        ++i;
+      }
+      // Attributes.
+      bool self_closing = false;
+      while (i < input_.size() && input_[i] != '>') {
+        if (IsSpace(input_[i])) {
+          ++i;
+          continue;
+        }
+        if (input_[i] == '/') {
+          self_closing = true;
+          ++i;
+          continue;
+        }
+        std::string attr_name;
+        while (i < input_.size() && input_[i] != '=' && input_[i] != '>' &&
+               !IsSpace(input_[i])) {
+          attr_name.push_back(input_[i]);
+          ++i;
+        }
+        while (i < input_.size() && IsSpace(input_[i])) ++i;
+        std::string attr_value;
+        if (i < input_.size() && input_[i] == '=') {
+          ++i;
+          while (i < input_.size() && IsSpace(input_[i])) ++i;
+          if (i < input_.size() &&
+              (input_[i] == '"' || input_[i] == '\'')) {
+            char quote = input_[i];
+            ++i;
+            size_t end = input_.find(quote, i);
+            if (end == std::string_view::npos) end = input_.size();
+            attr_value =
+                html::DecodeEntities(input_.substr(i, end - i));
+            i = (end == input_.size()) ? end : end + 1;
+          }
+        }
+        if (!attr_name.empty()) {
+          e.attributes.emplace_back(std::move(attr_name),
+                                    std::move(attr_value));
+        }
+      }
+      if (i < input_.size()) ++i;  // consume '>'
+      pos_ = i;
+      if (self_closing) {
+        pending_end_ = true;
+        pending_end_name_ = e.name;
+      } else {
+        open_elements_.push_back(e.name);
+      }
+      return e;
+    }
+    // Stray '<': treat as text character.
+    XmlEvent e;
+    e.type = XmlEventType::kText;
+    e.text = "<";
+    ++pos_;
+    return e;
+  }
+  XmlEvent e;
+  e.type = XmlEventType::kEndDocument;
+  return e;
+}
+
+void XmlReader::SkipElement() {
+  int depth = 1;
+  while (depth > 0) {
+    XmlEvent e = Next();
+    if (e.type == XmlEventType::kStartElement) {
+      ++depth;
+    } else if (e.type == XmlEventType::kEndElement) {
+      --depth;
+    } else if (e.type == XmlEventType::kEndDocument) {
+      return;
+    }
+  }
+}
+
+std::string XmlReader::ReadElementText() {
+  std::string text;
+  int depth = 1;
+  while (depth > 0) {
+    XmlEvent e = Next();
+    switch (e.type) {
+      case XmlEventType::kStartElement:
+        ++depth;
+        break;
+      case XmlEventType::kEndElement:
+        --depth;
+        break;
+      case XmlEventType::kText:
+        text.append(e.text);
+        break;
+      case XmlEventType::kEndDocument:
+        return text;
+    }
+  }
+  return text;
+}
+
+}  // namespace somr::xmldump

@@ -1,0 +1,65 @@
+#ifndef SOMR_XMLDUMP_XML_READER_H_
+#define SOMR_XMLDUMP_XML_READER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace somr::xmldump {
+
+/// Event kinds produced by the pull parser.
+enum class XmlEventType {
+  kStartElement,
+  kEndElement,
+  kText,
+  kEndDocument,
+};
+
+struct XmlEvent {
+  XmlEventType type = XmlEventType::kEndDocument;
+  std::string name;  // element name for start/end
+  std::string text;  // character data for kText (entity-decoded)
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  std::string_view Attribute(std::string_view key) const;
+};
+
+/// Streaming pull parser over an in-memory XML document. Supports
+/// elements, attributes, character data, CDATA sections, comments,
+/// processing instructions and the XML declaration; it decodes the five
+/// predefined entities plus numeric references. Self-closing elements
+/// yield a start event followed immediately by an end event. Designed for
+/// MediaWiki dumps: forgiving, zero-copy scanning, no DTD support.
+class XmlReader {
+ public:
+  explicit XmlReader(std::string_view input) : input_(input) {}
+
+  /// Advances to the next event. After kEndDocument, keeps returning
+  /// kEndDocument.
+  XmlEvent Next();
+
+  /// Skips until the matching end of the element that was just started
+  /// (depth-aware). Call right after receiving its kStartElement.
+  void SkipElement();
+
+  /// Convenience: reads the concatenated text content of the element that
+  /// was just started, consuming through its end tag. Nested elements'
+  /// text is included; their tags are discarded.
+  std::string ReadElementText();
+
+  bool AtEnd() const { return pos_ >= input_.size() && !pending_end_; }
+
+ private:
+  XmlEvent MakeEnd(std::string name);
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::vector<std::string> open_elements_;
+  bool pending_end_ = false;  // self-closing element: end event queued
+  std::string pending_end_name_;
+};
+
+}  // namespace somr::xmldump
+
+#endif  // SOMR_XMLDUMP_XML_READER_H_

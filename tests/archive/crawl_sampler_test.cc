@@ -1,0 +1,119 @@
+#include "archive/crawl_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace somr::archive {
+namespace {
+
+wikigen::GeneratedPage SamplePage() {
+  wikigen::EvolverConfig config;
+  config.focal_type = extract::ObjectType::kTable;
+  config.max_focal_objects = 4;
+  config.num_revisions = 50;
+  config.theme = wikigen::PageTheme::kGeneric;
+  config.seed = 21;
+  return wikigen::PageEvolver(config).Generate();
+}
+
+TEST(RestrictTruthTest, RenumbersRevisions) {
+  matching::IdentityGraph truth(extract::ObjectType::kTable);
+  int64_t a = truth.AddObject({0, 0});
+  truth.AppendVersion(a, {2, 0});
+  truth.AppendVersion(a, {4, 1});
+  matching::IdentityGraph restricted = RestrictTruth(truth, {0, 4});
+  ASSERT_EQ(restricted.ObjectCount(), 1u);
+  const auto& versions = restricted.objects()[0].versions;
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0], (matching::VersionRef{0, 0}));
+  EXPECT_EQ(versions[1], (matching::VersionRef{1, 1}));
+}
+
+TEST(RestrictTruthTest, DropsObjectsWithoutSampledVersions) {
+  matching::IdentityGraph truth(extract::ObjectType::kTable);
+  truth.AddObject({1, 0});  // only exists in revision 1
+  int64_t b = truth.AddObject({0, 1});
+  truth.AppendVersion(b, {2, 0});
+  matching::IdentityGraph restricted = RestrictTruth(truth, {0, 2});
+  EXPECT_EQ(restricted.ObjectCount(), 1u);
+  EXPECT_EQ(restricted.Edges().size(), 1u);
+}
+
+TEST(RestrictTruthTest, GapEdgesCollapse) {
+  // Deleted-and-restored becomes a direct edge at lower resolution.
+  matching::IdentityGraph truth(extract::ObjectType::kTable);
+  int64_t a = truth.AddObject({0, 0});
+  truth.AppendVersion(a, {1, 0});
+  truth.AppendVersion(a, {5, 0});
+  matching::IdentityGraph restricted = RestrictTruth(truth, {0, 5});
+  ASSERT_EQ(restricted.Edges().size(), 1u);
+  EXPECT_EQ(restricted.Edges()[0].second.revision, 1);
+}
+
+TEST(SampleCrawlsTest, ProducesHtmlRevisions) {
+  wikigen::GeneratedPage page = SamplePage();
+  Rng rng(5);
+  SampledHistory sampled = SampleCrawls(page, 30.0, rng);
+  ASSERT_FALSE(sampled.page.revisions.empty());
+  EXPECT_LE(sampled.page.revisions.size(), page.revisions.size());
+  for (const auto& rev : sampled.page.revisions) {
+    EXPECT_EQ(rev.model, "html");
+    EXPECT_NE(rev.text.find("<body>"), std::string::npos);
+  }
+}
+
+TEST(SampleCrawlsTest, KeptRevisionsStrictlyIncrease) {
+  wikigen::GeneratedPage page = SamplePage();
+  Rng rng(6);
+  SampledHistory sampled = SampleCrawls(page, 20.0, rng);
+  for (size_t i = 1; i < sampled.kept_revisions.size(); ++i) {
+    EXPECT_LT(sampled.kept_revisions[i - 1], sampled.kept_revisions[i]);
+  }
+}
+
+TEST(SampleCrawlsTest, LongerIntervalKeepsFewer) {
+  wikigen::GeneratedPage page = SamplePage();
+  Rng rng1(7), rng2(7);
+  SampledHistory dense = SampleCrawls(page, 5.0, rng1);
+  SampledHistory sparse = SampleCrawls(page, 90.0, rng2);
+  EXPECT_GT(dense.page.revisions.size(), sparse.page.revisions.size());
+}
+
+TEST(ReduceTimeResolutionTest, ZeroKeepsEverything) {
+  wikigen::GeneratedPage page = SamplePage();
+  SampledHistory sampled = ReduceTimeResolution(page, 0);
+  EXPECT_EQ(sampled.page.revisions.size(), page.revisions.size());
+  EXPECT_EQ(sampled.truth_tables.VersionCount(),
+            page.truth_tables.VersionCount());
+}
+
+TEST(ReduceTimeResolutionTest, CoarserResolutionKeepsFewer) {
+  wikigen::GeneratedPage page = SamplePage();
+  SampledHistory day = ReduceTimeResolution(page, kSecondsPerDay);
+  SampledHistory year = ReduceTimeResolution(page, kSecondsPerYear);
+  EXPECT_GE(day.page.revisions.size(), year.page.revisions.size());
+  EXPECT_GE(page.revisions.size(), day.page.revisions.size());
+  EXPECT_FALSE(year.page.revisions.empty());
+}
+
+TEST(ReduceTimeResolutionTest, KeepsLastRevisionPerBucket) {
+  wikigen::GeneratedPage page = SamplePage();
+  SampledHistory sampled = ReduceTimeResolution(page, kSecondsPerDay);
+  // Every kept revision must be the last one within its day bucket.
+  std::set<int> kept(sampled.kept_revisions.begin(),
+                     sampled.kept_revisions.end());
+  for (size_t r = 0; r + 1 < page.revisions.size(); ++r) {
+    UnixSeconds bucket = page.revisions[r].timestamp / kSecondsPerDay;
+    UnixSeconds next_bucket =
+        page.revisions[r + 1].timestamp / kSecondsPerDay;
+    if (bucket == next_bucket) {
+      EXPECT_EQ(kept.count(static_cast<int>(r)), 0u);
+    }
+  }
+  // The final revision is always kept.
+  EXPECT_EQ(kept.count(static_cast<int>(page.revisions.size()) - 1), 1u);
+}
+
+}  // namespace
+}  // namespace somr::archive

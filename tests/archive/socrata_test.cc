@@ -1,0 +1,96 @@
+#include "archive/socrata.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace somr::archive {
+namespace {
+
+SocrataConfig TinyConfig() {
+  SocrataConfig config;
+  config.subdomains = {"chicago", "utah"};
+  config.datasets_per_subdomain = 8;
+  config.num_snapshots = 5;
+  config.seed = 31;
+  return config;
+}
+
+TEST(SocrataTest, OneContextPerSubdomain) {
+  auto contexts = GenerateSocrata(TinyConfig());
+  ASSERT_EQ(contexts.size(), 2u);
+  EXPECT_EQ(contexts[0].subdomain, "chicago");
+  EXPECT_EQ(contexts[1].subdomain, "utah");
+}
+
+TEST(SocrataTest, SnapshotCountMatches) {
+  auto contexts = GenerateSocrata(TinyConfig());
+  for (const SocrataContext& context : contexts) {
+    EXPECT_EQ(context.snapshots.size(), 5u);
+  }
+}
+
+TEST(SocrataTest, DatasetsAreLargeTables) {
+  auto contexts = GenerateSocrata(TinyConfig());
+  for (const auto& snapshot : contexts[0].snapshots) {
+    for (const auto& dataset : snapshot) {
+      EXPECT_EQ(dataset.type, extract::ObjectType::kTable);
+      EXPECT_GE(dataset.rows.size(), 20u);
+      EXPECT_FALSE(dataset.schema.empty());
+    }
+  }
+}
+
+TEST(SocrataTest, PositionsAreDense) {
+  auto contexts = GenerateSocrata(TinyConfig());
+  for (const auto& snapshot : contexts[0].snapshots) {
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      EXPECT_EQ(snapshot[i].position, static_cast<int>(i));
+    }
+  }
+}
+
+TEST(SocrataTest, TruthCoversEveryInstance) {
+  auto contexts = GenerateSocrata(TinyConfig());
+  for (const SocrataContext& context : contexts) {
+    size_t truth_instances = context.truth.VersionCount();
+    size_t snapshot_instances = 0;
+    for (const auto& snapshot : context.snapshots) {
+      snapshot_instances += snapshot.size();
+    }
+    EXPECT_EQ(truth_instances, snapshot_instances);
+  }
+}
+
+TEST(SocrataTest, TruthChainsChronological) {
+  auto contexts = GenerateSocrata(TinyConfig());
+  for (const auto& obj : contexts[0].truth.objects()) {
+    for (size_t i = 1; i < obj.versions.size(); ++i) {
+      EXPECT_LT(obj.versions[i - 1].revision, obj.versions[i].revision);
+    }
+  }
+}
+
+TEST(SocrataTest, Deterministic) {
+  auto a = GenerateSocrata(TinyConfig());
+  auto b = GenerateSocrata(TinyConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t c = 0; c < a.size(); ++c) {
+    ASSERT_EQ(a[c].snapshots.size(), b[c].snapshots.size());
+    for (size_t s = 0; s < a[c].snapshots.size(); ++s) {
+      EXPECT_EQ(a[c].snapshots[s].size(), b[c].snapshots[s].size());
+    }
+  }
+}
+
+TEST(SocrataTest, SubdomainsEvolveIndependently) {
+  auto contexts = GenerateSocrata(TinyConfig());
+  // Different content in the two subdomains.
+  ASSERT_FALSE(contexts[0].snapshots[0].empty());
+  ASSERT_FALSE(contexts[1].snapshots[0].empty());
+  EXPECT_NE(contexts[0].snapshots[0][0].rows,
+            contexts[1].snapshots[0][0].rows);
+}
+
+}  // namespace
+}  // namespace somr::archive

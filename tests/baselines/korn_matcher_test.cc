@@ -1,0 +1,92 @@
+#include "baselines/korn_matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::baselines {
+namespace {
+
+using extract::ObjectInstance;
+using extract::ObjectType;
+
+ObjectInstance AwardTable(int position, std::vector<std::string> works) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kTable;
+  obj.position = position;
+  obj.schema = {"Year", "Work", "Result"};
+  obj.rows.push_back(obj.schema);
+  int year = 2000;
+  for (std::string& work : works) {
+    obj.rows.push_back({std::to_string(year++), std::move(work),
+                        "Nominated"});
+  }
+  return obj;
+}
+
+TEST(KornMatcherTest, StableSubjectEntitiesMatch) {
+  KornMatcher matcher;
+  ObjectInstance t = AwardTable(0, {"Film A", "Film B", "Film C"});
+  matcher.ProcessRevision(0, {t});
+  matcher.ProcessRevision(1, {t});
+  EXPECT_EQ(matcher.graph().ObjectCount(), 1u);
+}
+
+TEST(KornMatcherTest, GrowingEntitySetStillMatches) {
+  KornMatcher matcher;
+  matcher.ProcessRevision(0, {AwardTable(0, {"Film A", "Film B",
+                                             "Film C"})});
+  // One work added: overlap 3/4 = 0.75 >= threshold.
+  matcher.ProcessRevision(
+      1, {AwardTable(0, {"Film A", "Film B", "Film C", "Film D"})});
+  EXPECT_EQ(matcher.graph().ObjectCount(), 1u);
+}
+
+TEST(KornMatcherTest, DisjointEntitiesAreNewObjects) {
+  KornMatcher matcher;
+  matcher.ProcessRevision(0, {AwardTable(0, {"Film A", "Film B"})});
+  matcher.ProcessRevision(1, {AwardTable(0, {"Film X", "Film Y"})});
+  EXPECT_EQ(matcher.graph().ObjectCount(), 2u);
+}
+
+TEST(KornMatcherTest, MovedTableFollowedByEntities) {
+  KornMatcher matcher;
+  ObjectInstance a = AwardTable(0, {"Film A", "Film B"});
+  ObjectInstance b = AwardTable(1, {"Film X", "Film Y"});
+  matcher.ProcessRevision(0, {a, b});
+  a.position = 1;
+  b.position = 0;
+  matcher.ProcessRevision(1, {b, a});
+  const auto& objects = matcher.graph().objects();
+  ASSERT_EQ(objects.size(), 2u);
+  // Object 0 (subject entities A/B) must now be at position 1.
+  EXPECT_EQ(objects[0].versions[1].position, 1);
+}
+
+TEST(KornMatcherTest, TablesWithoutSubjectColumnsCollapseGracefully) {
+  KornMatcher matcher;
+  ObjectInstance empty;
+  empty.type = ObjectType::kTable;
+  empty.position = 0;
+  matcher.ProcessRevision(0, {empty});
+  matcher.ProcessRevision(1, {empty});
+  // Two empty entity sets have Jaccard 1.0 by convention: matched.
+  EXPECT_EQ(matcher.graph().ObjectCount(), 1u);
+}
+
+TEST(KornMatcherTest, ChoosesBestOverlapAmongCandidates) {
+  KornMatcher matcher;
+  ObjectInstance a = AwardTable(0, {"Film A", "Film B", "Film C"});
+  ObjectInstance b = AwardTable(1, {"Film D", "Film E", "Film F"});
+  matcher.ProcessRevision(0, {a, b});
+  // New revision: the tables swap places; one keeps 2 of A's films, the
+  // other keeps 2 of B's.
+  ObjectInstance b2 = AwardTable(0, {"Film D", "Film E", "Film H"});
+  ObjectInstance a2 = AwardTable(1, {"Film A", "Film B", "Film G"});
+  matcher.ProcessRevision(1, {b2, a2});
+  const auto& graph = matcher.graph();
+  EXPECT_EQ(graph.ObjectCount(), 2u);
+  // Object 0 (entities A*) continues at position 1 in revision 1.
+  EXPECT_EQ(graph.objects()[0].versions[1].position, 1);
+}
+
+}  // namespace
+}  // namespace somr::baselines

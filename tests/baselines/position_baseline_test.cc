@@ -1,0 +1,70 @@
+#include "baselines/position_baseline.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::baselines {
+namespace {
+
+using extract::ObjectInstance;
+using extract::ObjectType;
+
+ObjectInstance At(int position) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kTable;
+  obj.position = position;
+  obj.rows = {{"content " + std::to_string(position)}};
+  return obj;
+}
+
+TEST(PositionBaselineTest, SamePositionMatches) {
+  PositionBaseline baseline(ObjectType::kTable);
+  baseline.ProcessRevision(0, {At(0), At(1)});
+  baseline.ProcessRevision(1, {At(0), At(1)});
+  EXPECT_EQ(baseline.graph().ObjectCount(), 2u);
+  EXPECT_EQ(baseline.graph().Edges().size(), 2u);
+}
+
+TEST(PositionBaselineTest, IgnoresContentEntirely) {
+  PositionBaseline baseline(ObjectType::kTable);
+  ObjectInstance a = At(0);
+  baseline.ProcessRevision(0, {a});
+  ObjectInstance b = At(0);
+  b.rows = {{"totally different"}};
+  baseline.ProcessRevision(1, {b});
+  // Content changed, same position: still matched.
+  EXPECT_EQ(baseline.graph().ObjectCount(), 1u);
+}
+
+TEST(PositionBaselineTest, NewTrailingPositionIsNewObject) {
+  PositionBaseline baseline(ObjectType::kTable);
+  baseline.ProcessRevision(0, {At(0), At(1)});
+  baseline.ProcessRevision(1, {At(0), At(1), At(2)});
+  EXPECT_EQ(baseline.graph().ObjectCount(), 3u);
+}
+
+TEST(PositionBaselineTest, ShrinkingPageDropsTail) {
+  PositionBaseline baseline(ObjectType::kTable);
+  baseline.ProcessRevision(0, {At(0), At(1), At(2)});
+  baseline.ProcessRevision(1, {At(0)});
+  baseline.ProcessRevision(2, {At(0), At(1)});
+  // Position 1 in revision 2 cannot match the revision-0 object (the
+  // baseline has no rear view): it becomes a new object.
+  EXPECT_EQ(baseline.graph().ObjectCount(), 4u);
+}
+
+TEST(PositionBaselineTest, EmptyRevisionResetsAll) {
+  PositionBaseline baseline(ObjectType::kTable);
+  baseline.ProcessRevision(0, {At(0)});
+  baseline.ProcessRevision(1, {});
+  baseline.ProcessRevision(2, {At(0)});
+  EXPECT_EQ(baseline.graph().ObjectCount(), 2u);
+  EXPECT_TRUE(baseline.graph().Edges().empty());
+}
+
+TEST(PositionBaselineTest, GraphTypeMatchesConstruction) {
+  PositionBaseline baseline(ObjectType::kInfobox);
+  EXPECT_EQ(baseline.graph().type(), ObjectType::kInfobox);
+}
+
+}  // namespace
+}  // namespace somr::baselines

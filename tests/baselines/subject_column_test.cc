@@ -1,0 +1,81 @@
+#include "baselines/subject_column.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::baselines {
+namespace {
+
+using extract::ObjectInstance;
+using extract::ObjectType;
+
+ObjectInstance MakeTable(std::vector<std::string> schema,
+                         std::vector<std::vector<std::string>> data) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kTable;
+  obj.schema = std::move(schema);
+  if (!obj.schema.empty()) obj.rows.push_back(obj.schema);
+  for (auto& row : data) obj.rows.push_back(std::move(row));
+  return obj;
+}
+
+TEST(SubjectColumnTest, PrefersUniqueTextColumn) {
+  ObjectInstance table = MakeTable(
+      {"Rank", "City", "Population"},
+      {{"1", "Berlin", "3700000"},
+       {"2", "Hamburg", "1800000"},
+       {"3", "Munich", "1500000"}});
+  EXPECT_EQ(DetectSubjectColumn(table), 1);
+}
+
+TEST(SubjectColumnTest, LeftBiasBreaksNearTies) {
+  ObjectInstance table = MakeTable(
+      {"Name", "Partner"},
+      {{"Alice", "Xavier"}, {"Bob", "Yann"}, {"Cara", "Zoe"}});
+  EXPECT_EQ(DetectSubjectColumn(table), 0);
+}
+
+TEST(SubjectColumnTest, DuplicatedColumnLoses) {
+  ObjectInstance table = MakeTable(
+      {"Category", "Work"},
+      {{"Best Actor", "Film A"},
+       {"Best Actor", "Film B"},
+       {"Best Actor", "Film C"}});
+  EXPECT_EQ(DetectSubjectColumn(table), 1);
+}
+
+TEST(SubjectColumnTest, EmptyTableReturnsMinusOne) {
+  ObjectInstance empty;
+  empty.type = ObjectType::kTable;
+  EXPECT_EQ(DetectSubjectColumn(empty), -1);
+  // Header-only table has no data rows.
+  ObjectInstance header_only = MakeTable({"A", "B"}, {});
+  EXPECT_EQ(DetectSubjectColumn(header_only), -1);
+}
+
+TEST(SubjectColumnTest, ColumnValuesSkipHeaderRow) {
+  ObjectInstance table = MakeTable(
+      {"Name", "Year"}, {{"Alpha", "2001"}, {"Beta", "2002"}});
+  auto values = ColumnValues(table, 0);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], "Alpha");
+  EXPECT_EQ(values[1], "Beta");
+}
+
+TEST(SubjectColumnTest, ColumnValuesHandleRaggedRows) {
+  ObjectInstance table = MakeTable({"A", "B"}, {{"x"}, {"y", "z"}});
+  auto values = ColumnValues(table, 1);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], "z");
+}
+
+TEST(SubjectColumnTest, NoSchemaUsesAllRows) {
+  ObjectInstance table;
+  table.type = ObjectType::kTable;
+  table.rows = {{"Alpha", "1"}, {"Beta", "2"}};
+  auto values = ColumnValues(table, 0);
+  EXPECT_EQ(values.size(), 2u);
+  EXPECT_EQ(DetectSubjectColumn(table), 0);
+}
+
+}  // namespace
+}  // namespace somr::baselines

@@ -1,0 +1,105 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace somr {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser;
+  parser.AddString("output", "out.csv", "output path");
+  parser.AddInt("threads", 1, "worker threads");
+  parser.AddDouble("scale", 1.0, "corpus scale");
+  parser.AddBool("verbose", false, "chatty output");
+  parser.AddBool("spatial", true, "use spatial features");
+  return parser;
+}
+
+Status ParseArgs(FlagParser& parser, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return parser.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, DefaultsHold) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {}).ok());
+  EXPECT_EQ(parser.GetString("output"), "out.csv");
+  EXPECT_EQ(parser.GetInt("threads"), 1);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("scale"), 1.0);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+  EXPECT_TRUE(parser.GetBool("spatial"));
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--output=x.json", "--threads=8",
+                                 "--scale=2.5", "--verbose=true"})
+                  .ok());
+  EXPECT_EQ(parser.GetString("output"), "x.json");
+  EXPECT_EQ(parser.GetInt("threads"), 8);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("scale"), 2.5);
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, SpaceSeparatedForm) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--threads", "4", "--output", "y"}).ok());
+  EXPECT_EQ(parser.GetInt("threads"), 4);
+  EXPECT_EQ(parser.GetString("output"), "y");
+}
+
+TEST(FlagParserTest, BareBooleanSetsTrue) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--verbose"}).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, NoPrefixClearsBoolean) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--no-spatial"}).ok());
+  EXPECT_FALSE(parser.GetBool("spatial"));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(
+      ParseArgs(parser, {"input.xml", "--verbose", "second"}).ok());
+  ASSERT_EQ(parser.Positional().size(), 2u);
+  EXPECT_EQ(parser.Positional()[0], "input.xml");
+  EXPECT_EQ(parser.Positional()[1], "second");
+}
+
+TEST(FlagParserTest, UnknownFlagIsError) {
+  FlagParser parser = MakeParser();
+  Status status = ParseArgs(parser, {"--bogus=1"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, BadIntegerIsError) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(ParseArgs(parser, {"--threads=lots"}).ok());
+  EXPECT_FALSE(ParseArgs(parser, {"--threads=4x"}).ok());
+}
+
+TEST(FlagParserTest, MissingValueIsError) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(ParseArgs(parser, {"--output"}).ok());
+}
+
+TEST(FlagParserTest, BadBooleanIsError) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(ParseArgs(parser, {"--verbose=maybe"}).ok());
+}
+
+TEST(FlagParserTest, UsageMentionsEveryFlag) {
+  FlagParser parser = MakeParser();
+  std::string usage = parser.Usage("tool");
+  for (const char* name :
+       {"--output", "--threads", "--scale", "--verbose", "--spatial"}) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace somr

@@ -1,0 +1,31 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace somr {
+namespace {
+
+TEST(Fnv1aTest, KnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1aTest, DifferentInputsDiffer) {
+  EXPECT_NE(Fnv1a64("table"), Fnv1a64("list"));
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  uint64_t a = Fnv1a64("x");
+  uint64_t b = Fnv1a64("y");
+  EXPECT_NE(HashCombine(a, b), HashCombine(b, a));
+}
+
+TEST(HashCombineTest, Deterministic) {
+  EXPECT_EQ(HashCombine(1, 2), HashCombine(1, 2));
+}
+
+}  // namespace
+}  // namespace somr

@@ -1,0 +1,48 @@
+#include "common/percentile.h"
+
+#include <gtest/gtest.h>
+
+namespace somr {
+namespace {
+
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_EQ(Percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(Percentile({7.0}, 0.5), 7.0);
+  EXPECT_EQ(Percentile({7.0}, 1.0), 7.0);
+}
+
+TEST(PercentileTest, MedianOfOddCount) {
+  EXPECT_EQ(Percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  // Median of {1,2,3,4} interpolates to 2.5.
+  EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<double> v = {5.0, 1.0, 9.0};
+  EXPECT_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_EQ(Percentile(v, 1.0), 9.0);
+  EXPECT_EQ(Percentile(v, -0.5), 1.0);
+  EXPECT_EQ(Percentile(v, 2.0), 9.0);
+}
+
+TEST(PercentileTest, P90) {
+  std::vector<double> v;
+  for (int i = 1; i <= 11; ++i) v.push_back(i);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.9), 10.0);
+}
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+}
+
+}  // namespace
+}  // namespace somr

@@ -1,0 +1,133 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace somr {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 20 && !differ; ++i) {
+    differ = a.UniformInt(0, 1 << 30) != b.UniformInt(0, 1 << 30);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, UniformIntRespectBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  double freq = static_cast<double>(hits) / n;
+  EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, GeometricNonNegative) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(rng.Geometric(0.5), 0);
+  }
+  EXPECT_EQ(rng.Geometric(1.0), 0);
+}
+
+TEST(RngTest, IndexInRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Index(7), 7u);
+  }
+  EXPECT_EQ(rng.Index(1), 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng a(31);
+  Rng fork1 = a.Fork();
+  Rng b(31);
+  Rng fork2 = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fork1.UniformInt(0, 1 << 30), fork2.UniformInt(0, 1 << 30));
+  }
+}
+
+TEST(ZipfTableTest, SkewsTowardSmallIndices) {
+  Rng rng(37);
+  ZipfTable table(10, 1.2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[static_cast<size_t>(table.Sample(rng))]++;
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[9]);
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, 20000);
+}
+
+TEST(ZipfTableTest, ZeroExponentIsRoughlyUniform) {
+  Rng rng(41);
+  ZipfTable table(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) counts[static_cast<size_t>(table.Sample(rng))]++;
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+}  // namespace
+}  // namespace somr

@@ -1,0 +1,60 @@
+#include "common/time_util.h"
+
+#include <gtest/gtest.h>
+
+namespace somr {
+namespace {
+
+TEST(TimeUtilTest, EpochFormats) {
+  EXPECT_EQ(FormatIso8601(0), "1970-01-01T00:00:00Z");
+}
+
+TEST(TimeUtilTest, KnownTimestamp) {
+  // 2019-09-01T00:00:00Z — the paper's dump date.
+  UnixSeconds t = FromCivil(2019, 9, 1);
+  EXPECT_EQ(FormatIso8601(t), "2019-09-01T00:00:00Z");
+}
+
+TEST(TimeUtilTest, RoundTripVariousDates) {
+  for (UnixSeconds t : {int64_t{0}, int64_t{951782400} /* 2000-02-29 */,
+                        int64_t{1567296000}, int64_t{86399}, int64_t{86400},
+                        int64_t{-86400} /* 1969-12-31 */}) {
+    auto parsed = ParseIso8601(FormatIso8601(t));
+    ASSERT_TRUE(parsed.ok()) << FormatIso8601(t);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(TimeUtilTest, ParseAcceptsSpaceSeparator) {
+  auto t = ParseIso8601("2019-09-01 12:30:45");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(FormatIso8601(*t), "2019-09-01T12:30:45Z");
+}
+
+TEST(TimeUtilTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseIso8601("not a date").ok());
+  EXPECT_FALSE(ParseIso8601("2019-13-01T00:00:00Z").ok());
+  EXPECT_FALSE(ParseIso8601("2019-01-32T00:00:00Z").ok());
+  EXPECT_FALSE(ParseIso8601("2019-01-01T25:00:00Z").ok());
+  EXPECT_FALSE(ParseIso8601("").ok());
+}
+
+TEST(TimeUtilTest, LeapYearHandling) {
+  UnixSeconds feb29 = FromCivil(2000, 2, 29);
+  UnixSeconds mar1 = FromCivil(2000, 3, 1);
+  EXPECT_EQ(mar1 - feb29, kSecondsPerDay);
+  EXPECT_EQ(FormatIso8601(feb29), "2000-02-29T00:00:00Z");
+}
+
+TEST(TimeUtilTest, TimeOfDayComponents) {
+  UnixSeconds t = FromCivil(2010, 6, 15, 13, 45, 30);
+  EXPECT_EQ(FormatIso8601(t), "2010-06-15T13:45:30Z");
+}
+
+TEST(TimeUtilTest, OrderingMatchesChronology) {
+  EXPECT_LT(FromCivil(2005, 1, 1), FromCivil(2005, 1, 2));
+  EXPECT_LT(FromCivil(2005, 12, 31), FromCivil(2006, 1, 1));
+}
+
+}  // namespace
+}  // namespace somr

@@ -1,0 +1,134 @@
+#include "core/change_classifier.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::core {
+namespace {
+
+using extract::ObjectInstance;
+using extract::ObjectType;
+
+ObjectInstance WithRows(std::vector<std::vector<std::string>> rows) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kTable;
+  obj.rows = std::move(rows);
+  return obj;
+}
+
+TEST(ClassifyChangeTest, ReorderIsPresentation) {
+  ObjectInstance before = WithRows({{"alpha", "one"}, {"beta", "two"}});
+  ObjectInstance after = WithRows({{"beta", "two"}, {"alpha", "one"}});
+  EXPECT_EQ(ClassifyChange(before, after), ChangeClass::kPresentation);
+}
+
+TEST(ClassifyChangeTest, CaptionChangeIsPresentation) {
+  ObjectInstance before = WithRows({{"alpha", "one"}});
+  ObjectInstance after = before;
+  after.caption = "A new caption";
+  // Caption is excluded from the content bag, so this is presentation.
+  EXPECT_EQ(ClassifyChange(before, after), ChangeClass::kPresentation);
+}
+
+TEST(ClassifyChangeTest, CellRewriteIsSemantic) {
+  ObjectInstance before =
+      WithRows({{"year", "result"}, {"2001", "nominated"}});
+  ObjectInstance after = WithRows({{"year", "result"}, {"2001", "won"}});
+  EXPECT_EQ(ClassifyChange(before, after), ChangeClass::kSemantic);
+}
+
+TEST(ClassifyChangeTest, AppendedRowIsStructural) {
+  ObjectInstance before = WithRows(
+      {{"year", "category"}, {"2001", "gold"}, {"2002", "silver"}});
+  ObjectInstance after = before;
+  after.rows.push_back({"2003", "bronze"});
+  EXPECT_EQ(ClassifyChange(before, after),
+            ChangeClass::kStructuralGrowth);
+}
+
+TEST(ClassifyChangeTest, RemovedRowIsStructural) {
+  ObjectInstance after = WithRows(
+      {{"year", "category"}, {"2001", "gold"}, {"2002", "silver"}});
+  ObjectInstance before = after;
+  before.rows.push_back({"2003", "bronze"});
+  EXPECT_EQ(ClassifyChange(before, after),
+            ChangeClass::kStructuralGrowth);
+}
+
+TEST(ClassifyChangeTest, ContentDestructionIsVandalism) {
+  ObjectInstance before = WithRows({{"year", "category", "result"},
+                                    {"2001", "best actor", "won"},
+                                    {"2002", "best director", "lost"}});
+  ObjectInstance after = WithRows({{"zzzzzz", "aslkdjf", "xxxxxxx"}});
+  EXPECT_EQ(ClassifyChange(before, after),
+            ChangeClass::kSuspectVandalism);
+}
+
+TEST(ClassifyChangeTest, JunkInjectionIsVandalism) {
+  ObjectInstance before = WithRows({{"year", "category"},
+                                    {"2001", "best actor"},
+                                    {"2002", "best director"}});
+  ObjectInstance after = before;
+  after.rows[1] = {"zzzzzzzz", "lolololol"};
+  after.rows[2] = {"aaaaaaa", "qqqqqqq"};
+  EXPECT_EQ(ClassifyChange(before, after),
+            ChangeClass::kSuspectVandalism);
+}
+
+TEST(ClassifyChangeTest, RestoreOfOlderVersionIsRevert) {
+  ObjectInstance v0 = WithRows({{"original", "content"}});
+  ObjectInstance vandalized = WithRows({{"zzzzz", "junk"}});
+  ObjectInstance restored = v0;
+  std::vector<const extract::ObjectInstance*> history = {&v0};
+  EXPECT_EQ(ClassifyChange(vandalized, restored, history),
+            ChangeClass::kRevert);
+}
+
+TEST(ClassifyChangeTest, NoRevertWithoutDivergence) {
+  // after == history version but before also equals it: not a revert.
+  ObjectInstance v = WithRows({{"same", "thing"}});
+  ObjectInstance after = v;
+  after.caption = "cosmetic";
+  std::vector<const extract::ObjectInstance*> history = {&v};
+  EXPECT_EQ(ClassifyChange(v, after, history),
+            ChangeClass::kPresentation);
+}
+
+TEST(ClassifyChangeTest, ClassNamesStable) {
+  EXPECT_STREQ(ChangeClassName(ChangeClass::kSemantic), "semantic");
+  EXPECT_STREQ(ChangeClassName(ChangeClass::kRevert), "revert");
+  EXPECT_STREQ(ChangeClassName(ChangeClass::kSuspectVandalism),
+               "vandalism?");
+}
+
+TEST(ClassifyChangesTest, EndToEndOverGraph) {
+  // Object with: create, structural growth, vandalism, revert.
+  ObjectInstance v0 = WithRows({{"year", "cat"}, {"2001", "gold"}});
+  ObjectInstance v1 = v0;
+  v1.rows.push_back({"2002", "silver"});
+  ObjectInstance v2 = WithRows({{"zzzzz", "aslkdjf"}});
+  ObjectInstance v3 = v1;  // revert
+
+  std::vector<extract::PageObjects> revisions(4);
+  revisions[0].tables = {v0};
+  revisions[1].tables = {v1};
+  revisions[2].tables = {v2};
+  revisions[3].tables = {v3};
+  for (auto& r : revisions) r.tables[0].position = 0;
+
+  matching::IdentityGraph graph(ObjectType::kTable);
+  int64_t id = graph.AddObject({0, 0});
+  graph.AppendVersion(id, {1, 0});
+  graph.AppendVersion(id, {2, 0});
+  graph.AppendVersion(id, {3, 0});
+
+  auto classified =
+      ClassifyChanges(graph, revisions, ObjectType::kTable, 4);
+  ASSERT_EQ(classified.size(), 4u);
+  EXPECT_EQ(classified[0].record.kind, ChangeKind::kCreate);
+  EXPECT_EQ(classified[1].change_class, ChangeClass::kStructuralGrowth);
+  EXPECT_EQ(classified[2].change_class, ChangeClass::kSuspectVandalism);
+  EXPECT_EQ(classified[3].change_class, ChangeClass::kRevert);
+}
+
+}  // namespace
+}  // namespace somr::core

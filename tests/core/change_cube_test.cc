@@ -1,0 +1,113 @@
+#include "core/change_cube.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::core {
+namespace {
+
+using extract::ObjectInstance;
+using extract::ObjectType;
+
+ObjectInstance AwardTable(std::vector<std::vector<std::string>> rows) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kTable;
+  obj.position = 0;
+  obj.schema = {"Year", "Result"};
+  obj.rows.push_back(obj.schema);
+  for (auto& row : rows) obj.rows.push_back(std::move(row));
+  return obj;
+}
+
+PageResult MakePage() {
+  PageResult page;
+  page.title = "Test, page";
+  // v0: one row. v1: result updated. v2: row appended. v3: object gone.
+  extract::PageObjects r0, r1, r2, r3;
+  r0.tables = {AwardTable({{"2001", "Nominated"}})};
+  r1.tables = {AwardTable({{"2001", "Won"}})};
+  r2.tables = {AwardTable({{"2001", "Won"}, {"2002", "Nominated"}})};
+  page.revisions = {r0, r1, r2, r3};
+  int64_t id = page.tables.AddObject({0, 0});
+  page.tables.AppendVersion(id, {1, 0});
+  page.tables.AppendVersion(id, {2, 0});
+  return page;
+}
+
+TEST(ChangeCubeTest, RecordsFullLifecycle) {
+  PageResult page = MakePage();
+  auto records = BuildChangeCube(page, ObjectType::kTable);
+  // object+ (r0), cell (r1), row+ (r2), object- (r3).
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].change, "object+");
+  EXPECT_EQ(records[0].revision, 0);
+  EXPECT_EQ(records[1].change, "cell");
+  EXPECT_EQ(records[1].property, "Result");
+  EXPECT_EQ(records[1].entity, "2001");
+  EXPECT_EQ(records[1].old_value, "Nominated");
+  EXPECT_EQ(records[1].new_value, "Won");
+  EXPECT_EQ(records[2].change, "row+");
+  EXPECT_EQ(records[2].entity, "2002");
+  EXPECT_EQ(records[3].change, "object-");
+  EXPECT_EQ(records[3].revision, 3);
+}
+
+TEST(ChangeCubeTest, TimestampsAttached) {
+  PageResult page = MakePage();
+  std::vector<UnixSeconds> timestamps = {100, 200, 300, 400};
+  auto records = BuildChangeCube(page, ObjectType::kTable, timestamps);
+  EXPECT_EQ(records[0].timestamp, 100);
+  EXPECT_EQ(records[1].timestamp, 200);
+  EXPECT_EQ(records[3].timestamp, 400);
+}
+
+TEST(ChangeCubeTest, CsvQuotingAndHeader) {
+  PageResult page = MakePage();
+  auto records = BuildChangeCube(page, ObjectType::kTable);
+  std::string csv = ChangeCubeToCsv(records);
+  // Header plus one line per record.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  // The comma in the page title must be quoted.
+  EXPECT_NE(csv.find("\"Test, page\""), std::string::npos);
+  EXPECT_EQ(csv.rfind("page,type,object", 0), 0u);
+}
+
+TEST(ChangeCubeTest, CsvEscapesQuotes) {
+  PageResult page = MakePage();
+  page.title = "He said \"hi\"";
+  auto records = BuildChangeCube(page, ObjectType::kTable);
+  std::string csv = ChangeCubeToCsv(records);
+  EXPECT_NE(csv.find("\"He said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(ChangeCubeTest, JsonLinesWellFormed) {
+  PageResult page = MakePage();
+  auto records = BuildChangeCube(page, ObjectType::kTable);
+  std::string json = ChangeCubeToJsonLines(records);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '\n'), 4);
+  EXPECT_NE(json.find("\"change\":\"cell\""), std::string::npos);
+  EXPECT_NE(json.find("\"property\":\"Result\""), std::string::npos);
+  // Title comma requires no escape in JSON, but quotes do.
+  page.title = "quote \" in title";
+  records = BuildChangeCube(page, ObjectType::kTable);
+  json = ChangeCubeToJsonLines(records);
+  EXPECT_NE(json.find("quote \\\" in title"), std::string::npos);
+}
+
+TEST(ChangeCubeTest, EmptyPage) {
+  PageResult page;
+  auto records = BuildChangeCube(page, ObjectType::kTable);
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(ChangeCubeToJsonLines(records), "");
+}
+
+TEST(ChangeCubeTest, SurvivingObjectHasNoDeleteRecord) {
+  PageResult page = MakePage();
+  page.revisions.pop_back();  // object alive through the last revision
+  auto records = BuildChangeCube(page, ObjectType::kTable);
+  for (const auto& record : records) {
+    EXPECT_NE(record.change, "object-");
+  }
+}
+
+}  // namespace
+}  // namespace somr::core

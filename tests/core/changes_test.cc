@@ -1,0 +1,149 @@
+#include "core/changes.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::core {
+namespace {
+
+using extract::ObjectInstance;
+using extract::ObjectType;
+using matching::IdentityGraph;
+
+ObjectInstance Obj(int position, std::string content) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kTable;
+  obj.position = position;
+  obj.rows = {{std::move(content)}};
+  return obj;
+}
+
+/// Scenario: object A lives at revisions 0-2 (edited at 1, moved at 2),
+/// object B exists at 0, is deleted, and is restored at revision 2.
+struct Scenario {
+  std::vector<extract::PageObjects> revisions;
+  IdentityGraph graph{ObjectType::kTable};
+};
+
+Scenario MakeScenario() {
+  Scenario s;
+  extract::PageObjects r0;
+  r0.tables = {Obj(0, "alpha"), Obj(1, "beta")};
+  extract::PageObjects r1;
+  r1.tables = {Obj(0, "alpha2")};
+  extract::PageObjects r2;
+  r2.tables = {Obj(0, "beta"), Obj(1, "alpha2")};
+  s.revisions = {r0, r1, r2};
+
+  int64_t a = s.graph.AddObject({0, 0});
+  s.graph.AppendVersion(a, {1, 0});
+  s.graph.AppendVersion(a, {2, 1});
+  int64_t b = s.graph.AddObject({0, 1});
+  s.graph.AppendVersion(b, {2, 0});
+  return s;
+}
+
+TEST(ExtractChangesTest, FullLifecycle) {
+  Scenario s = MakeScenario();
+  auto changes =
+      ExtractChanges(s.graph, s.revisions, ObjectType::kTable, 3);
+  // Expected events:
+  // rev0: create A, create B
+  // rev1: update A (alpha->alpha2), delete B
+  // rev2: move A (same content, position 0->1), restore B
+  ASSERT_EQ(changes.size(), 6u);
+  EXPECT_EQ(changes[0].kind, ChangeKind::kCreate);
+  EXPECT_EQ(changes[1].kind, ChangeKind::kCreate);
+  EXPECT_EQ(changes[2].kind, ChangeKind::kUpdate);
+  EXPECT_EQ(changes[2].object_id, 0);
+  EXPECT_EQ(changes[3].kind, ChangeKind::kDelete);
+  EXPECT_EQ(changes[3].object_id, 1);
+  EXPECT_EQ(changes[4].kind, ChangeKind::kMove);
+  EXPECT_EQ(changes[5].kind, ChangeKind::kRestore);
+  EXPECT_EQ(changes[5].object_id, 1);
+}
+
+TEST(ExtractChangesTest, UnchangedObject) {
+  extract::PageObjects r;
+  r.tables = {Obj(0, "same")};
+  std::vector<extract::PageObjects> revisions = {r, r};
+  IdentityGraph graph(ObjectType::kTable);
+  int64_t id = graph.AddObject({0, 0});
+  graph.AppendVersion(id, {1, 0});
+  auto changes = ExtractChanges(graph, revisions, ObjectType::kTable, 2);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[1].kind, ChangeKind::kUnchanged);
+}
+
+TEST(ExtractChangesTest, DeleteBeforeEndEmitted) {
+  extract::PageObjects r0;
+  r0.tables = {Obj(0, "x")};
+  extract::PageObjects empty;
+  std::vector<extract::PageObjects> revisions = {r0, empty, empty};
+  IdentityGraph graph(ObjectType::kTable);
+  graph.AddObject({0, 0});
+  auto changes = ExtractChanges(graph, revisions, ObjectType::kTable, 3);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].kind, ChangeKind::kCreate);
+  EXPECT_EQ(changes[1].kind, ChangeKind::kDelete);
+  EXPECT_EQ(changes[1].revision, 1);
+  EXPECT_EQ(changes[1].position, -1);
+}
+
+TEST(ExtractChangesTest, SurvivorHasNoDelete) {
+  extract::PageObjects r;
+  r.tables = {Obj(0, "x")};
+  std::vector<extract::PageObjects> revisions = {r, r};
+  IdentityGraph graph(ObjectType::kTable);
+  int64_t id = graph.AddObject({0, 0});
+  graph.AppendVersion(id, {1, 0});
+  auto changes = ExtractChanges(graph, revisions, ObjectType::kTable, 2);
+  for (const ChangeRecord& c : changes) {
+    EXPECT_NE(c.kind, ChangeKind::kDelete);
+  }
+}
+
+TEST(ExtractChangesTest, ChronologicalOrder) {
+  Scenario s = MakeScenario();
+  auto changes =
+      ExtractChanges(s.graph, s.revisions, ObjectType::kTable, 3);
+  for (size_t i = 1; i < changes.size(); ++i) {
+    EXPECT_LE(changes[i - 1].revision, changes[i].revision);
+  }
+}
+
+TEST(ChangeKindNameTest, AllNamed) {
+  EXPECT_STREQ(ChangeKindName(ChangeKind::kCreate), "create");
+  EXPECT_STREQ(ChangeKindName(ChangeKind::kRestore), "restore");
+  EXPECT_STREQ(ChangeKindName(ChangeKind::kDelete), "delete");
+}
+
+TEST(CellVolatilityTest, CountsChangesPerCell) {
+  // Three versions of one table; cell (0,1) changes twice, (0,0) never.
+  ObjectInstance v0 = Obj(0, "stable");
+  v0.rows = {{"stable", "a"}};
+  ObjectInstance v1 = v0;
+  v1.rows = {{"stable", "b"}};
+  ObjectInstance v2 = v0;
+  v2.rows = {{"stable", "c"}};
+  extract::PageObjects r0, r1, r2;
+  r0.tables = {v0};
+  r1.tables = {v1};
+  r2.tables = {v2};
+  std::vector<extract::PageObjects> revisions = {r0, r1, r2};
+  matching::TrackedObjectRecord object;
+  object.object_id = 0;
+  object.versions = {{0, 0}, {1, 0}, {2, 0}};
+  auto volatility = CellVolatility(object, revisions, ObjectType::kTable);
+  ASSERT_EQ(volatility.size(), 1u);
+  ASSERT_EQ(volatility[0].size(), 2u);
+  EXPECT_EQ(volatility[0][0], 0);
+  EXPECT_EQ(volatility[0][1], 2);
+}
+
+TEST(CellVolatilityTest, EmptyObject) {
+  matching::TrackedObjectRecord object;
+  EXPECT_TRUE(CellVolatility(object, {}, ObjectType::kTable).empty());
+}
+
+}  // namespace
+}  // namespace somr::core

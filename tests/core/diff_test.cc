@@ -1,0 +1,128 @@
+#include "core/diff.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::core {
+namespace {
+
+using extract::ObjectInstance;
+using extract::ObjectType;
+
+ObjectInstance MakeTable(std::vector<std::string> schema,
+                         std::vector<std::vector<std::string>> rows) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kTable;
+  obj.schema = std::move(schema);
+  if (!obj.schema.empty()) obj.rows.push_back(obj.schema);
+  for (auto& row : rows) obj.rows.push_back(std::move(row));
+  return obj;
+}
+
+TEST(AlignRowsTest, IdenticalTables) {
+  ObjectInstance t = MakeTable({"Year", "Result"},
+                               {{"2001", "Won"}, {"2002", "Lost"}});
+  RowAlignment alignment = AlignRows(t, t);
+  ASSERT_EQ(alignment.matched.size(), 2u);
+  EXPECT_TRUE(alignment.deleted_rows.empty());
+  EXPECT_TRUE(alignment.inserted_rows.empty());
+  EXPECT_EQ(alignment.matched[0], (std::pair<size_t, size_t>{1, 1}));
+}
+
+TEST(AlignRowsTest, ReorderedRowsStayAligned) {
+  ObjectInstance before = MakeTable(
+      {"Y", "R"}, {{"2001", "alpha"}, {"2002", "beta"}, {"2003", "gamma"}});
+  ObjectInstance after = MakeTable(
+      {"Y", "R"}, {{"2003", "gamma"}, {"2001", "alpha"}, {"2002", "beta"}});
+  RowAlignment alignment = AlignRows(before, after);
+  ASSERT_EQ(alignment.matched.size(), 3u);
+  // Row (2001, alpha) at old index 1 maps to new index 2.
+  bool found = false;
+  for (auto [b, a] : alignment.matched) {
+    if (b == 1) {
+      EXPECT_EQ(a, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AlignRowsTest, InsertedAndDeletedRows) {
+  ObjectInstance before =
+      MakeTable({"Y"}, {{"row one alpha"}, {"row two beta"}});
+  ObjectInstance after =
+      MakeTable({"Y"}, {{"row one alpha"}, {"row three gamma"}});
+  RowAlignment alignment = AlignRows(before, after);
+  // Sharing only "row" (similarity 0.2 < 0.3) is not enough to match.
+  ASSERT_EQ(alignment.matched.size(), 1u);
+  before = MakeTable({"Y"}, {{"alpha unique"}, {"beta unique2"}});
+  after = MakeTable({"Y"}, {{"alpha unique"}, {"totally different"}});
+  alignment = AlignRows(before, after);
+  EXPECT_EQ(alignment.matched.size(), 1u);
+  ASSERT_EQ(alignment.deleted_rows.size(), 1u);
+  ASSERT_EQ(alignment.inserted_rows.size(), 1u);
+  EXPECT_EQ(alignment.deleted_rows[0], 2u);
+  EXPECT_EQ(alignment.inserted_rows[0], 2u);
+}
+
+TEST(AlignRowsTest, DuplicateRowsPreferOriginalOrder) {
+  ObjectInstance before =
+      MakeTable({"X"}, {{"same content"}, {"same content"}});
+  ObjectInstance after =
+      MakeTable({"X"}, {{"same content"}, {"same content"}});
+  RowAlignment alignment = AlignRows(before, after);
+  ASSERT_EQ(alignment.matched.size(), 2u);
+  EXPECT_EQ(alignment.matched[0], (std::pair<size_t, size_t>{1, 1}));
+  EXPECT_EQ(alignment.matched[1], (std::pair<size_t, size_t>{2, 2}));
+}
+
+TEST(AlignRowsTest, EmptyVersions) {
+  ObjectInstance empty;
+  empty.type = ObjectType::kTable;
+  ObjectInstance t = MakeTable({"A"}, {{"x"}});
+  RowAlignment alignment = AlignRows(empty, t);
+  EXPECT_TRUE(alignment.matched.empty());
+  EXPECT_EQ(alignment.inserted_rows.size(), 1u);
+  alignment = AlignRows(t, empty);
+  EXPECT_EQ(alignment.deleted_rows.size(), 1u);
+}
+
+TEST(DiffVersionsTest, SingleCellEdit) {
+  ObjectInstance before = MakeTable({"Year", "Result"},
+                                    {{"2001", "Nominated"}});
+  ObjectInstance after = MakeTable({"Year", "Result"}, {{"2001", "Won"}});
+  auto changes = DiffVersions(before, after);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].kind, CellChange::Kind::kCellEdited);
+  EXPECT_EQ(changes[0].column, 1u);
+  EXPECT_EQ(changes[0].before_value, "Nominated");
+  EXPECT_EQ(changes[0].after_value, "Won");
+}
+
+TEST(DiffVersionsTest, RowAppended) {
+  ObjectInstance before = MakeTable({"Y"}, {{"alpha one"}});
+  ObjectInstance after = MakeTable({"Y"}, {{"alpha one"}, {"beta two"}});
+  auto changes = DiffVersions(before, after);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].kind, CellChange::Kind::kRowInserted);
+  EXPECT_EQ(changes[0].after_value, "beta two");
+}
+
+TEST(DiffVersionsTest, ColumnWidened) {
+  ObjectInstance before = MakeTable({"A"}, {{"cell alpha"}});
+  ObjectInstance after =
+      MakeTable({"A", "B"}, {{"cell alpha", "new value"}});
+  auto changes = DiffVersions(before, after);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].kind, CellChange::Kind::kCellEdited);
+  EXPECT_EQ(changes[0].column, 1u);
+  EXPECT_EQ(changes[0].before_value, "");
+  EXPECT_EQ(changes[0].after_value, "new value");
+}
+
+TEST(DiffVersionsTest, NoChanges) {
+  ObjectInstance t = MakeTable({"A"}, {{"same"}});
+  EXPECT_TRUE(DiffVersions(t, t).empty());
+}
+
+}  // namespace
+}  // namespace somr::core

@@ -1,0 +1,89 @@
+#include "core/history_report.h"
+
+#include <gtest/gtest.h>
+
+#include "extract/html_extractor.h"
+
+namespace somr::core {
+namespace {
+
+using extract::ObjectInstance;
+using extract::ObjectType;
+
+PageResult MakePage() {
+  PageResult page;
+  page.title = "Report <Test>";
+  ObjectInstance v0;
+  v0.type = ObjectType::kTable;
+  v0.position = 0;
+  v0.caption = "Climate";
+  v0.rows = {{"Month", "High"}, {"Jan", "5"}};
+  ObjectInstance v1 = v0;
+  v1.rows[1][1] = "7";  // one volatile cell
+  ObjectInstance v2 = v1;
+  v2.rows[1][1] = "9";
+  extract::PageObjects r0, r1, r2;
+  r0.tables = {v0};
+  r1.tables = {v1};
+  r2.tables = {v2};
+  page.revisions = {r0, r1, r2};
+  int64_t id = page.tables.AddObject({0, 0});
+  page.tables.AppendVersion(id, {1, 0});
+  page.tables.AppendVersion(id, {2, 0});
+  return page;
+}
+
+TEST(HistoryReportTest, ContainsLatestContentAndEscapes) {
+  PageResult page = MakePage();
+  std::string html = RenderHistoryReport(page, ObjectType::kTable, 0);
+  EXPECT_NE(html.find("Report &lt;Test&gt;"), std::string::npos);
+  EXPECT_NE(html.find(">9<"), std::string::npos);  // latest value shown
+  EXPECT_NE(html.find("Climate"), std::string::npos);
+}
+
+TEST(HistoryReportTest, VolatileCellGetsWarmColor) {
+  PageResult page = MakePage();
+  std::string html = RenderHistoryReport(page, ObjectType::kTable, 0);
+  // The stable header cell is white; the churned cell is not.
+  EXPECT_NE(html.find("background:#ffffff"), std::string::npos);
+  EXPECT_NE(html.find("title=\"2 change(s)\""), std::string::npos);
+}
+
+TEST(HistoryReportTest, ChangeLogListed) {
+  PageResult page = MakePage();
+  std::string html = RenderHistoryReport(page, ObjectType::kTable, 0);
+  EXPECT_NE(html.find("r0: create"), std::string::npos);
+  EXPECT_NE(html.find("r1: update"), std::string::npos);
+}
+
+TEST(HistoryReportTest, UnknownObjectYieldsEmptyBody) {
+  PageResult page = MakePage();
+  std::string html = RenderHistoryReport(page, ObjectType::kTable, 99);
+  EXPECT_EQ(html.find("<h2>"), std::string::npos);
+}
+
+TEST(HistoryReportTest, ReportIsParseableHtml) {
+  PageResult page = MakePage();
+  std::string html = RenderPageReport(page, ObjectType::kTable);
+  // Our own HTML extractor can read the report's table back.
+  extract::PageObjects objects = extract::ExtractFromHtmlSource(html);
+  ASSERT_EQ(objects.tables.size(), 1u);
+  EXPECT_EQ(objects.tables[0].rows[1][1], "9");
+}
+
+TEST(HistoryReportTest, PageReportCoversAllObjects) {
+  PageResult page = MakePage();
+  int64_t second = page.tables.AddObject({2, 1});
+  (void)second;
+  ObjectInstance other;
+  other.type = ObjectType::kTable;
+  other.position = 1;
+  other.rows = {{"solo"}};
+  page.revisions[2].tables.push_back(other);
+  std::string html = RenderPageReport(page, ObjectType::kTable);
+  EXPECT_NE(html.find("table #0"), std::string::npos);
+  EXPECT_NE(html.find("table #1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace somr::core

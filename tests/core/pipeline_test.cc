@@ -1,0 +1,119 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "wikigen/corpus.h"
+
+namespace somr::core {
+namespace {
+
+wikigen::GoldCorpus TinyCorpus() {
+  wikigen::CorpusConfig config;
+  config.focal_type = extract::ObjectType::kTable;
+  config.strata_caps = {3};
+  config.pages_per_stratum = 2;
+  config.min_revisions = 15;
+  config.max_revisions = 25;
+  config.seed = 9;
+  return wikigen::GenerateGoldCorpus(config);
+}
+
+TEST(PipelineTest, ProcessesDumpXml) {
+  wikigen::GoldCorpus corpus = TinyCorpus();
+  std::string xml = xmldump::WriteDump(wikigen::CorpusToDump(corpus));
+  Pipeline pipeline;
+  auto results = pipeline.ProcessDumpXml(xml);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  for (size_t p = 0; p < results->size(); ++p) {
+    const PageResult& result = (*results)[p];
+    EXPECT_EQ(result.title, corpus.pages[p].title);
+    EXPECT_EQ(result.revisions.size(), corpus.pages[p].revisions.size());
+    // Matched graphs cover every extracted instance.
+    size_t extracted = 0;
+    for (const auto& rev : result.revisions) {
+      extracted += rev.tables.size();
+    }
+    EXPECT_EQ(result.tables.VersionCount(), extracted);
+  }
+}
+
+TEST(PipelineTest, HighQualityAgainstTruth) {
+  wikigen::GoldCorpus corpus = TinyCorpus();
+  Pipeline pipeline;
+  for (size_t p = 0; p < corpus.pages.size(); ++p) {
+    xmldump::Dump dump = wikigen::CorpusToDump(corpus);
+    PageResult result = pipeline.ProcessPage(dump.pages[p]);
+    eval::EdgeMetrics m =
+        eval::CompareEdges(corpus.pages[p].truth_tables, result.tables);
+    EXPECT_GT(m.F1(), 0.9) << corpus.pages[p].title;
+  }
+}
+
+TEST(PipelineTest, BadXmlIsError) {
+  Pipeline pipeline;
+  auto results = pipeline.ProcessDumpXml("<garbage/>");
+  EXPECT_FALSE(results.ok());
+}
+
+TEST(PipelineTest, GraphForSelectsType) {
+  PageResult result;
+  EXPECT_EQ(&result.GraphFor(extract::ObjectType::kTable),
+            &result.tables);
+  EXPECT_EQ(&result.GraphFor(extract::ObjectType::kInfobox),
+            &result.infoboxes);
+  EXPECT_EQ(&result.GraphFor(extract::ObjectType::kList), &result.lists);
+}
+
+TEST(PipelineTest, StatsRecordedPerStep) {
+  wikigen::GoldCorpus corpus = TinyCorpus();
+  xmldump::Dump dump = wikigen::CorpusToDump(corpus);
+  Pipeline pipeline;
+  PageResult result = pipeline.ProcessPage(dump.pages[0]);
+  EXPECT_EQ(result.table_stats.step_millis.size(),
+            result.revisions.size());
+}
+
+
+TEST(PipelineTest, ParallelMatchesSequential) {
+  wikigen::GoldCorpus corpus = TinyCorpus();
+  std::string xml = xmldump::WriteDump(wikigen::CorpusToDump(corpus));
+  Pipeline pipeline;
+  auto sequential = pipeline.ProcessDumpXml(xml);
+  auto parallel = pipeline.ProcessDumpXmlParallel(xml, 4);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(sequential->size(), parallel->size());
+  for (size_t p = 0; p < sequential->size(); ++p) {
+    EXPECT_EQ((*sequential)[p].title, (*parallel)[p].title);
+    EXPECT_EQ((*sequential)[p].tables.EdgeSet(),
+              (*parallel)[p].tables.EdgeSet());
+    EXPECT_EQ((*sequential)[p].lists.EdgeSet(),
+              (*parallel)[p].lists.EdgeSet());
+    EXPECT_EQ((*sequential)[p].infoboxes.EdgeSet(),
+              (*parallel)[p].infoboxes.EdgeSet());
+  }
+}
+
+TEST(PipelineTest, ParallelWithOneThreadIsSequential) {
+  wikigen::GoldCorpus corpus = TinyCorpus();
+  std::string xml = xmldump::WriteDump(wikigen::CorpusToDump(corpus));
+  Pipeline pipeline;
+  auto result = pipeline.ProcessDumpXmlParallel(xml, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), corpus.pages.size());
+}
+
+
+TEST(PipelineTest, TimestampsCarriedThrough) {
+  wikigen::GoldCorpus corpus = TinyCorpus();
+  xmldump::Dump dump = wikigen::CorpusToDump(corpus);
+  Pipeline pipeline;
+  PageResult result = pipeline.ProcessPage(dump.pages[0]);
+  ASSERT_EQ(result.timestamps.size(), result.revisions.size());
+  EXPECT_EQ(result.timestamps[0], dump.pages[0].revisions[0].timestamp);
+}
+
+}  // namespace
+}  // namespace somr::core

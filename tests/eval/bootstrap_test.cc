@@ -1,0 +1,83 @@
+#include "eval/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::eval {
+namespace {
+
+TEST(BootstrapTest, PointEstimateOnFullSample) {
+  std::vector<std::pair<size_t, size_t>> counts = {{8, 10}, {9, 10}};
+  ConfidenceInterval ci = BootstrapAccuracyCi(counts, 200);
+  EXPECT_DOUBLE_EQ(ci.point, 17.0 / 20.0);
+}
+
+TEST(BootstrapTest, IntervalContainsPoint) {
+  std::vector<std::pair<size_t, size_t>> counts;
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    size_t total = 5 + rng.Index(20);
+    size_t correct = rng.Index(total + 1);
+    counts.emplace_back(correct, total);
+  }
+  ConfidenceInterval ci = BootstrapAccuracyCi(counts, 500);
+  EXPECT_LE(ci.lower, ci.point);
+  EXPECT_GE(ci.upper, ci.point);
+  EXPECT_GE(ci.lower, 0.0);
+  EXPECT_LE(ci.upper, 1.0);
+}
+
+TEST(BootstrapTest, DegenerateSampleHasZeroWidth) {
+  std::vector<std::pair<size_t, size_t>> counts = {{10, 10}, {20, 20}};
+  ConfidenceInterval ci = BootstrapAccuracyCi(counts, 300);
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);
+  EXPECT_DOUBLE_EQ(ci.lower, 1.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+}
+
+TEST(BootstrapTest, MoreUnitsNarrowTheInterval) {
+  auto make = [](int n) {
+    std::vector<std::pair<size_t, size_t>> counts;
+    Rng rng(11);
+    for (int i = 0; i < n; ++i) {
+      counts.emplace_back(rng.Bernoulli(0.8) ? 10 : 5, 10);
+    }
+    return counts;
+  };
+  ConfidenceInterval small = BootstrapAccuracyCi(make(10), 600);
+  ConfidenceInterval large = BootstrapAccuracyCi(make(400), 600);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+TEST(BootstrapTest, Deterministic) {
+  std::vector<std::pair<size_t, size_t>> counts = {{3, 10}, {7, 10},
+                                                   {9, 10}};
+  ConfidenceInterval a = BootstrapAccuracyCi(counts, 400, 0.05, 5);
+  ConfidenceInterval b = BootstrapAccuracyCi(counts, 400, 0.05, 5);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapTest, EmptyUnits) {
+  ConfidenceInterval ci = BootstrapAccuracyCi({}, 100);
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);  // vacuous accuracy
+  EXPECT_DOUBLE_EQ(ci.lower, ci.upper);
+}
+
+TEST(BootstrapTest, GenericStatistic) {
+  // Mean of unit values via the generic interface.
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  ConfidenceInterval ci = BootstrapCi(
+      values.size(),
+      [&](const std::vector<size_t>& units) {
+        double sum = 0;
+        for (size_t u : units) sum += values[u];
+        return sum / static_cast<double>(units.size());
+      },
+      500);
+  EXPECT_DOUBLE_EQ(ci.point, 2.5);
+  EXPECT_GE(ci.lower, 1.0);
+  EXPECT_LE(ci.upper, 4.0);
+}
+
+}  // namespace
+}  // namespace somr::eval

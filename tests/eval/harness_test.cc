@@ -1,0 +1,93 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "extract/wikitext_extractor.h"
+#include "wikigen/evolver.h"
+
+namespace somr::eval {
+namespace {
+
+TEST(HarnessTest, ApproachApplicability) {
+  using extract::ObjectType;
+  EXPECT_TRUE(ApproachApplies(Approach::kOurs, ObjectType::kList));
+  EXPECT_TRUE(ApproachApplies(Approach::kPosition, ObjectType::kList));
+  EXPECT_FALSE(ApproachApplies(Approach::kSchema, ObjectType::kList));
+  EXPECT_TRUE(ApproachApplies(Approach::kSchema, ObjectType::kInfobox));
+  EXPECT_TRUE(ApproachApplies(Approach::kKorn, ObjectType::kTable));
+  EXPECT_FALSE(ApproachApplies(Approach::kKorn, ObjectType::kInfobox));
+}
+
+TEST(HarnessTest, ApproachNames) {
+  EXPECT_STREQ(ApproachName(Approach::kOurs), "Our approach");
+  EXPECT_STREQ(ApproachName(Approach::kPosition), "Position");
+  EXPECT_STREQ(ApproachName(Approach::kSchema), "Schema");
+  EXPECT_STREQ(ApproachName(Approach::kKorn), "Korn et al.");
+}
+
+TEST(HarnessTest, MakeMatcherReturnsWorkingMatchers) {
+  for (Approach approach : {Approach::kOurs, Approach::kPosition,
+                            Approach::kSchema, Approach::kKorn}) {
+    auto matcher = MakeMatcher(approach, extract::ObjectType::kTable);
+    ASSERT_NE(matcher, nullptr);
+    extract::ObjectInstance obj;
+    obj.type = extract::ObjectType::kTable;
+    obj.position = 0;
+    obj.schema = {"A", "B"};
+    obj.rows = {{"A", "B"}, {"x", "y"}};
+    matcher->ProcessRevision(0, {obj});
+    matcher->ProcessRevision(1, {obj});
+    EXPECT_EQ(matcher->graph().ObjectCount(), 1u)
+        << ApproachName(approach);
+  }
+}
+
+TEST(HarnessTest, ExtractRevisionObjectsSelectsParserByModel) {
+  xmldump::PageHistory page;
+  xmldump::Revision wiki;
+  wiki.model = "wikitext";
+  wiki.text = "{|\n|-\n| cell\n|}\n";
+  page.revisions.push_back(wiki);
+  xmldump::Revision html;
+  html.model = "html";
+  html.text = "<table><tr><td>cell</td></tr></table>";
+  page.revisions.push_back(html);
+  auto revisions = ExtractRevisionObjects(page);
+  ASSERT_EQ(revisions.size(), 2u);
+  EXPECT_EQ(revisions[0].tables.size(), 1u);
+  EXPECT_EQ(revisions[1].tables.size(), 1u);
+  EXPECT_EQ(revisions[0].tables[0].rows, revisions[1].tables[0].rows);
+}
+
+TEST(HarnessTest, EndToEndOursBeatsPositionOnGeneratedPages) {
+  // Pooled over several pages so single-page luck cannot flip the
+  // comparison.
+  EdgeMetrics ours_m, pos_m;
+  for (uint64_t seed : {77u, 78u, 79u, 80u}) {
+    wikigen::EvolverConfig config;
+    config.focal_type = extract::ObjectType::kTable;
+    config.max_focal_objects = 6;
+    config.num_revisions = 90;
+    config.theme = wikigen::PageTheme::kAwards;
+    config.seed = seed;
+    wikigen::GeneratedPage page = wikigen::PageEvolver(config).Generate();
+
+    std::vector<std::vector<extract::ObjectInstance>> per_revision;
+    for (const auto& rev : page.revisions) {
+      per_revision.push_back(
+          extract::ExtractFromWikitextSource(rev.wikitext).tables);
+    }
+    auto ours = RunApproachOnPage(
+        Approach::kOurs, extract::ObjectType::kTable, per_revision);
+    auto position = RunApproachOnPage(
+        Approach::kPosition, extract::ObjectType::kTable, per_revision);
+    ours_m.Add(CompareEdges(page.truth_tables, ours));
+    pos_m.Add(CompareEdges(page.truth_tables, position));
+  }
+  EXPECT_GT(ours_m.F1(), pos_m.F1());
+  EXPECT_GT(ours_m.F1(), 0.97);
+}
+
+}  // namespace
+}  // namespace somr::eval

@@ -1,0 +1,188 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::eval {
+namespace {
+
+using matching::IdentityGraph;
+using matching::VersionRef;
+
+/// Truth: two objects. A: (0,0)->(1,0)->(2,0); B: (0,1)->(2,1) (gap).
+IdentityGraph MakeTruth() {
+  IdentityGraph truth;
+  int64_t a = truth.AddObject({0, 0});
+  truth.AppendVersion(a, {1, 0});
+  truth.AppendVersion(a, {2, 0});
+  int64_t b = truth.AddObject({0, 1});
+  truth.AppendVersion(b, {2, 1});
+  return truth;
+}
+
+TEST(EdgeMetricsTest, PerfectOutput) {
+  IdentityGraph truth = MakeTruth();
+  EdgeMetrics m = CompareEdges(truth, truth);
+  EXPECT_EQ(m.true_positives, 3u);
+  EXPECT_EQ(m.false_positives, 0u);
+  EXPECT_EQ(m.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 1.0);
+}
+
+TEST(EdgeMetricsTest, MissingEdgeIsFalseNegative) {
+  IdentityGraph truth = MakeTruth();
+  IdentityGraph output;
+  int64_t a = output.AddObject({0, 0});
+  output.AppendVersion(a, {1, 0});
+  output.AppendVersion(a, {2, 0});
+  output.AddObject({0, 1});
+  output.AddObject({2, 1});  // B's restore not linked
+  EdgeMetrics m = CompareEdges(truth, output);
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_EQ(m.false_positives, 0u);
+  EXPECT_LT(m.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+}
+
+TEST(EdgeMetricsTest, WrongEdgeIsFalsePositive) {
+  IdentityGraph truth = MakeTruth();
+  IdentityGraph output;
+  int64_t a = output.AddObject({0, 0});
+  output.AppendVersion(a, {1, 0});
+  output.AppendVersion(a, {2, 1});  // crosses over to B's instance
+  int64_t b = output.AddObject({0, 1});
+  output.AppendVersion(b, {2, 0});  // and vice versa
+  EdgeMetrics m = CompareEdges(truth, output);
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.false_positives, 2u);
+  EXPECT_EQ(m.false_negatives, 2u);
+}
+
+TEST(EdgeMetricsTest, EmptyGraphs) {
+  IdentityGraph empty;
+  EdgeMetrics m = CompareEdges(empty, empty);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 1.0);
+}
+
+TEST(EdgeMetricsTest, FilterScoresOnlySelectedEdges) {
+  IdentityGraph truth = MakeTruth();
+  // Filter to the gap edge only.
+  std::set<matching::IdentityEdge> filter = {
+      {VersionRef{0, 1}, VersionRef{2, 1}}};
+  // Output misses the gap edge but has the others.
+  IdentityGraph output;
+  int64_t a = output.AddObject({0, 0});
+  output.AppendVersion(a, {1, 0});
+  output.AppendVersion(a, {2, 0});
+  output.AddObject({0, 1});
+  output.AddObject({2, 1});
+  EdgeMetrics m = CompareEdges(truth, output, &filter);
+  EXPECT_EQ(m.true_positives, 0u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_EQ(m.false_positives, 0u);  // correct trivial edges not penalized
+}
+
+TEST(EdgeMetricsTest, FilterStillCountsWrongOutputEdges) {
+  IdentityGraph truth = MakeTruth();
+  std::set<matching::IdentityEdge> filter;  // nothing scored on truth side
+  IdentityGraph output;
+  int64_t x = output.AddObject({0, 0});
+  output.AppendVersion(x, {2, 1});  // bogus edge
+  EdgeMetrics m = CompareEdges(truth, output, &filter);
+  EXPECT_EQ(m.false_positives, 1u);
+}
+
+TEST(ObjectAccuracyTest, ExactChainsRequired) {
+  IdentityGraph truth = MakeTruth();
+  EXPECT_DOUBLE_EQ(ObjectAccuracy(truth, truth), 1.0);
+
+  IdentityGraph output;
+  int64_t a = output.AddObject({0, 0});
+  output.AppendVersion(a, {1, 0});
+  output.AppendVersion(a, {2, 0});
+  output.AddObject({0, 1});
+  output.AddObject({2, 1});  // B split into two objects
+  EXPECT_DOUBLE_EQ(ObjectAccuracy(truth, output), 0.5);
+}
+
+TEST(ObjectAccuracyTest, MergedObjectsWrong) {
+  IdentityGraph truth = MakeTruth();
+  IdentityGraph output;
+  int64_t merged = output.AddObject({0, 0});
+  output.AppendVersion(merged, {0, 1});  // impossible merge
+  output.AppendVersion(merged, {1, 0});
+  output.AppendVersion(merged, {2, 0});
+  output.AppendVersion(merged, {2, 1});
+  EXPECT_DOUBLE_EQ(ObjectAccuracy(truth, output), 0.0);
+}
+
+TEST(ObjectAccuracyTest, EmptyTruthIsPerfect) {
+  IdentityGraph truth, output;
+  output.AddObject({0, 0});
+  EXPECT_DOUBLE_EQ(ObjectAccuracy(truth, output), 1.0);
+}
+
+TEST(CountByVersionsTest, BucketsByChainLength) {
+  IdentityGraph truth = MakeTruth();
+  auto buckets = CountCorrectObjectsByVersions(truth, truth);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[3].total, 1u);
+  EXPECT_EQ(buckets[3].correct, 1u);
+  EXPECT_EQ(buckets[2].total, 1u);
+}
+
+TEST(ErrorBreakdownTest, ClassifiesAllFourOutcomes) {
+  IdentityGraph truth = MakeTruth();
+  IdentityGraph output;
+  // (1,0): predecessor correct. (2,0): wrong predecessor (cross).
+  // (2,1): missing predecessor (FN). Plus a spurious pred for (0,1)?
+  // (0,1) has no truth predecessor; give it one in output -> FP.
+  int64_t a = output.AddObject({0, 0});
+  output.AppendVersion(a, {1, 0});
+  output.AppendVersion(a, {2, 1});   // truth pred of (2,1) is (0,1): wrong
+  int64_t b = output.AddObject({0, 1});
+  (void)b;
+  int64_t c = output.AddObject({2, 0});
+  (void)c;
+  ErrorBreakdown e = ClassifyErrors(truth, output);
+  // Instances: (0,0) correct (no pred), (1,0) correct, (2,0) FN,
+  // (0,1) correct (no pred both sides), (2,1) wrong match.
+  EXPECT_EQ(e.correct, 3u);
+  EXPECT_EQ(e.false_negative, 1u);
+  EXPECT_EQ(e.wrong_match, 1u);
+  EXPECT_EQ(e.false_positive, 0u);
+}
+
+TEST(ErrorBreakdownTest, PerfectOutputAllCorrect) {
+  IdentityGraph truth = MakeTruth();
+  ErrorBreakdown e = ClassifyErrors(truth, truth);
+  EXPECT_EQ(e.correct, truth.VersionCount());
+  EXPECT_EQ(e.false_negative + e.false_positive + e.wrong_match, 0u);
+}
+
+TEST(CrossClassifyTest, DiagonalWhenApproachesAgree) {
+  IdentityGraph truth = MakeTruth();
+  ErrorConfusion confusion = CrossClassifyErrors(truth, truth, truth);
+  EXPECT_EQ(confusion[0][0], truth.VersionCount());
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (i != 0 || j != 0) {
+        EXPECT_EQ(confusion[i][j], 0u);
+      }
+    }
+  }
+}
+
+TEST(PredecessorMapTest, MapsTargetsToSources) {
+  IdentityGraph truth = MakeTruth();
+  auto preds = PredecessorMap(truth);
+  EXPECT_EQ(preds.size(), 3u);
+  EXPECT_EQ(preds.at({2, 1}), (VersionRef{0, 1}));
+  EXPECT_EQ(preds.count({0, 0}), 0u);
+}
+
+}  // namespace
+}  // namespace somr::eval

@@ -1,0 +1,111 @@
+#include "eval/trivial.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::eval {
+namespace {
+
+using extract::ObjectInstance;
+using matching::IdentityGraph;
+using matching::VersionRef;
+
+ObjectInstance Obj(int position, std::string content,
+                   std::string section = "S") {
+  ObjectInstance obj;
+  obj.type = extract::ObjectType::kTable;
+  obj.position = position;
+  obj.rows = {{std::move(content)}};
+  obj.section_path = {std::move(section)};
+  return obj;
+}
+
+TEST(NonTrivialEdgesTest, UnchangedPageIsTrivial) {
+  // Two identical consecutive revisions: the edge is trivial.
+  std::vector<std::vector<ObjectInstance>> revisions = {
+      {Obj(0, "a"), Obj(1, "b")}, {Obj(0, "a"), Obj(1, "b")}};
+  IdentityGraph truth;
+  int64_t x = truth.AddObject({0, 0});
+  truth.AppendVersion(x, {1, 0});
+  int64_t y = truth.AddObject({0, 1});
+  truth.AppendVersion(y, {1, 1});
+  EXPECT_TRUE(NonTrivialEdges(revisions, truth).empty());
+}
+
+TEST(NonTrivialEdgesTest, ChangedObjectIsNonTrivial) {
+  std::vector<std::vector<ObjectInstance>> revisions = {
+      {Obj(0, "a"), Obj(1, "b")}, {Obj(0, "a2"), Obj(1, "b")}};
+  IdentityGraph truth;
+  int64_t x = truth.AddObject({0, 0});
+  truth.AppendVersion(x, {1, 0});
+  int64_t y = truth.AddObject({0, 1});
+  truth.AppendVersion(y, {1, 1});
+  auto nontrivial = NonTrivialEdges(revisions, truth);
+  // The edited object's edge is non-trivial; the other object unchanged
+  // (and only one object changed) stays trivial.
+  EXPECT_EQ(nontrivial.size(), 1u);
+  EXPECT_TRUE(nontrivial.count({{0, 0}, {1, 0}}) > 0);
+}
+
+TEST(NonTrivialEdgesTest, GapEdgesAlwaysNonTrivial) {
+  std::vector<std::vector<ObjectInstance>> revisions = {
+      {Obj(0, "a")}, {}, {Obj(0, "a")}};
+  IdentityGraph truth;
+  int64_t x = truth.AddObject({0, 0});
+  truth.AppendVersion(x, {2, 0});
+  auto nontrivial = NonTrivialEdges(revisions, truth);
+  EXPECT_EQ(nontrivial.size(), 1u);
+}
+
+TEST(NonTrivialEdgesTest, BigCountChangeIsNonTrivial) {
+  std::vector<std::vector<ObjectInstance>> revisions = {
+      {Obj(0, "a"), Obj(1, "b"), Obj(2, "c")}, {Obj(0, "a")}};
+  IdentityGraph truth;
+  int64_t x = truth.AddObject({0, 0});
+  truth.AppendVersion(x, {1, 0});
+  truth.AddObject({0, 1});
+  truth.AddObject({0, 2});
+  // Count drops by 2: even the unchanged object's edge is non-trivial.
+  auto nontrivial = NonTrivialEdges(revisions, truth);
+  EXPECT_EQ(nontrivial.size(), 1u);
+}
+
+TEST(NonTrivialEdgesTest, SectionRenameCountsAsChange) {
+  std::vector<std::vector<ObjectInstance>> revisions = {
+      {Obj(0, "a", "Old")}, {Obj(0, "a", "New")}};
+  IdentityGraph truth;
+  int64_t x = truth.AddObject({0, 0});
+  truth.AppendVersion(x, {1, 0});
+  EXPECT_EQ(NonTrivialEdges(revisions, truth).size(), 1u);
+}
+
+TEST(NonTrivialEdgesTest, TwoChangedObjectsMakeAllEdgesNonTrivial) {
+  std::vector<std::vector<ObjectInstance>> revisions = {
+      {Obj(0, "a"), Obj(1, "b"), Obj(2, "c")},
+      {Obj(0, "a2"), Obj(1, "b2"), Obj(2, "c")}};
+  IdentityGraph truth;
+  for (int i = 0; i < 3; ++i) {
+    int64_t id = truth.AddObject({0, i});
+    truth.AppendVersion(id, {1, i});
+  }
+  auto nontrivial = NonTrivialEdges(revisions, truth);
+  // Condition (ii) fails: more than one object changed, so all three
+  // edges are scored — including the unchanged one.
+  EXPECT_EQ(nontrivial.size(), 3u);
+}
+
+TEST(NonTrivialEdgesTest, SingleInsertKeepsOthersTrivial) {
+  std::vector<std::vector<ObjectInstance>> revisions = {
+      {Obj(0, "a")}, {Obj(0, "new"), Obj(1, "a")}};
+  IdentityGraph truth;
+  int64_t x = truth.AddObject({0, 0});
+  truth.AppendVersion(x, {1, 1});
+  truth.AddObject({1, 0});
+  // One object added; the surviving object kept content/context but
+  // moved position — position is not part of content/context, so its
+  // edge stays trivial.
+  auto nontrivial = NonTrivialEdges(revisions, truth);
+  EXPECT_TRUE(nontrivial.empty());
+}
+
+}  // namespace
+}  // namespace somr::eval

@@ -1,0 +1,93 @@
+#include "extract/features.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::extract {
+namespace {
+
+ObjectInstance MakeTable() {
+  ObjectInstance obj;
+  obj.type = ObjectType::kTable;
+  obj.caption = "Awards Table";
+  obj.schema = {"Year", "Result"};
+  obj.rows = {{"Year", "Result"}, {"2001", "Won"}, {"2002", "Nominated"}};
+  obj.section_path = {"Career", "Awards"};
+  return obj;
+}
+
+TEST(FeaturesTest, BagContainsCellTokens) {
+  BagOfWords bag = BuildBagOfWords(MakeTable());
+  EXPECT_EQ(bag.Count("2001"), 1.0);
+  EXPECT_EQ(bag.Count("won"), 1.0);
+  EXPECT_EQ(bag.Count("nominated"), 1.0);
+  EXPECT_EQ(bag.Count("year"), 1.0);  // header cell appears once in rows[0]
+}
+
+TEST(FeaturesTest, BagContainsSectionAndCaption) {
+  BagOfWords bag = BuildBagOfWords(MakeTable());
+  EXPECT_GE(bag.Count("career"), 1.0);
+  EXPECT_GE(bag.Count("awards"), 1.0);
+  EXPECT_GE(bag.Count("table"), 1.0);
+}
+
+TEST(FeaturesTest, SectionHeadersCanBeExcluded) {
+  FeatureOptions options;
+  options.include_section_headers = false;
+  BagOfWords bag = BuildBagOfWords(MakeTable(), options);
+  EXPECT_EQ(bag.Count("career"), 0.0);
+}
+
+TEST(FeaturesTest, CaptionCanBeExcluded) {
+  FeatureOptions options;
+  options.include_caption = false;
+  options.include_section_headers = false;
+  BagOfWords bag = BuildBagOfWords(MakeTable(), options);
+  EXPECT_EQ(bag.Count("table"), 0.0);
+}
+
+TEST(FeaturesTest, LongCellsTruncated) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kList;
+  std::string long_item;
+  for (int i = 0; i < 30; ++i) {
+    long_item += "word" + std::to_string(i) + " ";
+  }
+  obj.rows = {{long_item}};
+  BagOfWords bag = BuildBagOfWords(obj);
+  EXPECT_EQ(bag.TotalCount(), 10.0);  // paper: 10-token element limit
+  EXPECT_EQ(bag.Count("word9"), 1.0);
+  EXPECT_EQ(bag.Count("word10"), 0.0);
+}
+
+TEST(FeaturesTest, TruncationLimitConfigurable) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kList;
+  obj.rows = {{"a b c d e"}};
+  FeatureOptions options;
+  options.element_token_limit = 2;
+  BagOfWords bag = BuildBagOfWords(obj, options);
+  EXPECT_EQ(bag.TotalCount(), 2.0);
+}
+
+TEST(FeaturesTest, EmptyObjectYieldsEmptyBag) {
+  ObjectInstance obj;
+  EXPECT_TRUE(BuildBagOfWords(obj).empty());
+}
+
+TEST(FeaturesTest, SchemaBag) {
+  BagOfWords schema = BuildSchemaBag(MakeTable());
+  EXPECT_EQ(schema.Count("year"), 1.0);
+  EXPECT_EQ(schema.Count("result"), 1.0);
+  EXPECT_EQ(schema.Count("2001"), 0.0);
+  EXPECT_EQ(schema.Count("career"), 0.0);
+}
+
+TEST(FeaturesTest, SchemaBagEmptyForLists) {
+  ObjectInstance list;
+  list.type = ObjectType::kList;
+  list.rows = {{"item"}};
+  EXPECT_TRUE(BuildSchemaBag(list).empty());
+}
+
+}  // namespace
+}  // namespace somr::extract

@@ -1,0 +1,154 @@
+#include "extract/html_extractor.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::extract {
+namespace {
+
+constexpr const char* kPage = R"(<!DOCTYPE html>
+<html><body>
+<h1>Title</h1>
+<p>Intro.</p>
+<h2>Career</h2>
+<table class="infobox">
+<caption>Jane Doe</caption>
+<tr><th>name</th><td>Jane Doe</td></tr>
+<tr><th>occupation</th><td>actress</td></tr>
+</table>
+<table>
+<caption>Films</caption>
+<tr><th>Year</th><th>Title</th></tr>
+<tr><td>2001</td><td>A Movie</td></tr>
+</table>
+<h3>Early work</h3>
+<ul><li>First Film</li><li>Second Film</li></ul>
+<h2>Awards</h2>
+<table><tr><td>Best Actor</td><td>Won</td></tr></table>
+</body></html>)";
+
+TEST(HtmlExtractorTest, CountsAndPositions) {
+  PageObjects objects = ExtractFromHtmlSource(kPage);
+  ASSERT_EQ(objects.tables.size(), 2u);
+  ASSERT_EQ(objects.infoboxes.size(), 1u);
+  ASSERT_EQ(objects.lists.size(), 1u);
+  EXPECT_EQ(objects.tables[0].position, 0);
+  EXPECT_EQ(objects.tables[1].position, 1);
+}
+
+TEST(HtmlExtractorTest, InfoboxSeparatedFromTables) {
+  PageObjects objects = ExtractFromHtmlSource(kPage);
+  EXPECT_EQ(objects.infoboxes[0].caption, "Jane Doe");
+  ASSERT_EQ(objects.infoboxes[0].rows.size(), 2u);
+  EXPECT_EQ(objects.infoboxes[0].rows[1],
+            (std::vector<std::string>{"occupation", "actress"}));
+}
+
+TEST(HtmlExtractorTest, TableSchemaAndContent) {
+  PageObjects objects = ExtractFromHtmlSource(kPage);
+  const ObjectInstance& films = objects.tables[0];
+  EXPECT_EQ(films.caption, "Films");
+  EXPECT_EQ(films.schema, (std::vector<std::string>{"Year", "Title"}));
+  ASSERT_EQ(films.rows.size(), 2u);
+  EXPECT_EQ(films.rows[1][1], "A Movie");
+}
+
+TEST(HtmlExtractorTest, SectionPathsFollowHeadings) {
+  PageObjects objects = ExtractFromHtmlSource(kPage);
+  EXPECT_EQ(objects.tables[0].section_path,
+            (std::vector<std::string>{"Career"}));
+  EXPECT_EQ(objects.lists[0].section_path,
+            (std::vector<std::string>{"Career", "Early work"}));
+  EXPECT_EQ(objects.tables[1].section_path,
+            (std::vector<std::string>{"Awards"}));
+}
+
+TEST(HtmlExtractorTest, ListItems) {
+  PageObjects objects = ExtractFromHtmlSource(kPage);
+  ASSERT_EQ(objects.lists[0].rows.size(), 2u);
+  EXPECT_EQ(objects.lists[0].rows[0][0], "First Film");
+}
+
+TEST(HtmlExtractorTest, NestedListBecomesOneObject) {
+  PageObjects objects = ExtractFromHtmlSource(
+      "<ul><li>a<ul><li>a1</li><li>a2</li></ul></li><li>b</li></ul>");
+  ASSERT_EQ(objects.lists.size(), 1u);
+  ASSERT_EQ(objects.lists[0].rows.size(), 4u);
+  EXPECT_EQ(objects.lists[0].rows[0][0], "a");
+  EXPECT_EQ(objects.lists[0].rows[1][0], "a1");
+  EXPECT_EQ(objects.lists[0].rows[3][0], "b");
+}
+
+TEST(HtmlExtractorTest, ListInsideTableNotExtractedSeparately) {
+  PageObjects objects = ExtractFromHtmlSource(
+      "<table><tr><td><ul><li>x</li></ul></td></tr></table>");
+  EXPECT_EQ(objects.tables.size(), 1u);
+  EXPECT_TRUE(objects.lists.empty());
+}
+
+TEST(HtmlExtractorTest, TbodyRowsExtracted) {
+  PageObjects objects = ExtractFromHtmlSource(
+      "<table><tbody><tr><td>a</td></tr><tr><td>b</td></tr></tbody>"
+      "</table>");
+  ASSERT_EQ(objects.tables.size(), 1u);
+  EXPECT_EQ(objects.tables[0].rows.size(), 2u);
+}
+
+TEST(HtmlExtractorTest, MalformedTableStillExtracted) {
+  PageObjects objects = ExtractFromHtmlSource(
+      "<table><tr><td>a<td>b<tr><td>c<td>d</table>");
+  ASSERT_EQ(objects.tables.size(), 1u);
+  EXPECT_EQ(objects.tables[0].rows.size(), 2u);
+  EXPECT_EQ(objects.tables[0].rows[1][1], "d");
+}
+
+TEST(HtmlExtractorTest, EmptyDocument) {
+  EXPECT_EQ(ExtractFromHtmlSource("").TotalCount(), 0u);
+}
+
+
+TEST(HtmlExtractorTest, SpansExpandedInTables) {
+  PageObjects objects = ExtractFromHtmlSource(
+      "<table><tr><td colspan=\"2\">wide</td><td>x</td></tr>"
+      "<tr><td rowspan=\"2\">tall</td><td>a</td><td>b</td></tr>"
+      "<tr><td>c</td><td>d</td></tr></table>");
+  ASSERT_EQ(objects.tables.size(), 1u);
+  const ObjectInstance& table = objects.tables[0];
+  ASSERT_EQ(table.rows.size(), 3u);
+  EXPECT_EQ(table.rows[0],
+            (std::vector<std::string>{"wide", "wide", "x"}));
+  EXPECT_EQ(table.rows[2],
+            (std::vector<std::string>{"tall", "c", "d"}));
+}
+
+TEST(HtmlExtractorTest, DirectlyNestedSublistCollected) {
+  PageObjects objects = ExtractFromHtmlSource(
+      "<ul><li>a</li><ul><li>a1</li></ul><li>b</li></ul>");
+  ASSERT_EQ(objects.lists.size(), 1u);
+  ASSERT_EQ(objects.lists[0].rows.size(), 3u);
+  EXPECT_EQ(objects.lists[0].rows[1][0], "a1");
+}
+
+
+TEST(HtmlExtractorTest, ChromeSubtreesSkipped) {
+  PageObjects objects = ExtractFromHtmlSource(
+      "<nav><ul><li>Home</li></ul></nav>"
+      "<header><table><tr><td>logo</td></tr></table></header>"
+      "<aside><ul><li>related</li></ul></aside>"
+      "<ul><li>real item</li></ul>"
+      "<footer><ul><li>terms</li></ul></footer>");
+  ASSERT_EQ(objects.lists.size(), 1u);
+  EXPECT_EQ(objects.lists[0].rows[0][0], "real item");
+  EXPECT_TRUE(objects.tables.empty());
+}
+
+TEST(HtmlExtractorTest, PresentationTablesSkipped) {
+  PageObjects objects = ExtractFromHtmlSource(
+      "<table role=\"presentation\"><tr><td>layout</td></tr></table>"
+      "<table class=\"navbox\"><tr><td>links</td></tr></table>"
+      "<table><tr><td>data</td></tr></table>");
+  ASSERT_EQ(objects.tables.size(), 1u);
+  EXPECT_EQ(objects.tables[0].rows[0][0], "data");
+}
+
+}  // namespace
+}  // namespace somr::extract

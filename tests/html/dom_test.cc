@@ -1,0 +1,93 @@
+#include "html/dom.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::html {
+namespace {
+
+TEST(DomTest, BuildTree) {
+  auto doc = Node::MakeDocument();
+  Node* div = doc->AppendChild(Node::MakeElement("div"));
+  div->AppendChild(Node::MakeText("hello"));
+  EXPECT_EQ(doc->children().size(), 1u);
+  EXPECT_EQ(div->parent(), doc.get());
+  EXPECT_EQ(div->children()[0]->text(), "hello");
+}
+
+TEST(DomTest, Attributes) {
+  auto el = Node::MakeElement("a");
+  el->SetAttribute("href", "x");
+  EXPECT_EQ(el->Attribute("href"), "x");
+  EXPECT_TRUE(el->HasAttribute("href"));
+  EXPECT_FALSE(el->HasAttribute("title"));
+  el->SetAttribute("href", "y");  // overwrite
+  EXPECT_EQ(el->Attribute("href"), "y");
+  EXPECT_EQ(el->attributes().size(), 1u);
+}
+
+TEST(DomTest, DescendantsDocumentOrder) {
+  auto doc = Node::MakeDocument();
+  Node* outer = doc->AppendChild(Node::MakeElement("div"));
+  Node* first = outer->AppendChild(Node::MakeElement("span"));
+  first->AppendChild(Node::MakeElement("span"));
+  outer->AppendChild(Node::MakeElement("span"));
+  auto spans = doc->Descendants("span");
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0], first);
+}
+
+TEST(DomTest, ChildElementsFiltersByTag) {
+  auto parent = Node::MakeElement("tr");
+  parent->AppendChild(Node::MakeElement("td"));
+  parent->AppendChild(Node::MakeText("x"));
+  parent->AppendChild(Node::MakeElement("th"));
+  parent->AppendChild(Node::MakeElement("td"));
+  EXPECT_EQ(parent->ChildElements("td").size(), 2u);
+  EXPECT_EQ(parent->ChildElements("th").size(), 1u);
+}
+
+TEST(DomTest, InnerTextCollapsesWhitespace) {
+  auto div = Node::MakeElement("div");
+  div->AppendChild(Node::MakeText("  a "));
+  Node* span = div->AppendChild(Node::MakeElement("span"));
+  span->AppendChild(Node::MakeText(" b\n"));
+  EXPECT_EQ(div->InnerText(), "a b");
+}
+
+TEST(DomTest, OuterHtmlSerialization) {
+  auto div = Node::MakeElement("div");
+  div->SetAttribute("class", "x");
+  div->AppendChild(Node::MakeText("a<b"));
+  EXPECT_EQ(div->OuterHtml(), "<div class=\"x\">a&lt;b</div>");
+}
+
+TEST(DomTest, VoidElementSerialization) {
+  auto br = Node::MakeElement("br");
+  EXPECT_EQ(br->OuterHtml(), "<br>");
+}
+
+TEST(DomTest, CommentSerialization) {
+  auto doc = Node::MakeDocument();
+  doc->AppendChild(Node::MakeComment("note"));
+  EXPECT_EQ(doc->OuterHtml(), "<!--note-->");
+}
+
+TEST(DomTest, HasClass) {
+  auto el = Node::MakeElement("table");
+  el->SetAttribute("class", "infobox vcard");
+  EXPECT_TRUE(el->HasClass("infobox"));
+  EXPECT_TRUE(el->HasClass("vcard"));
+  EXPECT_FALSE(el->HasClass("info"));
+  EXPECT_FALSE(el->HasClass(""));
+}
+
+TEST(DomTest, SubtreeSize) {
+  auto doc = Node::MakeDocument();
+  Node* div = doc->AppendChild(Node::MakeElement("div"));
+  div->AppendChild(Node::MakeText("x"));
+  div->AppendChild(Node::MakeElement("span"));
+  EXPECT_EQ(doc->SubtreeSize(), 4u);
+}
+
+}  // namespace
+}  // namespace somr::html

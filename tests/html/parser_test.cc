@@ -1,0 +1,132 @@
+#include "html/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::html {
+namespace {
+
+TEST(HtmlParserTest, SimpleNesting) {
+  auto doc = ParseHtml("<div><p>text</p></div>");
+  auto divs = doc->Descendants("div");
+  ASSERT_EQ(divs.size(), 1u);
+  auto ps = divs[0]->ChildElements("p");
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0]->InnerText(), "text");
+}
+
+TEST(HtmlParserTest, TableStructure) {
+  auto doc = ParseHtml(
+      "<table><tr><th>H1</th><th>H2</th></tr>"
+      "<tr><td>a</td><td>b</td></tr></table>");
+  auto tables = doc->Descendants("table");
+  ASSERT_EQ(tables.size(), 1u);
+  auto rows = tables[0]->ChildElements("tr");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0]->ChildElements("th").size(), 2u);
+  EXPECT_EQ(rows[1]->ChildElements("td").size(), 2u);
+}
+
+TEST(HtmlParserTest, ImpliedEndTagsInTables) {
+  // No </td> or </tr> anywhere — browsers recover; so do we.
+  auto doc = ParseHtml(
+      "<table><tr><td>a<td>b<tr><td>c<td>d</table>");
+  auto tables = doc->Descendants("table");
+  ASSERT_EQ(tables.size(), 1u);
+  auto rows = tables[0]->ChildElements("tr");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0]->ChildElements("td").size(), 2u);
+  EXPECT_EQ(rows[1]->ChildElements("td").size(), 2u);
+  EXPECT_EQ(rows[1]->ChildElements("td")[1]->InnerText(), "d");
+}
+
+TEST(HtmlParserTest, ImpliedLiEndTags) {
+  auto doc = ParseHtml("<ul><li>one<li>two<li>three</ul>");
+  auto uls = doc->Descendants("ul");
+  ASSERT_EQ(uls.size(), 1u);
+  auto lis = uls[0]->ChildElements("li");
+  ASSERT_EQ(lis.size(), 3u);
+  EXPECT_EQ(lis[1]->InnerText(), "two");
+}
+
+TEST(HtmlParserTest, ParagraphClosedByBlockElement) {
+  auto doc = ParseHtml("<p>intro<table><tr><td>x</td></tr></table>");
+  auto ps = doc->Descendants("p");
+  ASSERT_EQ(ps.size(), 1u);
+  // The table must NOT be inside the paragraph.
+  EXPECT_TRUE(ps[0]->Descendants("table").empty());
+  EXPECT_EQ(doc->Descendants("table").size(), 1u);
+}
+
+TEST(HtmlParserTest, TbodyRows) {
+  auto doc = ParseHtml(
+      "<table><thead><tr><th>h</th></tr></thead>"
+      "<tbody><tr><td>1</td></tr><tr><td>2</td></tr></tbody></table>");
+  auto tables = doc->Descendants("table");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0]->Descendants("tr").size(), 3u);
+}
+
+TEST(HtmlParserTest, StrayEndTagIgnored) {
+  auto doc = ParseHtml("<div>a</span>b</div>");
+  auto divs = doc->Descendants("div");
+  ASSERT_EQ(divs.size(), 1u);
+  // Text nodes are joined with single spaces by InnerText.
+  EXPECT_EQ(divs[0]->InnerText(), "a b");
+}
+
+TEST(HtmlParserTest, MismatchedEndTagDoesNotEscapeCell) {
+  auto doc = ParseHtml(
+      "<table><tr><td><b>x</i></td><td>y</td></tr></table>");
+  auto tds = doc->Descendants("td");
+  ASSERT_EQ(tds.size(), 2u);
+  EXPECT_EQ(tds[1]->InnerText(), "y");
+}
+
+TEST(HtmlParserTest, VoidElements) {
+  auto doc = ParseHtml("<p>a<br>b<img src=\"x\">c</p>");
+  auto ps = doc->Descendants("p");
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0]->InnerText(), "a b c");
+  // br must not swallow following content as children.
+  auto brs = doc->Descendants("br");
+  ASSERT_EQ(brs.size(), 1u);
+  EXPECT_TRUE(brs[0]->children().empty());
+}
+
+TEST(HtmlParserTest, NestedTables) {
+  auto doc = ParseHtml(
+      "<table><tr><td><table><tr><td>inner</td></tr></table></td></tr>"
+      "</table>");
+  EXPECT_EQ(doc->Descendants("table").size(), 2u);
+}
+
+TEST(HtmlParserTest, RoundTripWellFormed) {
+  std::string html =
+      "<div class=\"x\"><p>hello <b>world</b></p><ul><li>a</li>"
+      "<li>b</li></ul></div>";
+  auto doc = ParseHtml(html);
+  EXPECT_EQ(doc->OuterHtml(), html);
+}
+
+TEST(HtmlParserTest, UnclosedElementsAtEof) {
+  auto doc = ParseHtml("<div><p>unclosed");
+  EXPECT_EQ(doc->Descendants("p").size(), 1u);
+  EXPECT_EQ(doc->Descendants("p")[0]->InnerText(), "unclosed");
+}
+
+TEST(HtmlParserTest, EmptyDocument) {
+  auto doc = ParseHtml("");
+  EXPECT_EQ(doc->type(), NodeType::kDocument);
+  EXPECT_TRUE(doc->children().empty());
+}
+
+TEST(HtmlParserTest, FullDocumentSkeleton) {
+  auto doc = ParseHtml(
+      "<!DOCTYPE html><html><head><title>T</title></head>"
+      "<body><h1>T</h1><p>b</p></body></html>");
+  EXPECT_EQ(doc->Descendants("title").size(), 1u);
+  EXPECT_EQ(doc->Descendants("h1")[0]->InnerText(), "T");
+}
+
+}  // namespace
+}  // namespace somr::html

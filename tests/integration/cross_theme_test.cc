@@ -1,0 +1,104 @@
+// Consolidated cross-theme properties: over every page theme, the full
+// pipeline must preserve its invariants and our approach must dominate
+// the position baseline on pooled edge quality.
+
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "extract/html_extractor.h"
+#include "extract/wikitext_extractor.h"
+#include "wikigen/evolver.h"
+
+namespace somr {
+namespace {
+
+constexpr wikigen::PageTheme kThemes[] = {
+    wikigen::PageTheme::kAwards, wikigen::PageTheme::kSettlement,
+    wikigen::PageTheme::kSports, wikigen::PageTheme::kDiscography,
+    wikigen::PageTheme::kGeneric};
+
+class CrossTheme : public ::testing::TestWithParam<int> {};
+
+std::vector<std::vector<extract::ObjectInstance>> Instances(
+    const wikigen::GeneratedPage& page, extract::ObjectType type) {
+  std::vector<std::vector<extract::ObjectInstance>> instances;
+  for (const auto& rev : page.revisions) {
+    instances.push_back(
+        extract::ExtractFromWikitextSource(rev.wikitext).OfType(type));
+  }
+  return instances;
+}
+
+TEST_P(CrossTheme, TruthMatchesExtractionForAllTypes) {
+  wikigen::EvolverConfig config;
+  config.focal_type = extract::ObjectType::kTable;
+  config.max_focal_objects = 5;
+  config.num_revisions = 35;
+  config.theme = kThemes[GetParam()];
+  config.seed = 900 + static_cast<uint64_t>(GetParam());
+  wikigen::GeneratedPage page = wikigen::PageEvolver(config).Generate();
+  for (extract::ObjectType type :
+       {extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+        extract::ObjectType::kList}) {
+    auto instances = Instances(page, type);
+    size_t extracted = 0;
+    for (const auto& revision : instances) extracted += revision.size();
+    EXPECT_EQ(page.TruthFor(type).VersionCount(), extracted)
+        << extract::ObjectTypeName(type);
+  }
+}
+
+TEST_P(CrossTheme, OursBeatsPositionPooled) {
+  eval::EdgeMetrics ours, position;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    wikigen::EvolverConfig config;
+    config.focal_type = extract::ObjectType::kTable;
+    config.max_focal_objects = 6;
+    config.num_revisions = 50;
+    config.theme = kThemes[GetParam()];
+    config.seed = 7000 + seed;
+    wikigen::GeneratedPage page = wikigen::PageEvolver(config).Generate();
+    auto instances = Instances(page, extract::ObjectType::kTable);
+    ours.Add(eval::CompareEdges(
+        page.truth_tables,
+        eval::RunApproachOnPage(eval::Approach::kOurs,
+                                extract::ObjectType::kTable, instances)));
+    position.Add(eval::CompareEdges(
+        page.truth_tables,
+        eval::RunApproachOnPage(eval::Approach::kPosition,
+                                extract::ObjectType::kTable, instances)));
+  }
+  EXPECT_GE(ours.F1(), position.F1())
+      << "theme " << GetParam();
+  EXPECT_GT(ours.F1(), 0.97) << "theme " << GetParam();
+}
+
+TEST_P(CrossTheme, HtmlAndWikitextPipelinesAgree) {
+  wikigen::EvolverConfig config;
+  config.focal_type = extract::ObjectType::kTable;
+  config.max_focal_objects = 4;
+  config.num_revisions = 25;
+  config.theme = kThemes[GetParam()];
+  config.seed = 1200 + static_cast<uint64_t>(GetParam());
+  config.html_web_chrome = GetParam() % 2 == 0;
+  wikigen::GeneratedPage page = wikigen::PageEvolver(config).Generate();
+  for (size_t r = 0; r < page.revisions.size(); ++r) {
+    extract::PageObjects wiki =
+        extract::ExtractFromWikitextSource(page.revisions[r].wikitext);
+    extract::PageObjects html =
+        extract::ExtractFromHtmlSource(page.revisions[r].html);
+    ASSERT_EQ(wiki.tables.size(), html.tables.size()) << "revision " << r;
+    ASSERT_EQ(wiki.lists.size(), html.lists.size()) << "revision " << r;
+    ASSERT_EQ(wiki.infoboxes.size(), html.infoboxes.size())
+        << "revision " << r;
+    for (size_t i = 0; i < wiki.tables.size(); ++i) {
+      EXPECT_EQ(wiki.tables[i].rows, html.tables[i].rows);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Themes, CrossTheme, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace somr

@@ -1,0 +1,149 @@
+// Integration tests exercising the full stack: generator -> XML dump ->
+// parsing -> extraction -> matching -> evaluation, including the
+// validation datasets (Internet-Archive crawls, Socrata).
+
+#include <gtest/gtest.h>
+
+#include "archive/crawl_sampler.h"
+#include "archive/socrata.h"
+#include "core/changes.h"
+#include "core/pipeline.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "eval/trivial.h"
+#include "wikigen/corpus.h"
+
+namespace somr {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    wikigen::CorpusConfig config;
+    config.focal_type = extract::ObjectType::kTable;
+    config.strata_caps = {2, 6};
+    config.pages_per_stratum = 3;
+    config.min_revisions = 30;
+    config.max_revisions = 60;
+    config.seed = 123;
+    corpus_ = new wikigen::GoldCorpus(wikigen::GenerateGoldCorpus(config));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static wikigen::GoldCorpus* corpus_;
+};
+
+wikigen::GoldCorpus* EndToEnd::corpus_ = nullptr;
+
+TEST_F(EndToEnd, DumpPipelineBeatsBaselinesOnEdges) {
+  std::string xml = xmldump::WriteDump(wikigen::CorpusToDump(*corpus_));
+  auto dump = xmldump::ReadDump(xml);
+  ASSERT_TRUE(dump.ok());
+
+  eval::EdgeMetrics ours_total, position_total;
+  for (size_t p = 0; p < dump->pages.size(); ++p) {
+    auto revisions = eval::ExtractRevisionObjects(dump->pages[p]);
+    auto tables = eval::SliceType(revisions, extract::ObjectType::kTable);
+    auto ours = eval::RunApproachOnPage(eval::Approach::kOurs,
+                                        extract::ObjectType::kTable,
+                                        tables);
+    auto position = eval::RunApproachOnPage(eval::Approach::kPosition,
+                                            extract::ObjectType::kTable,
+                                            tables);
+    const auto& truth = corpus_->pages[p].truth_tables;
+    eval::EdgeMetrics ours_m = eval::CompareEdges(truth, ours);
+    eval::EdgeMetrics pos_m = eval::CompareEdges(truth, position);
+    ours_total.true_positives += ours_m.true_positives;
+    ours_total.false_positives += ours_m.false_positives;
+    ours_total.false_negatives += ours_m.false_negatives;
+    position_total.true_positives += pos_m.true_positives;
+    position_total.false_positives += pos_m.false_positives;
+    position_total.false_negatives += pos_m.false_negatives;
+  }
+  EXPECT_GT(ours_total.F1(), 0.97);
+  EXPECT_GT(ours_total.F1(), position_total.F1());
+}
+
+TEST_F(EndToEnd, NonTrivialEdgeMetricsComputable) {
+  xmldump::Dump dump = wikigen::CorpusToDump(*corpus_);
+  const auto& page = corpus_->pages[0];
+  auto revisions = eval::ExtractRevisionObjects(dump.pages[0]);
+  auto tables = eval::SliceType(revisions, extract::ObjectType::kTable);
+  auto nontrivial = eval::NonTrivialEdges(tables, page.truth_tables);
+  // Non-trivial edges are a strict subset of all edges.
+  EXPECT_LT(nontrivial.size(), page.truth_tables.EdgeSet().size());
+  auto ours = eval::RunApproachOnPage(
+      eval::Approach::kOurs, extract::ObjectType::kTable, tables);
+  eval::EdgeMetrics m =
+      eval::CompareEdges(page.truth_tables, ours, &nontrivial);
+  EXPECT_GE(m.Precision(), 0.0);  // just exercises the path
+}
+
+TEST_F(EndToEnd, InternetArchiveCrawlsStillMatchable) {
+  Rng rng(55);
+  const auto& page = corpus_->pages.back();
+  archive::SampledHistory sampled = archive::SampleCrawls(page, 30.0, rng);
+  ASSERT_GT(sampled.page.revisions.size(), 2u);
+  auto revisions = eval::ExtractRevisionObjects(sampled.page);
+  auto tables = eval::SliceType(revisions, extract::ObjectType::kTable);
+  // Truth restriction and HTML extraction agree instance-for-instance.
+  size_t extracted = 0;
+  for (const auto& r : tables) extracted += r.size();
+  EXPECT_EQ(extracted, sampled.truth_tables.VersionCount());
+  auto ours = eval::RunApproachOnPage(
+      eval::Approach::kOurs, extract::ObjectType::kTable, tables);
+  eval::EdgeMetrics m = eval::CompareEdges(sampled.truth_tables, ours);
+  EXPECT_GT(m.F1(), 0.8);  // lower resolution makes the problem harder
+}
+
+TEST_F(EndToEnd, SocrataMatchingWithoutSpatialFeatures) {
+  archive::SocrataConfig config;
+  config.datasets_per_subdomain = 15;
+  config.num_snapshots = 6;
+  config.seed = 77;
+  auto contexts = archive::GenerateSocrata(config);
+  matching::MatcherConfig matcher_config;
+  matcher_config.use_spatial_features = false;
+  for (const archive::SocrataContext& context : contexts) {
+    matching::TemporalMatcher matcher(extract::ObjectType::kTable,
+                                      matcher_config);
+    for (size_t s = 0; s < context.snapshots.size(); ++s) {
+      matcher.ProcessRevision(static_cast<int>(s), context.snapshots[s]);
+    }
+    eval::EdgeMetrics m =
+        eval::CompareEdges(context.truth, matcher.graph());
+    // Large datasets carry lots of evidence: near-perfect matching.
+    EXPECT_GT(m.F1(), 0.97) << context.subdomain;
+  }
+}
+
+TEST_F(EndToEnd, PipelineMatchesHarnessResults) {
+  xmldump::Dump dump = wikigen::CorpusToDump(*corpus_);
+  core::Pipeline pipeline;
+  core::PageResult result = pipeline.ProcessPage(dump.pages[0]);
+  auto revisions = eval::ExtractRevisionObjects(dump.pages[0]);
+  auto tables = eval::SliceType(revisions, extract::ObjectType::kTable);
+  auto direct = eval::RunApproachOnPage(
+      eval::Approach::kOurs, extract::ObjectType::kTable, tables);
+  EXPECT_EQ(result.tables.EdgeSet(), direct.EdgeSet());
+}
+
+TEST_F(EndToEnd, ChangeLogCoversAllInstances) {
+  xmldump::Dump dump = wikigen::CorpusToDump(*corpus_);
+  core::Pipeline pipeline;
+  core::PageResult result = pipeline.ProcessPage(dump.pages[0]);
+  auto changes = core::ExtractChanges(
+      result.tables, result.revisions, extract::ObjectType::kTable,
+      static_cast<int>(result.revisions.size()));
+  size_t non_delete = 0;
+  for (const auto& c : changes) {
+    if (c.kind != core::ChangeKind::kDelete) ++non_delete;
+  }
+  EXPECT_EQ(non_delete, result.tables.VersionCount());
+}
+
+}  // namespace
+}  // namespace somr

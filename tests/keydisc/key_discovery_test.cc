@@ -1,0 +1,101 @@
+#include "keydisc/key_discovery.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::keydisc {
+namespace {
+
+using extract::ObjectInstance;
+
+ObjectInstance Snapshot(std::vector<std::vector<std::string>> data) {
+  ObjectInstance obj;
+  obj.type = extract::ObjectType::kTable;
+  obj.schema = {"ID", "Name", "Score"};
+  obj.rows.push_back(obj.schema);
+  for (auto& row : data) obj.rows.push_back(std::move(row));
+  return obj;
+}
+
+TEST(ColumnFeaturesTest, StaticUniqueness) {
+  ObjectInstance snap = Snapshot(
+      {{"1", "Ann", "10"}, {"2", "Bob", "10"}, {"3", "Ann", "30"}});
+  ColumnFeatures id = ComputeColumnFeatures({snap}, 0);
+  EXPECT_DOUBLE_EQ(id.uniqueness, 1.0);
+  ColumnFeatures name = ComputeColumnFeatures({snap}, 1);
+  EXPECT_DOUBLE_EQ(name.uniqueness, 2.0 / 3.0);
+  ColumnFeatures score = ComputeColumnFeatures({snap}, 2);
+  EXPECT_DOUBLE_EQ(score.non_numeric, 0.0);
+  EXPECT_GT(name.non_numeric, 0.9);
+}
+
+TEST(ColumnFeaturesTest, FillRatioCountsEmptyCells) {
+  ObjectInstance snap = Snapshot({{"1", "", "10"}, {"2", "Bob", ""}});
+  ColumnFeatures name = ComputeColumnFeatures({snap}, 1);
+  EXPECT_DOUBLE_EQ(name.fill_ratio, 0.5);
+}
+
+TEST(ColumnFeaturesTest, TemporalMinUniqueness) {
+  // Unique now, duplicated before.
+  ObjectInstance old_snap =
+      Snapshot({{"1", "Ann", "1"}, {"2", "Ann", "2"}});
+  ObjectInstance new_snap =
+      Snapshot({{"1", "Ann", "1"}, {"2", "Bob", "2"}});
+  ColumnFeatures f = ComputeColumnFeatures({old_snap, new_snap}, 1);
+  EXPECT_DOUBLE_EQ(f.uniqueness, 1.0);  // current snapshot looks unique
+  EXPECT_DOUBLE_EQ(f.min_historical_uniqueness, 0.5);
+  EXPECT_DOUBLE_EQ(f.always_unique, 0.5);
+}
+
+TEST(ColumnFeaturesTest, ValueStabilityDetectsChurn) {
+  ObjectInstance v1 = Snapshot({{"1", "Ann", "10"}, {"2", "Bob", "20"}});
+  ObjectInstance v2 = Snapshot({{"1", "Ann", "99"}, {"2", "Bob", "77"}});
+  ColumnFeatures id = ComputeColumnFeatures({v1, v2}, 0);
+  EXPECT_DOUBLE_EQ(id.value_stability, 1.0);
+  ColumnFeatures score = ComputeColumnFeatures({v1, v2}, 2);
+  EXPECT_DOUBLE_EQ(score.value_stability, 0.0);
+}
+
+TEST(ColumnFeaturesTest, EmptyHistory) {
+  ColumnFeatures f = ComputeColumnFeatures({}, 0);
+  EXPECT_DOUBLE_EQ(f.uniqueness, 0.0);
+}
+
+TEST(KeyScoreTest, TemporalScorePunishesHistoricalDuplicates) {
+  ColumnFeatures trap;
+  trap.uniqueness = 1.0;
+  trap.fill_ratio = 1.0;
+  trap.non_numeric = 1.0;
+  trap.position = 0.8;
+  trap.min_historical_uniqueness = 0.4;
+  trap.always_unique = 0.2;
+  trap.value_stability = 0.6;
+
+  ColumnFeatures key = trap;
+  key.min_historical_uniqueness = 1.0;
+  key.always_unique = 1.0;
+  key.value_stability = 1.0;
+
+  // Statistically indistinguishable (same static features)...
+  EXPECT_DOUBLE_EQ(StaticKeyScore(trap), StaticKeyScore(key));
+  // ...but separated by the temporal score.
+  EXPECT_LT(TemporalKeyScore(trap), TemporalKeyScore(key));
+}
+
+TEST(DiscoverKeysTest, FindsTrueKey) {
+  ObjectInstance v1 = Snapshot({{"1", "Ann", "10"}, {"2", "Ann", "20"},
+                                {"3", "Cara", "10"}});
+  ObjectInstance v2 = Snapshot({{"1", "Ann", "11"}, {"2", "Ann", "21"},
+                                {"3", "Cara", "31"}});
+  std::vector<bool> keys = DiscoverKeys({v1, v2}, /*use_temporal=*/true);
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_TRUE(keys[0]);   // ID
+  EXPECT_FALSE(keys[1]);  // duplicated name
+  EXPECT_FALSE(keys[2]);  // volatile score
+}
+
+TEST(DiscoverKeysTest, EmptyHistoryYieldsNothing) {
+  EXPECT_TRUE(DiscoverKeys({}, true).empty());
+}
+
+}  // namespace
+}  // namespace somr::keydisc

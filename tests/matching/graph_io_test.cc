@@ -1,0 +1,65 @@
+#include "matching/graph_io.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::matching {
+namespace {
+
+IdentityGraph SampleGraph() {
+  IdentityGraph graph(extract::ObjectType::kList);
+  int64_t a = graph.AddObject({0, 0});
+  graph.AppendVersion(a, {1, 0});
+  graph.AppendVersion(a, {4, 2});
+  graph.AddObject({2, 1});
+  return graph;
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  IdentityGraph original = SampleGraph();
+  std::string text = SerializeIdentityGraph(original);
+  auto parsed = ParseIdentityGraph(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type(), extract::ObjectType::kList);
+  EXPECT_EQ(parsed->ObjectCount(), original.ObjectCount());
+  EXPECT_EQ(parsed->EdgeSet(), original.EdgeSet());
+  ASSERT_EQ(parsed->objects()[0].versions, original.objects()[0].versions);
+}
+
+TEST(GraphIoTest, FormatIsHumanReadable) {
+  std::string text = SerializeIdentityGraph(SampleGraph());
+  EXPECT_EQ(text.rfind("# somr-identity-graph v1 type=list", 0), 0u);
+  EXPECT_NE(text.find("object 0\n0 0\n1 0\n4 2\n"), std::string::npos);
+}
+
+TEST(GraphIoTest, EmptyGraph) {
+  IdentityGraph empty(extract::ObjectType::kTable);
+  auto parsed = ParseIdentityGraph(SerializeIdentityGraph(empty));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ObjectCount(), 0u);
+  EXPECT_EQ(parsed->type(), extract::ObjectType::kTable);
+}
+
+TEST(GraphIoTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseIdentityGraph("").ok());
+  EXPECT_FALSE(ParseIdentityGraph("not a graph").ok());
+  EXPECT_FALSE(ParseIdentityGraph("# somr-identity-graph v1 type=blob")
+                   .ok());
+  // Version line before any object.
+  EXPECT_FALSE(
+      ParseIdentityGraph("# somr-identity-graph v1 type=table\n3 4\n")
+          .ok());
+  // Malformed version line.
+  EXPECT_FALSE(ParseIdentityGraph(
+                   "# somr-identity-graph v1 type=table\nobject 0\nx y\n")
+                   .ok());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  auto parsed = ParseIdentityGraph(
+      "# somr-identity-graph v1 type=table\n\n# note\nobject 0\n0 0\n\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->VersionCount(), 1u);
+}
+
+}  // namespace
+}  // namespace somr::matching

@@ -1,0 +1,149 @@
+#include "matching/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+
+namespace somr::matching {
+namespace {
+
+double MatchingWeight(const std::vector<std::pair<int, int>>& matching,
+                      const std::vector<WeightedEdge>& edges) {
+  std::map<std::pair<int, int>, double> weights;
+  for (const WeightedEdge& e : edges) {
+    auto key = std::make_pair(e.left, e.right);
+    auto it = weights.find(key);
+    if (it == weights.end() || it->second < e.weight) {
+      weights[key] = e.weight;
+    }
+  }
+  double total = 0.0;
+  for (const auto& pair : matching) {
+    auto it = weights.find(pair);
+    EXPECT_NE(it, weights.end()) << "matched a non-edge";
+    if (it != weights.end()) total += it->second;
+  }
+  return total;
+}
+
+/// Brute-force optimal matching weight for small instances.
+double BruteForceBest(size_t num_left, size_t num_right,
+                      const std::vector<WeightedEdge>& edges,
+                      std::set<int>& used_right, size_t left) {
+  if (left == num_left) return 0.0;
+  double best =
+      BruteForceBest(num_left, num_right, edges, used_right, left + 1);
+  for (const WeightedEdge& e : edges) {
+    if (static_cast<size_t>(e.left) != left) continue;
+    if (used_right.count(e.right) > 0) continue;
+    used_right.insert(e.right);
+    best = std::max(best, e.weight + BruteForceBest(num_left, num_right,
+                                                    edges, used_right,
+                                                    left + 1));
+    used_right.erase(e.right);
+  }
+  return best;
+}
+
+TEST(HungarianTest, EmptyInputs) {
+  EXPECT_TRUE(MaxWeightMatching(0, 5, {}).empty());
+  EXPECT_TRUE(MaxWeightMatching(5, 0, {}).empty());
+  EXPECT_TRUE(MaxWeightMatching(3, 3, {}).empty());
+}
+
+TEST(HungarianTest, SingleEdge) {
+  auto m = MaxWeightMatching(1, 1, {{0, 0, 0.9}});
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], std::make_pair(0, 0));
+}
+
+TEST(HungarianTest, PrefersHeavierEdge) {
+  // One left node, two right options.
+  auto m = MaxWeightMatching(1, 2, {{0, 0, 0.5}, {0, 1, 0.9}});
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], std::make_pair(0, 1));
+}
+
+TEST(HungarianTest, CrossAssignmentWhenBetter) {
+  // Greedy would pick (0,0)=0.9 then (1,1)=0.1 (total 1.0);
+  // optimal is (0,1)=0.8 + (1,0)=0.8 (total 1.6).
+  std::vector<WeightedEdge> edges = {
+      {0, 0, 0.9}, {0, 1, 0.8}, {1, 0, 0.8}, {1, 1, 0.1}};
+  auto m = MaxWeightMatching(2, 2, edges);
+  EXPECT_NEAR(MatchingWeight(m, edges), 1.6, 1e-9);
+}
+
+TEST(HungarianTest, LeavesNodesUnmatchedWhenNoEdge) {
+  std::vector<WeightedEdge> edges = {{0, 0, 0.7}};
+  auto m = MaxWeightMatching(3, 2, edges);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], std::make_pair(0, 0));
+}
+
+TEST(HungarianTest, RectangularMoreLeft) {
+  std::vector<WeightedEdge> edges = {
+      {0, 0, 0.6}, {1, 0, 0.9}, {2, 0, 0.3}};
+  auto m = MaxWeightMatching(3, 1, edges);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], std::make_pair(1, 0));
+}
+
+TEST(HungarianTest, RectangularMoreRight) {
+  std::vector<WeightedEdge> edges = {
+      {0, 0, 0.6}, {0, 1, 0.9}, {0, 2, 0.3}};
+  auto m = MaxWeightMatching(1, 3, edges);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], std::make_pair(0, 1));
+}
+
+TEST(HungarianTest, DuplicateEdgesKeepBest) {
+  std::vector<WeightedEdge> edges = {{0, 0, 0.2}, {0, 0, 0.8}};
+  auto m = MaxWeightMatching(1, 1, edges);
+  ASSERT_EQ(m.size(), 1u);
+}
+
+TEST(HungarianTest, MaxWeightBeatsMaxCardinalityWhenHeavier) {
+  // A single heavy edge (0,0)=1.0 vs two light edges (0,1)+(1,0)=0.2.
+  std::vector<WeightedEdge> edges = {
+      {0, 0, 1.0}, {0, 1, 0.1}, {1, 0, 0.1}};
+  auto m = MaxWeightMatching(2, 2, edges);
+  EXPECT_NEAR(MatchingWeight(m, edges), 1.0, 1e-9);
+}
+
+class HungarianRandomProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HungarianRandomProperty, MatchesBruteForceOptimum) {
+  Rng rng(GetParam());
+  size_t num_left = 1 + rng.Index(5);
+  size_t num_right = 1 + rng.Index(5);
+  std::vector<WeightedEdge> edges;
+  for (size_t l = 0; l < num_left; ++l) {
+    for (size_t r = 0; r < num_right; ++r) {
+      if (rng.Bernoulli(0.6)) {
+        edges.push_back({static_cast<int>(l), static_cast<int>(r),
+                         0.05 + 0.95 * rng.UniformDouble()});
+      }
+    }
+  }
+  auto m = MaxWeightMatching(num_left, num_right, edges);
+
+  // Validity: each node used at most once.
+  std::set<int> lefts, rights;
+  for (auto [l, r] : m) {
+    EXPECT_TRUE(lefts.insert(l).second);
+    EXPECT_TRUE(rights.insert(r).second);
+  }
+
+  std::set<int> used;
+  double best = BruteForceBest(num_left, num_right, edges, used, 0);
+  EXPECT_NEAR(MatchingWeight(m, edges), best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianRandomProperty,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace somr::matching

@@ -1,0 +1,73 @@
+#include "matching/identity_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::matching {
+namespace {
+
+TEST(IdentityGraphTest, AddAndAppend) {
+  IdentityGraph graph(extract::ObjectType::kList);
+  int64_t id = graph.AddObject({0, 0});
+  graph.AppendVersion(id, {1, 0});
+  graph.AppendVersion(id, {2, 1});
+  EXPECT_EQ(graph.ObjectCount(), 1u);
+  EXPECT_EQ(graph.VersionCount(), 3u);
+  EXPECT_EQ(graph.type(), extract::ObjectType::kList);
+}
+
+TEST(IdentityGraphTest, SequentialIds) {
+  IdentityGraph graph;
+  EXPECT_EQ(graph.AddObject({0, 0}), 0);
+  EXPECT_EQ(graph.AddObject({0, 1}), 1);
+  EXPECT_EQ(graph.AddObject({1, 2}), 2);
+}
+
+TEST(IdentityGraphTest, EdgesAreConsecutiveVersionPairs) {
+  IdentityGraph graph;
+  int64_t a = graph.AddObject({0, 0});
+  graph.AppendVersion(a, {1, 0});
+  graph.AppendVersion(a, {3, 2});  // gap: deleted at 2, restored at 3
+  int64_t b = graph.AddObject({1, 1});
+  (void)b;
+  auto edges = graph.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].first, (VersionRef{0, 0}));
+  EXPECT_EQ(edges[0].second, (VersionRef{1, 0}));
+  EXPECT_EQ(edges[1].first, (VersionRef{1, 0}));
+  EXPECT_EQ(edges[1].second, (VersionRef{3, 2}));
+}
+
+TEST(IdentityGraphTest, EdgeSetLookup) {
+  IdentityGraph graph;
+  int64_t a = graph.AddObject({0, 0});
+  graph.AppendVersion(a, {1, 0});
+  auto set = graph.EdgeSet();
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.count({{0, 0}, {1, 0}}) > 0);
+  EXPECT_FALSE(set.count({{0, 0}, {1, 1}}) > 0);
+}
+
+TEST(IdentityGraphTest, SingletonObjectHasNoEdges) {
+  IdentityGraph graph;
+  graph.AddObject({5, 3});
+  EXPECT_TRUE(graph.Edges().empty());
+}
+
+TEST(IdentityGraphTest, ObjectIdOf) {
+  IdentityGraph graph;
+  int64_t a = graph.AddObject({0, 0});
+  int64_t b = graph.AddObject({0, 1});
+  graph.AppendVersion(b, {1, 0});
+  EXPECT_EQ(graph.ObjectIdOf({0, 0}), a);
+  EXPECT_EQ(graph.ObjectIdOf({1, 0}), b);
+  EXPECT_EQ(graph.ObjectIdOf({9, 9}), -1);
+}
+
+TEST(VersionRefTest, Ordering) {
+  EXPECT_LT((VersionRef{0, 5}), (VersionRef{1, 0}));
+  EXPECT_LT((VersionRef{1, 0}), (VersionRef{1, 1}));
+  EXPECT_EQ((VersionRef{2, 3}), (VersionRef{2, 3}));
+}
+
+}  // namespace
+}  // namespace somr::matching

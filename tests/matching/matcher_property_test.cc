@@ -1,0 +1,125 @@
+// Property tests of the matcher's structural invariants, driven by the
+// page-evolution generator over many seeds:
+//  - the identity graph partitions the instances (each exactly once),
+//  - chains are strictly chronological,
+//  - the matcher is deterministic,
+//  - the matcher is online: processing a prefix of the revisions yields
+//    exactly the prefix of the full run's graph.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "extract/wikitext_extractor.h"
+#include "matching/matcher.h"
+#include "wikigen/evolver.h"
+
+namespace somr::matching {
+namespace {
+
+std::vector<std::vector<extract::ObjectInstance>> GenerateInstances(
+    uint64_t seed, int revisions) {
+  wikigen::EvolverConfig config;
+  config.focal_type = extract::ObjectType::kTable;
+  config.max_focal_objects = 6;
+  config.num_revisions = revisions;
+  config.theme = seed % 2 == 0 ? wikigen::PageTheme::kAwards
+                               : wikigen::PageTheme::kGeneric;
+  config.seed = seed;
+  wikigen::GeneratedPage page = wikigen::PageEvolver(config).Generate();
+  std::vector<std::vector<extract::ObjectInstance>> instances;
+  for (const auto& rev : page.revisions) {
+    instances.push_back(
+        extract::ExtractFromWikitextSource(rev.wikitext).tables);
+  }
+  return instances;
+}
+
+IdentityGraph RunMatcherOver(const std::vector<std::vector<extract::ObjectInstance>>&
+                      instances,
+                  const MatcherConfig& config = {}) {
+  TemporalMatcher matcher(extract::ObjectType::kTable, config);
+  for (size_t r = 0; r < instances.size(); ++r) {
+    matcher.ProcessRevision(static_cast<int>(r), instances[r]);
+  }
+  return matcher.graph();
+}
+
+class MatcherInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatcherInvariants, GraphPartitionsInstances) {
+  auto instances = GenerateInstances(GetParam(), 40);
+  IdentityGraph graph = RunMatcherOver(instances);
+
+  std::set<VersionRef> seen;
+  for (const auto& object : graph.objects()) {
+    for (const VersionRef& ref : object.versions) {
+      EXPECT_TRUE(seen.insert(ref).second)
+          << "instance assigned to two objects";
+      // The reference must point at a real instance.
+      ASSERT_LT(static_cast<size_t>(ref.revision), instances.size());
+      ASSERT_LT(static_cast<size_t>(ref.position),
+                instances[static_cast<size_t>(ref.revision)].size());
+    }
+  }
+  size_t total = 0;
+  for (const auto& revision : instances) total += revision.size();
+  EXPECT_EQ(seen.size(), total) << "instance missing from the graph";
+}
+
+TEST_P(MatcherInvariants, ChainsAreStrictlyChronological) {
+  auto instances = GenerateInstances(GetParam(), 40);
+  IdentityGraph graph = RunMatcherOver(instances);
+  for (const auto& object : graph.objects()) {
+    for (size_t v = 1; v < object.versions.size(); ++v) {
+      EXPECT_LT(object.versions[v - 1].revision,
+                object.versions[v].revision);
+    }
+    // At most one instance of an object per revision is implied by
+    // strict monotonicity.
+  }
+}
+
+TEST_P(MatcherInvariants, Deterministic) {
+  auto instances = GenerateInstances(GetParam(), 30);
+  IdentityGraph a = RunMatcherOver(instances);
+  IdentityGraph b = RunMatcherOver(instances);
+  EXPECT_EQ(a.EdgeSet(), b.EdgeSet());
+}
+
+TEST_P(MatcherInvariants, OnlinePrefixConsistency) {
+  auto instances = GenerateInstances(GetParam(), 40);
+  IdentityGraph full = RunMatcherOver(instances);
+  size_t prefix_length = instances.size() / 2;
+  std::vector<std::vector<extract::ObjectInstance>> prefix(
+      instances.begin(),
+      instances.begin() + static_cast<long>(prefix_length));
+  IdentityGraph partial = RunMatcherOver(prefix);
+
+  // The full run's edges within the prefix must equal the prefix run's
+  // edges: the matcher never revises past decisions.
+  std::set<IdentityEdge> full_prefix_edges;
+  for (const IdentityEdge& e : full.Edges()) {
+    if (static_cast<size_t>(e.second.revision) < prefix_length) {
+      full_prefix_edges.insert(e);
+    }
+  }
+  EXPECT_EQ(full_prefix_edges, partial.EdgeSet());
+}
+
+TEST_P(MatcherInvariants, InvariantsHoldWithoutSpatialFeatures) {
+  auto instances = GenerateInstances(GetParam(), 25);
+  MatcherConfig config;
+  config.use_spatial_features = false;
+  IdentityGraph graph = RunMatcherOver(instances, config);
+  size_t total = 0;
+  for (const auto& revision : instances) total += revision.size();
+  EXPECT_EQ(graph.VersionCount(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherInvariants,
+                         ::testing::Range<uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace somr::matching

@@ -1,0 +1,280 @@
+#include "matching/matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::matching {
+namespace {
+
+using extract::ObjectInstance;
+using extract::ObjectType;
+
+/// Builds a table instance from rows of space-separated cell text.
+ObjectInstance Table(int position,
+                     std::initializer_list<const char*> rows) {
+  ObjectInstance obj;
+  obj.type = ObjectType::kTable;
+  obj.position = position;
+  for (const char* row : rows) {
+    std::vector<std::string> cells;
+    std::string current;
+    for (const char* p = row;; ++p) {
+      if (*p == ' ' || *p == '\0') {
+        if (!current.empty()) cells.push_back(std::move(current));
+        current.clear();
+        if (*p == '\0') break;
+      } else {
+        current.push_back(*p);
+      }
+    }
+    obj.rows.push_back(std::move(cells));
+  }
+  return obj;
+}
+
+std::vector<ObjectInstance> Revision(std::vector<ObjectInstance> objs) {
+  for (size_t i = 0; i < objs.size(); ++i) {
+    objs[i].position = static_cast<int>(i);
+  }
+  return objs;
+}
+
+TEST(TemporalMatcherTest, StableObjectMatchedAcrossRevisions) {
+  TemporalMatcher matcher(ObjectType::kTable);
+  ObjectInstance t = Table(0, {"year result", "2001 won"});
+  for (int r = 0; r < 5; ++r) {
+    matcher.ProcessRevision(r, {t});
+  }
+  EXPECT_EQ(matcher.graph().ObjectCount(), 1u);
+  EXPECT_EQ(matcher.graph().VersionCount(), 5u);
+  EXPECT_EQ(matcher.graph().Edges().size(), 4u);
+}
+
+TEST(TemporalMatcherTest, MovedObjectFollowedByContent) {
+  TemporalMatcher matcher(ObjectType::kTable);
+  ObjectInstance a = Table(0, {"alpha beta gamma", "one two three"});
+  ObjectInstance b = Table(1, {"delta epsilon zeta", "four five six"});
+  matcher.ProcessRevision(0, Revision({a, b}));
+  // Swap their order on the page.
+  matcher.ProcessRevision(1, Revision({b, a}));
+  const IdentityGraph& graph = matcher.graph();
+  ASSERT_EQ(graph.ObjectCount(), 2u);
+  // Object 0 (content a) must continue at position 1 of revision 1.
+  EXPECT_EQ(graph.objects()[0].versions[1], (VersionRef{1, 1}));
+  EXPECT_EQ(graph.objects()[1].versions[1], (VersionRef{1, 0}));
+}
+
+TEST(TemporalMatcherTest, DeleteAndRestoreBridgedByRearView) {
+  TemporalMatcher matcher(ObjectType::kTable);
+  ObjectInstance keep = Table(0, {"stable content here", "row two data"});
+  ObjectInstance victim = Table(1, {"victim table content", "unique cells"});
+  matcher.ProcessRevision(0, Revision({keep, victim}));
+  matcher.ProcessRevision(1, Revision({keep}));      // victim deleted
+  matcher.ProcessRevision(2, Revision({keep}));
+  matcher.ProcessRevision(3, Revision({keep, victim}));  // restored
+  const IdentityGraph& graph = matcher.graph();
+  ASSERT_EQ(graph.ObjectCount(), 2u);
+  const TrackedObjectRecord& restored = graph.objects()[1];
+  ASSERT_EQ(restored.versions.size(), 2u);
+  EXPECT_EQ(restored.versions[0], (VersionRef{0, 1}));
+  EXPECT_EQ(restored.versions[1], (VersionRef{3, 1}));
+}
+
+TEST(TemporalMatcherTest, DuplicationPrefersCloserPosition) {
+  TemporalMatcher matcher(ObjectType::kTable);
+  ObjectInstance original = Table(0, {"award category result",
+                                      "2001 best won"});
+  ObjectInstance other = Table(1, {"completely different content",
+                                   "nothing shared here"});
+  matcher.ProcessRevision(0, Revision({original, other}));
+  // The user duplicates `original`; the copy lands after `other`.
+  matcher.ProcessRevision(1, Revision({original, other, original}));
+  const IdentityGraph& graph = matcher.graph();
+  ASSERT_EQ(graph.ObjectCount(), 3u);
+  // The existing object keeps the instance at its old position (0), and
+  // the far copy (position 2) becomes a new object.
+  EXPECT_EQ(graph.objects()[0].versions[1], (VersionRef{1, 0}));
+  EXPECT_EQ(graph.objects()[2].versions.front(), (VersionRef{1, 2}));
+}
+
+TEST(TemporalMatcherTest, DeletedDuplicatePrefersLongerLifetime) {
+  TemporalMatcher matcher(ObjectType::kTable);
+  ObjectInstance twin = Table(0, {"identical twin content", "same rows"});
+  ObjectInstance filler = Table(0, {"filler object", "unrelated text"});
+  // Revisions 0-2: the elder twin exists (with filler first so that the
+  // surviving instance's position matches neither twin exactly).
+  matcher.ProcessRevision(0, Revision({filler, twin}));
+  matcher.ProcessRevision(1, Revision({filler, twin}));
+  // Revision 2: a duplicate twin appears.
+  matcher.ProcessRevision(2, Revision({filler, twin, twin}));
+  // Revision 3: only one twin remains, at a third position.
+  matcher.ProcessRevision(3, Revision({twin, filler}));
+  const IdentityGraph& graph = matcher.graph();
+  // The survivor must extend the elder twin (object created revision 0).
+  int64_t elder = graph.ObjectIdOf({0, 1});
+  int64_t survivor = graph.ObjectIdOf({3, 0});
+  EXPECT_EQ(survivor, elder);
+}
+
+TEST(TemporalMatcherTest, GrownObjectCaughtByRelaxedStage) {
+  TemporalMatcher matcher(ObjectType::kTable);
+  ObjectInstance small = Table(0, {"seed words here"});
+  matcher.ProcessRevision(0, {small});
+  // Triples in size: Ruzicka = 3/9 < theta2, containment = 1.0.
+  ObjectInstance grown = Table(0, {"seed words here", "many new rows",
+                                   "added this revision"});
+  matcher.ProcessRevision(1, {grown});
+  EXPECT_EQ(matcher.graph().ObjectCount(), 1u);
+  EXPECT_EQ(matcher.graph().Edges().size(), 1u);
+  EXPECT_GE(matcher.stats().stage3_matches, 1u);
+}
+
+TEST(TemporalMatcherTest, DissimilarObjectBecomesNew) {
+  TemporalMatcher matcher(ObjectType::kTable);
+  matcher.ProcessRevision(0, {Table(0, {"first table content"})});
+  matcher.ProcessRevision(1, {Table(0, {"totally unrelated thing"})});
+  EXPECT_EQ(matcher.graph().ObjectCount(), 2u);
+  EXPECT_TRUE(matcher.graph().Edges().empty());
+}
+
+TEST(TemporalMatcherTest, EmptyRevisionThenRestore) {
+  TemporalMatcher matcher(ObjectType::kList);
+  ObjectInstance list = Table(0, {"itemized content list"});
+  list.type = ObjectType::kList;
+  matcher.ProcessRevision(0, {list});
+  matcher.ProcessRevision(1, {});  // page blanked
+  matcher.ProcessRevision(2, {list});
+  EXPECT_EQ(matcher.graph().ObjectCount(), 1u);
+  ASSERT_EQ(matcher.graph().Edges().size(), 1u);
+  EXPECT_EQ(matcher.graph().Edges()[0].second, (VersionRef{2, 0}));
+}
+
+TEST(TemporalMatcherTest, Stage1CountsLocalMatches) {
+  TemporalMatcher matcher(ObjectType::kTable);
+  ObjectInstance t = Table(0, {"stable table content", "more rows"});
+  matcher.ProcessRevision(0, {t});
+  matcher.ProcessRevision(1, {t});
+  EXPECT_EQ(matcher.stats().stage1_matches, 1u);
+  EXPECT_EQ(matcher.stats().new_objects, 1u);
+}
+
+TEST(TemporalMatcherTest, Stage1DisabledStillMatches) {
+  MatcherConfig config;
+  config.enable_stage1 = false;
+  TemporalMatcher matcher(ObjectType::kTable, config);
+  ObjectInstance t = Table(0, {"stable table content", "more rows"});
+  matcher.ProcessRevision(0, {t});
+  matcher.ProcessRevision(1, {t});
+  EXPECT_EQ(matcher.graph().ObjectCount(), 1u);
+  EXPECT_EQ(matcher.stats().stage1_matches, 0u);
+  EXPECT_EQ(matcher.stats().stage2_matches, 1u);
+}
+
+TEST(TemporalMatcherTest, SpatialFeaturesDisabledMatchesByContent) {
+  MatcherConfig config;
+  config.use_spatial_features = false;
+  TemporalMatcher matcher(ObjectType::kTable, config);
+  ObjectInstance a = Table(0, {"alpha beta gamma delta"});
+  ObjectInstance b = Table(1, {"epsilon zeta eta theta"});
+  matcher.ProcessRevision(0, Revision({a, b}));
+  matcher.ProcessRevision(1, Revision({b, a}));
+  EXPECT_EQ(matcher.graph().ObjectCount(), 2u);
+  EXPECT_EQ(matcher.graph().Edges().size(), 2u);
+}
+
+TEST(TemporalMatcherTest, FarMovedObjectMissedByStage1CaughtLater) {
+  MatcherConfig config;
+  config.theta_pos = 2;
+  TemporalMatcher matcher(ObjectType::kTable, config);
+  std::vector<ObjectInstance> revision0;
+  for (int i = 0; i < 6; ++i) {
+    revision0.push_back(
+        Table(i, {("object" + std::to_string(i) + " unique content alpha" +
+                   std::to_string(i)).c_str()}));
+  }
+  matcher.ProcessRevision(0, Revision(revision0));
+  // Move the first object to the end (position diff 5 > theta_pos).
+  std::vector<ObjectInstance> revision1(revision0.begin() + 1,
+                                        revision0.end());
+  revision1.push_back(revision0[0]);
+  matcher.ProcessRevision(1, Revision(revision1));
+  EXPECT_EQ(matcher.graph().ObjectCount(), 6u);
+  EXPECT_EQ(matcher.graph().Edges().size(), 6u);
+}
+
+TEST(TemporalMatcherTest, RearViewWindowRespectsK) {
+  // An object drifts v1 -> v2 -> v3 (adjacent versions overlap by half,
+  // v1 and v3 are disjoint), is deleted, and then v1's content returns.
+  ObjectInstance v1 = Table(0, {"alpha beta gamma delta"});
+  ObjectInstance v2 = Table(0, {"gamma delta epsilon zeta"});
+  ObjectInstance v3 = Table(0, {"epsilon zeta eta theta"});
+  auto run = [&](int k) {
+    MatcherConfig config;
+    config.rear_view_window = k;
+    TemporalMatcher matcher(ObjectType::kTable, config);
+    matcher.ProcessRevision(0, {v1});
+    matcher.ProcessRevision(1, {v2});
+    matcher.ProcessRevision(2, {v3});
+    matcher.ProcessRevision(3, {});
+    matcher.ProcessRevision(4, {v1});
+    return matcher.graph().ObjectCount();
+  };
+  // k = 1: only v3 is remembered — the returning v1 is a new object.
+  EXPECT_EQ(run(1), 2u);
+  // k = 3: v1 is still in the window (decayed but identical) — matched.
+  EXPECT_EQ(run(3), 1u);
+}
+
+TEST(TemporalMatcherTest, DecayPrefersFresherObject) {
+  MatcherConfig config;
+  config.decay = 0.5;  // strong decay to make the effect visible
+  TemporalMatcher matcher(ObjectType::kTable, config);
+  ObjectInstance content = Table(0, {"shared matching content words"});
+  ObjectInstance other = Table(0, {"unrelated filler blob"});
+  // Object A has `content` as its latest version; object B had it two
+  // versions ago.
+  matcher.ProcessRevision(0, Revision({content, content}));
+  ObjectInstance drift1 = Table(1, {"shared matching drift one"});
+  matcher.ProcessRevision(1, Revision({content, drift1}));
+  matcher.ProcessRevision(2, Revision({content, other}));
+  // One instance of `content` appears; A (latest = content) must win over
+  // B (content only in older versions).
+  matcher.ProcessRevision(3, Revision({content}));
+  int64_t a = matcher.graph().ObjectIdOf({2, 0});
+  int64_t winner = matcher.graph().ObjectIdOf({3, 0});
+  EXPECT_EQ(winner, a);
+}
+
+TEST(TemporalMatcherTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    TemporalMatcher matcher(ObjectType::kTable);
+    matcher.ProcessRevision(
+        0, Revision({Table(0, {"a b c"}), Table(1, {"d e f"})}));
+    matcher.ProcessRevision(
+        1, Revision({Table(0, {"d e f"}), Table(1, {"a b c x"})}));
+    std::vector<IdentityEdge> edges = matcher.graph().Edges();
+    return edges;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PageMatcherTest, TypesMatchedIndependently) {
+  PageMatcher matcher;
+  extract::PageObjects objects;
+  ObjectInstance table = Table(0, {"table content here"});
+  ObjectInstance infobox = Table(0, {"name jane", "occupation actress"});
+  infobox.type = ObjectType::kInfobox;
+  ObjectInstance list = Table(0, {"list item text"});
+  list.type = ObjectType::kList;
+  objects.tables = {table};
+  objects.infoboxes = {infobox};
+  objects.lists = {list};
+  matcher.ProcessRevision(0, objects);
+  matcher.ProcessRevision(1, objects);
+  EXPECT_EQ(matcher.GraphFor(ObjectType::kTable).ObjectCount(), 1u);
+  EXPECT_EQ(matcher.GraphFor(ObjectType::kInfobox).ObjectCount(), 1u);
+  EXPECT_EQ(matcher.GraphFor(ObjectType::kList).ObjectCount(), 1u);
+  EXPECT_EQ(matcher.StatsFor(ObjectType::kTable).step_millis.size(), 2u);
+}
+
+}  // namespace
+}  // namespace somr::matching

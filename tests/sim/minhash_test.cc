@@ -1,0 +1,117 @@
+#include "sim/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace somr::sim {
+namespace {
+
+BagOfWords BagOfRange(int lo, int hi) {
+  BagOfWords bag;
+  for (int i = lo; i < hi; ++i) bag.Add("tok" + std::to_string(i));
+  return bag;
+}
+
+TEST(MinHashTest, IdenticalSetsEstimateOne) {
+  BagOfWords bag = BagOfRange(0, 50);
+  MinHashSignature a = ComputeMinHash(bag, 64);
+  MinHashSignature b = ComputeMinHash(bag, 64);
+  EXPECT_DOUBLE_EQ(EstimateJaccard(a, b), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsEstimateNearZero) {
+  MinHashSignature a = ComputeMinHash(BagOfRange(0, 50), 128);
+  MinHashSignature b = ComputeMinHash(BagOfRange(100, 150), 128);
+  EXPECT_LT(EstimateJaccard(a, b), 0.1);
+}
+
+TEST(MinHashTest, EstimatesTrackTrueJaccard) {
+  // 50% overlap: tokens [0,100) vs [50,150) -> Jaccard = 50/150 = 1/3.
+  MinHashSignature a = ComputeMinHash(BagOfRange(0, 100), 256);
+  MinHashSignature b = ComputeMinHash(BagOfRange(50, 150), 256);
+  EXPECT_NEAR(EstimateJaccard(a, b), 1.0 / 3.0, 0.12);
+}
+
+TEST(MinHashTest, CountsIgnored) {
+  BagOfWords once;
+  once.Add("x");
+  BagOfWords thrice;
+  thrice.Add("x", 3.0);
+  EXPECT_EQ(ComputeMinHash(once, 32), ComputeMinHash(thrice, 32));
+}
+
+TEST(MinHashTest, SeedChangesSignature) {
+  BagOfWords bag = BagOfRange(0, 20);
+  EXPECT_NE(ComputeMinHash(bag, 32, 1), ComputeMinHash(bag, 32, 2));
+}
+
+TEST(MinHashTest, EmptyBag) {
+  BagOfWords empty;
+  MinHashSignature signature = ComputeMinHash(empty, 16);
+  EXPECT_EQ(signature.size(), 16u);
+  EXPECT_DOUBLE_EQ(EstimateJaccard(signature, signature), 1.0);
+}
+
+TEST(LshIndexTest, SimilarItemsCollide) {
+  LshIndex index(/*bands=*/16, /*rows=*/4);
+  BagOfWords base = BagOfRange(0, 100);
+  index.Add(1, ComputeMinHash(base, 64));
+  // 90% similar probe.
+  MinHashSignature probe = ComputeMinHash(BagOfRange(5, 105), 64);
+  auto candidates = index.Candidates(probe);
+  EXPECT_EQ(candidates, (std::vector<int>{1}));
+}
+
+TEST(LshIndexTest, DissimilarItemsRarelyCollide) {
+  LshIndex index(8, 8);  // high-precision banding
+  for (int i = 0; i < 20; ++i) {
+    index.Add(i, ComputeMinHash(BagOfRange(i * 200, i * 200 + 50), 64));
+  }
+  MinHashSignature probe =
+      ComputeMinHash(BagOfRange(100000, 100050), 64);
+  EXPECT_TRUE(index.Candidates(probe).empty());
+}
+
+TEST(LshIndexTest, SelfIsCandidate) {
+  LshIndex index(16, 4);
+  MinHashSignature signature = ComputeMinHash(BagOfRange(0, 30), 64);
+  index.Add(7, signature);
+  auto candidates = index.Candidates(signature);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 7);
+}
+
+TEST(LshIndexTest, CandidatesDeduplicated) {
+  // An identical item collides in every band but is reported once.
+  LshIndex index(16, 4);
+  MinHashSignature signature = ComputeMinHash(BagOfRange(0, 30), 64);
+  index.Add(1, signature);
+  index.Add(2, signature);
+  auto candidates = index.Candidates(signature);
+  EXPECT_EQ(candidates, (std::vector<int>{1, 2}));
+}
+
+TEST(LshIndexTest, RecallGrowsWithBands) {
+  // More bands (same signature) -> higher collision probability for
+  // moderately similar pairs.
+  Rng rng(5);
+  int hits_few = 0, hits_many = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    int offset = static_cast<int>(rng.UniformInt(10, 30));  // ~55-80% sim
+    MinHashSignature a =
+        ComputeMinHash(BagOfRange(trial * 500, trial * 500 + 100), 64);
+    MinHashSignature b = ComputeMinHash(
+        BagOfRange(trial * 500 + offset, trial * 500 + 100 + offset), 64);
+    LshIndex few(4, 16);
+    few.Add(1, a);
+    hits_few += few.Candidates(b).empty() ? 0 : 1;
+    LshIndex many(32, 2);
+    many.Add(1, a);
+    hits_many += many.Candidates(b).empty() ? 0 : 1;
+  }
+  EXPECT_GT(hits_many, hits_few);
+}
+
+}  // namespace
+}  // namespace somr::sim

@@ -1,0 +1,96 @@
+#include "text/bag_of_words.h"
+
+#include <gtest/gtest.h>
+
+namespace somr {
+namespace {
+
+TEST(BagOfWordsTest, AddAndCount) {
+  BagOfWords bag;
+  bag.Add("actor");
+  bag.Add("actor");
+  bag.Add("best", 2.0);
+  EXPECT_EQ(bag.Count("actor"), 2.0);
+  EXPECT_EQ(bag.Count("best"), 2.0);
+  EXPECT_EQ(bag.Count("missing"), 0.0);
+  EXPECT_EQ(bag.TotalCount(), 4.0);
+  EXPECT_EQ(bag.DistinctCount(), 2u);
+}
+
+TEST(BagOfWordsTest, EmptyBag) {
+  BagOfWords bag;
+  EXPECT_TRUE(bag.empty());
+  EXPECT_EQ(bag.TotalCount(), 0.0);
+  EXPECT_EQ(bag.SumMin(bag), 0.0);
+}
+
+TEST(BagOfWordsTest, ZeroWeightAddIsNoop) {
+  BagOfWords bag;
+  bag.Add("x", 0.0);
+  EXPECT_TRUE(bag.empty());
+}
+
+TEST(BagOfWordsTest, AddTokens) {
+  BagOfWords bag;
+  bag.AddTokens({"a", "b", "a"});
+  EXPECT_EQ(bag.Count("a"), 2.0);
+  EXPECT_EQ(bag.Count("b"), 1.0);
+}
+
+TEST(BagOfWordsTest, Merge) {
+  BagOfWords a, b;
+  a.AddTokens({"x", "y"});
+  b.AddTokens({"y", "z"});
+  a.Merge(b);
+  EXPECT_EQ(a.Count("x"), 1.0);
+  EXPECT_EQ(a.Count("y"), 2.0);
+  EXPECT_EQ(a.Count("z"), 1.0);
+  EXPECT_EQ(a.TotalCount(), 4.0);
+}
+
+TEST(BagOfWordsTest, SumMinSymmetric) {
+  BagOfWords a, b;
+  a.AddTokens({"a", "a", "b", "c"});
+  b.AddTokens({"a", "b", "b", "d"});
+  EXPECT_EQ(a.SumMin(b), 2.0);  // min(2,1)=1 for a, min(1,2)=1 for b
+  EXPECT_EQ(b.SumMin(a), 2.0);
+}
+
+TEST(BagOfWordsTest, SumMinWithSelfIsTotal) {
+  BagOfWords a;
+  a.AddTokens({"p", "q", "q"});
+  EXPECT_EQ(a.SumMin(a), a.TotalCount());
+}
+
+TEST(BagOfWordsTest, WeightedSumMin) {
+  BagOfWords a, b;
+  a.AddTokens({"common", "rare"});
+  b.AddTokens({"common", "rare"});
+  auto weight = [](const std::string& t) {
+    return t == "common" ? 0.5 : 1.0;
+  };
+  EXPECT_DOUBLE_EQ(a.WeightedSumMin(b, weight), 1.5);
+  EXPECT_DOUBLE_EQ(a.WeightedTotal(weight), 1.5);
+}
+
+TEST(BagOfWordsTest, SortedEntriesDeterministic) {
+  BagOfWords bag;
+  bag.AddTokens({"zebra", "apple", "mango"});
+  auto entries = bag.SortedEntries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, "apple");
+  EXPECT_EQ(entries[1].first, "mango");
+  EXPECT_EQ(entries[2].first, "zebra");
+}
+
+TEST(BagOfWordsTest, EqualityIsMultisetEquality) {
+  BagOfWords a, b;
+  a.AddTokens({"x", "y"});
+  b.AddTokens({"y", "x"});
+  EXPECT_TRUE(a == b);
+  b.Add("x");
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace somr

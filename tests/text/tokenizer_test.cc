@@ -1,0 +1,64 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace somr {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto tokens = Tokenize("Best Actor (2019)");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "best");
+  EXPECT_EQ(tokens[1], "actor");
+  EXPECT_EQ(tokens[2], "2019");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ,;- ").empty());
+}
+
+TEST(TokenizerTest, DigitsKeptInsideWords) {
+  auto tokens = Tokenize("MP3 player v2");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "mp3");
+  EXPECT_EQ(tokens[2], "v2");
+}
+
+TEST(TokenizerTest, Utf8BytesSurvive) {
+  auto tokens = Tokenize("M\xC3\xBCnchen rocks");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "m\xC3\xBCnchen");
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  auto tokens = Tokenize("a-b_c.d");
+  ASSERT_EQ(tokens.size(), 4u);
+}
+
+TEST(TokenizeTruncatedTest, TruncatesAtLimit) {
+  auto tokens =
+      TokenizeTruncated("one two three four five six", 3);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2], "three");
+}
+
+TEST(TokenizeTruncatedTest, LimitLargerThanTokens) {
+  auto tokens = TokenizeTruncated("just two", 10);
+  EXPECT_EQ(tokens.size(), 2u);
+}
+
+TEST(TokenizeTruncatedTest, ZeroLimit) {
+  EXPECT_TRUE(TokenizeTruncated("anything here", 0).empty());
+}
+
+TEST(TokenizeTruncatedTest, ElementLimitConstant) {
+  // The paper truncates element values after 10 words.
+  EXPECT_EQ(kElementTokenLimit, 10u);
+  auto tokens = TokenizeTruncated(
+      "w1 w2 w3 w4 w5 w6 w7 w8 w9 w10 w11 w12", kElementTokenLimit);
+  EXPECT_EQ(tokens.size(), 10u);
+}
+
+}  // namespace
+}  // namespace somr

@@ -1,0 +1,153 @@
+#include "wikigen/content_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace somr::wikigen {
+namespace {
+
+TEST(VocabTest, DeterministicPerSeed) {
+  Rng a(3), b(3);
+  Vocab va(a), vb(b);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(va.PersonName(), vb.PersonName());
+    EXPECT_EQ(va.Sentence(), vb.Sentence());
+  }
+}
+
+TEST(VocabTest, ShapesLookRight) {
+  Rng rng(7);
+  Vocab vocab(rng);
+  EXPECT_NE(vocab.PersonName().find(' '), std::string::npos);
+  EXPECT_NE(vocab.AwardName().find("Award"), std::string::npos);
+  std::string year = vocab.Year();
+  int y = std::stoi(year);
+  EXPECT_GE(y, 1960);
+  EXPECT_LE(y, 2019);
+  std::string link = vocab.WikiLink();
+  EXPECT_EQ(link.substr(0, 2), "[[");
+  EXPECT_EQ(link.substr(link.size() - 2), "]]");
+  EXPECT_EQ(vocab.Sentence().back(), '.');
+}
+
+TEST(VocabTest, ValueForMatchesHeaderSemantics) {
+  Rng rng(9);
+  Vocab vocab(rng);
+  for (int i = 0; i < 10; ++i) {
+    int year = std::stoi(vocab.ValueFor("Year"));
+    EXPECT_GE(year, 1960);
+    int rank = std::stoi(vocab.ValueFor("Rank"));
+    EXPECT_GE(rank, 1);
+    EXPECT_LE(rank, 200);
+    std::string result = vocab.ValueFor("Result");
+    EXPECT_TRUE(result == "Won" || result == "Nominated" ||
+                result == "Pending");
+  }
+}
+
+TEST(ContentGeneratorTest, AwardTablesShareSchema) {
+  Rng rng(11);
+  ContentGenerator gen(rng, PageTheme::kAwards);
+  LogicalContent a = gen.NewTable();
+  LogicalContent b = gen.NewTable();
+  EXPECT_EQ(a.header, b.header);
+  EXPECT_EQ(a.header.size(), 4u);
+  EXPECT_NE(a.caption, "");
+}
+
+TEST(ContentGeneratorTest, SportsTablesHaveUniqueTeams) {
+  Rng rng(13);
+  ContentGenerator gen(rng, PageTheme::kSports);
+  std::set<std::string> teams;
+  for (int t = 0; t < 5; ++t) {
+    LogicalContent table = gen.NewTable();
+    ASSERT_EQ(table.header.size(), 7u);
+    EXPECT_EQ(table.key_column, 1);
+    for (const auto& row : table.rows) {
+      EXPECT_TRUE(teams.insert(row[1]).second)
+          << "duplicate team " << row[1];
+    }
+  }
+}
+
+TEST(ContentGeneratorTest, DiscographyTablesHaveYearsAndTitles) {
+  Rng rng(17);
+  ContentGenerator gen(rng, PageTheme::kDiscography);
+  LogicalContent table = gen.NewTable();
+  ASSERT_EQ(table.header.size(), 4u);
+  EXPECT_EQ(table.header[0], "Year");
+  for (const auto& row : table.rows) {
+    EXPECT_GE(std::stoi(row[0]), 1975);
+  }
+}
+
+TEST(ContentGeneratorTest, InfoboxStartsWithName) {
+  Rng rng(19);
+  ContentGenerator gen(rng, PageTheme::kSettlement);
+  LogicalContent infobox = gen.NewInfobox();
+  ASSERT_GE(infobox.rows.size(), 4u);
+  EXPECT_EQ(infobox.rows[0][0], "name");
+  // Keys are distinct.
+  std::set<std::string> keys;
+  for (const auto& row : infobox.rows) {
+    EXPECT_TRUE(keys.insert(row[0]).second);
+  }
+}
+
+TEST(ContentGeneratorTest, NewInfoboxPropertyAvoidsExistingKeys) {
+  Rng rng(23);
+  ContentGenerator gen(rng, PageTheme::kGeneric);
+  LogicalContent infobox = gen.NewInfobox();
+  for (int i = 0; i < 5; ++i) {
+    auto property = gen.NewInfoboxProperty(infobox);
+    ASSERT_EQ(property.size(), 2u);
+    for (const auto& row : infobox.rows) {
+      EXPECT_NE(row[0], property[0]);
+    }
+    infobox.rows.push_back(property);
+  }
+}
+
+TEST(ContentGeneratorTest, NewTableRowMatchesWidth) {
+  Rng rng(29);
+  ContentGenerator gen(rng, PageTheme::kGeneric);
+  LogicalContent table = gen.NewTable();
+  auto row = gen.NewTableRow(table);
+  EXPECT_EQ(row.size(), table.header.size());
+}
+
+TEST(ContentGeneratorTest, ListsHaveItems) {
+  Rng rng(31);
+  ContentGenerator gen(rng, PageTheme::kGeneric);
+  LogicalContent list = gen.NewList();
+  EXPECT_GE(list.rows.size(), 3u);
+  for (const auto& row : list.rows) {
+    ASSERT_EQ(row.size(), 1u);
+    EXPECT_FALSE(row[0].empty());
+  }
+}
+
+TEST(ContentGeneratorTest, DynamicSizeRatesDifferByTheme) {
+  // Sports standings are mostly size-static; award tables mostly grow.
+  int sports_dynamic = 0, awards_dynamic = 0;
+  const int kSamples = 200;
+  {
+    Rng rng(37);
+    ContentGenerator gen(rng, PageTheme::kSports);
+    for (int i = 0; i < kSamples; ++i) {
+      sports_dynamic += gen.NewTable().dynamic_size ? 1 : 0;
+    }
+  }
+  {
+    Rng rng(37);
+    ContentGenerator gen(rng, PageTheme::kAwards);
+    for (int i = 0; i < kSamples; ++i) {
+      awards_dynamic += gen.NewTable().dynamic_size ? 1 : 0;
+    }
+  }
+  EXPECT_LT(sports_dynamic, awards_dynamic);
+}
+
+}  // namespace
+}  // namespace somr::wikigen

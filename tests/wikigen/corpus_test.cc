@@ -1,0 +1,91 @@
+#include "wikigen/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "extract/wikitext_extractor.h"
+
+namespace somr::wikigen {
+namespace {
+
+CorpusConfig TinyConfig() {
+  CorpusConfig config;
+  config.focal_type = extract::ObjectType::kInfobox;
+  config.strata_caps = {1, 3};
+  config.pages_per_stratum = 2;
+  config.min_revisions = 10;
+  config.max_revisions = 20;
+  config.seed = 5;
+  return config;
+}
+
+TEST(CorpusTest, StratifiedPageCount) {
+  GoldCorpus corpus = GenerateGoldCorpus(TinyConfig());
+  EXPECT_EQ(corpus.pages.size(), 4u);
+  ASSERT_EQ(corpus.page_stratum_cap.size(), 4u);
+  EXPECT_EQ(corpus.page_stratum_cap[0], 1);
+  EXPECT_EQ(corpus.page_stratum_cap[3], 3);
+  EXPECT_EQ(corpus.focal_type, extract::ObjectType::kInfobox);
+}
+
+TEST(CorpusTest, RevisionCountsWithinBounds) {
+  GoldCorpus corpus = GenerateGoldCorpus(TinyConfig());
+  for (const GeneratedPage& page : corpus.pages) {
+    EXPECT_GE(page.revisions.size(), 10u);
+    EXPECT_LE(page.revisions.size(), 20u);
+  }
+}
+
+TEST(CorpusTest, Deterministic) {
+  GoldCorpus a = GenerateGoldCorpus(TinyConfig());
+  GoldCorpus b = GenerateGoldCorpus(TinyConfig());
+  ASSERT_EQ(a.pages.size(), b.pages.size());
+  for (size_t i = 0; i < a.pages.size(); ++i) {
+    EXPECT_EQ(a.pages[i].title, b.pages[i].title);
+    EXPECT_EQ(a.pages[i].revisions.size(), b.pages[i].revisions.size());
+  }
+}
+
+TEST(CorpusTest, DumpRoundTripPreservesRevisions) {
+  GoldCorpus corpus = GenerateGoldCorpus(TinyConfig());
+  xmldump::Dump dump = CorpusToDump(corpus);
+  ASSERT_EQ(dump.pages.size(), corpus.pages.size());
+  std::string xml = xmldump::WriteDump(dump);
+  auto parsed = xmldump::ReadDump(xml);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->pages.size(), corpus.pages.size());
+  for (size_t p = 0; p < corpus.pages.size(); ++p) {
+    ASSERT_EQ(parsed->pages[p].revisions.size(),
+              corpus.pages[p].revisions.size());
+    for (size_t r = 0; r < corpus.pages[p].revisions.size(); ++r) {
+      EXPECT_EQ(parsed->pages[p].revisions[r].text,
+                corpus.pages[p].revisions[r].wikitext);
+    }
+  }
+}
+
+TEST(CorpusTest, DumpIdsAreUnique) {
+  GoldCorpus corpus = GenerateGoldCorpus(TinyConfig());
+  xmldump::Dump dump = CorpusToDump(corpus);
+  std::set<int64_t> page_ids, rev_ids;
+  for (const auto& page : dump.pages) {
+    EXPECT_TRUE(page_ids.insert(page.page_id).second);
+    for (const auto& rev : page.revisions) {
+      EXPECT_TRUE(rev_ids.insert(rev.id).second);
+    }
+  }
+}
+
+TEST(CorpusTest, FocalStratumCapHolds) {
+  GoldCorpus corpus = GenerateGoldCorpus(TinyConfig());
+  for (size_t p = 0; p < corpus.pages.size(); ++p) {
+    int cap = corpus.page_stratum_cap[p];
+    for (const GeneratedRevision& rev : corpus.pages[p].revisions) {
+      extract::PageObjects objects =
+          extract::ExtractFromWikitextSource(rev.wikitext);
+      EXPECT_LE(static_cast<int>(objects.infoboxes.size()), cap);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace somr::wikigen

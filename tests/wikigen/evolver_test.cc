@@ -1,0 +1,131 @@
+#include "wikigen/evolver.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "eval/harness.h"
+#include "extract/wikitext_extractor.h"
+
+namespace somr::wikigen {
+namespace {
+
+EvolverConfig SmallConfig(uint64_t seed) {
+  EvolverConfig config;
+  config.focal_type = extract::ObjectType::kTable;
+  config.max_focal_objects = 4;
+  config.num_revisions = 40;
+  config.theme = PageTheme::kAwards;
+  config.seed = seed;
+  return config;
+}
+
+TEST(PageEvolverTest, ProducesRequestedRevisionCount) {
+  GeneratedPage page = PageEvolver(SmallConfig(1)).Generate();
+  EXPECT_EQ(page.revisions.size(), 40u);
+  EXPECT_FALSE(page.title.empty());
+}
+
+TEST(PageEvolverTest, DeterministicPerSeed) {
+  GeneratedPage a = PageEvolver(SmallConfig(7)).Generate();
+  GeneratedPage b = PageEvolver(SmallConfig(7)).Generate();
+  ASSERT_EQ(a.revisions.size(), b.revisions.size());
+  for (size_t i = 0; i < a.revisions.size(); ++i) {
+    EXPECT_EQ(a.revisions[i].wikitext, b.revisions[i].wikitext);
+    EXPECT_EQ(a.revisions[i].timestamp, b.revisions[i].timestamp);
+  }
+  EXPECT_EQ(a.truth_tables.ObjectCount(), b.truth_tables.ObjectCount());
+}
+
+TEST(PageEvolverTest, DifferentSeedsDiffer) {
+  GeneratedPage a = PageEvolver(SmallConfig(1)).Generate();
+  GeneratedPage b = PageEvolver(SmallConfig(2)).Generate();
+  EXPECT_NE(a.revisions.back().wikitext, b.revisions.back().wikitext);
+}
+
+TEST(PageEvolverTest, TimestampsStrictlyIncrease) {
+  GeneratedPage page = PageEvolver(SmallConfig(3)).Generate();
+  for (size_t i = 1; i < page.revisions.size(); ++i) {
+    EXPECT_GT(page.revisions[i].timestamp,
+              page.revisions[i - 1].timestamp);
+  }
+}
+
+TEST(PageEvolverTest, FocalCapRespected) {
+  EvolverConfig config = SmallConfig(11);
+  config.max_focal_objects = 3;
+  config.num_revisions = 60;
+  GeneratedPage page = PageEvolver(config).Generate();
+  for (const GeneratedRevision& rev : page.revisions) {
+    extract::PageObjects objects =
+        extract::ExtractFromWikitextSource(rev.wikitext);
+    EXPECT_LE(objects.tables.size(), 3u);
+  }
+}
+
+// The generator's core contract: the ground-truth instance refs must
+// coincide exactly with what the extraction pipeline sees.
+class TruthConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TruthConsistency, TruthRefsMatchExtractedInstances) {
+  EvolverConfig config = SmallConfig(GetParam());
+  config.theme = GetParam() % 3 == 0   ? PageTheme::kAwards
+                 : GetParam() % 3 == 1 ? PageTheme::kSettlement
+                                       : PageTheme::kGeneric;
+  GeneratedPage page = PageEvolver(config).Generate();
+  for (extract::ObjectType type :
+       {extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+        extract::ObjectType::kList}) {
+    const matching::IdentityGraph& truth = page.TruthFor(type);
+    // Per-revision instance counts from the truth side.
+    std::map<int, int> truth_counts;
+    for (const auto& obj : truth.objects()) {
+      for (const auto& v : obj.versions) {
+        truth_counts[v.revision]++;
+        // Position must be in range for that revision.
+        EXPECT_GE(v.position, 0);
+      }
+    }
+    for (size_t r = 0; r < page.revisions.size(); ++r) {
+      extract::PageObjects objects = extract::ExtractFromWikitextSource(
+          page.revisions[r].wikitext);
+      int expected = truth_counts.count(static_cast<int>(r)) > 0
+                         ? truth_counts[static_cast<int>(r)]
+                         : 0;
+      EXPECT_EQ(static_cast<int>(objects.OfType(type).size()), expected)
+          << "revision " << r << " type " << extract::ObjectTypeName(type);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TruthConsistency,
+                         ::testing::Range<uint64_t>(0, 6));
+
+TEST(PageEvolverTest, TruthChainsAreChronological) {
+  GeneratedPage page = PageEvolver(SmallConfig(13)).Generate();
+  for (const auto& obj : page.truth_tables.objects()) {
+    for (size_t i = 1; i < obj.versions.size(); ++i) {
+      EXPECT_LT(obj.versions[i - 1].revision, obj.versions[i].revision);
+    }
+  }
+}
+
+TEST(PageEvolverTest, OpCountsAccumulate) {
+  EvolverConfig config = SmallConfig(17);
+  config.num_revisions = 120;
+  GeneratedPage page = PageEvolver(config).Generate();
+  EXPECT_GT(page.ops.updates, 0);
+  EXPECT_GT(page.ops.inserts, 0);
+  // With 120 revisions there is essentially always some churn.
+  EXPECT_GT(page.ops.deletes + page.ops.restores + page.ops.vandalisms, 0);
+}
+
+TEST(PageEvolverTest, HtmlRenderingsNonEmpty) {
+  GeneratedPage page = PageEvolver(SmallConfig(19)).Generate();
+  for (const GeneratedRevision& rev : page.revisions) {
+    EXPECT_NE(rev.html.find("<body>"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace somr::wikigen

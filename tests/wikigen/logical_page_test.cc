@@ -1,0 +1,88 @@
+#include "wikigen/logical_page.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::wikigen {
+namespace {
+
+LogicalContent TableContent() {
+  LogicalContent content;
+  content.type = extract::ObjectType::kTable;
+  content.header = {"A"};
+  content.rows = {{"x"}};
+  return content;
+}
+
+LogicalContent ListContent() {
+  LogicalContent content;
+  content.type = extract::ObjectType::kList;
+  content.rows = {{"item"}};
+  return content;
+}
+
+TEST(LogicalPageTest, InsertAndFind) {
+  LogicalPage page;
+  page.items.push_back({LogicalPage::ItemKind::kParagraph, 2, "lead", -1});
+  page.InsertObject(5, TableContent(), 1);
+  EXPECT_EQ(page.FindObjectItem(5), 1);
+  EXPECT_EQ(page.FindObjectItem(6), -1);
+  EXPECT_EQ(page.contents.count(5), 1u);
+}
+
+TEST(LogicalPageTest, InsertIndexClamped) {
+  LogicalPage page;
+  page.InsertObject(1, TableContent(), 99);
+  EXPECT_EQ(page.FindObjectItem(1), 0);
+}
+
+TEST(LogicalPageTest, PresentUidsInPageOrderByType) {
+  LogicalPage page;
+  page.InsertObject(10, TableContent(), 0);
+  page.InsertObject(20, ListContent(), 1);
+  page.InsertObject(30, TableContent(), 1);  // before the list now
+  auto tables = page.PresentUids(extract::ObjectType::kTable);
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0], 10);
+  EXPECT_EQ(tables[1], 30);
+  auto lists = page.PresentUids(extract::ObjectType::kList);
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_EQ(lists[0], 20);
+  EXPECT_EQ(page.AllPresentUids().size(), 3u);
+}
+
+TEST(LogicalPageTest, RemoveObjectReturnsContent) {
+  LogicalPage page;
+  page.InsertObject(7, TableContent(), 0);
+  LogicalContent removed = page.RemoveObject(7);
+  EXPECT_EQ(removed.header, (std::vector<std::string>{"A"}));
+  EXPECT_EQ(page.FindObjectItem(7), -1);
+  EXPECT_TRUE(page.contents.empty());
+  EXPECT_TRUE(page.items.empty());
+}
+
+TEST(LogicalPageTest, RemoveMissingObjectIsEmpty) {
+  LogicalPage page;
+  LogicalContent removed = page.RemoveObject(99);
+  EXPECT_TRUE(removed.Empty());
+}
+
+TEST(LogicalPageTest, DanglingObjectItemNotPresent) {
+  // An item whose uid has no content entry is skipped by PresentUids.
+  LogicalPage page;
+  LogicalPage::Item item;
+  item.kind = LogicalPage::ItemKind::kObject;
+  item.uid = 42;
+  page.items.push_back(item);
+  EXPECT_TRUE(page.PresentUids(extract::ObjectType::kTable).empty());
+  EXPECT_TRUE(page.AllPresentUids().empty());
+}
+
+TEST(LogicalContentTest, EmptyMeansNoRows) {
+  LogicalContent content = TableContent();
+  EXPECT_FALSE(content.Empty());
+  content.rows.clear();
+  EXPECT_TRUE(content.Empty());
+}
+
+}  // namespace
+}  // namespace somr::wikigen

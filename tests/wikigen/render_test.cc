@@ -1,0 +1,150 @@
+#include "wikigen/render.h"
+
+#include <gtest/gtest.h>
+
+#include "extract/html_extractor.h"
+#include "extract/wikitext_extractor.h"
+#include "wikigen/content_gen.h"
+
+namespace somr::wikigen {
+namespace {
+
+LogicalPage SamplePage(uint64_t seed) {
+  Rng rng(seed);
+  ContentGenerator gen(rng, seed % 2 == 0 ? PageTheme::kAwards
+                                          : PageTheme::kSettlement);
+  LogicalPage page;
+  page.title = "Sample";
+  page.items.push_back(
+      {LogicalPage::ItemKind::kParagraph, 2, "Lead paragraph.", -1});
+  page.items.push_back(
+      {LogicalPage::ItemKind::kHeading, 2, "First section", -1});
+  int64_t uid = 0;
+  page.InsertObject(uid++, gen.NewInfobox(), 1);
+  page.InsertObject(uid++, gen.NewTable(), page.items.size());
+  page.items.push_back(
+      {LogicalPage::ItemKind::kHeading, 3, "Subsection", -1});
+  page.InsertObject(uid++, gen.NewList(), page.items.size());
+  page.InsertObject(uid++, gen.NewTable(), page.items.size());
+  return page;
+}
+
+// THE central generator invariant: extracting objects from the rendered
+// page recovers exactly the logical objects, in page order, for both
+// output formats. Ground truth positions depend on this.
+class RenderExtractRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RenderExtractRoundTrip, WikitextPositionsMatchLogicalOrder) {
+  LogicalPage page = SamplePage(GetParam());
+  extract::PageObjects objects =
+      extract::ExtractFromWikitextSource(RenderWikitext(page));
+  EXPECT_EQ(objects.tables.size(),
+            page.PresentUids(extract::ObjectType::kTable).size());
+  EXPECT_EQ(objects.infoboxes.size(),
+            page.PresentUids(extract::ObjectType::kInfobox).size());
+  EXPECT_EQ(objects.lists.size(),
+            page.PresentUids(extract::ObjectType::kList).size());
+  // Content correspondence for tables, in order.
+  auto table_uids = page.PresentUids(extract::ObjectType::kTable);
+  for (size_t i = 0; i < table_uids.size(); ++i) {
+    const LogicalContent& logical = page.contents.at(table_uids[i]);
+    const extract::ObjectInstance& extracted = objects.tables[i];
+    ASSERT_FALSE(extracted.rows.empty());
+    // Row count: header + data rows.
+    EXPECT_EQ(extracted.rows.size(), logical.rows.size() + 1);
+    EXPECT_EQ(extracted.schema.size(), logical.header.size());
+  }
+}
+
+TEST_P(RenderExtractRoundTrip, HtmlPositionsMatchLogicalOrder) {
+  LogicalPage page = SamplePage(GetParam());
+  extract::PageObjects objects =
+      extract::ExtractFromHtmlSource(RenderHtml(page));
+  EXPECT_EQ(objects.tables.size(),
+            page.PresentUids(extract::ObjectType::kTable).size());
+  EXPECT_EQ(objects.infoboxes.size(),
+            page.PresentUids(extract::ObjectType::kInfobox).size());
+  EXPECT_EQ(objects.lists.size(),
+            page.PresentUids(extract::ObjectType::kList).size());
+}
+
+TEST_P(RenderExtractRoundTrip, WikitextAndHtmlAgreeOnPlainContent) {
+  LogicalPage page = SamplePage(GetParam());
+  extract::PageObjects wiki =
+      extract::ExtractFromWikitextSource(RenderWikitext(page));
+  extract::PageObjects html =
+      extract::ExtractFromHtmlSource(RenderHtml(page));
+  ASSERT_EQ(wiki.tables.size(), html.tables.size());
+  for (size_t i = 0; i < wiki.tables.size(); ++i) {
+    EXPECT_EQ(wiki.tables[i].rows, html.tables[i].rows);
+    EXPECT_EQ(wiki.tables[i].section_path, html.tables[i].section_path);
+  }
+  ASSERT_EQ(wiki.lists.size(), html.lists.size());
+  for (size_t i = 0; i < wiki.lists.size(); ++i) {
+    EXPECT_EQ(wiki.lists[i].rows, html.lists[i].rows);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RenderExtractRoundTrip,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST(RenderTest, EmptyObjectsNotRendered) {
+  LogicalPage page;
+  page.title = "T";
+  LogicalContent empty;
+  empty.type = extract::ObjectType::kTable;
+  page.InsertObject(1, empty, 0);
+  extract::PageObjects objects =
+      extract::ExtractFromWikitextSource(RenderWikitext(page));
+  EXPECT_EQ(objects.TotalCount(), 0u);
+}
+
+TEST(RenderTest, SectionPathsPropagate) {
+  Rng rng(3);
+  ContentGenerator gen(rng, PageTheme::kGeneric);
+  LogicalPage page;
+  page.title = "T";
+  page.items.push_back(
+      {LogicalPage::ItemKind::kHeading, 2, "Awards", -1});
+  page.InsertObject(0, gen.NewTable(), 1);
+  extract::PageObjects objects =
+      extract::ExtractFromWikitextSource(RenderWikitext(page));
+  ASSERT_EQ(objects.tables.size(), 1u);
+  EXPECT_EQ(objects.tables[0].section_path,
+            (std::vector<std::string>{"Awards"}));
+}
+
+TEST(RenderTest, HtmlContainsInfoboxClass) {
+  Rng rng(4);
+  ContentGenerator gen(rng, PageTheme::kSettlement);
+  LogicalPage page;
+  page.title = "T";
+  page.InsertObject(0, gen.NewInfobox(), 0);
+  std::string html = RenderHtml(page);
+  EXPECT_NE(html.find("class=\"infobox\""), std::string::npos);
+}
+
+
+TEST(RenderTest, WebChromeIsNotExtracted) {
+  Rng rng(8);
+  ContentGenerator gen(rng, PageTheme::kGeneric);
+  LogicalPage page;
+  page.title = "T";
+  page.InsertObject(0, gen.NewList(), 0);
+  page.InsertObject(1, gen.NewTable(), 1);
+  std::string plain = RenderHtml(page, /*web_chrome=*/false);
+  std::string chromed = RenderHtml(page, /*web_chrome=*/true);
+  EXPECT_NE(chromed.find("<nav>"), std::string::npos);
+  extract::PageObjects from_plain = extract::ExtractFromHtmlSource(plain);
+  extract::PageObjects from_chromed =
+      extract::ExtractFromHtmlSource(chromed);
+  // Navigation menus, sidebar lists and the footer layout table must not
+  // surface as objects: both renderings extract identically.
+  EXPECT_EQ(from_plain.lists.size(), from_chromed.lists.size());
+  EXPECT_EQ(from_plain.tables.size(), from_chromed.tables.size());
+  ASSERT_EQ(from_chromed.lists.size(), 1u);
+  EXPECT_EQ(from_plain.lists[0].rows, from_chromed.lists[0].rows);
+}
+
+}  // namespace
+}  // namespace somr::wikigen

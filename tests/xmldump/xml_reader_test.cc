@@ -1,0 +1,104 @@
+#include "xmldump/xml_reader.h"
+
+#include <gtest/gtest.h>
+
+namespace somr::xmldump {
+namespace {
+
+std::vector<XmlEvent> Drain(std::string_view xml) {
+  XmlReader reader(xml);
+  std::vector<XmlEvent> events;
+  while (true) {
+    XmlEvent e = reader.Next();
+    if (e.type == XmlEventType::kEndDocument) break;
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+TEST(XmlReaderTest, SimpleElement) {
+  auto events = Drain("<a>text</a>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, XmlEventType::kStartElement);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].type, XmlEventType::kText);
+  EXPECT_EQ(events[1].text, "text");
+  EXPECT_EQ(events[2].type, XmlEventType::kEndElement);
+}
+
+TEST(XmlReaderTest, Attributes) {
+  auto events = Drain("<rev id=\"5\" flag='x'/>");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].Attribute("id"), "5");
+  EXPECT_EQ(events[0].Attribute("flag"), "x");
+  EXPECT_EQ(events[1].type, XmlEventType::kEndElement);
+  EXPECT_EQ(events[1].name, "rev");
+}
+
+TEST(XmlReaderTest, AttributeEntityDecoding) {
+  auto events = Drain("<a title=\"x &amp; y\"/>");
+  EXPECT_EQ(events[0].Attribute("title"), "x & y");
+}
+
+TEST(XmlReaderTest, WhitespaceBetweenElementsSuppressed) {
+  auto events = Drain("<a>\n  <b/>\n</a>");
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[1].name, "b");
+}
+
+TEST(XmlReaderTest, TextEntityDecoding) {
+  auto events = Drain("<t>a &lt; b &amp; c</t>");
+  EXPECT_EQ(events[1].text, "a < b & c");
+}
+
+TEST(XmlReaderTest, Cdata) {
+  auto events = Drain("<t><![CDATA[raw <markup> & stuff]]></t>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].text, "raw <markup> & stuff");
+}
+
+TEST(XmlReaderTest, CommentsAndPiSkipped) {
+  auto events = Drain(
+      "<?xml version=\"1.0\"?><!-- c --><root><!-- inner --></root>");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "root");
+}
+
+TEST(XmlReaderTest, SkipElement) {
+  XmlReader reader("<a><skip><deep>x</deep></skip><keep/></a>");
+  XmlEvent a = reader.Next();
+  ASSERT_EQ(a.name, "a");
+  XmlEvent skip = reader.Next();
+  ASSERT_EQ(skip.name, "skip");
+  reader.SkipElement();
+  XmlEvent keep = reader.Next();
+  EXPECT_EQ(keep.name, "keep");
+}
+
+TEST(XmlReaderTest, ReadElementText) {
+  XmlReader reader("<t>one <b>two</b> three</t>");
+  reader.Next();  // <t>
+  EXPECT_EQ(reader.ReadElementText(), "one two three");
+}
+
+TEST(XmlReaderTest, MultilineTextPreserved) {
+  XmlReader reader("<text>line1\nline2</text>");
+  reader.Next();
+  EXPECT_EQ(reader.ReadElementText(), "line1\nline2");
+}
+
+TEST(XmlReaderTest, EndDocumentSticky) {
+  XmlReader reader("<a/>");
+  reader.Next();
+  reader.Next();
+  EXPECT_EQ(reader.Next().type, XmlEventType::kEndDocument);
+  EXPECT_EQ(reader.Next().type, XmlEventType::kEndDocument);
+}
+
+TEST(XmlReaderTest, EmptyInput) {
+  XmlReader reader("");
+  EXPECT_EQ(reader.Next().type, XmlEventType::kEndDocument);
+}
+
+}  // namespace
+}  // namespace somr::xmldump
