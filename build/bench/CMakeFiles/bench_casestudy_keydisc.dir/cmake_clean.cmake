@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_casestudy_keydisc.dir/bench_casestudy_keydisc.cc.o"
+  "CMakeFiles/bench_casestudy_keydisc.dir/bench_casestudy_keydisc.cc.o.d"
+  "bench_casestudy_keydisc"
+  "bench_casestudy_keydisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_casestudy_keydisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_similarity_decay.cc" "bench/CMakeFiles/bench_fig5_similarity_decay.dir/bench_fig5_similarity_decay.cc.o" "gcc" "bench/CMakeFiles/bench_fig5_similarity_decay.dir/bench_fig5_similarity_decay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/somr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/somr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/somr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/wikigen/CMakeFiles/somr_wikigen.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/somr_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/keydisc/CMakeFiles/somr_keydisc.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/somr_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/somr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/somr_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmldump/CMakeFiles/somr_xmldump.dir/DependInfo.cmake"
+  "/root/repo/build/src/wikitext/CMakeFiles/somr_wikitext.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/somr_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/somr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/somr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

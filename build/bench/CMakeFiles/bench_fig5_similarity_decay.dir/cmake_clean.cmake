@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_similarity_decay.dir/bench_fig5_similarity_decay.cc.o"
+  "CMakeFiles/bench_fig5_similarity_decay.dir/bench_fig5_similarity_decay.cc.o.d"
+  "bench_fig5_similarity_decay"
+  "bench_fig5_similarity_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_similarity_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

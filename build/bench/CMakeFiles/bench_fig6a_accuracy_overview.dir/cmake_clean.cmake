@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_accuracy_overview.dir/bench_fig6a_accuracy_overview.cc.o"
+  "CMakeFiles/bench_fig6a_accuracy_overview.dir/bench_fig6a_accuracy_overview.cc.o.d"
+  "bench_fig6a_accuracy_overview"
+  "bench_fig6a_accuracy_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_accuracy_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_accuracy_by_strata.dir/bench_fig6b_accuracy_by_strata.cc.o"
+  "CMakeFiles/bench_fig6b_accuracy_by_strata.dir/bench_fig6b_accuracy_by_strata.cc.o.d"
+  "bench_fig6b_accuracy_by_strata"
+  "bench_fig6b_accuracy_by_strata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_accuracy_by_strata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

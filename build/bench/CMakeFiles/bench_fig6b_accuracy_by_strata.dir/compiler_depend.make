@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6b_accuracy_by_strata.
+# This may be replaced when dependencies are built.

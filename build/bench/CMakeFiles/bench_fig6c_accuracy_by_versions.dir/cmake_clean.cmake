@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6c_accuracy_by_versions.dir/bench_fig6c_accuracy_by_versions.cc.o"
+  "CMakeFiles/bench_fig6c_accuracy_by_versions.dir/bench_fig6c_accuracy_by_versions.cc.o.d"
+  "bench_fig6c_accuracy_by_versions"
+  "bench_fig6c_accuracy_by_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_accuracy_by_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stats_basic.dir/bench_stats_basic.cc.o"
+  "CMakeFiles/bench_stats_basic.dir/bench_stats_basic.cc.o.d"
+  "bench_stats_basic"
+  "bench_stats_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

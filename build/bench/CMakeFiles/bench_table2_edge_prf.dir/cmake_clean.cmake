@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_edge_prf.dir/bench_table2_edge_prf.cc.o"
+  "CMakeFiles/bench_table2_edge_prf.dir/bench_table2_edge_prf.cc.o.d"
+  "bench_table2_edge_prf"
+  "bench_table2_edge_prf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_edge_prf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/award_history.dir/award_history.cpp.o"
+  "CMakeFiles/award_history.dir/award_history.cpp.o.d"
+  "award_history"
+  "award_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/award_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

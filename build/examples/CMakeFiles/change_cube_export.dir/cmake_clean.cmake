@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_cube_export.dir/change_cube_export.cpp.o"
+  "CMakeFiles/change_cube_export.dir/change_cube_export.cpp.o.d"
+  "change_cube_export"
+  "change_cube_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_cube_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for change_cube_export.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_tool.dir/dump_tool.cpp.o"
+  "CMakeFiles/dump_tool.dir/dump_tool.cpp.o.d"
+  "dump_tool"
+  "dump_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

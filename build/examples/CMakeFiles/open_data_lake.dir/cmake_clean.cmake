@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_data_lake.dir/open_data_lake.cpp.o"
+  "CMakeFiles/open_data_lake.dir/open_data_lake.cpp.o.d"
+  "open_data_lake"
+  "open_data_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_data_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

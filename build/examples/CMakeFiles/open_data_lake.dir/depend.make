@@ -1,0 +1,2 @@
+# Empty dependencies file for open_data_lake.
+# This may be replaced when dependencies are built.

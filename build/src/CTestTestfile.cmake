@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("text")
+subdirs("html")
+subdirs("wikitext")
+subdirs("xmldump")
+subdirs("extract")
+subdirs("sim")
+subdirs("matching")
+subdirs("baselines")
+subdirs("wikigen")
+subdirs("archive")
+subdirs("eval")
+subdirs("keydisc")
+subdirs("core")

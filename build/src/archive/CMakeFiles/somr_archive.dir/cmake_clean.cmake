@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_archive.dir/crawl_sampler.cc.o"
+  "CMakeFiles/somr_archive.dir/crawl_sampler.cc.o.d"
+  "CMakeFiles/somr_archive.dir/socrata.cc.o"
+  "CMakeFiles/somr_archive.dir/socrata.cc.o.d"
+  "libsomr_archive.a"
+  "libsomr_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/korn_matcher.cc" "src/baselines/CMakeFiles/somr_baselines.dir/korn_matcher.cc.o" "gcc" "src/baselines/CMakeFiles/somr_baselines.dir/korn_matcher.cc.o.d"
+  "/root/repo/src/baselines/position_baseline.cc" "src/baselines/CMakeFiles/somr_baselines.dir/position_baseline.cc.o" "gcc" "src/baselines/CMakeFiles/somr_baselines.dir/position_baseline.cc.o.d"
+  "/root/repo/src/baselines/schema_baseline.cc" "src/baselines/CMakeFiles/somr_baselines.dir/schema_baseline.cc.o" "gcc" "src/baselines/CMakeFiles/somr_baselines.dir/schema_baseline.cc.o.d"
+  "/root/repo/src/baselines/subject_column.cc" "src/baselines/CMakeFiles/somr_baselines.dir/subject_column.cc.o" "gcc" "src/baselines/CMakeFiles/somr_baselines.dir/subject_column.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matching/CMakeFiles/somr_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/somr_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/wikitext/CMakeFiles/somr_wikitext.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/somr_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/somr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/somr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/somr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

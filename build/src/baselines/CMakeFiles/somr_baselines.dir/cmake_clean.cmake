@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_baselines.dir/korn_matcher.cc.o"
+  "CMakeFiles/somr_baselines.dir/korn_matcher.cc.o.d"
+  "CMakeFiles/somr_baselines.dir/position_baseline.cc.o"
+  "CMakeFiles/somr_baselines.dir/position_baseline.cc.o.d"
+  "CMakeFiles/somr_baselines.dir/schema_baseline.cc.o"
+  "CMakeFiles/somr_baselines.dir/schema_baseline.cc.o.d"
+  "CMakeFiles/somr_baselines.dir/subject_column.cc.o"
+  "CMakeFiles/somr_baselines.dir/subject_column.cc.o.d"
+  "libsomr_baselines.a"
+  "libsomr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

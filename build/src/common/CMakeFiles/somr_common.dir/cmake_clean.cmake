@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_common.dir/flags.cc.o"
+  "CMakeFiles/somr_common.dir/flags.cc.o.d"
+  "CMakeFiles/somr_common.dir/rng.cc.o"
+  "CMakeFiles/somr_common.dir/rng.cc.o.d"
+  "CMakeFiles/somr_common.dir/status.cc.o"
+  "CMakeFiles/somr_common.dir/status.cc.o.d"
+  "CMakeFiles/somr_common.dir/string_util.cc.o"
+  "CMakeFiles/somr_common.dir/string_util.cc.o.d"
+  "CMakeFiles/somr_common.dir/time_util.cc.o"
+  "CMakeFiles/somr_common.dir/time_util.cc.o.d"
+  "libsomr_common.a"
+  "libsomr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

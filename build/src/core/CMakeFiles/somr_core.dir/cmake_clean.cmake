@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_core.dir/change_classifier.cc.o"
+  "CMakeFiles/somr_core.dir/change_classifier.cc.o.d"
+  "CMakeFiles/somr_core.dir/change_cube.cc.o"
+  "CMakeFiles/somr_core.dir/change_cube.cc.o.d"
+  "CMakeFiles/somr_core.dir/changes.cc.o"
+  "CMakeFiles/somr_core.dir/changes.cc.o.d"
+  "CMakeFiles/somr_core.dir/diff.cc.o"
+  "CMakeFiles/somr_core.dir/diff.cc.o.d"
+  "CMakeFiles/somr_core.dir/history_report.cc.o"
+  "CMakeFiles/somr_core.dir/history_report.cc.o.d"
+  "CMakeFiles/somr_core.dir/pipeline.cc.o"
+  "CMakeFiles/somr_core.dir/pipeline.cc.o.d"
+  "libsomr_core.a"
+  "libsomr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_eval.dir/bootstrap.cc.o"
+  "CMakeFiles/somr_eval.dir/bootstrap.cc.o.d"
+  "CMakeFiles/somr_eval.dir/harness.cc.o"
+  "CMakeFiles/somr_eval.dir/harness.cc.o.d"
+  "CMakeFiles/somr_eval.dir/metrics.cc.o"
+  "CMakeFiles/somr_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/somr_eval.dir/trivial.cc.o"
+  "CMakeFiles/somr_eval.dir/trivial.cc.o.d"
+  "libsomr_eval.a"
+  "libsomr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

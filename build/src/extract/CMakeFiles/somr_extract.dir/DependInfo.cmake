@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/features.cc" "src/extract/CMakeFiles/somr_extract.dir/features.cc.o" "gcc" "src/extract/CMakeFiles/somr_extract.dir/features.cc.o.d"
+  "/root/repo/src/extract/html_extractor.cc" "src/extract/CMakeFiles/somr_extract.dir/html_extractor.cc.o" "gcc" "src/extract/CMakeFiles/somr_extract.dir/html_extractor.cc.o.d"
+  "/root/repo/src/extract/object.cc" "src/extract/CMakeFiles/somr_extract.dir/object.cc.o" "gcc" "src/extract/CMakeFiles/somr_extract.dir/object.cc.o.d"
+  "/root/repo/src/extract/span_grid.cc" "src/extract/CMakeFiles/somr_extract.dir/span_grid.cc.o" "gcc" "src/extract/CMakeFiles/somr_extract.dir/span_grid.cc.o.d"
+  "/root/repo/src/extract/wikitext_extractor.cc" "src/extract/CMakeFiles/somr_extract.dir/wikitext_extractor.cc.o" "gcc" "src/extract/CMakeFiles/somr_extract.dir/wikitext_extractor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/somr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/somr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/somr_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/wikitext/CMakeFiles/somr_wikitext.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

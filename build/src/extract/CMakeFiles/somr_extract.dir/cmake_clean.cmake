@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_extract.dir/features.cc.o"
+  "CMakeFiles/somr_extract.dir/features.cc.o.d"
+  "CMakeFiles/somr_extract.dir/html_extractor.cc.o"
+  "CMakeFiles/somr_extract.dir/html_extractor.cc.o.d"
+  "CMakeFiles/somr_extract.dir/object.cc.o"
+  "CMakeFiles/somr_extract.dir/object.cc.o.d"
+  "CMakeFiles/somr_extract.dir/span_grid.cc.o"
+  "CMakeFiles/somr_extract.dir/span_grid.cc.o.d"
+  "CMakeFiles/somr_extract.dir/wikitext_extractor.cc.o"
+  "CMakeFiles/somr_extract.dir/wikitext_extractor.cc.o.d"
+  "libsomr_extract.a"
+  "libsomr_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

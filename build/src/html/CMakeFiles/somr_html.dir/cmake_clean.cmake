@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_html.dir/dom.cc.o"
+  "CMakeFiles/somr_html.dir/dom.cc.o.d"
+  "CMakeFiles/somr_html.dir/entities.cc.o"
+  "CMakeFiles/somr_html.dir/entities.cc.o.d"
+  "CMakeFiles/somr_html.dir/parser.cc.o"
+  "CMakeFiles/somr_html.dir/parser.cc.o.d"
+  "CMakeFiles/somr_html.dir/tokenizer.cc.o"
+  "CMakeFiles/somr_html.dir/tokenizer.cc.o.d"
+  "libsomr_html.a"
+  "libsomr_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_keydisc.dir/key_discovery.cc.o"
+  "CMakeFiles/somr_keydisc.dir/key_discovery.cc.o.d"
+  "CMakeFiles/somr_keydisc.dir/workload.cc.o"
+  "CMakeFiles/somr_keydisc.dir/workload.cc.o.d"
+  "libsomr_keydisc.a"
+  "libsomr_keydisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_keydisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

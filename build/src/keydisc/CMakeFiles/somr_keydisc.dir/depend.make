@@ -1,0 +1,2 @@
+# Empty dependencies file for somr_keydisc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/graph_io.cc" "src/matching/CMakeFiles/somr_matching.dir/graph_io.cc.o" "gcc" "src/matching/CMakeFiles/somr_matching.dir/graph_io.cc.o.d"
+  "/root/repo/src/matching/hungarian.cc" "src/matching/CMakeFiles/somr_matching.dir/hungarian.cc.o" "gcc" "src/matching/CMakeFiles/somr_matching.dir/hungarian.cc.o.d"
+  "/root/repo/src/matching/identity_graph.cc" "src/matching/CMakeFiles/somr_matching.dir/identity_graph.cc.o" "gcc" "src/matching/CMakeFiles/somr_matching.dir/identity_graph.cc.o.d"
+  "/root/repo/src/matching/matcher.cc" "src/matching/CMakeFiles/somr_matching.dir/matcher.cc.o" "gcc" "src/matching/CMakeFiles/somr_matching.dir/matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/somr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/somr_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/somr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wikitext/CMakeFiles/somr_wikitext.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/somr_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/somr_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_matching.dir/graph_io.cc.o"
+  "CMakeFiles/somr_matching.dir/graph_io.cc.o.d"
+  "CMakeFiles/somr_matching.dir/hungarian.cc.o"
+  "CMakeFiles/somr_matching.dir/hungarian.cc.o.d"
+  "CMakeFiles/somr_matching.dir/identity_graph.cc.o"
+  "CMakeFiles/somr_matching.dir/identity_graph.cc.o.d"
+  "CMakeFiles/somr_matching.dir/matcher.cc.o"
+  "CMakeFiles/somr_matching.dir/matcher.cc.o.d"
+  "libsomr_matching.a"
+  "libsomr_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/minhash.cc" "src/sim/CMakeFiles/somr_sim.dir/minhash.cc.o" "gcc" "src/sim/CMakeFiles/somr_sim.dir/minhash.cc.o.d"
+  "/root/repo/src/sim/similarity.cc" "src/sim/CMakeFiles/somr_sim.dir/similarity.cc.o" "gcc" "src/sim/CMakeFiles/somr_sim.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/somr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/somr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_sim.dir/minhash.cc.o"
+  "CMakeFiles/somr_sim.dir/minhash.cc.o.d"
+  "CMakeFiles/somr_sim.dir/similarity.cc.o"
+  "CMakeFiles/somr_sim.dir/similarity.cc.o.d"
+  "libsomr_sim.a"
+  "libsomr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

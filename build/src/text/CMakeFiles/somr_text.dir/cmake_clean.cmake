@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_text.dir/bag_of_words.cc.o"
+  "CMakeFiles/somr_text.dir/bag_of_words.cc.o.d"
+  "CMakeFiles/somr_text.dir/tokenizer.cc.o"
+  "CMakeFiles/somr_text.dir/tokenizer.cc.o.d"
+  "libsomr_text.a"
+  "libsomr_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wikigen/content_gen.cc" "src/wikigen/CMakeFiles/somr_wikigen.dir/content_gen.cc.o" "gcc" "src/wikigen/CMakeFiles/somr_wikigen.dir/content_gen.cc.o.d"
+  "/root/repo/src/wikigen/corpus.cc" "src/wikigen/CMakeFiles/somr_wikigen.dir/corpus.cc.o" "gcc" "src/wikigen/CMakeFiles/somr_wikigen.dir/corpus.cc.o.d"
+  "/root/repo/src/wikigen/evolver.cc" "src/wikigen/CMakeFiles/somr_wikigen.dir/evolver.cc.o" "gcc" "src/wikigen/CMakeFiles/somr_wikigen.dir/evolver.cc.o.d"
+  "/root/repo/src/wikigen/logical_page.cc" "src/wikigen/CMakeFiles/somr_wikigen.dir/logical_page.cc.o" "gcc" "src/wikigen/CMakeFiles/somr_wikigen.dir/logical_page.cc.o.d"
+  "/root/repo/src/wikigen/render.cc" "src/wikigen/CMakeFiles/somr_wikigen.dir/render.cc.o" "gcc" "src/wikigen/CMakeFiles/somr_wikigen.dir/render.cc.o.d"
+  "/root/repo/src/wikigen/vocab.cc" "src/wikigen/CMakeFiles/somr_wikigen.dir/vocab.cc.o" "gcc" "src/wikigen/CMakeFiles/somr_wikigen.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/somr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/somr_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/somr_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmldump/CMakeFiles/somr_xmldump.dir/DependInfo.cmake"
+  "/root/repo/build/src/wikitext/CMakeFiles/somr_wikitext.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/somr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/somr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/somr_html.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

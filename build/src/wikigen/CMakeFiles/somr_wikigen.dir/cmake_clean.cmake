@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_wikigen.dir/content_gen.cc.o"
+  "CMakeFiles/somr_wikigen.dir/content_gen.cc.o.d"
+  "CMakeFiles/somr_wikigen.dir/corpus.cc.o"
+  "CMakeFiles/somr_wikigen.dir/corpus.cc.o.d"
+  "CMakeFiles/somr_wikigen.dir/evolver.cc.o"
+  "CMakeFiles/somr_wikigen.dir/evolver.cc.o.d"
+  "CMakeFiles/somr_wikigen.dir/logical_page.cc.o"
+  "CMakeFiles/somr_wikigen.dir/logical_page.cc.o.d"
+  "CMakeFiles/somr_wikigen.dir/render.cc.o"
+  "CMakeFiles/somr_wikigen.dir/render.cc.o.d"
+  "CMakeFiles/somr_wikigen.dir/vocab.cc.o"
+  "CMakeFiles/somr_wikigen.dir/vocab.cc.o.d"
+  "libsomr_wikigen.a"
+  "libsomr_wikigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_wikigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wikitext/inline_markup.cc" "src/wikitext/CMakeFiles/somr_wikitext.dir/inline_markup.cc.o" "gcc" "src/wikitext/CMakeFiles/somr_wikitext.dir/inline_markup.cc.o.d"
+  "/root/repo/src/wikitext/parser.cc" "src/wikitext/CMakeFiles/somr_wikitext.dir/parser.cc.o" "gcc" "src/wikitext/CMakeFiles/somr_wikitext.dir/parser.cc.o.d"
+  "/root/repo/src/wikitext/serializer.cc" "src/wikitext/CMakeFiles/somr_wikitext.dir/serializer.cc.o" "gcc" "src/wikitext/CMakeFiles/somr_wikitext.dir/serializer.cc.o.d"
+  "/root/repo/src/wikitext/to_html.cc" "src/wikitext/CMakeFiles/somr_wikitext.dir/to_html.cc.o" "gcc" "src/wikitext/CMakeFiles/somr_wikitext.dir/to_html.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/somr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/somr_html.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_wikitext.dir/inline_markup.cc.o"
+  "CMakeFiles/somr_wikitext.dir/inline_markup.cc.o.d"
+  "CMakeFiles/somr_wikitext.dir/parser.cc.o"
+  "CMakeFiles/somr_wikitext.dir/parser.cc.o.d"
+  "CMakeFiles/somr_wikitext.dir/serializer.cc.o"
+  "CMakeFiles/somr_wikitext.dir/serializer.cc.o.d"
+  "CMakeFiles/somr_wikitext.dir/to_html.cc.o"
+  "CMakeFiles/somr_wikitext.dir/to_html.cc.o.d"
+  "libsomr_wikitext.a"
+  "libsomr_wikitext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_wikitext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsomr_wikitext.a"
+)

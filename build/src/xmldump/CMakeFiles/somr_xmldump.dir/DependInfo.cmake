@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmldump/dump.cc" "src/xmldump/CMakeFiles/somr_xmldump.dir/dump.cc.o" "gcc" "src/xmldump/CMakeFiles/somr_xmldump.dir/dump.cc.o.d"
+  "/root/repo/src/xmldump/stream_reader.cc" "src/xmldump/CMakeFiles/somr_xmldump.dir/stream_reader.cc.o" "gcc" "src/xmldump/CMakeFiles/somr_xmldump.dir/stream_reader.cc.o.d"
+  "/root/repo/src/xmldump/xml_reader.cc" "src/xmldump/CMakeFiles/somr_xmldump.dir/xml_reader.cc.o" "gcc" "src/xmldump/CMakeFiles/somr_xmldump.dir/xml_reader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/somr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/somr_html.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_xmldump.dir/dump.cc.o"
+  "CMakeFiles/somr_xmldump.dir/dump.cc.o.d"
+  "CMakeFiles/somr_xmldump.dir/stream_reader.cc.o"
+  "CMakeFiles/somr_xmldump.dir/stream_reader.cc.o.d"
+  "CMakeFiles/somr_xmldump.dir/xml_reader.cc.o"
+  "CMakeFiles/somr_xmldump.dir/xml_reader.cc.o.d"
+  "libsomr_xmldump.a"
+  "libsomr_xmldump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_xmldump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_test.dir/baselines/korn_matcher_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines/korn_matcher_test.cc.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/position_baseline_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines/position_baseline_test.cc.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/schema_baseline_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines/schema_baseline_test.cc.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/subject_column_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines/subject_column_test.cc.o.d"
+  "baselines_test"
+  "baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/change_classifier_test.cc.o"
+  "CMakeFiles/core_test.dir/core/change_classifier_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/change_cube_test.cc.o"
+  "CMakeFiles/core_test.dir/core/change_cube_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/changes_test.cc.o"
+  "CMakeFiles/core_test.dir/core/changes_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/diff_test.cc.o"
+  "CMakeFiles/core_test.dir/core/diff_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/history_report_test.cc.o"
+  "CMakeFiles/core_test.dir/core/history_report_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

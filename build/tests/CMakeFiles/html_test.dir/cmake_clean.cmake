@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_test.dir/html/dom_test.cc.o"
+  "CMakeFiles/html_test.dir/html/dom_test.cc.o.d"
+  "CMakeFiles/html_test.dir/html/entities_test.cc.o"
+  "CMakeFiles/html_test.dir/html/entities_test.cc.o.d"
+  "CMakeFiles/html_test.dir/html/parser_test.cc.o"
+  "CMakeFiles/html_test.dir/html/parser_test.cc.o.d"
+  "CMakeFiles/html_test.dir/html/tokenizer_test.cc.o"
+  "CMakeFiles/html_test.dir/html/tokenizer_test.cc.o.d"
+  "html_test"
+  "html_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keydisc_test.dir/keydisc/key_discovery_test.cc.o"
+  "CMakeFiles/keydisc_test.dir/keydisc/key_discovery_test.cc.o.d"
+  "CMakeFiles/keydisc_test.dir/keydisc/workload_test.cc.o"
+  "CMakeFiles/keydisc_test.dir/keydisc/workload_test.cc.o.d"
+  "keydisc_test"
+  "keydisc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keydisc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

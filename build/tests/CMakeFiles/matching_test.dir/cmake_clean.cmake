@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_test.dir/matching/graph_io_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/graph_io_test.cc.o.d"
+  "CMakeFiles/matching_test.dir/matching/hungarian_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/hungarian_test.cc.o.d"
+  "CMakeFiles/matching_test.dir/matching/identity_graph_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/identity_graph_test.cc.o.d"
+  "CMakeFiles/matching_test.dir/matching/matcher_property_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/matcher_property_test.cc.o.d"
+  "CMakeFiles/matching_test.dir/matching/matcher_test.cc.o"
+  "CMakeFiles/matching_test.dir/matching/matcher_test.cc.o.d"
+  "matching_test"
+  "matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

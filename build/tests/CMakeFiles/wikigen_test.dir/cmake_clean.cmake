@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikigen_test.dir/wikigen/content_gen_test.cc.o"
+  "CMakeFiles/wikigen_test.dir/wikigen/content_gen_test.cc.o.d"
+  "CMakeFiles/wikigen_test.dir/wikigen/corpus_test.cc.o"
+  "CMakeFiles/wikigen_test.dir/wikigen/corpus_test.cc.o.d"
+  "CMakeFiles/wikigen_test.dir/wikigen/evolver_test.cc.o"
+  "CMakeFiles/wikigen_test.dir/wikigen/evolver_test.cc.o.d"
+  "CMakeFiles/wikigen_test.dir/wikigen/logical_page_test.cc.o"
+  "CMakeFiles/wikigen_test.dir/wikigen/logical_page_test.cc.o.d"
+  "CMakeFiles/wikigen_test.dir/wikigen/render_test.cc.o"
+  "CMakeFiles/wikigen_test.dir/wikigen/render_test.cc.o.d"
+  "wikigen_test"
+  "wikigen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikigen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikitext_test.dir/wikitext/inline_markup_test.cc.o"
+  "CMakeFiles/wikitext_test.dir/wikitext/inline_markup_test.cc.o.d"
+  "CMakeFiles/wikitext_test.dir/wikitext/parser_test.cc.o"
+  "CMakeFiles/wikitext_test.dir/wikitext/parser_test.cc.o.d"
+  "CMakeFiles/wikitext_test.dir/wikitext/serializer_test.cc.o"
+  "CMakeFiles/wikitext_test.dir/wikitext/serializer_test.cc.o.d"
+  "CMakeFiles/wikitext_test.dir/wikitext/to_html_test.cc.o"
+  "CMakeFiles/wikitext_test.dir/wikitext/to_html_test.cc.o.d"
+  "wikitext_test"
+  "wikitext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikitext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmldump_test.dir/xmldump/dump_test.cc.o"
+  "CMakeFiles/xmldump_test.dir/xmldump/dump_test.cc.o.d"
+  "CMakeFiles/xmldump_test.dir/xmldump/stream_reader_test.cc.o"
+  "CMakeFiles/xmldump_test.dir/xmldump/stream_reader_test.cc.o.d"
+  "CMakeFiles/xmldump_test.dir/xmldump/xml_reader_test.cc.o"
+  "CMakeFiles/xmldump_test.dir/xmldump/xml_reader_test.cc.o.d"
+  "xmldump_test"
+  "xmldump_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmldump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

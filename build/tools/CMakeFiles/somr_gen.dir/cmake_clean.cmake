@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_gen.dir/somr_gen.cc.o"
+  "CMakeFiles/somr_gen.dir/somr_gen.cc.o.d"
+  "somr_gen"
+  "somr_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somr_process.dir/somr_process.cc.o"
+  "CMakeFiles/somr_process.dir/somr_process.cc.o.d"
+  "somr_process"
+  "somr_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somr_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
