@@ -5,13 +5,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
 #include "baselines/subject_column.h"
 #include "common/rng.h"
 #include "extract/features.h"
 #include "extract/html_extractor.h"
 #include "extract/wikitext_extractor.h"
 #include "matching/hungarian.h"
+#include "matching/matcher.h"
 #include "sim/similarity.h"
+#include "text/flat_bag.h"
+#include "text/token_pool.h"
 #include "wikigen/content_gen.h"
 #include "wikigen/render.h"
 
@@ -50,6 +58,83 @@ void BM_WeightedRuzicka(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WeightedRuzicka)->Arg(64)->Arg(256);
+
+/// Interns a BagOfWords into `pool` as a FlatBag (bench setup helper).
+FlatBag InternBag(const BagOfWords& bag, TokenPool& pool) {
+  std::vector<uint32_t> ids;
+  for (const auto& [token, count] : bag.counts()) {
+    for (int i = 0; i < static_cast<int>(count); ++i) {
+      ids.push_back(pool.Intern(token));
+    }
+  }
+  return FlatBag::FromTokenIds(std::move(ids));
+}
+
+void BM_FlatRuzicka(benchmark::State& state) {
+  Rng rng(1);
+  int tokens = static_cast<int>(state.range(0));
+  TokenPool pool;
+  FlatBag a = InternBag(MakeBag(rng, tokens, tokens), pool);
+  FlatBag b = InternBag(MakeBag(rng, tokens, tokens), pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::Ruzicka(a, b));
+  }
+}
+BENCHMARK(BM_FlatRuzicka)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FlatWeightedRuzicka(benchmark::State& state) {
+  Rng rng(2);
+  int tokens = static_cast<int>(state.range(0));
+  TokenPool pool;
+  FlatBag a = InternBag(MakeBag(rng, tokens, tokens), pool);
+  FlatBag b = InternBag(MakeBag(rng, tokens, tokens), pool);
+  sim::DenseTokenWeights weights;
+  weights.BuildInverseObjectFrequency({&a, &b}, {&a, &b}, pool.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::WeightedRuzicka(a, b, weights));
+  }
+}
+BENCHMARK(BM_FlatWeightedRuzicka)->Arg(64)->Arg(256);
+
+/// One full matching step (the hot path of Fig. 11): all revisions of a
+/// synthetic page pushed through a fresh TemporalMatcher.
+std::vector<extract::PageObjects> MatcherBenchRevisions() {
+  Rng rng(8);
+  wikigen::ContentGenerator gen(rng, wikigen::PageTheme::kGeneric);
+  wikigen::LogicalPage page;
+  for (int i = 0; i < 8; ++i) {
+    page.InsertObject(i, gen.NewTable(), page.items.size());
+  }
+  std::string source = wikigen::RenderWikitext(page);
+  std::vector<extract::PageObjects> revisions;
+  for (int r = 0; r < 6; ++r) {
+    revisions.push_back(extract::ExtractFromWikitextSource(source));
+  }
+  return revisions;
+}
+
+void RunMatcher(const std::vector<extract::PageObjects>& revisions,
+                bool use_flat) {
+  matching::MatcherConfig config;
+  config.use_flat_kernels = use_flat;
+  matching::TemporalMatcher matcher(extract::ObjectType::kTable, config);
+  for (size_t r = 0; r < revisions.size(); ++r) {
+    matcher.ProcessRevision(static_cast<int>(r), revisions[r].tables);
+  }
+  benchmark::DoNotOptimize(matcher.graph().objects().size());
+}
+
+void BM_MatchingStepLegacy(benchmark::State& state) {
+  auto revisions = MatcherBenchRevisions();
+  for (auto _ : state) RunMatcher(revisions, /*use_flat=*/false);
+}
+BENCHMARK(BM_MatchingStepLegacy);
+
+void BM_MatchingStepFlat(benchmark::State& state) {
+  auto revisions = MatcherBenchRevisions();
+  for (auto _ : state) RunMatcher(revisions, /*use_flat=*/true);
+}
+BENCHMARK(BM_MatchingStepFlat);
 
 void BM_Hungarian(benchmark::State& state) {
   Rng rng(3);
@@ -136,6 +221,98 @@ void BM_SubjectColumnDetection(benchmark::State& state) {
 }
 BENCHMARK(BM_SubjectColumnDetection);
 
+/// Median-of-repeats wall-clock timing for the --json report. Uses plain
+/// chrono rather than the benchmark library so the output stays a small,
+/// stable, machine-diffable file.
+double MeasureNsPerOp(int iters, const std::function<void()>& op) {
+  double best = 1e300;
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) op();
+    auto stop = std::chrono::steady_clock::now();
+    double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+    best = std::min(best, ns / iters);
+  }
+  return best;
+}
+
+/// Writes BENCH_matching.json: ns/op of the matcher's kernels before
+/// (legacy string-hash bags) and after (interned FlatBag merge-joins),
+/// plus the full matching step both ways.
+int WriteJsonReport(const std::string& path) {
+  Rng rng(1);
+  constexpr int kTokens = 256;
+  BagOfWords legacy_a = MakeBag(rng, kTokens, kTokens);
+  BagOfWords legacy_b = MakeBag(rng, kTokens, kTokens);
+  sim::TokenWeighting weighting = sim::TokenWeighting::InverseObjectFrequency(
+      {&legacy_a, &legacy_b}, {&legacy_a, &legacy_b});
+  TokenPool pool;
+  FlatBag flat_a = InternBag(legacy_a, pool);
+  FlatBag flat_b = InternBag(legacy_b, pool);
+  sim::DenseTokenWeights weights;
+  weights.BuildInverseObjectFrequency({&flat_a, &flat_b}, {&flat_a, &flat_b},
+                                      pool.size());
+  auto revisions = MatcherBenchRevisions();
+
+  double sum_min_legacy = MeasureNsPerOp(2000, [&] {
+    benchmark::DoNotOptimize(sim::Ruzicka(legacy_a, legacy_b));
+  });
+  double sum_min_flat = MeasureNsPerOp(20000, [&] {
+    benchmark::DoNotOptimize(sim::Ruzicka(flat_a, flat_b));
+  });
+  double weighted_legacy = MeasureNsPerOp(2000, [&] {
+    benchmark::DoNotOptimize(
+        sim::WeightedRuzicka(legacy_a, legacy_b, weighting));
+  });
+  double weighted_flat = MeasureNsPerOp(20000, [&] {
+    benchmark::DoNotOptimize(sim::WeightedRuzicka(flat_a, flat_b, weights));
+  });
+  double step_legacy =
+      MeasureNsPerOp(50, [&] { RunMatcher(revisions, /*use_flat=*/false); });
+  double step_flat =
+      MeasureNsPerOp(50, [&] { RunMatcher(revisions, /*use_flat=*/true); });
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"tokens_per_bag\": %d,\n"
+               "  \"ns_per_op\": {\n"
+               "    \"sum_min_ruzicka\": {\"legacy\": %.1f, \"flat\": %.1f},\n"
+               "    \"weighted_ruzicka\": {\"legacy\": %.1f, \"flat\": %.1f},\n"
+               "    \"matching_step\": {\"legacy\": %.1f, \"flat\": %.1f}\n"
+               "  }\n"
+               "}\n",
+               kTokens, sum_min_legacy, sum_min_flat, weighted_legacy,
+               weighted_flat, step_legacy, step_flat);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  std::printf("sum_min_ruzicka   legacy %8.1f ns  flat %8.1f ns\n",
+              sum_min_legacy, sum_min_flat);
+  std::printf("weighted_ruzicka  legacy %8.1f ns  flat %8.1f ns\n",
+              weighted_legacy, weighted_flat);
+  std::printf("matching_step     legacy %8.1f ns  flat %8.1f ns\n",
+              step_legacy, step_flat);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      std::string path = i + 1 < argc ? argv[i + 1] : "BENCH_matching.json";
+      return WriteJsonReport(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -103,19 +103,35 @@ bool LooksNumeric(std::string_view s) {
 }
 
 std::string CollapseWhitespace(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  bool in_space = true;  // true at start drops leading whitespace
-  for (char c : s) {
-    if (IsAsciiSpace(c)) {
-      if (!in_space) out.push_back(' ');
-      in_space = true;
-    } else {
-      out.push_back(c);
-      in_space = false;
+  // Trim first, then check whether the interior is already collapsed —
+  // most strings are, and then a single bulk copy suffices.
+  size_t begin = 0, end = s.size();
+  while (begin < end && IsAsciiSpace(s[begin])) ++begin;
+  while (end > begin && IsAsciiSpace(s[end - 1])) --end;
+  std::string_view t = s.substr(begin, end - begin);
+  bool clean = true;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (IsAsciiSpace(t[i]) &&
+        (t[i] != ' ' || (i + 1 < t.size() && IsAsciiSpace(t[i + 1])))) {
+      clean = false;
+      break;
     }
   }
-  if (!out.empty() && out.back() == ' ') out.pop_back();
+  if (clean) return std::string(t);
+  std::string out;
+  out.reserve(t.size());
+  size_t i = 0;
+  while (i < t.size()) {
+    if (IsAsciiSpace(t[i])) {
+      out.push_back(' ');
+      do { ++i; } while (i < t.size() && IsAsciiSpace(t[i]));
+    } else {
+      size_t j = i;
+      while (j < t.size() && !IsAsciiSpace(t[j])) ++j;
+      out.append(t.substr(i, j - i));
+      i = j;
+    }
+  }
   return out;
 }
 

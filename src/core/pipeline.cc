@@ -33,12 +33,12 @@ PageResult Pipeline::ProcessPage(const xmldump::PageHistory& page) const {
   for (size_t r = 0; r < result.revisions.size(); ++r) {
     matcher.ProcessRevision(static_cast<int>(r), result.revisions[r]);
   }
-  result.tables = matcher.GraphFor(extract::ObjectType::kTable);
-  result.infoboxes = matcher.GraphFor(extract::ObjectType::kInfobox);
-  result.lists = matcher.GraphFor(extract::ObjectType::kList);
-  result.table_stats = matcher.StatsFor(extract::ObjectType::kTable);
-  result.infobox_stats = matcher.StatsFor(extract::ObjectType::kInfobox);
-  result.list_stats = matcher.StatsFor(extract::ObjectType::kList);
+  result.tables = matcher.TakeGraph(extract::ObjectType::kTable);
+  result.infoboxes = matcher.TakeGraph(extract::ObjectType::kInfobox);
+  result.lists = matcher.TakeGraph(extract::ObjectType::kList);
+  result.table_stats = matcher.TakeStats(extract::ObjectType::kTable);
+  result.infobox_stats = matcher.TakeStats(extract::ObjectType::kInfobox);
+  result.list_stats = matcher.TakeStats(extract::ObjectType::kList);
   return result;
 }
 

@@ -24,6 +24,25 @@ BagOfWords BuildBagOfWords(const ObjectInstance& obj,
   return bag;
 }
 
+FlatBag BuildFlatBag(const ObjectInstance& obj, TokenPool& pool,
+                     const FeatureOptions& options) {
+  std::vector<uint32_t> ids;
+  auto add = [&](std::string_view text) {
+    TokenizeTruncatedTo(text, options.element_token_limit,
+                        [&](std::string_view token) {
+                          ids.push_back(pool.Intern(token));
+                        });
+  };
+  for (const auto& row : obj.rows) {
+    for (const auto& cell : row) add(cell);
+  }
+  if (options.include_caption && !obj.caption.empty()) add(obj.caption);
+  if (options.include_section_headers) {
+    for (const std::string& title : obj.section_path) add(title);
+  }
+  return FlatBag::FromTokenIds(std::move(ids));
+}
+
 BagOfWords BuildSchemaBag(const ObjectInstance& obj) {
   BagOfWords bag;
   for (const std::string& header : obj.schema) {

@@ -3,6 +3,8 @@
 
 #include "extract/object.h"
 #include "text/bag_of_words.h"
+#include "text/flat_bag.h"
+#include "text/token_pool.h"
 
 namespace somr::extract {
 
@@ -25,6 +27,13 @@ struct FeatureOptions {
 /// plus the enclosing section titles and caption.
 BagOfWords BuildBagOfWords(const ObjectInstance& obj,
                            const FeatureOptions& options = {});
+
+/// Interned fast path of BuildBagOfWords: emits the exact same token
+/// multiset, but interns tokens into `pool` as they stream out of the
+/// tokenizer and compiles them straight into a FlatBag — no intermediate
+/// per-bag string hash map, no per-token string allocations.
+FlatBag BuildFlatBag(const ObjectInstance& obj, TokenPool& pool,
+                     const FeatureOptions& options = {});
 
 /// Builds the schema bag (header cells / infobox keys) used by the schema
 /// baseline. Not truncated — schema elements are short.

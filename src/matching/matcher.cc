@@ -4,7 +4,6 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
-#include <unordered_map>
 
 #include "common/timer.h"
 #include "matching/hungarian.h"
@@ -22,18 +21,12 @@ namespace {
 constexpr double kLifetimeEps = 1e-6;
 constexpr double kPosEps = 1e-8;
 
-/// Cache key for pairwise similarities within one matching step.
-struct PairKey {
-  size_t tracked;
-  size_t incoming;
-  bool operator==(const PairKey&) const = default;
-};
-
-struct PairKeyHash {
-  size_t operator()(const PairKey& key) const {
-    return key.tracked * 1000003u + key.incoming;
-  }
-};
+// Per-step pairwise similarity caches are flat |tracked| x |incoming|
+// vectors indexed by ti * |incoming| + ni, NaN = not yet computed — no
+// hashing on the cache path (this replaced the old unordered_map caches
+// keyed by a hand-rolled PairKeyHash).
+constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
+constexpr double kPruned = -std::numeric_limits<double>::infinity();
 
 }  // namespace
 
@@ -45,9 +38,6 @@ double TemporalMatcher::DecayedSim(sim::SimilarityKind kind,
                                    const Tracked& tracked,
                                    const BagOfWords& candidate,
                                    const sim::TokenWeighting& weighting) {
-  stats_.similarities_computed +=
-      std::min<size_t>(tracked.recent_bags.size(),
-                       static_cast<size_t>(config_.rear_view_window));
   double best = 0.0;
   double decay = 1.0;
   int considered = 0;
@@ -55,6 +45,9 @@ double TemporalMatcher::DecayedSim(sim::SimilarityKind kind,
        it != tracked.recent_bags.rend() &&
        considered < config_.rear_view_window;
        ++it, ++considered) {
+    // Count here, not up front: pruned or short histories must not
+    // inflate the similarity counter (it feeds the Fig. 11 benchmarks).
+    ++stats_.similarities_computed;
     double s = decay * sim::Similarity(kind, *it, candidate, weighting);
     best = std::max(best, s);
     decay *= config_.decay;
@@ -78,51 +71,13 @@ double TemporalMatcher::TieBreakBonus(const Tracked& tracked,
   return bonus;
 }
 
-void TemporalMatcher::ProcessRevision(
-    int revision_index, const std::vector<extract::ObjectInstance>& instances) {
-  Timer timer;
-
-  // Build bags for the incoming instances.
-  std::vector<BagOfWords> incoming_bags;
-  incoming_bags.reserve(instances.size());
-  for (const extract::ObjectInstance& obj : instances) {
-    incoming_bags.push_back(extract::BuildBagOfWords(obj, config_.features));
-  }
-
-  // Token weighting for this step (Sec. IV-B2).
-  sim::TokenWeighting weighting;
-  if (config_.use_idf_weighting) {
-    std::vector<const BagOfWords*> prev_bags;
-    prev_bags.reserve(tracked_.size());
-    for (const Tracked& t : tracked_) {
-      if (!t.recent_bags.empty()) prev_bags.push_back(&t.recent_bags.back());
-    }
-    std::vector<const BagOfWords*> new_bags;
-    new_bags.reserve(incoming_bags.size());
-    for (const BagOfWords& bag : incoming_bags) new_bags.push_back(&bag);
-    weighting =
-        sim::TokenWeighting::InverseObjectFrequency(prev_bags, new_bags);
-  }
-
+template <typename SimFn, typename AllowFn>
+void TemporalMatcher::RunStages(
+    int revision_index, const std::vector<extract::ObjectInstance>& instances,
+    SimFn&& sim_at_least, AllowFn&& pair_allowed,
+    std::vector<int64_t>& assignment) {
   std::vector<bool> tracked_matched(tracked_.size(), false);
   std::vector<bool> incoming_matched(instances.size(), false);
-  std::vector<int64_t> assignment(instances.size(), -1);
-
-  // Similarity caches shared across stages: stage 2 reuses stage-1 strict
-  // similarities (Sec. IV-B4).
-  std::unordered_map<PairKey, double, PairKeyHash> strict_cache;
-  std::unordered_map<PairKey, double, PairKeyHash> relaxed_cache;
-
-  auto cached_sim = [&](sim::SimilarityKind kind, size_t ti, size_t ni) {
-    auto& cache = kind == sim::SimilarityKind::kStrict ? strict_cache
-                                                       : relaxed_cache;
-    PairKey key{ti, ni};
-    auto it = cache.find(key);
-    if (it != cache.end()) return it->second;
-    double s = DecayedSim(kind, tracked_[ti], incoming_bags[ni], weighting);
-    cache.emplace(key, s);
-    return s;
-  };
 
   struct Stage {
     bool local_only;
@@ -154,8 +109,11 @@ void TemporalMatcher::ProcessRevision(
           int diff = std::abs(tracked_[ti].last_position -
                               instances[ni].position);
           if (diff > config_.theta_pos) continue;
+        } else if (!pair_allowed(ti, ni)) {
+          ++stats_.pairs_blocked;
+          continue;
         }
-        double s = cached_sim(stage.kind, ti, ni);
+        double s = sim_at_least(stage.kind, stage.threshold, ti, ni);
         if (s < stage.threshold) continue;
         double weight = s + TieBreakBonus(tracked_[ti],
                                           instances[ni].position,
@@ -174,9 +132,12 @@ void TemporalMatcher::ProcessRevision(
       ++*stage.match_counter;
     }
   }
+}
 
-  // Apply the assignments and create new objects for the leftovers
-  // (Alg. 1 line 7).
+template <typename AppendFn>
+void TemporalMatcher::CommitAssignments(
+    int revision_index, const std::vector<extract::ObjectInstance>& instances,
+    const std::vector<int64_t>& assignment, AppendFn&& append_bag) {
   for (size_t ni = 0; ni < instances.size(); ++ni) {
     VersionRef ref{revision_index, instances[ni].position};
     int64_t object_id = assignment[ni];
@@ -193,16 +154,248 @@ void TemporalMatcher::ProcessRevision(
     // Update the rear-view history of the (new or matched) object.
     // Object ids are assigned sequentially, so they index tracked_.
     Tracked& t = tracked_[static_cast<size_t>(object_id)];
-    t.recent_bags.push_back(incoming_bags[ni]);
-    while (t.recent_bags.size() >
-           static_cast<size_t>(std::max(config_.rear_view_window, 1))) {
-      t.recent_bags.pop_front();
-    }
+    append_bag(t, ni);
     t.last_position = instances[ni].position;
     t.last_revision = revision_index;
   }
+}
 
+void TemporalMatcher::ProcessRevision(
+    int revision_index, const std::vector<extract::ObjectInstance>& instances) {
+  Timer timer;
+  if (config_.use_flat_kernels) {
+    ProcessRevisionFlat(revision_index, instances);
+  } else {
+    ProcessRevisionLegacy(revision_index, instances);
+  }
   stats_.step_millis.push_back(timer.ElapsedMillis());
+}
+
+void TemporalMatcher::ProcessRevisionFlat(
+    int revision_index, const std::vector<extract::ObjectInstance>& instances) {
+  const size_t nt = tracked_.size();
+  const size_t nn = instances.size();
+  const size_t window =
+      static_cast<size_t>(std::max(config_.rear_view_window, 1));
+
+  // Compile the incoming instances straight into interned flat bags.
+  std::vector<FlatBag> incoming;
+  incoming.reserve(nn);
+  for (const extract::ObjectInstance& obj : instances) {
+    incoming.push_back(extract::BuildFlatBag(obj, pool_, config_.features));
+  }
+
+  // Dense token weighting for this step (Sec. IV-B2).
+  if (config_.use_idf_weighting) {
+    std::vector<const FlatBag*> prev_bags;
+    prev_bags.reserve(nt);
+    for (const Tracked& t : tracked_) {
+      if (!t.recent_flat.empty()) prev_bags.push_back(&t.recent_flat.back());
+    }
+    std::vector<const FlatBag*> new_bags;
+    new_bags.reserve(nn);
+    for (const FlatBag& bag : incoming) new_bags.push_back(&bag);
+    weights_.BuildInverseObjectFrequency(prev_bags, new_bags, pool_.size());
+  } else {
+    weights_.BuildUniform();
+  }
+
+  // Weighted totals, once per bag per step instead of once per pair:
+  // they feed both the similarity kernels and the upper-bound prune.
+  std::vector<double> incoming_total(nn);
+  for (size_t ni = 0; ni < nn; ++ni) {
+    incoming_total[ni] = sim::WeightedTotal(incoming[ni], weights_);
+  }
+  std::vector<size_t> hist_offset(nt + 1, 0);  // CSR over history bags
+  for (size_t ti = 0; ti < nt; ++ti) {
+    hist_offset[ti + 1] = hist_offset[ti] + tracked_[ti].recent_flat.size();
+  }
+  std::vector<double> hist_total(hist_offset[nt]);
+  for (size_t ti = 0; ti < nt; ++ti) {
+    const Tracked& t = tracked_[ti];
+    for (size_t h = 0; h < t.recent_flat.size(); ++h) {
+      hist_total[hist_offset[ti] + h] =
+          sim::WeightedTotal(t.recent_flat[h], weights_);
+    }
+  }
+
+  // Optional LSH candidate blocking for the non-local stages.
+  std::vector<char> lsh_mask;  // empty = all pairs allowed
+  if (config_.enable_lsh_blocking && nt > 0 && nn > 0 &&
+      nt * nn > config_.lsh_min_pair_count) {
+    const int num_hashes = config_.lsh_bands * config_.lsh_rows;
+    sim::LshIndex index(config_.lsh_bands, config_.lsh_rows);
+    for (size_t ni = 0; ni < nn; ++ni) {
+      index.Add(static_cast<int>(ni),
+                sim::ComputeMinHash(incoming[ni], num_hashes));
+    }
+    lsh_mask.assign(nt * nn, 0);
+    for (size_t ti = 0; ti < nt; ++ti) {
+      if (tracked_[ti].newest_sig.empty()) continue;
+      for (int ni : index.Candidates(tracked_[ti].newest_sig)) {
+        lsh_mask[ti * nn + static_cast<size_t>(ni)] = 1;
+      }
+    }
+  }
+
+  // Decayed upper bound for the strict measure: max over the rear-view
+  // window of phi^i * min(Wa_i, Wb) / max(Wa_i, Wb). Totals only — no
+  // token data touched.
+  // The sim loops honor the raw window (0 = no lookback, like the legacy
+  // DecayedSim); only history trimming clamps it to >= 1.
+  const size_t sim_window =
+      static_cast<size_t>(std::max(config_.rear_view_window, 0));
+
+  auto pair_bound = [&](size_t ti, size_t ni) {
+    const Tracked& t = tracked_[ti];
+    const size_t hist = t.recent_flat.size();
+    const bool cand_empty = incoming[ni].empty();
+    const double wb = incoming_total[ni];
+    double bound = 0.0;
+    double decay = 1.0;
+    size_t considered = 0;
+    for (size_t back = 0; back < hist && considered < sim_window;
+         ++back, ++considered) {
+      if (decay <= bound) break;  // phi^i decreasing, ratios <= 1
+      const size_t h = hist - 1 - back;
+      bound = std::max(
+          bound, decay * sim::SimilarityUpperBound(
+                             sim::SimilarityKind::kStrict,
+                             t.recent_flat[h].empty(), cand_empty,
+                             hist_total[hist_offset[ti] + h], wb));
+      decay *= config_.decay;
+    }
+    return bound;
+  };
+
+  // Exact decayed similarity, skipping history versions whose bound
+  // cannot beat the best seen so far (skips never change the max).
+  auto exact_sim = [&](sim::SimilarityKind kind, size_t ti, size_t ni) {
+    const Tracked& t = tracked_[ti];
+    const FlatBag& cand = incoming[ni];
+    const size_t hist = t.recent_flat.size();
+    const double wb = incoming_total[ni];
+    double best = 0.0;
+    double decay = 1.0;
+    size_t considered = 0;
+    for (size_t back = 0; back < hist && considered < sim_window;
+         ++back, ++considered) {
+      if (decay <= best) break;  // sims <= 1: no later version can win
+      const size_t h = hist - 1 - back;
+      const FlatBag& version = t.recent_flat[h];
+      const double wa = hist_total[hist_offset[ti] + h];
+      double cap = sim::SimilarityUpperBound(kind, version.empty(),
+                                             cand.empty(), wa, wb);
+      if (decay * cap > best) {
+        ++stats_.similarities_computed;
+        best = std::max(best, decay * sim::SimilarityFromTotals(
+                                          kind, version, cand, weights_,
+                                          wa, wb));
+      }
+      decay *= config_.decay;
+    }
+    return best;
+  };
+
+  std::vector<double> strict_cache(nt * nn, kUnset);
+  std::vector<double> relaxed_cache(nt * nn, kUnset);
+  std::vector<double> strict_bound(nt * nn, kUnset);
+
+  auto sim_at_least = [&](sim::SimilarityKind kind, double threshold,
+                          size_t ti, size_t ni) {
+    const size_t idx = ti * nn + ni;
+    std::vector<double>& cache = kind == sim::SimilarityKind::kStrict
+                                     ? strict_cache
+                                     : relaxed_cache;
+    if (!std::isnan(cache[idx])) return cache[idx];
+    if (kind == sim::SimilarityKind::kStrict) {
+      double& bound = strict_bound[idx];
+      if (std::isnan(bound)) bound = pair_bound(ti, ni);
+      if (bound < threshold) {
+        // Provably below this stage's threshold: skip the merge-joins.
+        // Not cached — a later stage with a lower threshold re-checks.
+        ++stats_.pairs_pruned;
+        return kPruned;
+      }
+    }
+    double s = exact_sim(kind, ti, ni);
+    cache[idx] = s;
+    return s;
+  };
+
+  auto pair_allowed = [&](size_t ti, size_t ni) {
+    return lsh_mask.empty() || lsh_mask[ti * nn + ni] != 0;
+  };
+
+  std::vector<int64_t> assignment(nn, -1);
+  RunStages(revision_index, instances, sim_at_least, pair_allowed,
+            assignment);
+  CommitAssignments(
+      revision_index, instances, assignment, [&](Tracked& t, size_t ni) {
+        t.recent_flat.push_back(std::move(incoming[ni]));
+        while (t.recent_flat.size() > window) t.recent_flat.pop_front();
+        if (config_.enable_lsh_blocking) {
+          t.newest_sig = sim::ComputeMinHash(
+              t.recent_flat.back(), config_.lsh_bands * config_.lsh_rows);
+        }
+      });
+}
+
+void TemporalMatcher::ProcessRevisionLegacy(
+    int revision_index, const std::vector<extract::ObjectInstance>& instances) {
+  const size_t nn = instances.size();
+  const size_t window =
+      static_cast<size_t>(std::max(config_.rear_view_window, 1));
+
+  // Build bags for the incoming instances.
+  std::vector<BagOfWords> incoming_bags;
+  incoming_bags.reserve(nn);
+  for (const extract::ObjectInstance& obj : instances) {
+    incoming_bags.push_back(extract::BuildBagOfWords(obj, config_.features));
+  }
+
+  // Token weighting for this step (Sec. IV-B2).
+  sim::TokenWeighting weighting;
+  if (config_.use_idf_weighting) {
+    std::vector<const BagOfWords*> prev_bags;
+    prev_bags.reserve(tracked_.size());
+    for (const Tracked& t : tracked_) {
+      if (!t.recent_bags.empty()) prev_bags.push_back(&t.recent_bags.back());
+    }
+    std::vector<const BagOfWords*> new_bags;
+    new_bags.reserve(incoming_bags.size());
+    for (const BagOfWords& bag : incoming_bags) new_bags.push_back(&bag);
+    weighting =
+        sim::TokenWeighting::InverseObjectFrequency(prev_bags, new_bags);
+  }
+
+  // Similarity caches shared across stages: stage 2 reuses stage-1 strict
+  // similarities (Sec. IV-B4).
+  std::vector<double> strict_cache(tracked_.size() * nn, kUnset);
+  std::vector<double> relaxed_cache(tracked_.size() * nn, kUnset);
+
+  auto sim_at_least = [&](sim::SimilarityKind kind, double /*threshold*/,
+                          size_t ti, size_t ni) {
+    const size_t idx = ti * nn + ni;
+    std::vector<double>& cache = kind == sim::SimilarityKind::kStrict
+                                     ? strict_cache
+                                     : relaxed_cache;
+    if (!std::isnan(cache[idx])) return cache[idx];
+    double s = DecayedSim(kind, tracked_[ti], incoming_bags[ni], weighting);
+    cache[idx] = s;
+    return s;
+  };
+
+  auto pair_allowed = [](size_t, size_t) { return true; };
+
+  std::vector<int64_t> assignment(nn, -1);
+  RunStages(revision_index, instances, sim_at_least, pair_allowed,
+            assignment);
+  CommitAssignments(
+      revision_index, instances, assignment, [&](Tracked& t, size_t ni) {
+        t.recent_bags.push_back(std::move(incoming_bags[ni]));
+        while (t.recent_bags.size() > window) t.recent_bags.pop_front();
+      });
 }
 
 PageMatcher::PageMatcher(MatcherConfig config)
@@ -215,6 +408,18 @@ void PageMatcher::ProcessRevision(int revision_index,
   tables_.ProcessRevision(revision_index, objects.tables);
   infoboxes_.ProcessRevision(revision_index, objects.infoboxes);
   lists_.ProcessRevision(revision_index, objects.lists);
+}
+
+TemporalMatcher& PageMatcher::MatcherFor(extract::ObjectType type) {
+  switch (type) {
+    case extract::ObjectType::kTable:
+      return tables_;
+    case extract::ObjectType::kInfobox:
+      return infoboxes_;
+    case extract::ObjectType::kList:
+      return lists_;
+  }
+  return tables_;
 }
 
 const IdentityGraph& PageMatcher::GraphFor(extract::ObjectType type) const {
@@ -239,6 +444,14 @@ const MatchStats& PageMatcher::StatsFor(extract::ObjectType type) const {
       return lists_.stats();
   }
   return tables_.stats();
+}
+
+IdentityGraph PageMatcher::TakeGraph(extract::ObjectType type) {
+  return MatcherFor(type).TakeGraph();
+}
+
+MatchStats PageMatcher::TakeStats(extract::ObjectType type) {
+  return MatcherFor(type).TakeStats();
 }
 
 }  // namespace somr::matching

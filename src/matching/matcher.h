@@ -9,8 +9,11 @@
 #include "extract/object.h"
 #include "matching/identity_graph.h"
 #include "matching/interface.h"
+#include "sim/minhash.h"
 #include "sim/similarity.h"
 #include "text/bag_of_words.h"
+#include "text/flat_bag.h"
+#include "text/token_pool.h"
 
 namespace somr::matching {
 
@@ -44,6 +47,24 @@ struct MatcherConfig {
   bool enable_stage3 = true;
   /// Lifetime tie-breaker (prefer objects with longer histories).
   bool enable_lifetime_tiebreak = true;
+  /// Interned-token similarity engine: tokens are interned into a
+  /// per-matcher TokenPool, bags are compiled to sorted FlatBags, and
+  /// similarities run as merge-joins with a weighted-total upper-bound
+  /// prune. Exact — produces the same identity graph as the legacy
+  /// string-hash path, which is kept (flag off) as the reference
+  /// implementation for the equivalence test.
+  bool use_flat_kernels = true;
+  /// Optional MinHash/LSH candidate blocking for the non-local stages
+  /// (2 and 3), engaged only when |tracked| * |incoming| exceeds
+  /// lsh_min_pair_count. APPROXIMATE: pairs that share no LSH band are
+  /// never compared, which can drop low-similarity matches — see
+  /// DESIGN.md ("Similarity kernel & blocking") for when this is safe.
+  /// Off by default; below the pair threshold the matcher always falls
+  /// back to the exact all-pairs path. Flat engine only.
+  bool enable_lsh_blocking = false;
+  size_t lsh_min_pair_count = 4096;
+  int lsh_bands = 16;
+  int lsh_rows = 4;
   /// Bag-of-words construction options.
   extract::FeatureOptions features;
 };
@@ -56,6 +77,11 @@ struct MatchStats {
   size_t stage2_matches = 0;
   size_t stage3_matches = 0;
   size_t new_objects = 0;
+  /// Pairs skipped because the weighted-total upper bound proved the
+  /// decayed similarity below the stage threshold (no merge-join run).
+  size_t pairs_pruned = 0;
+  /// Pairs never compared because LSH blocking filtered them.
+  size_t pairs_blocked = 0;
 };
 
 /// Matches the object instances of one object type on one page across its
@@ -77,14 +103,49 @@ class TemporalMatcher : public RevisionMatcher {
   const MatchStats& stats() const { return stats_; }
   const MatcherConfig& config() const { return config_; }
 
+  /// Destructive accessors for pipeline code that owns the matcher and
+  /// wants the result without copying the graph.
+  IdentityGraph TakeGraph() { return std::move(graph_); }
+  MatchStats TakeStats() { return std::move(stats_); }
+
  private:
   struct Tracked {
     int64_t id = 0;
-    std::deque<BagOfWords> recent_bags;  // oldest .. newest, size <= k
+    std::deque<BagOfWords> recent_bags;  // legacy engine: oldest..newest
+    std::deque<FlatBag> recent_flat;     // flat engine: oldest..newest
+    sim::MinHashSignature newest_sig;    // only kept for LSH blocking
     int last_position = 0;
     int first_revision = 0;
     int last_revision = 0;
   };
+
+  void ProcessRevisionFlat(
+      int revision_index,
+      const std::vector<extract::ObjectInstance>& instances);
+  void ProcessRevisionLegacy(
+      int revision_index,
+      const std::vector<extract::ObjectInstance>& instances);
+
+  /// Runs the enabled matching stages over the unmatched pairs.
+  /// `sim_at_least(kind, threshold, ti, ni)` returns the exact decayed
+  /// similarity, or -infinity when the pair is provably below
+  /// `threshold`; `pair_allowed(ti, ni)` gates the non-local stages
+  /// (LSH blocking).
+  template <typename SimFn, typename AllowFn>
+  void RunStages(int revision_index,
+                 const std::vector<extract::ObjectInstance>& instances,
+                 SimFn&& sim_at_least, AllowFn&& pair_allowed,
+                 std::vector<int64_t>& assignment);
+
+  /// Applies `assignment` to the graph: appends matched instances to
+  /// their objects, creates new objects for the rest (Alg. 1 line 7),
+  /// and updates each touched object's rear-view history via
+  /// `append_bag(tracked, ni)`.
+  template <typename AppendFn>
+  void CommitAssignments(
+      int revision_index,
+      const std::vector<extract::ObjectInstance>& instances,
+      const std::vector<int64_t>& assignment, AppendFn&& append_bag);
 
   double DecayedSim(sim::SimilarityKind kind, const Tracked& tracked,
                     const BagOfWords& candidate,
@@ -100,6 +161,8 @@ class TemporalMatcher : public RevisionMatcher {
   IdentityGraph graph_;
   MatchStats stats_;
   std::vector<Tracked> tracked_;
+  TokenPool pool_;                   // flat engine: page-lifetime interning
+  sim::DenseTokenWeights weights_;   // flat engine: per-step IDF weights
 };
 
 /// Convenience driver that runs three TemporalMatchers (tables, infoboxes,
@@ -114,7 +177,12 @@ class PageMatcher {
   const IdentityGraph& GraphFor(extract::ObjectType type) const;
   const MatchStats& StatsFor(extract::ObjectType type) const;
 
+  IdentityGraph TakeGraph(extract::ObjectType type);
+  MatchStats TakeStats(extract::ObjectType type);
+
  private:
+  TemporalMatcher& MatcherFor(extract::ObjectType type);
+
   TemporalMatcher tables_;
   TemporalMatcher infoboxes_;
   TemporalMatcher lists_;

@@ -36,6 +36,21 @@ MinHashSignature ComputeMinHash(const BagOfWords& bag, int num_hashes,
   return signature;
 }
 
+MinHashSignature ComputeMinHash(const FlatBag& bag, int num_hashes,
+                                uint64_t seed) {
+  MinHashSignature signature(
+      static_cast<size_t>(std::max(num_hashes, 0)),
+      std::numeric_limits<uint64_t>::max());
+  for (const FlatEntry& entry : bag.entries()) {
+    uint64_t base = Mix(0x9e3779b97f4a7c15ULL + entry.id);
+    for (size_t h = 0; h < signature.size(); ++h) {
+      uint64_t value = Mix(base ^ Mix(seed + h));
+      signature[h] = std::min(signature[h], value);
+    }
+  }
+  return signature;
+}
+
 double EstimateJaccard(const MinHashSignature& a,
                        const MinHashSignature& b) {
   size_t n = std::min(a.size(), b.size());

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "text/bag_of_words.h"
+#include "text/flat_bag.h"
 
 namespace somr::sim {
 
@@ -19,6 +20,13 @@ using MinHashSignature = std::vector<uint64_t>;
 /// Computes a `num_hashes`-long signature. Deterministic for a given
 /// (bag, num_hashes, seed).
 MinHashSignature ComputeMinHash(const BagOfWords& bag, int num_hashes,
+                                uint64_t seed = 0x5eed);
+
+/// FlatBag variant used by the matcher's LSH blocking: hashes interned
+/// token ids instead of spellings, so the per-token base hash is one
+/// multiply instead of a string FNV pass. Signatures are only comparable
+/// to other FlatBag signatures from the same TokenPool.
+MinHashSignature ComputeMinHash(const FlatBag& bag, int num_hashes,
                                 uint64_t seed = 0x5eed);
 
 /// Unbiased estimate of the token-set Jaccard similarity.

@@ -82,6 +82,147 @@ double Similarity(SimilarityKind kind, const BagOfWords& a,
   return 0.0;
 }
 
+void DenseTokenWeights::BuildInverseObjectFrequency(
+    const std::vector<const FlatBag*>& previous,
+    const std::vector<const FlatBag*>& incoming, uint32_t pool_size) {
+  for (uint32_t id : touched_) {
+    weights_[id] = 1.0;
+    prev_df_[id] = 0;
+    new_df_[id] = 0;
+  }
+  touched_.clear();
+  if (weights_.size() < pool_size) {
+    weights_.resize(pool_size, 1.0);
+    prev_df_.resize(pool_size, 0);
+    new_df_.resize(pool_size, 0);
+  }
+  auto count = [this](const std::vector<const FlatBag*>& bags,
+                      std::vector<int32_t>& df) {
+    for (const FlatBag* bag : bags) {
+      for (const FlatEntry& e : bag->entries()) {
+        if (prev_df_[e.id] == 0 && new_df_[e.id] == 0) {
+          touched_.push_back(e.id);
+        }
+        ++df[e.id];
+      }
+    }
+  };
+  count(previous, prev_df_);
+  count(incoming, new_df_);
+  for (uint32_t id : touched_) {
+    int32_t denom = std::max(prev_df_[id], new_df_[id]);
+    if (denom > 1) weights_[id] = 1.0 / denom;
+  }
+  uniform_ = false;
+}
+
+double SumMin(const FlatBag& a, const FlatBag& b) {
+  const std::vector<FlatEntry>& ea = a.entries();
+  const std::vector<FlatEntry>& eb = b.entries();
+  size_t i = 0, j = 0;
+  double sum = 0.0;
+  while (i < ea.size() && j < eb.size()) {
+    uint32_t ia = ea[i].id, ib = eb[j].id;
+    if (ia < ib) {
+      ++i;
+    } else if (ib < ia) {
+      ++j;
+    } else {
+      sum += ea[i].count < eb[j].count ? ea[i].count : eb[j].count;
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double WeightedSumMin(const FlatBag& a, const FlatBag& b,
+                      const DenseTokenWeights& weights) {
+  if (weights.IsUniform()) return SumMin(a, b);
+  const std::vector<FlatEntry>& ea = a.entries();
+  const std::vector<FlatEntry>& eb = b.entries();
+  size_t i = 0, j = 0;
+  double sum = 0.0;
+  while (i < ea.size() && j < eb.size()) {
+    uint32_t ia = ea[i].id, ib = eb[j].id;
+    if (ia < ib) {
+      ++i;
+    } else if (ib < ia) {
+      ++j;
+    } else {
+      sum += weights.Weight(ia) *
+             (ea[i].count < eb[j].count ? ea[i].count : eb[j].count);
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double WeightedTotal(const FlatBag& bag, const DenseTokenWeights& weights) {
+  if (weights.IsUniform()) return bag.TotalCount();
+  double sum = 0.0;
+  for (const FlatEntry& e : bag.entries()) {
+    sum += weights.Weight(e.id) * e.count;
+  }
+  return sum;
+}
+
+double SimilarityFromTotals(SimilarityKind kind, const FlatBag& a,
+                            const FlatBag& b,
+                            const DenseTokenWeights& weights, double total_a,
+                            double total_b) {
+  if (a.empty() && b.empty()) return 1.0;
+  switch (kind) {
+    case SimilarityKind::kStrict: {
+      double sum_min = WeightedSumMin(a, b, weights);
+      double sum_max = total_a + total_b - sum_min;
+      return sum_max <= 0.0 ? 0.0 : sum_min / sum_max;
+    }
+    case SimilarityKind::kRelaxed: {
+      double smaller = std::min(total_a, total_b);
+      if (smaller <= 0.0) return 0.0;
+      return WeightedSumMin(a, b, weights) / smaller;
+    }
+  }
+  return 0.0;
+}
+
+double SimilarityUpperBound(SimilarityKind kind, bool a_empty, bool b_empty,
+                            double total_a, double total_b) {
+  if (a_empty && b_empty) return 1.0;
+  if (kind == SimilarityKind::kRelaxed) return 1.0;
+  double lo = std::min(total_a, total_b);
+  double hi = std::max(total_a, total_b);
+  return hi <= 0.0 ? 0.0 : lo / hi;
+}
+
+double Ruzicka(const FlatBag& a, const FlatBag& b) {
+  DenseTokenWeights uniform;
+  return SimilarityFromTotals(SimilarityKind::kStrict, a, b, uniform,
+                              a.TotalCount(), b.TotalCount());
+}
+
+double Containment(const FlatBag& a, const FlatBag& b) {
+  DenseTokenWeights uniform;
+  return SimilarityFromTotals(SimilarityKind::kRelaxed, a, b, uniform,
+                              a.TotalCount(), b.TotalCount());
+}
+
+double WeightedRuzicka(const FlatBag& a, const FlatBag& b,
+                       const DenseTokenWeights& weights) {
+  return SimilarityFromTotals(SimilarityKind::kStrict, a, b, weights,
+                              WeightedTotal(a, weights),
+                              WeightedTotal(b, weights));
+}
+
+double WeightedContainment(const FlatBag& a, const FlatBag& b,
+                           const DenseTokenWeights& weights) {
+  return SimilarityFromTotals(SimilarityKind::kRelaxed, a, b, weights,
+                              WeightedTotal(a, weights),
+                              WeightedTotal(b, weights));
+}
+
 double DecayedSimilarity(SimilarityKind kind,
                          const std::vector<const BagOfWords*>& history,
                          const BagOfWords& candidate, int k, double phi,

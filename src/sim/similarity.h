@@ -1,11 +1,13 @@
 #ifndef SOMR_SIM_SIMILARITY_H_
 #define SOMR_SIM_SIMILARITY_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "text/bag_of_words.h"
+#include "text/flat_bag.h"
 
 namespace somr::sim {
 
@@ -33,6 +35,41 @@ class TokenWeighting {
 
  private:
   std::unordered_map<std::string, double> weights_;
+};
+
+/// Dense, id-indexed form of TokenWeighting for the interned-token
+/// similarity kernels: weights live in a flat vector indexed by token id,
+/// so a lookup is one load instead of a string hash. The backing vector
+/// and the document-frequency scratch persist across matching steps and
+/// are reset lazily (only the ids touched by the previous step), which
+/// keeps the per-step cost proportional to the tokens actually in play
+/// rather than the whole pool.
+class DenseTokenWeights {
+ public:
+  DenseTokenWeights() = default;
+
+  /// Every token weighs 1 (IDF weighting disabled).
+  void BuildUniform() { uniform_ = true; }
+
+  /// Computes the inverse-object-frequency weighting for one matching
+  /// step, equivalent to TokenWeighting::InverseObjectFrequency but over
+  /// interned ids. `pool_size` must cover every id in the given bags.
+  void BuildInverseObjectFrequency(const std::vector<const FlatBag*>& previous,
+                                   const std::vector<const FlatBag*>& incoming,
+                                   uint32_t pool_size);
+
+  bool IsUniform() const { return uniform_; }
+
+  /// Weight for an interned token id (1 when uniform or unseen).
+  double Weight(uint32_t id) const {
+    return uniform_ || id >= weights_.size() ? 1.0 : weights_[id];
+  }
+
+ private:
+  std::vector<double> weights_;            // per id, default 1.0
+  std::vector<int32_t> prev_df_, new_df_;  // per-step scratch, default 0
+  std::vector<uint32_t> touched_;          // ids dirtied by the last build
+  bool uniform_ = true;
 };
 
 /// Generalized Jaccard (Ruzicka) similarity of two weighted multisets:
@@ -66,6 +103,50 @@ double DecayedSimilarity(SimilarityKind kind,
                          const std::vector<const BagOfWords*>& history,
                          const BagOfWords& candidate, int k, double phi,
                          const TokenWeighting& weighting);
+
+// --- Interned-token kernels ---------------------------------------------
+//
+// FlatBag counterparts of the measures above: sorted merge-joins over
+// (id, count) arrays. With uniform weights they produce bit-identical
+// values to the BagOfWords kernels (the sums are exact); with IDF weights
+// they sum the same terms in id order instead of hash order, so values
+// agree to rounding error (and the matcher decisions agree — see the
+// equivalence test).
+
+/// Sum over tokens of min(count_a, count_b).
+double SumMin(const FlatBag& a, const FlatBag& b);
+
+/// Weighted SumMin: each token's min-count scaled by its dense weight.
+double WeightedSumMin(const FlatBag& a, const FlatBag& b,
+                      const DenseTokenWeights& weights);
+
+/// Sum over all tokens of weight(id) * count(id).
+double WeightedTotal(const FlatBag& bag, const DenseTokenWeights& weights);
+
+double Ruzicka(const FlatBag& a, const FlatBag& b);
+double Containment(const FlatBag& a, const FlatBag& b);
+double WeightedRuzicka(const FlatBag& a, const FlatBag& b,
+                       const DenseTokenWeights& weights);
+double WeightedContainment(const FlatBag& a, const FlatBag& b,
+                           const DenseTokenWeights& weights);
+
+/// Matcher fast path: similarity with the per-bag weighted totals
+/// supplied by the caller (precomputed once per matching step instead of
+/// once per pair). `total_a`/`total_b` must equal WeightedTotal(bag,
+/// weights) — or TotalCount() when the weights are uniform.
+double SimilarityFromTotals(SimilarityKind kind, const FlatBag& a,
+                            const FlatBag& b,
+                            const DenseTokenWeights& weights, double total_a,
+                            double total_b);
+
+/// Upper bound on SimilarityFromTotals for the same arguments, computable
+/// from the totals alone (no merge-join):
+///  - strict: sum_min <= min(Wa, Wb) and x -> x / (Wa + Wb - x) is
+///    increasing, so sim <= min(Wa, Wb) / max(Wa, Wb);
+///  - relaxed: containment is trivially <= 1.
+/// The both-empty special case (similarity 1) is honored.
+double SimilarityUpperBound(SimilarityKind kind, bool a_empty, bool b_empty,
+                            double total_a, double total_b);
 
 }  // namespace somr::sim
 

@@ -1,0 +1,51 @@
+#include "text/flat_bag.h"
+
+#include <algorithm>
+
+namespace somr {
+
+FlatBag FlatBag::FromBag(const BagOfWords& bag, TokenPool& pool) {
+  FlatBag flat;
+  flat.entries_.reserve(bag.DistinctCount());
+  for (const auto& [token, count] : bag.counts()) {
+    flat.entries_.push_back({pool.Intern(token), count});
+  }
+  std::sort(flat.entries_.begin(), flat.entries_.end(),
+            [](const FlatEntry& a, const FlatEntry& b) { return a.id < b.id; });
+  // Sum in sorted-id order so every FlatBag with the same content has the
+  // same total bit-for-bit, regardless of the source map's hash order.
+  for (const FlatEntry& e : flat.entries_) flat.total_ += e.count;
+  return flat;
+}
+
+FlatBag FlatBag::FromTokenIds(std::vector<uint32_t> ids) {
+  FlatBag flat;
+  if (ids.empty()) return flat;
+  std::sort(ids.begin(), ids.end());
+  flat.entries_.reserve(ids.size());
+  size_t run_start = 0;
+  for (size_t i = 1; i <= ids.size(); ++i) {
+    if (i == ids.size() || ids[i] != ids[run_start]) {
+      flat.entries_.push_back(
+          {ids[run_start], static_cast<double>(i - run_start)});
+      run_start = i;
+    }
+  }
+  flat.total_ = static_cast<double>(ids.size());
+  return flat;
+}
+
+double FlatBag::Count(uint32_t id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const FlatEntry& e, uint32_t key) { return e.id < key; });
+  return it != entries_.end() && it->id == id ? it->count : 0.0;
+}
+
+BagOfWords FlatBag::ToBag(const TokenPool& pool) const {
+  BagOfWords bag;
+  for (const FlatEntry& e : entries_) bag.Add(pool.Spelling(e.id), e.count);
+  return bag;
+}
+
+}  // namespace somr

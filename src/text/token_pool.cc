@@ -1,0 +1,19 @@
+#include "text/token_pool.h"
+
+namespace somr {
+
+uint32_t TokenPool::Intern(std::string_view token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(spellings_.size());
+  spellings_.emplace_back(token);
+  ids_.emplace(std::string_view(spellings_.back()), id);
+  return id;
+}
+
+uint32_t TokenPool::Find(std::string_view token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kInvalidId : it->second;
+}
+
+}  // namespace somr

@@ -1,0 +1,54 @@
+#ifndef SOMR_TEXT_TOKEN_POOL_H_
+#define SOMR_TEXT_TOKEN_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace somr {
+
+/// Interns token spellings into dense uint32 ids so the similarity
+/// kernels can operate on integer-keyed flat vectors instead of hashing
+/// strings per lookup. Ids are assigned sequentially from 0 in first-seen
+/// order, so a pool that has interned the whole corpus so far is exactly
+/// `size()` ids wide — dense per-id side tables (weights, document
+/// frequencies) are just vectors indexed by id.
+///
+/// A pool is owned by one matcher (one page's revision stream); it is not
+/// thread-safe and ids from different pools are unrelated.
+class TokenPool {
+ public:
+  static constexpr uint32_t kInvalidId = 0xffffffffu;
+
+  TokenPool() = default;
+  TokenPool(const TokenPool&) = delete;
+  TokenPool& operator=(const TokenPool&) = delete;
+  TokenPool(TokenPool&&) = default;
+  TokenPool& operator=(TokenPool&&) = default;
+
+  /// Id of `token`, interning it if new. No allocation on the hit path.
+  uint32_t Intern(std::string_view token);
+
+  /// Id of `token` if already interned, kInvalidId otherwise.
+  uint32_t Find(std::string_view token) const;
+
+  /// The spelling of an interned id. `id` must be < size().
+  const std::string& Spelling(uint32_t id) const { return spellings_[id]; }
+
+  /// Number of distinct tokens interned so far (== smallest unused id).
+  uint32_t size() const { return static_cast<uint32_t>(spellings_.size()); }
+
+  bool empty() const { return spellings_.empty(); }
+
+ private:
+  // A deque keeps spelling addresses stable across growth, so the map can
+  // key string_views that point into the stored spellings.
+  std::deque<std::string> spellings_;
+  std::unordered_map<std::string_view, uint32_t> ids_;
+};
+
+}  // namespace somr
+
+#endif  // SOMR_TEXT_TOKEN_POOL_H_

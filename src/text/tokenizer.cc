@@ -2,18 +2,6 @@
 
 namespace somr {
 
-namespace {
-bool IsWordChar(unsigned char c) {
-  if (c >= 0x80) return true;  // part of a UTF-8 multi-byte sequence
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9');
-}
-
-char ToLowerAscii(char c) {
-  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
-}
-}  // namespace
-
 std::vector<std::string> Tokenize(std::string_view s) {
   return TokenizeTruncated(s, static_cast<size_t>(-1));
 }
@@ -21,20 +9,9 @@ std::vector<std::string> Tokenize(std::string_view s) {
 std::vector<std::string> TokenizeTruncated(std::string_view s,
                                            size_t max_tokens) {
   std::vector<std::string> tokens;
-  if (max_tokens == 0) return tokens;
-  std::string current;
-  for (char c : s) {
-    if (IsWordChar(static_cast<unsigned char>(c))) {
-      current.push_back(ToLowerAscii(c));
-    } else if (!current.empty()) {
-      tokens.push_back(std::move(current));
-      current.clear();
-      if (tokens.size() >= max_tokens) return tokens;
-    }
-  }
-  if (!current.empty() && tokens.size() < max_tokens) {
-    tokens.push_back(std::move(current));
-  }
+  TokenizeTruncatedTo(s, max_tokens, [&tokens](std::string_view token) {
+    tokens.emplace_back(token);
+  });
   return tokens;
 }
 

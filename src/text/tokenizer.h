@@ -19,6 +19,39 @@ std::vector<std::string> Tokenize(std::string_view s);
 std::vector<std::string> TokenizeTruncated(std::string_view s,
                                            size_t max_tokens);
 
+namespace token_internal {
+inline bool IsWordChar(unsigned char c) {
+  if (c >= 0x80) return true;  // part of a UTF-8 multi-byte sequence
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
+}
+
+inline char ToLowerAscii(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+}  // namespace token_internal
+
+/// Streaming tokenization: invokes `sink(std::string_view token)` for each
+/// of the first `max_tokens` tokens, producing exactly the token sequence
+/// of TokenizeTruncated but without materializing a vector of strings.
+/// The view is valid only for the duration of the callback.
+template <typename Sink>
+void TokenizeTruncatedTo(std::string_view s, size_t max_tokens, Sink&& sink) {
+  if (max_tokens == 0) return;
+  std::string current;
+  size_t emitted = 0;
+  for (char c : s) {
+    if (token_internal::IsWordChar(static_cast<unsigned char>(c))) {
+      current.push_back(token_internal::ToLowerAscii(c));
+    } else if (!current.empty()) {
+      sink(std::string_view(current));
+      current.clear();
+      if (++emitted >= max_tokens) return;
+    }
+  }
+  if (!current.empty()) sink(std::string_view(current));
+}
+
 /// Default truncation used for object element values.
 inline constexpr size_t kElementTokenLimit = 10;
 

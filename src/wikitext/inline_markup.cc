@@ -8,15 +8,22 @@ namespace somr::wikitext {
 namespace {
 
 /// Removes <ref>...</ref> (including attributes and self-closing form).
+/// Text between refs is appended in bulk, not char by char.
 std::string DropRefs(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   size_t i = 0;
   while (i < s.size()) {
-    if (s[i] == '<' && i + 4 <= s.size() &&
-        EqualsIgnoreAsciiCase(s.substr(i, 4), "<ref")) {
+    size_t lt = s.find('<', i);
+    if (lt == std::string_view::npos) {
+      out.append(s.substr(i));
+      return out;
+    }
+    out.append(s.substr(i, lt - i));
+    i = lt;
+    if (i + 4 <= s.size() && EqualsIgnoreAsciiCase(s.substr(i, 4), "<ref")) {
       size_t close = s.find('>', i);
-      if (close == std::string_view::npos) break;
+      if (close == std::string_view::npos) return out;
       if (s[close - 1] == '/') {  // self-closing <ref name=x />
         i = close + 1;
         continue;
@@ -28,29 +35,32 @@ std::string DropRefs(std::string_view s) {
           break;
         }
       }
-      if (end == std::string_view::npos) break;
+      if (end == std::string_view::npos) return out;
       i = end + 6;
-      continue;
+    } else {
+      out.push_back('<');
+      ++i;
     }
-    out.push_back(s[i]);
-    ++i;
   }
   return out;
 }
 
-/// Removes remaining <...> tags, keeping their inner text.
+/// Removes remaining <...> tags, keeping their inner text. An unclosed
+/// tag swallows the rest of the string (as before).
 std::string DropTags(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  bool in_tag = false;
-  for (char c : s) {
-    if (c == '<') {
-      in_tag = true;
-    } else if (c == '>' && in_tag) {
-      in_tag = false;
-    } else if (!in_tag) {
-      out.push_back(c);
+  size_t i = 0;
+  while (i < s.size()) {
+    size_t lt = s.find('<', i);
+    if (lt == std::string_view::npos) {
+      out.append(s.substr(i));
+      break;
     }
+    out.append(s.substr(i, lt - i));
+    size_t gt = s.find('>', lt + 1);
+    if (gt == std::string_view::npos) break;
+    i = gt + 1;
   }
   return out;
 }
@@ -165,54 +175,83 @@ std::string ExpandInlineTemplates(std::string_view s) {
 }  // namespace
 
 std::string StripInlineMarkup(std::string_view input) {
-  std::string s = DropRefs(input);
-  if (s.find("{{") != std::string::npos) {
-    s = ExpandInlineTemplates(s);
+  // Each pass runs only when its trigger character is present, so plain
+  // cells (the common case) go straight to whitespace collapsing without
+  // building any intermediate strings.
+  std::string_view s = input;
+  std::string refs_buf;
+  if (s.find('<') != std::string_view::npos) {
+    refs_buf = DropRefs(s);
+    s = refs_buf;
   }
-  std::string out;
-  out.reserve(s.size());
-  size_t i = 0;
-  while (i < s.size()) {
-    // Internal link [[Target|Label]] or [[Target]].
-    if (i + 1 < s.size() && s[i] == '[' && s[i + 1] == '[') {
-      size_t end = s.find("]]", i + 2);
-      if (end != std::string::npos) {
-        std::string_view body = std::string_view(s).substr(i + 2, end - i - 2);
-        size_t pipe = body.rfind('|');
-        std::string_view shown =
-            pipe == std::string_view::npos ? body : body.substr(pipe + 1);
-        out.append(shown);
-        i = end + 2;
-        continue;
+  std::string tmpl_buf;
+  if (s.find("{{") != std::string_view::npos) {
+    tmpl_buf = ExpandInlineTemplates(s);
+    s = tmpl_buf;
+  }
+  std::string link_buf;
+  if (s.find_first_of("['") != std::string_view::npos) {
+    std::string& out = link_buf;
+    out.reserve(s.size());
+    size_t i = 0;
+    while (i < s.size()) {
+      size_t next = s.find_first_of("['", i);
+      if (next == std::string_view::npos) {
+        out.append(s.substr(i));
+        break;
       }
-    }
-    // External link [http://... label].
-    if (s[i] == '[' && (i + 1 >= s.size() || s[i + 1] != '[')) {
-      size_t end = s.find(']', i + 1);
-      if (end != std::string::npos) {
-        std::string_view body = std::string_view(s).substr(i + 1, end - i - 1);
-        size_t space = body.find(' ');
-        if (space != std::string_view::npos) {
-          out.append(body.substr(space + 1));
+      out.append(s.substr(i, next - i));
+      i = next;
+      // Internal link [[Target|Label]] or [[Target]].
+      if (i + 1 < s.size() && s[i] == '[' && s[i + 1] == '[') {
+        size_t end = s.find("]]", i + 2);
+        if (end != std::string_view::npos) {
+          std::string_view body = s.substr(i + 2, end - i - 2);
+          size_t pipe = body.rfind('|');
+          std::string_view shown =
+              pipe == std::string_view::npos ? body : body.substr(pipe + 1);
+          out.append(shown);
+          i = end + 2;
+          continue;
         }
-        // Bare external link: drop the URL entirely.
-        i = end + 1;
+      }
+      // External link [http://... label].
+      if (s[i] == '[' && (i + 1 >= s.size() || s[i + 1] != '[')) {
+        size_t end = s.find(']', i + 1);
+        if (end != std::string_view::npos) {
+          std::string_view body = s.substr(i + 1, end - i - 1);
+          size_t space = body.find(' ');
+          if (space != std::string_view::npos) {
+            out.append(body.substr(space + 1));
+          }
+          // Bare external link: drop the URL entirely.
+          i = end + 1;
+          continue;
+        }
+      }
+      // Bold/italic quote runs '' ''' '''''.
+      if (s[i] == '\'' && i + 1 < s.size() && s[i + 1] == '\'') {
+        size_t run = 0;
+        while (i + run < s.size() && s[i + run] == '\'') ++run;
+        i += run;
         continue;
       }
+      out.push_back(s[i]);
+      ++i;
     }
-    // Bold/italic quote runs '' ''' '''''.
-    if (s[i] == '\'' && i + 1 < s.size() && s[i + 1] == '\'') {
-      size_t run = 0;
-      while (i + run < s.size() && s[i + run] == '\'') ++run;
-      i += run;
-      continue;
-    }
-    out.push_back(s[i]);
-    ++i;
+    s = link_buf;
   }
-  out = DropTags(out);
-  out = html::DecodeEntities(out);
-  return CollapseWhitespace(out);
+  std::string tag_buf;
+  if (s.find('<') != std::string_view::npos) {
+    tag_buf = DropTags(s);
+    s = tag_buf;
+  }
+  std::string entity_buf;
+  if (s.find('&') != std::string_view::npos) {
+    entity_buf = html::DecodeEntities(s);
+    s = entity_buf;
+  }
+  return CollapseWhitespace(s);
 }
 
 std::vector<std::string> ExtractLinkTargets(std::string_view s) {

@@ -1,0 +1,209 @@
+// Golden equivalence of the interned-token (FlatBag) similarity engine
+// against the legacy string-hash path: the kernels must agree value for
+// value, and the full matcher must emit the identical identity graph on
+// gold corpora for every focal object type.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/harness.h"
+#include "matching/matcher.h"
+#include "sim/similarity.h"
+#include "text/bag_of_words.h"
+#include "text/flat_bag.h"
+#include "text/token_pool.h"
+#include "wikigen/corpus.h"
+
+namespace somr::matching {
+namespace {
+
+BagOfWords RandomBag(Rng& rng, int tokens, int vocabulary) {
+  BagOfWords bag;
+  for (int i = 0; i < tokens; ++i) {
+    bag.Add("tok" + std::to_string(rng.UniformInt(0, vocabulary - 1)));
+  }
+  return bag;
+}
+
+FlatBag Compile(const BagOfWords& bag, TokenPool& pool) {
+  return FlatBag::FromBag(bag, pool);
+}
+
+TEST(KernelEquivalenceTest, UnweightedKernelsBitIdentical) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    int tokens = 1 + static_cast<int>(rng.UniformInt(0, 80));
+    BagOfWords a = RandomBag(rng, tokens, 40);
+    BagOfWords b = RandomBag(rng, tokens / 2 + 1, 40);
+    TokenPool pool;
+    FlatBag fa = Compile(a, pool);
+    FlatBag fb = Compile(b, pool);
+    // Unit-weight counts sum exactly in doubles, so the merge-join result
+    // is bit-identical to the hash-lookup result.
+    EXPECT_EQ(sim::Ruzicka(a, b), sim::Ruzicka(fa, fb));
+    EXPECT_EQ(sim::Containment(a, b), sim::Containment(fa, fb));
+  }
+}
+
+TEST(KernelEquivalenceTest, EmptyBagsAgree) {
+  BagOfWords empty_bag;
+  BagOfWords full_bag;
+  full_bag.Add("x");
+  TokenPool pool;
+  FlatBag fe = Compile(empty_bag, pool);
+  FlatBag ff = Compile(full_bag, pool);
+  EXPECT_EQ(sim::Ruzicka(empty_bag, empty_bag), sim::Ruzicka(fe, fe));
+  EXPECT_EQ(sim::Ruzicka(empty_bag, full_bag), sim::Ruzicka(fe, ff));
+  EXPECT_EQ(sim::Containment(empty_bag, full_bag), sim::Containment(fe, ff));
+  EXPECT_EQ(sim::Containment(full_bag, empty_bag), sim::Containment(ff, fe));
+}
+
+TEST(KernelEquivalenceTest, WeightedKernelsNearIdentical) {
+  Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    BagOfWords a = RandomBag(rng, 60, 30);
+    BagOfWords b = RandomBag(rng, 45, 30);
+    BagOfWords c = RandomBag(rng, 30, 30);
+    TokenPool pool;
+    FlatBag fa = Compile(a, pool);
+    FlatBag fb = Compile(b, pool);
+    FlatBag fc = Compile(c, pool);
+    sim::TokenWeighting weighting =
+        sim::TokenWeighting::InverseObjectFrequency({&a, &b}, {&b, &c});
+    sim::DenseTokenWeights weights;
+    weights.BuildInverseObjectFrequency({&fa, &fb}, {&fb, &fc}, pool.size());
+    // Same weight values; only the summation order differs (id order vs
+    // hash order), so allow for reassociation error.
+    EXPECT_NEAR(sim::WeightedRuzicka(a, b, weighting),
+                sim::WeightedRuzicka(fa, fb, weights), 1e-12);
+    EXPECT_NEAR(sim::WeightedContainment(a, c, weighting),
+                sim::WeightedContainment(fa, fc, weights), 1e-12);
+  }
+}
+
+TEST(KernelEquivalenceTest, UpperBoundIsSound) {
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    BagOfWords a = RandomBag(rng, 1 + static_cast<int>(rng.UniformInt(0, 50)),
+                             25);
+    BagOfWords b = RandomBag(rng, 1 + static_cast<int>(rng.UniformInt(0, 50)),
+                             25);
+    TokenPool pool;
+    FlatBag fa = Compile(a, pool);
+    FlatBag fb = Compile(b, pool);
+    sim::DenseTokenWeights weights;
+    weights.BuildInverseObjectFrequency({&fa}, {&fb}, pool.size());
+    double ta = sim::WeightedTotal(fa, weights);
+    double tb = sim::WeightedTotal(fb, weights);
+    double bound = sim::SimilarityUpperBound(sim::SimilarityKind::kStrict,
+                                             fa.empty(), fb.empty(), ta, tb);
+    double exact = sim::SimilarityFromTotals(sim::SimilarityKind::kStrict, fa,
+                                             fb, weights, ta, tb);
+    EXPECT_LE(exact, bound + 1e-12);
+  }
+}
+
+/// The graphs must be identical object for object, version for version.
+void ExpectSameGraph(const IdentityGraph& flat, const IdentityGraph& legacy) {
+  EXPECT_EQ(flat.type(), legacy.type());
+  ASSERT_EQ(flat.ObjectCount(), legacy.ObjectCount());
+  for (size_t i = 0; i < flat.objects().size(); ++i) {
+    const TrackedObjectRecord& f = flat.objects()[i];
+    const TrackedObjectRecord& l = legacy.objects()[i];
+    EXPECT_EQ(f.object_id, l.object_id);
+    EXPECT_EQ(f.type, l.type);
+    EXPECT_EQ(f.versions, l.versions);
+  }
+}
+
+IdentityGraph RunEngine(
+    const std::vector<std::vector<extract::ObjectInstance>>& revisions,
+    extract::ObjectType type, const MatcherConfig& config) {
+  TemporalMatcher matcher(type, config);
+  for (size_t r = 0; r < revisions.size(); ++r) {
+    matcher.ProcessRevision(static_cast<int>(r), revisions[r]);
+  }
+  return matcher.TakeGraph();
+}
+
+wikigen::GoldCorpus SmallCorpus(extract::ObjectType focal, uint64_t seed) {
+  wikigen::CorpusConfig config;
+  config.focal_type = focal;
+  config.strata_caps = {1, 3};
+  config.pages_per_stratum = 1;
+  config.min_revisions = 12;
+  config.max_revisions = 18;
+  config.seed = seed;
+  return wikigen::GenerateGoldCorpus(config);
+}
+
+class MatcherEquivalenceTest
+    : public ::testing::TestWithParam<extract::ObjectType> {};
+
+TEST_P(MatcherEquivalenceTest, FlatEngineMatchesLegacyOnGoldCorpus) {
+  extract::ObjectType focal = GetParam();
+  wikigen::GoldCorpus corpus = SmallCorpus(focal, 91);
+  xmldump::Dump dump = wikigen::CorpusToDump(corpus);
+  for (const xmldump::PageHistory& page : dump.pages) {
+    std::vector<extract::PageObjects> objects =
+        eval::ExtractRevisionObjects(page);
+    for (extract::ObjectType type :
+         {extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+          extract::ObjectType::kList}) {
+      auto slices = eval::SliceType(objects, type);
+      MatcherConfig flat_config;
+      flat_config.use_flat_kernels = true;
+      MatcherConfig legacy_config;
+      legacy_config.use_flat_kernels = false;
+      ExpectSameGraph(RunEngine(slices, type, flat_config),
+                      RunEngine(slices, type, legacy_config));
+    }
+  }
+}
+
+TEST_P(MatcherEquivalenceTest, LshBelowThresholdFallsBackExactly) {
+  extract::ObjectType focal = GetParam();
+  wikigen::GoldCorpus corpus = SmallCorpus(focal, 92);
+  xmldump::Dump dump = wikigen::CorpusToDump(corpus);
+  for (const xmldump::PageHistory& page : dump.pages) {
+    std::vector<extract::PageObjects> objects =
+        eval::ExtractRevisionObjects(page);
+    auto slices = eval::SliceType(objects, focal);
+    MatcherConfig lsh_config;
+    lsh_config.enable_lsh_blocking = true;  // never engaged: threshold huge
+    lsh_config.lsh_min_pair_count = 1u << 30;
+    MatcherConfig exact_config;
+    ExpectSameGraph(RunEngine(slices, focal, lsh_config),
+                    RunEngine(slices, focal, exact_config));
+  }
+}
+
+TEST_P(MatcherEquivalenceTest, LshEngagedStillAssignsEveryInstance) {
+  extract::ObjectType focal = GetParam();
+  wikigen::GoldCorpus corpus = SmallCorpus(focal, 93);
+  xmldump::Dump dump = wikigen::CorpusToDump(corpus);
+  for (const xmldump::PageHistory& page : dump.pages) {
+    std::vector<extract::PageObjects> objects =
+        eval::ExtractRevisionObjects(page);
+    auto slices = eval::SliceType(objects, focal);
+    size_t total_instances = 0;
+    for (const auto& rev : slices) total_instances += rev.size();
+    MatcherConfig lsh_config;
+    lsh_config.enable_lsh_blocking = true;
+    lsh_config.lsh_min_pair_count = 0;  // always engaged
+    IdentityGraph graph = RunEngine(slices, focal, lsh_config);
+    // Blocking may split identities but never drops an instance.
+    EXPECT_EQ(graph.VersionCount(), total_instances);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, MatcherEquivalenceTest,
+                         ::testing::Values(extract::ObjectType::kTable,
+                                           extract::ObjectType::kInfobox,
+                                           extract::ObjectType::kList));
+
+}  // namespace
+}  // namespace somr::matching
