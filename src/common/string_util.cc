@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <fstream>
 
 namespace somr {
 
@@ -144,6 +145,20 @@ bool EqualsIgnoreAsciiCase(std::string_view a, std::string_view b) {
     if (ca != cb) return false;
   }
   return true;
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::streamsize size = in.tellg();
+  if (size < 0) return Status::Internal("cannot size " + path);
+  std::string content(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  in.read(content.data(), size);
+  if (in.gcount() != size) {
+    return Status::Internal("short read on " + path);
+  }
+  return content;
 }
 
 }  // namespace somr

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
+
 namespace somr {
 
 /// Returns `s` without leading/trailing ASCII whitespace.
@@ -40,6 +42,11 @@ std::string CollapseWhitespace(std::string_view s);
 
 /// True if `a` equals `b` ignoring ASCII case.
 bool EqualsIgnoreAsciiCase(std::string_view a, std::string_view b);
+
+/// Reads a whole file into a string sized up front (seek to end, tell,
+/// one read) — no stringstream double-buffering, so peak memory is the
+/// file size, not 2x. NotFound when the file cannot be opened.
+StatusOr<std::string> ReadFileToString(const std::string& path);
 
 }  // namespace somr
 

@@ -1,7 +1,13 @@
 #include "core/pipeline.h"
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
 #include <thread>
+
+#include "xmldump/stream_reader.h"
 
 #include "eval/harness.h"
 
@@ -17,7 +23,7 @@ const matching::IdentityGraph& PageResult::GraphFor(
     case extract::ObjectType::kList:
       return lists;
   }
-  return tables;
+  std::abort();  // unreachable: all ObjectType values handled above
 }
 
 PageResult Pipeline::ProcessPage(const xmldump::PageHistory& page) const {
@@ -50,6 +56,83 @@ StatusOr<std::vector<PageResult>> Pipeline::ProcessDumpXml(
   results.reserve(dump->pages.size());
   for (const xmldump::PageHistory& page : dump->pages) {
     results.push_back(ProcessPage(page));
+  }
+  return results;
+}
+
+StatusOr<std::vector<PageResult>> Pipeline::ProcessDumpStream(
+    std::istream& input, unsigned num_threads) const {
+  xmldump::PageStreamReader reader(input);
+
+  if (num_threads <= 1) {
+    std::vector<PageResult> results;
+    while (std::optional<xmldump::PageHistory> page = reader.NextPage()) {
+      results.push_back(ProcessPage(*page));
+    }
+    if (!reader.status().ok()) return reader.status();
+    return results;
+  }
+
+  // Producer (this thread) parses pages; workers match them. The queue is
+  // bounded so a fast reader cannot buffer the whole dump in memory.
+  struct Item {
+    size_t index;
+    xmldump::PageHistory page;
+  };
+  const size_t queue_cap = static_cast<size_t>(num_threads) * 2;
+  std::mutex mu;
+  std::condition_variable can_push, can_pop;
+  std::deque<Item> queue;
+  bool done = false;
+
+  std::vector<std::vector<std::pair<size_t, PageResult>>> worker_results(
+      num_threads);
+  auto worker = [&](unsigned worker_index) {
+    while (true) {
+      Item item;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        can_pop.wait(lock, [&] { return !queue.empty() || done; });
+        if (queue.empty()) return;
+        item = std::move(queue.front());
+        queue.pop_front();
+      }
+      can_push.notify_one();
+      worker_results[worker_index].emplace_back(item.index,
+                                                ProcessPage(item.page));
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    threads.emplace_back(worker, t);
+  }
+
+  size_t total_pages = 0;
+  while (std::optional<xmldump::PageHistory> page = reader.NextPage()) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      can_push.wait(lock, [&] { return queue.size() < queue_cap; });
+      queue.push_back({total_pages, *std::move(page)});
+    }
+    can_pop.notify_one();
+    ++total_pages;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  can_pop.notify_all();
+  for (std::thread& thread : threads) thread.join();
+
+  if (!reader.status().ok()) return reader.status();
+
+  std::vector<PageResult> results(total_pages);
+  for (auto& per_worker : worker_results) {
+    for (auto& [index, result] : per_worker) {
+      results[index] = std::move(result);
+    }
   }
   return results;
 }

@@ -1,6 +1,7 @@
 #ifndef SOMR_CORE_PIPELINE_H_
 #define SOMR_CORE_PIPELINE_H_
 
+#include <istream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -45,6 +46,14 @@ class Pipeline {
   /// to sequential processing.
   StatusOr<std::vector<PageResult>> ProcessDumpXmlParallel(
       std::string_view xml, unsigned num_threads) const;
+
+  /// Streaming variant: reads `<page>` blocks from `input` one at a time
+  /// (via xmldump::PageStreamReader) so the full dump XML is never
+  /// materialized — peak memory is one page history per worker thread
+  /// plus a bounded hand-off queue. Results keep dump order and are
+  /// bit-identical to ProcessDumpXml on the same bytes.
+  StatusOr<std::vector<PageResult>> ProcessDumpStream(
+      std::istream& input, unsigned num_threads = 1) const;
 
   /// Processes one page history. Revisions whose model is "html" are
   /// parsed as HTML; all others as wikitext.

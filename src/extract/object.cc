@@ -1,6 +1,7 @@
 #include "extract/object.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace somr::extract {
 
@@ -13,7 +14,7 @@ const char* ObjectTypeName(ObjectType type) {
     case ObjectType::kList:
       return "list";
   }
-  return "unknown";
+  std::abort();  // unreachable: all ObjectType values handled above
 }
 
 size_t ObjectInstance::ColumnCount() const {
@@ -40,7 +41,7 @@ const std::vector<ObjectInstance>& PageObjects::OfType(
     case ObjectType::kList:
       return lists;
   }
-  return tables;
+  std::abort();  // unreachable: all ObjectType values handled above
 }
 
 std::vector<ObjectInstance>& PageObjects::OfType(ObjectType type) {
@@ -52,7 +53,7 @@ std::vector<ObjectInstance>& PageObjects::OfType(ObjectType type) {
     case ObjectType::kList:
       return lists;
   }
-  return tables;
+  std::abort();  // unreachable: all ObjectType values handled above
 }
 
 }  // namespace somr::extract

@@ -419,7 +419,7 @@ TemporalMatcher& PageMatcher::MatcherFor(extract::ObjectType type) {
     case extract::ObjectType::kList:
       return lists_;
   }
-  return tables_;
+  std::abort();  // unreachable: all ObjectType values handled above
 }
 
 const IdentityGraph& PageMatcher::GraphFor(extract::ObjectType type) const {
@@ -431,7 +431,7 @@ const IdentityGraph& PageMatcher::GraphFor(extract::ObjectType type) const {
     case extract::ObjectType::kList:
       return lists_.graph();
   }
-  return tables_.graph();
+  std::abort();  // unreachable: all ObjectType values handled above
 }
 
 const MatchStats& PageMatcher::StatsFor(extract::ObjectType type) const {
@@ -443,7 +443,7 @@ const MatchStats& PageMatcher::StatsFor(extract::ObjectType type) const {
     case extract::ObjectType::kList:
       return lists_.stats();
   }
-  return tables_.stats();
+  std::abort();  // unreachable: all ObjectType values handled above
 }
 
 IdentityGraph PageMatcher::TakeGraph(extract::ObjectType type) {

@@ -15,6 +15,10 @@
 #include "text/flat_bag.h"
 #include "text/token_pool.h"
 
+namespace somr::state {
+class MatcherSerde;  // snapshot serializer (src/state/snapshot.cc)
+}  // namespace somr::state
+
 namespace somr::matching {
 
 /// Configuration of the multi-stage matcher, defaults set to the paper's
@@ -109,6 +113,10 @@ class TemporalMatcher : public RevisionMatcher {
   MatchStats TakeStats() { return std::move(stats_); }
 
  private:
+  // The snapshot subsystem persists and restores the full matcher state
+  // (pool, tracked windows, graph, stats) for checkpointed ingestion.
+  friend class somr::state::MatcherSerde;
+
   struct Tracked {
     int64_t id = 0;
     std::deque<BagOfWords> recent_bags;  // legacy engine: oldest..newest
@@ -180,7 +188,11 @@ class PageMatcher {
   IdentityGraph TakeGraph(extract::ObjectType type);
   MatchStats TakeStats(extract::ObjectType type);
 
+  const MatcherConfig& config() const { return tables_.config(); }
+
  private:
+  friend class somr::state::MatcherSerde;
+
   TemporalMatcher& MatcherFor(extract::ObjectType type);
 
   TemporalMatcher tables_;

@@ -1,0 +1,259 @@
+#include "state/context_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace somr::state {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "manifest.tsv";
+constexpr const char* kManifestHeader = "# somr-context-store v1";
+
+/// Titles may contain tabs/newlines; the manifest is line- and
+/// tab-delimited, so escape those plus the escape character itself.
+std::string EscapeTitle(const std::string& title) {
+  std::string out;
+  out.reserve(title.size());
+  for (char c : title) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeTitle(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '\\' && i + 1 < escaped.size()) {
+      ++i;
+      switch (escaped[i]) {
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        default:
+          out.push_back(escaped[i]);
+      }
+    } else {
+      out.push_back(escaped[i]);
+    }
+  }
+  return out;
+}
+
+/// Writes `content` to `path` atomically: temp file in the same
+/// directory, flush, rename over the target.
+Status AtomicWrite(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Internal("cannot create " + tmp);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out.good()) return Status::Internal("write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ContextStore::ContextStore(std::string dir, matching::MatcherConfig config)
+    : dir_(std::move(dir)),
+      config_(config),
+      fingerprint_(ConfigFingerprint(config)) {}
+
+std::string ContextStore::SnapshotFileFor(const std::string& title) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(title)));
+  return std::string("page-") + buf + ".snap";
+}
+
+std::string ContextStore::PathFor(const std::string& file) const {
+  return (fs::path(dir_) / file).string();
+}
+
+Status ContextStore::Open(bool create) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_.clear();
+  open_ = false;
+
+  std::error_code ec;
+  const std::string manifest_path = PathFor(kManifestName);
+  if (!fs::exists(manifest_path, ec)) {
+    if (!create) {
+      return Status::NotFound("no context store at " + dir_ +
+                              " (missing " + kManifestName + ")");
+    }
+    fs::create_directories(dir_, ec);
+    if (ec) {
+      return Status::Internal("cannot create state dir " + dir_ + ": " +
+                              ec.message());
+    }
+    open_ = true;
+    return WriteManifestLocked();
+  }
+
+  std::ifstream in(manifest_path);
+  if (!in) return Status::Internal("cannot read " + manifest_path);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind(kManifestHeader, 0) != 0) {
+    return Status::ParseError(manifest_path + ": not a context-store "
+                              "manifest");
+  }
+  // Header carries the fingerprint: "# somr-context-store v1 config=<hex>".
+  const std::string marker = "config=";
+  size_t at = line.find(marker);
+  if (at == std::string::npos) {
+    return Status::ParseError(manifest_path + ": missing config fingerprint");
+  }
+  uint64_t stored = 0;
+  if (std::sscanf(line.c_str() + at + marker.size(), "%llx",
+                  reinterpret_cast<unsigned long long*>(&stored)) != 1) {
+    return Status::ParseError(manifest_path + ": bad config fingerprint");
+  }
+  if (stored != fingerprint_) {
+    return Status::InvalidArgument(
+        "context store at " + dir_ +
+        " was built under a different MatcherConfig; refusing to resume");
+  }
+
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string_view> fields = SplitString(line, '\t');
+    if (fields.size() != 6) {
+      return Status::ParseError(manifest_path + ":" +
+                                std::to_string(line_number) +
+                                ": expected 6 tab-separated fields");
+    }
+    PageInfo info;
+    info.file = std::string(fields[0]);
+    try {
+      info.page_id = std::stoll(std::string(fields[1]));
+      info.last_revision_id = std::stoll(std::string(fields[2]));
+      info.last_timestamp = std::stoll(std::string(fields[3]));
+      info.revisions_ingested =
+          static_cast<uint32_t>(std::stoul(std::string(fields[4])));
+    } catch (const std::exception&) {
+      return Status::ParseError(manifest_path + ":" +
+                                std::to_string(line_number) +
+                                ": non-numeric manifest field");
+    }
+    info.title = UnescapeTitle(fields[5]);
+    pages_[info.title] = std::move(info);
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+bool ContextStore::Contains(const std::string& title) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.count(title) > 0;
+}
+
+std::vector<ContextStore::PageInfo> ContextStore::Pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PageInfo> out;
+  out.reserve(pages_.size());
+  for (const auto& [title, info] : pages_) out.push_back(info);
+  return out;
+}
+
+StatusOr<PageState> ContextStore::Load(const std::string& title) const {
+  std::string file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pages_.find(title);
+    if (it == pages_.end()) {
+      return Status::NotFound("no context for page \"" + title + "\"");
+    }
+    file = it->second.file;
+  }
+  std::ifstream in(PathFor(file), std::ios::binary);
+  if (!in) {
+    return Status::Internal("cannot open snapshot " + PathFor(file));
+  }
+  PageState state(config_);
+  SOMR_RETURN_IF_ERROR(LoadPageSnapshot(in, config_, &state));
+  if (state.title != title) {
+    return Status::Internal("snapshot " + file + " holds page \"" +
+                            state.title + "\", expected \"" + title + "\"");
+  }
+  return state;
+}
+
+Status ContextStore::Save(const PageState& state) {
+  const std::string file = SnapshotFileFor(state.title);
+
+  std::ostringstream bytes(std::ios::binary);
+  SOMR_RETURN_IF_ERROR(SavePageSnapshot(state, bytes));
+  SOMR_RETURN_IF_ERROR(AtomicWrite(PathFor(file), bytes.str()));
+
+  PageInfo info;
+  info.title = state.title;
+  info.file = file;
+  info.page_id = state.page_id;
+  info.last_revision_id = state.last_revision_id;
+  info.last_timestamp = state.last_timestamp;
+  info.revisions_ingested = state.revisions_ingested;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::Internal("context store not opened");
+  pages_[info.title] = std::move(info);
+  return WriteManifestLocked();
+}
+
+Status ContextStore::WriteManifestLocked() {
+  std::string content = kManifestHeader;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint_));
+  content += " config=";
+  content += buf;
+  content += "\n";
+  for (const auto& [title, info] : pages_) {
+    content += info.file;
+    content += '\t';
+    content += std::to_string(info.page_id);
+    content += '\t';
+    content += std::to_string(info.last_revision_id);
+    content += '\t';
+    content += std::to_string(info.last_timestamp);
+    content += '\t';
+    content += std::to_string(info.revisions_ingested);
+    content += '\t';
+    content += EscapeTitle(title);
+    content += '\n';
+  }
+  return AtomicWrite(PathFor(kManifestName), content);
+}
+
+}  // namespace somr::state

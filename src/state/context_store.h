@@ -1,0 +1,76 @@
+#ifndef SOMR_STATE_CONTEXT_STORE_H_
+#define SOMR_STATE_CONTEXT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_util.h"
+#include "matching/matcher.h"
+#include "state/snapshot.h"
+
+namespace somr::state {
+
+/// Durable directory of per-page matching contexts. Each page's state
+/// lives in its own snapshot file (named by a hash of the title, so any
+/// title is filesystem-safe); `manifest.tsv` records per page the
+/// snapshot file, page id, last ingested revision id/timestamp and
+/// revision count, plus the store-wide config fingerprint.
+///
+/// Durability: snapshot and manifest updates are write-to-temp then
+/// rename, so a crash mid-write leaves the previous consistent version
+/// in place (plus at most a stray `*.tmp`). Save() is thread-safe;
+/// distinct pages write distinct snapshot files.
+class ContextStore {
+ public:
+  struct PageInfo {
+    std::string title;
+    std::string file;  // snapshot filename relative to dir
+    int64_t page_id = 0;
+    int64_t last_revision_id = 0;
+    UnixSeconds last_timestamp = 0;
+    uint32_t revisions_ingested = 0;
+  };
+
+  ContextStore(std::string dir, matching::MatcherConfig config = {});
+
+  /// Opens the store. `create` makes the directory and an empty manifest
+  /// when absent; without it a missing manifest is NotFound. An existing
+  /// manifest whose config fingerprint differs from this store's config
+  /// is refused with InvalidArgument.
+  Status Open(bool create);
+
+  bool Contains(const std::string& title) const;
+
+  /// Manifest entries sorted by title.
+  std::vector<PageInfo> Pages() const;
+
+  /// Loads the snapshot for `title`; NotFound when the page has never
+  /// been saved, ParseError/InvalidArgument per LoadPageSnapshot.
+  StatusOr<PageState> Load(const std::string& title) const;
+
+  /// Atomically persists `state` and updates the manifest.
+  Status Save(const PageState& state);
+
+  const matching::MatcherConfig& config() const { return config_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string SnapshotFileFor(const std::string& title) const;
+  std::string PathFor(const std::string& file) const;
+  Status WriteManifestLocked();
+
+  std::string dir_;
+  matching::MatcherConfig config_;
+  uint64_t fingerprint_;
+  mutable std::mutex mu_;
+  std::map<std::string, PageInfo> pages_;  // by title
+  bool open_ = false;
+};
+
+}  // namespace somr::state
+
+#endif  // SOMR_STATE_CONTEXT_STORE_H_

@@ -1,0 +1,163 @@
+#include "state/incremental_pipeline.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "extract/html_extractor.h"
+#include "extract/wikitext_extractor.h"
+#include "xmldump/stream_reader.h"
+
+namespace somr::state {
+
+namespace {
+
+extract::PageObjects ExtractOne(const xmldump::Revision& rev) {
+  if (rev.model == "html") {
+    return extract::ExtractFromHtmlSource(rev.text);
+  }
+  return extract::ExtractFromWikitextSource(rev.text);
+}
+
+}  // namespace
+
+StatusOr<IngestReport> IncrementalPipeline::IngestPage(
+    const xmldump::PageHistory& page) {
+  PageState state(store_->config());
+  if (store_->Contains(page.title)) {
+    StatusOr<PageState> loaded = store_->Load(page.title);
+    if (!loaded.ok()) return loaded.status();
+    state = std::move(*loaded);
+  } else {
+    state.title = page.title;
+    state.page_id = page.page_id;
+  }
+
+  IngestReport report;
+  report.pages = 1;
+  size_t ordinal = 0;
+  for (const xmldump::Revision& rev : page.revisions) {
+    const bool seen = rev.id > 0
+                          ? rev.id <= state.last_revision_id
+                          : ordinal < state.revisions_ingested;
+    ++ordinal;
+    if (seen) {
+      ++report.skipped_revisions;
+      continue;
+    }
+    extract::PageObjects objects = ExtractOne(rev);
+    state.matcher.ProcessRevision(
+        static_cast<int>(state.revisions_ingested), objects);
+    state.revisions.push_back(std::move(objects));
+    state.timestamps.push_back(rev.timestamp);
+    state.last_revision_id = std::max(state.last_revision_id, rev.id);
+    state.last_timestamp = rev.timestamp;
+    ++state.revisions_ingested;
+    ++report.new_revisions;
+  }
+
+  if (report.new_revisions > 0 || !store_->Contains(page.title)) {
+    SOMR_RETURN_IF_ERROR(store_->Save(state));
+  }
+  return report;
+}
+
+StatusOr<IngestReport> IncrementalPipeline::IngestDump(
+    std::istream& xml, unsigned num_threads) {
+  xmldump::PageStreamReader reader(xml);
+  IngestReport total;
+
+  if (num_threads <= 1) {
+    while (std::optional<xmldump::PageHistory> page = reader.NextPage()) {
+      StatusOr<IngestReport> report = IngestPage(*page);
+      if (!report.ok()) return report.status();
+      total.Add(*report);
+    }
+    if (!reader.status().ok()) return reader.status();
+    return total;
+  }
+
+  // Bounded producer/consumer: the reader thread parses page blocks,
+  // workers ingest them. Pages shard naturally (one snapshot file each);
+  // ContextStore::Save serializes the manifest update internally.
+  const size_t queue_cap = static_cast<size_t>(num_threads) * 2;
+  std::mutex mu;
+  std::condition_variable can_push, can_pop;
+  std::deque<xmldump::PageHistory> queue;
+  bool done = false;
+  Status first_error;
+
+  auto worker = [&]() {
+    while (true) {
+      xmldump::PageHistory page;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        can_pop.wait(lock, [&] { return !queue.empty() || done; });
+        if (queue.empty()) return;
+        page = std::move(queue.front());
+        queue.pop_front();
+      }
+      can_push.notify_one();
+      StatusOr<IngestReport> report = IngestPage(page);
+      std::lock_guard<std::mutex> lock(mu);
+      if (report.ok()) {
+        total.Add(*report);
+      } else if (first_error.ok()) {
+        first_error = report.status();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+
+  while (std::optional<xmldump::PageHistory> page = reader.NextPage()) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      can_push.wait(lock,
+                    [&] { return queue.size() < queue_cap || !first_error.ok(); });
+      if (!first_error.ok()) break;  // stop feeding after a failure
+      queue.push_back(*std::move(page));
+    }
+    can_pop.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  can_pop.notify_all();
+  for (std::thread& thread : threads) thread.join();
+
+  if (!first_error.ok()) return first_error;
+  if (!reader.status().ok()) return reader.status();
+  return total;
+}
+
+StatusOr<core::PageResult> IncrementalPipeline::ResultFor(
+    const std::string& title) const {
+  StatusOr<PageState> state = store_->Load(title);
+  if (!state.ok()) return state.status();
+  return StateToResult(std::move(*state));
+}
+
+core::PageResult StateToResult(PageState state) {
+  core::PageResult result;
+  result.title = state.title;
+  result.revisions = std::move(state.revisions);
+  result.timestamps = std::move(state.timestamps);
+  result.tables = state.matcher.TakeGraph(extract::ObjectType::kTable);
+  result.infoboxes = state.matcher.TakeGraph(extract::ObjectType::kInfobox);
+  result.lists = state.matcher.TakeGraph(extract::ObjectType::kList);
+  result.table_stats = state.matcher.TakeStats(extract::ObjectType::kTable);
+  result.infobox_stats =
+      state.matcher.TakeStats(extract::ObjectType::kInfobox);
+  result.list_stats = state.matcher.TakeStats(extract::ObjectType::kList);
+  return result;
+}
+
+}  // namespace somr::state

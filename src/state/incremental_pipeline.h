@@ -1,0 +1,68 @@
+#ifndef SOMR_STATE_INCREMENTAL_PIPELINE_H_
+#define SOMR_STATE_INCREMENTAL_PIPELINE_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "state/context_store.h"
+#include "xmldump/dump.h"
+
+namespace somr::state {
+
+/// Outcome of ingesting one page (or, summed, one dump).
+struct IngestReport {
+  size_t pages = 0;
+  size_t new_revisions = 0;
+  size_t skipped_revisions = 0;  // already present in the context store
+
+  void Add(const IngestReport& other) {
+    pages += other.pages;
+    new_revisions += other.new_revisions;
+    skipped_revisions += other.skipped_revisions;
+  }
+};
+
+/// The resumable counterpart of core::Pipeline: revision streams are
+/// append-only feeds, matcher state is durable in a ContextStore, and
+/// each IngestPage call applies only the revisions the store has not
+/// seen, then checkpoints. Splitting a dump at any revision boundary and
+/// ingesting the parts yields byte-identical identity graphs, change
+/// cubes and (modulo timing) MatchStats to one batch run — the
+/// split/resume equivalence test in tests/state enforces this.
+class IncrementalPipeline {
+ public:
+  /// `store` must outlive the pipeline and be Open()ed by the caller.
+  explicit IncrementalPipeline(ContextStore* store) : store_(store) {}
+
+  /// Ingests one page history: loads its context (fresh when unseen),
+  /// skips already-ingested revisions — by revision id when the feed
+  /// carries ids (revisions with id <= the stored last id are considered
+  /// seen), by ordinal otherwise (feeds without ids must restate history
+  /// from revision 0) — applies the rest to the matcher, and checkpoints.
+  StatusOr<IngestReport> IngestPage(const xmldump::PageHistory& page);
+
+  /// Streams a dump and ingests every page, on `num_threads` workers
+  /// (pages are independent; at most ~2x threads page histories are in
+  /// memory at once, never the whole dump).
+  StatusOr<IngestReport> IngestDump(std::istream& xml,
+                                    unsigned num_threads = 1);
+
+  /// Reassembles the full batch-equivalent PageResult for a stored page
+  /// (identity graphs, extracted revisions, timestamps, stats) without
+  /// touching the dump.
+  StatusOr<core::PageResult> ResultFor(const std::string& title) const;
+
+ private:
+  ContextStore* store_;
+};
+
+/// Converts a loaded page state into the pipeline's result form,
+/// consuming the matcher (graphs and stats are moved out).
+core::PageResult StateToResult(PageState state);
+
+}  // namespace somr::state
+
+#endif  // SOMR_STATE_INCREMENTAL_PIPELINE_H_

@@ -1,0 +1,577 @@
+#include "state/snapshot.h"
+
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <utility>
+
+#include "common/hash.h"
+#include "state/serde.h"
+
+namespace somr::state {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'O', 'M', 'R', 'S', 'N', 'A', 'P'};
+constexpr uint32_t kFormatVersion = 1;
+
+// Section tags. Unknown tags are skipped on load (additive evolution
+// within one format version); missing required sections are an error.
+constexpr uint32_t kSectionMeta = 1;
+constexpr uint32_t kSectionMatcher = 2;
+constexpr uint32_t kSectionHistory = 3;
+
+void AppendStringVec(const std::vector<std::string>& values, ByteWriter& w) {
+  w.U64(values.size());
+  for (const std::string& v : values) w.Str(v);
+}
+
+Status ReadStringVec(ByteReader& r, std::vector<std::string>* out) {
+  uint64_t count = 0;
+  SOMR_RETURN_IF_ERROR(r.Count(&count, 8));  // 8 = length prefix
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string s;
+    SOMR_RETURN_IF_ERROR(r.Str(&s));
+    out->push_back(std::move(s));
+  }
+  return Status::OK();
+}
+
+void AppendInstance(const extract::ObjectInstance& obj, ByteWriter& w) {
+  w.U8(static_cast<uint8_t>(obj.type));
+  w.U32(static_cast<uint32_t>(obj.position));
+  AppendStringVec(obj.section_path, w);
+  w.Str(obj.caption);
+  w.U64(obj.rows.size());
+  for (const std::vector<std::string>& row : obj.rows) {
+    AppendStringVec(row, w);
+  }
+  AppendStringVec(obj.schema, w);
+}
+
+Status ReadInstance(ByteReader& r, extract::ObjectInstance* obj) {
+  uint8_t type = 0;
+  SOMR_RETURN_IF_ERROR(r.U8(&type));
+  if (type > static_cast<uint8_t>(extract::ObjectType::kList)) {
+    return Status::ParseError("snapshot corrupt: bad object type " +
+                              std::to_string(type));
+  }
+  obj->type = static_cast<extract::ObjectType>(type);
+  uint32_t position = 0;
+  SOMR_RETURN_IF_ERROR(r.U32(&position));
+  obj->position = static_cast<int>(position);
+  SOMR_RETURN_IF_ERROR(ReadStringVec(r, &obj->section_path));
+  SOMR_RETURN_IF_ERROR(r.Str(&obj->caption));
+  uint64_t row_count = 0;
+  SOMR_RETURN_IF_ERROR(r.Count(&row_count, 8));
+  obj->rows.clear();
+  obj->rows.resize(static_cast<size_t>(row_count));
+  for (uint64_t i = 0; i < row_count; ++i) {
+    SOMR_RETURN_IF_ERROR(ReadStringVec(r, &obj->rows[i]));
+  }
+  return ReadStringVec(r, &obj->schema);
+}
+
+void AppendBag(const BagOfWords& bag, ByteWriter& w) {
+  // Sorted entries: the on-disk bytes are independent of the source
+  // map's hash order, so identical bags produce identical snapshots.
+  std::vector<std::pair<std::string, double>> entries = bag.SortedEntries();
+  w.U64(entries.size());
+  for (const auto& [token, count] : entries) {
+    w.Str(token);
+    w.F64(count);
+  }
+}
+
+Status ReadBag(ByteReader& r, BagOfWords* bag) {
+  uint64_t count = 0;
+  SOMR_RETURN_IF_ERROR(r.Count(&count, 16));
+  *bag = BagOfWords();
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string token;
+    double weight = 0.0;
+    SOMR_RETURN_IF_ERROR(r.Str(&token));
+    SOMR_RETURN_IF_ERROR(r.F64(&weight));
+    if (!(weight > 0.0)) {
+      return Status::ParseError("snapshot corrupt: non-positive bag count");
+    }
+    bag->Add(token, weight);
+  }
+  return Status::OK();
+}
+
+void AppendFlatBag(const FlatBag& bag, ByteWriter& w) {
+  w.U64(bag.entries().size());
+  for (const FlatEntry& e : bag.entries()) {
+    w.U32(e.id);
+    w.F64(e.count);
+  }
+}
+
+Status ReadFlatBag(ByteReader& r, FlatBag* bag) {
+  uint64_t count = 0;
+  SOMR_RETURN_IF_ERROR(r.Count(&count, 12));
+  std::vector<FlatEntry> entries;
+  entries.reserve(static_cast<size_t>(count));
+  uint32_t prev_id = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    FlatEntry e;
+    SOMR_RETURN_IF_ERROR(r.U32(&e.id));
+    SOMR_RETURN_IF_ERROR(r.F64(&e.count));
+    if (i > 0 && e.id <= prev_id) {
+      return Status::ParseError(
+          "snapshot corrupt: flat bag ids not strictly ascending");
+    }
+    if (!(e.count > 0.0)) {
+      return Status::ParseError(
+          "snapshot corrupt: non-positive flat bag count");
+    }
+    prev_id = e.id;
+    entries.push_back(e);
+  }
+  *bag = FlatBag::FromEntries(std::move(entries));
+  return Status::OK();
+}
+
+void AppendStats(const matching::MatchStats& stats, ByteWriter& w) {
+  w.U64(stats.similarities_computed);
+  w.U64(stats.stage1_matches);
+  w.U64(stats.stage2_matches);
+  w.U64(stats.stage3_matches);
+  w.U64(stats.new_objects);
+  w.U64(stats.pairs_pruned);
+  w.U64(stats.pairs_blocked);
+  w.U64(stats.step_millis.size());
+  for (double ms : stats.step_millis) w.F64(ms);
+}
+
+Status ReadStats(ByteReader& r, matching::MatchStats* stats) {
+  uint64_t similarities = 0, s1 = 0, s2 = 0, s3 = 0;
+  uint64_t new_objects = 0, pruned = 0, blocked = 0;
+  SOMR_RETURN_IF_ERROR(r.U64(&similarities));
+  SOMR_RETURN_IF_ERROR(r.U64(&s1));
+  SOMR_RETURN_IF_ERROR(r.U64(&s2));
+  SOMR_RETURN_IF_ERROR(r.U64(&s3));
+  SOMR_RETURN_IF_ERROR(r.U64(&new_objects));
+  SOMR_RETURN_IF_ERROR(r.U64(&pruned));
+  SOMR_RETURN_IF_ERROR(r.U64(&blocked));
+  stats->similarities_computed = similarities;
+  stats->stage1_matches = s1;
+  stats->stage2_matches = s2;
+  stats->stage3_matches = s3;
+  stats->new_objects = new_objects;
+  stats->pairs_pruned = pruned;
+  stats->pairs_blocked = blocked;
+  uint64_t steps = 0;
+  SOMR_RETURN_IF_ERROR(r.Count(&steps, 8));
+  stats->step_millis.clear();
+  stats->step_millis.reserve(static_cast<size_t>(steps));
+  for (uint64_t i = 0; i < steps; ++i) {
+    double ms = 0.0;
+    SOMR_RETURN_IF_ERROR(r.F64(&ms));
+    stats->step_millis.push_back(ms);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+/// Friend of TemporalMatcher/PageMatcher: flattens the complete online
+/// matching state into snapshot bytes and restores it bit-for-bit.
+class MatcherSerde {
+ public:
+  static void Append(const matching::PageMatcher& matcher, ByteWriter& w) {
+    AppendOne(matcher.tables_, w);
+    AppendOne(matcher.infoboxes_, w);
+    AppendOne(matcher.lists_, w);
+  }
+
+  static Status Restore(ByteReader& r, matching::PageMatcher& matcher) {
+    SOMR_RETURN_IF_ERROR(RestoreOne(r, matcher.tables_));
+    SOMR_RETURN_IF_ERROR(RestoreOne(r, matcher.infoboxes_));
+    return RestoreOne(r, matcher.lists_);
+  }
+
+ private:
+  static void AppendOne(const matching::TemporalMatcher& m, ByteWriter& w) {
+    w.U8(static_cast<uint8_t>(m.type_));
+
+    // Token pool: spellings in id order; ids are implicit (dense from 0).
+    w.U64(m.pool_.size());
+    for (uint32_t id = 0; id < m.pool_.size(); ++id) {
+      w.Str(m.pool_.Spelling(id));
+    }
+
+    // Identity graph: per object its id and version chain.
+    const auto& objects = m.graph_.objects();
+    w.U64(objects.size());
+    for (const matching::TrackedObjectRecord& object : objects) {
+      w.I64(object.object_id);
+      w.U64(object.versions.size());
+      for (const matching::VersionRef& ref : object.versions) {
+        w.U32(static_cast<uint32_t>(ref.revision));
+        w.U32(static_cast<uint32_t>(ref.position));
+      }
+    }
+
+    // Tracked objects: rear-view windows and tie-break bookkeeping.
+    w.U64(m.tracked_.size());
+    for (const auto& t : m.tracked_) {
+      w.I64(t.id);
+      w.U32(static_cast<uint32_t>(t.last_position));
+      w.U32(static_cast<uint32_t>(t.first_revision));
+      w.U32(static_cast<uint32_t>(t.last_revision));
+      w.U64(t.recent_flat.size());
+      for (const FlatBag& bag : t.recent_flat) AppendFlatBag(bag, w);
+      w.U64(t.recent_bags.size());
+      for (const BagOfWords& bag : t.recent_bags) AppendBag(bag, w);
+      w.U64(t.newest_sig.size());
+      for (uint64_t h : t.newest_sig) w.U64(h);
+    }
+
+    AppendStats(m.stats_, w);
+  }
+
+  static Status RestoreOne(ByteReader& r, matching::TemporalMatcher& m) {
+    uint8_t type = 0;
+    SOMR_RETURN_IF_ERROR(r.U8(&type));
+    if (type != static_cast<uint8_t>(m.type_)) {
+      return Status::ParseError(
+          "snapshot corrupt: matcher object type mismatch");
+    }
+
+    m.pool_ = TokenPool();
+    uint64_t pool_size = 0;
+    SOMR_RETURN_IF_ERROR(r.Count(&pool_size, 8));
+    for (uint64_t i = 0; i < pool_size; ++i) {
+      std::string spelling;
+      SOMR_RETURN_IF_ERROR(r.Str(&spelling));
+      if (m.pool_.Intern(spelling) != i) {
+        return Status::ParseError(
+            "snapshot corrupt: duplicate token pool spelling");
+      }
+    }
+
+    m.graph_ = matching::IdentityGraph(m.type_);
+    uint64_t object_count = 0;
+    SOMR_RETURN_IF_ERROR(r.Count(&object_count, 16));
+    for (uint64_t i = 0; i < object_count; ++i) {
+      int64_t object_id = 0;
+      SOMR_RETURN_IF_ERROR(r.I64(&object_id));
+      uint64_t version_count = 0;
+      SOMR_RETURN_IF_ERROR(r.Count(&version_count, 8));
+      if (version_count == 0) {
+        return Status::ParseError(
+            "snapshot corrupt: identity graph object without versions");
+      }
+      int64_t restored_id = -1;
+      for (uint64_t v = 0; v < version_count; ++v) {
+        uint32_t revision = 0, position = 0;
+        SOMR_RETURN_IF_ERROR(r.U32(&revision));
+        SOMR_RETURN_IF_ERROR(r.U32(&position));
+        matching::VersionRef ref{static_cast<int>(revision),
+                                 static_cast<int>(position)};
+        if (v == 0) {
+          restored_id = m.graph_.AddObject(ref);
+        } else {
+          m.graph_.AppendVersion(restored_id, ref);
+        }
+      }
+      if (restored_id != object_id) {
+        return Status::ParseError(
+            "snapshot corrupt: non-sequential identity graph object id");
+      }
+    }
+
+    m.tracked_.clear();
+    uint64_t tracked_count = 0;
+    SOMR_RETURN_IF_ERROR(r.Count(&tracked_count, 44));
+    if (tracked_count != object_count) {
+      return Status::ParseError(
+          "snapshot corrupt: tracked count != identity graph objects");
+    }
+    m.tracked_.reserve(static_cast<size_t>(tracked_count));
+    for (uint64_t i = 0; i < tracked_count; ++i) {
+      matching::TemporalMatcher::Tracked t;
+      SOMR_RETURN_IF_ERROR(r.I64(&t.id));
+      if (t.id != static_cast<int64_t>(i)) {
+        return Status::ParseError(
+            "snapshot corrupt: tracked id out of order");
+      }
+      uint32_t last_position = 0, first_revision = 0, last_revision = 0;
+      SOMR_RETURN_IF_ERROR(r.U32(&last_position));
+      SOMR_RETURN_IF_ERROR(r.U32(&first_revision));
+      SOMR_RETURN_IF_ERROR(r.U32(&last_revision));
+      t.last_position = static_cast<int>(last_position);
+      t.first_revision = static_cast<int>(first_revision);
+      t.last_revision = static_cast<int>(last_revision);
+
+      uint64_t flat_count = 0;
+      SOMR_RETURN_IF_ERROR(r.Count(&flat_count, 8));
+      for (uint64_t b = 0; b < flat_count; ++b) {
+        FlatBag bag;
+        SOMR_RETURN_IF_ERROR(ReadFlatBag(r, &bag));
+        for (const FlatEntry& e : bag.entries()) {
+          if (e.id >= m.pool_.size()) {
+            return Status::ParseError(
+                "snapshot corrupt: flat bag id outside token pool");
+          }
+        }
+        t.recent_flat.push_back(std::move(bag));
+      }
+
+      uint64_t bag_count = 0;
+      SOMR_RETURN_IF_ERROR(r.Count(&bag_count, 8));
+      for (uint64_t b = 0; b < bag_count; ++b) {
+        BagOfWords bag;
+        SOMR_RETURN_IF_ERROR(ReadBag(r, &bag));
+        t.recent_bags.push_back(std::move(bag));
+      }
+
+      uint64_t sig_size = 0;
+      SOMR_RETURN_IF_ERROR(r.Count(&sig_size, 8));
+      t.newest_sig.reserve(static_cast<size_t>(sig_size));
+      for (uint64_t s = 0; s < sig_size; ++s) {
+        uint64_t h = 0;
+        SOMR_RETURN_IF_ERROR(r.U64(&h));
+        t.newest_sig.push_back(h);
+      }
+
+      m.tracked_.push_back(std::move(t));
+    }
+
+    m.stats_ = matching::MatchStats();
+    return ReadStats(r, &m.stats_);
+  }
+};
+
+uint64_t ConfigFingerprint(const matching::MatcherConfig& config) {
+  ByteWriter w;
+  w.Str("somr-matcher-config-v1");
+  w.I64(config.theta_pos);
+  w.F64(config.theta1);
+  w.F64(config.theta2);
+  w.F64(config.theta3);
+  w.I64(config.rear_view_window);
+  w.F64(config.decay);
+  w.U8(config.use_idf_weighting);
+  w.U8(config.use_spatial_features);
+  w.U8(config.enable_stage1);
+  w.U8(config.enable_stage2);
+  w.U8(config.enable_stage3);
+  w.U8(config.enable_lifetime_tiebreak);
+  w.U8(config.use_flat_kernels);
+  w.U8(config.enable_lsh_blocking);
+  w.U64(config.lsh_min_pair_count);
+  w.I64(config.lsh_bands);
+  w.I64(config.lsh_rows);
+  w.U64(config.features.element_token_limit);
+  w.U8(config.features.include_section_headers);
+  w.U8(config.features.include_caption);
+  return Fnv1a64(w.bytes());
+}
+
+Status SavePageSnapshot(const PageState& state, std::ostream& out) {
+  ByteWriter meta;
+  meta.Str(state.title);
+  meta.I64(state.page_id);
+  meta.I64(state.last_revision_id);
+  meta.I64(state.last_timestamp);
+  meta.U32(state.revisions_ingested);
+
+  ByteWriter matcher;
+  MatcherSerde::Append(state.matcher, matcher);
+
+  ByteWriter history;
+  history.U64(state.revisions.size());
+  for (const extract::PageObjects& objects : state.revisions) {
+    for (const extract::ObjectType type :
+         {extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+          extract::ObjectType::kList}) {
+      const auto& bucket = objects.OfType(type);
+      history.U64(bucket.size());
+      for (const extract::ObjectInstance& obj : bucket) {
+        AppendInstance(obj, history);
+      }
+    }
+  }
+  history.U64(state.timestamps.size());
+  for (UnixSeconds t : state.timestamps) history.I64(t);
+
+  ByteWriter header;
+  for (char c : kMagic) header.U8(static_cast<uint8_t>(c));
+  header.U32(kFormatVersion);
+  header.U64(ConfigFingerprint(state.matcher.config()));
+  header.U32(3);  // section count
+
+  auto write_section = [&out](uint32_t tag, const std::string& payload) {
+    ByteWriter section_header;
+    section_header.U32(tag);
+    section_header.U64(payload.size());
+    section_header.U64(Fnv1a64(payload));
+    out.write(section_header.bytes().data(),
+              static_cast<std::streamsize>(section_header.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  };
+
+  out.write(header.bytes().data(),
+            static_cast<std::streamsize>(header.size()));
+  write_section(kSectionMeta, meta.bytes());
+  write_section(kSectionMatcher, matcher.bytes());
+  write_section(kSectionHistory, history.bytes());
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("snapshot write failed (stream error)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status LoadMeta(ByteReader& r, PageState* state) {
+  SOMR_RETURN_IF_ERROR(r.Str(&state->title));
+  SOMR_RETURN_IF_ERROR(r.I64(&state->page_id));
+  SOMR_RETURN_IF_ERROR(r.I64(&state->last_revision_id));
+  SOMR_RETURN_IF_ERROR(r.I64(&state->last_timestamp));
+  SOMR_RETURN_IF_ERROR(r.U32(&state->revisions_ingested));
+  if (!r.AtEnd()) {
+    return Status::ParseError("snapshot corrupt: meta section overlong");
+  }
+  return Status::OK();
+}
+
+Status LoadHistory(ByteReader& r, PageState* state) {
+  uint64_t revision_count = 0;
+  SOMR_RETURN_IF_ERROR(r.Count(&revision_count, 24));
+  state->revisions.clear();
+  state->revisions.resize(static_cast<size_t>(revision_count));
+  for (uint64_t i = 0; i < revision_count; ++i) {
+    for (const extract::ObjectType type :
+         {extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+          extract::ObjectType::kList}) {
+      uint64_t bucket_size = 0;
+      SOMR_RETURN_IF_ERROR(r.Count(&bucket_size, 29));
+      auto& bucket = state->revisions[i].OfType(type);
+      bucket.resize(static_cast<size_t>(bucket_size));
+      for (uint64_t o = 0; o < bucket_size; ++o) {
+        SOMR_RETURN_IF_ERROR(ReadInstance(r, &bucket[o]));
+        if (bucket[o].type != type) {
+          return Status::ParseError(
+              "snapshot corrupt: instance type outside its bucket");
+        }
+      }
+    }
+  }
+  uint64_t timestamp_count = 0;
+  SOMR_RETURN_IF_ERROR(r.Count(&timestamp_count, 8));
+  if (timestamp_count != revision_count) {
+    return Status::ParseError(
+        "snapshot corrupt: timestamp count != revision count");
+  }
+  state->timestamps.clear();
+  state->timestamps.reserve(static_cast<size_t>(timestamp_count));
+  for (uint64_t i = 0; i < timestamp_count; ++i) {
+    int64_t t = 0;
+    SOMR_RETURN_IF_ERROR(r.I64(&t));
+    state->timestamps.push_back(t);
+  }
+  if (!r.AtEnd()) {
+    return Status::ParseError("snapshot corrupt: history section overlong");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LoadPageSnapshot(std::istream& in,
+                        const matching::MatcherConfig& config,
+                        PageState* state) {
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::Internal("snapshot read failed (stream error)");
+  }
+  ByteReader r(data);
+
+  for (char expected : kMagic) {
+    uint8_t byte = 0;
+    SOMR_RETURN_IF_ERROR(r.U8(&byte));
+    if (byte != static_cast<uint8_t>(expected)) {
+      return Status::ParseError("not a somr snapshot (bad magic)");
+    }
+  }
+  uint32_t version = 0;
+  SOMR_RETURN_IF_ERROR(r.U32(&version));
+  if (version != kFormatVersion) {
+    return Status::ParseError("unsupported snapshot format version " +
+                              std::to_string(version));
+  }
+  uint64_t fingerprint = 0;
+  SOMR_RETURN_IF_ERROR(r.U64(&fingerprint));
+  if (fingerprint != ConfigFingerprint(config)) {
+    return Status::InvalidArgument(
+        "snapshot was written under a different MatcherConfig "
+        "(config fingerprint mismatch); refusing to resume");
+  }
+
+  uint32_t section_count = 0;
+  SOMR_RETURN_IF_ERROR(r.U32(&section_count));
+
+  // Parse into a scratch state so a corrupt section never leaves the
+  // caller's state half-restored.
+  PageState loaded(config);
+  bool have_meta = false, have_matcher = false, have_history = false;
+  for (uint32_t s = 0; s < section_count; ++s) {
+    uint32_t tag = 0;
+    uint64_t size = 0, checksum = 0;
+    SOMR_RETURN_IF_ERROR(r.U32(&tag));
+    SOMR_RETURN_IF_ERROR(r.U64(&size));
+    SOMR_RETURN_IF_ERROR(r.U64(&checksum));
+    std::string payload;
+    if (!r.Bytes(size, &payload).ok()) {
+      return Status::ParseError("snapshot truncated: section " +
+                                std::to_string(tag) + " payload cut short");
+    }
+    if (Fnv1a64(payload) != checksum) {
+      return Status::ParseError("snapshot corrupt: section " +
+                                std::to_string(tag) + " checksum mismatch");
+    }
+    ByteReader section(payload);
+    switch (tag) {
+      case kSectionMeta:
+        SOMR_RETURN_IF_ERROR(LoadMeta(section, &loaded));
+        have_meta = true;
+        break;
+      case kSectionMatcher:
+        SOMR_RETURN_IF_ERROR(MatcherSerde::Restore(section, loaded.matcher));
+        if (!section.AtEnd()) {
+          return Status::ParseError(
+              "snapshot corrupt: matcher section overlong");
+        }
+        have_matcher = true;
+        break;
+      case kSectionHistory:
+        SOMR_RETURN_IF_ERROR(LoadHistory(section, &loaded));
+        have_history = true;
+        break;
+      default:
+        break;  // unknown section: skip (checksum already verified)
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::ParseError("snapshot corrupt: trailing bytes");
+  }
+  if (!have_meta || !have_matcher || !have_history) {
+    return Status::ParseError("snapshot corrupt: missing required section");
+  }
+  if (loaded.revisions.size() != loaded.revisions_ingested) {
+    return Status::ParseError(
+        "snapshot corrupt: history length != ingested revision count");
+  }
+  *state = std::move(loaded);
+  return Status::OK();
+}
+
+}  // namespace somr::state

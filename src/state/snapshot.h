@@ -1,0 +1,71 @@
+#ifndef SOMR_STATE_SNAPSHOT_H_
+#define SOMR_STATE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_util.h"
+#include "extract/object.h"
+#include "matching/matcher.h"
+
+namespace somr::state {
+
+/// The durable per-page matching context: everything needed to resume
+/// Algorithm 1 mid-stream and to regenerate every derived output (identity
+/// graphs, change cube, classification) without reprocessing history.
+///
+/// `matcher` carries the live online state (token pool, rear-view FlatBag
+/// windows, decay/tie-break bookkeeping, identity graphs, match stats);
+/// `revisions`/`timestamps` carry the extracted instance history the
+/// change-cube diff needs. Revision bookkeeping identifies what has been
+/// ingested so appends can skip already-seen revisions.
+struct PageState {
+  explicit PageState(matching::MatcherConfig config = {})
+      : matcher(config) {}
+
+  std::string title;
+  int64_t page_id = 0;
+  /// Highest MediaWiki revision id ingested (0 when the feed carries no
+  /// ids — then `revisions_ingested` ordinals drive the skip logic).
+  int64_t last_revision_id = 0;
+  UnixSeconds last_timestamp = 0;
+  /// Number of revisions applied to the matcher == the next revision
+  /// index (revision indices are global over the page's lifetime).
+  uint32_t revisions_ingested = 0;
+
+  matching::PageMatcher matcher;
+  std::vector<extract::PageObjects> revisions;
+  std::vector<UnixSeconds> timestamps;
+};
+
+/// Stable 64-bit fingerprint of every matching-relevant config field.
+/// Snapshots written under one fingerprint refuse to load under another:
+/// resuming a stream with different thresholds/windows would silently
+/// produce graphs that match neither run.
+uint64_t ConfigFingerprint(const matching::MatcherConfig& config);
+
+/// Serializes `state` in the versioned binary snapshot format:
+///
+///   magic "SOMRSNAP" | u32 format version | u64 config fingerprint |
+///   u32 section count | sections
+///
+/// where each section is `u32 tag | u64 payload size | u64 FNV-1a64
+/// checksum | payload`. Returns Internal when the stream write fails.
+Status SavePageSnapshot(const PageState& state, std::ostream& out);
+
+/// Parses a snapshot written by SavePageSnapshot into `*state`, which
+/// must have been constructed with `config`. Returns ParseError for
+/// corrupt/truncated input (bad magic, unknown version, checksum or
+/// bounds violations) and InvalidArgument when the snapshot's config
+/// fingerprint does not match `config` — never crashes, never loads a
+/// partial state.
+Status LoadPageSnapshot(std::istream& in,
+                        const matching::MatcherConfig& config,
+                        PageState* state);
+
+}  // namespace somr::state
+
+#endif  // SOMR_STATE_SNAPSHOT_H_

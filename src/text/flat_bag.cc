@@ -35,6 +35,15 @@ FlatBag FlatBag::FromTokenIds(std::vector<uint32_t> ids) {
   return flat;
 }
 
+FlatBag FlatBag::FromEntries(std::vector<FlatEntry> entries) {
+  FlatBag flat;
+  flat.entries_ = std::move(entries);
+  // Sum in entry order, matching FromBag/FromTokenIds, so a restored bag
+  // equals the saved one bit-for-bit (the totals feed similarity math).
+  for (const FlatEntry& e : flat.entries_) flat.total_ += e.count;
+  return flat;
+}
+
 double FlatBag::Count(uint32_t id) const {
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), id,

@@ -39,6 +39,12 @@ class FlatBag {
   /// by extract::BuildFlatBag.
   static FlatBag FromTokenIds(std::vector<uint32_t> ids);
 
+  /// Rebuilds a bag from previously compiled entries (snapshot restore).
+  /// Entries must be strictly ascending by id with positive counts —
+  /// exactly what entries() returned when the bag was saved; violations
+  /// are rejected as ParseError by the snapshot loader before this runs.
+  static FlatBag FromEntries(std::vector<FlatEntry> entries);
+
   /// Entries in ascending id order.
   const std::vector<FlatEntry>& entries() const { return entries_; }
 

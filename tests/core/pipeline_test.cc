@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "eval/metrics.h"
 #include "wikigen/corpus.h"
 
@@ -105,6 +107,64 @@ TEST(PipelineTest, ParallelWithOneThreadIsSequential) {
   EXPECT_EQ(result->size(), corpus.pages.size());
 }
 
+
+TEST(PipelineTest, ParallelMoreThreadsThanPages) {
+  wikigen::GoldCorpus corpus = TinyCorpus();  // 2 pages
+  std::string xml = xmldump::WriteDump(wikigen::CorpusToDump(corpus));
+  Pipeline pipeline;
+  auto sequential = pipeline.ProcessDumpXml(xml);
+  auto parallel = pipeline.ProcessDumpXmlParallel(xml, 16);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(parallel->size(), corpus.pages.size());
+  for (size_t p = 0; p < sequential->size(); ++p) {
+    EXPECT_EQ((*sequential)[p].title, (*parallel)[p].title);
+    EXPECT_EQ((*sequential)[p].tables.EdgeSet(),
+              (*parallel)[p].tables.EdgeSet());
+  }
+}
+
+TEST(PipelineTest, EmptyDumpYieldsNoPages) {
+  Pipeline pipeline;
+  const std::string xml = "<mediawiki><siteinfo/></mediawiki>";
+  auto sequential = pipeline.ProcessDumpXml(xml);
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_TRUE(sequential->empty());
+  auto parallel = pipeline.ProcessDumpXmlParallel(xml, 4);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_TRUE(parallel->empty());
+}
+
+TEST(PipelineTest, StreamMatchesInMemory) {
+  wikigen::GoldCorpus corpus = TinyCorpus();
+  std::string xml = xmldump::WriteDump(wikigen::CorpusToDump(corpus));
+  Pipeline pipeline;
+  auto batch = pipeline.ProcessDumpXml(xml);
+  ASSERT_TRUE(batch.ok());
+  for (unsigned threads : {1u, 3u}) {
+    std::istringstream in(xml);
+    auto streamed = pipeline.ProcessDumpStream(in, threads);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    ASSERT_EQ(streamed->size(), batch->size());
+    for (size_t p = 0; p < batch->size(); ++p) {
+      EXPECT_EQ((*streamed)[p].title, (*batch)[p].title);
+      EXPECT_EQ((*streamed)[p].tables.EdgeSet(),
+                (*batch)[p].tables.EdgeSet());
+      EXPECT_EQ((*streamed)[p].infoboxes.EdgeSet(),
+                (*batch)[p].infoboxes.EdgeSet());
+      EXPECT_EQ((*streamed)[p].lists.EdgeSet(),
+                (*batch)[p].lists.EdgeSet());
+    }
+  }
+}
+
+TEST(PipelineTest, StreamEmptyDump) {
+  Pipeline pipeline;
+  std::istringstream in("<mediawiki><siteinfo/></mediawiki>");
+  auto results = pipeline.ProcessDumpStream(in, 4);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_TRUE(results->empty());
+}
 
 TEST(PipelineTest, TimestampsCarriedThrough) {
   wikigen::GoldCorpus corpus = TinyCorpus();

@@ -54,6 +54,50 @@ TEST(GraphIoTest, RejectsGarbage) {
                    .ok());
 }
 
+TEST(GraphIoTest, RoundTripEveryObjectType) {
+  for (extract::ObjectType type :
+       {extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+        extract::ObjectType::kList}) {
+    IdentityGraph graph(type);
+    int64_t a = graph.AddObject({0, 0});
+    graph.AppendVersion(a, {1, 1});
+    int64_t b = graph.AddObject({1, 0});
+    graph.AppendVersion(b, {2, 0});
+    graph.AppendVersion(b, {3, 0});
+    auto parsed = ParseIdentityGraph(SerializeIdentityGraph(graph));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->type(), type);
+    EXPECT_EQ(parsed->EdgeSet(), graph.EdgeSet());
+  }
+}
+
+TEST(GraphIoTest, SerializationIsAFixedPoint) {
+  // serialize(parse(serialize(g))) == serialize(g): the format drops
+  // nothing the serializer knows how to write.
+  std::string once = SerializeIdentityGraph(SampleGraph());
+  auto parsed = ParseIdentityGraph(once);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(SerializeIdentityGraph(*parsed), once);
+}
+
+TEST(GraphIoTest, RoundTripLargeGraph) {
+  IdentityGraph graph(extract::ObjectType::kTable);
+  for (int o = 0; o < 40; ++o) {
+    int64_t id = graph.AddObject({o % 7, o % 3});
+    for (int v = 1; v <= o % 5; ++v) {
+      graph.AppendVersion(id, {o % 7 + v, (o + v) % 4});
+    }
+  }
+  auto parsed = ParseIdentityGraph(SerializeIdentityGraph(graph));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ObjectCount(), graph.ObjectCount());
+  EXPECT_EQ(parsed->VersionCount(), graph.VersionCount());
+  EXPECT_EQ(parsed->EdgeSet(), graph.EdgeSet());
+  for (size_t o = 0; o < graph.objects().size(); ++o) {
+    EXPECT_EQ(parsed->objects()[o].versions, graph.objects()[o].versions);
+  }
+}
+
 TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
   auto parsed = ParseIdentityGraph(
       "# somr-identity-graph v1 type=table\n\n# note\nobject 0\n0 0\n\n");

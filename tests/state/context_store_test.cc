@@ -1,0 +1,158 @@
+#include "state/context_store.h"
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace somr::state {
+namespace {
+
+// Fresh store directory per test, removed on teardown.
+class ContextStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/somr-store-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    std::system(cmd.c_str());
+  }
+
+  PageState MakeState(const std::string& title, int64_t last_rev) {
+    PageState state;
+    state.title = title;
+    state.page_id = 7;
+    state.last_revision_id = last_rev;
+    state.last_timestamp = 1600000000 + last_rev;
+    state.revisions_ingested = static_cast<uint32_t>(last_rev);
+    for (int64_t r = 0; r < last_rev; ++r) {
+      state.revisions.emplace_back();
+      state.timestamps.push_back(1600000000 + r);
+    }
+    return state;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ContextStoreTest, OpenWithoutCreateIsNotFound) {
+  ContextStore store(dir_ + "/missing");
+  EXPECT_EQ(store.Open(/*create=*/false).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ContextStoreTest, CreateThenReopen) {
+  {
+    ContextStore store(dir_);
+    ASSERT_TRUE(store.Open(/*create=*/true).ok());
+    ASSERT_TRUE(store.Save(MakeState("Alpha", 3)).ok());
+    ASSERT_TRUE(store.Save(MakeState("Beta", 5)).ok());
+  }
+  ContextStore reopened(dir_);
+  ASSERT_TRUE(reopened.Open(/*create=*/false).ok());
+  EXPECT_TRUE(reopened.Contains("Alpha"));
+  EXPECT_TRUE(reopened.Contains("Beta"));
+  EXPECT_FALSE(reopened.Contains("Gamma"));
+
+  std::vector<ContextStore::PageInfo> pages = reopened.Pages();
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(pages[0].title, "Alpha");  // sorted by title
+  EXPECT_EQ(pages[0].last_revision_id, 3);
+  EXPECT_EQ(pages[1].title, "Beta");
+  EXPECT_EQ(pages[1].revisions_ingested, 5u);
+}
+
+TEST_F(ContextStoreTest, LoadRestoresSavedState) {
+  ContextStore store(dir_);
+  ASSERT_TRUE(store.Open(/*create=*/true).ok());
+  ASSERT_TRUE(store.Save(MakeState("Alpha", 4)).ok());
+
+  StatusOr<PageState> loaded = store.Load("Alpha");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->title, "Alpha");
+  EXPECT_EQ(loaded->page_id, 7);
+  EXPECT_EQ(loaded->last_revision_id, 4);
+  EXPECT_EQ(loaded->revisions.size(), 4u);
+}
+
+TEST_F(ContextStoreTest, LoadUnknownPageIsNotFound) {
+  ContextStore store(dir_);
+  ASSERT_TRUE(store.Open(/*create=*/true).ok());
+  EXPECT_EQ(store.Load("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ContextStoreTest, SaveOverwritesAtomically) {
+  ContextStore store(dir_);
+  ASSERT_TRUE(store.Open(/*create=*/true).ok());
+  ASSERT_TRUE(store.Save(MakeState("Alpha", 2)).ok());
+  ASSERT_TRUE(store.Save(MakeState("Alpha", 9)).ok());
+  StatusOr<PageState> loaded = store.Load("Alpha");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->last_revision_id, 9);
+  ASSERT_EQ(store.Pages().size(), 1u);
+  EXPECT_EQ(store.Pages()[0].last_revision_id, 9);
+}
+
+TEST_F(ContextStoreTest, AwkwardTitlesSurviveTheManifest) {
+  ContextStore store(dir_);
+  ASSERT_TRUE(store.Open(/*create=*/true).ok());
+  const std::string awkward = "A/B\\C\td\ne \"quoted\" \xc3\xa9";
+  ASSERT_TRUE(store.Save(MakeState(awkward, 1)).ok());
+
+  ContextStore reopened(dir_);
+  ASSERT_TRUE(reopened.Open(/*create=*/false).ok());
+  ASSERT_TRUE(reopened.Contains(awkward));
+  StatusOr<PageState> loaded = reopened.Load(awkward);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->title, awkward);
+}
+
+TEST_F(ContextStoreTest, RefusesDifferentConfigFingerprint) {
+  {
+    ContextStore store(dir_);
+    ASSERT_TRUE(store.Open(/*create=*/true).ok());
+    ASSERT_TRUE(store.Save(MakeState("Alpha", 1)).ok());
+  }
+  matching::MatcherConfig other;
+  other.theta1 = 0.75;
+  ContextStore mismatched(dir_, other);
+  EXPECT_EQ(mismatched.Open(/*create=*/false).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ContextStoreTest, CorruptSnapshotFileIsCleanError) {
+  ContextStore store(dir_);
+  ASSERT_TRUE(store.Open(/*create=*/true).ok());
+  ASSERT_TRUE(store.Save(MakeState("Alpha", 2)).ok());
+  // Truncate the snapshot file behind the store's back.
+  std::string file = store.Pages()[0].file;
+  std::ofstream(dir_ + "/" + file, std::ios::trunc) << "SOMR";
+  StatusOr<PageState> loaded = store.Load("Alpha");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(ContextStoreTest, GarbageManifestIsCleanError) {
+  ContextStore store(dir_);
+  ASSERT_TRUE(store.Open(/*create=*/true).ok());
+  std::ofstream(dir_ + "/manifest.tsv", std::ios::trunc)
+      << "not a manifest\n";
+  ContextStore reopened(dir_);
+  EXPECT_FALSE(reopened.Open(/*create=*/false).ok());
+}
+
+TEST_F(ContextStoreTest, NoTempFilesLeftBehind) {
+  ContextStore store(dir_);
+  ASSERT_TRUE(store.Open(/*create=*/true).ok());
+  ASSERT_TRUE(store.Save(MakeState("Alpha", 3)).ok());
+  std::string cmd = "ls '" + dir_ + "' | grep -c '\\.tmp$' > /dev/null";
+  EXPECT_NE(std::system(cmd.c_str()), 0);  // grep -c finds none -> exit 1
+}
+
+}  // namespace
+}  // namespace somr::state

@@ -9,9 +9,9 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
-#include <sstream>
 
 #include "common/flags.h"
+#include "common/string_util.h"
 #include "core/change_classifier.h"
 #include "core/change_cube.h"
 #include "core/pipeline.h"
@@ -52,6 +52,9 @@ int main(int argc, char** argv) {
   flags.AddBool("classify", false,
                 "print an update-classification summary");
   flags.AddBool("summary", true, "print per-page object summaries");
+  flags.AddBool("in-memory", false,
+                "load the whole dump into RAM instead of streaming "
+                "<page> blocks");
 
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -64,28 +67,39 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::string xml;
+  core::Pipeline pipeline;
+  const unsigned threads = static_cast<unsigned>(flags.GetInt("threads"));
+  StatusOr<std::vector<core::PageResult>> results =
+      Status::Internal("no input processed");
   if (flags.GetBool("demo")) {
-    xml = DemoDump();
+    results = pipeline.ProcessDumpXmlParallel(DemoDump(), threads);
   } else if (!flags.Positional().empty()) {
-    std::ifstream in(flags.Positional()[0]);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n",
-                   flags.Positional()[0].c_str());
-      return 1;
+    const std::string& path = flags.Positional()[0];
+    if (flags.GetBool("in-memory")) {
+      // One sized read — no stringstream double-buffering.
+      StatusOr<std::string> xml = ReadFileToString(path);
+      if (!xml.ok()) {
+        std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                     xml.status().ToString().c_str());
+        return 1;
+      }
+      results = pipeline.ProcessDumpXmlParallel(*xml, threads);
+    } else {
+      // Default: stream <page> blocks so large dumps never need the
+      // whole XML in memory.
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+      }
+      results = pipeline.ProcessDumpStream(in, threads);
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    xml = buffer.str();
   } else {
     std::fprintf(stderr, "no input: pass a dump path or --demo\n%s",
                  flags.Usage(argv[0]).c_str());
     return 2;
   }
 
-  core::Pipeline pipeline;
-  auto results = pipeline.ProcessDumpXmlParallel(
-      xml, static_cast<unsigned>(flags.GetInt("threads")));
   if (!results.ok()) {
     std::fprintf(stderr, "failed: %s\n",
                  results.status().ToString().c_str());
