@@ -1,0 +1,19 @@
+#!/bin/sh
+# Matching-kernel benchmark: builds the release preset and runs the micro
+# benchmarks in --json mode, writing BENCH_matching.json at the repo root
+# (ns/op for the similarity kernels and a full matching step, legacy vs
+# flat engine). Compare the file across commits to catch hot-path
+# regressions — the observability layer must stay within 2% when disabled.
+#
+#   scripts/bench.sh             # build + run, writes ./BENCH_matching.json
+#   JOBS=8 scripts/bench.sh      # override build parallelism
+set -eu
+
+cd "$(dirname "$0")/.."
+: "${JOBS:=$(nproc 2>/dev/null || echo 2)}"
+export CMAKE_BUILD_PARALLEL_LEVEL="$JOBS"
+
+cmake --preset release
+cmake --build --preset release --target bench_micro_kernels
+build/release/bench/bench_micro_kernels --json BENCH_matching.json
+echo "==> wrote BENCH_matching.json"

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Tier-1 verification in one invocation: configure + build + ctest for the
-# release preset, then again under AddressSanitizer/UBSan. Any failure
-# (configure, compile, or test) fails the script.
+# release preset, again under AddressSanitizer/UBSan, and once more with
+# tracing compiled in plus the end-to-end observability smoke test
+# (`somr_process --demo` with trace/metrics/provenance outputs validated).
+# Any failure (configure, compile, or test) fails the script.
 #
-#   scripts/verify.sh            # release + asan
+#   scripts/verify.sh            # release + asan + obs
 #   scripts/verify.sh release    # just one preset's workflow
 #   JOBS=8 scripts/verify.sh     # override build parallelism
 set -eu
@@ -12,7 +14,7 @@ cd "$(dirname "$0")/.."
 : "${JOBS:=$(nproc 2>/dev/null || echo 2)}"
 export CMAKE_BUILD_PARALLEL_LEVEL="$JOBS"
 
-presets="${1:-release asan}"
+presets="${1:-release asan obs}"
 for preset in $presets; do
   echo "==> workflow verify-$preset"
   cmake --workflow --preset "verify-$preset"

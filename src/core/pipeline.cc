@@ -9,9 +9,38 @@
 
 #include "xmldump/stream_reader.h"
 
+#include "common/timer.h"
 #include "eval/harness.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace somr::core {
+
+namespace {
+
+struct PipelineMetrics {
+  obs::Counter* pages;
+  obs::Counter* revisions;
+  obs::Histogram* page_seconds;
+};
+
+const PipelineMetrics& GetPipelineMetrics() {
+  static const PipelineMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    PipelineMetrics m;
+    m.pages = reg.GetCounter("somr_pipeline_pages_total",
+                             "Page histories processed end to end");
+    m.revisions = reg.GetCounter("somr_pipeline_revisions_total",
+                                 "Page revisions extracted and matched");
+    m.page_seconds = reg.GetHistogram(
+        "somr_pipeline_page_seconds",
+        "End-to-end wall time per page history", 1e-4, 2.0, 20);
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 const matching::IdentityGraph& PageResult::GraphFor(
     extract::ObjectType type) const {
@@ -27,6 +56,8 @@ const matching::IdentityGraph& PageResult::GraphFor(
 }
 
 PageResult Pipeline::ProcessPage(const xmldump::PageHistory& page) const {
+  SOMR_TRACE_SCOPE_CAT("pipeline", "pipeline/page");
+  Timer page_timer;
   PageResult result;
   result.title = page.title;
   result.revisions = eval::ExtractRevisionObjects(page);
@@ -36,9 +67,18 @@ PageResult Pipeline::ProcessPage(const xmldump::PageHistory& page) const {
   }
 
   matching::PageMatcher matcher(config_);
+  // Stamp every decision record with this page's title. The scoped sink
+  // lives on the stack, so the matcher must drop it before we return.
+  obs::PageScopedSink scoped(provenance_, result.title);
+  if (scoped.active()) matcher.SetProvenanceSink(&scoped);
   for (size_t r = 0; r < result.revisions.size(); ++r) {
     matcher.ProcessRevision(static_cast<int>(r), result.revisions[r]);
   }
+  if (scoped.active()) matcher.SetProvenanceSink(nullptr);
+  const PipelineMetrics& metrics = GetPipelineMetrics();
+  metrics.pages->Increment();
+  metrics.revisions->Increment(result.revisions.size());
+  metrics.page_seconds->Observe(page_timer.ElapsedSeconds());
   result.tables = matcher.TakeGraph(extract::ObjectType::kTable);
   result.infoboxes = matcher.TakeGraph(extract::ObjectType::kInfobox);
   result.lists = matcher.TakeGraph(extract::ObjectType::kList);
@@ -48,9 +88,18 @@ PageResult Pipeline::ProcessPage(const xmldump::PageHistory& page) const {
   return result;
 }
 
+namespace {
+
+StatusOr<xmldump::Dump> ReadDumpTraced(std::string_view xml) {
+  SOMR_TRACE_SCOPE_CAT("pipeline", "pipeline/read_dump");
+  return xmldump::ReadDump(xml);
+}
+
+}  // namespace
+
 StatusOr<std::vector<PageResult>> Pipeline::ProcessDumpXml(
     std::string_view xml) const {
-  StatusOr<xmldump::Dump> dump = xmldump::ReadDump(xml);
+  StatusOr<xmldump::Dump> dump = ReadDumpTraced(xml);
   if (!dump.ok()) return dump.status();
   std::vector<PageResult> results;
   results.reserve(dump->pages.size());
@@ -140,7 +189,7 @@ StatusOr<std::vector<PageResult>> Pipeline::ProcessDumpStream(
 StatusOr<std::vector<PageResult>> Pipeline::ProcessDumpXmlParallel(
     std::string_view xml, unsigned num_threads) const {
   if (num_threads <= 1) return ProcessDumpXml(xml);
-  StatusOr<xmldump::Dump> dump = xmldump::ReadDump(xml);
+  StatusOr<xmldump::Dump> dump = ReadDumpTraced(xml);
   if (!dump.ok()) return dump.status();
 
   std::vector<PageResult> results(dump->pages.size());

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "extract/object.h"
 #include "matching/matcher.h"
+#include "obs/provenance.h"
 #include "xmldump/dump.h"
 
 namespace somr::core {
@@ -61,8 +62,17 @@ class Pipeline {
 
   const matching::MatcherConfig& config() const { return config_; }
 
+  /// Attaches a match-decision provenance sink (nullptr detaches). The
+  /// sink receives one record per matcher decision, stamped with the page
+  /// title; it must be thread-safe when the parallel entry points are
+  /// used, and must outlive every subsequent Process* call.
+  void set_provenance_sink(obs::ProvenanceSink* sink) {
+    provenance_ = sink;
+  }
+
  private:
   matching::MatcherConfig config_;
+  obs::ProvenanceSink* provenance_ = nullptr;  // optional, not owned
 };
 
 }  // namespace somr::core

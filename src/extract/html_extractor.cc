@@ -2,6 +2,7 @@
 
 #include "extract/span_grid.h"
 #include "html/parser.h"
+#include "obs/trace.h"
 
 namespace somr::extract {
 
@@ -200,6 +201,7 @@ class HtmlWalker {
 }  // namespace
 
 PageObjects ExtractFromHtml(const html::Node& document) {
+  SOMR_TRACE_SCOPE_CAT("extract", "extract/html");
   PageObjects objects;
   HtmlWalker walker(objects);
   walker.Walk(document);
@@ -207,7 +209,11 @@ PageObjects ExtractFromHtml(const html::Node& document) {
 }
 
 PageObjects ExtractFromHtmlSource(std::string_view source) {
-  std::unique_ptr<html::Node> doc = html::ParseHtml(source);
+  std::unique_ptr<html::Node> doc;
+  {
+    SOMR_TRACE_SCOPE_CAT("extract", "parse/html");
+    doc = html::ParseHtml(source);
+  }
   return ExtractFromHtml(*doc);
 }
 

@@ -1,6 +1,7 @@
 #include "extract/wikitext_extractor.h"
 
 #include "extract/span_grid.h"
+#include "obs/trace.h"
 #include "wikitext/inline_markup.h"
 #include "wikitext/parser.h"
 
@@ -106,6 +107,7 @@ ObjectInstance ExtractList(const wikitext::List& list) {
 }  // namespace
 
 PageObjects ExtractFromWikitext(const wikitext::Document& doc) {
+  SOMR_TRACE_SCOPE_CAT("extract", "extract/wikitext");
   PageObjects objects;
   SectionTracker sections;
   for (const wikitext::Element& element : doc.elements) {
@@ -134,7 +136,12 @@ PageObjects ExtractFromWikitext(const wikitext::Document& doc) {
 }
 
 PageObjects ExtractFromWikitextSource(std::string_view source) {
-  return ExtractFromWikitext(wikitext::ParseWikitext(source));
+  wikitext::Document doc;
+  {
+    SOMR_TRACE_SCOPE_CAT("extract", "parse/wikitext");
+    doc = wikitext::ParseWikitext(source);
+  }
+  return ExtractFromWikitext(doc);
 }
 
 }  // namespace somr::extract

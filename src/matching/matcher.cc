@@ -7,10 +7,70 @@
 
 #include "common/timer.h"
 #include "matching/hungarian.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace somr::matching {
 
 namespace {
+
+// Static span names so trace events never allocate.
+const char* MatchSpanName(extract::ObjectType type) {
+  switch (type) {
+    case extract::ObjectType::kTable:
+      return "match/table";
+    case extract::ObjectType::kInfobox:
+      return "match/infobox";
+    case extract::ObjectType::kList:
+      return "match/list";
+  }
+  return "match/unknown";
+}
+
+// Process-wide matcher metrics, registered once. Updated with per-step
+// deltas (a handful of relaxed fetch_adds per revision, never per pair),
+// so the per-pair hot path carries no metrics cost at all.
+struct MatcherMetrics {
+  obs::Counter* steps;
+  obs::Counter* similarities;
+  obs::Counter* pairs_pruned;
+  obs::Counter* pairs_blocked;
+  obs::Counter* stage1_matches;
+  obs::Counter* stage2_matches;
+  obs::Counter* stage3_matches;
+  obs::Counter* new_objects;
+  obs::Histogram* step_seconds;
+};
+
+MatcherMetrics& GetMatcherMetrics() {
+  static MatcherMetrics* metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    auto* m = new MatcherMetrics();
+    m->steps = r.GetCounter("somr_match_steps_total",
+                            "matching steps (revisions x object types)");
+    m->similarities =
+        r.GetCounter("somr_match_similarities_total",
+                     "exact pairwise similarity computations");
+    m->pairs_pruned =
+        r.GetCounter("somr_match_pairs_pruned_total",
+                     "pairs skipped via the weighted-total upper bound");
+    m->pairs_blocked = r.GetCounter("somr_match_pairs_blocked_total",
+                                    "pairs filtered by LSH blocking");
+    m->stage1_matches = r.GetCounter("somr_match_stage1_matches_total",
+                                     "edges accepted in stage 1 (local)");
+    m->stage2_matches = r.GetCounter("somr_match_stage2_matches_total",
+                                     "edges accepted in stage 2 (strict)");
+    m->stage3_matches = r.GetCounter("somr_match_stage3_matches_total",
+                                     "edges accepted in stage 3 (relaxed)");
+    m->new_objects = r.GetCounter("somr_match_new_objects_total",
+                                  "instances that started a new object");
+    m->step_seconds = r.GetHistogram(
+        "somr_match_step_seconds", "wall time of one matching step", 1e-6,
+        2.0, 24);
+    return m;
+  }();
+  return *metrics;
+}
 
 // Tie-break epsilons (Sec. IV-A3, Alg. 1: matching(G, ↓LT, ↓POS)):
 // lifetime dominates position. For a duplicated instance both candidate
@@ -55,27 +115,37 @@ double TemporalMatcher::DecayedSim(sim::SimilarityKind kind,
   return best;
 }
 
-double TemporalMatcher::TieBreakBonus(const Tracked& tracked,
-                                      int new_position,
-                                      int revision_index) const {
-  double bonus = 0.0;
+void TemporalMatcher::TieBreakParts(const Tracked& tracked,
+                                    int new_position, int revision_index,
+                                    double* position_part,
+                                    double* lifetime_part) const {
+  *position_part = 0.0;
+  *lifetime_part = 0.0;
   if (config_.use_spatial_features) {
     double pos_diff = std::abs(tracked.last_position - new_position);
-    bonus -= kPosEps * (pos_diff / (pos_diff + 8.0));
+    *position_part = -kPosEps * (pos_diff / (pos_diff + 8.0));
   }
   if (config_.enable_lifetime_tiebreak) {
     double lifetime =
         static_cast<double>(revision_index - tracked.first_revision);
-    bonus += kLifetimeEps * (lifetime / (lifetime + 64.0));
+    *lifetime_part = kLifetimeEps * (lifetime / (lifetime + 64.0));
   }
-  return bonus;
 }
 
-template <typename SimFn, typename AllowFn>
+double TemporalMatcher::TieBreakBonus(const Tracked& tracked,
+                                      int new_position,
+                                      int revision_index) const {
+  double position_part = 0.0, lifetime_part = 0.0;
+  TieBreakParts(tracked, new_position, revision_index, &position_part,
+                &lifetime_part);
+  return position_part + lifetime_part;
+}
+
+template <typename SimFn, typename AllowFn, typename DescribeFn>
 void TemporalMatcher::RunStages(
     int revision_index, const std::vector<extract::ObjectInstance>& instances,
     SimFn&& sim_at_least, AllowFn&& pair_allowed,
-    std::vector<int64_t>& assignment) {
+    DescribeFn&& describe_pair, std::vector<int64_t>& assignment) {
   std::vector<bool> tracked_matched(tracked_.size(), false);
   std::vector<bool> incoming_matched(instances.size(), false);
 
@@ -84,23 +154,29 @@ void TemporalMatcher::RunStages(
     sim::SimilarityKind kind;
     double threshold;
     size_t* match_counter;
+    int number;             // 1..3, reported in provenance records
+    const char* span_name;  // static, for SOMR_TRACE_SCOPE
   };
   std::vector<Stage> stages;
   if (config_.enable_stage1 && config_.use_spatial_features) {
     stages.push_back({true, sim::SimilarityKind::kStrict, config_.theta1,
-                      &stats_.stage1_matches});
+                      &stats_.stage1_matches, 1, "match/stage1"});
   }
   if (config_.enable_stage2) {
     stages.push_back({false, sim::SimilarityKind::kStrict, config_.theta2,
-                      &stats_.stage2_matches});
+                      &stats_.stage2_matches, 2, "match/stage2"});
   }
   if (config_.enable_stage3) {
     stages.push_back({false, sim::SimilarityKind::kRelaxed, config_.theta3,
-                      &stats_.stage3_matches});
+                      &stats_.stage3_matches, 3, "match/stage3"});
   }
 
   for (const Stage& stage : stages) {
+    SOMR_TRACE_SCOPE_CAT("match", stage.span_name);
     std::vector<WeightedEdge> edges;
+    // Similarity of each edge without its tie-break perturbation, kept
+    // only while a provenance sink is attached (parallel to `edges`).
+    std::vector<double> edge_sims;
     for (size_t ti = 0; ti < tracked_.size(); ++ti) {
       if (tracked_matched[ti]) continue;
       for (size_t ni = 0; ni < instances.size(); ++ni) {
@@ -120,16 +196,54 @@ void TemporalMatcher::RunStages(
                                           revision_index);
         edges.push_back({static_cast<int>(ti), static_cast<int>(ni),
                          weight});
+        if (provenance_ != nullptr) edge_sims.push_back(s);
       }
     }
     if (edges.empty()) continue;
-    for (auto [ti, ni] :
-         MaxWeightMatching(tracked_.size(), instances.size(), edges)) {
+    std::vector<std::pair<int, int>> matched;
+    {
+      SOMR_TRACE_SCOPE_CAT("match", "match/hungarian");
+      matched =
+          MaxWeightMatching(tracked_.size(), instances.size(), edges);
+    }
+    std::vector<char> edge_accepted(
+        provenance_ != nullptr ? edges.size() : 0, 0);
+    for (auto [ti, ni] : matched) {
       Tracked& tracked = tracked_[static_cast<size_t>(ti)];
       tracked_matched[static_cast<size_t>(ti)] = true;
       incoming_matched[static_cast<size_t>(ni)] = true;
       assignment[static_cast<size_t>(ni)] = tracked.id;
       ++*stage.match_counter;
+      if (provenance_ != nullptr) {
+        for (size_t e = 0; e < edges.size(); ++e) {
+          if (edges[e].left == ti && edges[e].right == ni) {
+            edge_accepted[e] = 1;
+            break;
+          }
+        }
+      }
+    }
+    if (provenance_ != nullptr) {
+      for (size_t e = 0; e < edges.size(); ++e) {
+        const size_t ti = static_cast<size_t>(edges[e].left);
+        const size_t ni = static_cast<size_t>(edges[e].right);
+        obs::MatchDecision d;
+        d.kind = edge_accepted[e] != 0
+                     ? obs::MatchDecision::Kind::kMatch
+                     : obs::MatchDecision::Kind::kReject;
+        d.object_type = extract::ObjectTypeName(type_);
+        d.revision = revision_index;
+        d.stage = stage.number;
+        d.object_id = tracked_[ti].id;
+        d.position = instances[ni].position;
+        d.similarity = edge_sims[e];
+        d.threshold = stage.threshold;
+        TieBreakParts(tracked_[ti], instances[ni].position, revision_index,
+                      &d.tiebreak_position, &d.tiebreak_lifetime);
+        describe_pair(stage.kind, ti, ni, &d);
+        d.reason = edge_accepted[e] != 0 ? "matched" : "lost_assignment";
+        provenance_->Record(d);
+      }
     }
   }
 }
@@ -148,6 +262,16 @@ void TemporalMatcher::CommitAssignments(
       tracked.first_revision = revision_index;
       tracked_.push_back(std::move(tracked));
       ++stats_.new_objects;
+      if (provenance_ != nullptr) {
+        obs::MatchDecision d;
+        d.kind = obs::MatchDecision::Kind::kNewObject;
+        d.object_type = extract::ObjectTypeName(type_);
+        d.revision = revision_index;
+        d.object_id = object_id;
+        d.position = instances[ni].position;
+        d.reason = "new_object";
+        provenance_->Record(d);
+      }
     } else {
       graph_.AppendVersion(object_id, ref);
     }
@@ -162,13 +286,55 @@ void TemporalMatcher::CommitAssignments(
 
 void TemporalMatcher::ProcessRevision(
     int revision_index, const std::vector<extract::ObjectInstance>& instances) {
+  SOMR_TRACE_SCOPE_CAT("match", MatchSpanName(type_));
+  // Counter values before the step: both the registry and the per-step
+  // provenance record are fed from the same deltas, so the flat and
+  // legacy engines report timing/counters identically by construction.
+  const size_t similarities_before = stats_.similarities_computed;
+  const size_t pruned_before = stats_.pairs_pruned;
+  const size_t blocked_before = stats_.pairs_blocked;
+  const size_t stage1_before = stats_.stage1_matches;
+  const size_t stage2_before = stats_.stage2_matches;
+  const size_t stage3_before = stats_.stage3_matches;
+  const size_t new_objects_before = stats_.new_objects;
+  const size_t tracked_before = tracked_.size();
+
   Timer timer;
   if (config_.use_flat_kernels) {
     ProcessRevisionFlat(revision_index, instances);
   } else {
     ProcessRevisionLegacy(revision_index, instances);
   }
-  stats_.step_millis.push_back(timer.ElapsedMillis());
+  const double millis = timer.ElapsedMillis();
+  stats_.step_millis.push_back(millis);
+
+  MatcherMetrics& metrics = GetMatcherMetrics();
+  metrics.steps->Increment();
+  metrics.step_seconds->Observe(millis / 1000.0);
+  auto bump = [](obs::Counter* counter, size_t now, size_t before) {
+    if (now > before) counter->Increment(now - before);
+  };
+  bump(metrics.similarities, stats_.similarities_computed,
+       similarities_before);
+  bump(metrics.pairs_pruned, stats_.pairs_pruned, pruned_before);
+  bump(metrics.pairs_blocked, stats_.pairs_blocked, blocked_before);
+  bump(metrics.stage1_matches, stats_.stage1_matches, stage1_before);
+  bump(metrics.stage2_matches, stats_.stage2_matches, stage2_before);
+  bump(metrics.stage3_matches, stats_.stage3_matches, stage3_before);
+  bump(metrics.new_objects, stats_.new_objects, new_objects_before);
+
+  if (provenance_ != nullptr) {
+    obs::MatchDecision d;
+    d.kind = obs::MatchDecision::Kind::kStep;
+    d.object_type = extract::ObjectTypeName(type_);
+    d.revision = revision_index;
+    d.similarities = stats_.similarities_computed - similarities_before;
+    d.pairs_pruned = stats_.pairs_pruned - pruned_before;
+    d.pairs_blocked = stats_.pairs_blocked - blocked_before;
+    d.tracked_objects = tracked_before;
+    d.incoming_instances = instances.size();
+    provenance_->Record(d);
+  }
 }
 
 void TemporalMatcher::ProcessRevisionFlat(
@@ -327,9 +493,38 @@ void TemporalMatcher::ProcessRevisionFlat(
     return lsh_mask.empty() || lsh_mask[ti * nn + ni] != 0;
   };
 
+  // Provenance-only recompute of the rear-view profile of one pair: which
+  // history version produced the best decayed similarity and how many
+  // versions were in reach. Never runs without a sink attached.
+  auto describe_pair = [&](sim::SimilarityKind kind, size_t ti, size_t ni,
+                           obs::MatchDecision* d) {
+    const Tracked& t = tracked_[ti];
+    const FlatBag& cand = incoming[ni];
+    const size_t hist = t.recent_flat.size();
+    const double wb = incoming_total[ni];
+    double best = -1.0;
+    int best_depth = -1;
+    double decay = 1.0;
+    size_t considered = 0;
+    for (size_t back = 0; back < hist && considered < sim_window;
+         ++back, ++considered) {
+      const size_t h = hist - 1 - back;
+      double s = decay * sim::SimilarityFromTotals(
+                             kind, t.recent_flat[h], cand, weights_,
+                             hist_total[hist_offset[ti] + h], wb);
+      if (s > best) {
+        best = s;
+        best_depth = static_cast<int>(back);
+      }
+      decay *= config_.decay;
+    }
+    d->rear_view_depth = best_depth;
+    d->rear_view_len = static_cast<int>(considered);
+  };
+
   std::vector<int64_t> assignment(nn, -1);
   RunStages(revision_index, instances, sim_at_least, pair_allowed,
-            assignment);
+            describe_pair, assignment);
   CommitAssignments(
       revision_index, instances, assignment, [&](Tracked& t, size_t ni) {
         t.recent_flat.push_back(std::move(incoming[ni]));
@@ -388,9 +583,33 @@ void TemporalMatcher::ProcessRevisionLegacy(
 
   auto pair_allowed = [](size_t, size_t) { return true; };
 
+  // Provenance-only rear-view recompute (see the flat engine); bypasses
+  // DecayedSim so the similarity counter stays untouched.
+  auto describe_pair = [&](sim::SimilarityKind kind, size_t ti, size_t ni,
+                           obs::MatchDecision* d) {
+    const Tracked& t = tracked_[ti];
+    double best = -1.0;
+    int best_depth = -1;
+    double decay = 1.0;
+    int considered = 0;
+    for (auto it = t.recent_bags.rbegin();
+         it != t.recent_bags.rend() && considered < config_.rear_view_window;
+         ++it, ++considered) {
+      double s =
+          decay * sim::Similarity(kind, *it, incoming_bags[ni], weighting);
+      if (s > best) {
+        best = s;
+        best_depth = considered;
+      }
+      decay *= config_.decay;
+    }
+    d->rear_view_depth = best_depth;
+    d->rear_view_len = considered;
+  };
+
   std::vector<int64_t> assignment(nn, -1);
   RunStages(revision_index, instances, sim_at_least, pair_allowed,
-            assignment);
+            describe_pair, assignment);
   CommitAssignments(
       revision_index, instances, assignment, [&](Tracked& t, size_t ni) {
         t.recent_bags.push_back(std::move(incoming_bags[ni]));
@@ -402,6 +621,12 @@ PageMatcher::PageMatcher(MatcherConfig config)
     : tables_(extract::ObjectType::kTable, config),
       infoboxes_(extract::ObjectType::kInfobox, config),
       lists_(extract::ObjectType::kList, config) {}
+
+void PageMatcher::SetProvenanceSink(obs::ProvenanceSink* sink) {
+  tables_.SetProvenanceSink(sink);
+  infoboxes_.SetProvenanceSink(sink);
+  lists_.SetProvenanceSink(sink);
+}
 
 void PageMatcher::ProcessRevision(int revision_index,
                                   const extract::PageObjects& objects) {

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "extract/features.h"
 #include "extract/object.h"
 #include "matching/identity_graph.h"
 #include "matching/interface.h"
+#include "obs/provenance.h"
 #include "sim/minhash.h"
 #include "sim/similarity.h"
 #include "text/bag_of_words.h"
@@ -107,10 +109,18 @@ class TemporalMatcher : public RevisionMatcher {
   const MatchStats& stats() const { return stats_; }
   const MatcherConfig& config() const { return config_; }
 
+  /// Attaches a match-decision provenance sink (nullptr detaches). The
+  /// sink must outlive every subsequent ProcessRevision call; decision
+  /// records are only built while one is attached.
+  void SetProvenanceSink(obs::ProvenanceSink* sink) { provenance_ = sink; }
+
   /// Destructive accessors for pipeline code that owns the matcher and
-  /// wants the result without copying the graph.
+  /// wants the result without copying the graph. TakeStats leaves a
+  /// fully zeroed MatchStats behind (a plain move would reset only the
+  /// step_millis vector and keep the counters, so stats() would read
+  /// inconsistent values afterwards).
   IdentityGraph TakeGraph() { return std::move(graph_); }
-  MatchStats TakeStats() { return std::move(stats_); }
+  MatchStats TakeStats() { return std::exchange(stats_, MatchStats{}); }
 
  private:
   // The snapshot subsystem persists and restores the full matcher state
@@ -138,11 +148,14 @@ class TemporalMatcher : public RevisionMatcher {
   /// `sim_at_least(kind, threshold, ti, ni)` returns the exact decayed
   /// similarity, or -infinity when the pair is provably below
   /// `threshold`; `pair_allowed(ti, ni)` gates the non-local stages
-  /// (LSH blocking).
-  template <typename SimFn, typename AllowFn>
+  /// (LSH blocking); `describe_pair(kind, ti, ni, &decision)` fills the
+  /// rear-view fields of a provenance record (called only for candidate
+  /// edges, and only while a provenance sink is attached).
+  template <typename SimFn, typename AllowFn, typename DescribeFn>
   void RunStages(int revision_index,
                  const std::vector<extract::ObjectInstance>& instances,
                  SimFn&& sim_at_least, AllowFn&& pair_allowed,
+                 DescribeFn&& describe_pair,
                  std::vector<int64_t>& assignment);
 
   /// Applies `assignment` to the graph: appends matched instances to
@@ -160,7 +173,12 @@ class TemporalMatcher : public RevisionMatcher {
                     const sim::TokenWeighting& weighting);
 
   /// Tie-break perturbation added to a similarity score; strictly smaller
-  /// than any meaningful similarity difference.
+  /// than any meaningful similarity difference. The position and
+  /// lifetime components are also reported separately in provenance
+  /// records, hence the split accessor.
+  void TieBreakParts(const Tracked& tracked, int new_position,
+                     int revision_index, double* position_part,
+                     double* lifetime_part) const;
   double TieBreakBonus(const Tracked& tracked, int new_position,
                        int revision_index) const;
 
@@ -171,6 +189,7 @@ class TemporalMatcher : public RevisionMatcher {
   std::vector<Tracked> tracked_;
   TokenPool pool_;                   // flat engine: page-lifetime interning
   sim::DenseTokenWeights weights_;   // flat engine: per-step IDF weights
+  obs::ProvenanceSink* provenance_ = nullptr;  // optional, not owned
 };
 
 /// Convenience driver that runs three TemporalMatchers (tables, infoboxes,
@@ -181,6 +200,9 @@ class PageMatcher {
 
   void ProcessRevision(int revision_index,
                        const extract::PageObjects& objects);
+
+  /// Attaches a provenance sink to all three matchers (nullptr detaches).
+  void SetProvenanceSink(obs::ProvenanceSink* sink);
 
   const IdentityGraph& GraphFor(extract::ObjectType type) const;
   const MatchStats& StatsFor(extract::ObjectType type) const;

@@ -1,0 +1,89 @@
+#include "obs/cli.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace somr::obs {
+
+void CliObservability::AddFlags(FlagParser& flags) {
+  flags.AddString("metrics-out", "",
+                  "write a metrics-registry snapshot here (.json for "
+                  "JSON, anything else for text exposition)");
+  flags.AddString("trace-out", "",
+                  "record spans and write Chrome trace_event JSON here "
+                  "(open in chrome://tracing or ui.perfetto.dev)");
+  flags.AddString("explain-out", "",
+                  "write per-decision match provenance JSONL here "
+                  "(\"-\" for stdout)");
+  flags.AddInt("trace-capacity",
+               static_cast<int64_t>(TraceRecorder::kDefaultCapacity),
+               "span ring-buffer capacity (events) for --trace-out");
+}
+
+Status CliObservability::Init(const FlagParser& flags) {
+  metrics_path_ = flags.GetString("metrics-out");
+  trace_path_ = flags.GetString("trace-out");
+  explain_path_ = flags.GetString("explain-out");
+
+  if (!trace_path_.empty()) {
+    int64_t capacity = flags.GetInt("trace-capacity");
+    if (capacity < 1) capacity = 1;
+    TraceRecorder::Global().Enable(static_cast<size_t>(capacity));
+  }
+  if (!explain_path_.empty()) {
+    if (explain_path_ == "-") {
+      writer_ = std::make_unique<JsonlProvenanceWriter>(std::cout);
+    } else {
+      explain_file_.open(explain_path_, std::ios::binary);
+      if (!explain_file_) {
+        return Status::Internal("cannot open " + explain_path_ +
+                                " for writing");
+      }
+      writer_ = std::make_unique<JsonlProvenanceWriter>(explain_file_);
+    }
+  }
+  return Status::OK();
+}
+
+Status CliObservability::Finish() {
+  if (!trace_path_.empty()) {
+    TraceRecorder& recorder = TraceRecorder::Global();
+    recorder.Disable();
+    std::ofstream out(trace_path_, std::ios::binary);
+    if (!out) {
+      return Status::Internal("cannot open " + trace_path_ +
+                              " for writing");
+    }
+    out << recorder.ExportChromeTraceJson();
+    out.flush();
+    if (!out.good()) {
+      return Status::Internal("write to " + trace_path_ + " failed");
+    }
+    std::printf("trace: %zu spans%s -> %s\n",
+                recorder.recorded() - recorder.dropped(),
+                recorder.dropped() > 0 ? " (ring wrapped)" : "",
+                trace_path_.c_str());
+  }
+  if (!metrics_path_.empty()) {
+    SOMR_RETURN_IF_ERROR(WriteMetricsFile(metrics_path_));
+    std::printf("metrics -> %s\n", metrics_path_.c_str());
+  }
+  if (writer_ != nullptr) {
+    const size_t records = writer_->records();
+    const size_t matches = writer_->match_records();
+    if (explain_file_.is_open()) {
+      explain_file_.flush();
+      if (!explain_file_.good()) {
+        return Status::Internal("write to " + explain_path_ + " failed");
+      }
+      std::printf("provenance: %zu records (%zu matches) -> %s\n", records,
+                  matches, explain_path_.c_str());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace somr::obs

@@ -1,0 +1,52 @@
+#ifndef SOMR_OBS_CLI_H_
+#define SOMR_OBS_CLI_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/flags.h"
+#include "common/status.h"
+#include "obs/provenance.h"
+
+namespace somr::obs {
+
+/// Shared observability flag wiring for the somr_* tools: registers
+/// --metrics-out / --trace-out / --explain-out (and --trace-capacity),
+/// turns the subsystems on before the run, and writes the export files
+/// after it. Usage:
+///
+///   CliObservability obs;
+///   CliObservability::AddFlags(flags);
+///   ... flags.Parse(...) ...
+///   obs.Init(flags);                       // enables tracing etc.
+///   ... run, passing obs.provenance() ...  // may be nullptr
+///   obs.Finish();                          // writes the output files
+class CliObservability {
+ public:
+  static void AddFlags(FlagParser& flags);
+
+  /// Applies the parsed flags: enables the trace recorder when
+  /// --trace-out is set and opens the provenance stream when
+  /// --explain-out is set ("-" writes JSONL to stdout).
+  Status Init(const FlagParser& flags);
+
+  /// Provenance sink to attach to the pipeline; nullptr when --explain-out
+  /// was not given.
+  ProvenanceSink* provenance() { return writer_.get(); }
+
+  /// Writes --metrics-out and --trace-out files and flushes the
+  /// provenance stream; prints one summary line per file written.
+  Status Finish();
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::string explain_path_;
+  std::ofstream explain_file_;
+  std::unique_ptr<JsonlProvenanceWriter> writer_;
+};
+
+}  // namespace somr::obs
+
+#endif  // SOMR_OBS_CLI_H_

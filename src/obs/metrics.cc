@@ -1,0 +1,323 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace somr::obs {
+
+namespace internal {
+
+namespace {
+
+/// Registers the thread's shard on construction and folds it into the
+/// registry's retired totals on thread exit, so counts from short-lived
+/// worker threads survive the threads themselves.
+struct ShardHandle {
+  ShardHandle() : shard(MetricsRegistry::Global().AdoptShard()) {}
+  ~ShardHandle() { MetricsRegistry::Global().RetireShard(shard); }
+  MetricShard* shard;
+};
+
+}  // namespace
+
+MetricShard& LocalShard() {
+  thread_local ShardHandle handle;
+  return *handle.shard;
+}
+
+}  // namespace internal
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: metrics may be touched from thread destructors
+  // that run during process teardown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+internal::MetricShard* MetricsRegistry::AdoptShard() {
+  auto* shard = new internal::MetricShard();
+  std::lock_guard<std::mutex> lock(mu_);
+  live_shards_.push_back(shard);
+  return shard;
+}
+
+void MetricsRegistry::RetireShard(internal::MetricShard* shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < internal::kMaxU64Cells; ++i) {
+    uint64_t v = shard->u64[i].load(std::memory_order_relaxed);
+    if (v != 0) retired_.u64[i].fetch_add(v, std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < internal::kMaxF64Cells; ++i) {
+    double v = shard->f64[i].load(std::memory_order_relaxed);
+    if (v != 0.0) internal::AtomicAddDouble(retired_.f64[i], v);
+  }
+  live_shards_.erase(
+      std::remove(live_shards_.begin(), live_shards_.end(), shard),
+      live_shards_.end());
+  delete shard;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& c : counters_) {
+    if (c.name_ == name) return &c;
+  }
+  Counter c;
+  c.name_ = name;
+  c.help_ = help;
+  if (next_u64_cell_ < internal::kMaxU64Cells) {
+    c.cell_ = next_u64_cell_++;
+  } else {
+    if (!budget_warning_emitted_) {
+      std::fprintf(stderr,
+                   "somr obs: metric cell budget exhausted at \"%s\"; "
+                   "further metrics read as 0\n",
+                   name.c_str());
+      budget_warning_emitted_ = true;
+    }
+    c.cell_ = 0;  // scratch sink
+  }
+  counters_.push_back(std::move(c));
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Gauge& g : gauges_) {
+    if (g.name_ == name) return &g;
+  }
+  gauges_.emplace_back();
+  Gauge& g = gauges_.back();
+  g.name_ = name;
+  g.help_ = help;
+  return &g;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         double first_bound, double growth,
+                                         int bucket_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Histogram& h : histograms_) {
+    if (h.name_ == name) return &h;
+  }
+  Histogram h;
+  h.name_ = name;
+  h.help_ = help;
+  if (bucket_count < 1) bucket_count = 1;
+  if (!(first_bound > 0.0)) first_bound = 1.0;
+  if (!(growth > 1.0)) growth = 2.0;
+  h.bounds_.reserve(static_cast<size_t>(bucket_count));
+  double bound = first_bound;
+  for (int i = 0; i < bucket_count; ++i) {
+    h.bounds_.push_back(bound);
+    bound *= growth;
+  }
+  const uint32_t cells = static_cast<uint32_t>(bucket_count) + 1;
+  const bool fits = next_u64_cell_ + cells <= internal::kMaxU64Cells &&
+                    next_f64_cell_ < internal::kMaxF64Cells;
+  if (fits) {
+    h.first_cell_ = next_u64_cell_;
+    next_u64_cell_ += cells;
+    h.sum_cell_ = next_f64_cell_++;
+  } else {
+    if (!budget_warning_emitted_) {
+      std::fprintf(stderr,
+                   "somr obs: metric cell budget exhausted at \"%s\"; "
+                   "further metrics read as 0\n",
+                   name.c_str());
+      budget_warning_emitted_ = true;
+    }
+    h.first_cell_ = 0;
+    h.sum_cell_ = 0;
+  }
+  histograms_.push_back(std::move(h));
+  return &histograms_.back();
+}
+
+uint64_t MetricsRegistry::SumU64Locked(uint32_t cell) const {
+  if (cell == 0) return 0;  // scratch sink: metrics past the budget
+  uint64_t total = retired_.u64[cell].load(std::memory_order_relaxed);
+  for (const internal::MetricShard* shard : live_shards_) {
+    total += shard->u64[cell].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double MetricsRegistry::SumF64Locked(uint32_t cell) const {
+  if (cell == 0) return 0.0;
+  double total = retired_.f64[cell].load(std::memory_order_relaxed);
+  for (const internal::MetricShard* shard : live_shards_) {
+    total += shard->f64[cell].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Counter::Value() const {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  std::lock_guard<std::mutex> lock(registry.mu_);
+  return registry.SumU64Locked(cell_);
+}
+
+MetricsSnapshot MetricsRegistry::Scrape() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Counter& c : counters_) {
+    snapshot.counters.push_back({c.name_, c.help_, SumU64Locked(c.cell_)});
+  }
+  for (const Gauge& g : gauges_) {
+    snapshot.gauges.push_back({g.name_, g.help_, g.Value()});
+  }
+  for (const Histogram& h : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = h.name_;
+    row.help = h.help_;
+    row.bounds = h.bounds_;
+    row.counts.reserve(h.bounds_.size() + 1);
+    for (size_t b = 0; b <= h.bounds_.size(); ++b) {
+      uint64_t count =
+          h.first_cell_ == 0
+              ? 0
+              : SumU64Locked(h.first_cell_ + static_cast<uint32_t>(b));
+      row.counts.push_back(count);
+      row.total_count += count;
+    }
+    row.sum = SumF64Locked(h.sum_cell_);
+    snapshot.histograms.push_back(std::move(row));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void MetricsRegistry::ResetValuesForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto zero = [](internal::MetricShard& shard) {
+    for (auto& cell : shard.u64) cell.store(0, std::memory_order_relaxed);
+    for (auto& cell : shard.f64) cell.store(0.0, std::memory_order_relaxed);
+  };
+  zero(retired_);
+  for (internal::MetricShard* shard : live_shards_) zero(*shard);
+  for (Gauge& g : gauges_) g.value_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Shortest round-trippable formatting for bounds/sums in both exporters.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer a shorter form when it round-trips exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) return shorter;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderMetricsText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[256];
+  for (const auto& c : snapshot.counters) {
+    out += "# HELP " + c.name + " " + c.help + "\n";
+    out += "# TYPE " + c.name + " counter\n";
+    std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n", c.name.c_str(),
+                  c.value);
+    out += line;
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += "# HELP " + g.name + " " + g.help + "\n";
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " " + FormatDouble(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += "# HELP " + h.name + " " + h.help + "\n";
+    out += "# TYPE " + h.name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      std::string le =
+          b < h.bounds.size() ? FormatDouble(h.bounds[b]) : "+Inf";
+      std::snprintf(line, sizeof(line), "%s_bucket{le=\"%s\"} %" PRIu64 "\n",
+                    h.name.c_str(), le.c_str(), cumulative);
+      out += line;
+    }
+    out += h.name + "_sum " + FormatDouble(h.sum) + "\n";
+    std::snprintf(line, sizeof(line), "%s_count %" PRIu64 "\n",
+                  h.name.c_str(), h.total_count);
+    out += line;
+  }
+  return out;
+}
+
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
+  // Metric names are restricted identifiers, so no string escaping is
+  // needed; help texts are authored in-repo and kept escape-free.
+  std::string out = "{\n  \"counters\": {";
+  char buf[128];
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %" PRIu64,
+                  first ? "" : ",", c.name.c_str(), c.value);
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    out += "\"" + g.name + "\": " + FormatDouble(g.value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    out += "\"" + h.name + "\": {\"bounds\": [";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += FormatDouble(h.bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, h.counts[b]);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "], \"count\": %" PRIu64 ", \"sum\": ",
+                  h.total_count);
+    out += buf;
+    out += FormatDouble(h.sum) + "}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+Status WriteMetricsFile(const std::string& path) {
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Scrape();
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << (json ? RenderMetricsJson(snapshot) : RenderMetricsText(snapshot));
+  out.flush();
+  if (!out.good()) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace somr::obs

@@ -1,0 +1,212 @@
+#ifndef SOMR_OBS_METRICS_H_
+#define SOMR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace somr::obs {
+
+class MetricsRegistry;
+
+namespace internal {
+
+// Cell budget of one per-thread shard. Counters take one u64 cell each;
+// histograms take (buckets + 1) u64 cells (bucket counts incl. overflow)
+// plus one f64 cell (sum of observations). Cell 0 of each array is a
+// shared scratch sink used when the budget is exhausted, so metric
+// updates never fail — the overflowing metric just reads as 0.
+constexpr size_t kMaxU64Cells = 1024;
+constexpr size_t kMaxF64Cells = 128;
+
+/// One thread's lock-free slice of every registered metric. Writers touch
+/// only their own shard (relaxed atomics, no sharing with other writer
+/// threads); a scrape walks all shards and sums.
+struct MetricShard {
+  std::atomic<uint64_t> u64[kMaxU64Cells] = {};
+  std::atomic<double> f64[kMaxF64Cells] = {};
+};
+
+/// The calling thread's shard, created and registered on first use and
+/// folded into the registry's retired totals when the thread exits.
+MetricShard& LocalShard();
+
+inline void AtomicAddDouble(std::atomic<double>& cell, double v) {
+  double cur = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+/// Monotonically increasing count. Increment is wait-free: one relaxed
+/// fetch_add on the calling thread's shard.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    internal::LocalShard().u64[cell_].fetch_add(n,
+                                                std::memory_order_relaxed);
+  }
+
+  /// Current value merged across all live and retired thread shards.
+  uint64_t Value() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::string name_;
+  std::string help_;
+  uint32_t cell_ = 0;
+};
+
+/// Last-write-wins instantaneous value (not sharded: sets are rare).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::string name_;
+  std::string help_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over fixed exponential buckets chosen at registration:
+/// finite upper bounds first_bound * growth^i for i in [0, bucket_count),
+/// plus an implicit +Inf overflow bucket. Observe is wait-free (two
+/// relaxed shard updates; the sum uses a CAS loop).
+class Histogram {
+ public:
+  void Observe(double v) {
+    internal::MetricShard& shard = internal::LocalShard();
+    shard.u64[first_cell_ + BucketFor(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    internal::AtomicAddDouble(shard.f64[sum_cell_], v);
+  }
+
+  /// Index of the bucket counting `v`: the first finite upper bound with
+  /// v <= bound, or bounds().size() for the overflow bucket.
+  size_t BucketFor(double v) const {
+    size_t lo = 0;
+    size_t hi = bounds_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (v <= bounds_[mid]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::string name_;
+  std::string help_;
+  std::vector<double> bounds_;  // finite upper bounds, ascending
+  uint32_t first_cell_ = 0;     // bounds_.size() + 1 consecutive u64 cells
+  uint32_t sum_cell_ = 0;       // one f64 cell
+};
+
+/// Point-in-time merged view of every registered metric, safe to render
+/// or diff after the fact. Rows are sorted by name.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::string help;
+    uint64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    std::string help;
+    double value = 0.0;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::string help;
+    std::vector<double> bounds;    // finite upper bounds
+    std::vector<uint64_t> counts;  // bounds.size() + 1, overflow last
+    uint64_t total_count = 0;
+    double sum = 0.0;
+  };
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+};
+
+/// Process-wide metric registry. Registration is idempotent by name and
+/// returns stable pointers; updates go through per-thread shards so the
+/// hot path never takes a lock or shares a cache line between writer
+/// threads. Scrape() merges all shards under the registry mutex.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Finds or creates; the help text of the first registration wins.
+  /// Never returns nullptr (budget exhaustion falls back to a shared
+  /// scratch cell and reports the metric as 0).
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          double first_bound, double growth,
+                          int bucket_count);
+
+  MetricsSnapshot Scrape() const;
+
+  /// Zeroes every metric value (definitions stay registered). Testing
+  /// only — racy against concurrent writers.
+  void ResetValuesForTest();
+
+  /// Shard lifecycle, driven by the thread_local handle in metrics.cc —
+  /// not for direct use. Adopt registers a fresh shard as live; Retire
+  /// folds its cells into the retired totals and deletes it.
+  internal::MetricShard* AdoptShard();
+  void RetireShard(internal::MetricShard* shard);
+
+ private:
+  friend class Counter;
+
+  MetricsRegistry() = default;
+
+  uint64_t SumU64Locked(uint32_t cell) const;
+  double SumF64Locked(uint32_t cell) const;
+
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<internal::MetricShard*> live_shards_;
+  internal::MetricShard retired_;  // merged cells of exited threads
+  uint32_t next_u64_cell_ = 1;     // cell 0 is the overflow scratch sink
+  uint32_t next_f64_cell_ = 1;
+  bool budget_warning_emitted_ = false;
+};
+
+/// Prometheus-style text exposition of a snapshot.
+std::string RenderMetricsText(const MetricsSnapshot& snapshot);
+
+/// Single JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot);
+
+/// Scrapes the global registry and writes it to `path` — JSON when the
+/// path ends in ".json", text exposition otherwise.
+Status WriteMetricsFile(const std::string& path);
+
+}  // namespace somr::obs
+
+#endif  // SOMR_OBS_METRICS_H_

@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace somr::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+int64_t EpochNanos() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+uint32_t LocalThreadId() {
+  static std::atomic<uint32_t> next_tid{1};
+  thread_local uint32_t tid = next_tid.fetch_add(1);
+  return tid;
+}
+
+}  // namespace
+
+int64_t TraceNowNanos() { return EpochNanos(); }
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity == 0) capacity = 1;
+  ring_.assign(capacity, TraceEvent{});
+  next_.store(0, std::memory_order_relaxed);
+  g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  g_tracing_enabled.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (TraceEvent& e : ring_) e = TraceEvent{};
+  next_.store(0, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Record(const char* name, const char* cat,
+                           int64_t start_ns, int64_t dur_ns) {
+  // The ring is only resized while tracing is off, so the capacity read
+  // here is stable for the lifetime of any in-flight Record call.
+  const size_t capacity = ring_.size();
+  if (capacity == 0) return;
+  const uint64_t index = next_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& slot = ring_[index % capacity];
+  slot.name = name;
+  slot.cat = cat;
+  slot.tid = LocalThreadId();
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+}
+
+size_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t written = next_.load(std::memory_order_relaxed);
+  return written > ring_.size() ? written - ring_.size() : 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t written = next_.load(std::memory_order_relaxed);
+  const size_t capacity = ring_.size();
+  std::vector<TraceEvent> events;
+  if (capacity == 0 || written == 0) return events;
+  const size_t count = written < capacity ? written : capacity;
+  events.reserve(count);
+  // Oldest retained event first. When wrapped, that is slot `written %
+  // capacity` (the slot the next write would overwrite).
+  const size_t start = written < capacity ? 0 : written % capacity;
+  for (size_t i = 0; i < count; ++i) {
+    const TraceEvent& e = ring_[(start + i) % capacity];
+    if (e.name != nullptr) events.push_back(e);
+  }
+  return events;
+}
+
+std::string TraceRecorder::ExportChromeTraceJson() const {
+  std::vector<TraceEvent> events = Events();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  first ? "" : ",", e.name, e.cat,
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0, e.tid);
+    out += buf;
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace somr::obs

@@ -1,0 +1,114 @@
+#ifndef SOMR_OBS_TRACE_H_
+#define SOMR_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace somr::obs {
+
+/// Nanoseconds since the process-wide trace epoch (steady clock).
+int64_t TraceNowNanos();
+
+/// Runtime master switch, read on every span entry. Relaxed load + one
+/// predictable branch when off — that plus a pointer store is the entire
+/// disabled-path cost of SOMR_TRACE_SCOPE.
+bool TracingEnabled();
+
+/// One completed span. `name` and `cat` must be string literals (or
+/// otherwise outlive the recorder): the ring stores the pointers only,
+/// so recording never allocates.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  uint32_t tid = 0;      // small sequential thread id, stable per thread
+  int64_t start_ns = 0;  // relative to the trace epoch
+  int64_t dur_ns = 0;
+};
+
+/// Process-wide lock-free ring buffer of completed spans. Writers claim
+/// slots with one fetch_add; when the ring wraps, the oldest events are
+/// overwritten and counted in dropped(). Export is meant to run after
+/// the traced workload quiesces (in-flight writers can tear the events
+/// they are concurrently overwriting).
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Clears the buffer, sizes it to `capacity` events and turns the
+  /// runtime switch on.
+  void Enable(size_t capacity = kDefaultCapacity);
+  void Disable();
+  void Clear();
+
+  void Record(const char* name, const char* cat, int64_t start_ns,
+              int64_t dur_ns);
+
+  /// Events currently retained, oldest first.
+  std::vector<TraceEvent> Events() const;
+  size_t recorded() const { return next_.load(std::memory_order_relaxed); }
+  size_t dropped() const;
+
+  /// Chrome trace_event JSON ("X" complete events, microsecond
+  /// timestamps): loadable by chrome://tracing and https://ui.perfetto.dev.
+  std::string ExportChromeTraceJson() const;
+
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  TraceRecorder() = default;
+
+  mutable std::mutex mu_;  // guards resize (Enable/Clear) only
+  std::vector<TraceEvent> ring_;
+  std::atomic<uint64_t> next_{0};
+};
+
+/// RAII span: captures the start time on entry when tracing is enabled
+/// and records one complete event on exit. Use via SOMR_TRACE_SCOPE.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "somr") {
+    if (TracingEnabled()) {
+      name_ = name;
+      cat_ = cat;
+      start_ns_ = TraceNowNanos();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Global().Record(name_, cat_, start_ns_,
+                                     TraceNowNanos() - start_ns_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = "somr";
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace somr::obs
+
+// Compile-time kill switch: building with -DSOMR_OBS_NO_TRACING compiles
+// every SOMR_TRACE_SCOPE site down to nothing (used to bound the
+// instrumentation overhead; the runtime switch already makes spans a
+// load+branch when off).
+#if defined(SOMR_OBS_NO_TRACING)
+#define SOMR_TRACE_SCOPE(name) ((void)0)
+#define SOMR_TRACE_SCOPE_CAT(cat, name) ((void)0)
+#else
+#define SOMR_TRACE_CONCAT_INNER(a, b) a##b
+#define SOMR_TRACE_CONCAT(a, b) SOMR_TRACE_CONCAT_INNER(a, b)
+#define SOMR_TRACE_SCOPE(name) \
+  ::somr::obs::TraceSpan SOMR_TRACE_CONCAT(somr_trace_span_, __LINE__)(name)
+#define SOMR_TRACE_SCOPE_CAT(cat, name)                                  \
+  ::somr::obs::TraceSpan SOMR_TRACE_CONCAT(somr_trace_span_, __LINE__)( \
+      name, cat)
+#endif
+
+#endif  // SOMR_OBS_TRACE_H_

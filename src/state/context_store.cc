@@ -7,12 +7,36 @@
 
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace somr::state {
 
 namespace fs = std::filesystem;
 
 namespace {
+
+struct SnapshotMetrics {
+  obs::Counter* saves;
+  obs::Counter* loads;
+  obs::Histogram* snapshot_bytes;
+};
+
+const SnapshotMetrics& GetSnapshotMetrics() {
+  static const SnapshotMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    SnapshotMetrics m;
+    m.saves = reg.GetCounter("somr_snapshot_saves_total",
+                             "Page snapshots written to a context store");
+    m.loads = reg.GetCounter("somr_snapshot_loads_total",
+                             "Page snapshots loaded from a context store");
+    m.snapshot_bytes = reg.GetHistogram(
+        "somr_snapshot_bytes", "Serialized size of written page snapshots",
+        256.0, 4.0, 12);
+    return m;
+  }();
+  return metrics;
+}
 
 constexpr const char* kManifestName = "manifest.tsv";
 constexpr const char* kManifestHeader = "# somr-context-store v1";
@@ -188,6 +212,7 @@ std::vector<ContextStore::PageInfo> ContextStore::Pages() const {
 }
 
 StatusOr<PageState> ContextStore::Load(const std::string& title) const {
+  SOMR_TRACE_SCOPE_CAT("state", "state/snapshot_load");
   std::string file;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -207,15 +232,21 @@ StatusOr<PageState> ContextStore::Load(const std::string& title) const {
     return Status::Internal("snapshot " + file + " holds page \"" +
                             state.title + "\", expected \"" + title + "\"");
   }
+  GetSnapshotMetrics().loads->Increment();
   return state;
 }
 
 Status ContextStore::Save(const PageState& state) {
+  SOMR_TRACE_SCOPE_CAT("state", "state/snapshot_save");
   const std::string file = SnapshotFileFor(state.title);
 
   std::ostringstream bytes(std::ios::binary);
   SOMR_RETURN_IF_ERROR(SavePageSnapshot(state, bytes));
-  SOMR_RETURN_IF_ERROR(AtomicWrite(PathFor(file), bytes.str()));
+  const std::string serialized = bytes.str();
+  SOMR_RETURN_IF_ERROR(AtomicWrite(PathFor(file), serialized));
+  const SnapshotMetrics& metrics = GetSnapshotMetrics();
+  metrics.saves->Increment();
+  metrics.snapshot_bytes->Observe(static_cast<double>(serialized.size()));
 
   PageInfo info;
   info.title = state.title;

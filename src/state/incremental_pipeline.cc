@@ -10,6 +10,8 @@
 
 #include "extract/html_extractor.h"
 #include "extract/wikitext_extractor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xmldump/stream_reader.h"
 
 namespace somr::state {
@@ -23,10 +25,34 @@ extract::PageObjects ExtractOne(const xmldump::Revision& rev) {
   return extract::ExtractFromWikitextSource(rev.text);
 }
 
+struct IngestMetrics {
+  obs::Counter* pages;
+  obs::Counter* new_revisions;
+  obs::Counter* skipped_revisions;
+};
+
+const IngestMetrics& GetIngestMetrics() {
+  static const IngestMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    IngestMetrics m;
+    m.pages = reg.GetCounter("somr_ingest_pages_total",
+                             "Page histories ingested into a context store");
+    m.new_revisions =
+        reg.GetCounter("somr_ingest_revisions_new_total",
+                       "Revisions applied to matcher state on ingest");
+    m.skipped_revisions = reg.GetCounter(
+        "somr_ingest_revisions_skipped_total",
+        "Revisions skipped on ingest (already in the context store)");
+    return m;
+  }();
+  return metrics;
+}
+
 }  // namespace
 
 StatusOr<IngestReport> IncrementalPipeline::IngestPage(
     const xmldump::PageHistory& page) {
+  SOMR_TRACE_SCOPE_CAT("state", "state/ingest_page");
   PageState state(store_->config());
   if (store_->Contains(page.title)) {
     StatusOr<PageState> loaded = store_->Load(page.title);
@@ -36,6 +62,9 @@ StatusOr<IngestReport> IncrementalPipeline::IngestPage(
     state.title = page.title;
     state.page_id = page.page_id;
   }
+
+  obs::PageScopedSink scoped(provenance_, page.title);
+  if (scoped.active()) state.matcher.SetProvenanceSink(&scoped);
 
   IngestReport report;
   report.pages = 1;
@@ -58,6 +87,16 @@ StatusOr<IngestReport> IncrementalPipeline::IngestPage(
     state.last_timestamp = rev.timestamp;
     ++state.revisions_ingested;
     ++report.new_revisions;
+  }
+
+  if (scoped.active()) state.matcher.SetProvenanceSink(nullptr);
+  const IngestMetrics& metrics = GetIngestMetrics();
+  metrics.pages->Increment();
+  if (report.new_revisions > 0) {
+    metrics.new_revisions->Increment(report.new_revisions);
+  }
+  if (report.skipped_revisions > 0) {
+    metrics.skipped_revisions->Increment(report.skipped_revisions);
   }
 
   if (report.new_revisions > 0 || !store_->Contains(page.title)) {

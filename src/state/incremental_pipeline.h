@@ -55,8 +55,16 @@ class IncrementalPipeline {
   /// touching the dump.
   StatusOr<core::PageResult> ResultFor(const std::string& title) const;
 
+  /// Attaches a match-decision provenance sink (nullptr detaches); records
+  /// are stamped with the page title. The sink must be thread-safe when
+  /// IngestDump runs multi-threaded, and outlive every Ingest* call.
+  void set_provenance_sink(obs::ProvenanceSink* sink) {
+    provenance_ = sink;
+  }
+
  private:
   ContextStore* store_;
+  obs::ProvenanceSink* provenance_ = nullptr;  // optional, not owned
 };
 
 /// Converts a loaded page state into the pipeline's result form,

@@ -39,9 +39,36 @@ TEST(PercentileTest, P90) {
   EXPECT_DOUBLE_EQ(Percentile(v, 0.9), 10.0);
 }
 
+TEST(PercentileTest, FractionalInterpolationIsExact) {
+  // rank = 0.25 * 3 = 0.75 -> 1 + 0.75 * (2 - 1) = 1.75.
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0, 4.0}, 0.25), 1.75);
+  // rank = 0.95 * 3 = 2.85 -> 3 + 0.85 * (4 - 3) = 3.85.
+  EXPECT_DOUBLE_EQ(Percentile({4.0, 3.0, 2.0, 1.0}, 0.95), 3.85);
+}
+
+TEST(PercentileTest, DuplicateValues) {
+  std::vector<double> v = {2.0, 2.0, 2.0, 2.0};
+  EXPECT_EQ(Percentile(v, 0.1), 2.0);
+  EXPECT_EQ(Percentile(v, 0.9), 2.0);
+}
+
+TEST(PercentileTest, UnsortedInputIsSortedInternally) {
+  EXPECT_DOUBLE_EQ(Percentile({9.0, 1.0, 5.0, 3.0, 7.0}, 0.5), 5.0);
+}
+
+TEST(PercentileTest, NegativeValues) {
+  EXPECT_DOUBLE_EQ(Percentile({-3.0, -1.0, -2.0}, 0.5), -2.0);
+  EXPECT_DOUBLE_EQ(Percentile({-4.0, 4.0}, 0.5), 0.0);
+}
+
 TEST(MeanTest, Basic) {
   EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
   EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+}
+
+TEST(MeanTest, NegativeAndMixed) {
+  EXPECT_DOUBLE_EQ(Mean({-1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-2.0, -4.0}), -3.0);
 }
 
 }  // namespace

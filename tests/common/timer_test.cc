@@ -1,0 +1,48 @@
+#include "common/timer.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace somr {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotonic) {
+  Timer timer;
+  double a = timer.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  double b = timer.ElapsedSeconds();
+  EXPECT_GE(b, a);  // steady clock: time never runs backwards
+}
+
+TEST(TimerTest, MeasuresASleep) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Sleeps can overshoot arbitrarily but never undershoot.
+  EXPECT_GE(timer.ElapsedMillis(), 10.0);
+}
+
+TEST(TimerTest, MillisAndSecondsAgree) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // Sample once per unit; the second sample is later, so it only ever
+  // reads higher — the ratio still pins the unit conversion.
+  double seconds = timer.ElapsedSeconds();
+  double millis = timer.ElapsedMillis();
+  EXPECT_GE(millis, seconds * 1000.0);
+  EXPECT_LT(millis, (seconds + 1.0) * 1000.0);
+}
+
+TEST(TimerTest, ResetRestartsTheClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double before = timer.ElapsedMillis();
+  timer.Reset();
+  double after = timer.ElapsedMillis();
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 0.0);
+}
+
+}  // namespace
+}  // namespace somr

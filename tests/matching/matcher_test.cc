@@ -276,5 +276,30 @@ TEST(PageMatcherTest, TypesMatchedIndependently) {
   EXPECT_EQ(matcher.StatsFor(ObjectType::kTable).step_millis.size(), 2u);
 }
 
+TEST(PageMatcherTest, TakeStatsLeavesZeroedStats) {
+  // Regression: a plain move of MatchStats resets only the step_millis
+  // vector and keeps the size_t counters, leaving stats() inconsistent
+  // after TakeStats. TakeStats must hand back the full stats and leave a
+  // default-constructed MatchStats behind.
+  PageMatcher matcher;
+  extract::PageObjects objects;
+  objects.tables = {Table(0, {"year result", "2001 won"})};
+  matcher.ProcessRevision(0, objects);
+  matcher.ProcessRevision(1, objects);
+
+  MatchStats taken = matcher.TakeStats(ObjectType::kTable);
+  EXPECT_EQ(taken.step_millis.size(), 2u);
+  EXPECT_EQ(taken.stage1_matches, 1u);
+  EXPECT_EQ(taken.new_objects, 1u);
+  EXPECT_GE(taken.similarities_computed, 1u);
+
+  const MatchStats& left = matcher.StatsFor(ObjectType::kTable);
+  EXPECT_TRUE(left.step_millis.empty());
+  EXPECT_EQ(left.stage1_matches, 0u);
+  EXPECT_EQ(left.new_objects, 0u);
+  EXPECT_EQ(left.similarities_computed, 0u);
+  EXPECT_EQ(left.pairs_pruned, 0u);
+}
+
 }  // namespace
 }  // namespace somr::matching

@@ -1,0 +1,242 @@
+#include "obs/trace.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace somr::obs {
+namespace {
+
+/// Minimal recursive-descent JSON well-formedness checker — enough to
+/// validate the exporter's output without a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') return ++pos_, true;
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') return ++pos_, true;
+    while (true) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  TraceRecorder::Global().Disable();
+  TraceRecorder::Global().Clear();
+  ASSERT_FALSE(TracingEnabled());
+  { SOMR_TRACE_SCOPE("test/ignored"); }
+  EXPECT_TRUE(TraceRecorder::Global().Events().empty());
+}
+
+TEST_F(TraceTest, SpanRecordsOneCompleteEvent) {
+  TraceRecorder::Global().Enable(64);
+  { SOMR_TRACE_SCOPE_CAT("testcat", "test/span"); }
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test/span");
+  EXPECT_STREQ(events[0].cat, "testcat");
+  EXPECT_GE(events[0].dur_ns, 0);
+  EXPECT_GE(events[0].start_ns, 0);
+}
+
+TEST_F(TraceTest, NestedSpansCloseInnerFirst) {
+  TraceRecorder::Global().Enable(64);
+  {
+    SOMR_TRACE_SCOPE("test/outer");
+    { SOMR_TRACE_SCOPE("test/inner"); }
+  }
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Completion order: inner ends before outer.
+  EXPECT_STREQ(events[0].name, "test/inner");
+  EXPECT_STREQ(events[1].name, "test/outer");
+  // The inner span nests inside the outer one.
+  EXPECT_GE(events[0].start_ns, events[1].start_ns);
+  EXPECT_LE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+}
+
+TEST_F(TraceTest, RingWrapDropsOldestAndCounts) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record("test/evt", "test", i, 1);
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first among the survivors: starts 6, 7, 8, 9.
+  EXPECT_EQ(events.front().start_ns, 6);
+  EXPECT_EQ(events.back().start_ns, 9);
+}
+
+TEST_F(TraceTest, ExportIsWellFormedChromeTraceJson) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(64);
+  { SOMR_TRACE_SCOPE_CAT("match", "match/stage1"); }
+  { SOMR_TRACE_SCOPE_CAT("pipeline", "pipeline/page"); }
+  recorder.Disable();
+
+  std::string json = recorder.ExportChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("match/stage1"), std::string::npos);
+  EXPECT_NE(json.find("pipeline/page"), std::string::npos);
+}
+
+TEST_F(TraceTest, ExportWithNoEventsIsValidJson) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(16);
+  recorder.Disable();
+  std::string json = recorder.ExportChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+}
+
+TEST_F(TraceTest, ConcurrentSpansAllLand) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(1 << 12);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SOMR_TRACE_SCOPE("test/worker");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  // Thread ids are small sequential values, distinct per thread.
+  std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads) * kPerThread);
+}
+
+TEST_F(TraceTest, EnableResetsPriorEvents) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(16);
+  { SOMR_TRACE_SCOPE("test/old"); }
+  recorder.Enable(16);  // re-enable clears
+  EXPECT_TRUE(recorder.Events().empty());
+  EXPECT_EQ(recorder.recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace somr::obs

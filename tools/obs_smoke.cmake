@@ -1,0 +1,134 @@
+# Observability smoke test, run via `cmake -P` from ctest (see
+# tools/CMakeLists.txt). Runs `somr_process --demo` with all three
+# observability outputs and validates them:
+#   - the trace file is well-formed Chrome trace JSON whose top-level
+#     spans (corpus gen, dump parse, per-page) cover >= 95% of somr/run,
+#   - the metrics JSON contains the pipeline/matcher counters with sane
+#     values,
+#   - the provenance JSONL is non-empty and each line parses as JSON.
+# The trace holds thousands of events, so per-event string(JSON ... GET)
+# lookups (each a full re-parse) are far too slow — the document is parsed
+# once for well-formedness and the per-event checks run on one-event-per-
+# line regexes, which the exporter guarantees.
+# Requires: -DSOMR_PROCESS=<path to somr_process> -DWORK_DIR=<scratch dir>.
+
+cmake_minimum_required(VERSION 3.25)  # string(JSON)
+
+if(NOT DEFINED SOMR_PROCESS OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "obs_smoke: pass -DSOMR_PROCESS and -DWORK_DIR")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(trace_file "${WORK_DIR}/trace.json")
+set(metrics_file "${WORK_DIR}/metrics.json")
+set(explain_file "${WORK_DIR}/decisions.jsonl")
+
+execute_process(
+  COMMAND "${SOMR_PROCESS}" --demo --summary=false
+    "--trace-out=${trace_file}"
+    "--metrics-out=${metrics_file}"
+    "--explain-out=${explain_file}"
+  RESULT_VARIABLE run_result
+  OUTPUT_VARIABLE run_stdout
+  ERROR_VARIABLE run_stderr)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR
+    "somr_process --demo failed (${run_result}):\n${run_stdout}\n${run_stderr}")
+endif()
+
+# --- Trace: well-formed JSON, spans present, coverage >= 95% ------------
+file(READ "${trace_file}" trace_json)
+# One full parse validates JSON well-formedness and yields the count.
+string(JSON event_count LENGTH "${trace_json}" traceEvents)
+if(event_count LESS 1)
+  message(FATAL_ERROR "trace has no events")
+endif()
+
+# Per-event checks on the one-event-per-line layout. CMake list parsing
+# treats an unbalanced "[" (the traceEvents array opener) as the start of
+# a bracket argument, swallowing every following line into one element —
+# strip the brackets (events contain none) before splitting on newlines.
+string(REPLACE "[" "(" trace_flat "${trace_json}")
+string(REPLACE "]" ")" trace_flat "${trace_flat}")
+string(REPLACE "\n" ";" trace_lines "${trace_flat}")
+set(run_dur "")
+set(page_sum 0)
+set(line_events 0)
+foreach(line IN LISTS trace_lines)
+  if(NOT line MATCHES "^\\{\"name\": ")
+    continue()
+  endif()
+  math(EXPR line_events "${line_events} + 1")
+  if(NOT line MATCHES "\"ph\": \"X\"")
+    message(FATAL_ERROR "event is not a complete ('X') event: ${line}")
+  endif()
+  if(NOT line MATCHES "\"ts\": [0-9]" OR NOT line MATCHES "\"dur\": [0-9]")
+    message(FATAL_ERROR "event lacks numeric ts/dur: ${line}")
+  endif()
+  # Integer-truncated duration in microseconds (math() is integer-only).
+  string(REGEX MATCH "\"dur\": ([0-9]+)" _ "${line}")
+  set(dur_int "${CMAKE_MATCH_1}")
+  if(line MATCHES "\"name\": \"somr/run\"")
+    set(run_dur "${dur_int}")
+  elseif(line MATCHES
+      "\"name\": \"(pipeline/page|pipeline/read_dump|somr/gen_corpus)\"")
+    math(EXPR page_sum "${page_sum} + ${dur_int}")
+  endif()
+endforeach()
+
+if(NOT line_events EQUAL event_count)
+  message(FATAL_ERROR
+    "line scan saw ${line_events} events but JSON holds ${event_count}")
+endif()
+if(run_dur STREQUAL "")
+  message(FATAL_ERROR "trace is missing the somr/run span")
+endif()
+
+math(EXPR coverage_pct "100 * ${page_sum} / ${run_dur}")
+message(STATUS
+  "obs_smoke: top-level span coverage ${coverage_pct}% of somr/run")
+# With worker threads the page spans can legitimately sum past 100%; the
+# demo runs single-threaded here so only the 95% floor is enforced.
+if(coverage_pct LESS 95)
+  message(FATAL_ERROR
+    "top-level spans cover only ${coverage_pct}% of somr/run (< 95%)")
+endif()
+
+# --- Metrics: counters present with sane values -------------------------
+file(READ "${metrics_file}" metrics_json)
+string(JSON pages GET "${metrics_json}" counters somr_pipeline_pages_total)
+if(pages LESS 1)
+  message(FATAL_ERROR "somr_pipeline_pages_total is ${pages}, expected >= 1")
+endif()
+string(JSON steps GET "${metrics_json}" counters somr_match_steps_total)
+if(steps LESS 1)
+  message(FATAL_ERROR "somr_match_steps_total is ${steps}, expected >= 1")
+endif()
+string(JSON hist_count GET "${metrics_json}" histograms
+  somr_match_step_seconds count)
+if(NOT hist_count EQUAL steps)
+  message(FATAL_ERROR
+    "somr_match_step_seconds count ${hist_count} != steps ${steps}")
+endif()
+
+# --- Provenance: non-empty JSONL, each line parses ----------------------
+file(STRINGS "${explain_file}" explain_lines)
+list(LENGTH explain_lines explain_count)
+if(explain_count LESS 1)
+  message(FATAL_ERROR "provenance JSONL is empty")
+endif()
+set(match_count 0)
+foreach(line IN LISTS explain_lines)
+  string(JSON kind GET "${line}" kind)  # fatal if the line is not JSON
+  if(kind STREQUAL "match")
+    math(EXPR match_count "${match_count} + 1")
+  endif()
+endforeach()
+if(match_count LESS 1)
+  message(FATAL_ERROR "provenance JSONL has no match records")
+endif()
+
+message(STATUS
+  "obs_smoke: OK (${event_count} spans, ${explain_count} provenance records, "
+  "${match_count} matches)")

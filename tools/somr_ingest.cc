@@ -17,9 +17,12 @@
 #include <sstream>
 
 #include "common/flags.h"
+#include "common/percentile.h"
 #include "common/time_util.h"
 #include "core/change_cube.h"
 #include "matching/graph_io.h"
+#include "obs/cli.h"
+#include "obs/trace.h"
 #include "state/context_store.h"
 #include "state/incremental_pipeline.h"
 #include "wikigen/corpus.h"
@@ -51,36 +54,46 @@ int Fail(const Status& status) {
 
 int RunIngest(state::ContextStore& store, const FlagParser& flags,
               bool init) {
+  obs::CliObservability obs;
+  if (Status status = obs.Init(flags); !status.ok()) return Fail(status);
+
   state::IncrementalPipeline pipeline(&store);
+  pipeline.set_provenance_sink(obs.provenance());
   unsigned threads = static_cast<unsigned>(flags.GetInt("threads"));
 
   StatusOr<state::IngestReport> report =
       Status::Internal("no input processed");
-  if (flags.GetBool("demo")) {
-    xmldump::Dump dump = DemoDump();
-    if (init) {
-      // Prefix: the first half of every page's history.
-      for (xmldump::PageHistory& page : dump.pages) {
-        page.revisions.resize(page.revisions.size() / 2);
+  {
+    // Scoped so the span ends before obs.Finish() exports the trace.
+    SOMR_TRACE_SCOPE_CAT("somr", "somr/run");
+    if (flags.GetBool("demo")) {
+      xmldump::Dump dump = DemoDump();
+      if (init) {
+        // Prefix: the first half of every page's history.
+        for (xmldump::PageHistory& page : dump.pages) {
+          page.revisions.resize(page.revisions.size() / 2);
+        }
       }
+      std::istringstream in(xmldump::WriteDump(dump));
+      report = pipeline.IngestDump(in, threads);
+    } else {
+      if (flags.Positional().size() < 2) {
+        std::fprintf(stderr,
+                     "somr_ingest: %s needs a dump path (or --demo)\n",
+                     init ? "init" : "append");
+        return 2;
+      }
+      const std::string& path = flags.Positional()[1];
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "somr_ingest: cannot open %s\n", path.c_str());
+        return 1;
+      }
+      report = pipeline.IngestDump(in, threads);
     }
-    std::istringstream in(xmldump::WriteDump(dump));
-    report = pipeline.IngestDump(in, threads);
-  } else {
-    if (flags.Positional().size() < 2) {
-      std::fprintf(stderr, "somr_ingest: %s needs a dump path (or --demo)\n",
-                   init ? "init" : "append");
-      return 2;
-    }
-    const std::string& path = flags.Positional()[1];
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "somr_ingest: cannot open %s\n", path.c_str());
-      return 1;
-    }
-    report = pipeline.IngestDump(in, threads);
   }
 
+  if (Status status = obs.Finish(); !status.ok()) return Fail(status);
   if (!report.ok()) return Fail(report.status());
   std::printf("%s: %zu pages, %zu new revisions, %zu already ingested\n",
               init ? "init" : "append", report->pages,
@@ -88,8 +101,9 @@ int RunIngest(state::ContextStore& store, const FlagParser& flags,
   return 0;
 }
 
-int RunStatus(const state::ContextStore& store) {
+int RunStatus(const state::ContextStore& store, const FlagParser& flags) {
   std::vector<state::ContextStore::PageInfo> pages = store.Pages();
+  const bool metrics = flags.GetBool("metrics");
   std::printf("%-40s %10s %12s  %s\n", "page", "revisions", "last rev id",
               "last timestamp");
   for (const auto& info : pages) {
@@ -97,6 +111,33 @@ int RunStatus(const state::ContextStore& store) {
                 info.revisions_ingested,
                 static_cast<long long>(info.last_revision_id),
                 FormatIso8601(info.last_timestamp).c_str());
+    if (!metrics) continue;
+    // Per-context matcher accounting, summed over the three object types
+    // and restored from the stored snapshot (survives process restarts).
+    StatusOr<state::PageState> state = store.Load(info.title);
+    if (!state.ok()) return Fail(state.status());
+    matching::MatchStats total;
+    for (extract::ObjectType type : kAllTypes) {
+      const matching::MatchStats& stats = state->matcher.StatsFor(type);
+      total.similarities_computed += stats.similarities_computed;
+      total.pairs_pruned += stats.pairs_pruned;
+      total.pairs_blocked += stats.pairs_blocked;
+      total.stage1_matches += stats.stage1_matches;
+      total.stage2_matches += stats.stage2_matches;
+      total.stage3_matches += stats.stage3_matches;
+      total.new_objects += stats.new_objects;
+      total.step_millis.insert(total.step_millis.end(),
+                               stats.step_millis.begin(),
+                               stats.step_millis.end());
+    }
+    std::printf(
+        "  sims %zu  pruned %zu  blocked %zu  stages %zu/%zu/%zu  "
+        "new %zu  step ms p50 %.3f p95 %.3f\n",
+        total.similarities_computed, total.pairs_pruned,
+        total.pairs_blocked, total.stage1_matches, total.stage2_matches,
+        total.stage3_matches, total.new_objects,
+        Percentile(total.step_millis, 0.50),
+        Percentile(total.step_millis, 0.95));
   }
   std::printf("%zu pages in %s\n", pages.size(), store.dir().c_str());
   return 0;
@@ -162,7 +203,10 @@ int main(int argc, char** argv) {
   flags.AddString("graphs-out", "", "export: identity-graph output path");
   flags.AddString("cube-out", "", "export: change-cube output path");
   flags.AddString("cube-format", "csv", "export: cube format csv | jsonl");
+  flags.AddBool("metrics", false,
+                "status: print per-context matcher accounting");
   flags.AddBool("help", false, "show this help");
+  obs::CliObservability::AddFlags(flags);
 
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -200,7 +244,7 @@ int main(int argc, char** argv) {
   Status status = store.Open(/*create=*/false);
   if (!status.ok()) return Fail(status);
   if (command == "append") return RunIngest(store, flags, /*init=*/false);
-  if (command == "status") return RunStatus(store);
+  if (command == "status") return RunStatus(store, flags);
   if (command == "export") return RunExport(store, flags);
 
   std::fprintf(stderr, "unknown command \"%s\"\n%s", command.c_str(),

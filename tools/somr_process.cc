@@ -16,6 +16,8 @@
 #include "core/change_cube.h"
 #include "core/pipeline.h"
 #include "matching/graph_io.h"
+#include "obs/cli.h"
+#include "obs/trace.h"
 #include "wikigen/corpus.h"
 
 namespace {
@@ -23,6 +25,7 @@ namespace {
 using namespace somr;
 
 std::string DemoDump() {
+  SOMR_TRACE_SCOPE_CAT("somr", "somr/gen_corpus");
   wikigen::CorpusConfig config;
   config.focal_type = extract::ObjectType::kTable;
   config.strata_caps = {3, 8};
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
   flags.AddBool("in-memory", false,
                 "load the whole dump into RAM instead of streaming "
                 "<page> blocks");
+  obs::CliObservability::AddFlags(flags);
 
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -67,37 +71,55 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  obs::CliObservability obs;
+  Status obs_status = obs.Init(flags);
+  if (!obs_status.ok()) {
+    std::fprintf(stderr, "%s\n", obs_status.ToString().c_str());
+    return 2;
+  }
+
   core::Pipeline pipeline;
+  pipeline.set_provenance_sink(obs.provenance());
   const unsigned threads = static_cast<unsigned>(flags.GetInt("threads"));
   StatusOr<std::vector<core::PageResult>> results =
       Status::Internal("no input processed");
-  if (flags.GetBool("demo")) {
-    results = pipeline.ProcessDumpXmlParallel(DemoDump(), threads);
-  } else if (!flags.Positional().empty()) {
-    const std::string& path = flags.Positional()[0];
-    if (flags.GetBool("in-memory")) {
-      // One sized read — no stringstream double-buffering.
-      StatusOr<std::string> xml = ReadFileToString(path);
-      if (!xml.ok()) {
-        std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
-                     xml.status().ToString().c_str());
-        return 1;
+  {
+    // Top-level span; scoped so it ends before obs.Finish() exports the
+    // trace buffer.
+    SOMR_TRACE_SCOPE_CAT("somr", "somr/run");
+    if (flags.GetBool("demo")) {
+      results = pipeline.ProcessDumpXmlParallel(DemoDump(), threads);
+    } else if (!flags.Positional().empty()) {
+      const std::string& path = flags.Positional()[0];
+      if (flags.GetBool("in-memory")) {
+        // One sized read — no stringstream double-buffering.
+        StatusOr<std::string> xml = ReadFileToString(path);
+        if (!xml.ok()) {
+          std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                       xml.status().ToString().c_str());
+          return 1;
+        }
+        results = pipeline.ProcessDumpXmlParallel(*xml, threads);
+      } else {
+        // Default: stream <page> blocks so large dumps never need the
+        // whole XML in memory.
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+          std::fprintf(stderr, "cannot open %s\n", path.c_str());
+          return 1;
+        }
+        results = pipeline.ProcessDumpStream(in, threads);
       }
-      results = pipeline.ProcessDumpXmlParallel(*xml, threads);
     } else {
-      // Default: stream <page> blocks so large dumps never need the
-      // whole XML in memory.
-      std::ifstream in(path, std::ios::binary);
-      if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        return 1;
-      }
-      results = pipeline.ProcessDumpStream(in, threads);
+      std::fprintf(stderr, "no input: pass a dump path or --demo\n%s",
+                   flags.Usage(argv[0]).c_str());
+      return 2;
     }
-  } else {
-    std::fprintf(stderr, "no input: pass a dump path or --demo\n%s",
-                 flags.Usage(argv[0]).c_str());
-    return 2;
+  }
+
+  if (Status finished = obs.Finish(); !finished.ok()) {
+    std::fprintf(stderr, "%s\n", finished.ToString().c_str());
+    return 1;
   }
 
   if (!results.ok()) {
