@@ -2,8 +2,11 @@
 # Matching-kernel benchmark: builds the release preset and runs the micro
 # benchmarks in --json mode, writing BENCH_matching.json at the repo root
 # (ns/op for the similarity kernels and a full matching step, legacy vs
-# flat engine). Compare the file across commits to catch hot-path
-# regressions — the observability layer must stay within 2% when disabled.
+# flat engine), then appends the executor thread-scaling sweep (per-page
+# and intra-step wall times at 1/2/4/8 workers, with the machine's
+# hardware_concurrency recorded alongside). Compare the file across
+# commits to catch hot-path regressions — the observability layer must
+# stay within 2% when disabled.
 #
 #   scripts/bench.sh             # build + run, writes ./BENCH_matching.json
 #   JOBS=8 scripts/bench.sh      # override build parallelism
@@ -14,6 +17,7 @@ cd "$(dirname "$0")/.."
 export CMAKE_BUILD_PARALLEL_LEVEL="$JOBS"
 
 cmake --preset release
-cmake --build --preset release --target bench_micro_kernels
+cmake --build --preset release --target bench_micro_kernels bench_parallel_scaling
 build/release/bench/bench_micro_kernels --json BENCH_matching.json
+build/release/bench/bench_parallel_scaling --json BENCH_matching.json
 echo "==> wrote BENCH_matching.json"

@@ -1,11 +1,13 @@
 #!/bin/sh
 # Tier-1 verification in one invocation: configure + build + ctest for the
-# release preset, again under AddressSanitizer/UBSan, and once more with
+# release preset, again under AddressSanitizer/UBSan, once more with
 # tracing compiled in plus the end-to-end observability smoke test
-# (`somr_process --demo` with trace/metrics/provenance outputs validated).
-# Any failure (configure, compile, or test) fails the script.
+# (`somr_process --demo` with trace/metrics/provenance outputs validated),
+# and finally the concurrent subsystems (executor, matcher, pipelines,
+# ingestion) under ThreadSanitizer. Any failure (configure, compile, or
+# test) fails the script.
 #
-#   scripts/verify.sh            # release + asan + obs
+#   scripts/verify.sh            # release + asan + obs + tsan
 #   scripts/verify.sh release    # just one preset's workflow
 #   JOBS=8 scripts/verify.sh     # override build parallelism
 set -eu
@@ -14,7 +16,7 @@ cd "$(dirname "$0")/.."
 : "${JOBS:=$(nproc 2>/dev/null || echo 2)}"
 export CMAKE_BUILD_PARALLEL_LEVEL="$JOBS"
 
-presets="${1:-release asan obs}"
+presets="${1:-release asan obs tsan}"
 for preset in $presets; do
   echo "==> workflow verify-$preset"
   cmake --workflow --preset "verify-$preset"

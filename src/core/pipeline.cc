@@ -1,11 +1,9 @@
 #include "core/pipeline.h"
 
-#include <atomic>
-#include <condition_variable>
+#include <algorithm>
 #include <cstdlib>
-#include <deque>
-#include <mutex>
-#include <thread>
+#include <optional>
+#include <utility>
 
 #include "xmldump/stream_reader.h"
 
@@ -13,6 +11,8 @@
 #include "eval/harness.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/executor.h"
+#include "parallel/mpmc_channel.h"
 
 namespace somr::core {
 
@@ -56,6 +56,11 @@ const matching::IdentityGraph& PageResult::GraphFor(
 }
 
 PageResult Pipeline::ProcessPage(const xmldump::PageHistory& page) const {
+  return ProcessPageWith(page, executor_);
+}
+
+PageResult Pipeline::ProcessPageWith(const xmldump::PageHistory& page,
+                                     parallel::Executor* executor) const {
   SOMR_TRACE_SCOPE_CAT("pipeline", "pipeline/page");
   Timer page_timer;
   PageResult result;
@@ -67,6 +72,7 @@ PageResult Pipeline::ProcessPage(const xmldump::PageHistory& page) const {
   }
 
   matching::PageMatcher matcher(config_);
+  if (executor != nullptr) matcher.SetExecutor(executor);
   // Stamp every decision record with this page's title. The scoped sink
   // lives on the stack, so the matcher must drop it before we return.
   obs::PageScopedSink scoped(provenance_, result.title);
@@ -113,7 +119,7 @@ StatusOr<std::vector<PageResult>> Pipeline::ProcessDumpStream(
     std::istream& input, unsigned num_threads) const {
   xmldump::PageStreamReader reader(input);
 
-  if (num_threads <= 1) {
+  if (num_threads <= 1 && executor_ == nullptr) {
     std::vector<PageResult> results;
     while (std::optional<xmldump::PageHistory> page = reader.NextPage()) {
       results.push_back(ProcessPage(*page));
@@ -122,64 +128,51 @@ StatusOr<std::vector<PageResult>> Pipeline::ProcessDumpStream(
     return results;
   }
 
-  // Producer (this thread) parses pages; workers match them. The queue is
-  // bounded so a fast reader cannot buffer the whole dump in memory.
+  // Producer (this thread) parses pages and hands them to pool workers
+  // through a bounded channel, so a fast reader can never buffer the
+  // whole dump in memory. One consumer job per worker; each consumer
+  // collects (index, result) pairs privately and the indexes restore
+  // dump order afterwards, so no lock is held around page processing.
+  std::optional<parallel::Executor> local_pool;
+  parallel::Executor* exec = executor_;
+  if (exec == nullptr) {
+    local_pool.emplace(num_threads);
+    exec = &*local_pool;
+  }
+  const unsigned consumers = exec->num_workers();
+
   struct Item {
-    size_t index;
+    size_t index = 0;
     xmldump::PageHistory page;
   };
-  const size_t queue_cap = static_cast<size_t>(num_threads) * 2;
-  std::mutex mu;
-  std::condition_variable can_push, can_pop;
-  std::deque<Item> queue;
-  bool done = false;
+  parallel::Channel<Item> channel(static_cast<size_t>(consumers) * 2);
 
-  std::vector<std::vector<std::pair<size_t, PageResult>>> worker_results(
-      num_threads);
-  auto worker = [&](unsigned worker_index) {
-    while (true) {
+  std::vector<std::vector<std::pair<size_t, PageResult>>> consumer_results(
+      consumers);
+  parallel::TaskGroup group(*exec);
+  for (unsigned c = 0; c < consumers; ++c) {
+    group.Run([this, exec, &channel, &consumer_results, c] {
       Item item;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        can_pop.wait(lock, [&] { return !queue.empty() || done; });
-        if (queue.empty()) return;
-        item = std::move(queue.front());
-        queue.pop_front();
+      while (channel.Pop(item)) {
+        consumer_results[c].emplace_back(item.index,
+                                         ProcessPageWith(item.page, exec));
       }
-      can_push.notify_one();
-      worker_results[worker_index].emplace_back(item.index,
-                                                ProcessPage(item.page));
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) {
-    threads.emplace_back(worker, t);
+    });
   }
 
   size_t total_pages = 0;
   while (std::optional<xmldump::PageHistory> page = reader.NextPage()) {
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      can_push.wait(lock, [&] { return queue.size() < queue_cap; });
-      queue.push_back({total_pages, *std::move(page)});
-    }
-    can_pop.notify_one();
+    channel.Push({total_pages, *std::move(page)});
     ++total_pages;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    done = true;
-  }
-  can_pop.notify_all();
-  for (std::thread& thread : threads) thread.join();
+  channel.Close();
+  group.Wait();
 
   if (!reader.status().ok()) return reader.status();
 
   std::vector<PageResult> results(total_pages);
-  for (auto& per_worker : worker_results) {
-    for (auto& [index, result] : per_worker) {
+  for (auto& per_consumer : consumer_results) {
+    for (auto& [index, result] : per_consumer) {
       results[index] = std::move(result);
     }
   }
@@ -188,27 +181,37 @@ StatusOr<std::vector<PageResult>> Pipeline::ProcessDumpStream(
 
 StatusOr<std::vector<PageResult>> Pipeline::ProcessDumpXmlParallel(
     std::string_view xml, unsigned num_threads) const {
-  if (num_threads <= 1) return ProcessDumpXml(xml);
+  if (num_threads <= 1 && executor_ == nullptr) return ProcessDumpXml(xml);
   StatusOr<xmldump::Dump> dump = ReadDumpTraced(xml);
   if (!dump.ok()) return dump.status();
 
-  std::vector<PageResult> results(dump->pages.size());
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    while (true) {
-      size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= dump->pages.size()) return;
-      results[index] = ProcessPage(dump->pages[index]);
-    }
-  };
-  std::vector<std::thread> threads;
-  unsigned spawned = std::min<unsigned>(
-      num_threads, static_cast<unsigned>(dump->pages.size()));
-  threads.reserve(spawned);
-  for (unsigned t = 0; t < spawned; ++t) {
-    threads.emplace_back(worker);
+  std::optional<parallel::Executor> local_pool;
+  parallel::Executor* exec = executor_;
+  if (exec == nullptr) {
+    local_pool.emplace(num_threads);
+    exec = &*local_pool;
   }
-  for (std::thread& thread : threads) thread.join();
+
+  // Pages are claimed in grain-sized chunks rather than one atomic
+  // fetch_add per page, and each chunk builds its results in a local
+  // vector before moving them into the shared array — page processing
+  // never writes interleaved into neighboring slots of `results`, so
+  // workers don't false-share its cachelines.
+  const size_t num_pages = dump->pages.size();
+  const size_t grain = std::max<size_t>(
+      1, num_pages / (static_cast<size_t>(exec->num_workers()) * 4 + 1));
+  std::vector<PageResult> results(num_pages);
+  exec->ParallelFor(0, num_pages, grain,
+                    [&](size_t chunk_begin, size_t chunk_end) {
+    std::vector<PageResult> chunk;
+    chunk.reserve(chunk_end - chunk_begin);
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      chunk.push_back(ProcessPageWith(dump->pages[i], exec));
+    }
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      results[i] = std::move(chunk[i - chunk_begin]);
+    }
+  });
   return results;
 }
 

@@ -41,17 +41,22 @@ class Pipeline {
   /// Processes a full dump: every page independently.
   StatusOr<std::vector<PageResult>> ProcessDumpXml(std::string_view xml) const;
 
-  /// Like ProcessDumpXml but processes pages on `num_threads` worker
-  /// threads (pages are independent). Results keep dump order and are
-  /// bit-identical to the sequential ones. `num_threads <= 1` falls back
-  /// to sequential processing.
+  /// Like ProcessDumpXml but fans the pages out over a work-stealing
+  /// pool (pages are independent). Results keep dump order and are
+  /// bit-identical to the sequential ones. Uses the executor attached
+  /// via set_executor when one is present (num_threads then only gates
+  /// the sequential fallback); otherwise spins up a local pool of
+  /// `num_threads` workers. `num_threads <= 1` without an attached
+  /// executor falls back to sequential processing.
   StatusOr<std::vector<PageResult>> ProcessDumpXmlParallel(
       std::string_view xml, unsigned num_threads) const;
 
   /// Streaming variant: reads `<page>` blocks from `input` one at a time
   /// (via xmldump::PageStreamReader) so the full dump XML is never
-  /// materialized — peak memory is one page history per worker thread
-  /// plus a bounded hand-off queue. Results keep dump order and are
+  /// materialized — the reader hands pages to pool workers through a
+  /// bounded Channel, so peak memory is one page history per worker
+  /// plus the channel capacity. Executor selection is the same as
+  /// ProcessDumpXmlParallel's. Results keep dump order and are
   /// bit-identical to ProcessDumpXml on the same bytes.
   StatusOr<std::vector<PageResult>> ProcessDumpStream(
       std::istream& input, unsigned num_threads = 1) const;
@@ -70,9 +75,22 @@ class Pipeline {
     provenance_ = sink;
   }
 
+  /// Attaches a work-stealing pool (nullptr detaches). The parallel
+  /// entry points then run their pages on it instead of a local pool,
+  /// and every page's matchers use it for intra-step parallelism. The
+  /// executor must outlive every subsequent Process* call. Attaching
+  /// one never changes results, only wall time.
+  void set_executor(parallel::Executor* executor) { executor_ = executor; }
+
  private:
+  /// ProcessPage with an explicit executor for the page's matchers (the
+  /// parallel entry points pass the pool their page tasks run on).
+  PageResult ProcessPageWith(const xmldump::PageHistory& page,
+                             parallel::Executor* executor) const;
+
   matching::MatcherConfig config_;
   obs::ProvenanceSink* provenance_ = nullptr;  // optional, not owned
+  parallel::Executor* executor_ = nullptr;     // optional, not owned
 };
 
 }  // namespace somr::core

@@ -9,6 +9,7 @@
 #include "matching/hungarian.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/executor.h"
 
 namespace somr::matching {
 
@@ -141,10 +142,11 @@ double TemporalMatcher::TieBreakBonus(const Tracked& tracked,
   return position_part + lifetime_part;
 }
 
-template <typename SimFn, typename AllowFn, typename DescribeFn>
+template <typename SimFn, typename AllowFn, typename PrefillFn,
+          typename DescribeFn>
 void TemporalMatcher::RunStages(
     int revision_index, const std::vector<extract::ObjectInstance>& instances,
-    SimFn&& sim_at_least, AllowFn&& pair_allowed,
+    SimFn&& sim_at_least, AllowFn&& pair_allowed, PrefillFn&& prefill,
     DescribeFn&& describe_pair, std::vector<int64_t>& assignment) {
   std::vector<bool> tracked_matched(tracked_.size(), false);
   std::vector<bool> incoming_matched(instances.size(), false);
@@ -171,12 +173,17 @@ void TemporalMatcher::RunStages(
                       &stats_.stage3_matches, 3, "match/stage3"});
   }
 
+  // Candidate pairs and their stage similarities, reused across stages.
+  std::vector<StagePair> cands;
+  std::vector<double> stage_sims;
+
   for (const Stage& stage : stages) {
     SOMR_TRACE_SCOPE_CAT("match", stage.span_name);
-    std::vector<WeightedEdge> edges;
-    // Similarity of each edge without its tie-break perturbation, kept
-    // only while a provenance sink is attached (parallel to `edges`).
-    std::vector<double> edge_sims;
+    // Enumerate this stage's candidate pairs in (ti, ni) order — the
+    // order every later step (prefill or lazy sims, edge building, the
+    // assignment solve) inherits, which is what keeps the parallel and
+    // sequential paths byte-identical.
+    cands.clear();
     for (size_t ti = 0; ti < tracked_.size(); ++ti) {
       if (tracked_matched[ti]) continue;
       for (size_t ni = 0; ni < instances.size(); ++ni) {
@@ -189,15 +196,37 @@ void TemporalMatcher::RunStages(
           ++stats_.pairs_blocked;
           continue;
         }
-        double s = sim_at_least(stage.kind, stage.threshold, ti, ni);
-        if (s < stage.threshold) continue;
-        double weight = s + TieBreakBonus(tracked_[ti],
-                                          instances[ni].position,
-                                          revision_index);
-        edges.push_back({static_cast<int>(ti), static_cast<int>(ni),
-                         weight});
-        if (provenance_ != nullptr) edge_sims.push_back(s);
+        cands.push_back({static_cast<uint32_t>(ti),
+                         static_cast<uint32_t>(ni)});
       }
+    }
+    if (cands.empty()) continue;
+
+    // Large stages fill the similarity matrix in parallel; otherwise the
+    // lazy per-pair path runs below. A prefilled value must be consumed
+    // from stage_sims rather than re-probed: prune outcomes are not
+    // cached, so a second probe would double-count pairs_pruned.
+    stage_sims.assign(cands.size(), 0.0);
+    const bool prefilled =
+        prefill(stage.kind, stage.threshold, cands, stage_sims);
+
+    std::vector<WeightedEdge> edges;
+    // Similarity of each edge without its tie-break perturbation, kept
+    // only while a provenance sink is attached (parallel to `edges`).
+    std::vector<double> edge_sims;
+    for (size_t k = 0; k < cands.size(); ++k) {
+      const size_t ti = cands[k].tracked;
+      const size_t ni = cands[k].incoming;
+      double s = prefilled
+                     ? stage_sims[k]
+                     : sim_at_least(stage.kind, stage.threshold, ti, ni);
+      if (s < stage.threshold) continue;
+      double weight = s + TieBreakBonus(tracked_[ti],
+                                        instances[ni].position,
+                                        revision_index);
+      edges.push_back({static_cast<int>(ti), static_cast<int>(ni),
+                       weight});
+      if (provenance_ != nullptr) edge_sims.push_back(s);
     }
     if (edges.empty()) continue;
     std::vector<std::pair<int, int>> matched;
@@ -436,7 +465,10 @@ void TemporalMatcher::ProcessRevisionFlat(
 
   // Exact decayed similarity, skipping history versions whose bound
   // cannot beat the best seen so far (skips never change the max).
-  auto exact_sim = [&](sim::SimilarityKind kind, size_t ti, size_t ni) {
+  // Counter updates go through `sims` so the parallel prefill can route
+  // them into per-thread scratch instead of the shared MatchStats.
+  auto exact_sim = [&](sim::SimilarityKind kind, size_t ti, size_t ni,
+                       size_t* sims) {
     const Tracked& t = tracked_[ti];
     const FlatBag& cand = incoming[ni];
     const size_t hist = t.recent_flat.size();
@@ -453,7 +485,7 @@ void TemporalMatcher::ProcessRevisionFlat(
       double cap = sim::SimilarityUpperBound(kind, version.empty(),
                                              cand.empty(), wa, wb);
       if (decay * cap > best) {
-        ++stats_.similarities_computed;
+        ++*sims;
         best = std::max(best, decay * sim::SimilarityFromTotals(
                                           kind, version, cand, weights_,
                                           wa, wb));
@@ -467,8 +499,12 @@ void TemporalMatcher::ProcessRevisionFlat(
   std::vector<double> relaxed_cache(nt * nn, kUnset);
   std::vector<double> strict_bound(nt * nn, kUnset);
 
-  auto sim_at_least = [&](sim::SimilarityKind kind, double threshold,
-                          size_t ti, size_t ni) {
+  // One similarity probe of one pair. Thread-safe for distinct pairs:
+  // every mutable touch (bound, caches) lands in that pair's own flat
+  // cells, and the counters go through the caller-supplied pointers.
+  auto sim_probe = [&](sim::SimilarityKind kind, double threshold,
+                       size_t ti, size_t ni, size_t* sims,
+                       size_t* pruned) {
     const size_t idx = ti * nn + ni;
     std::vector<double>& cache = kind == sim::SimilarityKind::kStrict
                                      ? strict_cache
@@ -480,17 +516,59 @@ void TemporalMatcher::ProcessRevisionFlat(
       if (bound < threshold) {
         // Provably below this stage's threshold: skip the merge-joins.
         // Not cached — a later stage with a lower threshold re-checks.
-        ++stats_.pairs_pruned;
+        ++*pruned;
         return kPruned;
       }
     }
-    double s = exact_sim(kind, ti, ni);
+    double s = exact_sim(kind, ti, ni, sims);
     cache[idx] = s;
     return s;
   };
 
+  auto sim_at_least = [&](sim::SimilarityKind kind, double threshold,
+                          size_t ti, size_t ni) {
+    return sim_probe(kind, threshold, ti, ni,
+                     &stats_.similarities_computed, &stats_.pairs_pruned);
+  };
+
   auto pair_allowed = [&](size_t ti, size_t ni) {
     return lsh_mask.empty() || lsh_mask[ti * nn + ni] != 0;
+  };
+
+  // Intra-step parallel path: fill one stage's similarity values for all
+  // candidate pairs at once with ParallelFor. Safe because each pair
+  // appears exactly once per stage (writes hit distinct cache cells) and
+  // counter deltas accumulate in cacheline-padded per-thread scratch,
+  // folded into MatchStats afterwards — sums are commutative, so the
+  // counters match the sequential path exactly.
+  auto prefill = [&](sim::SimilarityKind kind, double threshold,
+                     const std::vector<StagePair>& pairs,
+                     std::vector<double>& out) {
+    if (executor_ == nullptr || !config_.enable_parallel_stages ||
+        pairs.size() < config_.parallel_min_pairs) {
+      return false;
+    }
+    struct alignas(64) Scratch {
+      size_t sims = 0;
+      size_t pruned = 0;
+    };
+    std::vector<Scratch> scratch(executor_->num_workers() + 1);
+    const size_t grain = std::max<size_t>(
+        64, pairs.size() /
+                (static_cast<size_t>(executor_->num_workers()) * 4 + 1));
+    executor_->ParallelFor(0, pairs.size(), grain,
+                           [&](size_t chunk_begin, size_t chunk_end) {
+      Scratch& slot = scratch[executor_->CurrentSlot()];
+      for (size_t k = chunk_begin; k < chunk_end; ++k) {
+        out[k] = sim_probe(kind, threshold, pairs[k].tracked,
+                           pairs[k].incoming, &slot.sims, &slot.pruned);
+      }
+    });
+    for (const Scratch& slot : scratch) {
+      stats_.similarities_computed += slot.sims;
+      stats_.pairs_pruned += slot.pruned;
+    }
+    return true;
   };
 
   // Provenance-only recompute of the rear-view profile of one pair: which
@@ -524,7 +602,7 @@ void TemporalMatcher::ProcessRevisionFlat(
 
   std::vector<int64_t> assignment(nn, -1);
   RunStages(revision_index, instances, sim_at_least, pair_allowed,
-            describe_pair, assignment);
+            prefill, describe_pair, assignment);
   CommitAssignments(
       revision_index, instances, assignment, [&](Tracked& t, size_t ni) {
         t.recent_flat.push_back(std::move(incoming[ni]));
@@ -583,6 +661,11 @@ void TemporalMatcher::ProcessRevisionLegacy(
 
   auto pair_allowed = [](size_t, size_t) { return true; };
 
+  // The legacy reference engine always runs the lazy sequential path.
+  auto prefill = [](sim::SimilarityKind, double,
+                    const std::vector<StagePair>&,
+                    std::vector<double>&) { return false; };
+
   // Provenance-only rear-view recompute (see the flat engine); bypasses
   // DecayedSim so the similarity counter stays untouched.
   auto describe_pair = [&](sim::SimilarityKind kind, size_t ti, size_t ni,
@@ -609,7 +692,7 @@ void TemporalMatcher::ProcessRevisionLegacy(
 
   std::vector<int64_t> assignment(nn, -1);
   RunStages(revision_index, instances, sim_at_least, pair_allowed,
-            describe_pair, assignment);
+            prefill, describe_pair, assignment);
   CommitAssignments(
       revision_index, instances, assignment, [&](Tracked& t, size_t ni) {
         t.recent_bags.push_back(std::move(incoming_bags[ni]));
@@ -626,6 +709,12 @@ void PageMatcher::SetProvenanceSink(obs::ProvenanceSink* sink) {
   tables_.SetProvenanceSink(sink);
   infoboxes_.SetProvenanceSink(sink);
   lists_.SetProvenanceSink(sink);
+}
+
+void PageMatcher::SetExecutor(parallel::Executor* executor) {
+  tables_.SetExecutor(executor);
+  infoboxes_.SetExecutor(executor);
+  lists_.SetExecutor(executor);
 }
 
 void PageMatcher::ProcessRevision(int revision_index,

@@ -21,6 +21,10 @@ namespace somr::state {
 class MatcherSerde;  // snapshot serializer (src/state/snapshot.cc)
 }  // namespace somr::state
 
+namespace somr::parallel {
+class Executor;  // work-stealing pool (src/parallel/executor.h)
+}  // namespace somr::parallel
+
 namespace somr::matching {
 
 /// Configuration of the multi-stage matcher, defaults set to the paper's
@@ -71,8 +75,24 @@ struct MatcherConfig {
   size_t lsh_min_pair_count = 4096;
   int lsh_bands = 16;
   int lsh_rows = 4;
+  /// Intra-step parallelism (flat engine, only with an Executor attached
+  /// via SetExecutor): when a stage's candidate-pair count reaches
+  /// parallel_min_pairs, the stage similarity matrix is filled with
+  /// Executor::ParallelFor before the (always sequential) assignment
+  /// solve. Exact — identity graphs and MatchStats counters are
+  /// byte-identical at any thread count, so these knobs are perf-only
+  /// and deliberately excluded from the snapshot config fingerprint.
+  bool enable_parallel_stages = true;
+  size_t parallel_min_pairs = 4096;
   /// Bag-of-words construction options.
   extract::FeatureOptions features;
+};
+
+/// One candidate pair of a matching stage: indexes into the tracked
+/// objects and the incoming instances of the current step.
+struct StagePair {
+  uint32_t tracked = 0;
+  uint32_t incoming = 0;
 };
 
 /// Runtime accounting for the performance experiments (Fig. 11).
@@ -114,6 +134,13 @@ class TemporalMatcher : public RevisionMatcher {
   /// records are only built while one is attached.
   void SetProvenanceSink(obs::ProvenanceSink* sink) { provenance_ = sink; }
 
+  /// Attaches a work-stealing pool for intra-step parallelism (nullptr
+  /// detaches — the matcher then runs fully sequentially). The executor
+  /// must outlive every subsequent ProcessRevision call. Attaching one
+  /// never changes results, only wall time; see MatcherConfig's
+  /// enable_parallel_stages / parallel_min_pairs.
+  void SetExecutor(parallel::Executor* executor) { executor_ = executor; }
+
   /// Destructive accessors for pipeline code that owns the matcher and
   /// wants the result without copying the graph. TakeStats leaves a
   /// fully zeroed MatchStats behind (a plain move would reset only the
@@ -148,14 +175,19 @@ class TemporalMatcher : public RevisionMatcher {
   /// `sim_at_least(kind, threshold, ti, ni)` returns the exact decayed
   /// similarity, or -infinity when the pair is provably below
   /// `threshold`; `pair_allowed(ti, ni)` gates the non-local stages
-  /// (LSH blocking); `describe_pair(kind, ti, ni, &decision)` fills the
-  /// rear-view fields of a provenance record (called only for candidate
-  /// edges, and only while a provenance sink is attached).
-  template <typename SimFn, typename AllowFn, typename DescribeFn>
+  /// (LSH blocking); `prefill(kind, threshold, pairs, out)` may fill
+  /// `out[k]` with the sim_at_least value of `pairs[k]` for the whole
+  /// stage at once (the intra-step parallel path) and return true, or
+  /// return false to keep the lazy per-pair path; `describe_pair(kind,
+  /// ti, ni, &decision)` fills the rear-view fields of a provenance
+  /// record (called only for candidate edges, and only while a
+  /// provenance sink is attached).
+  template <typename SimFn, typename AllowFn, typename PrefillFn,
+            typename DescribeFn>
   void RunStages(int revision_index,
                  const std::vector<extract::ObjectInstance>& instances,
                  SimFn&& sim_at_least, AllowFn&& pair_allowed,
-                 DescribeFn&& describe_pair,
+                 PrefillFn&& prefill, DescribeFn&& describe_pair,
                  std::vector<int64_t>& assignment);
 
   /// Applies `assignment` to the graph: appends matched instances to
@@ -190,6 +222,7 @@ class TemporalMatcher : public RevisionMatcher {
   TokenPool pool_;                   // flat engine: page-lifetime interning
   sim::DenseTokenWeights weights_;   // flat engine: per-step IDF weights
   obs::ProvenanceSink* provenance_ = nullptr;  // optional, not owned
+  parallel::Executor* executor_ = nullptr;     // optional, not owned
 };
 
 /// Convenience driver that runs three TemporalMatchers (tables, infoboxes,
@@ -203,6 +236,9 @@ class PageMatcher {
 
   /// Attaches a provenance sink to all three matchers (nullptr detaches).
   void SetProvenanceSink(obs::ProvenanceSink* sink);
+
+  /// Attaches an executor to all three matchers (nullptr detaches).
+  void SetExecutor(parallel::Executor* executor);
 
   const IdentityGraph& GraphFor(extract::ObjectType type) const;
   const MatchStats& StatsFor(extract::ObjectType type) const;

@@ -1,0 +1,392 @@
+#include "parallel/executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace somr::parallel {
+
+namespace {
+
+// Process-wide pool metrics, shared by every Executor instance (pools are
+// created per run or per --threads setting; the counters aggregate).
+struct ExecutorMetrics {
+  obs::Counter* tasks;
+  obs::Counter* steals;
+  obs::Counter* parks;
+  obs::Gauge* workers;
+  obs::Gauge* parked;
+  obs::Gauge* injector_depth;
+};
+
+ExecutorMetrics& GetExecutorMetrics() {
+  static ExecutorMetrics* metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    auto* m = new ExecutorMetrics();
+    m->tasks = r.GetCounter("somr_executor_tasks_total",
+                            "tasks executed by the work-stealing pool");
+    m->steals = r.GetCounter("somr_executor_steals_total",
+                             "tasks obtained by stealing from a peer deque");
+    m->parks = r.GetCounter("somr_executor_parks_total",
+                            "times a worker parked for lack of work");
+    m->workers = r.GetGauge("somr_executor_workers",
+                            "worker threads of the most recent pool");
+    m->parked = r.GetGauge("somr_executor_parked_workers",
+                           "workers currently parked");
+    m->injector_depth = r.GetGauge("somr_executor_injector_depth",
+                                   "tasks waiting in the global injector");
+    return m;
+  }();
+  return *metrics;
+}
+
+// Identity of the current thread within its owning pool, set once in
+// WorkerMain. Threads outside any pool (or inside a different pool) read
+// as "external" via Executor::CurrentSlot.
+thread_local Executor* tl_pool = nullptr;
+thread_local unsigned tl_worker_index = 0;
+
+uint64_t NextSeed(std::atomic<uint64_t>& seed) {
+  // SplitMix64 step: cheap, uncorrelated victim starting points.
+  uint64_t z = seed.fetch_add(0x9e3779b97f4a7c15ull,
+                              std::memory_order_relaxed);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Shared state of one ParallelFor call; lives on the caller's stack (the
+// call blocks until pending hits zero, so chunk tasks never outlive it).
+struct ParallelForState {
+  internal::ChunkFnRef fn;
+  std::atomic<size_t> pending;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr first_error;
+  bool done = false;  // set under mu by the last finisher
+
+  explicit ParallelForState(internal::ChunkFnRef f, size_t chunks)
+      : fn(f), pending(chunks) {}
+};
+
+void RunParallelForChunk(internal::Task& task) {
+  auto* state = static_cast<ParallelForState*>(task.state);
+  try {
+    state->fn(task.begin, task.end);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->first_error) state->first_error = std::current_exception();
+  }
+  if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // The caller destroys `state` only after observing `done` under mu,
+    // so setting it and notifying inside the critical section makes the
+    // unlock this thread's last touch of the state — the wake-up cannot
+    // be lost and the destruction cannot race the notify.
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->done = true;
+    state->cv.notify_all();
+  }
+}
+
+}  // namespace
+
+Executor::Executor(unsigned num_workers) {
+  const unsigned n = std::max(1u, num_workers);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Deques exist before any thread starts: workers steal from peers
+  // whose thread may not have spawned yet.
+  for (unsigned i = 0; i < n; ++i) {
+    workers_[i]->thread = std::thread([this, i] { WorkerMain(i); });
+  }
+  GetExecutorMetrics().workers->Set(static_cast<double>(n));
+}
+
+Executor::~Executor() {
+  {
+    // Drain: every task pushed before destruction runs to completion.
+    std::unique_lock<std::mutex> lock(park_mu_);
+    idle_cv_.wait(lock, [&] {
+      return pending_tasks_.load(std::memory_order_acquire) == 0;
+    });
+    shutdown_ = true;
+  }
+  park_cv_.notify_all();
+  for (auto& worker : workers_) worker->thread.join();
+}
+
+Executor& Executor::Default() {
+  // Leaked on purpose (reachable, so not a LeakSanitizer finding):
+  // parked workers outlive static destruction order hazards.
+  static Executor* pool = new Executor(ResolveThreads(0));
+  return *pool;
+}
+
+unsigned Executor::ResolveThreads(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+unsigned Executor::CurrentSlot() const {
+  return tl_pool == this ? tl_worker_index : num_workers();
+}
+
+void Executor::Wake(size_t n) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    wake_signals_ = std::min(wake_signals_ + n, workers_.size());
+  }
+  park_cv_.notify_all();
+}
+
+void Executor::Dispatch(internal::Task* task, size_t wake) {
+  pending_tasks_.fetch_add(1, std::memory_order_relaxed);
+  const unsigned slot = CurrentSlot();
+  if (slot < num_workers()) {
+    workers_[slot]->deque.Push(task);
+  } else {
+    size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(injector_mu_);
+      injector_.push_back(task);
+      depth = injector_.size();
+    }
+    GetExecutorMetrics().injector_depth->Set(static_cast<double>(depth));
+  }
+  Wake(wake);
+}
+
+internal::Task* Executor::FindTask(unsigned slot) {
+  // 1. Own deque (workers only): newest first, cache-warm.
+  if (slot < num_workers()) {
+    if (internal::Task* task = workers_[slot]->deque.Pop()) return task;
+  }
+  // 2. Global injector: external submissions, FIFO.
+  {
+    std::lock_guard<std::mutex> lock(injector_mu_);
+    if (!injector_.empty()) {
+      internal::Task* task = injector_.front();
+      injector_.pop_front();
+      GetExecutorMetrics().injector_depth->Set(
+          static_cast<double>(injector_.size()));
+      return task;
+    }
+  }
+  // 3. Steal sweep: two passes over the peers from a random start.
+  const size_t n = workers_.size();
+  if (n > (slot < n ? 1u : 0u)) {
+    size_t start = static_cast<size_t>(NextSeed(steal_seed_) % n);
+    for (size_t probe = 0; probe < 2 * n; ++probe) {
+      size_t victim = (start + probe) % n;
+      if (victim == slot) continue;
+      if (internal::Task* task = workers_[victim]->deque.Steal()) {
+        GetExecutorMetrics().steals->Increment();
+        return task;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void Executor::RunTask(internal::Task* task) {
+  {
+    SOMR_TRACE_SCOPE_CAT("parallel", "executor/task");
+    task->run(*task);  // may delete the task (Submit) — do not touch after
+  }
+  GetExecutorMetrics().tasks->Increment();
+  if (pending_tasks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void Executor::WorkerMain(unsigned index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  ExecutorMetrics& metrics = GetExecutorMetrics();
+  while (true) {
+    if (internal::Task* task = FindTask(index)) {
+      RunTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(park_mu_);
+    if (shutdown_) return;
+    if (wake_signals_ > 0) {
+      // A signal raced our empty scan: consume it and rescan.
+      --wake_signals_;
+      continue;
+    }
+    metrics.parks->Increment();
+    parked_.fetch_add(1, std::memory_order_relaxed);
+    metrics.parked->Set(
+        static_cast<double>(parked_.load(std::memory_order_relaxed)));
+    park_cv_.wait(lock, [&] { return wake_signals_ > 0 || shutdown_; });
+    if (wake_signals_ > 0) --wake_signals_;
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+    metrics.parked->Set(
+        static_cast<double>(parked_.load(std::memory_order_relaxed)));
+    if (shutdown_) return;
+  }
+}
+
+void Executor::ParallelFor(size_t begin, size_t end, size_t grain,
+                           internal::ChunkFnRef fn) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  grain = std::max<size_t>(1, grain);
+  const size_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1) {
+    fn(begin, end);
+    return;
+  }
+
+  ParallelForState state(fn, chunks);
+  // One Task per chunk, batch-allocated on this frame. Work stealing
+  // spreads the chunks: a worker pushes them to its own deque (peers
+  // steal from the top, i.e. the largest remaining prefix), an external
+  // caller routes them through the injector.
+  std::vector<internal::Task> tasks(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    tasks[c].run = RunParallelForChunk;
+    tasks[c].state = &state;
+    tasks[c].begin = begin + c * grain;
+    tasks[c].end = std::min(end, begin + (c + 1) * grain);
+  }
+  const unsigned slot = CurrentSlot();
+  for (internal::Task& task : tasks) Dispatch(&task, /*wake=*/0);
+  Wake(std::min<size_t>(chunks, workers_.size()));
+
+  // Help until every chunk completed. The loop may execute unrelated
+  // tasks (other ParallelFors, group jobs) — that is what keeps nested
+  // parallelism deadlock-free on a bounded pool.
+  while (state.pending.load(std::memory_order_acquire) != 0) {
+    if (internal::Task* task = FindTask(slot)) {
+      RunTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state.mu);
+    // Re-check under the lock, then sleep briefly: the remaining chunks
+    // are in flight on other threads, but one of them may spawn new
+    // stealable work (nested ParallelFor), so poll rather than wait
+    // indefinitely.
+    state.cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return state.pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    // `state` lives on this frame: wait for the last finisher to leave
+    // its critical section before the state (mutex, cv) is destroyed.
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.cv.wait(lock, [&] { return state.done; });
+  }
+  if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+// --- Submit -------------------------------------------------------------
+
+namespace {
+
+struct SubmitState {
+  std::function<void()> fn;
+  internal::Task task;
+};
+
+void RunSubmit(internal::Task& task) {
+  auto* state = static_cast<SubmitState*>(task.state);
+  state->fn();
+  delete state;
+}
+
+}  // namespace
+
+void Executor::Submit(std::function<void()> fn) {
+  auto* state = new SubmitState{std::move(fn), {}};
+  state->task.run = RunSubmit;
+  state->task.state = state;
+  Dispatch(&state->task, /*wake=*/1);
+}
+
+// --- TaskGroup ----------------------------------------------------------
+
+struct TaskGroup::Job {
+  TaskGroup* group;
+  std::function<void()> fn;
+  internal::Task task;
+
+  static void Run(internal::Task& t) {
+    auto* job = static_cast<Job*>(t.state);
+    TaskGroup* group = job->group;
+    try {
+      job->fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(group->mu_);
+      if (!group->first_error_) {
+        group->first_error_ = std::current_exception();
+      }
+    }
+    delete job;
+    group->pending_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      // The waiter destroys the group only after completed_ catches up
+      // with submitted_ under mu_, so the unlock below is this thread's
+      // last touch of the group.
+      std::lock_guard<std::mutex> lock(group->mu_);
+      ++group->completed_;
+      group->cv_.notify_all();
+    }
+  }
+};
+
+void TaskGroup::Run(std::function<void()> fn) {
+  auto* job = new Job{this, std::move(fn), {}};
+  job->task.run = Job::Run;
+  job->task.state = job;
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+  }
+  executor_.Dispatch(&job->task, /*wake=*/1);
+}
+
+void TaskGroup::Wait() {
+  const unsigned slot = executor_.CurrentSlot();
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (internal::Task* task = executor_.FindTask(slot)) {
+      executor_.RunTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  waited_ = true;
+  // Synchronize with the last job's critical section before the group
+  // (mutex, cv) can leave the owner's frame.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return completed_ == submitted_; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  if (!waited_) {
+    try {
+      Wait();
+    } catch (...) {
+      // Destructors must not throw; Wait() was the place to observe it.
+    }
+  }
+}
+
+}  // namespace somr::parallel

@@ -1,0 +1,204 @@
+#ifndef SOMR_PARALLEL_EXECUTOR_H_
+#define SOMR_PARALLEL_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "parallel/work_stealing_deque.h"
+
+namespace somr::parallel {
+
+class Executor;
+class TaskGroup;
+
+namespace internal {
+
+/// One schedulable unit. Tasks are plain structs so ParallelFor can keep
+/// a whole chunk batch in one stack-allocated array — no per-chunk heap
+/// allocation on the hot path. `run` consumes the task (a task pointer
+/// is dequeued exactly once and never re-entered).
+struct Task {
+  void (*run)(Task&) = nullptr;
+  void* state = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Non-owning callable reference for ParallelFor bodies: avoids the
+/// std::function allocation per call. The referenced callable must
+/// outlive the ParallelFor, which always blocks until completion.
+class ChunkFnRef {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, ChunkFnRef>>>
+  ChunkFnRef(F&& fn)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* obj, size_t b, size_t e) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(b, e);
+        }) {}
+
+  void operator()(size_t begin, size_t end) const {
+    call_(obj_, begin, end);
+  }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, size_t, size_t);
+};
+
+}  // namespace internal
+
+/// Work-stealing thread pool. Each worker owns a Chase–Lev deque; tasks
+/// submitted from inside a worker go to that worker's deque (LIFO for
+/// the owner, stolen FIFO by idle peers), tasks from outside go to a
+/// global injector queue. Idle workers spin through victims a few
+/// rounds, then park on a condition variable until new work arrives.
+///
+/// Blocking calls (ParallelFor, TaskGroup::Wait) never idle the calling
+/// thread: it executes pending tasks — its own, injected, or stolen —
+/// until its join condition is met, which is what makes nested
+/// ParallelFor (intra-step matching inside per-page tasks) compose
+/// without extra threads or deadlock.
+///
+/// Pool metrics (tasks executed, steals, parks, injector depth, parked
+/// workers) are registered in the process-wide obs::MetricsRegistry
+/// under somr_executor_*; task execution is span-traced under the
+/// "parallel" category when tracing is enabled.
+class Executor {
+ public:
+  /// Spawns `num_workers` worker threads (clamped to >= 1).
+  explicit Executor(unsigned num_workers);
+
+  /// Drains every submitted task, then joins the workers. Must not race
+  /// with concurrent Submit/ParallelFor calls.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Process-wide pool, created on first use with ResolveThreads(0)
+  /// workers and kept alive for the life of the process (worker threads
+  /// park when idle, so an unused default pool costs nothing).
+  static Executor& Default();
+
+  /// Maps a user-facing --threads value to a worker count: 0 ("auto")
+  /// resolves to std::thread::hardware_concurrency() (minimum 1),
+  /// anything else is taken as-is.
+  static unsigned ResolveThreads(unsigned requested);
+
+  unsigned num_workers() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Scratch-slot index of the calling thread: worker i maps to i, any
+  /// other thread (an external ParallelFor caller) to num_workers().
+  /// Size per-thread scratch arrays as num_workers() + 1.
+  unsigned CurrentSlot() const;
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks
+  /// of at most `grain` indices, in parallel, and blocks until every
+  /// chunk finished. The calling thread participates. Exceptions thrown
+  /// by `fn` are captured and the first one rethrown here after all
+  /// chunks complete. Reentrant: chunks may themselves call ParallelFor
+  /// on the same executor.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   internal::ChunkFnRef fn);
+
+  /// Fire-and-forget task. The destructor drains submitted tasks before
+  /// joining, so a task submitted before shutdown always runs; use
+  /// TaskGroup to wait for completion or observe exceptions.
+  void Submit(std::function<void()> fn);
+
+  /// Workers currently parked (tests / monitoring).
+  unsigned parked_workers() const {
+    return parked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class TaskGroup;
+
+  struct Worker {
+    internal::WorkStealingDeque<internal::Task> deque;
+    std::thread thread;
+  };
+
+  void WorkerMain(unsigned index);
+
+  /// Pushes to the caller's deque when the caller is one of this pool's
+  /// workers, else to the injector; wakes up to `wake` parked workers.
+  void Dispatch(internal::Task* task, size_t wake);
+
+  /// Own deque -> injector -> steal sweep. Returns nullptr when no task
+  /// was found anywhere. `slot` is CurrentSlot() of the caller.
+  internal::Task* FindTask(unsigned slot);
+
+  /// Executes one task with tracing + accounting.
+  void RunTask(internal::Task* task);
+
+  void Wake(size_t n);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex injector_mu_;
+  std::deque<internal::Task*> injector_;
+
+  // Parking: persistent wake signals (a counting semaphore guarded by
+  // park_mu_) so a Wake that lands between a worker's last empty scan
+  // and its wait can never be lost.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  size_t wake_signals_ = 0;
+  bool shutdown_ = false;
+  std::atomic<unsigned> parked_{0};
+
+  // Tasks pushed but not yet finished; the destructor drains to zero
+  // before joining. idle_cv_ (on park_mu_) signals the transition to 0.
+  std::atomic<size_t> pending_tasks_{0};
+  std::condition_variable idle_cv_;
+
+  std::atomic<uint64_t> steal_seed_{0x9e3779b97f4a7c15ull};
+};
+
+/// A batch of independent fire-and-forget jobs with a join point: Run()
+/// submits, Wait() executes pending work on the calling thread until the
+/// batch completes, then rethrows the first captured exception. The
+/// destructor waits (and swallows exceptions) if Wait was not called.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Executor& executor) : executor_(executor) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Run(std::function<void()> fn);
+  void Wait();
+
+ private:
+  struct Job;
+
+  Executor& executor_;
+  std::atomic<size_t> pending_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::exception_ptr first_error_;
+  // Guarded by mu_: Wait() returns only once completed_ == submitted_,
+  // which synchronizes group destruction with the last job's notify.
+  size_t submitted_ = 0;
+  size_t completed_ = 0;
+  bool waited_ = false;
+};
+
+}  // namespace somr::parallel
+
+#endif  // SOMR_PARALLEL_EXECUTOR_H_

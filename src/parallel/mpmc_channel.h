@@ -1,0 +1,86 @@
+#ifndef SOMR_PARALLEL_MPMC_CHANNEL_H_
+#define SOMR_PARALLEL_MPMC_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace somr::parallel {
+
+/// Bounded multi-producer / multi-consumer channel: the hand-off
+/// primitive between a streaming producer (e.g. a dump reader) and pool
+/// workers. Push blocks while the channel is full, so a fast producer
+/// can never buffer an unbounded amount of work; Pop blocks while it is
+/// empty. Close() releases everyone: pending Pushes are dropped and
+/// return false, Pops drain the remaining items and then return false.
+///
+/// Mutex + two condition variables rather than a lock-free ring: items
+/// here are heavyweight (whole page histories), so hand-off cost is
+/// noise next to the work per item, and the blocking semantics are what
+/// bounds memory.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks until there is room (or the channel closes). Returns false —
+  /// and drops `value` — iff the channel was closed.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_push_.wait(lock,
+                   [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    can_pop_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the channel closes and
+  /// drains). Returns false iff the channel is closed and empty.
+  bool Pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_pop_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    can_push_.notify_one();
+    return true;
+  }
+
+  /// Idempotent. Wakes every blocked producer and consumer.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    can_push_.notify_all();
+    can_pop_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Instantaneous item count (monitoring only).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace somr::parallel
+
+#endif  // SOMR_PARALLEL_MPMC_CHANNEL_H_

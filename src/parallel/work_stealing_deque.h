@@ -1,0 +1,139 @@
+#ifndef SOMR_PARALLEL_WORK_STEALING_DEQUE_H_
+#define SOMR_PARALLEL_WORK_STEALING_DEQUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace somr::parallel::internal {
+
+/// Chase–Lev work-stealing deque of opaque task pointers (Chase & Lev,
+/// "Dynamic Circular Work-Stealing Deque", SPAA'05). The owning worker
+/// pushes and pops at the bottom (LIFO, cache-warm); thieves steal from
+/// the top (FIFO, oldest first). Pointers are never owned by the deque.
+///
+/// Memory ordering follows Lê et al., "Correct and Efficient
+/// Work-Stealing for Weak Memory Models" (PPoPP'13), with one deliberate
+/// deviation: the standalone seq_cst fences of that formulation are
+/// replaced by seq_cst operations on `top_`/`bottom_` themselves, because
+/// ThreadSanitizer does not model standalone fences and would report
+/// false races on the fence-based variant. The cost is a few extra
+/// ordered accesses on an already rare race window.
+///
+/// Growth: the ring doubles when full. Retired rings are kept alive until
+/// the deque is destroyed — a thief can still be reading a slot of an old
+/// ring after the owner swapped in a bigger one; the top CAS rejects any
+/// stale element it may have read.
+template <typename T>
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(size_t initial_capacity = 256) {
+    size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    active_ = new Ring(cap);
+    rings_.emplace_back(active_.load(std::memory_order_relaxed));
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only. Never fails; grows the ring when full.
+  void Push(T* item) {
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = active_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<int64_t>(ring->capacity)) {
+      ring = Grow(ring, t, b);
+    }
+    ring->Put(b, item);
+    // Publish the slot before the new bottom so a thief that observes
+    // bottom > top also observes the element.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only. Returns nullptr when empty.
+  T* Pop() {
+    int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = active_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return nullptr;
+    }
+    T* item = ring->Get(b);
+    if (t == b) {
+      // Last element: race the thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst)) {
+        item = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+    }
+    return item;
+  }
+
+  /// Any thread. Returns nullptr when empty or when losing a race (the
+  /// caller should move on to another victim rather than retry).
+  T* Steal() {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Ring* ring = active_.load(std::memory_order_acquire);
+    T* item = ring->Get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return nullptr;  // lost to the owner or another thief
+    }
+    return item;
+  }
+
+  /// Racy size hint (steal heuristics only).
+  size_t SizeHint() const {
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(size_t cap)
+        : capacity(cap), mask(cap - 1),
+          slots(std::make_unique<std::atomic<T*>[]>(cap)) {}
+
+    T* Get(int64_t i) const {
+      return slots[static_cast<size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void Put(int64_t i, T* item) {
+      slots[static_cast<size_t>(i) & mask].store(item,
+                                                 std::memory_order_relaxed);
+    }
+
+    const size_t capacity;
+    const size_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+  };
+
+  Ring* Grow(Ring* old, int64_t top, int64_t bottom) {
+    auto grown = std::make_unique<Ring>(old->capacity * 2);
+    for (int64_t i = top; i < bottom; ++i) grown->Put(i, old->Get(i));
+    Ring* raw = grown.get();
+    rings_.push_back(std::move(grown));
+    active_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Ring*> active_;
+  // All rings ever used, freed only on destruction (owner-only mutation;
+  // thieves may hold pointers into retired rings until their CAS fails).
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace somr::parallel::internal
+
+#endif  // SOMR_PARALLEL_WORK_STEALING_DEQUE_H_

@@ -1,17 +1,17 @@
 #include "state/incremental_pipeline.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <deque>
+#include <atomic>
 #include <mutex>
 #include <optional>
-#include <thread>
 #include <utility>
 
 #include "extract/html_extractor.h"
 #include "extract/wikitext_extractor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/executor.h"
+#include "parallel/mpmc_channel.h"
 #include "xmldump/stream_reader.h"
 
 namespace somr::state {
@@ -52,6 +52,11 @@ const IngestMetrics& GetIngestMetrics() {
 
 StatusOr<IngestReport> IncrementalPipeline::IngestPage(
     const xmldump::PageHistory& page) {
+  return IngestPageWith(page, executor_);
+}
+
+StatusOr<IngestReport> IncrementalPipeline::IngestPageWith(
+    const xmldump::PageHistory& page, parallel::Executor* executor) {
   SOMR_TRACE_SCOPE_CAT("state", "state/ingest_page");
   PageState state(store_->config());
   if (store_->Contains(page.title)) {
@@ -63,6 +68,7 @@ StatusOr<IngestReport> IncrementalPipeline::IngestPage(
     state.page_id = page.page_id;
   }
 
+  if (executor != nullptr) state.matcher.SetExecutor(executor);
   obs::PageScopedSink scoped(provenance_, page.title);
   if (scoped.active()) state.matcher.SetProvenanceSink(&scoped);
 
@@ -110,7 +116,7 @@ StatusOr<IngestReport> IncrementalPipeline::IngestDump(
   xmldump::PageStreamReader reader(xml);
   IngestReport total;
 
-  if (num_threads <= 1) {
+  if (num_threads <= 1 && executor_ == nullptr) {
     while (std::optional<xmldump::PageHistory> page = reader.NextPage()) {
       StatusOr<IngestReport> report = IngestPage(*page);
       if (!report.ok()) return report.status();
@@ -120,57 +126,49 @@ StatusOr<IngestReport> IncrementalPipeline::IngestDump(
     return total;
   }
 
-  // Bounded producer/consumer: the reader thread parses page blocks,
-  // workers ingest them. Pages shard naturally (one snapshot file each);
-  // ContextStore::Save serializes the manifest update internally.
-  const size_t queue_cap = static_cast<size_t>(num_threads) * 2;
+  // Bounded producer/consumer on the pool: the calling thread parses
+  // page blocks and Pushes them into the channel, one consumer job per
+  // worker ingests them. Pages shard naturally (one snapshot file each);
+  // ContextStore::Save serializes the manifest update internally. After
+  // a failure the producer stops feeding (consumers still drain what was
+  // queued), and the first error wins.
+  std::optional<parallel::Executor> local_pool;
+  parallel::Executor* exec = executor_;
+  if (exec == nullptr) {
+    local_pool.emplace(num_threads);
+    exec = &*local_pool;
+  }
+  const unsigned consumers = exec->num_workers();
+
+  parallel::Channel<xmldump::PageHistory> channel(
+      static_cast<size_t>(consumers) * 2);
   std::mutex mu;
-  std::condition_variable can_push, can_pop;
-  std::deque<xmldump::PageHistory> queue;
-  bool done = false;
   Status first_error;
+  std::atomic<bool> failed{false};
 
-  auto worker = [&]() {
-    while (true) {
+  parallel::TaskGroup group(*exec);
+  for (unsigned c = 0; c < consumers; ++c) {
+    group.Run([this, exec, &channel, &mu, &total, &first_error, &failed] {
       xmldump::PageHistory page;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        can_pop.wait(lock, [&] { return !queue.empty() || done; });
-        if (queue.empty()) return;
-        page = std::move(queue.front());
-        queue.pop_front();
+      while (channel.Pop(page)) {
+        StatusOr<IngestReport> report = IngestPageWith(page, exec);
+        std::lock_guard<std::mutex> lock(mu);
+        if (report.ok()) {
+          total.Add(*report);
+        } else if (first_error.ok()) {
+          first_error = report.status();
+          failed.store(true, std::memory_order_relaxed);
+        }
       }
-      can_push.notify_one();
-      StatusOr<IngestReport> report = IngestPage(page);
-      std::lock_guard<std::mutex> lock(mu);
-      if (report.ok()) {
-        total.Add(*report);
-      } else if (first_error.ok()) {
-        first_error = report.status();
-      }
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+    });
+  }
 
   while (std::optional<xmldump::PageHistory> page = reader.NextPage()) {
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      can_push.wait(lock,
-                    [&] { return queue.size() < queue_cap || !first_error.ok(); });
-      if (!first_error.ok()) break;  // stop feeding after a failure
-      queue.push_back(*std::move(page));
-    }
-    can_pop.notify_one();
+    if (failed.load(std::memory_order_relaxed)) break;
+    channel.Push(*std::move(page));
   }
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    done = true;
-  }
-  can_pop.notify_all();
-  for (std::thread& thread : threads) thread.join();
+  channel.Close();
+  group.Wait();
 
   if (!first_error.ok()) return first_error;
   if (!reader.status().ok()) return reader.status();

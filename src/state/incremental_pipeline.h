@@ -44,9 +44,13 @@ class IncrementalPipeline {
   /// from revision 0) — applies the rest to the matcher, and checkpoints.
   StatusOr<IngestReport> IngestPage(const xmldump::PageHistory& page);
 
-  /// Streams a dump and ingests every page, on `num_threads` workers
-  /// (pages are independent; at most ~2x threads page histories are in
-  /// memory at once, never the whole dump).
+  /// Streams a dump and ingests every page on a work-stealing pool
+  /// (pages are independent; at most ~2x workers page histories are in
+  /// memory at once, never the whole dump). Uses the executor attached
+  /// via set_executor when one is present (num_threads then only gates
+  /// the sequential fallback); otherwise spins up a local pool of
+  /// `num_threads` workers. `num_threads <= 1` without an attached
+  /// executor ingests sequentially.
   StatusOr<IngestReport> IngestDump(std::istream& xml,
                                     unsigned num_threads = 1);
 
@@ -62,9 +66,21 @@ class IncrementalPipeline {
     provenance_ = sink;
   }
 
+  /// Attaches a work-stealing pool (nullptr detaches): IngestDump runs
+  /// its pages on it, and every page's matcher uses it for intra-step
+  /// parallelism. Must outlive every Ingest* call; never changes
+  /// results, only wall time.
+  void set_executor(parallel::Executor* executor) { executor_ = executor; }
+
  private:
+  /// IngestPage with an explicit executor for the page's matcher (the
+  /// parallel ingest path passes the pool its page tasks run on).
+  StatusOr<IngestReport> IngestPageWith(const xmldump::PageHistory& page,
+                                        parallel::Executor* executor);
+
   ContextStore* store_;
   obs::ProvenanceSink* provenance_ = nullptr;  // optional, not owned
+  parallel::Executor* executor_ = nullptr;     // optional, not owned
 };
 
 /// Converts a loaded page state into the pipeline's result form,

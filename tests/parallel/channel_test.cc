@@ -1,0 +1,87 @@
+#include "parallel/mpmc_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace somr::parallel {
+namespace {
+
+TEST(ChannelTest, PopsInPushOrder) {
+  Channel<int> channel(4);
+  EXPECT_TRUE(channel.Push(1));
+  EXPECT_TRUE(channel.Push(2));
+  int out = 0;
+  EXPECT_TRUE(channel.Pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(channel.Pop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(ChannelTest, CloseDrainsThenStops) {
+  Channel<int> channel(4);
+  channel.Push(7);
+  channel.Close();
+  EXPECT_FALSE(channel.Push(8));  // dropped
+  int out = 0;
+  EXPECT_TRUE(channel.Pop(out));  // queued item still delivered
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(channel.Pop(out));  // closed and empty
+}
+
+TEST(ChannelTest, CapacityIsAtLeastOne) {
+  Channel<int> channel(0);
+  EXPECT_EQ(channel.capacity(), 1u);
+}
+
+TEST(ChannelTest, CloseReleasesBlockedConsumer) {
+  Channel<int> channel(1);
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(channel.Pop(out));  // blocks until Close
+  });
+  channel.Close();
+  consumer.join();
+}
+
+// Several producers and consumers over a tiny buffer: every value must
+// arrive exactly once, and the bounded capacity must make the producers
+// block rather than lose items.
+TEST(ChannelTest, MpmcDeliversEachValueOnce) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 5000;
+  Channel<int> channel(2);
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  for (auto& s : seen) s.store(0);
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int value = 0;
+      while (channel.Pop(value)) {
+        seen[value].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(channel.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  channel.Close();
+  for (std::thread& consumer : consumers) consumer.join();
+
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "value " << i;
+  }
+}
+
+}  // namespace
+}  // namespace somr::parallel

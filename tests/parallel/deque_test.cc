@@ -1,0 +1,93 @@
+#include "parallel/work_stealing_deque.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace somr::parallel::internal {
+namespace {
+
+TEST(WorkStealingDequeTest, OwnerPopIsLifo) {
+  WorkStealingDeque<int> deque;
+  int items[3] = {1, 2, 3};
+  for (int& item : items) deque.Push(&item);
+  EXPECT_EQ(deque.Pop(), &items[2]);
+  EXPECT_EQ(deque.Pop(), &items[1]);
+  EXPECT_EQ(deque.Pop(), &items[0]);
+  EXPECT_EQ(deque.Pop(), nullptr);
+}
+
+TEST(WorkStealingDequeTest, StealIsFifo) {
+  WorkStealingDeque<int> deque;
+  int items[3] = {1, 2, 3};
+  for (int& item : items) deque.Push(&item);
+  EXPECT_EQ(deque.Steal(), &items[0]);
+  EXPECT_EQ(deque.Steal(), &items[1]);
+  EXPECT_EQ(deque.Steal(), &items[2]);
+  EXPECT_EQ(deque.Steal(), nullptr);
+}
+
+TEST(WorkStealingDequeTest, GrowsPastInitialCapacity) {
+  WorkStealingDeque<size_t> deque(/*initial_capacity=*/4);
+  std::vector<size_t> items(1000);
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i] = i;
+    deque.Push(&items[i]);
+  }
+  EXPECT_EQ(deque.SizeHint(), items.size());
+  // Pop returns newest first; every element must come back intact.
+  for (size_t i = items.size(); i-- > 0;) {
+    EXPECT_EQ(deque.Pop(), &items[i]);
+  }
+}
+
+// Owner pops while several thieves steal: every item must be claimed by
+// exactly one thread, none lost, none duplicated.
+TEST(WorkStealingDequeTest, ConcurrentStealsClaimEachItemOnce) {
+  constexpr size_t kItems = 20000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque<size_t> deque(/*initial_capacity=*/8);
+  std::vector<size_t> items(kItems);
+  std::vector<std::atomic<int>> claimed(kItems);
+  for (auto& c : claimed) c.store(0);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (size_t* item = deque.Steal()) {
+          claimed[*item].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      while (size_t* item = deque.Steal()) {
+        claimed[*item].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // The owner interleaves pushes with occasional pops.
+  for (size_t i = 0; i < kItems; ++i) {
+    items[i] = i;
+    deque.Push(&items[i]);
+    if (i % 3 == 0) {
+      if (size_t* item = deque.Pop()) {
+        claimed[*item].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  while (size_t* item = deque.Pop()) {
+    claimed[*item].fetch_add(1, std::memory_order_relaxed);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& thief : thieves) thief.join();
+
+  for (size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(claimed[i].load(), 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace somr::parallel::internal

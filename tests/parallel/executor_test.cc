@@ -1,0 +1,140 @@
+#include "parallel/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace somr::parallel {
+namespace {
+
+TEST(ExecutorTest, ResolveThreadsAutoIsAtLeastOne) {
+  EXPECT_GE(Executor::ResolveThreads(0), 1u);
+  EXPECT_EQ(Executor::ResolveThreads(1), 1u);
+  EXPECT_EQ(Executor::ResolveThreads(6), 6u);
+}
+
+TEST(ExecutorTest, ParallelForCoversEveryIndexOnce) {
+  Executor executor(4);
+  constexpr size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  executor.ParallelFor(0, kN, 128, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ExecutorTest, ParallelForEmptyAndSingleChunk) {
+  Executor executor(2);
+  int calls = 0;
+  executor.ParallelFor(5, 5, 16, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // end - begin <= grain runs inline on the caller as one chunk.
+  executor.ParallelFor(0, 10, 16, [&](size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ExecutorTest, NestedParallelForComposes) {
+  Executor executor(4);
+  constexpr size_t kOuter = 32;
+  constexpr size_t kInner = 512;
+  std::atomic<size_t> total{0};
+  executor.ParallelFor(0, kOuter, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      executor.ParallelFor(0, kInner, 64, [&](size_t b, size_t e) {
+        total.fetch_add(e - b, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ExecutorTest, ParallelForPropagatesException) {
+  Executor executor(3);
+  EXPECT_THROW(
+      executor.ParallelFor(0, 1000, 10,
+                           [&](size_t begin, size_t) {
+                             if (begin >= 500) {
+                               throw std::runtime_error("boom");
+                             }
+                           }),
+      std::runtime_error);
+  // The pool must stay usable after a failed ParallelFor.
+  std::atomic<size_t> count{0};
+  executor.ParallelFor(0, 100, 10, [&](size_t begin, size_t end) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ExecutorTest, CurrentSlotStaysInRange) {
+  Executor executor(3);
+  // External callers map to the extra slot num_workers().
+  EXPECT_EQ(executor.CurrentSlot(), executor.num_workers());
+  std::vector<std::atomic<int>> slot_hits(executor.num_workers() + 1);
+  for (auto& h : slot_hits) h.store(0);
+  executor.ParallelFor(0, 10000, 16, [&](size_t, size_t) {
+    unsigned slot = executor.CurrentSlot();
+    ASSERT_LE(slot, executor.num_workers());
+    slot_hits[slot].fetch_add(1, std::memory_order_relaxed);
+  });
+  int total = 0;
+  for (auto& h : slot_hits) total += h.load();
+  EXPECT_GT(total, 0);
+}
+
+TEST(ExecutorTest, DestructorDrainsQueuedSubmits) {
+  std::atomic<int> ran{0};
+  {
+    Executor executor(2);
+    for (int i = 0; i < 200; ++i) {
+      executor.Submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor must run every queued task before joining.
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(TaskGroupTest, WaitJoinsAllJobs) {
+  Executor executor(4);
+  std::atomic<int> ran{0};
+  TaskGroup group(executor);
+  for (int i = 0; i < 64; ++i) {
+    group.Run([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(TaskGroupTest, WaitRethrowsFirstError) {
+  Executor executor(2);
+  TaskGroup group(executor);
+  group.Run([] { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(ExecutorTest, DefaultPoolIsShared) {
+  Executor& a = Executor::Default();
+  Executor& b = Executor::Default();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_workers(), 1u);
+  std::atomic<size_t> count{0};
+  a.ParallelFor(0, 1000, 100, [&](size_t begin, size_t end) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+}  // namespace
+}  // namespace somr::parallel

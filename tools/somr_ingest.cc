@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "common/flags.h"
@@ -23,6 +24,7 @@
 #include "matching/graph_io.h"
 #include "obs/cli.h"
 #include "obs/trace.h"
+#include "parallel/executor.h"
 #include "state/context_store.h"
 #include "state/incremental_pipeline.h"
 #include "wikigen/corpus.h"
@@ -59,7 +61,15 @@ int RunIngest(state::ContextStore& store, const FlagParser& flags,
 
   state::IncrementalPipeline pipeline(&store);
   pipeline.set_provenance_sink(obs.provenance());
-  unsigned threads = static_cast<unsigned>(flags.GetInt("threads"));
+  const unsigned threads = parallel::Executor::ResolveThreads(
+      static_cast<unsigned>(flags.GetInt("threads")));
+  std::printf("threads: %u%s\n", threads,
+              flags.GetInt("threads") == 0 ? " (auto)" : "");
+  std::optional<parallel::Executor> pool;
+  if (threads > 1) {
+    pool.emplace(threads);
+    pipeline.set_executor(&*pool);
+  }
 
   StatusOr<state::IngestReport> report =
       Status::Internal("no input processed");
@@ -197,7 +207,9 @@ int RunExport(state::ContextStore& store, const FlagParser& flags) {
 int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddString("state-dir", "", "context-store directory (required)");
-  flags.AddInt("threads", 1, "worker threads for page ingestion");
+  flags.AddInt("threads", 0,
+               "worker threads for page ingestion (0 = auto: one per "
+               "hardware thread)");
   flags.AddBool("demo", false,
                 "use a generated demo corpus instead of a dump file");
   flags.AddString("graphs-out", "", "export: identity-graph output path");

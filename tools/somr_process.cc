@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <optional>
 
 #include "common/flags.h"
 #include "common/string_util.h"
@@ -18,6 +19,7 @@
 #include "matching/graph_io.h"
 #include "obs/cli.h"
 #include "obs/trace.h"
+#include "parallel/executor.h"
 #include "wikigen/corpus.h"
 
 namespace {
@@ -47,7 +49,9 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddBool("demo", false, "process a generated demo dump");
   flags.AddBool("help", false, "show this help");
-  flags.AddInt("threads", 1, "worker threads for page processing");
+  flags.AddInt("threads", 0,
+               "worker threads for page processing (0 = auto: one per "
+               "hardware thread)");
   flags.AddString("cube-out", "", "write the change cube to this path");
   flags.AddString("cube-format", "csv", "change cube format: csv | jsonl");
   flags.AddString("graphs-out", "",
@@ -80,7 +84,15 @@ int main(int argc, char** argv) {
 
   core::Pipeline pipeline;
   pipeline.set_provenance_sink(obs.provenance());
-  const unsigned threads = static_cast<unsigned>(flags.GetInt("threads"));
+  const unsigned threads = parallel::Executor::ResolveThreads(
+      static_cast<unsigned>(flags.GetInt("threads")));
+  std::printf("threads: %u%s\n", threads,
+              flags.GetInt("threads") == 0 ? " (auto)" : "");
+  std::optional<parallel::Executor> pool;
+  if (threads > 1) {
+    pool.emplace(threads);
+    pipeline.set_executor(&*pool);
+  }
   StatusOr<std::vector<core::PageResult>> results =
       Status::Internal("no input processed");
   {
