@@ -104,27 +104,28 @@ int main() {
     }
   }
 
-  double n = static_cast<double>(std::max<size_t>(objects, 1));
+  auto d = [](size_t v) { return static_cast<double>(v); };
+  double n = d(std::max<size_t>(objects, 1));
   bench::PrintHeader("Sec. V-A — basic statistics (tables, gold corpus)");
   std::printf("objects: %zu, object versions: %zu\n", objects, versions);
   std::printf("per object: re-inserted %.2f (fresh %.2f), deleted %.2f, "
               "updated %.2f (fresh %.2f)\n",
-              reinserts / n, reinserts_fresh / n, deletes / n, updates / n,
-              updates_fresh / n);
+              d(reinserts) / n, d(reinserts_fresh) / n, d(deletes) / n,
+              d(updates) / n, d(updates_fresh) / n);
   std::printf("mean lifetime: %.2f years; present %s of lifetime\n",
               lifetime_years_sum / n,
               bench::Pct(presence_sum / n).c_str());
   std::printf("tables changing row count: %s, column count: %s, "
               "size-static: %s\n",
-              bench::Pct(grew_or_shrank_rows / n).c_str(),
-              bench::Pct(grew_or_shrank_cols / n).c_str(),
-              bench::Pct(static_size / n).c_str());
-  double t = static_cast<double>(std::max<size_t>(transitions, 1));
+              bench::Pct(d(grew_or_shrank_rows) / n).c_str(),
+              bench::Pct(d(grew_or_shrank_cols) / n).c_str(),
+              bench::Pct(d(static_size) / n).c_str());
+  double t = d(std::max<size_t>(transitions, 1));
   std::printf("version transitions: same position %s, moved up %s, "
               "moved down %s\n",
-              bench::Pct(same_position / t).c_str(),
-              bench::Pct(moved_up / t).c_str(),
-              bench::Pct(moved_down / t).c_str());
+              bench::Pct(d(same_position) / t).c_str(),
+              bench::Pct(d(moved_up) / t).c_str(),
+              bench::Pct(d(moved_down) / t).c_str());
   std::printf(
       "\nPaper reference: re-inserted 1.78 (0.10 fresh), deleted 2.28,\n"
       "updated 10.33 (8.82 fresh); lifetime 3.62 years, present 97.0%%;\n"

@@ -1,5 +1,4 @@
-#ifndef SOMR_BENCH_BENCH_UTIL_H_
-#define SOMR_BENCH_BENCH_UTIL_H_
+#pragma once
 
 // Shared helpers for the paper-reproduction bench binaries. Every bench
 // regenerates its corpus deterministically (fixed seeds), so output is
@@ -123,5 +122,3 @@ inline void PrintHeader(const char* title) {
 }
 
 }  // namespace somr::bench
-
-#endif  // SOMR_BENCH_BENCH_UTIL_H_

@@ -36,7 +36,7 @@ std::string DemoDumpXml(const char* save_path) {
     std::ofstream out(save_path);
     out << xml;
     std::printf("demo dump written to %s (%.1f KiB)\n", save_path,
-                xml.size() / 1024.0);
+                static_cast<double>(xml.size()) / 1024.0);
   }
   return xml;
 }

@@ -42,7 +42,7 @@ int main() {
     return 1;
   }
   std::printf("Dump round-trip: %zu page(s), %.1f KiB of XML\n",
-              dump->pages.size(), xml.size() / 1024.0);
+              dump->pages.size(), static_cast<double>(xml.size()) / 1024.0);
 
   // 3. Extract object instances from every revision and run the matcher.
   const wikigen::GeneratedPage& gold = corpus.pages[0];

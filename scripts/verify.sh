@@ -1,13 +1,16 @@
 #!/bin/sh
-# Tier-1 verification in one invocation: configure + build + ctest for the
+# Tier-1 verification in one invocation: static analysis first (the
+# project linter, header self-sufficiency TUs, clang-tidy and
+# clang-format when installed), then configure + build + ctest for the
 # release preset, again under AddressSanitizer/UBSan, once more with
 # tracing compiled in plus the end-to-end observability smoke test
-# (`somr_process --demo` with trace/metrics/provenance outputs validated),
-# and finally the concurrent subsystems (executor, matcher, pipelines,
-# ingestion) under ThreadSanitizer. Any failure (configure, compile, or
-# test) fails the script.
+# (`somr_process --demo` with trace/metrics/provenance outputs
+# validated), the concurrent subsystems (executor, matcher, pipelines,
+# ingestion) under ThreadSanitizer, and finally strict UBSan
+# (-fno-sanitize-recover, includes float-divide-by-zero). Any failure
+# (configure, compile, lint, or test) fails the script.
 #
-#   scripts/verify.sh            # release + asan + obs + tsan
+#   scripts/verify.sh            # lint + release + asan + obs + tsan + ubsan
 #   scripts/verify.sh release    # just one preset's workflow
 #   JOBS=8 scripts/verify.sh     # override build parallelism
 set -eu
@@ -16,9 +19,15 @@ cd "$(dirname "$0")/.."
 : "${JOBS:=$(nproc 2>/dev/null || echo 2)}"
 export CMAKE_BUILD_PARALLEL_LEVEL="$JOBS"
 
-presets="${1:-release asan obs tsan}"
+presets="${1:-lint release asan obs tsan ubsan}"
 for preset in $presets; do
   echo "==> workflow verify-$preset"
   cmake --workflow --preset "verify-$preset"
+  if [ "$preset" = lint ]; then
+    # Optional-tooling passes ride on the lint stage; each skips with a
+    # message when its binary is not installed.
+    scripts/format.sh --check
+    scripts/tidy.sh build/lint
+  fi
 done
 echo "==> verify OK ($presets)"

@@ -1,5 +1,4 @@
-#ifndef SOMR_ARCHIVE_CRAWL_SAMPLER_H_
-#define SOMR_ARCHIVE_CRAWL_SAMPLER_H_
+#pragma once
 
 #include <vector>
 
@@ -47,5 +46,3 @@ SampledHistory ReduceTimeResolution(const wikigen::GeneratedPage& page,
                                     UnixSeconds resolution_seconds);
 
 }  // namespace somr::archive
-
-#endif  // SOMR_ARCHIVE_CRAWL_SAMPLER_H_

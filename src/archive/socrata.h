@@ -1,5 +1,4 @@
-#ifndef SOMR_ARCHIVE_SOCRATA_H_
-#define SOMR_ARCHIVE_SOCRATA_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -44,5 +43,3 @@ struct SocrataContext {
 std::vector<SocrataContext> GenerateSocrata(const SocrataConfig& config);
 
 }  // namespace somr::archive
-
-#endif  // SOMR_ARCHIVE_SOCRATA_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_BASELINES_KORN_MATCHER_H_
-#define SOMR_BASELINES_KORN_MATCHER_H_
+#pragma once
 
 #include <string>
 #include <unordered_set>
@@ -43,5 +42,3 @@ class KornMatcher : public matching::RevisionMatcher {
 };
 
 }  // namespace somr::baselines
-
-#endif  // SOMR_BASELINES_KORN_MATCHER_H_

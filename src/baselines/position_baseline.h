@@ -1,5 +1,4 @@
-#ifndef SOMR_BASELINES_POSITION_BASELINE_H_
-#define SOMR_BASELINES_POSITION_BASELINE_H_
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -30,5 +29,3 @@ class PositionBaseline : public matching::RevisionMatcher {
 };
 
 }  // namespace somr::baselines
-
-#endif  // SOMR_BASELINES_POSITION_BASELINE_H_

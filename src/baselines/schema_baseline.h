@@ -1,5 +1,4 @@
-#ifndef SOMR_BASELINES_SCHEMA_BASELINE_H_
-#define SOMR_BASELINES_SCHEMA_BASELINE_H_
+#pragma once
 
 #include <deque>
 #include <vector>
@@ -46,5 +45,3 @@ class SchemaBaseline : public matching::RevisionMatcher {
 };
 
 }  // namespace somr::baselines
-
-#endif  // SOMR_BASELINES_SCHEMA_BASELINE_H_

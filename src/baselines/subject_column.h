@@ -1,5 +1,4 @@
-#ifndef SOMR_BASELINES_SUBJECT_COLUMN_H_
-#define SOMR_BASELINES_SUBJECT_COLUMN_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -23,5 +22,3 @@ std::vector<std::string> ColumnValues(const extract::ObjectInstance& table,
                                       int col);
 
 }  // namespace somr::baselines
-
-#endif  // SOMR_BASELINES_SUBJECT_COLUMN_H_

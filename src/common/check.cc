@@ -1,0 +1,90 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+
+namespace somr {
+namespace check_internal {
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const char* condition) {
+  stream_ << file << ":" << line << "  Check failed: " << condition << " ";
+}
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const std::string* op_message) {
+  std::unique_ptr<const std::string> owned(op_message);
+  stream_ << file << ":" << line << "  Check failed: " << *owned << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_internal
+
+std::ostream& ValidationReport::AddIssue(std::string validator) {
+  Flush();
+  pending_validator_ = std::move(validator);
+  pending_detail_.str("");
+  pending_detail_.clear();
+  has_pending_ = true;
+  return pending_detail_;
+}
+
+const std::vector<ValidationIssue>& ValidationReport::Flush() const {
+  if (has_pending_) {
+    issues_.push_back({pending_validator_, pending_detail_.str()});
+    has_pending_ = false;
+  }
+  return issues_;
+}
+
+bool ValidationReport::ok() const { return Flush().empty(); }
+
+const std::vector<ValidationIssue>& ValidationReport::issues() const {
+  return Flush();
+}
+
+std::string ValidationReport::ToString() const {
+  const std::vector<ValidationIssue>& all = Flush();
+  if (all.empty()) return "ok";
+  std::string out;
+  for (const ValidationIssue& issue : all) {
+    out += issue.validator;
+    out += ": ";
+    out += issue.detail;
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+std::vector<ValidatorInfo>& MutableValidators() {
+  static std::vector<ValidatorInfo>* validators =
+      new std::vector<ValidatorInfo>;
+  return *validators;
+}
+}  // namespace
+
+int RegisterValidator(ValidatorInfo info) {
+  std::vector<ValidatorInfo>& validators = MutableValidators();
+  for (size_t i = 0; i < validators.size(); ++i) {
+    if (std::string_view(validators[i].name) == info.name) {
+      return static_cast<int>(i);
+    }
+  }
+  validators.push_back(info);
+  return static_cast<int>(validators.size()) - 1;
+}
+
+const std::vector<ValidatorInfo>& RegisteredValidators() {
+  return MutableValidators();
+}
+
+}  // namespace somr

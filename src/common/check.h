@@ -1,0 +1,211 @@
+#pragma once
+
+// Contract layer: CHECK-style assertion macros and the invariant-validator
+// registry (DESIGN.md §11).
+//
+//   SOMR_CHECK(queue_depth > 0) << "drained during step " << step;
+//   SOMR_CHECK_EQ(assignment.size(), instances.size());
+//   SOMR_DCHECK_LE(recent.size(), config.rear_view_window);
+//
+// CHECK macros always run; DCHECK macros compile to a dead branch in
+// NDEBUG builds (operands stay odr-used, so no unused-variable warnings,
+// but nothing is evaluated at runtime). On failure the macro prints
+// `file:line  Check failed: <expr> (<lhs> vs <rhs>) <streamed message>`
+// to stderr and aborts — abort() is what sanitizer runs intercept, so
+// the message survives into asan/tsan/ubsan logs where a bare assert()'s
+// expression text often does not.
+//
+// Invariant validators (ValidateIdentityGraph, ValidateSnapshot, ...)
+// live next to the data structures they check and append findings to a
+// ValidationReport instead of dying, so callers can collect every broken
+// invariant in one pass (`somr_process --validate`). Each validator
+// announces itself via SOMR_REGISTER_VALIDATOR so tooling can enumerate
+// the suite.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace somr {
+namespace check_internal {
+
+/// Accumulates the streamed message for a failing check and aborts the
+/// process in its destructor (end of the full expression). Never
+/// constructed on the success path.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  /// Variant for SOMR_CHECK_EQ-style macros: takes ownership of the
+  /// rendered `expr (lhs vs rhs)` string built by CheckOpMessage.
+  CheckFailure(const char* file, int line, const std::string* op_message);
+  [[noreturn]] ~CheckFailure();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the ostream& produced by CheckFailure::stream() into void so a
+/// check macro can sit in the branch of a ternary operator.
+struct Voidifier {
+  void operator&(std::ostream&) {}
+};
+
+/// Renders one operand of a failed comparison; falls back for types
+/// without an operator<<.
+template <typename T>
+void PrintOperand(std::ostream& os, const T& v) {
+  if constexpr (requires(std::ostream& s, const T& x) { s << x; }) {
+    os << v;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+/// Returns nullptr when the comparison holds; otherwise a heap-allocated
+/// `expr (lhs vs rhs)` message consumed (and freed) by CheckFailure.
+#define SOMR_DEFINE_CHECK_OP_IMPL(name, op)                             \
+  template <typename A, typename B>                                     \
+  const std::string* Check##name##Impl(const A& a, const B& b,          \
+                                       const char* expr) {              \
+    if (a op b) return nullptr;                                         \
+    std::ostringstream msg;                                             \
+    msg << expr << " (";                                                \
+    PrintOperand(msg, a);                                               \
+    msg << " vs ";                                                      \
+    PrintOperand(msg, b);                                               \
+    msg << ")";                                                         \
+    return new std::string(msg.str());                                  \
+  }
+
+SOMR_DEFINE_CHECK_OP_IMPL(EQ, ==)
+SOMR_DEFINE_CHECK_OP_IMPL(NE, !=)
+SOMR_DEFINE_CHECK_OP_IMPL(LT, <)
+SOMR_DEFINE_CHECK_OP_IMPL(LE, <=)
+SOMR_DEFINE_CHECK_OP_IMPL(GT, >)
+SOMR_DEFINE_CHECK_OP_IMPL(GE, >=)
+#undef SOMR_DEFINE_CHECK_OP_IMPL
+
+}  // namespace check_internal
+}  // namespace somr
+
+// Always-on checks. The ternary keeps the success path to a single
+// branch. The _OP form is a `while` whose condition holds the failure
+// message: a `while` cannot absorb a trailing `else` from surrounding
+// code (an `if` here would — greedy else-matching reaches into the
+// expansion), and the body "loops" at most once because CheckFailure's
+// destructor aborts at the end of the statement.
+#define SOMR_CHECK(condition)                                            \
+  (condition)                                                            \
+      ? (void)0                                                          \
+      : ::somr::check_internal::Voidifier() &                            \
+            ::somr::check_internal::CheckFailure(__FILE__, __LINE__,     \
+                                                 #condition)             \
+                .stream()
+
+#define SOMR_CHECK_OP_(name, op, a, b)                                   \
+  while (const std::string* somr_check_msg_ =                            \
+             ::somr::check_internal::Check##name##Impl(                  \
+                 (a), (b), #a " " #op " " #b))                           \
+  ::somr::check_internal::CheckFailure(__FILE__, __LINE__,               \
+                                       somr_check_msg_)                  \
+      .stream()
+
+#define SOMR_CHECK_EQ(a, b) SOMR_CHECK_OP_(EQ, ==, a, b)
+#define SOMR_CHECK_NE(a, b) SOMR_CHECK_OP_(NE, !=, a, b)
+#define SOMR_CHECK_LT(a, b) SOMR_CHECK_OP_(LT, <, a, b)
+#define SOMR_CHECK_LE(a, b) SOMR_CHECK_OP_(LE, <=, a, b)
+#define SOMR_CHECK_GT(a, b) SOMR_CHECK_OP_(GT, >, a, b)
+#define SOMR_CHECK_GE(a, b) SOMR_CHECK_OP_(GE, >=, a, b)
+
+// Debug-only checks: full checks in debug builds (which is what the
+// asan/tsan/ubsan presets compile), a never-executed branch in NDEBUG so
+// operands stay odr-used without runtime cost.
+#ifndef NDEBUG
+#define SOMR_DCHECK(condition) SOMR_CHECK(condition)
+#define SOMR_DCHECK_EQ(a, b) SOMR_CHECK_EQ(a, b)
+#define SOMR_DCHECK_NE(a, b) SOMR_CHECK_NE(a, b)
+#define SOMR_DCHECK_LT(a, b) SOMR_CHECK_LT(a, b)
+#define SOMR_DCHECK_LE(a, b) SOMR_CHECK_LE(a, b)
+#define SOMR_DCHECK_GT(a, b) SOMR_CHECK_GT(a, b)
+#define SOMR_DCHECK_GE(a, b) SOMR_CHECK_GE(a, b)
+#else
+#define SOMR_DCHECK(condition) \
+  while (false) SOMR_CHECK(condition)
+#define SOMR_DCHECK_EQ(a, b) \
+  while (false) SOMR_CHECK_EQ(a, b)
+#define SOMR_DCHECK_NE(a, b) \
+  while (false) SOMR_CHECK_NE(a, b)
+#define SOMR_DCHECK_LT(a, b) \
+  while (false) SOMR_CHECK_LT(a, b)
+#define SOMR_DCHECK_LE(a, b) \
+  while (false) SOMR_CHECK_LE(a, b)
+#define SOMR_DCHECK_GT(a, b) \
+  while (false) SOMR_CHECK_GT(a, b)
+#define SOMR_DCHECK_GE(a, b) \
+  while (false) SOMR_CHECK_GE(a, b)
+#endif
+
+namespace somr {
+
+/// One violated invariant found by a validator.
+struct ValidationIssue {
+  std::string validator;  // registered validator name, e.g. "identity_graph"
+  std::string detail;     // human-readable description of the violation
+};
+
+/// Collects validator findings without aborting, so one pass can report
+/// every broken invariant. Not thread-safe; validators run sequentially.
+class ValidationReport {
+ public:
+  /// Appends an issue for `validator`. Returns an ostream to stream the
+  /// detail into: `report.AddIssue("identity_graph") << "orphan " << id;`
+  /// The detail is captured when the next issue is added or when the
+  /// report is read (ok()/issues()/ToString()).
+  std::ostream& AddIssue(std::string validator);
+
+  bool ok() const;
+  const std::vector<ValidationIssue>& issues() const;
+  size_t issue_count() const { return Flush().size(); }
+
+  /// `ok` or one `validator: detail` line per issue.
+  std::string ToString() const;
+
+ private:
+  const std::vector<ValidationIssue>& Flush() const;
+
+  mutable std::vector<ValidationIssue> issues_;
+  mutable std::string pending_validator_;
+  mutable std::ostringstream pending_detail_;
+  mutable bool has_pending_ = false;
+};
+
+/// Registry of invariant validators, populated at static-initialization
+/// time by SOMR_REGISTER_VALIDATOR in each subsystem's validate.cc. The
+/// registry records names and descriptions for discoverability
+/// (`somr_process --validate` prints the suite); the validator functions
+/// themselves are typed per data structure and called directly.
+struct ValidatorInfo {
+  const char* name;
+  const char* description;
+};
+
+/// Appends `info` to the global registry (deduplicated by name, so the
+/// macro below is safe across static-library boundaries); returns its
+/// index. Called via SOMR_REGISTER_VALIDATOR.
+int RegisterValidator(ValidatorInfo info);
+
+/// All registered validators, in registration order.
+const std::vector<ValidatorInfo>& RegisteredValidators();
+
+/// Announces a validator. Lives in the validator's header (not its .cc)
+/// so registration survives static-library dead-TU stripping: the inline
+/// variable is initialized exactly once in any program that uses the
+/// validator's interface.
+#define SOMR_REGISTER_VALIDATOR(ident, name, description)        \
+  [[maybe_unused]] inline const int somr_validator_##ident##_ =  \
+      ::somr::RegisterValidator({name, description})
+
+}  // namespace somr

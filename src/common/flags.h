@@ -1,5 +1,4 @@
-#ifndef SOMR_COMMON_FLAGS_H_
-#define SOMR_COMMON_FLAGS_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -59,5 +58,3 @@ class FlagParser {
 };
 
 }  // namespace somr
-
-#endif  // SOMR_COMMON_FLAGS_H_

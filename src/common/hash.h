@@ -1,5 +1,4 @@
-#ifndef SOMR_COMMON_HASH_H_
-#define SOMR_COMMON_HASH_H_
+#pragma once
 
 #include <cstdint>
 #include <string_view>
@@ -23,5 +22,3 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
 }
 
 }  // namespace somr
-
-#endif  // SOMR_COMMON_HASH_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_COMMON_PERCENTILE_H_
-#define SOMR_COMMON_PERCENTILE_H_
+#pragma once
 
 #include <algorithm>
 #include <cstddef>
@@ -30,5 +29,3 @@ inline double Mean(const std::vector<double>& values) {
 }
 
 }  // namespace somr
-
-#endif  // SOMR_COMMON_PERCENTILE_H_

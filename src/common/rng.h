@@ -1,5 +1,4 @@
-#ifndef SOMR_COMMON_RNG_H_
-#define SOMR_COMMON_RNG_H_
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -75,5 +74,3 @@ class ZipfTable {
 };
 
 }  // namespace somr
-
-#endif  // SOMR_COMMON_RNG_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_COMMON_STATUS_H_
-#define SOMR_COMMON_STATUS_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -121,5 +120,3 @@ void StatusOr<T>::CheckOk() const {
   } while (false)
 
 }  // namespace somr
-
-#endif  // SOMR_COMMON_STATUS_H_

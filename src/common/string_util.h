@@ -1,5 +1,4 @@
-#ifndef SOMR_COMMON_STRING_UTIL_H_
-#define SOMR_COMMON_STRING_UTIL_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -49,5 +48,3 @@ bool EqualsIgnoreAsciiCase(std::string_view a, std::string_view b);
 StatusOr<std::string> ReadFileToString(const std::string& path);
 
 }  // namespace somr
-
-#endif  // SOMR_COMMON_STRING_UTIL_H_

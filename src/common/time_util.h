@@ -1,5 +1,4 @@
-#ifndef SOMR_COMMON_TIME_UTIL_H_
-#define SOMR_COMMON_TIME_UTIL_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -27,5 +26,3 @@ UnixSeconds FromCivil(int year, int month, int day, int hour = 0,
                       int minute = 0, int second = 0);
 
 }  // namespace somr
-
-#endif  // SOMR_COMMON_TIME_UTIL_H_

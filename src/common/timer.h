@@ -1,5 +1,4 @@
-#ifndef SOMR_COMMON_TIMER_H_
-#define SOMR_COMMON_TIMER_H_
+#pragma once
 
 #include <chrono>
 
@@ -24,5 +23,3 @@ class Timer {
 };
 
 }  // namespace somr
-
-#endif  // SOMR_COMMON_TIMER_H_

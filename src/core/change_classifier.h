@@ -1,5 +1,4 @@
-#ifndef SOMR_CORE_CHANGE_CLASSIFIER_H_
-#define SOMR_CORE_CHANGE_CLASSIFIER_H_
+#pragma once
 
 #include <vector>
 
@@ -53,5 +52,3 @@ std::vector<ClassifiedChange> ClassifyChanges(
     extract::ObjectType type, int total_revisions);
 
 }  // namespace somr::core
-
-#endif  // SOMR_CORE_CHANGE_CLASSIFIER_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_CORE_CHANGE_CUBE_H_
-#define SOMR_CORE_CHANGE_CUBE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -46,5 +45,3 @@ std::string ChangeCubeToJsonLines(
     const std::vector<ChangeCubeRecord>& records);
 
 }  // namespace somr::core
-
-#endif  // SOMR_CORE_CHANGE_CUBE_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_CORE_CHANGES_H_
-#define SOMR_CORE_CHANGES_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -48,5 +47,3 @@ std::vector<std::vector<int>> CellVolatility(
     extract::ObjectType type);
 
 }  // namespace somr::core
-
-#endif  // SOMR_CORE_CHANGES_H_

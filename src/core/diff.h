@@ -1,5 +1,4 @@
-#ifndef SOMR_CORE_DIFF_H_
-#define SOMR_CORE_DIFF_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -45,5 +44,3 @@ std::vector<CellChange> DiffVersions(const extract::ObjectInstance& before,
                                      const extract::ObjectInstance& after);
 
 }  // namespace somr::core
-
-#endif  // SOMR_CORE_DIFF_H_

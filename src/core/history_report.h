@@ -1,5 +1,4 @@
-#ifndef SOMR_CORE_HISTORY_REPORT_H_
-#define SOMR_CORE_HISTORY_REPORT_H_
+#pragma once
 
 #include <string>
 
@@ -22,5 +21,3 @@ std::string RenderPageReport(const PageResult& page,
                              extract::ObjectType type);
 
 }  // namespace somr::core
-
-#endif  // SOMR_CORE_HISTORY_REPORT_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_CORE_PIPELINE_H_
-#define SOMR_CORE_PIPELINE_H_
+#pragma once
 
 #include <istream>
 #include <string>
@@ -94,5 +93,3 @@ class Pipeline {
 };
 
 }  // namespace somr::core
-
-#endif  // SOMR_CORE_PIPELINE_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_EVAL_BOOTSTRAP_H_
-#define SOMR_EVAL_BOOTSTRAP_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -34,5 +33,3 @@ ConfidenceInterval BootstrapAccuracyCi(
     int replicates = 1000, double alpha = 0.05, uint64_t seed = 17);
 
 }  // namespace somr::eval
-
-#endif  // SOMR_EVAL_BOOTSTRAP_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_EVAL_HARNESS_H_
-#define SOMR_EVAL_HARNESS_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -55,5 +54,3 @@ matching::IdentityGraph RunApproachOnPage(
     const matching::MatcherConfig& config = {});
 
 }  // namespace somr::eval
-
-#endif  // SOMR_EVAL_HARNESS_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_EVAL_METRICS_H_
-#define SOMR_EVAL_METRICS_H_
+#pragma once
 
 #include <array>
 #include <map>
@@ -103,5 +102,3 @@ ErrorConfusion CrossClassifyErrors(const matching::IdentityGraph& truth,
                                    const matching::IdentityGraph& output_b);
 
 }  // namespace somr::eval
-
-#endif  // SOMR_EVAL_METRICS_H_

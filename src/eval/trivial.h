@@ -1,5 +1,4 @@
-#ifndef SOMR_EVAL_TRIVIAL_H_
-#define SOMR_EVAL_TRIVIAL_H_
+#pragma once
 
 #include <set>
 #include <vector>
@@ -24,5 +23,3 @@ std::set<matching::IdentityEdge> NonTrivialEdges(
     const matching::IdentityGraph& truth);
 
 }  // namespace somr::eval
-
-#endif  // SOMR_EVAL_TRIVIAL_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_EXTRACT_FEATURES_H_
-#define SOMR_EXTRACT_FEATURES_H_
+#pragma once
 
 #include "extract/object.h"
 #include "text/bag_of_words.h"
@@ -40,5 +39,3 @@ FlatBag BuildFlatBag(const ObjectInstance& obj, TokenPool& pool,
 BagOfWords BuildSchemaBag(const ObjectInstance& obj);
 
 }  // namespace somr::extract
-
-#endif  // SOMR_EXTRACT_FEATURES_H_

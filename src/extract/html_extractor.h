@@ -1,5 +1,4 @@
-#ifndef SOMR_EXTRACT_HTML_EXTRACTOR_H_
-#define SOMR_EXTRACT_HTML_EXTRACTOR_H_
+#pragma once
 
 #include <string_view>
 
@@ -20,5 +19,3 @@ PageObjects ExtractFromHtml(const html::Node& document);
 PageObjects ExtractFromHtmlSource(std::string_view source);
 
 }  // namespace somr::extract
-
-#endif  // SOMR_EXTRACT_HTML_EXTRACTOR_H_

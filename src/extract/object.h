@@ -1,5 +1,4 @@
-#ifndef SOMR_EXTRACT_OBJECT_H_
-#define SOMR_EXTRACT_OBJECT_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -65,5 +64,3 @@ struct PageObjects {
 };
 
 }  // namespace somr::extract
-
-#endif  // SOMR_EXTRACT_OBJECT_H_

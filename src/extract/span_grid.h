@@ -1,5 +1,4 @@
-#ifndef SOMR_EXTRACT_SPAN_GRID_H_
-#define SOMR_EXTRACT_SPAN_GRID_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -32,5 +31,3 @@ ExpandedGrid ExpandSpans(const std::vector<std::vector<SpannedCell>>& rows);
 int ParseSpanValue(const std::string& value);
 
 }  // namespace somr::extract
-
-#endif  // SOMR_EXTRACT_SPAN_GRID_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_EXTRACT_WIKITEXT_EXTRACTOR_H_
-#define SOMR_EXTRACT_WIKITEXT_EXTRACTOR_H_
+#pragma once
 
 #include <string_view>
 
@@ -19,5 +18,3 @@ PageObjects ExtractFromWikitext(const wikitext::Document& doc);
 PageObjects ExtractFromWikitextSource(std::string_view source);
 
 }  // namespace somr::extract
-
-#endif  // SOMR_EXTRACT_WIKITEXT_EXTRACTOR_H_

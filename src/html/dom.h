@@ -1,5 +1,4 @@
-#ifndef SOMR_HTML_DOM_H_
-#define SOMR_HTML_DOM_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -88,5 +87,3 @@ class Node {
 };
 
 }  // namespace somr::html
-
-#endif  // SOMR_HTML_DOM_H_

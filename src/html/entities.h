@@ -1,5 +1,4 @@
-#ifndef SOMR_HTML_ENTITIES_H_
-#define SOMR_HTML_ENTITIES_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -21,5 +20,3 @@ std::string EscapeEntities(std::string_view s);
 void AppendUtf8(uint32_t code_point, std::string& out);
 
 }  // namespace somr::html
-
-#endif  // SOMR_HTML_ENTITIES_H_

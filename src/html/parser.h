@@ -1,5 +1,4 @@
-#ifndef SOMR_HTML_PARSER_H_
-#define SOMR_HTML_PARSER_H_
+#pragma once
 
 #include <memory>
 #include <string_view>
@@ -17,5 +16,3 @@ namespace somr::html {
 std::unique_ptr<Node> ParseHtml(std::string_view input);
 
 }  // namespace somr::html
-
-#endif  // SOMR_HTML_PARSER_H_

@@ -124,8 +124,8 @@ std::string ReadRawText(Cursor& c, std::string_view name) {
 }  // namespace
 
 std::string_view Token::Attribute(std::string_view key) const {
-  for (const auto& [name, value] : attributes) {
-    if (name == key) return value;
+  for (const auto& [attr_name, value] : attributes) {
+    if (attr_name == key) return value;
   }
   return {};
 }

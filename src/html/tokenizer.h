@@ -1,5 +1,4 @@
-#ifndef SOMR_HTML_TOKENIZER_H_
-#define SOMR_HTML_TOKENIZER_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -37,5 +36,3 @@ struct Token {
 std::vector<Token> TokenizeHtml(std::string_view input);
 
 }  // namespace somr::html
-
-#endif  // SOMR_HTML_TOKENIZER_H_

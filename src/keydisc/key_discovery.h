@@ -1,5 +1,4 @@
-#ifndef SOMR_KEYDISC_KEY_DISCOVERY_H_
-#define SOMR_KEYDISC_KEY_DISCOVERY_H_
+#pragma once
 
 #include <vector>
 
@@ -46,5 +45,3 @@ std::vector<bool> DiscoverKeys(
     double threshold = 0.95);
 
 }  // namespace somr::keydisc
-
-#endif  // SOMR_KEYDISC_KEY_DISCOVERY_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_KEYDISC_WORKLOAD_H_
-#define SOMR_KEYDISC_WORKLOAD_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -47,5 +46,3 @@ KeyMetrics EvaluateKeyDiscovery(const std::vector<LabelledHistory>& data,
                                 bool use_temporal, double threshold = 0.95);
 
 }  // namespace somr::keydisc
-
-#endif  // SOMR_KEYDISC_WORKLOAD_H_

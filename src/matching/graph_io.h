@@ -1,5 +1,4 @@
-#ifndef SOMR_MATCHING_GRAPH_IO_H_
-#define SOMR_MATCHING_GRAPH_IO_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -28,5 +27,3 @@ std::string SerializeIdentityGraph(const IdentityGraph& graph);
 StatusOr<IdentityGraph> ParseIdentityGraph(std::string_view text);
 
 }  // namespace somr::matching
-
-#endif  // SOMR_MATCHING_GRAPH_IO_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_MATCHING_HUNGARIAN_H_
-#define SOMR_MATCHING_HUNGARIAN_H_
+#pragma once
 
 #include <cstddef>
 #include <utility>
@@ -28,5 +27,3 @@ std::vector<std::pair<int, int>> MaxWeightMatching(
     const std::vector<WeightedEdge>& edges);
 
 }  // namespace somr::matching
-
-#endif  // SOMR_MATCHING_HUNGARIAN_H_

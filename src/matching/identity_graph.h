@@ -1,5 +1,4 @@
-#ifndef SOMR_MATCHING_IDENTITY_GRAPH_H_
-#define SOMR_MATCHING_IDENTITY_GRAPH_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -76,5 +75,3 @@ class IdentityGraph {
 };
 
 }  // namespace somr::matching
-
-#endif  // SOMR_MATCHING_IDENTITY_GRAPH_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_MATCHING_INTERFACE_H_
-#define SOMR_MATCHING_INTERFACE_H_
+#pragma once
 
 #include <vector>
 
@@ -26,5 +25,3 @@ class RevisionMatcher {
 };
 
 }  // namespace somr::matching
-
-#endif  // SOMR_MATCHING_INTERFACE_H_

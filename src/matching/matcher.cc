@@ -4,9 +4,12 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <set>
 
+#include "common/check.h"
 #include "common/timer.h"
 #include "matching/hungarian.h"
+#include "matching/validate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/executor.h"
@@ -221,6 +224,10 @@ void TemporalMatcher::RunStages(
                      ? stage_sims[k]
                      : sim_at_least(stage.kind, stage.threshold, ti, ni);
       if (s < stage.threshold) continue;
+      // Every edge offered to the Hungarian solve — hence every accepted
+      // match — carries a similarity at or above this stage's threshold
+      // (also rejects NaN similarities, which pass the `<` filter above).
+      SOMR_DCHECK_GE(s, stage.threshold);
       double weight = s + TieBreakBonus(tracked_[ti],
                                         instances[ni].position,
                                         revision_index);
@@ -238,6 +245,12 @@ void TemporalMatcher::RunStages(
     std::vector<char> edge_accepted(
         provenance_ != nullptr ? edges.size() : 0, 0);
     for (auto [ti, ni] : matched) {
+      // Hungarian output must stay within this stage's unmatched rows
+      // and columns — a duplicate here would fork an identity chain.
+      SOMR_DCHECK(!tracked_matched[static_cast<size_t>(ti)])
+          << "stage " << stage.number << " rematched tracked object " << ti;
+      SOMR_DCHECK(!incoming_matched[static_cast<size_t>(ni)])
+          << "stage " << stage.number << " rematched instance " << ni;
       Tracked& tracked = tracked_[static_cast<size_t>(ti)];
       tracked_matched[static_cast<size_t>(ti)] = true;
       incoming_matched[static_cast<size_t>(ni)] = true;
@@ -328,6 +341,21 @@ void TemporalMatcher::ProcessRevision(
   const size_t new_objects_before = stats_.new_objects;
   const size_t tracked_before = tracked_.size();
 
+  // Position ranks are normally dense 0..n-1 (see the ProcessRevision
+  // contract), but the matcher tolerates buggy callers passing
+  // duplicates. Once duplicates appear, (revision, position) no longer
+  // identifies an instance, so the graph-linearity validator must stop
+  // treating repeated claims of one key as a violation.
+  if (input_positions_unique_) {
+    std::set<int> positions;
+    for (const extract::ObjectInstance& instance : instances) {
+      if (!positions.insert(instance.position).second) {
+        input_positions_unique_ = false;
+        break;
+      }
+    }
+  }
+
   Timer timer;
   if (config_.use_flat_kernels) {
     ProcessRevisionFlat(revision_index, instances);
@@ -364,6 +392,18 @@ void TemporalMatcher::ProcessRevision(
     d.incoming_instances = instances.size();
     provenance_->Record(d);
   }
+
+#ifndef NDEBUG
+  // Step-boundary invariant sweep (debug/sanitizer builds only): any
+  // violated matcher invariant aborts with the full findings list.
+  {
+    ValidationReport report;
+    Validate(&report);
+    SOMR_CHECK(report.ok()) << "matcher invariants violated after step "
+                            << revision_index << "\n"
+                            << report.ToString();
+  }
+#endif
 }
 
 void TemporalMatcher::ProcessRevisionFlat(
@@ -603,6 +643,13 @@ void TemporalMatcher::ProcessRevisionFlat(
   std::vector<int64_t> assignment(nn, -1);
   RunStages(revision_index, instances, sim_at_least, pair_allowed,
             prefill, describe_pair, assignment);
+#ifndef NDEBUG
+  {
+    ValidationReport report;
+    ValidateAssignment(assignment, tracked_.size(), &report);
+    SOMR_CHECK(report.ok()) << report.ToString();
+  }
+#endif
   CommitAssignments(
       revision_index, instances, assignment, [&](Tracked& t, size_t ni) {
         t.recent_flat.push_back(std::move(incoming[ni]));
@@ -693,6 +740,13 @@ void TemporalMatcher::ProcessRevisionLegacy(
   std::vector<int64_t> assignment(nn, -1);
   RunStages(revision_index, instances, sim_at_least, pair_allowed,
             prefill, describe_pair, assignment);
+#ifndef NDEBUG
+  {
+    ValidationReport report;
+    ValidateAssignment(assignment, tracked_.size(), &report);
+    SOMR_CHECK(report.ok()) << report.ToString();
+  }
+#endif
   CommitAssignments(
       revision_index, instances, assignment, [&](Tracked& t, size_t ni) {
         t.recent_bags.push_back(std::move(incoming_bags[ni]));

@@ -1,5 +1,4 @@
-#ifndef SOMR_MATCHING_MATCHER_H_
-#define SOMR_MATCHING_MATCHER_H_
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -16,6 +15,10 @@
 #include "text/bag_of_words.h"
 #include "text/flat_bag.h"
 #include "text/token_pool.h"
+
+namespace somr {
+class ValidationReport;  // invariant findings (src/common/check.h)
+}  // namespace somr
 
 namespace somr::state {
 class MatcherSerde;  // snapshot serializer (src/state/snapshot.cc)
@@ -149,6 +152,12 @@ class TemporalMatcher : public RevisionMatcher {
   IdentityGraph TakeGraph() { return std::move(graph_); }
   MatchStats TakeStats() { return std::exchange(stats_, MatchStats{}); }
 
+  /// Appends every violated matcher invariant to `report` (config
+  /// threshold ordering, graph linearity, tracked-table/graph agreement,
+  /// rear-view depth <= k). Debug builds run this automatically at every
+  /// step boundary; see src/matching/validate.h.
+  void Validate(somr::ValidationReport* report) const;
+
  private:
   // The snapshot subsystem persists and restores the full matcher state
   // (pool, tracked windows, graph, stats) for checkpointed ingestion.
@@ -218,6 +227,12 @@ class TemporalMatcher : public RevisionMatcher {
   MatcherConfig config_;
   IdentityGraph graph_;
   MatchStats stats_;
+  // False once any processed revision contained duplicate position
+  // ranks (a tolerated caller bug): from then on (revision, position)
+  // no longer identifies an instance, so Validate skips the
+  // graph-linearity claim-uniqueness check. Not persisted by snapshots —
+  // a restored matcher conservatively assumes well-formed history.
+  bool input_positions_unique_ = true;
   std::vector<Tracked> tracked_;
   TokenPool pool_;                   // flat engine: page-lifetime interning
   sim::DenseTokenWeights weights_;   // flat engine: per-step IDF weights
@@ -246,6 +261,9 @@ class PageMatcher {
   IdentityGraph TakeGraph(extract::ObjectType type);
   MatchStats TakeStats(extract::ObjectType type);
 
+  /// Validates all three per-type matchers into `report`.
+  void Validate(somr::ValidationReport* report) const;
+
   const MatcherConfig& config() const { return tables_.config(); }
 
  private:
@@ -259,5 +277,3 @@ class PageMatcher {
 };
 
 }  // namespace somr::matching
-
-#endif  // SOMR_MATCHING_MATCHER_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_OBS_CLI_H_
-#define SOMR_OBS_CLI_H_
+#pragma once
 
 #include <fstream>
 #include <memory>
@@ -48,5 +47,3 @@ class CliObservability {
 };
 
 }  // namespace somr::obs
-
-#endif  // SOMR_OBS_CLI_H_

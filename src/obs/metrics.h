@@ -1,5 +1,4 @@
-#ifndef SOMR_OBS_METRICS_H_
-#define SOMR_OBS_METRICS_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -208,5 +207,3 @@ std::string RenderMetricsJson(const MetricsSnapshot& snapshot);
 Status WriteMetricsFile(const std::string& path);
 
 }  // namespace somr::obs
-
-#endif  // SOMR_OBS_METRICS_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_OBS_PROVENANCE_H_
-#define SOMR_OBS_PROVENANCE_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -100,5 +99,3 @@ class PageScopedSink : public ProvenanceSink {
 };
 
 }  // namespace somr::obs
-
-#endif  // SOMR_OBS_PROVENANCE_H_

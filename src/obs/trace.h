@@ -1,5 +1,4 @@
-#ifndef SOMR_OBS_TRACE_H_
-#define SOMR_OBS_TRACE_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -110,5 +109,3 @@ class TraceSpan {
   ::somr::obs::TraceSpan SOMR_TRACE_CONCAT(somr_trace_span_, __LINE__)( \
       name, cat)
 #endif
-
-#endif  // SOMR_OBS_TRACE_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_PARALLEL_EXECUTOR_H_
-#define SOMR_PARALLEL_EXECUTOR_H_
+#pragma once
 
 #include <atomic>
 #include <condition_variable>
@@ -200,5 +199,3 @@ class TaskGroup {
 };
 
 }  // namespace somr::parallel
-
-#endif  // SOMR_PARALLEL_EXECUTOR_H_

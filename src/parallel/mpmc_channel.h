@@ -1,5 +1,4 @@
-#ifndef SOMR_PARALLEL_MPMC_CHANNEL_H_
-#define SOMR_PARALLEL_MPMC_CHANNEL_H_
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -82,5 +81,3 @@ class Channel {
 };
 
 }  // namespace somr::parallel
-
-#endif  // SOMR_PARALLEL_MPMC_CHANNEL_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_PARALLEL_WORK_STEALING_DEQUE_H_
-#define SOMR_PARALLEL_WORK_STEALING_DEQUE_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -7,7 +6,15 @@
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
+
 namespace somr::parallel::internal {
+
+SOMR_REGISTER_VALIDATOR(deque, "deque",
+                        "quiescent Chase-Lev deques keep top <= bottom, "
+                        "the active ring is the newest (retired rings "
+                        "are unreachable), and ring capacities are "
+                        "strictly doubling powers of two");
 
 /// Chase–Lev work-stealing deque of opaque task pointers (Chase & Lev,
 /// "Dynamic Circular Work-Stealing Deque", SPAA'05). The owning worker
@@ -97,6 +104,47 @@ class WorkStealingDeque {
     return b > t ? static_cast<size_t>(b - t) : 0;
   }
 
+  /// Invariant sweep for quiescent deques (no concurrent Push/Pop/Steal:
+  /// Pop transiently drops bottom below top, so validating mid-operation
+  /// would false-positive). Checks top <= bottom, the cursors span at
+  /// most one ring, the active ring is the newest (retired rings stay
+  /// only as unreachable tombstones for late thieves), and ring
+  /// capacities are strictly doubling powers of two.
+  void Validate(ValidationReport* report) const {
+    const int64_t t = top_.load(std::memory_order_acquire);
+    const int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t > b) {
+      report->AddIssue("deque")
+          << "top " << t << " > bottom " << b << " on a quiescent deque";
+    }
+    const Ring* active = active_.load(std::memory_order_acquire);
+    if (rings_.empty() || rings_.back().get() != active) {
+      report->AddIssue("deque")
+          << "active ring is not the newest ring (retired rings must be "
+             "unreachable)";
+    }
+    size_t prev_capacity = 0;
+    for (size_t i = 0; i < rings_.size(); ++i) {
+      const size_t cap = rings_[i]->capacity;
+      if (cap == 0 || (cap & (cap - 1)) != 0) {
+        report->AddIssue("deque")
+            << "ring " << i << " capacity " << cap
+            << " is not a power of two";
+      }
+      if (i > 0 && cap != prev_capacity * 2) {
+        report->AddIssue("deque")
+            << "ring " << i << " capacity " << cap
+            << " does not double its predecessor's " << prev_capacity;
+      }
+      prev_capacity = cap;
+    }
+    if (active != nullptr && b - t > static_cast<int64_t>(active->capacity)) {
+      report->AddIssue("deque")
+          << "live span " << (b - t) << " exceeds active capacity "
+          << active->capacity;
+    }
+  }
+
  private:
   struct Ring {
     explicit Ring(size_t cap)
@@ -135,5 +183,3 @@ class WorkStealingDeque {
 };
 
 }  // namespace somr::parallel::internal
-
-#endif  // SOMR_PARALLEL_WORK_STEALING_DEQUE_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_SIM_MINHASH_H_
-#define SOMR_SIM_MINHASH_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -61,5 +60,3 @@ class LshIndex {
 };
 
 }  // namespace somr::sim
-
-#endif  // SOMR_SIM_MINHASH_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_SIM_SIMILARITY_H_
-#define SOMR_SIM_SIMILARITY_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -149,5 +148,3 @@ double SimilarityUpperBound(SimilarityKind kind, bool a_empty, bool b_empty,
                             double total_a, double total_b);
 
 }  // namespace somr::sim
-
-#endif  // SOMR_SIM_SIMILARITY_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_STATE_CONTEXT_STORE_H_
-#define SOMR_STATE_CONTEXT_STORE_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -72,5 +71,3 @@ class ContextStore {
 };
 
 }  // namespace somr::state
-
-#endif  // SOMR_STATE_CONTEXT_STORE_H_

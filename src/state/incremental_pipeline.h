@@ -1,5 +1,4 @@
-#ifndef SOMR_STATE_INCREMENTAL_PIPELINE_H_
-#define SOMR_STATE_INCREMENTAL_PIPELINE_H_
+#pragma once
 
 #include <istream>
 #include <string>
@@ -88,5 +87,3 @@ class IncrementalPipeline {
 core::PageResult StateToResult(PageState state);
 
 }  // namespace somr::state
-
-#endif  // SOMR_STATE_INCREMENTAL_PIPELINE_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_STATE_SERDE_H_
-#define SOMR_STATE_SERDE_H_
+#pragma once
 
 #include <bit>
 #include <cstdint>
@@ -137,5 +136,3 @@ class ByteReader {
 };
 
 }  // namespace somr::state
-
-#endif  // SOMR_STATE_SERDE_H_

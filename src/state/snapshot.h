@@ -1,5 +1,4 @@
-#ifndef SOMR_STATE_SNAPSHOT_H_
-#define SOMR_STATE_SNAPSHOT_H_
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -67,5 +66,3 @@ Status LoadPageSnapshot(std::istream& in,
                         PageState* state);
 
 }  // namespace somr::state
-
-#endif  // SOMR_STATE_SNAPSHOT_H_

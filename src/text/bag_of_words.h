@@ -1,5 +1,4 @@
-#ifndef SOMR_TEXT_BAG_OF_WORDS_H_
-#define SOMR_TEXT_BAG_OF_WORDS_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -83,5 +82,3 @@ class BagOfWords {
 };
 
 }  // namespace somr
-
-#endif  // SOMR_TEXT_BAG_OF_WORDS_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_TEXT_FLAT_BAG_H_
-#define SOMR_TEXT_FLAT_BAG_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -71,5 +70,3 @@ class FlatBag {
 };
 
 }  // namespace somr
-
-#endif  // SOMR_TEXT_FLAT_BAG_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_TEXT_TOKEN_POOL_H_
-#define SOMR_TEXT_TOKEN_POOL_H_
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -50,5 +49,3 @@ class TokenPool {
 };
 
 }  // namespace somr
-
-#endif  // SOMR_TEXT_TOKEN_POOL_H_

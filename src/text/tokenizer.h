@@ -1,5 +1,4 @@
-#ifndef SOMR_TEXT_TOKENIZER_H_
-#define SOMR_TEXT_TOKENIZER_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -56,5 +55,3 @@ void TokenizeTruncatedTo(std::string_view s, size_t max_tokens, Sink&& sink) {
 inline constexpr size_t kElementTokenLimit = 10;
 
 }  // namespace somr
-
-#endif  // SOMR_TEXT_TOKENIZER_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_WIKIGEN_CONTENT_GEN_H_
-#define SOMR_WIKIGEN_CONTENT_GEN_H_
+#pragma once
 
 #include <string>
 #include <unordered_set>
@@ -69,5 +68,3 @@ class ContentGenerator {
 };
 
 }  // namespace somr::wikigen
-
-#endif  // SOMR_WIKIGEN_CONTENT_GEN_H_

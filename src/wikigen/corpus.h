@@ -1,5 +1,4 @@
-#ifndef SOMR_WIKIGEN_CORPUS_H_
-#define SOMR_WIKIGEN_CORPUS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -39,5 +38,3 @@ GoldCorpus GenerateGoldCorpus(const CorpusConfig& config);
 xmldump::Dump CorpusToDump(const GoldCorpus& corpus);
 
 }  // namespace somr::wikigen
-
-#endif  // SOMR_WIKIGEN_CORPUS_H_

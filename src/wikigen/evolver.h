@@ -1,5 +1,4 @@
-#ifndef SOMR_WIKIGEN_EVOLVER_H_
-#define SOMR_WIKIGEN_EVOLVER_H_
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -173,5 +172,3 @@ class PageEvolver {
 };
 
 }  // namespace somr::wikigen
-
-#endif  // SOMR_WIKIGEN_EVOLVER_H_

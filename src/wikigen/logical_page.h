@@ -1,5 +1,4 @@
-#ifndef SOMR_WIKIGEN_LOGICAL_PAGE_H_
-#define SOMR_WIKIGEN_LOGICAL_PAGE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -73,5 +72,3 @@ struct LogicalPage {
 };
 
 }  // namespace somr::wikigen
-
-#endif  // SOMR_WIKIGEN_LOGICAL_PAGE_H_

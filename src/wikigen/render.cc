@@ -168,7 +168,8 @@ std::string RenderHtml(const LogicalPage& page, bool web_chrome) {
   for (const LogicalPage::Item& item : page.items) {
     switch (item.kind) {
       case LogicalPage::ItemKind::kHeading: {
-        std::string tag = "h" + std::to_string(item.heading_level);
+        std::string tag = "h";
+        tag += std::to_string(item.heading_level);
         out.append("<").append(tag).append(">");
         AppendHtmlText(out, item.text);
         out.append("</").append(tag).append(">\n");

@@ -1,5 +1,4 @@
-#ifndef SOMR_WIKIGEN_RENDER_H_
-#define SOMR_WIKIGEN_RENDER_H_
+#pragma once
 
 #include <string>
 
@@ -25,5 +24,3 @@ std::string RenderWikitext(const LogicalPage& page);
 std::string RenderHtml(const LogicalPage& page, bool web_chrome = false);
 
 }  // namespace somr::wikigen
-
-#endif  // SOMR_WIKIGEN_RENDER_H_

@@ -133,10 +133,11 @@ std::string Vocab::WorkTitle() {
   // reality.
   double u = rng_.UniformDouble();
   if (u < 0.25) {
-    title += " of " + std::string(Pick(rng_, kPlaceStem));
+    title += " of ";
+    title += Pick(rng_, kPlaceStem);
   } else if (u < 0.45) {
-    title += " " + std::string(1, static_cast<char>('I' + 0)) +
-             (rng_.Bernoulli(0.5) ? "I" : "II");
+    title += " I";
+    title += rng_.Bernoulli(0.5) ? "I" : "II";
   } else if (u < 0.6) {
     title = std::string(Pick(rng_, kLastNames)) + "'s " + title.substr(4);
   }

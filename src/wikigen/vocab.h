@@ -1,5 +1,4 @@
-#ifndef SOMR_WIKIGEN_VOCAB_H_
-#define SOMR_WIKIGEN_VOCAB_H_
+#pragma once
 
 #include <string>
 
@@ -69,5 +68,3 @@ class Vocab {
 };
 
 }  // namespace somr::wikigen
-
-#endif  // SOMR_WIKIGEN_VOCAB_H_

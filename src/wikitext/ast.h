@@ -1,5 +1,4 @@
-#ifndef SOMR_WIKITEXT_AST_H_
-#define SOMR_WIKITEXT_AST_H_
+#pragma once
 
 #include <string>
 #include <utility>
@@ -95,5 +94,3 @@ struct Document {
 };
 
 }  // namespace somr::wikitext
-
-#endif  // SOMR_WIKITEXT_AST_H_

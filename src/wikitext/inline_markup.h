@@ -1,5 +1,4 @@
-#ifndef SOMR_WIKITEXT_INLINE_MARKUP_H_
-#define SOMR_WIKITEXT_INLINE_MARKUP_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -17,5 +16,3 @@ std::string StripInlineMarkup(std::string_view s);
 std::vector<std::string> ExtractLinkTargets(std::string_view s);
 
 }  // namespace somr::wikitext
-
-#endif  // SOMR_WIKITEXT_INLINE_MARKUP_H_

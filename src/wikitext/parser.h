@@ -1,5 +1,4 @@
-#ifndef SOMR_WIKITEXT_PARSER_H_
-#define SOMR_WIKITEXT_PARSER_H_
+#pragma once
 
 #include <string_view>
 
@@ -20,5 +19,3 @@ Document ParseWikitext(std::string_view input);
 Template ParseTemplateSource(std::string_view source);
 
 }  // namespace somr::wikitext
-
-#endif  // SOMR_WIKITEXT_PARSER_H_

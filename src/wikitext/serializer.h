@@ -1,5 +1,4 @@
-#ifndef SOMR_WIKITEXT_SERIALIZER_H_
-#define SOMR_WIKITEXT_SERIALIZER_H_
+#pragma once
 
 #include <string>
 
@@ -18,5 +17,3 @@ std::string SerializeList(const List& list);
 std::string SerializeHeading(const Heading& heading);
 
 }  // namespace somr::wikitext
-
-#endif  // SOMR_WIKITEXT_SERIALIZER_H_

@@ -88,7 +88,8 @@ std::string DocumentToHtml(const Document& doc,
   }
   for (const Element& element : doc.elements) {
     if (const auto* heading = std::get_if<Heading>(&element)) {
-      std::string tag = "h" + std::to_string(heading->level);
+      std::string tag = "h";
+      tag += std::to_string(heading->level);
       out.push_back('<');
       out.append(tag);
       out.push_back('>');

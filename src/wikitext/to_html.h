@@ -1,5 +1,4 @@
-#ifndef SOMR_WIKITEXT_TO_HTML_H_
-#define SOMR_WIKITEXT_TO_HTML_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -22,5 +21,3 @@ std::string WikitextToHtml(std::string_view source,
                            std::string_view page_title = "");
 
 }  // namespace somr::wikitext
-
-#endif  // SOMR_WIKITEXT_TO_HTML_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_XMLDUMP_DUMP_H_
-#define SOMR_XMLDUMP_DUMP_H_
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -52,5 +51,3 @@ void WritePage(const PageHistory& page, std::ostream& out);
 void WriteDumpFooter(std::ostream& out);
 
 }  // namespace somr::xmldump
-
-#endif  // SOMR_XMLDUMP_DUMP_H_

@@ -1,5 +1,4 @@
-#ifndef SOMR_XMLDUMP_STREAM_READER_H_
-#define SOMR_XMLDUMP_STREAM_READER_H_
+#pragma once
 
 #include <istream>
 #include <optional>
@@ -48,5 +47,3 @@ class PageStreamReader {
 };
 
 }  // namespace somr::xmldump
-
-#endif  // SOMR_XMLDUMP_STREAM_READER_H_

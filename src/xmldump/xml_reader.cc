@@ -22,8 +22,8 @@ bool IsNameChar(char c) {
 }  // namespace
 
 std::string_view XmlEvent::Attribute(std::string_view key) const {
-  for (const auto& [name, value] : attributes) {
-    if (name == key) return value;
+  for (const auto& [attr_name, value] : attributes) {
+    if (attr_name == key) return value;
   }
   return {};
 }

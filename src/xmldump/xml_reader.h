@@ -1,5 +1,4 @@
-#ifndef SOMR_XMLDUMP_XML_READER_H_
-#define SOMR_XMLDUMP_XML_READER_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -61,5 +60,3 @@ class XmlReader {
 };
 
 }  // namespace somr::xmldump
-
-#endif  // SOMR_XMLDUMP_XML_READER_H_

@@ -1,0 +1,123 @@
+#include "common/check.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+// Included for their SOMR_REGISTER_VALIDATOR announcements (the registry
+// test below asserts the full suite is visible).
+#include "matching/validate.h"
+#include "parallel/work_stealing_deque.h"
+#include "state/validate.h"
+
+namespace somr {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  SOMR_CHECK(true);
+  SOMR_CHECK(1 + 1 == 2) << "never rendered";
+  SOMR_CHECK_EQ(4, 4);
+  SOMR_CHECK_NE(4, 5);
+  SOMR_CHECK_LT(1, 2);
+  SOMR_CHECK_LE(2, 2);
+  SOMR_CHECK_GT(3, 2);
+  SOMR_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailureAbortsWithConditionText) {
+  EXPECT_DEATH(SOMR_CHECK(2 + 2 == 5), "Check failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, StreamedMessageSurvives) {
+  int step = 17;
+  EXPECT_DEATH(SOMR_CHECK(false) << "during step " << step,
+               "during step 17");
+}
+
+TEST(CheckDeathTest, OpMacrosRenderBothOperands) {
+  int lhs = 3;
+  int rhs = 7;
+  EXPECT_DEATH(SOMR_CHECK_EQ(lhs, rhs), "lhs == rhs \\(3 vs 7\\)");
+  EXPECT_DEATH(SOMR_CHECK_GE(lhs, rhs), "lhs >= rhs \\(3 vs 7\\)");
+}
+
+TEST(CheckDeathTest, FailureReportsFileAndLine) {
+  EXPECT_DEATH(SOMR_CHECK_LT(2, 1), "check_test\\.cc:[0-9]+");
+}
+
+struct Unprintable {
+  int v = 0;
+  bool operator==(const Unprintable&) const = default;
+};
+
+TEST(CheckDeathTest, UnprintableOperandsUsePlaceholder) {
+  Unprintable a{1};
+  Unprintable b{2};
+  EXPECT_DEATH(SOMR_CHECK_EQ(a, b), "<unprintable> vs <unprintable>");
+}
+
+TEST(CheckTest, ChecksNestUnderIfWithoutDanglingElse) {
+  // The `while`-form expansion must keep a trailing `else` bound to the
+  // outer `if`; an `if`-based expansion would capture it (greedy
+  // else-matching) and silently skip this assignment.
+  bool took_else = false;
+  if (false)
+    SOMR_CHECK_EQ(1, 1);
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, DchecksAreFreeInOptimizedBuilds) {
+  int evaluations = 0;
+  auto count = [&evaluations] { return ++evaluations; };
+  SOMR_DCHECK(count() == 1);
+  SOMR_DCHECK_EQ(count(), 1);
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(CheckDeathTest, DchecksFireInDebugBuilds) {
+  EXPECT_DEATH(SOMR_DCHECK_EQ(1, 2), "Check failed: 1 == 2");
+}
+#endif
+
+TEST(ValidationReportTest, EmptyReportIsOk) {
+  ValidationReport report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.issue_count(), 0u);
+  EXPECT_EQ(report.ToString(), "ok");
+}
+
+TEST(ValidationReportTest, CollectsStreamedIssues) {
+  ValidationReport report;
+  report.AddIssue("identity_graph") << "orphan object " << 42;
+  report.AddIssue("snapshot") << "stale checksum";
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.issue_count(), 2u);
+  EXPECT_EQ(report.issues()[0].validator, "identity_graph");
+  EXPECT_EQ(report.issues()[0].detail, "orphan object 42");
+  EXPECT_EQ(report.issues()[1].validator, "snapshot");
+  EXPECT_EQ(report.issues()[1].detail, "stale checksum");
+  EXPECT_NE(report.ToString().find("orphan object 42"), std::string::npos);
+}
+
+TEST(ValidatorRegistryTest, SubsystemValidatorsAreRegistered) {
+  // The matching/state/parallel validate translation units register their
+  // validators at static-init time; linking them into this binary is
+  // enough for the registry to see them.
+  std::vector<std::string> names;
+  for (const ValidatorInfo& info : RegisteredValidators()) {
+    names.push_back(info.name);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "identity_graph"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "matching"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "snapshot"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "deque"), names.end());
+}
+
+}  // namespace
+}  // namespace somr

@@ -1,0 +1,12 @@
+// Fixture: seeded banned-new-array violations; the make_unique and
+// `operator new[]` lines must NOT be flagged.
+#include <cstddef>
+#include <memory>
+
+void* operator new[](std::size_t n);
+
+double* Alloc(int n) {
+  auto ok = std::make_unique<double[]>(16);
+  (void)ok;
+  return new double[n];
+}

@@ -1,0 +1,7 @@
+// Fixture: seeded banned-rand violations (lines 5 and 6).
+#include <cstdlib>
+
+int Roll() {
+  srand(42);
+  return rand() % 6;
+}

@@ -1,0 +1,4 @@
+// Fixture: seeded banned-strtok violation.
+#include <cstring>
+
+char* FirstField(char* row) { return strtok(row, ","); }

@@ -1,0 +1,13 @@
+// Fixture: a file with no violations; near-miss spellings of banned
+// constructs appear in strings and comments, which the code view
+// blanks (rand(), strtok, volatile — none of these flag).
+#include <string>
+#include <vector>
+
+int Random() { return 4; }  // identifiers containing rand are fine
+
+std::string Describe() {
+  return "call rand() and strtok() on a volatile int via new int[3]";
+}
+
+std::vector<int> Grid(int n) { return std::vector<int>(static_cast<size_t>(n)); }

@@ -1,0 +1,10 @@
+#ifndef SOMR_TESTS_LINT_FIXTURES_MISSING_PRAGMA_H_
+#define SOMR_TESTS_LINT_FIXTURES_MISSING_PRAGMA_H_
+
+// Fixture: classic include guard; --fix rewrites it to #pragma once.
+
+namespace somr_fixture {
+inline int Answer() { return 42; }
+}  // namespace somr_fixture
+
+#endif  // SOMR_TESTS_LINT_FIXTURES_MISSING_PRAGMA_H_

@@ -1,0 +1,5 @@
+// Fixture: header with no guard at all; --fix prepends #pragma once.
+
+namespace somr_fixture {
+inline int Unguarded() { return 7; }
+}  // namespace somr_fixture

@@ -1,0 +1,8 @@
+// Fixture: seeded regex-in-hot-path violations (include + use). The
+// path contains src/matching, which makes the rule apply.
+#include <regex>
+
+bool LooksNumeric(const std::string& s) {
+  static const std::regex kNumber("[0-9]+");
+  return std::regex_match(s, kNumber);
+}

@@ -1,0 +1,20 @@
+// Fixture: seeded mutex-in-trace-scope violation — the lock_guard sits
+// in the same block as the trace span, so the lock wait is charged to
+// the span. The lock in Fine() is outside any span and must not flag.
+// (Fixtures are lint inputs only, never compiled; the trace macro and
+// mutex declarations are assumed.)
+#include <mutex>
+
+std::mutex g_mu;
+int g_count = 0;
+
+void Bad() {
+  SOMR_TRACE_SCOPE("bad");
+  std::lock_guard<std::mutex> lock(g_mu);
+  ++g_count;
+}
+
+void Fine() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ++g_count;
+}

@@ -1,0 +1,13 @@
+// Fixture: every violation here carries a somr-lint allow, so the file
+// lints clean with a non-zero suppressed count.
+// somr-lint: allow-file(banned-strtok)
+#include <cstdlib>
+#include <cstring>
+
+int SameLine() { return rand(); }  // somr-lint: allow(banned-rand)
+
+// somr-lint: allow(banned-rand)
+int LineAbove() { return rand(); }
+
+char* FileScoped(char* row) { return strtok(row, ","); }
+char* FileScopedAgain(char* row) { return strtok(row, ";"); }

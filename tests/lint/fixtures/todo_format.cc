@@ -1,0 +1,10 @@
+// Fixture: seeded todo-format violations. The owner-tagged comments
+// must not flag; the bare ones must.
+
+// TODO(alice): properly owner-tagged, not a finding.
+// FIXME(bob): also fine.
+
+int Pending() {
+  // TODO: missing owner — finding.
+  return 0;  // FIXME bare marker — finding.
+}

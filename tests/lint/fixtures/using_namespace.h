@@ -1,0 +1,12 @@
+#pragma once
+
+// Fixture: seeded using-namespace-header violation. The namespace
+// alias and the function-local using-declaration must not flag.
+
+#include <string>
+
+using namespace std;
+
+namespace alias_ok = std;
+
+inline string Shout(const string& s) { return s + "!"; }

@@ -1,0 +1,7 @@
+// Fixture: seeded volatile-sync violation.
+volatile bool g_ready = false;
+
+void Wait() {
+  while (!g_ready) {
+  }
+}

@@ -1,0 +1,224 @@
+// Tests for tools/somr_lint: every seeded fixture must produce its
+// rule's finding, the clean/suppressed fixtures must not, and --fix
+// must rewrite guard headers into #pragma once form. SOMR_LINT_FIXTURE_DIR
+// is injected by CMake and points at tests/lint/fixtures.
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint/lint.h"
+
+namespace somr::lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(SOMR_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+LintResult LintFixture(const std::string& name,
+                       const LintOptions& options = {}) {
+  return LintPaths({FixturePath(name)}, options);
+}
+
+size_t CountRule(const LintResult& result, const std::string& rule) {
+  return static_cast<size_t>(std::count_if(
+      result.diagnostics.begin(), result.diagnostics.end(),
+      [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+std::vector<int> LinesOfRule(const LintResult& result,
+                             const std::string& rule) {
+  std::vector<int> lines;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.rule == rule) lines.push_back(d.line);
+  }
+  return lines;
+}
+
+TEST(LintFixtureTest, BannedRand) {
+  LintResult r = LintFixture("banned_rand.cc");
+  EXPECT_EQ(CountRule(r, "banned-rand"), 2u);
+  EXPECT_EQ(r.diagnostics.size(), 2u);
+  EXPECT_EQ(LinesOfRule(r, "banned-rand"), (std::vector<int>{5, 6}));
+}
+
+TEST(LintFixtureTest, BannedStrtok) {
+  LintResult r = LintFixture("banned_strtok.cc");
+  EXPECT_EQ(CountRule(r, "banned-strtok"), 1u);
+  EXPECT_EQ(r.diagnostics.size(), 1u);
+}
+
+TEST(LintFixtureTest, BannedNewArray) {
+  LintResult r = LintFixture("banned_new_array.cc");
+  // Only the allocation flags — not make_unique<double[]> and not the
+  // `operator new[]` declaration.
+  EXPECT_EQ(CountRule(r, "banned-new-array"), 1u);
+  EXPECT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(LinesOfRule(r, "banned-new-array"), (std::vector<int>{11}));
+}
+
+TEST(LintFixtureTest, RegexInHotPath) {
+  LintResult r = LintFixture("src/matching/uses_regex.cc");
+  EXPECT_GE(CountRule(r, "regex-in-hot-path"), 2u);  // include + use
+  EXPECT_EQ(r.diagnostics.size(), CountRule(r, "regex-in-hot-path"));
+}
+
+TEST(LintFixtureTest, RegexRuleIsPathScoped) {
+  // The same content outside src/matching//src/sim is allowed.
+  std::string content = ReadFixture("src/matching/uses_regex.cc");
+  LintResult r =
+      LintContent("src/archive/uses_regex.cc", content, {}, nullptr);
+  EXPECT_EQ(CountRule(r, "regex-in-hot-path"), 0u);
+}
+
+TEST(LintFixtureTest, VolatileSync) {
+  LintResult r = LintFixture("volatile_sync.cc");
+  EXPECT_EQ(CountRule(r, "volatile-sync"), 1u);
+  EXPECT_EQ(r.diagnostics.size(), 1u);
+}
+
+TEST(LintFixtureTest, MutexInTraceScope) {
+  LintResult r = LintFixture("src/parallel/lock_in_trace.cc");
+  // Only the lock in the same block as the span flags; Fine() is clean.
+  EXPECT_EQ(CountRule(r, "mutex-in-trace-scope"), 1u);
+  EXPECT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(LinesOfRule(r, "mutex-in-trace-scope"),
+            (std::vector<int>{13}));
+}
+
+TEST(LintFixtureTest, PragmaOnceMissing) {
+  LintResult guard = LintFixture("missing_pragma.h");
+  EXPECT_EQ(CountRule(guard, "pragma-once"), 1u);
+  LintResult bare = LintFixture("no_guard.h");
+  EXPECT_EQ(CountRule(bare, "pragma-once"), 1u);
+}
+
+TEST(LintFixtureTest, UsingNamespaceHeader) {
+  LintResult r = LintFixture("using_namespace.h");
+  EXPECT_EQ(CountRule(r, "using-namespace-header"), 1u);
+  EXPECT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(LinesOfRule(r, "using-namespace-header"),
+            (std::vector<int>{8}));
+}
+
+TEST(LintFixtureTest, TodoFormat) {
+  LintResult r = LintFixture("todo_format.cc");
+  // The two bare markers flag; the owner-tagged ones do not.
+  EXPECT_EQ(CountRule(r, "todo-format"), 2u);
+  EXPECT_EQ(r.diagnostics.size(), 2u);
+}
+
+TEST(LintFixtureTest, CleanFileHasNoFindings) {
+  LintResult r = LintFixture("clean.cc");
+  EXPECT_TRUE(r.diagnostics.empty()) << r.diagnostics[0].rule;
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(LintFixtureTest, SuppressionsSilenceEveryForm) {
+  LintResult r = LintFixture("suppressed.cc");
+  EXPECT_TRUE(r.diagnostics.empty())
+      << r.diagnostics[0].rule << " at line " << r.diagnostics[0].line;
+  // 2x rand (same-line + line-above), 2x strtok (file-scoped).
+  EXPECT_EQ(r.suppressed, 4u);
+}
+
+TEST(LintFixtureTest, SuppressionIsPerRule) {
+  // An allow for one rule must not silence another.
+  LintResult r = LintContent(
+      "x.cc", "int a = rand();  // somr-lint: allow(banned-strtok)\n", {},
+      nullptr);
+  EXPECT_EQ(CountRule(r, "banned-rand"), 1u);
+}
+
+TEST(LintFixtureTest, OnlyRulesFilter) {
+  LintOptions options;
+  options.only_rules = {"banned-strtok"};
+  LintResult r = LintFixture("banned_rand.cc", options);
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// --fix must rewrite a classic guard to #pragma once without touching
+// the body, and the result must re-lint clean.
+TEST(LintFixTest, ConvertsClassicGuard) {
+  LintOptions options;
+  options.fix = true;
+  std::string fixed;
+  LintResult r = LintContent("missing_pragma.h",
+                             ReadFixture("missing_pragma.h"), options,
+                             &fixed);
+  EXPECT_EQ(r.files_fixed, 1u);
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_EQ(fixed.rfind("#pragma once", 0), 0u);
+  EXPECT_EQ(fixed.find("#ifndef"), std::string::npos);
+  EXPECT_EQ(fixed.find("#endif"), std::string::npos);
+  EXPECT_NE(fixed.find("inline int Answer() { return 42; }"),
+            std::string::npos);
+  LintResult again = LintContent("missing_pragma.h", fixed, {}, nullptr);
+  EXPECT_TRUE(again.diagnostics.empty());
+}
+
+TEST(LintFixTest, PrependsWhenNoGuard) {
+  LintOptions options;
+  options.fix = true;
+  std::string fixed;
+  LintResult r = LintContent("no_guard.h", ReadFixture("no_guard.h"),
+                             options, &fixed);
+  EXPECT_EQ(r.files_fixed, 1u);
+  EXPECT_EQ(fixed.rfind("#pragma once", 0), 0u);
+  EXPECT_NE(fixed.find("inline int Unguarded() { return 7; }"),
+            std::string::npos);
+}
+
+TEST(LintFixTest, FixWithoutFixableFindingIsANoOp) {
+  LintOptions options;
+  options.fix = true;
+  std::string fixed;
+  std::string content = ReadFixture("clean.cc");
+  LintResult r = LintContent("clean.cc", content, options, &fixed);
+  EXPECT_EQ(r.files_fixed, 0u);
+  EXPECT_EQ(fixed, content);
+}
+
+// SourceFile view construction: the code view blanks comments and
+// literal bodies in place, keeping columns aligned with the raw text.
+TEST(SourceFileTest, CodeViewBlanksCommentsAndStrings) {
+  SourceFile file("x.cc",
+                  "int a = 1;  // rand()\n"
+                  "const char* s = \"strtok\";\n");
+  ASSERT_EQ(file.code_lines().size(), 2u);
+  EXPECT_EQ(file.code_lines()[0].substr(0, 10), "int a = 1;");
+  EXPECT_EQ(file.code_lines()[0].find("rand"), std::string::npos);
+  EXPECT_NE(file.comment_lines()[0].find("rand()"), std::string::npos);
+  EXPECT_EQ(file.code_lines()[1].find("strtok"), std::string::npos);
+  // Columns stay aligned: the semicolon keeps its raw position.
+  EXPECT_EQ(file.code_lines()[1][24], ';');
+}
+
+TEST(SourceFileTest, RawStringBodyIsBlanked) {
+  SourceFile file("x.cc",
+                  "auto s = R\"(rand() and strtok)\";\n"
+                  "int keep = 2;\n");
+  EXPECT_EQ(file.code_lines()[0].find("rand"), std::string::npos);
+  EXPECT_EQ(file.code_lines()[1].substr(0, 13), "int keep = 2;");
+}
+
+TEST(SourceFileTest, BlockCommentSpanningLines) {
+  SourceFile file("x.cc", "/* rand()\n   strtok */ int a;\n");
+  EXPECT_EQ(file.code_lines()[0].find("rand"), std::string::npos);
+  EXPECT_EQ(file.code_lines()[1].find("strtok"), std::string::npos);
+  EXPECT_NE(file.code_lines()[1].find("int a;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace somr::lint

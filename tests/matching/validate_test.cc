@@ -1,0 +1,193 @@
+// Tests for the matching invariant validators (src/matching/validate.h):
+// valid graphs/assignments/configs pass, and each seeded in-memory
+// corruption is caught with a named finding.
+
+#include "matching/validate.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "extract/object.h"
+#include "matching/identity_graph.h"
+#include "matching/matcher.h"
+
+namespace somr::matching {
+namespace {
+
+using extract::ObjectInstance;
+using extract::ObjectType;
+using extract::PageObjects;
+
+ObjectInstance Table(int position, const std::string& cell) {
+  ObjectInstance instance;
+  instance.type = ObjectType::kTable;
+  instance.position = position;
+  instance.rows = {{cell}};
+  return instance;
+}
+
+bool HasIssueContaining(const ValidationReport& report,
+                        const std::string& needle) {
+  for (const ValidationIssue& issue : report.issues()) {
+    if (issue.detail.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(ValidateIdentityGraphTest, ValidGraphPasses) {
+  IdentityGraph graph(ObjectType::kTable);
+  int64_t a = graph.AddObject({0, 0});
+  graph.AppendVersion(a, {1, 0});
+  graph.AppendVersion(a, {3, 1});  // gap (deleted in rev 2) is legal
+  int64_t b = graph.AddObject({1, 1});
+  graph.AppendVersion(b, {2, 0});
+  ValidationReport report;
+  ValidateIdentityGraph(graph, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(ValidateIdentityGraphTest, CatchesNonMonotoneRevisions) {
+  IdentityGraph graph(ObjectType::kTable);
+  int64_t a = graph.AddObject({2, 0});
+  graph.AppendVersion(a, {1, 0});  // corrupt: goes backwards in time
+  ValidationReport report;
+  ValidateIdentityGraph(graph, &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasIssueContaining(report, "strictly increasing"))
+      << report.ToString();
+}
+
+TEST(ValidateIdentityGraphTest, CatchesDoublyClaimedInstance) {
+  IdentityGraph graph(ObjectType::kTable);
+  graph.AddObject({0, 0});
+  graph.AddObject({0, 0});  // corrupt: two chains own (rev 0, pos 0)
+  ValidationReport report;
+  ValidateIdentityGraph(graph, &report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidateIdentityGraphTest, SharedKeyIsToleratedWithoutUniquePositions) {
+  // When the input history carried duplicate position ranks (a tolerated
+  // caller bug), two distinct instances can share a (revision, position)
+  // key, so the claim-uniqueness check must stand down.
+  IdentityGraph graph(ObjectType::kTable);
+  graph.AddObject({0, 5});
+  graph.AddObject({0, 5});
+  ValidationReport report;
+  ValidateIdentityGraph(graph, &report, /*positions_unique=*/false);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(ValidateIdentityGraphTest, CatchesNegativePosition) {
+  IdentityGraph graph(ObjectType::kTable);
+  graph.AddObject({0, -1});
+  ValidationReport report;
+  ValidateIdentityGraph(graph, &report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidateAssignmentTest, OneToOnePasses) {
+  ValidationReport report;
+  ValidateAssignment({2, -1, 0}, 3, &report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(ValidateAssignmentTest, CatchesDuplicateObject) {
+  ValidationReport report;
+  ValidateAssignment({1, 1}, 3, &report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidateAssignmentTest, CatchesOutOfRangeObject) {
+  ValidationReport report;
+  ValidateAssignment({5}, 3, &report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidateGraphAgainstHistoryTest, CoverageAndRangeChecks) {
+  std::vector<PageObjects> revisions(2);
+  revisions[0].tables = {Table(0, "a")};
+  revisions[1].tables = {Table(0, "a"), Table(1, "b")};
+
+  IdentityGraph graph(ObjectType::kTable);
+  int64_t a = graph.AddObject({0, 0});
+  graph.AppendVersion(a, {1, 0});
+  graph.AddObject({1, 1});
+  {
+    ValidationReport report;
+    ValidateGraphAgainstHistory(graph, revisions, &report);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+
+  // Corrupt: a ref past the revision's instance count.
+  IdentityGraph bad(ObjectType::kTable);
+  bad.AddObject({0, 3});
+  {
+    ValidationReport report;
+    ValidateGraphAgainstHistory(bad, revisions, &report);
+    EXPECT_FALSE(report.ok());
+  }
+
+  // Corrupt: an orphan — revision 1's second table is in no chain.
+  IdentityGraph orphan(ObjectType::kTable);
+  int64_t o = orphan.AddObject({0, 0});
+  orphan.AppendVersion(o, {1, 0});
+  {
+    ValidationReport report;
+    ValidateGraphAgainstHistory(orphan, revisions, &report);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(HasIssueContaining(report, "orphan")) << report.ToString();
+  }
+}
+
+TEST(ValidateMatcherConfigTest, DefaultsPassAndBadOrderingIsCaught) {
+  {
+    ValidationReport report;
+    ValidateMatcherConfig(MatcherConfig{}, &report);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+  MatcherConfig config;
+  config.theta1 = 0.3;
+  config.theta2 = 0.9;  // corrupt: stage 2 stricter than stage 1
+  {
+    ValidationReport report;
+    ValidateMatcherConfig(config, &report);
+    EXPECT_FALSE(report.ok());
+  }
+  MatcherConfig window;
+  window.rear_view_window = 0;  // corrupt: no rear-view at all
+  {
+    ValidationReport report;
+    ValidateMatcherConfig(window, &report);
+    EXPECT_FALSE(report.ok());
+  }
+}
+
+TEST(MatcherValidateTest, LiveMatcherStatePasses) {
+  TemporalMatcher matcher(ObjectType::kTable, MatcherConfig{});
+  std::vector<ObjectInstance> rev0 = {Table(0, "alpha"), Table(1, "beta")};
+  std::vector<ObjectInstance> rev1 = {Table(0, "alpha"), Table(1, "beta")};
+  matcher.ProcessRevision(0, rev0);
+  matcher.ProcessRevision(1, rev1);
+  ValidationReport report;
+  matcher.Validate(&report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(matcher.graph().ObjectCount(), 2u);
+}
+
+TEST(PageMatcherValidateTest, AllTypesPass) {
+  PageMatcher matcher{MatcherConfig{}};
+  PageObjects rev;
+  rev.tables = {Table(0, "x")};
+  matcher.ProcessRevision(0, rev);
+  ValidationReport report;
+  matcher.Validate(&report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+}  // namespace
+}  // namespace somr::matching

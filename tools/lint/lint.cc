@@ -1,0 +1,362 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+namespace somr::lint {
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+/// Parses `somr-lint: allow(rule)` / `allow-file(rule)` out of one
+/// comment. Returns rule name and whether it is file-scoped.
+struct ParsedAllow {
+  std::string rule;
+  bool file_scoped = false;
+};
+
+std::vector<ParsedAllow> ParseAllows(const std::string& comment) {
+  std::vector<ParsedAllow> out;
+  const std::string kTag = "somr-lint:";
+  size_t pos = comment.find(kTag);
+  while (pos != std::string::npos) {
+    size_t cursor = pos + kTag.size();
+    while (cursor < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[cursor]))) {
+      ++cursor;
+    }
+    bool file_scoped = false;
+    const std::string kAllowFile = "allow-file(";
+    const std::string kAllow = "allow(";
+    size_t open;
+    if (comment.compare(cursor, kAllowFile.size(), kAllowFile) == 0) {
+      file_scoped = true;
+      open = cursor + kAllowFile.size();
+    } else if (comment.compare(cursor, kAllow.size(), kAllow) == 0) {
+      open = cursor + kAllow.size();
+    } else {
+      pos = comment.find(kTag, cursor);
+      continue;
+    }
+    size_t close = comment.find(')', open);
+    if (close != std::string::npos && close > open) {
+      out.push_back(
+          {comment.substr(open, close - open), file_scoped});
+    }
+    pos = comment.find(kTag, close == std::string::npos ? open : close);
+  }
+  return out;
+}
+
+}  // namespace
+
+SourceFile::SourceFile(std::string path, std::string content)
+    : path_(std::move(path)), content_(std::move(content)) {
+  lines_ = SplitLines(content_);
+  code_.resize(lines_.size());
+  comments_.resize(lines_.size());
+  for (size_t l = 0; l < lines_.size(); ++l) {
+    code_[l].assign(lines_[l].size(), ' ');
+    comments_[l].assign(lines_[l].size(), ' ');
+  }
+
+  // One pass over the raw text with a literal/comment state machine.
+  // Code characters land in code_ and comment characters in comments_
+  // at their original (line, column) so brace-scope scans stay aligned
+  // with the raw text; string/char literal bodies are blanked in both
+  // (their delimiting quotes are kept in the code view).
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delimiter;  // for R"delim( ... )delim"
+  size_t line = 0;
+  size_t line_start = 0;
+  const std::string& text = content_;
+  auto put_code = [&](size_t i, char c) {
+    if (line < code_.size() && i - line_start < code_[line].size()) {
+      code_[line][i - line_start] = c;
+    }
+  };
+  auto put_comment = [&](size_t i, char c) {
+    if (line < comments_.size() && i - line_start < comments_[line].size()) {
+      comments_[line][i - line_start] = c;
+    }
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      ++line;
+      line_start = i + 1;
+      continue;
+    }
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          state = State::kRawString;
+          raw_delimiter.clear();
+          size_t d = i + 2;
+          while (d < text.size() && text[d] != '(' && text[d] != '\n') {
+            raw_delimiter.push_back(text[d]);
+            ++d;
+          }
+          put_code(i, 'R');
+          put_code(i + 1, '"');
+          i = d;  // at '(' (or end)
+        } else if (c == '"') {
+          state = State::kString;
+          put_code(i, '"');
+        } else if (c == '\'') {
+          state = State::kChar;
+          put_code(i, '\'');
+        } else {
+          put_code(i, c);
+        }
+        break;
+      case State::kLineComment:
+        put_comment(i, c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          put_comment(i, c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip escaped char
+        } else if (c == '"') {
+          state = State::kCode;
+          put_code(i, '"');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          put_code(i, '\'');
+        }
+        break;
+      case State::kRawString: {
+        // A raw literal ends at )delim" — newlines inside are handled
+        // by the top-of-loop line tracking.
+        if (c == ')' &&
+            text.compare(i + 1, raw_delimiter.size(), raw_delimiter) == 0 &&
+            i + 1 + raw_delimiter.size() < text.size() &&
+            text[i + 1 + raw_delimiter.size()] == '"') {
+          i += raw_delimiter.size() + 1;
+          state = State::kCode;
+          put_code(i, '"');
+        }
+        break;
+      }
+    }
+  }
+
+  for (size_t l = 0; l < comments_.size(); ++l) {
+    for (const ParsedAllow& allow : ParseAllows(comments_[l])) {
+      const std::string& code_line = code_[l];
+      const bool whole_line =
+          code_line.find_first_not_of(' ') == std::string::npos;
+      suppressions_.push_back({allow.file_scoped ? 0
+                                                 : static_cast<int>(l) + 1,
+                               allow.rule, whole_line});
+    }
+  }
+}
+
+bool SourceFile::is_header() const {
+  return path_.size() >= 2 &&
+         (path_.compare(path_.size() - 2, 2, ".h") == 0 ||
+          (path_.size() >= 4 &&
+           path_.compare(path_.size() - 4, 4, ".hpp") == 0));
+}
+
+bool SourceFile::IsSuppressed(int line, const std::string& rule) const {
+  for (const Suppression& s : suppressions_) {
+    if (s.rule != rule) continue;
+    if (s.line == 0) return true;                       // file-scoped
+    if (s.line == line) return true;                    // same line
+    if (s.whole_line_comment && s.line + 1 == line) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Runs the selected rules over one SourceFile, applying suppressions.
+void CheckFile(const SourceFile& file, const LintOptions& options,
+               LintResult* result) {
+  for (const Rule& rule : Rules()) {
+    if (!options.only_rules.empty() &&
+        std::find(options.only_rules.begin(), options.only_rules.end(),
+                  rule.name) == options.only_rules.end()) {
+      continue;
+    }
+    std::vector<Diagnostic> found;
+    rule.check(file, &found);
+    for (Diagnostic& d : found) {
+      if (file.IsSuppressed(d.line, rule.name)) {
+        ++result->suppressed;
+      } else {
+        result->diagnostics.push_back(std::move(d));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LintResult LintContent(const std::string& path, const std::string& content,
+                       const LintOptions& options,
+                       std::string* fixed_content) {
+  LintResult result;
+  result.files_scanned = 1;
+  std::string current = content;
+  if (options.fix) {
+    // Apply fixable rules until the text reaches a fixed point (a fix
+    // can expose another rule's target, e.g. guard removal moves the
+    // first preprocessor line).
+    bool changed = true;
+    int budget = 8;  // defensive: no fix chain should be deeper
+    while (changed && budget-- > 0) {
+      changed = false;
+      SourceFile file(path, current);
+      for (const Rule& rule : Rules()) {
+        if (rule.fix == nullptr) continue;
+        if (!options.only_rules.empty() &&
+            std::find(options.only_rules.begin(), options.only_rules.end(),
+                      rule.name) == options.only_rules.end()) {
+          continue;
+        }
+        // Never rewrite a file that suppressed the rule everywhere.
+        std::vector<Diagnostic> found;
+        rule.check(file, &found);
+        bool any_active = false;
+        for (const Diagnostic& d : found) {
+          if (!file.IsSuppressed(d.line, rule.name)) any_active = true;
+        }
+        if (!any_active) continue;
+        if (std::optional<std::string> fixed = rule.fix(file)) {
+          if (*fixed != current) {
+            current = std::move(*fixed);
+            changed = true;
+            break;  // re-parse before running further rules
+          }
+        }
+      }
+    }
+    if (current != content) result.files_fixed = 1;
+  }
+  SourceFile file(path, current);
+  CheckFile(file, options, &result);
+  if (fixed_content != nullptr) *fixed_content = std::move(current);
+  return result;
+}
+
+namespace {
+
+bool HasLintableExtension(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".cxx";
+}
+
+bool IsSkippedDirectory(const std::filesystem::path& path) {
+  const std::string name = path.filename().string();
+  return name == "build" || name == ".git" || name == "fixtures" ||
+         name == "third_party";
+}
+
+void CollectFiles(const std::filesystem::path& root,
+                  std::vector<std::string>* out) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(root)) {
+    out->push_back(root.string());  // explicit files always lint
+    return;
+  }
+  std::error_code ec;
+  fs::recursive_directory_iterator it(root, ec), end;
+  while (it != end) {
+    if (it->is_directory(ec) && IsSkippedDirectory(it->path())) {
+      it.disable_recursion_pending();
+    } else if (it->is_regular_file(ec) && HasLintableExtension(it->path())) {
+      out->push_back(it->path().string());
+    }
+    it.increment(ec);
+    if (ec) break;
+  }
+}
+
+}  // namespace
+
+LintResult LintPaths(const std::vector<std::string>& paths,
+                     const LintOptions& options) {
+  std::vector<std::string> files;
+  for (const std::string& path : paths) CollectFiles(path, &files);
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  LintResult total;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      total.diagnostics.push_back(
+          {path, 0, "io", "cannot read file", false});
+      continue;
+    }
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::string fixed;
+    LintResult one = LintContent(path, content, options, &fixed);
+    if (options.fix && one.files_fixed > 0) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << fixed;
+    }
+    total.files_scanned += one.files_scanned;
+    total.files_fixed += one.files_fixed;
+    total.suppressed += one.suppressed;
+    std::move(one.diagnostics.begin(), one.diagnostics.end(),
+              std::back_inserter(total.diagnostics));
+  }
+  return total;
+}
+
+}  // namespace somr::lint

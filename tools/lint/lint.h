@@ -1,0 +1,116 @@
+#pragma once
+
+// somr_lint: self-contained project-rule linter (DESIGN.md §11). No
+// libclang — rules work on a token/regex level over a comment- and
+// string-stripped view of each file, which is exact enough for the
+// project rules (banned constructs, include hygiene, trace-scope
+// locking, owner-tagged task comments) and keeps the tool
+// dependency-free.
+//
+// Suppressions:
+//   code;  // somr-lint: allow(<rule>)     suppress <rule> on this line
+//   // somr-lint: allow(<rule>)            whole-line comment: suppress on
+//                                          the next line too
+//   // somr-lint: allow-file(<rule>)       suppress <rule> in this file
+//
+// The registry lives in rules.cc; `somr_lint --list-rules` prints it.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace somr::lint {
+
+/// One finding. `line` is 1-based.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool fixable = false;
+};
+
+/// A source file pre-processed once for every rule: the raw text, a
+/// line-preserving "code view" with comments and string/char literals
+/// blanked to spaces, the comment text per line, and the parsed
+/// somr-lint suppression directives.
+class SourceFile {
+ public:
+  /// Builds the views from `content`. `path` is used for reporting and
+  /// for path-scoped rules (hot-path checks).
+  SourceFile(std::string path, std::string content);
+
+  const std::string& path() const { return path_; }
+  const std::string& content() const { return content_; }
+  bool is_header() const;
+
+  /// Raw lines, without trailing newlines. 0-based index = line - 1.
+  const std::vector<std::string>& lines() const { return lines_; }
+  /// Lines with comments and string/char literal bodies blanked.
+  const std::vector<std::string>& code_lines() const { return code_; }
+  /// Comment text of each line (empty when the line has no comment).
+  const std::vector<std::string>& comment_lines() const {
+    return comments_;
+  }
+
+  /// True when `rule` is suppressed on 1-based `line` (same-line or
+  /// preceding whole-line allow comment, or a file-level allow).
+  bool IsSuppressed(int line, const std::string& rule) const;
+
+ private:
+  std::string path_;
+  std::string content_;
+  std::vector<std::string> lines_;
+  std::vector<std::string> code_;
+  std::vector<std::string> comments_;
+  struct Suppression {
+    int line;  // 1-based line the allow comment sits on; 0 = whole file
+    std::string rule;
+    bool whole_line_comment;  // also covers line + 1
+  };
+  std::vector<Suppression> suppressions_;
+};
+
+/// One lint rule. `check` appends diagnostics (already filtered through
+/// the file's suppressions by the caller — rules just report). `fix` is
+/// null for non-mechanical rules; otherwise it returns the rewritten
+/// file content, or nullopt when nothing applies.
+struct Rule {
+  const char* name;
+  const char* description;
+  void (*check)(const SourceFile& file, std::vector<Diagnostic>* out);
+  std::optional<std::string> (*fix)(const SourceFile& file);  // may be null
+};
+
+/// The rule registry, in stable order.
+const std::vector<Rule>& Rules();
+
+struct LintOptions {
+  bool fix = false;
+  /// When non-empty, only run these rules.
+  std::vector<std::string> only_rules;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  // post-suppression, post-fix
+  size_t files_scanned = 0;
+  size_t files_fixed = 0;
+  size_t suppressed = 0;
+};
+
+/// Lints one already-loaded file (no filesystem access). With
+/// `options.fix`, fixable rules are applied iteratively and
+/// `*fixed_content` (when non-null) receives the final text.
+LintResult LintContent(const std::string& path, const std::string& content,
+                       const LintOptions& options,
+                       std::string* fixed_content);
+
+/// Walks `paths` (files or directories; directories recurse over
+/// .h/.hpp/.cc/.cpp/.cxx, skipping build/, .git/ and fixtures/
+/// subtrees), lints every file, and applies fixes in place when
+/// `options.fix` is set. Explicitly named files are always linted,
+/// whatever their extension or location.
+LintResult LintPaths(const std::vector<std::string>& paths,
+                     const LintOptions& options);
+
+}  // namespace somr::lint

@@ -1,0 +1,67 @@
+// somr_lint — project-rule linter (DESIGN.md §11).
+//
+//   somr_lint src tools bench tests        # exit 1 on any violation
+//   somr_lint --fix src                    # apply mechanical fixes
+//   somr_lint --list-rules
+//   somr_lint --rule=pragma-once src      # run a single rule
+//
+// Suppress a finding with `// somr-lint: allow(<rule>)` on (or directly
+// above) the offending line, or `// somr-lint: allow-file(<rule>)`.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  somr::lint::LintOptions options;
+  std::vector<std::string> paths;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix") {
+      options.fix = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      options.only_rules.push_back(arg.substr(std::strlen("--rule=")));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--fix] [--list-rules] [--rule=<name>]... "
+          "<files-or-dirs>...\n",
+          argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const somr::lint::Rule& rule : somr::lint::Rules()) {
+      std::printf("%-24s %s%s\n", rule.name, rule.description,
+                  rule.fix != nullptr ? "  [fixable]" : "");
+    }
+    return 0;
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "no paths given (try --help)\n");
+    return 2;
+  }
+
+  somr::lint::LintResult result = somr::lint::LintPaths(paths, options);
+  for (const somr::lint::Diagnostic& d : result.diagnostics) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", d.file.c_str(), d.line,
+                 d.rule.c_str(), d.message.c_str());
+  }
+  std::printf(
+      "somr_lint: %zu files scanned, %zu fixed, %zu findings, "
+      "%zu suppressed\n",
+      result.files_scanned, result.files_fixed, result.diagnostics.size(),
+      result.suppressed);
+  return result.diagnostics.empty() ? 0 : 1;
+}

@@ -11,12 +11,14 @@
 #include <map>
 #include <optional>
 
+#include "common/check.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "core/change_classifier.h"
 #include "core/change_cube.h"
 #include "core/pipeline.h"
 #include "matching/graph_io.h"
+#include "matching/validate.h"
 #include "obs/cli.h"
 #include "obs/trace.h"
 #include "parallel/executor.h"
@@ -62,6 +64,10 @@ int main(int argc, char** argv) {
   flags.AddBool("in-memory", false,
                 "load the whole dump into RAM instead of streaming "
                 "<page> blocks");
+  flags.AddBool("validate", false,
+                "run the registered invariant validators over every "
+                "result (graph linearity, matching validity) and fail "
+                "on any violation");
   obs::CliObservability::AddFlags(flags);
 
   Status parsed = flags.Parse(argc, argv);
@@ -183,6 +189,29 @@ int main(int argc, char** argv) {
     }
     std::printf("identity graphs -> %s\n",
                 flags.GetString("graphs-out").c_str());
+  }
+
+  if (flags.GetBool("validate")) {
+    std::printf("validators:\n");
+    for (const ValidatorInfo& info : RegisteredValidators()) {
+      std::printf("  %-16s %s\n", info.name, info.description);
+    }
+    ValidationReport report;
+    matching::ValidateMatcherConfig(pipeline.config(), &report);
+    for (const core::PageResult& page : *results) {
+      for (extract::ObjectType type : kAllTypes) {
+        matching::ValidateIdentityGraph(page.GraphFor(type), &report);
+        matching::ValidateGraphAgainstHistory(page.GraphFor(type),
+                                              page.revisions, &report);
+      }
+    }
+    if (!report.ok()) {
+      std::fprintf(stderr, "validation FAILED (%zu issues):\n%s",
+                   report.issue_count(), report.ToString().c_str());
+      return 1;
+    }
+    std::printf("validation OK (%zu pages, %zu objects)\n",
+                results->size(), objects);
   }
 
   if (flags.GetBool("classify")) {
