@@ -123,6 +123,9 @@ std::string ScalingJson(const ScalingReport& report) {
   out << "\"parallel_scaling\": {\n";
   out << "    \"hardware_concurrency\": " << report.hardware_concurrency
       << ",\n";
+  if (report.hardware_concurrency <= 1) {
+    out << "    \"unreliable\": true,\n";
+  }
   out << "    \"pages\": " << report.pages << ",\n";
   auto emit_map = [&](const char* name, const std::vector<double>& seconds) {
     out << "    \"" << name << "\": {";
@@ -197,10 +200,23 @@ void PrintReport(const ScalingReport& report) {
   }
 }
 
+// All thread counts contend for the same core on a 1-core machine, so
+// the sweep cannot distinguish a scaling regression from scheduler
+// noise; the JSON is tagged so downstream comparisons skip it.
+void WarnIfUnreliable(const ScalingReport& report) {
+  if (report.hardware_concurrency > 1) return;
+  std::fprintf(stderr,
+               "*** WARNING: hardware_concurrency=%u -- thread-scaling "
+               "numbers are MEANINGLESS on this machine; the JSON report "
+               "is tagged \"unreliable\": true ***\n",
+               report.hardware_concurrency);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ScalingReport report = RunSweep();
+  WarnIfUnreliable(report);
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json") {
       std::string path = i + 1 < argc ? argv[i + 1] : "BENCH_matching.json";

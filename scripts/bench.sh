@@ -4,7 +4,9 @@
 # (ns/op for the similarity kernels and a full matching step, legacy vs
 # flat engine), then appends the executor thread-scaling sweep (per-page
 # and intra-step wall times at 1/2/4/8 workers, with the machine's
-# hardware_concurrency recorded alongside). Compare the file across
+# hardware_concurrency recorded alongside) and the candidate-generation
+# sweep (swept vs retrieval-index matching step at 10..10000 tracked
+# objects, merged under ns_per_op.candidate_gen). Compare the file across
 # commits to catch hot-path regressions — the observability layer must
 # stay within 2% when disabled.
 #
@@ -17,7 +19,12 @@ cd "$(dirname "$0")/.."
 export CMAKE_BUILD_PARALLEL_LEVEL="$JOBS"
 
 cmake --preset release
-cmake --build --preset release --target bench_micro_kernels bench_parallel_scaling
+cmake --build --preset release --target bench_micro_kernels \
+  bench_parallel_scaling bench_retrieval_index
+# Order matters: bench_micro_kernels writes the file fresh, the other two
+# merge their sections ("parallel_scaling" at the top level, then
+# "candidate_gen" inside "ns_per_op") into the existing report.
 build/release/bench/bench_micro_kernels --json BENCH_matching.json
 build/release/bench/bench_parallel_scaling --json BENCH_matching.json
+build/release/bench/bench_retrieval_index --json BENCH_matching.json
 echo "==> wrote BENCH_matching.json"

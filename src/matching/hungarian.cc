@@ -10,19 +10,48 @@ std::vector<std::pair<int, int>> MaxWeightMatching(
     const std::vector<WeightedEdge>& edges) {
   if (num_left == 0 || num_right == 0 || edges.empty()) return {};
 
+  // Only nodes touched by an edge can appear in the matching (padding
+  // costs 0 and the result filter below demands cost < 0), so the solve
+  // runs on the touched submatrix: with e edges it is O(e^3) regardless
+  // of how many candidate-free nodes the caller's id spaces hold. The
+  // ascending relabeling preserves the relative row/column order of the
+  // full matrix, so the solver walks the same sub-structure it would
+  // inside the padded solve.
+  std::vector<int> lefts, rights;
+  lefts.reserve(edges.size());
+  rights.reserve(edges.size());
+  for (const WeightedEdge& e : edges) {
+    if (e.left < 0 || static_cast<size_t>(e.left) >= num_left) continue;
+    if (e.right < 0 || static_cast<size_t>(e.right) >= num_right) continue;
+    lefts.push_back(e.left);
+    rights.push_back(e.right);
+  }
+  std::sort(lefts.begin(), lefts.end());
+  lefts.erase(std::unique(lefts.begin(), lefts.end()), lefts.end());
+  std::sort(rights.begin(), rights.end());
+  rights.erase(std::unique(rights.begin(), rights.end()), rights.end());
+  if (lefts.empty() || rights.empty()) return {};
+  const size_t compact_left = lefts.size();
+  const size_t compact_right = rights.size();
+
   // Square cost matrix (1-indexed), minimization of negated weights.
   // Padding rows/columns have cost 0, so leaving a node unmatched is
   // always an option.
-  const size_t n = std::max(num_left, num_right);
+  const size_t n = std::max(compact_left, compact_right);
   std::vector<std::vector<double>> cost(n + 1,
                                         std::vector<double>(n + 1, 0.0));
   for (const WeightedEdge& e : edges) {
     if (e.left < 0 || static_cast<size_t>(e.left) >= num_left) continue;
     if (e.right < 0 || static_cast<size_t>(e.right) >= num_right) continue;
+    const size_t li = static_cast<size_t>(
+        std::lower_bound(lefts.begin(), lefts.end(), e.left) -
+        lefts.begin());
+    const size_t ri = static_cast<size_t>(
+        std::lower_bound(rights.begin(), rights.end(), e.right) -
+        rights.begin());
     // Keep the best weight for duplicate pairs.
     double c = -e.weight;
-    double& slot = cost[static_cast<size_t>(e.left) + 1]
-                       [static_cast<size_t>(e.right) + 1];
+    double& slot = cost[li + 1][ri + 1];
     slot = std::min(slot, c);
   }
 
@@ -73,9 +102,8 @@ std::vector<std::pair<int, int>> MaxWeightMatching(
   for (size_t j = 1; j <= n; ++j) {
     size_t i = p[j];
     if (i == 0) continue;
-    if (i <= num_left && j <= num_right && cost[i][j] < 0.0) {
-      matching.emplace_back(static_cast<int>(i - 1),
-                            static_cast<int>(j - 1));
+    if (i <= compact_left && j <= compact_right && cost[i][j] < 0.0) {
+      matching.emplace_back(lefts[i - 1], rights[j - 1]);
     }
   }
   std::sort(matching.begin(), matching.end());

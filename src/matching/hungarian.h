@@ -19,9 +19,11 @@ struct WeightedEdge {
 /// must be positive; absent pairs are treated as weight 0 and never
 /// matched. Returns (left, right) index pairs.
 ///
-/// Used by every matching stage (Alg. 1 line 5). Complexity
-/// O((num_left + num_right)^3) — pages have at most a few dozen objects of
-/// one type, so this is well within budget (see Fig. 11 benches).
+/// Used by every matching stage (Alg. 1 line 5). The solve runs on the
+/// submatrix of nodes actually touched by an edge, so complexity is
+/// O(|edges|^3) in the worst case and independent of num_left/num_right
+/// — with the retrieval index shortlisting candidates, tracked-object
+/// counts far beyond a page's usual few dozen stay within budget.
 std::vector<std::pair<int, int>> MaxWeightMatching(
     size_t num_left, size_t num_right,
     const std::vector<WeightedEdge>& edges);

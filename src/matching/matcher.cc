@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/executor.h"
+#include "retrieval/shape.h"
 
 namespace somr::matching {
 
@@ -39,10 +40,14 @@ struct MatcherMetrics {
   obs::Counter* similarities;
   obs::Counter* pairs_pruned;
   obs::Counter* pairs_blocked;
+  obs::Counter* pairs_shape_filtered;
   obs::Counter* stage1_matches;
   obs::Counter* stage2_matches;
   obs::Counter* stage3_matches;
   obs::Counter* new_objects;
+  obs::Counter* retrieval_postings;
+  obs::Counter* retrieval_pruned;
+  obs::Counter* retrieval_wand_skips;
   obs::Histogram* step_seconds;
 };
 
@@ -68,6 +73,18 @@ MatcherMetrics& GetMatcherMetrics() {
                                      "edges accepted in stage 3 (relaxed)");
     m->new_objects = r.GetCounter("somr_match_new_objects_total",
                                   "instances that started a new object");
+    m->pairs_shape_filtered =
+        r.GetCounter("somr_match_pairs_shape_filtered_total",
+                     "pairs filtered by the structural-skeleton signature");
+    m->retrieval_postings =
+        r.GetCounter("somr_retrieval_postings_total",
+                     "inverted-index postings scanned by retrieval");
+    m->retrieval_pruned =
+        r.GetCounter("somr_retrieval_candidates_pruned_total",
+                     "retrieval candidates rejected by the theta bound");
+    m->retrieval_wand_skips =
+        r.GetCounter("somr_retrieval_wand_skips_total",
+                     "postings skipped by WAND early termination");
     m->step_seconds = r.GetHistogram(
         "somr_match_step_seconds", "wall time of one matching step", 1e-6,
         2.0, 24);
@@ -145,63 +162,52 @@ double TemporalMatcher::TieBreakBonus(const Tracked& tracked,
   return position_part + lifetime_part;
 }
 
-template <typename SimFn, typename AllowFn, typename PrefillFn,
+template <typename EnumerateFn, typename SimFn, typename PrefillFn,
           typename DescribeFn>
 void TemporalMatcher::RunStages(
     int revision_index, const std::vector<extract::ObjectInstance>& instances,
-    SimFn&& sim_at_least, AllowFn&& pair_allowed, PrefillFn&& prefill,
-    DescribeFn&& describe_pair, std::vector<int64_t>& assignment) {
+    EnumerateFn&& enumerate, SimFn&& sim_at_least, PrefillFn&& prefill,
+    DescribeFn&& describe_pair, std::vector<int64_t>& assignment,
+    std::vector<uint32_t>& considered_per_ni) {
   std::vector<bool> tracked_matched(tracked_.size(), false);
   std::vector<bool> incoming_matched(instances.size(), false);
 
-  struct Stage {
-    bool local_only;
-    sim::SimilarityKind kind;
-    double threshold;
-    size_t* match_counter;
-    int number;             // 1..3, reported in provenance records
-    const char* span_name;  // static, for SOMR_TRACE_SCOPE
-  };
-  std::vector<Stage> stages;
+  std::vector<StageSpec> stages;
   if (config_.enable_stage1 && config_.use_spatial_features) {
-    stages.push_back({true, sim::SimilarityKind::kStrict, config_.theta1,
-                      &stats_.stage1_matches, 1, "match/stage1"});
+    stages.push_back({1, true, sim::SimilarityKind::kStrict, config_.theta1,
+                      &stats_.stage1_matches, "match/stage1"});
   }
   if (config_.enable_stage2) {
-    stages.push_back({false, sim::SimilarityKind::kStrict, config_.theta2,
-                      &stats_.stage2_matches, 2, "match/stage2"});
+    stages.push_back({2, false, sim::SimilarityKind::kStrict, config_.theta2,
+                      &stats_.stage2_matches, "match/stage2"});
   }
   if (config_.enable_stage3) {
-    stages.push_back({false, sim::SimilarityKind::kRelaxed, config_.theta3,
-                      &stats_.stage3_matches, 3, "match/stage3"});
+    stages.push_back({3, false, sim::SimilarityKind::kRelaxed, config_.theta3,
+                      &stats_.stage3_matches, "match/stage3"});
   }
 
   // Candidate pairs and their stage similarities, reused across stages.
   std::vector<StagePair> cands;
   std::vector<double> stage_sims;
+  // Per-stage candidate count of each incoming instance, kept only while
+  // a provenance sink is attached (pair records report the stage-local
+  // count; considered_per_ni accumulates across stages).
+  std::vector<uint32_t> stage_considered;
 
-  for (const Stage& stage : stages) {
+  for (const StageSpec& stage : stages) {
     SOMR_TRACE_SCOPE_CAT("match", stage.span_name);
     // Enumerate this stage's candidate pairs in (ti, ni) order — the
     // order every later step (prefill or lazy sims, edge building, the
     // assignment solve) inherits, which is what keeps the parallel and
-    // sequential paths byte-identical.
+    // sequential paths byte-identical. The enumerator is either the full
+    // sweep or the retrieval-index shortlist; both emit the same order.
     cands.clear();
-    for (size_t ti = 0; ti < tracked_.size(); ++ti) {
-      if (tracked_matched[ti]) continue;
-      for (size_t ni = 0; ni < instances.size(); ++ni) {
-        if (incoming_matched[ni]) continue;
-        if (stage.local_only) {
-          int diff = std::abs(tracked_[ti].last_position -
-                              instances[ni].position);
-          if (diff > config_.theta_pos) continue;
-        } else if (!pair_allowed(ti, ni)) {
-          ++stats_.pairs_blocked;
-          continue;
-        }
-        cands.push_back({static_cast<uint32_t>(ti),
-                         static_cast<uint32_t>(ni)});
-      }
+    enumerate(stage, tracked_matched, incoming_matched, &cands);
+    last_step_candidates_ += cands.size();
+    for (const StagePair& p : cands) ++considered_per_ni[p.incoming];
+    if (provenance_ != nullptr) {
+      stage_considered.assign(instances.size(), 0);
+      for (const StagePair& p : cands) ++stage_considered[p.incoming];
     }
     if (cands.empty()) continue;
 
@@ -280,6 +286,8 @@ void TemporalMatcher::RunStages(
         d.position = instances[ni].position;
         d.similarity = edge_sims[e];
         d.threshold = stage.threshold;
+        d.candidates_considered =
+            static_cast<int64_t>(stage_considered[ni]);
         TieBreakParts(tracked_[ti], instances[ni].position, revision_index,
                       &d.tiebreak_position, &d.tiebreak_lifetime);
         describe_pair(stage.kind, ti, ni, &d);
@@ -293,7 +301,8 @@ void TemporalMatcher::RunStages(
 template <typename AppendFn>
 void TemporalMatcher::CommitAssignments(
     int revision_index, const std::vector<extract::ObjectInstance>& instances,
-    const std::vector<int64_t>& assignment, AppendFn&& append_bag) {
+    const std::vector<int64_t>& assignment,
+    const std::vector<uint32_t>& considered_per_ni, AppendFn&& append_bag) {
   for (size_t ni = 0; ni < instances.size(); ++ni) {
     VersionRef ref{revision_index, instances[ni].position};
     int64_t object_id = assignment[ni];
@@ -311,6 +320,8 @@ void TemporalMatcher::CommitAssignments(
         d.revision = revision_index;
         d.object_id = object_id;
         d.position = instances[ni].position;
+        d.candidates_considered =
+            static_cast<int64_t>(considered_per_ni[ni]);
         d.reason = "new_object";
         provenance_->Record(d);
       }
@@ -321,6 +332,7 @@ void TemporalMatcher::CommitAssignments(
     // Object ids are assigned sequentially, so they index tracked_.
     Tracked& t = tracked_[static_cast<size_t>(object_id)];
     append_bag(t, ni);
+    t.newest_shape = retrieval::ShapeSignature(instances[ni]);
     t.last_position = instances[ni].position;
     t.last_revision = revision_index;
   }
@@ -339,7 +351,11 @@ void TemporalMatcher::ProcessRevision(
   const size_t stage2_before = stats_.stage2_matches;
   const size_t stage3_before = stats_.stage3_matches;
   const size_t new_objects_before = stats_.new_objects;
+  const size_t shape_filtered_before = stats_.pairs_shape_filtered;
   const size_t tracked_before = tracked_.size();
+  const retrieval::RetrievalStats retrieval_before =
+      index_ != nullptr ? index_->stats() : retrieval::RetrievalStats{};
+  last_step_candidates_ = 0;
 
   // Position ranks are normally dense 0..n-1 (see the ProcessRevision
   // contract), but the matcher tolerates buggy callers passing
@@ -379,6 +395,17 @@ void TemporalMatcher::ProcessRevision(
   bump(metrics.stage2_matches, stats_.stage2_matches, stage2_before);
   bump(metrics.stage3_matches, stats_.stage3_matches, stage3_before);
   bump(metrics.new_objects, stats_.new_objects, new_objects_before);
+  bump(metrics.pairs_shape_filtered, stats_.pairs_shape_filtered,
+       shape_filtered_before);
+  if (index_ != nullptr) {
+    const retrieval::RetrievalStats& r = index_->stats();
+    bump(metrics.retrieval_postings, r.postings_scanned,
+         retrieval_before.postings_scanned);
+    bump(metrics.retrieval_pruned, r.candidates_pruned,
+         retrieval_before.candidates_pruned);
+    bump(metrics.retrieval_wand_skips, r.wand_skips,
+         retrieval_before.wand_skips);
+  }
 
   if (provenance_ != nullptr) {
     obs::MatchDecision d;
@@ -390,6 +417,7 @@ void TemporalMatcher::ProcessRevision(
     d.pairs_blocked = stats_.pairs_blocked - blocked_before;
     d.tracked_objects = tracked_before;
     d.incoming_instances = instances.size();
+    d.candidates_considered = static_cast<int64_t>(last_step_candidates_);
     provenance_->Record(d);
   }
 
@@ -420,17 +448,34 @@ void TemporalMatcher::ProcessRevisionFlat(
     incoming.push_back(extract::BuildFlatBag(obj, pool_, config_.features));
   }
 
-  // Dense token weighting for this step (Sec. IV-B2).
+  // Lazily build the retrieval index the first time an indexed step runs
+  // (also rebuilt by the snapshot loader; see RebuildDerivedState).
+  const bool use_index = config_.enable_retrieval_index;
+  if (use_index && index_ == nullptr) RebuildDerivedState();
+
+  // Dense token weighting for this step (Sec. IV-B2). The indexed path
+  // maintains the previous-version document frequencies incrementally
+  // (updated as windows roll forward in CommitAssignments) and only
+  // overlays the incoming side per step; the values are bit-identical to
+  // the batch rebuild the swept path runs.
   if (config_.use_idf_weighting) {
-    std::vector<const FlatBag*> prev_bags;
-    prev_bags.reserve(nt);
-    for (const Tracked& t : tracked_) {
-      if (!t.recent_flat.empty()) prev_bags.push_back(&t.recent_flat.back());
+    if (use_index) {
+      std::vector<const FlatBag*> new_bags;
+      new_bags.reserve(nn);
+      for (const FlatBag& bag : incoming) new_bags.push_back(&bag);
+      weights_.BeginIncrementalStep(new_bags,
+                                    static_cast<uint32_t>(pool_.size()));
+    } else {
+      std::vector<const FlatBag*> prev_bags;
+      prev_bags.reserve(nt);
+      for (const Tracked& t : tracked_) {
+        if (!t.recent_flat.empty()) prev_bags.push_back(&t.recent_flat.back());
+      }
+      std::vector<const FlatBag*> new_bags;
+      new_bags.reserve(nn);
+      for (const FlatBag& bag : incoming) new_bags.push_back(&bag);
+      weights_.BuildInverseObjectFrequency(prev_bags, new_bags, pool_.size());
     }
-    std::vector<const FlatBag*> new_bags;
-    new_bags.reserve(nn);
-    for (const FlatBag& bag : incoming) new_bags.push_back(&bag);
-    weights_.BuildInverseObjectFrequency(prev_bags, new_bags, pool_.size());
   } else {
     weights_.BuildUniform();
   }
@@ -441,18 +486,46 @@ void TemporalMatcher::ProcessRevisionFlat(
   for (size_t ni = 0; ni < nn; ++ni) {
     incoming_total[ni] = sim::WeightedTotal(incoming[ni], weights_);
   }
-  std::vector<size_t> hist_offset(nt + 1, 0);  // CSR over history bags
-  for (size_t ti = 0; ti < nt; ++ti) {
-    hist_offset[ti + 1] = hist_offset[ti] + tracked_[ti].recent_flat.size();
-  }
-  std::vector<double> hist_total(hist_offset[nt]);
-  for (size_t ti = 0; ti < nt; ++ti) {
-    const Tracked& t = tracked_[ti];
-    for (size_t h = 0; h < t.recent_flat.size(); ++h) {
-      hist_total[hist_offset[ti] + h] =
-          sim::WeightedTotal(t.recent_flat[h], weights_);
+  // History totals. The swept path precomputes a dense CSR (every pair
+  // reads every history bag anyway); the indexed path fills a lazily
+  // stamped per-object row instead, so only retrieval survivors pay.
+  // ensure_hist must be called (sequentially) for every tracked object a
+  // stage can touch before sims run — the parallel prefill only reads.
+  std::vector<size_t> hist_offset;
+  std::vector<double> hist_total;
+  if (!use_index) {
+    hist_offset.assign(nt + 1, 0);  // CSR over history bags
+    for (size_t ti = 0; ti < nt; ++ti) {
+      hist_offset[ti + 1] = hist_offset[ti] + tracked_[ti].recent_flat.size();
+    }
+    hist_total.resize(hist_offset[nt]);
+    for (size_t ti = 0; ti < nt; ++ti) {
+      const Tracked& t = tracked_[ti];
+      for (size_t h = 0; h < t.recent_flat.size(); ++h) {
+        hist_total[hist_offset[ti] + h] =
+            sim::WeightedTotal(t.recent_flat[h], weights_);
+      }
+    }
+  } else {
+    ++step_serial_;
+    if (hist_total_stamp_.size() < nt) hist_total_stamp_.resize(nt, 0);
+    if (hist_total_cache_.size() < nt * window) {
+      hist_total_cache_.resize(nt * window, 0.0);
     }
   }
+  auto ensure_hist = [&](size_t ti) {
+    if (hist_total_stamp_[ti] == step_serial_) return;
+    hist_total_stamp_[ti] = step_serial_;
+    const Tracked& t = tracked_[ti];
+    double* row = &hist_total_cache_[ti * window];
+    for (size_t h = 0; h < t.recent_flat.size(); ++h) {
+      row[h] = sim::WeightedTotal(t.recent_flat[h], weights_);
+    }
+  };
+  auto hist_at = [&](size_t ti, size_t h) {
+    return use_index ? hist_total_cache_[ti * window + h]
+                     : hist_total[hist_offset[ti] + h];
+  };
 
   // Optional LSH candidate blocking for the non-local stages.
   std::vector<char> lsh_mask;  // empty = all pairs allowed
@@ -497,7 +570,7 @@ void TemporalMatcher::ProcessRevisionFlat(
           bound, decay * sim::SimilarityUpperBound(
                              sim::SimilarityKind::kStrict,
                              t.recent_flat[h].empty(), cand_empty,
-                             hist_total[hist_offset[ti] + h], wb));
+                             hist_at(ti, h), wb));
       decay *= config_.decay;
     }
     return bound;
@@ -521,7 +594,7 @@ void TemporalMatcher::ProcessRevisionFlat(
       if (decay <= best) break;  // sims <= 1: no later version can win
       const size_t h = hist - 1 - back;
       const FlatBag& version = t.recent_flat[h];
-      const double wa = hist_total[hist_offset[ti] + h];
+      const double wa = hist_at(ti, h);
       double cap = sim::SimilarityUpperBound(kind, version.empty(),
                                              cand.empty(), wa, wb);
       if (decay * cap > best) {
@@ -629,7 +702,7 @@ void TemporalMatcher::ProcessRevisionFlat(
       const size_t h = hist - 1 - back;
       double s = decay * sim::SimilarityFromTotals(
                              kind, t.recent_flat[h], cand, weights_,
-                             hist_total[hist_offset[ti] + h], wb);
+                             hist_at(ti, h), wb);
       if (s > best) {
         best = s;
         best_depth = static_cast<int>(back);
@@ -640,9 +713,203 @@ void TemporalMatcher::ProcessRevisionFlat(
     d->rear_view_len = static_cast<int>(considered);
   };
 
+  // ---- Retrieval-index candidate generation (Sec. IV-B4, DESIGN.md §12).
+  // One index walk per incoming instance replaces the all-pairs sweep:
+  // the walk upper-bounds each object's weighted overlap against every
+  // live window version, and a decayed totals bound derived from it
+  // filters at the lowest threshold either similarity kind still needs.
+  // Filters subtract kBoundSlack so floating-point reassociation between
+  // the index accumulation order and the merge-join order can never drop
+  // a pair the sweep would have scored at or above a threshold — which
+  // is what keeps swept and indexed identity graphs byte-identical.
+  constexpr double kBoundSlack = 1e-9;
+  const bool stage1_on = config_.enable_stage1 && config_.use_spatial_features;
+  const bool strict_active = stage1_on || config_.enable_stage2;
+  double strict_theta = std::numeric_limits<double>::infinity();
+  if (stage1_on) strict_theta = std::min(strict_theta, config_.theta1);
+  if (config_.enable_stage2) {
+    strict_theta = std::min(strict_theta, config_.theta2);
+  }
+  const double relaxed_theta = config_.theta3;
+  // A non-positive threshold keeps every pair, so that kind falls back
+  // to the full sweep (the index can only help when the bound prunes).
+  const bool strict_indexed = use_index && strict_active && strict_theta > 0.0;
+  const bool relaxed_indexed =
+      use_index && config_.enable_stage3 && relaxed_theta > 0.0;
+
+  // Decayed rear-view similarity upper bound from the retrieval overlap
+  // bound: per window version, overlap <= min(ov_bound, Wa, Wb) and both
+  // measures are monotone in the overlap at fixed totals.
+  auto indexed_bound = [&](sim::SimilarityKind kind, size_t ti, size_t ni,
+                           double ov_bound) {
+    const Tracked& t = tracked_[ti];
+    const size_t hist = t.recent_flat.size();
+    const bool cand_empty = incoming[ni].empty();
+    const double wb = incoming_total[ni];
+    double bound = 0.0;
+    double decay = 1.0;
+    size_t considered = 0;
+    for (size_t back = 0; back < hist && considered < sim_window;
+         ++back, ++considered) {
+      if (decay <= bound) break;  // phi^i decreasing, ratios <= 1
+      const size_t h = hist - 1 - back;
+      const bool version_empty = t.recent_flat[h].empty();
+      const double wa = hist_at(ti, h);
+      double vb;
+      if (version_empty || cand_empty) {
+        vb = sim::SimilarityUpperBound(kind, version_empty, cand_empty, wa,
+                                       wb);
+      } else {
+        const double m = std::min(ov_bound, std::min(wa, wb));
+        if (kind == sim::SimilarityKind::kStrict) {
+          const double denom = wa + wb - m;
+          vb = denom > 0.0 ? m / denom : 0.0;
+        } else {
+          const double smaller = std::min(wa, wb);
+          vb = smaller > 0.0 ? std::min(1.0, m / smaller) : 0.0;
+        }
+      }
+      bound = std::max(bound, decay * vb);
+      decay *= config_.decay;
+    }
+    return bound;
+  };
+
+  // Per-kind survivor lists, one per incoming instance, each entry the
+  // object id plus its decayed bound (stages re-filter at their own
+  // threshold, so stage 1 at theta1 reuses the walk done at min-theta).
+  struct IndexedCand {
+    uint32_t tracked = 0;
+    double bound = 0.0;
+  };
+  std::vector<std::vector<IndexedCand>> strict_cands;
+  std::vector<std::vector<IndexedCand>> relaxed_cands;
+  if (strict_indexed || relaxed_indexed) {
+    if (strict_indexed) strict_cands.resize(nn);
+    if (relaxed_indexed) relaxed_cands.resize(nn);
+    retrieval::RetrievalResult rr;
+    std::vector<uint32_t> empty_objects;
+    bool empty_ready = false;
+    uint64_t bound_pruned = 0;
+    auto consider = [&](size_t ni, uint32_t obj, double ov_bound) {
+      ensure_hist(obj);
+      if (strict_indexed) {
+        const double b =
+            indexed_bound(sim::SimilarityKind::kStrict, obj, ni, ov_bound);
+        if (b >= strict_theta - kBoundSlack) {
+          strict_cands[ni].push_back({obj, b});
+        } else {
+          ++bound_pruned;
+        }
+      }
+      if (relaxed_indexed) {
+        const double b =
+            indexed_bound(sim::SimilarityKind::kRelaxed, obj, ni, ov_bound);
+        if (b >= relaxed_theta - kBoundSlack) {
+          relaxed_cands[ni].push_back({obj, b});
+        } else {
+          ++bound_pruned;
+        }
+      }
+    };
+    for (size_t ni = 0; ni < nn; ++ni) {
+      if (incoming[ni].empty()) {
+        // An empty instance overlaps nothing; only objects with an empty
+        // live version can score (empty vs empty is similarity 1, any
+        // non-empty version scores 0 against it in both measures).
+        if (!empty_ready) {
+          index_->ValidEmptyObjects(&empty_objects);
+          empty_ready = true;
+        }
+        for (uint32_t obj : empty_objects) consider(ni, obj, 0.0);
+        continue;
+      }
+      // When stage 3 participates, one full walk serves both kinds
+      // (containment has no query-side cap, so no early exit); a
+      // strict-only configuration walks with WAND early termination.
+      index_->RetrieveOverlaps(incoming[ni], weights_, incoming_total[ni],
+                               strict_theta,
+                               /*allow_early_exit=*/!relaxed_indexed, &rr);
+      for (const retrieval::Candidate& c : rr.candidates) {
+        consider(ni, c.object, c.overlap_bound + rr.slack);
+      }
+    }
+    index_->mutable_stats()->candidates_pruned += bound_pruned;
+  }
+
+  // Shape-signature pre-filter (approximate; see MatcherConfig).
+  const bool shape_on = config_.enable_shape_prefilter;
+  std::vector<uint64_t> incoming_shapes;
+  if (shape_on) {
+    incoming_shapes.reserve(nn);
+    for (const extract::ObjectInstance& obj : instances) {
+      incoming_shapes.push_back(retrieval::ShapeSignature(obj));
+    }
+  }
+  // Shared per-pair stage filters: stage 1's positional neighborhood or
+  // the LSH mask, then the shape filter — identical for the swept and
+  // indexed enumerators, so the two paths reject the same pairs.
+  auto pair_passes = [&](const StageSpec& stage, size_t ti, size_t ni) {
+    if (stage.local_only) {
+      int diff =
+          std::abs(tracked_[ti].last_position - instances[ni].position);
+      if (diff > config_.theta_pos) return false;
+    } else if (!pair_allowed(ti, ni)) {
+      ++stats_.pairs_blocked;
+      return false;
+    }
+    if (shape_on && tracked_[ti].newest_shape != incoming_shapes[ni]) {
+      ++stats_.pairs_shape_filtered;
+      return false;
+    }
+    return true;
+  };
+  auto enumerate = [&](const StageSpec& stage,
+                       const std::vector<bool>& tracked_matched,
+                       const std::vector<bool>& incoming_matched,
+                       std::vector<StagePair>* cands) {
+    const bool kind_indexed = stage.kind == sim::SimilarityKind::kStrict
+                                  ? strict_indexed
+                                  : relaxed_indexed;
+    if (kind_indexed) {
+      const std::vector<std::vector<IndexedCand>>& per_ni =
+          stage.kind == sim::SimilarityKind::kStrict ? strict_cands
+                                                     : relaxed_cands;
+      for (size_t ni = 0; ni < nn; ++ni) {
+        if (incoming_matched[ni]) continue;
+        for (const IndexedCand& c : per_ni[ni]) {
+          const size_t ti = c.tracked;
+          if (tracked_matched[ti]) continue;
+          if (c.bound < stage.threshold - kBoundSlack) continue;
+          if (!pair_passes(stage, ti, ni)) continue;
+          cands->push_back({c.tracked, static_cast<uint32_t>(ni)});
+        }
+      }
+      // The survivor lists are per-instance; restore the (ti, ni) order
+      // the downstream stages (and the swept path) rely on.
+      std::sort(cands->begin(), cands->end(),
+                [](const StagePair& a, const StagePair& b) {
+                  return a.tracked != b.tracked ? a.tracked < b.tracked
+                                                : a.incoming < b.incoming;
+                });
+      return;
+    }
+    for (size_t ti = 0; ti < nt; ++ti) {
+      if (tracked_matched[ti]) continue;
+      if (use_index) ensure_hist(ti);  // swept stage inside an indexed step
+      for (size_t ni = 0; ni < nn; ++ni) {
+        if (incoming_matched[ni]) continue;
+        if (!pair_passes(stage, ti, ni)) continue;
+        cands->push_back(
+            {static_cast<uint32_t>(ti), static_cast<uint32_t>(ni)});
+      }
+    }
+  };
+
   std::vector<int64_t> assignment(nn, -1);
-  RunStages(revision_index, instances, sim_at_least, pair_allowed,
-            prefill, describe_pair, assignment);
+  std::vector<uint32_t> considered_per_ni(nn, 0);
+  RunStages(revision_index, instances, enumerate, sim_at_least, prefill,
+            describe_pair, assignment, considered_per_ni);
 #ifndef NDEBUG
   {
     ValidationReport report;
@@ -650,10 +917,25 @@ void TemporalMatcher::ProcessRevisionFlat(
     SOMR_CHECK(report.ok()) << report.ToString();
   }
 #endif
+  const bool incremental_weights = use_index && config_.use_idf_weighting;
   CommitAssignments(
-      revision_index, instances, assignment, [&](Tracked& t, size_t ni) {
+      revision_index, instances, assignment, considered_per_ni,
+      [&](Tracked& t, size_t ni) {
+        // Keep the incremental previous-version document frequencies in
+        // lockstep with the newest window bag of each touched object.
+        if (incremental_weights && !t.recent_flat.empty()) {
+          weights_.RemovePrevBag(t.recent_flat.back());
+        }
         t.recent_flat.push_back(std::move(incoming[ni]));
-        while (t.recent_flat.size() > window) t.recent_flat.pop_front();
+        if (use_index) {
+          index_->AppendBag(static_cast<uint32_t>(t.id),
+                            t.recent_flat.back());
+        }
+        while (t.recent_flat.size() > window) {
+          if (use_index) index_->NoteEviction(t.recent_flat.front());
+          t.recent_flat.pop_front();
+        }
+        if (incremental_weights) weights_.AddPrevBag(t.recent_flat.back());
         if (config_.enable_lsh_blocking) {
           t.newest_sig = sim::ComputeMinHash(
               t.recent_flat.back(), config_.lsh_bands * config_.lsh_rows);
@@ -706,7 +988,39 @@ void TemporalMatcher::ProcessRevisionLegacy(
     return s;
   };
 
-  auto pair_allowed = [](size_t, size_t) { return true; };
+  // The legacy reference engine always enumerates the full sweep (no
+  // LSH, no retrieval index) but honors the same shape pre-filter as the
+  // flat engine so the two stay equivalent under every config.
+  const bool shape_on = config_.enable_shape_prefilter;
+  std::vector<uint64_t> incoming_shapes;
+  if (shape_on) {
+    incoming_shapes.reserve(nn);
+    for (const extract::ObjectInstance& obj : instances) {
+      incoming_shapes.push_back(retrieval::ShapeSignature(obj));
+    }
+  }
+  auto enumerate = [&](const StageSpec& stage,
+                       const std::vector<bool>& tracked_matched,
+                       const std::vector<bool>& incoming_matched,
+                       std::vector<StagePair>* cands) {
+    for (size_t ti = 0; ti < tracked_.size(); ++ti) {
+      if (tracked_matched[ti]) continue;
+      for (size_t ni = 0; ni < nn; ++ni) {
+        if (incoming_matched[ni]) continue;
+        if (stage.local_only) {
+          int diff = std::abs(tracked_[ti].last_position -
+                              instances[ni].position);
+          if (diff > config_.theta_pos) continue;
+        }
+        if (shape_on && tracked_[ti].newest_shape != incoming_shapes[ni]) {
+          ++stats_.pairs_shape_filtered;
+          continue;
+        }
+        cands->push_back(
+            {static_cast<uint32_t>(ti), static_cast<uint32_t>(ni)});
+      }
+    }
+  };
 
   // The legacy reference engine always runs the lazy sequential path.
   auto prefill = [](sim::SimilarityKind, double,
@@ -738,8 +1052,9 @@ void TemporalMatcher::ProcessRevisionLegacy(
   };
 
   std::vector<int64_t> assignment(nn, -1);
-  RunStages(revision_index, instances, sim_at_least, pair_allowed,
-            prefill, describe_pair, assignment);
+  std::vector<uint32_t> considered_per_ni(nn, 0);
+  RunStages(revision_index, instances, enumerate, sim_at_least, prefill,
+            describe_pair, assignment, considered_per_ni);
 #ifndef NDEBUG
   {
     ValidationReport report;
@@ -748,10 +1063,36 @@ void TemporalMatcher::ProcessRevisionLegacy(
   }
 #endif
   CommitAssignments(
-      revision_index, instances, assignment, [&](Tracked& t, size_t ni) {
+      revision_index, instances, assignment, considered_per_ni,
+      [&](Tracked& t, size_t ni) {
         t.recent_bags.push_back(std::move(incoming_bags[ni]));
         while (t.recent_bags.size() > window) t.recent_bags.pop_front();
       });
+}
+
+void TemporalMatcher::RebuildDerivedState() {
+  index_.reset();
+  hist_total_cache_.clear();
+  hist_total_stamp_.clear();
+  step_serial_ = 0;
+  if (!config_.use_flat_kernels || !config_.enable_retrieval_index) return;
+  const size_t window =
+      static_cast<size_t>(std::max(config_.rear_view_window, 1));
+  index_ = std::make_unique<retrieval::CandidateIndex>(window);
+  for (size_t ti = 0; ti < tracked_.size(); ++ti) {
+    for (const FlatBag& bag : tracked_[ti].recent_flat) {
+      index_->AppendBag(static_cast<uint32_t>(ti), bag);
+    }
+  }
+  if (config_.use_idf_weighting) {
+    // Seed the incremental previous-version document frequencies from
+    // the newest window bag of every tracked object (exactly the
+    // prev-side the batch builder would count).
+    weights_.ResetIncremental(static_cast<uint32_t>(pool_.size()));
+    for (const Tracked& t : tracked_) {
+      if (!t.recent_flat.empty()) weights_.AddPrevBag(t.recent_flat.back());
+    }
+  }
 }
 
 PageMatcher::PageMatcher(MatcherConfig config)

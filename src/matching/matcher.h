@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "matching/identity_graph.h"
 #include "matching/interface.h"
 #include "obs/provenance.h"
+#include "retrieval/candidate_index.h"
 #include "sim/minhash.h"
 #include "sim/similarity.h"
 #include "text/bag_of_words.h"
@@ -87,6 +89,26 @@ struct MatcherConfig {
   /// and deliberately excluded from the snapshot config fingerprint.
   bool enable_parallel_stages = true;
   size_t parallel_min_pairs = 4096;
+  /// Inverted-index candidate retrieval (flat engine): each incoming
+  /// instance retrieves the tracked objects it shares tokens with from
+  /// an incremental inverted index (WAND-style early termination, see
+  /// src/retrieval/), instead of every stage sweeping all tracked
+  /// objects. Exact — candidates are filtered with sound upper bounds,
+  /// so identity graphs, stage counts and new-object counts are
+  /// byte-identical to the sweep; only work-rate counters
+  /// (similarities_computed, pairs_pruned/blocked) differ. Perf-only,
+  /// hence excluded from the snapshot config fingerprint like the
+  /// parallel knobs; the index itself is rebuilt from the rear-view
+  /// windows on snapshot restore rather than serialized.
+  bool enable_retrieval_index = true;
+  /// Structural-skeleton pre-filter (both engines): skip candidate pairs
+  /// whose shape signatures (object type + log-bucketed row count / row
+  /// width / schema size, src/retrieval/shape.h) differ, before any
+  /// bag-of-words scoring. APPROXIMATE: an object that changes shape
+  /// between revisions can lose its match (split identity), so this is
+  /// off by default and participates in the snapshot config fingerprint
+  /// like the LSH knobs.
+  bool enable_shape_prefilter = false;
   /// Bag-of-words construction options.
   extract::FeatureOptions features;
 };
@@ -111,6 +133,9 @@ struct MatchStats {
   size_t pairs_pruned = 0;
   /// Pairs never compared because LSH blocking filtered them.
   size_t pairs_blocked = 0;
+  /// Pairs never compared because the structural-skeleton pre-filter
+  /// (enable_shape_prefilter) rejected them.
+  size_t pairs_shape_filtered = 0;
 };
 
 /// Matches the object instances of one object type on one page across its
@@ -168,9 +193,21 @@ class TemporalMatcher : public RevisionMatcher {
     std::deque<BagOfWords> recent_bags;  // legacy engine: oldest..newest
     std::deque<FlatBag> recent_flat;     // flat engine: oldest..newest
     sim::MinHashSignature newest_sig;    // only kept for LSH blocking
+    uint64_t newest_shape = 0;           // shape signature, newest version
     int last_position = 0;
     int first_revision = 0;
     int last_revision = 0;
+  };
+
+  /// One matching stage's parameters, shared between the stage loop and
+  /// the candidate enumerators.
+  struct StageSpec {
+    int number = 0;             // 1..3, for stats and provenance
+    bool local_only = false;    // stage 1: positional neighborhood only
+    sim::SimilarityKind kind = sim::SimilarityKind::kStrict;
+    double threshold = 0.0;
+    size_t* match_counter = nullptr;  // stats_.stageN_matches
+    const char* span_name = "";       // static, for SOMR_TRACE_SCOPE
   };
 
   void ProcessRevisionFlat(
@@ -181,23 +218,28 @@ class TemporalMatcher : public RevisionMatcher {
       const std::vector<extract::ObjectInstance>& instances);
 
   /// Runs the enabled matching stages over the unmatched pairs.
-  /// `sim_at_least(kind, threshold, ti, ni)` returns the exact decayed
-  /// similarity, or -infinity when the pair is provably below
-  /// `threshold`; `pair_allowed(ti, ni)` gates the non-local stages
-  /// (LSH blocking); `prefill(kind, threshold, pairs, out)` may fill
+  /// `enumerate(stage, tracked_matched, incoming_matched, &pairs)` fills
+  /// `pairs` with the stage's candidate pairs in ascending (tracked,
+  /// incoming) order — either the full sweep or the retrieval-index
+  /// shortlist; `sim_at_least(kind, threshold, ti, ni)` returns the
+  /// exact decayed similarity, or -infinity when the pair is provably
+  /// below `threshold`; `prefill(kind, threshold, pairs, out)` may fill
   /// `out[k]` with the sim_at_least value of `pairs[k]` for the whole
   /// stage at once (the intra-step parallel path) and return true, or
   /// return false to keep the lazy per-pair path; `describe_pair(kind,
   /// ti, ni, &decision)` fills the rear-view fields of a provenance
   /// record (called only for candidate edges, and only while a
-  /// provenance sink is attached).
-  template <typename SimFn, typename AllowFn, typename PrefillFn,
+  /// provenance sink is attached). `considered_per_ni` accumulates how
+  /// many candidate pairs each incoming instance appeared in across all
+  /// stages (provenance: candidates_considered).
+  template <typename EnumerateFn, typename SimFn, typename PrefillFn,
             typename DescribeFn>
   void RunStages(int revision_index,
                  const std::vector<extract::ObjectInstance>& instances,
-                 SimFn&& sim_at_least, AllowFn&& pair_allowed,
+                 EnumerateFn&& enumerate, SimFn&& sim_at_least,
                  PrefillFn&& prefill, DescribeFn&& describe_pair,
-                 std::vector<int64_t>& assignment);
+                 std::vector<int64_t>& assignment,
+                 std::vector<uint32_t>& considered_per_ni);
 
   /// Applies `assignment` to the graph: appends matched instances to
   /// their objects, creates new objects for the rest (Alg. 1 line 7),
@@ -207,7 +249,17 @@ class TemporalMatcher : public RevisionMatcher {
   void CommitAssignments(
       int revision_index,
       const std::vector<extract::ObjectInstance>& instances,
-      const std::vector<int64_t>& assignment, AppendFn&& append_bag);
+      const std::vector<int64_t>& assignment,
+      const std::vector<uint32_t>& considered_per_ni,
+      AppendFn&& append_bag);
+
+  /// Rebuilds everything derivable from the core state (tracked windows,
+  /// pool, config): the retrieval index and the incremental IOF document
+  /// frequencies. Called lazily before the first indexed step and by the
+  /// snapshot loader after restoring the core state — an index rebuilt
+  /// here retrieves identically to one maintained incrementally, which
+  /// is why snapshots don't serialize it.
+  void RebuildDerivedState();
 
   double DecayedSim(sim::SimilarityKind kind, const Tracked& tracked,
                     const BagOfWords& candidate,
@@ -236,6 +288,20 @@ class TemporalMatcher : public RevisionMatcher {
   std::vector<Tracked> tracked_;
   TokenPool pool_;                   // flat engine: page-lifetime interning
   sim::DenseTokenWeights weights_;   // flat engine: per-step IDF weights
+  /// Inverted index over the rear-view windows (flat engine, created
+  /// lazily when enable_retrieval_index; never serialized — see
+  /// RebuildDerivedState).
+  std::unique_ptr<retrieval::CandidateIndex> index_;
+  /// Lazy per-(tracked, window-slot) weighted totals for the indexed
+  /// path, stamped per step so only retrieval candidates pay for them
+  /// (the swept path precomputes a dense CSR instead). Stride is the
+  /// rear-view window.
+  std::vector<double> hist_total_cache_;
+  std::vector<uint64_t> hist_total_stamp_;
+  uint64_t step_serial_ = 0;
+  /// Candidate pairs enumerated across all stages of the last step (the
+  /// step provenance record's candidates_considered).
+  size_t last_step_candidates_ = 0;
   obs::ProvenanceSink* provenance_ = nullptr;  // optional, not owned
   parallel::Executor* executor_ = nullptr;     // optional, not owned
 };

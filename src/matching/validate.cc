@@ -1,8 +1,11 @@
 #include "matching/validate.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <set>
+
+#include "retrieval/validate.h"
 
 namespace somr::matching {
 
@@ -194,6 +197,14 @@ void TemporalMatcher::Validate(ValidationReport* report) const {
             << objects[i].versions.front().revision;
       }
     }
+  }
+  // Cross-check the retrieval index against the rear-view windows it
+  // shadows (the "retrieval_index" registered validator).
+  if (index_ != nullptr) {
+    std::vector<const std::deque<FlatBag>*> windows;
+    windows.reserve(tracked_.size());
+    for (const Tracked& t : tracked_) windows.push_back(&t.recent_flat);
+    retrieval::ValidateCandidateIndex(*index_, windows, report);
   }
 }
 

@@ -103,6 +103,13 @@ std::string MatchDecisionToJson(const MatchDecision& d) {
       out += buf;
       break;
   }
+  // Schema v2 (additive): emitted for every kind when recorded; older
+  // readers that key off the fields above simply ignore it.
+  if (d.candidates_considered >= 0) {
+    std::snprintf(buf, sizeof(buf), ", \"candidates_considered\": %" PRId64,
+                  d.candidates_considered);
+    out += buf;
+  }
   if (d.reason[0] != '\0') {
     out += ", \"reason\": \"";
     out += d.reason;

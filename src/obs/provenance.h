@@ -35,6 +35,13 @@ struct MatchDecision {
   int rear_view_len = 0;     // history versions compared
   double tiebreak_position = 0.0;
   double tiebreak_lifetime = 0.0;
+  /// Candidate pairs the retrieval/sweep enumeration offered: for pair
+  /// records the instance's count in that stage, for new-object records
+  /// its count across all stages, for step records the step total.
+  /// -1 = not recorded (the key is then omitted from the JSON; schema v2
+  /// addition — readers must tolerate both). Indexed and swept runs
+  /// report different counts by design.
+  int64_t candidates_considered = -1;
   const char* reason = "";  // "matched" | "lost_assignment" | "new_object"
 
   // Step records: counter deltas for this revision.

@@ -1,0 +1,268 @@
+#include "retrieval/candidate_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace somr::retrieval {
+namespace {
+
+/// Compaction triggers once stale postings outnumber live ones AND the
+/// absolute waste is worth a rewrite; the floor keeps tiny indexes from
+/// compacting constantly.
+constexpr uint64_t kCompactionFloor = 1024;
+
+/// Slop on the early-termination threshold so borderline floating-point
+/// comparisons always err on the side of keeping a term. Matches the
+/// bound slack the matcher applies when filtering candidates.
+constexpr double kThetaSlack = 1e-9;
+
+}  // namespace
+
+CandidateIndex::CandidateIndex(size_t window)
+    : window_(window == 0 ? 1 : window) {}
+
+void CandidateIndex::AppendBag(uint32_t object, const FlatBag& bag) {
+  if (object >= append_count_.size()) {
+    append_count_.resize(object + 1, 0);
+  }
+  const uint32_t seq = ++append_count_[object];
+  if (bag.empty()) {
+    empty_postings_.push_back({object, seq, 0.0});
+    ++total_postings_;
+  } else {
+    const std::vector<FlatEntry>& entries = bag.entries();
+    const uint32_t max_id = entries.back().id;
+    if (lists_.size() <= max_id) lists_.resize(max_id + 1);
+    for (const FlatEntry& e : entries) {
+      lists_[e.id].push_back({object, seq, e.count});
+    }
+    total_postings_ += entries.size();
+  }
+  MaybeCompact();
+}
+
+void CandidateIndex::NoteEviction(const FlatBag& evicted) {
+  dead_postings_ += evicted.empty() ? 1 : evicted.DistinctCount();
+}
+
+void CandidateIndex::MaybeCompact() {
+  if (dead_postings_ < kCompactionFloor ||
+      dead_postings_ * 2 <= total_postings_) {
+    return;
+  }
+  uint64_t live = 0;
+  auto stale = [this](const Posting& p) { return !Live(p); };
+  for (std::vector<Posting>& list : lists_) {
+    list.erase(std::remove_if(list.begin(), list.end(), stale), list.end());
+    live += list.size();
+  }
+  empty_postings_.erase(std::remove_if(empty_postings_.begin(),
+                                       empty_postings_.end(), stale),
+                        empty_postings_.end());
+  live += empty_postings_.size();
+  total_postings_ = live;
+  dead_postings_ = 0;
+  ++stats_.compactions;
+}
+
+void CandidateIndex::EnsureScratch(size_t object_count) {
+  if (acc_.size() < object_count) {
+    acc_.resize(object_count, 0.0);
+    acc_mark_.resize(object_count, 0);
+    term_best_.resize(object_count, 0.0);
+    term_mark_.resize(object_count, 0);
+  }
+}
+
+void CandidateIndex::RetrieveOverlaps(const FlatBag& query,
+                                      const sim::DenseTokenWeights& weights,
+                                      double query_weighted_total,
+                                      double theta, bool allow_early_exit,
+                                      RetrievalResult* out) {
+  out->candidates.clear();
+  out->slack = 0.0;
+  ++stats_.queries;
+  if (append_count_.empty() || query.empty()) return;
+  EnsureScratch(append_count_.size());
+  ++query_serial_;
+  touched_.clear();
+
+  // Collect the query terms that have a posting list, with their score
+  // caps w_t * count_query(t): no live window version can contribute
+  // more than its term cap to any overlap.
+  terms_.clear();
+  for (const FlatEntry& e : query.entries()) {
+    if (e.id >= lists_.size() || lists_[e.id].empty()) continue;
+    const double w = weights.Weight(e.id);
+    terms_.push_back({e.id, w * e.count, e.count, w});
+  }
+  if (terms_.empty()) return;
+
+  // Remaining mass starts as the total cap of the indexed terms, summed
+  // in ascending id order (entry order) for determinism.
+  double remaining = 0.0;
+  for (const TermRef& t : terms_) remaining += t.cap;
+
+  // WAND pivot order: highest-cap terms first so the remaining mass
+  // decays as fast as possible. Ties broken by id for determinism.
+  std::sort(terms_.begin(), terms_.end(),
+            [](const TermRef& a, const TermRef& b) {
+              if (a.cap != b.cap) return a.cap > b.cap;
+              return a.id < b.id;
+            });
+
+  // sim_strict(q, v) <= overlap / total_q: once the unvisited terms'
+  // mass cannot reach theta * total_q, no object touched only by tail
+  // terms can clear theta, and every touched object's bound is completed
+  // by adding the remaining mass as slack.
+  const double exit_below =
+      allow_early_exit ? (theta - kThetaSlack) * query_weighted_total : -1.0;
+
+  size_t walked = 0;
+  for (const TermRef& t : terms_) {
+    if (allow_early_exit && walked > 0 && remaining < exit_below) break;
+    ++walked;
+    const std::vector<Posting>& list = lists_[t.id];
+    stats_.postings_scanned += list.size();
+    // Two phases per term: first the max live count per object (window
+    // versions of one object shadow each other under min()), then one
+    // accumulation per touched object. This makes each object's sum
+    // independent of how its postings interleave with other objects',
+    // so a rebuilt index accumulates bit-identically.
+    ++term_serial_;
+    term_touched_.clear();
+    for (const Posting& p : list) {
+      if (!Live(p)) continue;
+      if (term_mark_[p.object] != term_serial_) {
+        term_mark_[p.object] = term_serial_;
+        term_best_[p.object] = p.count;
+        term_touched_.push_back(p.object);
+      } else if (p.count > term_best_[p.object]) {
+        term_best_[p.object] = p.count;
+      }
+    }
+    for (const uint32_t object : term_touched_) {
+      const double best = term_best_[object];
+      const double contribution =
+          t.weight * (t.count < best ? t.count : best);
+      if (acc_mark_[object] != query_serial_) {
+        acc_mark_[object] = query_serial_;
+        acc_[object] = contribution;
+        touched_.push_back(object);
+      } else {
+        acc_[object] += contribution;
+      }
+    }
+    remaining -= t.cap;
+  }
+  if (walked < terms_.size()) {
+    for (size_t i = walked; i < terms_.size(); ++i) {
+      stats_.wand_skips += lists_[terms_[i].id].size();
+    }
+    out->slack = remaining;
+  }
+
+  out->candidates.reserve(touched_.size());
+  for (const uint32_t object : touched_) {
+    out->candidates.push_back({object, acc_[object]});
+  }
+  std::sort(out->candidates.begin(), out->candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.object < b.object;
+            });
+}
+
+void CandidateIndex::ValidEmptyObjects(std::vector<uint32_t>* out) const {
+  out->clear();
+  for (const Posting& p : empty_postings_) {
+    if (Live(p)) out->push_back(p.object);
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+void CandidateIndex::Validate(
+    const std::vector<const std::deque<FlatBag>*>& windows,
+    ValidationReport* report) const {
+  if (windows.size() != append_count_.size()) {
+    report->AddIssue("retrieval_index")
+        << "tracks " << append_count_.size() << " objects, matcher has "
+        << windows.size();
+    return;
+  }
+  uint64_t window_entries = 0;
+  for (size_t object = 0; object < windows.size(); ++object) {
+    const std::deque<FlatBag>& window = *windows[object];
+    if (window.size() > window_) {
+      report->AddIssue("retrieval_index")
+          << "object " << object << " window holds " << window.size()
+          << " bags, index window is " << window_;
+    }
+    if (append_count_[object] < window.size()) {
+      report->AddIssue("retrieval_index")
+          << "object " << object << " append_count "
+          << append_count_[object] << " below window size " << window.size();
+    }
+    for (const FlatBag& bag : window) {
+      window_entries += bag.empty() ? 1 : bag.DistinctCount();
+    }
+  }
+
+  // Every live posting must point at an existing window bag with the
+  // same count for its token; (object, seq) must be unique per list.
+  uint64_t live_postings = 0;
+  std::unordered_set<uint64_t> seen;
+  auto check_live = [&](uint32_t token, const Posting& p, bool empty_list) {
+    const std::deque<FlatBag>& window = *windows[p.object];
+    const uint64_t back = append_count_[p.object] - p.append_seq;
+    if (back >= window.size()) {
+      report->AddIssue("retrieval_index")
+          << "live posting for object " << p.object << " seq "
+          << p.append_seq << " has no window bag";
+      return;
+    }
+    ++live_postings;
+    const uint64_t key =
+        (static_cast<uint64_t>(p.object) << 32) | p.append_seq;
+    if (!seen.insert(key).second) {
+      report->AddIssue("retrieval_index")
+          << "duplicate posting for object " << p.object << " seq "
+          << p.append_seq << " in list " << token;
+    }
+    const FlatBag& bag = window[window.size() - 1 - back];
+    if (empty_list) {
+      if (!bag.empty()) {
+        report->AddIssue("retrieval_index")
+            << "empty posting for object " << p.object
+            << " maps to a non-empty bag";
+      }
+    } else if (bag.Count(token) != p.count) {
+      report->AddIssue("retrieval_index")
+          << "posting count mismatch for object " << p.object << " token "
+          << token;
+    }
+  };
+  for (uint32_t token = 0; token < lists_.size(); ++token) {
+    seen.clear();
+    for (const Posting& p : lists_[token]) {
+      if (Live(p)) check_live(token, p, /*empty_list=*/false);
+    }
+  }
+  seen.clear();
+  for (const Posting& p : empty_postings_) {
+    if (Live(p)) check_live(0, p, /*empty_list=*/true);
+  }
+
+  // Counting both directions: the per-posting checks above prove every
+  // live posting maps to a distinct window entry; equal totals then
+  // prove every window entry has its posting.
+  if (live_postings != window_entries) {
+    report->AddIssue("retrieval_index")
+        << live_postings << " live postings vs " << window_entries
+        << " window entries";
+  }
+}
+
+}  // namespace somr::retrieval

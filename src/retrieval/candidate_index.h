@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/similarity.h"
+#include "text/flat_bag.h"
+
+namespace somr {
+class ValidationReport;
+}
+
+namespace somr::retrieval {
+
+/// Cumulative retrieval work counters. Monotone over the index lifetime;
+/// the matcher publishes per-step deltas to the obs metrics registry.
+struct RetrievalStats {
+  uint64_t queries = 0;
+  uint64_t postings_scanned = 0;   // postings visited by list walks
+  uint64_t wand_skips = 0;         // postings skipped by early termination
+  uint64_t candidates_pruned = 0;  // candidates rejected by the theta bound
+  uint64_t compactions = 0;        // stale-posting garbage collections
+};
+
+/// One retrieval candidate: a tracked object sharing at least one query
+/// token with at least one live window version. `overlap_bound` is an
+/// upper bound on the weighted overlap
+///   sum_t w_t * min(count_query(t), count_version(t))
+/// against EVERY live window version of the object; when the walk
+/// early-terminated, RetrievalResult::slack must be added before the
+/// bound is compared against anything.
+struct Candidate {
+  uint32_t object = 0;
+  double overlap_bound = 0.0;
+};
+
+struct RetrievalResult {
+  std::vector<Candidate> candidates;  // ascending by object id
+  /// Weighted query mass of the terms the walk never visited (0 unless
+  /// WAND early termination fired). Untouched objects can still overlap
+  /// the query by up to this much, and touched candidates' bounds are
+  /// low by up to this much.
+  double slack = 0.0;
+};
+
+/// Incremental inverted index over interned token ids, maintained
+/// alongside the matcher's rear-view FlatBag windows (DESIGN.md §12).
+///
+/// One posting list per token id; a posting records (object, per-object
+/// append sequence number, count). Postings are appended when a window
+/// version is added and invalidated lazily: a posting is live iff its
+/// append_seq is within the newest `window` appends of its object, so
+/// window eviction is O(1) bookkeeping and list walks skip stale entries
+/// by comparing two integers. Compaction rewrites the lists once stale
+/// entries dominate; because queries consult live postings only, when it
+/// runs is unobservable in retrieval results — an index rebuilt from the
+/// windows alone (snapshot restore) retrieves identically to one that
+/// was maintained incrementally.
+///
+/// Query-time scoring is a document-at-a-time accumulation with
+/// WAND-style early termination: query terms are walked in descending
+/// order of their score caps w_t * count_query(t), and once the mass of
+/// the unvisited terms can no longer lift any object to the strict
+/// threshold, the remaining (typically long, low-weight) lists are
+/// skipped wholesale. Caps depend only on the query and the weights —
+/// never on index state — so early termination is deterministic too.
+class CandidateIndex {
+ public:
+  /// `window` is the matcher's rear-view window (>= 1): the number of
+  /// most recent appends per object that are live.
+  explicit CandidateIndex(size_t window);
+
+  /// Registers `bag` as the newest window version of `object`. Object
+  /// ids may arrive in any order; the id space is grown as needed. The
+  /// oldest version falls out of the live range automatically once more
+  /// than `window` bags have been appended.
+  void AppendBag(uint32_t object, const FlatBag& bag);
+
+  /// Bookkeeping for one evicted window version (the bag popped from the
+  /// matcher's deque): feeds the compaction trigger only.
+  void NoteEviction(const FlatBag& evicted);
+
+  /// All objects sharing >= 1 token with `query`, each with its weighted
+  /// overlap upper bound. `theta` is the lowest similarity threshold the
+  /// caller still cares about; with `allow_early_exit` the strict-kind
+  /// cap sim <= overlap / total_b justifies skipping tail terms (callers
+  /// scoring relaxed containment from the same result must pass false —
+  /// containment has no query-side cap). `query_weighted_total` must be
+  /// WeightedTotal(query, weights).
+  void RetrieveOverlaps(const FlatBag& query,
+                        const sim::DenseTokenWeights& weights,
+                        double query_weighted_total, double theta,
+                        bool allow_early_exit, RetrievalResult* out);
+
+  /// Objects whose newest-or-older live window versions include an empty
+  /// bag (empty vs empty scores similarity 1, so an empty query must
+  /// consider them). Ascending, deduplicated.
+  void ValidEmptyObjects(std::vector<uint32_t>* out) const;
+
+  size_t window() const { return window_; }
+  size_t object_count() const { return append_count_.size(); }
+
+  const RetrievalStats& stats() const { return stats_; }
+  RetrievalStats* mutable_stats() { return &stats_; }
+
+  /// Cross-checks every live posting against the actual window contents
+  /// (`windows[object]` = the matcher's recent_flat deque, oldest first).
+  /// Appends one issue per inconsistency. See ValidateCandidateIndex.
+  void Validate(const std::vector<const std::deque<FlatBag>*>& windows,
+                ValidationReport* report) const;
+
+ private:
+  struct Posting {
+    uint32_t object = 0;
+    uint32_t append_seq = 0;  // 1-based value of append_count_ at append
+    double count = 0.0;
+  };
+
+  bool Live(const Posting& p) const {
+    return p.append_seq + window_ > append_count_[p.object];
+  }
+
+  void EnsureScratch(size_t object_count);
+  void MaybeCompact();
+
+  size_t window_;
+  std::vector<std::vector<Posting>> lists_;  // by token id
+  std::vector<Posting> empty_postings_;      // appended empty bags
+  std::vector<uint32_t> append_count_;       // per object
+  uint64_t total_postings_ = 0;              // live + stale across lists
+  uint64_t dead_postings_ = 0;               // known-stale (evictions)
+
+  // Query scratch, stamped so clears are O(touched), never O(objects).
+  std::vector<double> acc_;          // per object: accumulated bound
+  std::vector<uint64_t> acc_mark_;   // stamp: acc_ valid this query
+  std::vector<double> term_best_;    // per object: max live count, 1 term
+  std::vector<uint64_t> term_mark_;  // stamp: term_best_ valid this term
+  std::vector<uint32_t> touched_;    // objects with acc_ set this query
+  std::vector<uint32_t> term_touched_;
+  uint64_t query_serial_ = 0;
+  uint64_t term_serial_ = 0;
+
+  struct TermRef {
+    uint32_t id = 0;
+    double cap = 0.0;  // weight * query count: max per-object contribution
+    double count = 0.0;
+    double weight = 0.0;
+  };
+  std::vector<TermRef> terms_;  // per-query scratch
+
+  RetrievalStats stats_;
+};
+
+}  // namespace somr::retrieval

@@ -1,0 +1,39 @@
+#include "retrieval/shape.h"
+
+#include <cstddef>
+
+namespace somr::retrieval {
+namespace {
+
+/// Logarithmic size bucket: 0, then one bucket per bit width, so only
+/// roughly-doubling growth changes the signature.
+uint64_t Bucket(size_t n) {
+  uint64_t bits = 0;
+  while (n > 0) {
+    ++bits;
+    n >>= 1;
+  }
+  return bits;
+}
+
+uint64_t Mix(uint64_t hash, uint64_t value) {
+  hash ^= value;
+  return hash * 1099511628211ull;  // FNV-1a prime
+}
+
+}  // namespace
+
+uint64_t ShapeSignature(const extract::ObjectInstance& instance) {
+  size_t widest = 0;
+  for (const auto& row : instance.rows) {
+    if (row.size() > widest) widest = row.size();
+  }
+  uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  hash = Mix(hash, static_cast<uint64_t>(instance.type));
+  hash = Mix(hash, Bucket(instance.rows.size()));
+  hash = Mix(hash, Bucket(widest));
+  hash = Mix(hash, Bucket(instance.schema.size()));
+  return hash;
+}
+
+}  // namespace somr::retrieval

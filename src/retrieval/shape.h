@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "extract/object.h"
+
+namespace somr::retrieval {
+
+/// Structural-skeleton signature of an object instance, in the spirit of
+/// SFTM's tree-shape pre-filter: a hash of the object type and coarse
+/// (logarithmic) size buckets of the row count, widest row, and schema
+/// size. Instances whose shapes differ structurally (a table vs a list,
+/// a 3-row box vs a 300-row table) hash differently and can be skipped
+/// before any bag-of-words scoring; instances that merely edit cell text
+/// keep their signature.
+///
+/// This is an approximate filter — a legitimate match can change shape
+/// across revisions and be filtered — which is why it sits behind
+/// MatcherConfig::enable_shape_prefilter (default off) and participates
+/// in the snapshot config fingerprint.
+uint64_t ShapeSignature(const extract::ObjectInstance& instance);
+
+}  // namespace somr::retrieval

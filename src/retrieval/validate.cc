@@ -1,0 +1,12 @@
+#include "retrieval/validate.h"
+
+namespace somr::retrieval {
+
+void ValidateCandidateIndex(
+    const CandidateIndex& index,
+    const std::vector<const std::deque<FlatBag>*>& windows,
+    ValidationReport* report) {
+  index.Validate(windows, report);
+}
+
+}  // namespace somr::retrieval

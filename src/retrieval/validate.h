@@ -1,0 +1,28 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+#include "retrieval/candidate_index.h"
+#include "text/flat_bag.h"
+
+namespace somr::retrieval {
+
+/// Cross-checks the inverted index against the matcher's rear-view
+/// windows (`windows[object]` = that object's recent FlatBags, oldest
+/// first): every live posting maps to a distinct window entry with the
+/// same count, empty-bag postings map to empty bags, and the live
+/// posting total equals the window entry total, so neither side holds
+/// anything the other lacks. Run at step boundaries in debug builds and
+/// by `somr_process --validate`.
+void ValidateCandidateIndex(
+    const CandidateIndex& index,
+    const std::vector<const std::deque<FlatBag>*>& windows,
+    ValidationReport* report);
+
+SOMR_REGISTER_VALIDATOR(retrieval_index, "retrieval_index",
+                        "inverted-index postings agree with the rear-view "
+                        "FlatBag windows (live set, counts, totals)");
+
+}  // namespace somr::retrieval

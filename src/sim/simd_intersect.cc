@@ -1,0 +1,175 @@
+#include "sim/simd_intersect.h"
+
+#include <algorithm>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define SOMR_HAVE_SSE2 1
+#else
+#define SOMR_HAVE_SSE2 0
+#endif
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define SOMR_HAVE_NEON 1
+#else
+#define SOMR_HAVE_NEON 0
+#endif
+
+namespace somr::sim {
+namespace {
+
+using AdvanceFn = size_t (*)(const uint32_t*, size_t, size_t, uint32_t);
+
+/// Exponential probe from `from`, then binary bracketing down to a short
+/// window. On return the answer lies in (lo, hi] with hi - lo <= 16 and
+/// ids[lo] < needle (or lo == from). Shared by all backends so they
+/// differ only in how the final window is scanned.
+inline void Bracket(const uint32_t* ids, size_t from, size_t n,
+                    uint32_t needle, size_t* lo_out, size_t* hi_out) {
+  size_t lo = from;
+  size_t step = 4;
+  while (lo + step < n && ids[lo + step] < needle) {
+    lo += step;
+    step <<= 1;
+  }
+  size_t hi = std::min(lo + step + 1, n);
+  while (hi - lo > 16) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (ids[mid] < needle) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  *lo_out = lo;
+  *hi_out = hi;
+}
+
+size_t AdvanceScalar(const uint32_t* ids, size_t from, size_t n,
+                     uint32_t needle) {
+  if (from >= n || ids[from] >= needle) return from;
+  size_t lo = 0, hi = 0;
+  Bracket(ids, from, n, needle, &lo, &hi);
+  size_t i = lo + 1;
+  while (i < hi && ids[i] < needle) ++i;
+  return i;
+}
+
+#if SOMR_HAVE_SSE2
+size_t AdvanceSse2(const uint32_t* ids, size_t from, size_t n,
+                   uint32_t needle) {
+  if (from >= n || ids[from] >= needle) return from;
+  size_t lo = 0, hi = 0;
+  Bracket(ids, from, n, needle, &lo, &hi);
+  size_t i = lo + 1;
+  // SSE2 only compares signed 32-bit lanes; biasing both sides by 2^31
+  // turns the unsigned order into the signed one.
+  const __m128i bias = _mm_set1_epi32(static_cast<int32_t>(0x80000000u));
+  const __m128i biased_needle = _mm_xor_si128(
+      _mm_set1_epi32(static_cast<int32_t>(needle)), bias);
+  while (i + 4 <= hi) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
+    __m128i lt = _mm_cmplt_epi32(_mm_xor_si128(v, bias), biased_needle);
+    int mask = _mm_movemask_epi8(lt);  // 0xFFFF while every lane < needle
+    if (mask != 0xFFFF) {
+      unsigned ge = static_cast<unsigned>(~mask) & 0xFFFFu;
+      return i + static_cast<size_t>(__builtin_ctz(ge)) / 4;
+    }
+    i += 4;
+  }
+  while (i < hi && ids[i] < needle) ++i;
+  return i;
+}
+#endif
+
+#if SOMR_HAVE_NEON
+size_t AdvanceNeon(const uint32_t* ids, size_t from, size_t n,
+                   uint32_t needle) {
+  if (from >= n || ids[from] >= needle) return from;
+  size_t lo = 0, hi = 0;
+  Bracket(ids, from, n, needle, &lo, &hi);
+  size_t i = lo + 1;
+  const uint32x4_t vneedle = vdupq_n_u32(needle);
+  while (i + 4 <= hi) {
+    uint32x4_t v = vld1q_u32(ids + i);
+    uint32x4_t ge = vcgeq_u32(v, vneedle);
+    // Narrow each 32-bit lane mask to 16 bits so the whole comparison
+    // fits one 64-bit scalar; the first set lane is the answer.
+    uint64_t bits =
+        vget_lane_u64(vreinterpret_u64_u16(vmovn_u32(ge)), 0);
+    if (bits != 0) {
+      return i + static_cast<size_t>(__builtin_ctzll(bits)) / 16;
+    }
+    i += 4;
+  }
+  while (i < hi && ids[i] < needle) ++i;
+  return i;
+}
+#endif
+
+struct Dispatch {
+  AdvanceFn fn;
+  SimdBackend backend;
+};
+
+Dispatch ResolveDispatch() {
+#if SOMR_HAVE_SSE2
+  return {AdvanceSse2, SimdBackend::kSse2};
+#elif SOMR_HAVE_NEON
+  return {AdvanceNeon, SimdBackend::kNeon};
+#else
+  return {AdvanceScalar, SimdBackend::kScalar};
+#endif
+}
+
+Dispatch& ActiveDispatch() {
+  static Dispatch dispatch = ResolveDispatch();
+  return dispatch;
+}
+
+}  // namespace
+
+SimdBackend ActiveSimdBackend() { return ActiveDispatch().backend; }
+
+const char* SimdBackendName(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      return "scalar";
+    case SimdBackend::kSse2:
+      return "sse2";
+    case SimdBackend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool ForceSimdBackend(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      ActiveDispatch() = {AdvanceScalar, SimdBackend::kScalar};
+      return true;
+    case SimdBackend::kSse2:
+#if SOMR_HAVE_SSE2
+      ActiveDispatch() = {AdvanceSse2, SimdBackend::kSse2};
+      return true;
+#else
+      return false;
+#endif
+    case SimdBackend::kNeon:
+#if SOMR_HAVE_NEON
+      ActiveDispatch() = {AdvanceNeon, SimdBackend::kNeon};
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+size_t SimdLowerBound(const uint32_t* ids, size_t from, size_t n,
+                      uint32_t needle) {
+  return ActiveDispatch().fn(ids, from, n, needle);
+}
+
+}  // namespace somr::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace somr::sim {
+
+/// Vector backend behind the galloping merge-join primitives. Resolved
+/// once at startup from compile-time availability (SSE2 on x86-64, NEON
+/// on aarch64) with a portable scalar fallback; every backend returns
+/// bit-identical results, so which one runs never affects matcher output.
+enum class SimdBackend {
+  kScalar,
+  kSse2,
+  kNeon,
+};
+
+/// The backend the kernels currently dispatch to.
+SimdBackend ActiveSimdBackend();
+
+const char* SimdBackendName(SimdBackend backend);
+
+/// Forces dispatch to `backend` (tests compare backends bit for bit).
+/// Returns false — leaving dispatch unchanged — when the backend is not
+/// compiled in on this platform. Not thread-safe against concurrent
+/// kernel calls; call it only from single-threaded test setup.
+bool ForceSimdBackend(SimdBackend backend);
+
+/// Index of the first element of ids[from..n) that is >= needle, or n if
+/// none: the skip primitive of the galloping intersection. `ids` must be
+/// ascending. Exponential probe + binary bracketing narrows the window;
+/// the final short scan runs four comparisons per vector op on SIMD
+/// backends.
+size_t SimdLowerBound(const uint32_t* ids, size_t from, size_t n,
+                      uint32_t needle);
+
+}  // namespace somr::sim

@@ -3,7 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+#include "sim/simd_intersect.h"
+
 namespace somr::sim {
+namespace {
+
+/// Size ratio at which the merge-joins switch from the two-pointer merge
+/// to galloping lookups of the smaller bag's ids in the larger bag. Below
+/// this the merge's sequential scan is cheaper than the probe overhead.
+constexpr size_t kGallopRatio = 8;
+
+/// Galloping intersection core: iterates the smaller bag ascending and
+/// locates each id in the larger via SimdLowerBound. Shared ids are
+/// visited in ascending id order — the same order as the two-pointer
+/// merge — so the floating-point accumulation is bit-identical to the
+/// merge on the same pair.
+template <typename Term>
+double GallopJoin(const FlatBag& small_bag, const FlatBag& big_bag,
+                  Term&& term) {
+  const std::vector<FlatEntry>& es = small_bag.entries();
+  const std::vector<FlatEntry>& eb = big_bag.entries();
+  const std::vector<uint32_t>& ib = big_bag.ids();
+  size_t j = 0;
+  double sum = 0.0;
+  for (const FlatEntry& e : es) {
+    j = SimdLowerBound(ib.data(), j, ib.size(), e.id);
+    if (j == ib.size()) break;
+    if (ib[j] == e.id) {
+      sum += term(e, eb[j]);
+      ++j;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
 
 TokenWeighting TokenWeighting::InverseObjectFrequency(
     const std::vector<const BagOfWords*>& previous,
@@ -116,7 +151,75 @@ void DenseTokenWeights::BuildInverseObjectFrequency(
   uniform_ = false;
 }
 
+void DenseTokenWeights::EnsureSize(uint32_t pool_size) {
+  if (weights_.size() < pool_size) {
+    weights_.resize(pool_size, 1.0);
+    prev_df_.resize(pool_size, 0);
+    new_df_.resize(pool_size, 0);
+  }
+}
+
+void DenseTokenWeights::ResetIncremental(uint32_t pool_size) {
+  weights_.assign(pool_size, 1.0);
+  prev_df_.assign(pool_size, 0);
+  new_df_.assign(pool_size, 0);
+  touched_.clear();
+  overlay_.clear();
+  uniform_ = false;
+  incremental_ = true;
+}
+
+void DenseTokenWeights::AddPrevBag(const FlatBag& bag) {
+  SOMR_DCHECK(incremental_);
+  if (bag.empty()) return;
+  EnsureSize(bag.entries().back().id + 1);
+  for (const FlatEntry& e : bag.entries()) {
+    int32_t df = ++prev_df_[e.id];
+    weights_[e.id] = df > 1 ? 1.0 / df : 1.0;
+  }
+}
+
+void DenseTokenWeights::RemovePrevBag(const FlatBag& bag) {
+  SOMR_DCHECK(incremental_);
+  for (const FlatEntry& e : bag.entries()) {
+    int32_t df = --prev_df_[e.id];
+    SOMR_DCHECK_GE(df, 0);
+    weights_[e.id] = df > 1 ? 1.0 / df : 1.0;
+  }
+}
+
+void DenseTokenWeights::BeginIncrementalStep(
+    const std::vector<const FlatBag*>& incoming, uint32_t pool_size) {
+  SOMR_DCHECK(incremental_);
+  EnsureSize(pool_size);
+  // Revert the previous step's overlay to the pure previous-side weights.
+  for (uint32_t id : overlay_) {
+    int32_t df = prev_df_[id];
+    weights_[id] = df > 1 ? 1.0 / df : 1.0;
+    new_df_[id] = 0;
+  }
+  overlay_.clear();
+  for (const FlatBag* bag : incoming) {
+    for (const FlatEntry& e : bag->entries()) {
+      if (new_df_[e.id]++ == 0) overlay_.push_back(e.id);
+    }
+  }
+  for (uint32_t id : overlay_) {
+    int32_t denom = std::max(prev_df_[id], new_df_[id]);
+    weights_[id] = denom > 1 ? 1.0 / denom : 1.0;
+  }
+}
+
 double SumMin(const FlatBag& a, const FlatBag& b) {
+  // min() is symmetric and both orders visit shared ids ascending, so
+  // swapping the arguments never changes the result — normalize to
+  // smaller-first for the gallop test.
+  if (a.DistinctCount() > b.DistinctCount()) return SumMin(b, a);
+  if (a.DistinctCount() * kGallopRatio <= b.DistinctCount()) {
+    return GallopJoin(a, b, [](const FlatEntry& x, const FlatEntry& y) {
+      return x.count < y.count ? x.count : y.count;
+    });
+  }
   const std::vector<FlatEntry>& ea = a.entries();
   const std::vector<FlatEntry>& eb = b.entries();
   size_t i = 0, j = 0;
@@ -139,6 +242,16 @@ double SumMin(const FlatBag& a, const FlatBag& b) {
 double WeightedSumMin(const FlatBag& a, const FlatBag& b,
                       const DenseTokenWeights& weights) {
   if (weights.IsUniform()) return SumMin(a, b);
+  if (a.DistinctCount() > b.DistinctCount()) {
+    return WeightedSumMin(b, a, weights);
+  }
+  if (a.DistinctCount() * kGallopRatio <= b.DistinctCount()) {
+    return GallopJoin(
+        a, b, [&weights](const FlatEntry& x, const FlatEntry& y) {
+          return weights.Weight(x.id) *
+                 (x.count < y.count ? x.count : y.count);
+        });
+  }
   const std::vector<FlatEntry>& ea = a.entries();
   const std::vector<FlatEntry>& eb = b.entries();
   size_t i = 0, j = 0;

@@ -64,11 +64,42 @@ class DenseTokenWeights {
     return uniform_ || id >= weights_.size() ? 1.0 : weights_[id];
   }
 
+  // --- Incremental IOF mode (retrieval-index engine) --------------------
+  //
+  // The indexed matcher maintains the previous-side document frequencies
+  // across steps instead of recounting every tracked object's newest bag:
+  // AddPrevBag/RemovePrevBag follow newest-bag transitions at commit time,
+  // and BeginIncrementalStep overlays the incoming side for one matching
+  // step. The stored weight values are identical to what
+  // BuildInverseObjectFrequency computes from the same previous/incoming
+  // bags (same integer denominators, same 1/denom doubles), so both
+  // engines score with bit-identical weights. A DenseTokenWeights
+  // instance is either batch-built or incremental, never both.
+
+  /// Clears all state and enters incremental mode.
+  void ResetIncremental(uint32_t pool_size);
+
+  /// Registers / unregisters one object's newest bag on the previous side.
+  void AddPrevBag(const FlatBag& bag);
+  void RemovePrevBag(const FlatBag& bag);
+
+  /// Applies the incoming-side overlay for one matching step: reverts the
+  /// previous step's overlay, counts `incoming`, and sets
+  /// weight = 1 / max(prev_df, new_df) (1 when the denominator is <= 1)
+  /// for every token of the step. Weights must not be read between a
+  /// RemovePrevBag/AddPrevBag commit and the next BeginIncrementalStep.
+  void BeginIncrementalStep(const std::vector<const FlatBag*>& incoming,
+                            uint32_t pool_size);
+
  private:
+  void EnsureSize(uint32_t pool_size);
+
   std::vector<double> weights_;            // per id, default 1.0
   std::vector<int32_t> prev_df_, new_df_;  // per-step scratch, default 0
   std::vector<uint32_t> touched_;          // ids dirtied by the last build
+  std::vector<uint32_t> overlay_;          // ids of the current step overlay
   bool uniform_ = true;
+  bool incremental_ = false;
 };
 
 /// Generalized Jaccard (Ruzicka) similarity of two weighted multisets:

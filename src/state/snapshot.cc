@@ -13,7 +13,9 @@ namespace somr::state {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'O', 'M', 'R', 'S', 'N', 'A', 'P'};
-constexpr uint32_t kFormatVersion = 1;
+// v2: tracked objects carry their newest-version shape signature and
+// MatchStats carries pairs_shape_filtered (PR 6).
+constexpr uint32_t kFormatVersion = 2;
 
 // Section tags. Unknown tags are skipped on load (additive evolution
 // within one format version); missing required sections are an error.
@@ -143,13 +145,14 @@ void AppendStats(const matching::MatchStats& stats, ByteWriter& w) {
   w.U64(stats.new_objects);
   w.U64(stats.pairs_pruned);
   w.U64(stats.pairs_blocked);
+  w.U64(stats.pairs_shape_filtered);
   w.U64(stats.step_millis.size());
   for (double ms : stats.step_millis) w.F64(ms);
 }
 
 Status ReadStats(ByteReader& r, matching::MatchStats* stats) {
   uint64_t similarities = 0, s1 = 0, s2 = 0, s3 = 0;
-  uint64_t new_objects = 0, pruned = 0, blocked = 0;
+  uint64_t new_objects = 0, pruned = 0, blocked = 0, shape_filtered = 0;
   SOMR_RETURN_IF_ERROR(r.U64(&similarities));
   SOMR_RETURN_IF_ERROR(r.U64(&s1));
   SOMR_RETURN_IF_ERROR(r.U64(&s2));
@@ -157,6 +160,7 @@ Status ReadStats(ByteReader& r, matching::MatchStats* stats) {
   SOMR_RETURN_IF_ERROR(r.U64(&new_objects));
   SOMR_RETURN_IF_ERROR(r.U64(&pruned));
   SOMR_RETURN_IF_ERROR(r.U64(&blocked));
+  SOMR_RETURN_IF_ERROR(r.U64(&shape_filtered));
   stats->similarities_computed = similarities;
   stats->stage1_matches = s1;
   stats->stage2_matches = s2;
@@ -164,6 +168,7 @@ Status ReadStats(ByteReader& r, matching::MatchStats* stats) {
   stats->new_objects = new_objects;
   stats->pairs_pruned = pruned;
   stats->pairs_blocked = blocked;
+  stats->pairs_shape_filtered = shape_filtered;
   uint64_t steps = 0;
   SOMR_RETURN_IF_ERROR(r.Count(&steps, 8));
   stats->step_millis.clear();
@@ -223,6 +228,7 @@ class MatcherSerde {
       w.U32(static_cast<uint32_t>(t.last_position));
       w.U32(static_cast<uint32_t>(t.first_revision));
       w.U32(static_cast<uint32_t>(t.last_revision));
+      w.U64(t.newest_shape);
       w.U64(t.recent_flat.size());
       for (const FlatBag& bag : t.recent_flat) AppendFlatBag(bag, w);
       w.U64(t.recent_bags.size());
@@ -287,7 +293,7 @@ class MatcherSerde {
 
     m.tracked_.clear();
     uint64_t tracked_count = 0;
-    SOMR_RETURN_IF_ERROR(r.Count(&tracked_count, 44));
+    SOMR_RETURN_IF_ERROR(r.Count(&tracked_count, 52));
     if (tracked_count != object_count) {
       return Status::ParseError(
           "snapshot corrupt: tracked count != identity graph objects");
@@ -307,6 +313,7 @@ class MatcherSerde {
       t.last_position = static_cast<int>(last_position);
       t.first_revision = static_cast<int>(first_revision);
       t.last_revision = static_cast<int>(last_revision);
+      SOMR_RETURN_IF_ERROR(r.U64(&t.newest_shape));
 
       uint64_t flat_count = 0;
       SOMR_RETURN_IF_ERROR(r.Count(&flat_count, 8));
@@ -343,13 +350,21 @@ class MatcherSerde {
     }
 
     m.stats_ = matching::MatchStats();
-    return ReadStats(r, &m.stats_);
+    SOMR_RETURN_IF_ERROR(ReadStats(r, &m.stats_));
+    // Derived structures (retrieval index, incremental IOF document
+    // frequencies) are never serialized: rebuild them from the restored
+    // windows — the rebuilt index retrieves identically by construction.
+    m.RebuildDerivedState();
+    return Status::OK();
   }
 };
 
 uint64_t ConfigFingerprint(const matching::MatcherConfig& config) {
   ByteWriter w;
-  w.Str("somr-matcher-config-v1");
+  // v2: enable_shape_prefilter joined the fingerprint (approximate knob,
+  // like LSH). enable_retrieval_index stays out — it is exact/perf-only,
+  // like the parallel knobs.
+  w.Str("somr-matcher-config-v2");
   w.I64(config.theta_pos);
   w.F64(config.theta1);
   w.F64(config.theta2);
@@ -367,6 +382,7 @@ uint64_t ConfigFingerprint(const matching::MatcherConfig& config) {
   w.U64(config.lsh_min_pair_count);
   w.I64(config.lsh_bands);
   w.I64(config.lsh_rows);
+  w.U8(config.enable_shape_prefilter);
   w.U64(config.features.element_token_limit);
   w.U8(config.features.include_section_headers);
   w.U8(config.features.include_caption);

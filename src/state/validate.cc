@@ -12,7 +12,7 @@ namespace somr::state {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'O', 'M', 'R', 'S', 'N', 'A', 'P'};
-constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kFormatVersion = 2;  // keep in sync with snapshot.cc
 
 }  // namespace
 

@@ -15,6 +15,7 @@ FlatBag FlatBag::FromBag(const BagOfWords& bag, TokenPool& pool) {
   // Sum in sorted-id order so every FlatBag with the same content has the
   // same total bit-for-bit, regardless of the source map's hash order.
   for (const FlatEntry& e : flat.entries_) flat.total_ += e.count;
+  flat.BuildIdColumn();
   return flat;
 }
 
@@ -32,6 +33,7 @@ FlatBag FlatBag::FromTokenIds(std::vector<uint32_t> ids) {
     }
   }
   flat.total_ = static_cast<double>(ids.size());
+  flat.BuildIdColumn();
   return flat;
 }
 
@@ -41,7 +43,13 @@ FlatBag FlatBag::FromEntries(std::vector<FlatEntry> entries) {
   // Sum in entry order, matching FromBag/FromTokenIds, so a restored bag
   // equals the saved one bit-for-bit (the totals feed similarity math).
   for (const FlatEntry& e : flat.entries_) flat.total_ += e.count;
+  flat.BuildIdColumn();
   return flat;
+}
+
+void FlatBag::BuildIdColumn() {
+  ids_.reserve(entries_.size());
+  for (const FlatEntry& e : entries_) ids_.push_back(e.id);
 }
 
 double FlatBag::Count(uint32_t id) const {

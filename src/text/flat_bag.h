@@ -47,6 +47,12 @@ class FlatBag {
   /// Entries in ascending id order.
   const std::vector<FlatEntry>& entries() const { return entries_; }
 
+  /// The token ids alone, ascending, in a contiguous array — the layout
+  /// the SIMD galloping intersection kernels (sim/simd_intersect.h) scan
+  /// four lanes at a time. Always entries().size() long and equal to the
+  /// id column of entries().
+  const std::vector<uint32_t>& ids() const { return ids_; }
+
   /// Sum of all counts (the multiset cardinality).
   double TotalCount() const { return total_; }
 
@@ -65,7 +71,10 @@ class FlatBag {
   bool operator==(const FlatBag&) const = default;
 
  private:
+  void BuildIdColumn();
+
   std::vector<FlatEntry> entries_;  // ascending by id
+  std::vector<uint32_t> ids_;       // id column of entries_, contiguous
   double total_ = 0.0;
 };
 

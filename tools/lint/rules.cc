@@ -125,7 +125,8 @@ void CheckBannedNewArray(const SourceFile& file,
 
 void CheckRegexInHotPath(const SourceFile& file,
                          std::vector<Diagnostic>* out) {
-  if (!PathContains(file, "src/matching") && !PathContains(file, "src/sim")) {
+  if (!PathContains(file, "src/matching") && !PathContains(file, "src/sim") &&
+      !PathContains(file, "src/retrieval")) {
     return;
   }
   for (size_t l = 0; l < file.code_lines().size(); ++l) {
@@ -386,7 +387,7 @@ const std::vector<Rule>& Rules() {
        "raw new[] expressions (use std::vector / make_unique<T[]>)",
        CheckBannedNewArray, nullptr},
       {"regex-in-hot-path",
-       "std::regex or <regex> under src/matching or src/sim",
+       "std::regex or <regex> under src/matching, src/sim, or src/retrieval",
        CheckRegexInHotPath, nullptr},
       {"volatile-sync",
        "volatile used where std::atomic belongs",

@@ -2,7 +2,12 @@
 // corpus) and emits one JSONL record per matcher decision, explaining why
 // each incoming instance was attached to its object (stage, similarity,
 // threshold, rear-view depth, tie-breakers), why candidate pairs lost the
-// assignment, and where new objects were created.
+// assignment, and where new objects were created. Since provenance
+// schema v2, records also carry "candidates_considered" — how many
+// candidate pairs the matcher actually scored for the instance (pair
+// records: this stage; new-object records: across all stages; step
+// records: the step total), which quantifies what the retrieval index
+// pruned. Old readers can ignore the extra key.
 //
 //   somr_explain --demo                        # JSONL to stdout
 //   somr_explain dump.xml --out=decisions.jsonl --page='Some title'

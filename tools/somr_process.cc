@@ -18,6 +18,7 @@
 #include "core/change_cube.h"
 #include "core/pipeline.h"
 #include "matching/graph_io.h"
+#include "matching/matcher.h"
 #include "matching/validate.h"
 #include "obs/cli.h"
 #include "obs/trace.h"
@@ -66,8 +67,8 @@ int main(int argc, char** argv) {
                 "<page> blocks");
   flags.AddBool("validate", false,
                 "run the registered invariant validators over every "
-                "result (graph linearity, matching validity) and fail "
-                "on any violation");
+                "result (graph linearity, matching validity, retrieval "
+                "index consistency) and fail on any violation");
   obs::CliObservability::AddFlags(flags);
 
   Status parsed = flags.Parse(argc, argv);
@@ -205,13 +206,33 @@ int main(int argc, char** argv) {
                                               page.revisions, &report);
       }
     }
+    // The graph checks above run on pipeline outputs alone; the
+    // retrieval-index validator needs live matcher state, so re-run
+    // matching per page and sweep the matcher's validators (including
+    // "retrieval_index") over the final windows.
+    size_t matchers_swept = 0;
+    if (pipeline.config().use_flat_kernels &&
+        pipeline.config().enable_retrieval_index) {
+      for (const core::PageResult& page : *results) {
+        for (extract::ObjectType type : kAllTypes) {
+          matching::TemporalMatcher matcher(type, pipeline.config());
+          for (size_t r = 0; r < page.revisions.size(); ++r) {
+            matcher.ProcessRevision(static_cast<int>(r),
+                                    page.revisions[r].OfType(type));
+          }
+          matcher.Validate(&report);
+          ++matchers_swept;
+        }
+      }
+    }
     if (!report.ok()) {
       std::fprintf(stderr, "validation FAILED (%zu issues):\n%s",
                    report.issue_count(), report.ToString().c_str());
       return 1;
     }
-    std::printf("validation OK (%zu pages, %zu objects)\n",
-                results->size(), objects);
+    std::printf("validation OK (%zu pages, %zu objects, "
+                "%zu retrieval-index sweeps)\n",
+                results->size(), objects, matchers_swept);
   }
 
   if (flags.GetBool("classify")) {
