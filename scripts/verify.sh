@@ -3,10 +3,12 @@
 # project linter, header self-sufficiency TUs, clang-tidy and
 # clang-format when installed), then configure + build + ctest for the
 # release preset, again under AddressSanitizer/UBSan, once more with
-# tracing compiled in plus the end-to-end observability smoke test
-# (`somr_process --demo` with trace/metrics/provenance outputs
-# validated), the concurrent subsystems (executor, matcher, pipelines,
-# ingestion) under ThreadSanitizer, and finally strict UBSan
+# tracing compiled in plus the end-to-end observability and serving
+# smoke tests (`somr_process --demo` with trace/metrics/provenance
+# outputs validated; the somr_serve daemon fed the demo corpus and
+# byte-compared against the batch pipeline), the concurrent subsystems
+# (executor, matcher, pipelines, ingestion, serving) under
+# ThreadSanitizer, and finally strict UBSan
 # (-fno-sanitize-recover, includes float-divide-by-zero). Any failure
 # (configure, compile, lint, or test) fails the script.
 #

@@ -1,0 +1,122 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace somr::serve {
+
+namespace {
+
+Status SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpClient::Connect(uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status =
+        Status::Internal(std::string("connect to 127.0.0.1:") +
+                         std::to_string(port) + ": " + std::strerror(errno));
+    Close();
+    return status;
+  }
+  return Status::OK();
+}
+
+StatusOr<ClientResponse> HttpClient::Request(const std::string& method,
+                                             const std::string& target,
+                                             const std::string& body,
+                                             bool chunked) {
+  if (fd_ < 0) return Status::Internal("client is not connected");
+
+  std::string message = method + " " + target + " HTTP/1.1\r\n";
+  message += "Host: 127.0.0.1\r\n";
+  if (!body.empty() && chunked) {
+    message += "Transfer-Encoding: chunked\r\n\r\n";
+    // Small chunks on purpose: the server's decoder sees many boundaries.
+    constexpr size_t kChunk = 1024;
+    for (size_t at = 0; at < body.size(); at += kChunk) {
+      const size_t len = std::min(kChunk, body.size() - at);
+      char size_line[32];
+      std::snprintf(size_line, sizeof(size_line), "%zx\r\n", len);
+      message += size_line;
+      message.append(body, at, len);
+      message += "\r\n";
+    }
+    message += "0\r\n\r\n";
+  } else {
+    message += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+    message += body;
+  }
+  SOMR_RETURN_IF_ERROR(SendAll(fd_, message));
+
+  HttpResponseParser parser;
+  char buf[8192];
+  while (!parser.done()) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      Close();
+      return Status::Internal("connection closed mid-response");
+    }
+    size_t at = 0;
+    while (at < static_cast<size_t>(n) && !parser.done() &&
+           !parser.error()) {
+      at += parser.Feed(buf + at, static_cast<size_t>(n) - at);
+    }
+    if (parser.error()) {
+      Close();
+      return Status::ParseError("bad HTTP response: " +
+                                parser.error_message());
+    }
+  }
+
+  ClientResponse response;
+  response.status = parser.status();
+  response.body = parser.body();
+  if (parser.Header("connection") == "close") Close();
+  return response;
+}
+
+}  // namespace somr::serve

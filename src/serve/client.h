@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "serve/http.h"
+
+namespace somr::serve {
+
+/// What one round trip produced.
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection —
+/// enough for the somr_serve CLI subcommands, the smoke test and the
+/// integration tests; not a general-purpose client.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to 127.0.0.1:`port`.
+  Status Connect(uint16_t port);
+
+  /// Sends one request and blocks for the response. `target` must
+  /// already be percent-encoded. An empty `body` sends no payload;
+  /// `chunked` transmits the body as Transfer-Encoding: chunked in small
+  /// pieces (exercising the server's chunked decoder), otherwise
+  /// Content-Length framing is used.
+  StatusOr<ClientResponse> Request(const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body = "",
+                                   bool chunked = false);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace somr::serve

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace somr::serve {
+
+/// One parsed HTTP/1.1 request. Header names are lower-cased during
+/// parsing (HTTP headers are case-insensitive); values keep their bytes
+/// with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // raw request target, e.g. "/context/a%20b/graph"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of `name` (already lower-case), or "" when absent.
+  const std::string& Header(const std::string& name) const;
+};
+
+/// One HTTP response; SerializeResponse always emits an explicit
+/// Content-Length so clients never need EOF-delimited bodies.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  bool close_connection = false;
+};
+
+const char* HttpStatusReason(int status);
+
+/// Serializes `response` as an HTTP/1.1 message with Content-Length and
+/// a Connection header (keep-alive unless close_connection).
+std::string SerializeResponse(const HttpResponse& response);
+
+/// Incremental HTTP/1.1 request parser. Feed() accepts bytes in
+/// arbitrary fragments (a socket read may tear a request anywhere,
+/// including mid header line or mid chunk header) and consumes at most
+/// one request's worth; leftover bytes stay with the caller for the next
+/// request on a keep-alive connection. Bodies arrive either via
+/// Content-Length or Transfer-Encoding: chunked. Every malformed input
+/// (bad request line, oversized headers, invalid Content-Length, broken
+/// chunk framing, body over limit) lands in the error state with a
+/// message — never an abort — so the server can answer 400.
+class HttpRequestParser {
+ public:
+  struct Limits {
+    size_t max_header_bytes = 64 * 1024;
+    size_t max_body_bytes = 64 * 1024 * 1024;
+  };
+
+  HttpRequestParser() = default;
+  explicit HttpRequestParser(Limits limits) : limits_(limits) {}
+
+  /// Consumes up to `size` bytes; returns how many were used. Stops
+  /// consuming once the request completes (done()) or fails (error()).
+  size_t Feed(const char* data, size_t size);
+
+  bool done() const { return state_ == State::kDone; }
+  bool error() const { return state_ == State::kError; }
+  const std::string& error_message() const { return error_; }
+
+  /// The parsed request; valid once done().
+  const HttpRequest& request() const { return request_; }
+  HttpRequest& request() { return request_; }
+
+  /// Resets to parse the next request (keep-alive reuse).
+  void Reset();
+
+ private:
+  enum class State {
+    kHeaders,
+    kBody,          // fixed Content-Length
+    kChunkHeader,   // hex size line
+    kChunkData,     // chunk payload + trailing CRLF
+    kChunkTrailer,  // trailer lines after the final 0-chunk
+    kDone,
+    kError,
+  };
+
+  void Fail(std::string message);
+  bool ParseHeaderBlock();
+
+  Limits limits_;
+  State state_ = State::kHeaders;
+  std::string buffer_;  // header block / current framing line
+  HttpRequest request_;
+  std::string error_;
+  size_t body_remaining_ = 0;   // kBody / kChunkData bytes outstanding
+  size_t chunk_padding_ = 0;    // CRLF bytes to swallow after a chunk
+};
+
+/// Incremental HTTP/1.1 response parser for the built-in client. Same
+/// feeding contract as HttpRequestParser; the body must be delimited by
+/// Content-Length or chunked encoding (which SerializeResponse and every
+/// well-behaved server provide).
+class HttpResponseParser {
+ public:
+  size_t Feed(const char* data, size_t size);
+
+  bool done() const { return state_ == State::kDone; }
+  bool error() const { return state_ == State::kError; }
+  const std::string& error_message() const { return error_; }
+
+  int status() const { return status_; }
+  const std::string& body() const { return body_; }
+  const std::string& Header(const std::string& name) const;
+
+  void Reset();
+
+ private:
+  enum class State {
+    kHeaders,
+    kBody,
+    kChunkHeader,
+    kChunkData,
+    kChunkTrailer,
+    kDone,
+    kError,
+  };
+
+  void Fail(std::string message);
+  bool ParseHeaderBlock();
+
+  State state_ = State::kHeaders;
+  std::string buffer_;
+  std::string error_;
+  int status_ = 0;
+  std::vector<std::pair<std::string, std::string>> headers_;
+  std::string body_;
+  size_t body_remaining_ = 0;
+  size_t chunk_padding_ = 0;
+};
+
+/// Percent-encodes every byte outside the URL "unreserved" set (RFC 3986)
+/// so arbitrary context ids (spaces, unicode titles) survive a path.
+std::string PercentEncode(const std::string& raw);
+
+/// Decodes %XX sequences; invalid escapes are kept literally.
+std::string PercentDecode(const std::string& encoded);
+
+/// Splits a request target into decoded path segments and the raw query
+/// string: "/context/a%20b/graph?limit=5" -> {"context", "a b",
+/// "graph"}, query "limit=5".
+void SplitTarget(const std::string& target,
+                 std::vector<std::string>* segments, std::string* query);
+
+/// First value of `key` in a query string ("a=1&b=2"), percent-decoded;
+/// "" when absent.
+std::string QueryParam(const std::string& query, const std::string& key);
+
+}  // namespace somr::serve

@@ -1,0 +1,696 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/timer.h"
+#include "matching/graph_io.h"
+#include "obs/metrics.h"
+#include "state/incremental_pipeline.h"
+#include "xmldump/dump.h"
+
+namespace somr::serve {
+
+namespace {
+
+constexpr extract::ObjectType kAllTypes[] = {
+    extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+    extract::ObjectType::kList};
+
+struct ServeMetrics {
+  obs::Counter* requests;
+  obs::Counter* http_errors;
+  obs::Gauge* resident;
+  obs::Gauge* evicted;
+  obs::Gauge* faulted;
+  obs::Histogram* latency_revision;
+  obs::Histogram* latency_graph;
+  obs::Histogram* latency_history;
+  obs::Histogram* latency_provenance;
+  obs::Histogram* latency_metrics;
+  obs::Histogram* latency_admin;
+  obs::Histogram* latency_other;
+};
+
+obs::Histogram* LatencyHistogram(obs::MetricsRegistry& reg,
+                                 const std::string& endpoint) {
+  // 100 µs .. ~26 s in x4 steps.
+  return reg.GetHistogram("somr_serve_request_seconds_" + endpoint,
+                          "Request latency of the " + endpoint +
+                              " serve endpoint in seconds",
+                          1e-4, 4.0, 10);
+}
+
+const ServeMetrics& GetServeMetrics() {
+  static const ServeMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    ServeMetrics m;
+    m.requests = reg.GetCounter("somr_serve_requests_total",
+                                "HTTP requests handled by somr_serve");
+    m.http_errors = reg.GetCounter(
+        "somr_serve_http_errors_total",
+        "Requests answered with a 4xx/5xx status (incl. parse errors)");
+    m.resident = reg.GetGauge("somr_serve_contexts_resident",
+                              "Matcher contexts live in shard LRU caches");
+    m.evicted = reg.GetGauge(
+        "somr_serve_contexts_evicted",
+        "Contexts dropped from residency to stay within capacity");
+    m.faulted = reg.GetGauge(
+        "somr_serve_contexts_faulted",
+        "Contexts restored from ContextStore snapshots on demand");
+    m.latency_revision = LatencyHistogram(reg, "revision");
+    m.latency_graph = LatencyHistogram(reg, "graph");
+    m.latency_history = LatencyHistogram(reg, "history");
+    m.latency_provenance = LatencyHistogram(reg, "provenance");
+    m.latency_metrics = LatencyHistogram(reg, "metrics");
+    m.latency_admin = LatencyHistogram(reg, "admin");
+    m.latency_other = LatencyHistogram(reg, "other");
+    return m;
+  }();
+  return metrics;
+}
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = "{\"error\": \"" + JsonEscape(message) + "\"}\n";
+  return response;
+}
+
+HttpResponse JsonResponse(std::string body) {
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+/// Per-request sink: collects rendered decisions for the ingest response
+/// and forwards every record to the server-wide provenance ring.
+class CollectSink : public obs::ProvenanceSink {
+ public:
+  explicit CollectSink(RingProvenanceSink* ring) : ring_(ring) {}
+
+  void Record(const obs::MatchDecision& decision) override {
+    collected_.push_back(obs::MatchDecisionToJson(decision));
+    ring_->Record(decision);
+  }
+
+  const std::vector<std::string>& collected() const { return collected_; }
+
+ private:
+  RingProvenanceSink* ring_;
+  std::vector<std::string> collected_;
+};
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- RingProvenanceSink ----------------------------------------------------
+
+void RingProvenanceSink::Record(const obs::MatchDecision& decision) {
+  Row row{decision.page, obs::MatchDecisionToJson(decision)};
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.push_back(std::move(row));
+  if (rows_.size() > capacity_) rows_.pop_front();
+}
+
+std::string RingProvenanceSink::RenderJsonl(const std::string& page,
+                                            size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Row*> selected;
+  for (auto it = rows_.rbegin(); it != rows_.rend(); ++it) {
+    if (!page.empty() && it->page != page) continue;
+    selected.push_back(&*it);
+    if (selected.size() >= limit) break;
+  }
+  std::string out;
+  for (auto it = selected.rbegin(); it != selected.rend(); ++it) {
+    out += (*it)->json;
+    out += '\n';
+  }
+  return out;
+}
+
+size_t RingProvenanceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
+}
+
+// --- Server ----------------------------------------------------------------
+
+Server::Server(state::ContextStore* store, ServeOptions options)
+    : store_(store),
+      options_(options),
+      provenance_(options.provenance_capacity) {
+  if (options_.shards < 1) options_.shards = 1;
+  if (options_.connection_workers < 1) options_.connection_workers = 1;
+}
+
+Server::~Server() {
+  Stop();
+  // Serve() normally joins everything; cover the Start()-without-Serve()
+  // and failed-Start() paths.
+  for (auto& shard : shards_) {
+    shard->queue.Close();
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  executor_.reset();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Internal(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(errno));
+  }
+  bound_port_ = ntohs(addr.sin_port);
+
+  shards_.reserve(options_.shards);
+  for (unsigned s = 0; s < options_.shards; ++s) {
+    auto shard = std::make_unique<Shard>(/*queue_capacity=*/64);
+    shard->cache = std::make_unique<ContextCache>(store_,
+                                                  options_.cache_capacity);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([this, raw = shard.get()] {
+      ShardMain(*raw);
+    });
+  }
+  executor_ = std::make_unique<parallel::Executor>(
+      options_.connection_workers);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Server::PublishResidencyGauges() {
+  // Sums the per-shard mirror counters, never the caches themselves: a
+  // cache belongs to its shard worker alone, and this runs on whichever
+  // shard finished a job last.
+  uint64_t resident = 0, evicted = 0, faulted = 0;
+  for (const auto& shard : shards_) {
+    resident += shard->resident.load(std::memory_order_relaxed);
+    evicted += shard->evicted.load(std::memory_order_relaxed);
+    faulted += shard->faulted.load(std::memory_order_relaxed);
+  }
+  const ServeMetrics& metrics = GetServeMetrics();
+  metrics.resident->Set(static_cast<double>(resident));
+  metrics.evicted->Set(static_cast<double>(evicted));
+  metrics.faulted->Set(static_cast<double>(faulted));
+}
+
+void Server::ShardMain(Shard& shard) {
+  const auto mirror_counters = [&shard] {
+    shard.resident.store(shard.cache->resident(),
+                         std::memory_order_relaxed);
+    shard.evicted.store(shard.cache->stats().evictions,
+                        std::memory_order_relaxed);
+    shard.faulted.store(shard.cache->stats().faults,
+                        std::memory_order_relaxed);
+  };
+  std::function<void()> job;
+  while (shard.queue.Pop(job)) {
+    job();
+    job = nullptr;
+    mirror_counters();
+    PublishResidencyGauges();
+  }
+  // Graceful shutdown: every dirty resident context gets a snapshot.
+  Status status = shard.cache->CheckpointAll();
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (shutdown_error_.ok()) shutdown_error_ = status;
+  }
+  mirror_counters();
+  PublishResidencyGauges();
+}
+
+Status Server::Serve() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener shut down (Stop) or broken beyond repair
+    }
+    timeval timeout{};
+    timeout.tv_sec = options_.socket_timeout_millis / 1000;
+    timeout.tv_usec = (options_.socket_timeout_millis % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++active_connections_;
+    }
+    executor_->Submit([this, fd] { HandleConnection(fd); });
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+
+  // Connections first (they feed the shard queues), then the shards —
+  // each shard checkpoints its dirty contexts on the way out.
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_cv_.wait(lock, [&] { return active_connections_ == 0; });
+  }
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  executor_.reset();
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return shutdown_error_;
+}
+
+void Server::HandleConnection(int fd) {
+  const ServeMetrics& metrics = GetServeMetrics();
+  HttpRequestParser parser;
+  std::string pending;
+  char buf[8192];
+
+  while (true) {
+    if (pending.empty()) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n == 0) break;  // peer closed
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // Idle poll tick: keep waiting unless the server is stopping.
+          if (stopping_.load(std::memory_order_relaxed)) break;
+          continue;
+        }
+        break;
+      }
+      pending.assign(buf, static_cast<size_t>(n));
+    }
+    size_t used = parser.Feed(pending.data(), pending.size());
+    pending.erase(0, used);
+    if (parser.error()) {
+      metrics.requests->Increment();
+      metrics.http_errors->Increment();
+      HttpResponse bad = ErrorResponse(400, parser.error_message());
+      bad.close_connection = true;
+      SendAll(fd, SerializeResponse(bad));
+      break;
+    }
+    if (!parser.done()) continue;
+
+    HttpRequest request = std::move(parser.request());
+    parser.Reset();
+    metrics.requests->Increment();
+    const bool peer_close = request.Header("connection") == "close" ||
+                            request.version == "HTTP/1.0";
+
+    Timer timer;
+    const char* endpoint = "other";
+    HttpResponse response = Route(request, &endpoint);
+    const double seconds = timer.ElapsedSeconds();
+    if (std::strcmp(endpoint, "revision") == 0) {
+      metrics.latency_revision->Observe(seconds);
+    } else if (std::strcmp(endpoint, "graph") == 0) {
+      metrics.latency_graph->Observe(seconds);
+    } else if (std::strcmp(endpoint, "history") == 0) {
+      metrics.latency_history->Observe(seconds);
+    } else if (std::strcmp(endpoint, "provenance") == 0) {
+      metrics.latency_provenance->Observe(seconds);
+    } else if (std::strcmp(endpoint, "metrics") == 0) {
+      metrics.latency_metrics->Observe(seconds);
+    } else if (std::strcmp(endpoint, "admin") == 0) {
+      metrics.latency_admin->Observe(seconds);
+    } else {
+      metrics.latency_other->Observe(seconds);
+    }
+    if (response.status >= 400) metrics.http_errors->Increment();
+
+    response.close_connection =
+        response.close_connection || peer_close ||
+        stopping_.load(std::memory_order_relaxed);
+    const bool ok = SendAll(fd, SerializeResponse(response));
+
+    // /admin/drain: the response is out; now take the server down.
+    if (response.status == 200 && request.method == "POST" &&
+        request.target == "/admin/drain") {
+      Stop();
+      break;
+    }
+    if (!ok || response.close_connection) break;
+  }
+
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    --active_connections_;
+  }
+  conn_cv_.notify_all();
+}
+
+HttpResponse Server::Route(const HttpRequest& request,
+                           const char** endpoint) {
+  std::vector<std::string> segments;
+  std::string query;
+  SplitTarget(request.target, &segments, &query);
+
+  if (segments.size() == 1 && segments[0] == "healthz") {
+    *endpoint = "healthz";
+    if (request.method != "GET") return ErrorResponse(405, "GET only");
+    HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  }
+  if (segments.size() == 1 && segments[0] == "metrics") {
+    *endpoint = "metrics";
+    if (request.method != "GET") return ErrorResponse(405, "GET only");
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body =
+        obs::RenderMetricsText(obs::MetricsRegistry::Global().Scrape());
+    return response;
+  }
+  if (segments.size() == 2 && segments[0] == "admin") {
+    *endpoint = "admin";
+    if (request.method != "POST") return ErrorResponse(405, "POST only");
+    if (segments[1] == "checkpoint") return HandleCheckpoint();
+    if (segments[1] == "drain") {
+      draining_.store(true, std::memory_order_relaxed);
+      HttpResponse response = HandleCheckpoint();
+      if (response.status != 200) return response;
+      response.body = "{\"draining\": true}\n";
+      response.close_connection = true;
+      return response;
+    }
+    return ErrorResponse(404, "unknown admin action");
+  }
+  if (segments.size() >= 3 && segments[0] == "context") {
+    const std::string& id = segments[1];
+    if (segments.size() == 3 && segments[2] == "revision") {
+      *endpoint = "revision";
+      if (request.method != "POST") return ErrorResponse(405, "POST only");
+      if (draining_.load(std::memory_order_relaxed)) {
+        return ErrorResponse(503, "server is draining");
+      }
+      return HandleIngest(id, request);
+    }
+    if (request.method != "GET") return ErrorResponse(405, "GET only");
+    if (segments.size() == 3 && segments[2] == "graph") {
+      *endpoint = "graph";
+      return HandleGraph(id);
+    }
+    if (segments.size() == 4 && segments[2] == "history") {
+      *endpoint = "history";
+      return HandleHistory(id, segments[3]);
+    }
+    if (segments.size() == 3 && segments[2] == "provenance") {
+      *endpoint = "provenance";
+      return HandleProvenance(id, query);
+    }
+  }
+  return ErrorResponse(404, "no route for " + request.method + " " +
+                                request.target);
+}
+
+HttpResponse Server::OnShard(const std::string& id,
+                             std::function<HttpResponse(ContextCache&)> fn) {
+  Shard& shard = *shards_[Fnv1a64(id) % shards_.size()];
+
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    HttpResponse response;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  ContextCache* cache = shard.cache.get();
+  const bool pushed = shard.queue.Push([waiter, cache,
+                                        fn = std::move(fn)]() mutable {
+    HttpResponse response = fn(*cache);
+    {
+      std::lock_guard<std::mutex> lock(waiter->mu);
+      waiter->response = std::move(response);
+      waiter->done = true;
+    }
+    waiter->cv.notify_one();
+  });
+  if (!pushed) return ErrorResponse(503, "server is shutting down");
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  waiter->cv.wait(lock, [&] { return waiter->done; });
+  return std::move(waiter->response);
+}
+
+HttpResponse Server::HandleIngest(const std::string& id,
+                                  const HttpRequest& request) {
+  StatusOr<xmldump::Dump> dump = xmldump::ReadDump(request.body);
+  if (!dump.ok()) return ErrorResponse(400, dump.status().ToString());
+  if (dump->pages.size() != 1) {
+    return ErrorResponse(400, "body must hold exactly one <page>, got " +
+                                  std::to_string(dump->pages.size()));
+  }
+  xmldump::PageHistory page = std::move(dump->pages[0]);
+  if (page.title.empty()) {
+    page.title = id;
+  } else if (page.title != id) {
+    return ErrorResponse(400, "body page title \"" + page.title +
+                                  "\" does not match context id \"" + id +
+                                  "\"");
+  }
+
+  return OnShard(id, [this, id, page = std::move(page)](
+                         ContextCache& cache) -> HttpResponse {
+    StatusOr<state::PageState*> resident =
+        cache.GetOrLoad(id, /*create=*/true);
+    if (!resident.ok()) {
+      return ErrorResponse(500, resident.status().ToString());
+    }
+    CollectSink sink(&provenance_);
+    state::IngestReport report =
+        state::ApplyPageToState(**resident, page, &sink, nullptr);
+    if (report.new_revisions > 0) cache.MarkDirty(id);
+
+    const bool page_skipped =
+        report.new_revisions == 0 && report.skipped_revisions > 0;
+    std::string body = "{\"context\": \"" + JsonEscape(id) + "\"";
+    body += ", \"new_revisions\": " + std::to_string(report.new_revisions);
+    body += ", \"skipped_revisions\": " +
+            std::to_string(report.skipped_revisions);
+    body += std::string(", \"page_skipped\": ") +
+            (page_skipped ? "true" : "false");
+    body += ", \"revisions_ingested\": " +
+            std::to_string((*resident)->revisions_ingested);
+    body += ", \"decisions\": [";
+    for (size_t i = 0; i < sink.collected().size(); ++i) {
+      if (i > 0) body += ", ";
+      body += sink.collected()[i];
+    }
+    body += "]}\n";
+    return JsonResponse(std::move(body));
+  });
+}
+
+HttpResponse Server::HandleGraph(const std::string& id) {
+  return OnShard(id, [id](ContextCache& cache) -> HttpResponse {
+    StatusOr<state::PageState*> resident =
+        cache.GetOrLoad(id, /*create=*/false);
+    if (!resident.ok()) {
+      const int status =
+          resident.status().code() == StatusCode::kNotFound ? 404 : 500;
+      return ErrorResponse(status, resident.status().ToString());
+    }
+    HttpResponse response;
+    for (extract::ObjectType type : kAllTypes) {
+      response.body += matching::SerializeIdentityGraph(
+          (*resident)->matcher.GraphFor(type));
+    }
+    return response;
+  });
+}
+
+HttpResponse Server::HandleHistory(const std::string& id,
+                                   const std::string& object_spec) {
+  // "<type>:<object-id>", e.g. "table:0".
+  size_t colon = object_spec.find(':');
+  if (colon == std::string::npos) {
+    return ErrorResponse(400, "object spec must be <type>:<id>");
+  }
+  const std::string type_name = object_spec.substr(0, colon);
+  extract::ObjectType type;
+  if (type_name == "table") {
+    type = extract::ObjectType::kTable;
+  } else if (type_name == "infobox") {
+    type = extract::ObjectType::kInfobox;
+  } else if (type_name == "list") {
+    type = extract::ObjectType::kList;
+  } else {
+    return ErrorResponse(400, "unknown object type \"" + type_name + "\"");
+  }
+  int64_t object_id = 0;
+  const std::string id_digits = object_spec.substr(colon + 1);
+  if (id_digits.empty() ||
+      id_digits.find_first_not_of("0123456789") != std::string::npos) {
+    return ErrorResponse(400, "object id must be a non-negative integer");
+  }
+  object_id = std::stoll(id_digits);
+
+  return OnShard(id, [id, type, type_name,
+                      object_id](ContextCache& cache) -> HttpResponse {
+    StatusOr<state::PageState*> resident =
+        cache.GetOrLoad(id, /*create=*/false);
+    if (!resident.ok()) {
+      const int status =
+          resident.status().code() == StatusCode::kNotFound ? 404 : 500;
+      return ErrorResponse(status, resident.status().ToString());
+    }
+    const matching::IdentityGraph& graph =
+        (*resident)->matcher.GraphFor(type);
+    for (const matching::TrackedObjectRecord& object : graph.objects()) {
+      if (object.object_id != object_id) continue;
+      std::string body = "{\"context\": \"" + JsonEscape(id) + "\"";
+      body += ", \"type\": \"" + type_name + "\"";
+      body += ", \"object\": " + std::to_string(object_id);
+      body += ", \"versions\": [";
+      for (size_t i = 0; i < object.versions.size(); ++i) {
+        if (i > 0) body += ", ";
+        body += "{\"revision\": " +
+                std::to_string(object.versions[i].revision) +
+                ", \"position\": " +
+                std::to_string(object.versions[i].position) + "}";
+      }
+      body += "]}\n";
+      return JsonResponse(std::move(body));
+    }
+    return ErrorResponse(404, "no " + type_name + " object " +
+                                  std::to_string(object_id) +
+                                  " in context \"" + id + "\"");
+  });
+}
+
+HttpResponse Server::HandleProvenance(const std::string& id,
+                                      const std::string& query) {
+  size_t limit = 256;
+  const std::string limit_param = QueryParam(query, "limit");
+  if (!limit_param.empty()) {
+    if (limit_param.find_first_not_of("0123456789") != std::string::npos ||
+        limit_param.size() > 9) {
+      return ErrorResponse(400, "limit must be a small integer");
+    }
+    limit = static_cast<size_t>(std::stoul(limit_param));
+  }
+  HttpResponse response;
+  response.content_type = "application/jsonl";
+  response.body = provenance_.RenderJsonl(id, limit);
+  return response;
+}
+
+HttpResponse Server::HandleCheckpoint() {
+  // Fan one checkpoint job out per shard so each cache is touched only
+  // by its own worker, and wait for all of them.
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending;
+    Status first_error;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  waiter->pending = shards_.size();
+  for (auto& shard : shards_) {
+    ContextCache* cache = shard->cache.get();
+    const bool pushed = shard->queue.Push([waiter, cache] {
+      Status status = cache->CheckpointAll();
+      {
+        std::lock_guard<std::mutex> lock(waiter->mu);
+        if (!status.ok() && waiter->first_error.ok()) {
+          waiter->first_error = status;
+        }
+        --waiter->pending;
+      }
+      waiter->cv.notify_one();
+    });
+    if (!pushed) {
+      std::lock_guard<std::mutex> lock(waiter->mu);
+      --waiter->pending;
+    }
+  }
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  waiter->cv.wait(lock, [&] { return waiter->pending == 0; });
+  if (!waiter->first_error.ok()) {
+    return ErrorResponse(500, waiter->first_error.ToString());
+  }
+  return JsonResponse("{\"checkpointed_shards\": " +
+                      std::to_string(shards_.size()) + "}\n");
+}
+
+}  // namespace somr::serve

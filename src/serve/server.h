@@ -1,0 +1,168 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/provenance.h"
+#include "parallel/executor.h"
+#include "parallel/mpmc_channel.h"
+#include "serve/context_cache.h"
+#include "serve/http.h"
+#include "state/context_store.h"
+
+namespace somr::serve {
+
+/// Keeps the most recent rendered match-decision records in memory so
+/// `GET /context/<id>/provenance` can answer without a file sink. Ring
+/// semantics: once full, the oldest record falls out. Thread-safe (shard
+/// workers record concurrently).
+class RingProvenanceSink : public obs::ProvenanceSink {
+ public:
+  explicit RingProvenanceSink(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  void Record(const obs::MatchDecision& decision) override;
+
+  /// Newest-last JSONL of up to `limit` records whose page equals
+  /// `page`; empty `page` matches every record.
+  std::string RenderJsonl(const std::string& page, size_t limit) const;
+
+  size_t size() const;
+
+ private:
+  struct Row {
+    std::string page;
+    std::string json;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Row> rows_;
+};
+
+struct ServeOptions {
+  /// TCP port; 0 binds an ephemeral port (see Server::port()).
+  uint16_t port = 0;
+  /// Shard workers. Contexts map to shards by FNV-1a of the context id,
+  /// so one context's requests always serialize onto one shard.
+  unsigned shards = 4;
+  /// Resident contexts per shard before LRU spill kicks in.
+  size_t cache_capacity = 256;
+  /// Executor workers handling connections (also the cap on concurrently
+  /// served connections, since handlers block on their sockets).
+  unsigned connection_workers = 4;
+  /// Recent match-decision records kept for /context/<id>/provenance.
+  size_t provenance_capacity = 4096;
+  /// Idle-read poll granularity; shutdown latency is bounded by it.
+  int socket_timeout_millis = 200;
+};
+
+/// The somr matching daemon: a dependency-free HTTP/1.1 server holding
+/// many matcher contexts resident. Connections are accepted on the
+/// Serve() thread and handled on executor workers (blocking sockets);
+/// context endpoints hop onto one of N shard workers, each of which owns
+/// a ContextCache, so per-context work is serialized and resident memory
+/// stays bounded via LRU spill to the ContextStore.
+///
+/// Endpoints:
+///   POST /context/<id>/revision   ingest page XML, match, JSON decisions
+///   GET  /context/<id>/graph      identity graphs (somr text format)
+///   GET  /context/<id>/history/<type>:<object>   object version history
+///   GET  /context/<id>/provenance[?limit=N]      recent decisions JSONL
+///   GET  /metrics                 Prometheus text exposition
+///   GET  /healthz                 liveness probe
+///   POST /admin/checkpoint        snapshot every dirty context now
+///   POST /admin/drain             checkpoint, then shut the server down
+class Server {
+ public:
+  /// `store` must be Open()ed and outlive the server.
+  Server(state::ContextStore* store, ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens; after an OK return port() is live and Serve()
+  /// may be called.
+  Status Start();
+
+  /// Runs the accept loop until Stop() (or /admin/drain), then drains
+  /// connections and shard queues, checkpoints every dirty context, and
+  /// returns. Call from the thread that owns the server (blocks).
+  Status Serve();
+
+  /// Requests shutdown from any thread (also safe from a signal handler
+  /// via shutdown(2) on the listen fd — see somr_serve). Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0 after Start()).
+  uint16_t port() const { return bound_port_; }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+
+    parallel::Channel<std::function<void()>> queue;
+    std::unique_ptr<ContextCache> cache;
+    std::thread thread;
+    // Residency counters mirrored from `cache` by the owning worker
+    // after every job: the cache itself is single-owner and must never
+    // be read from another shard's thread, but the metrics publisher
+    // sums across all shards.
+    std::atomic<uint64_t> resident{0};
+    std::atomic<uint64_t> evicted{0};
+    std::atomic<uint64_t> faulted{0};
+  };
+
+  void ShardMain(Shard& shard);
+  void HandleConnection(int fd);
+
+  /// Routes one parsed request to a response; sets `*endpoint` to the
+  /// latency-histogram bucket name. Context endpoints block on their
+  /// shard; everything else answers inline.
+  HttpResponse Route(const HttpRequest& request, const char** endpoint);
+
+  /// Runs `fn` on `id`'s shard and returns its response; serializes all
+  /// work for one context.
+  HttpResponse OnShard(const std::string& id,
+                       std::function<HttpResponse(ContextCache&)> fn);
+
+  HttpResponse HandleIngest(const std::string& id,
+                            const HttpRequest& request);
+  HttpResponse HandleGraph(const std::string& id);
+  HttpResponse HandleHistory(const std::string& id,
+                             const std::string& object_spec);
+  HttpResponse HandleProvenance(const std::string& id,
+                                const std::string& query);
+  HttpResponse HandleCheckpoint();
+
+  void PublishResidencyGauges();
+
+  state::ContextStore* store_;
+  ServeOptions options_;
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<parallel::Executor> executor_;
+  RingProvenanceSink provenance_;
+
+  // Open connections, so shutdown can wait for handlers to finish.
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  size_t active_connections_ = 0;
+  Status shutdown_error_;  // first checkpoint failure, guarded by conn_mu_
+};
+
+}  // namespace somr::serve

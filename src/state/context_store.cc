@@ -1,5 +1,6 @@
 #include "state/context_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -192,6 +193,7 @@ Status ContextStore::Open(bool create) {
                                 ": non-numeric manifest field");
     }
     info.title = UnescapeTitle(fields[5]);
+    info.version = 1;
     pages_[info.title] = std::move(info);
   }
   open_ = true;
@@ -203,11 +205,23 @@ bool ContextStore::Contains(const std::string& title) const {
   return pages_.count(title) > 0;
 }
 
+std::optional<ContextStore::PageInfo> ContextStore::Lookup(
+    const std::string& title) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(title);
+  if (it == pages_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::vector<ContextStore::PageInfo> ContextStore::Pages() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<PageInfo> out;
   out.reserve(pages_.size());
   for (const auto& [title, info] : pages_) out.push_back(info);
+  std::sort(out.begin(), out.end(),
+            [](const PageInfo& a, const PageInfo& b) {
+              return a.title < b.title;
+            });
   return out;
 }
 
@@ -258,6 +272,8 @@ Status ContextStore::Save(const PageState& state) {
 
   std::lock_guard<std::mutex> lock(mu_);
   if (!open_) return Status::Internal("context store not opened");
+  auto it = pages_.find(info.title);
+  info.version = it == pages_.end() ? 1 : it->second.version + 1;
   pages_[info.title] = std::move(info);
   return WriteManifestLocked();
 }
@@ -270,7 +286,16 @@ Status ContextStore::WriteManifestLocked() {
   content += " config=";
   content += buf;
   content += "\n";
-  for (const auto& [title, info] : pages_) {
+  std::vector<const PageInfo*> rows;
+  rows.reserve(pages_.size());
+  for (const auto& [title, info] : pages_) rows.push_back(&info);
+  std::sort(rows.begin(), rows.end(),
+            [](const PageInfo* a, const PageInfo* b) {
+              return a->title < b->title;
+            });
+  for (const PageInfo* row : rows) {
+    const PageInfo& info = *row;
+    const std::string& title = info.title;
     content += info.file;
     content += '\t';
     content += std::to_string(info.page_id);

@@ -1,9 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -32,6 +33,10 @@ class ContextStore {
     int64_t last_revision_id = 0;
     UnixSeconds last_timestamp = 0;
     uint32_t revisions_ingested = 0;
+    /// In-memory snapshot generation: 1 when the entry came from the
+    /// manifest at Open(), bumped on every Save(). Not persisted — it
+    /// lets a reader tell whether a page changed since it last looked.
+    uint64_t version = 0;
   };
 
   ContextStore(std::string dir, matching::MatcherConfig config = {});
@@ -43,6 +48,13 @@ class ContextStore {
   Status Open(bool create);
 
   bool Contains(const std::string& title) const;
+
+  /// O(1) manifest-index probe: the page's manifest row (snapshot file,
+  /// revision bookkeeping, version) without touching the filesystem, or
+  /// nullopt when the page has never been saved. The index is built once
+  /// at Open() and maintained by Save(), so serve-side fault decisions
+  /// ("is there a snapshot to load?") never pay a directory scan.
+  std::optional<PageInfo> Lookup(const std::string& title) const;
 
   /// Manifest entries sorted by title.
   std::vector<PageInfo> Pages() const;
@@ -66,7 +78,10 @@ class ContextStore {
   matching::MatcherConfig config_;
   uint64_t fingerprint_;
   mutable std::mutex mu_;
-  std::map<std::string, PageInfo> pages_;  // by title
+  /// The manifest index: title -> PageInfo, hash-keyed so Lookup() and
+  /// Contains() are O(1). Manifest writes sort rows by title, keeping
+  /// the on-disk file deterministic regardless of table order.
+  std::unordered_map<std::string, PageInfo> pages_;
   bool open_ = false;
 };
 

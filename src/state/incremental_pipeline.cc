@@ -27,6 +27,7 @@ extract::PageObjects ExtractOne(const xmldump::Revision& rev) {
 
 struct IngestMetrics {
   obs::Counter* pages;
+  obs::Counter* pages_skipped;
   obs::Counter* new_revisions;
   obs::Counter* skipped_revisions;
 };
@@ -37,6 +38,9 @@ const IngestMetrics& GetIngestMetrics() {
     IngestMetrics m;
     m.pages = reg.GetCounter("somr_ingest_pages_total",
                              "Page histories ingested into a context store");
+    m.pages_skipped = reg.GetCounter(
+        "somr_ingest_pages_skipped_total",
+        "Page ingests where every offered revision was already present");
     m.new_revisions =
         reg.GetCounter("somr_ingest_revisions_new_total",
                        "Revisions applied to matcher state on ingest");
@@ -68,8 +72,21 @@ StatusOr<IngestReport> IncrementalPipeline::IngestPageWith(
     state.page_id = page.page_id;
   }
 
+  IngestReport report = ApplyPageToState(state, page, provenance_, executor);
+
+  if (report.new_revisions > 0 || !store_->Contains(page.title)) {
+    SOMR_RETURN_IF_ERROR(store_->Save(state));
+  }
+  return report;
+}
+
+IngestReport ApplyPageToState(PageState& state,
+                              const xmldump::PageHistory& page,
+                              obs::ProvenanceSink* provenance,
+                              parallel::Executor* executor) {
+  if (state.page_id == 0) state.page_id = page.page_id;
   if (executor != nullptr) state.matcher.SetExecutor(executor);
-  obs::PageScopedSink scoped(provenance_, page.title);
+  obs::PageScopedSink scoped(provenance, page.title);
   if (scoped.active()) state.matcher.SetProvenanceSink(&scoped);
 
   IngestReport report;
@@ -104,9 +121,11 @@ StatusOr<IngestReport> IncrementalPipeline::IngestPageWith(
   if (report.skipped_revisions > 0) {
     metrics.skipped_revisions->Increment(report.skipped_revisions);
   }
-
-  if (report.new_revisions > 0 || !store_->Contains(page.title)) {
-    SOMR_RETURN_IF_ERROR(store_->Save(state));
+  // A page whose every revision was already present used to vanish
+  // silently into the skipped-revisions aggregate; count it explicitly
+  // so feeds that restate history show up in monitoring.
+  if (report.new_revisions == 0 && report.skipped_revisions > 0) {
+    metrics.pages_skipped->Increment();
   }
   return report;
 }

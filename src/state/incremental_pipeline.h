@@ -82,6 +82,21 @@ class IncrementalPipeline {
   parallel::Executor* executor_ = nullptr;     // optional, not owned
 };
 
+/// The shared ingest core: applies `page`'s not-yet-seen revisions to
+/// `state` (skip-seen by revision id when the feed carries ids, by
+/// ordinal otherwise), updates the ingest metrics — including
+/// `somr_ingest_pages_skipped_total` when every revision was already
+/// present — and reports what happened. Does NOT persist `state`; the
+/// caller decides when to checkpoint (IncrementalPipeline saves per
+/// page, the serve layer marks the cache entry dirty and spills lazily).
+/// `provenance` (nullable) receives match decisions stamped with the
+/// page title; `executor` (nullable) parallelizes matcher-internal steps
+/// without changing results.
+IngestReport ApplyPageToState(PageState& state,
+                              const xmldump::PageHistory& page,
+                              obs::ProvenanceSink* provenance,
+                              parallel::Executor* executor);
+
 /// Converts a loaded page state into the pipeline's result form,
 /// consuming the matcher (graphs and stats are moved out).
 core::PageResult StateToResult(PageState state);

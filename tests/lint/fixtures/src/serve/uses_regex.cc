@@ -1,0 +1,9 @@
+// Fixture: seeded regex-in-hot-path violations (include + use). The
+// path contains src/serve, where the HTTP parser runs per request and
+// must stay on hand-rolled scanners.
+#include <regex>
+
+bool LooksLikeChunkSize(const std::string& line) {
+  static const std::regex kHex("[0-9a-fA-F]+");
+  return std::regex_match(line, kHex);
+}

@@ -74,6 +74,12 @@ TEST(LintFixtureTest, RegexInHotPath) {
   EXPECT_EQ(r.diagnostics.size(), CountRule(r, "regex-in-hot-path"));
 }
 
+TEST(LintFixtureTest, RegexInHotPathCoversServe) {
+  // The per-request HTTP parse loop makes src/serve a hot path too.
+  LintResult r = LintFixture("src/serve/uses_regex.cc");
+  EXPECT_GE(CountRule(r, "regex-in-hot-path"), 2u);  // include + use
+}
+
 TEST(LintFixtureTest, RegexRuleIsPathScoped) {
   // The same content outside src/matching//src/sim is allowed.
   std::string content = ReadFixture("src/matching/uses_regex.cc");

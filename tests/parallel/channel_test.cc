@@ -83,5 +83,70 @@ TEST(ChannelTest, MpmcDeliversEachValueOnce) {
   }
 }
 
+// Close() racing many producers: every Push must either deliver its
+// value exactly once (returned true) or report the drop (returned
+// false) — never lose a value silently, never deliver one twice.
+TEST(ChannelTest, CloseUnderConcurrentProducersLosesNothingSilently) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  Channel<int> channel(2);
+  std::vector<std::atomic<int>> accepted(kProducers * kPerProducer);
+  std::vector<std::atomic<int>> delivered(kProducers * kPerProducer);
+  for (auto& a : accepted) a.store(0);
+  for (auto& d : delivered) d.store(0);
+
+  std::thread consumer([&] {
+    int value = 0;
+    while (channel.Pop(value)) {
+      delivered[value].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        if (channel.Push(value)) {
+          accepted[value].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Close mid-stream: some producers are blocked on a full buffer, some
+  // mid-Push, some not yet started on their next value.
+  channel.Close();
+  for (std::thread& producer : producers) producer.join();
+  consumer.join();
+
+  for (size_t i = 0; i < accepted.size(); ++i) {
+    EXPECT_EQ(delivered[i].load(), accepted[i].load()) << "value " << i;
+    EXPECT_LE(delivered[i].load(), 1) << "value " << i;
+  }
+}
+
+// Producers blocked on a full channel must wake and see the close
+// instead of deadlocking; everything queued before the close drains.
+TEST(ChannelTest, CloseReleasesBlockedProducersAndDrains) {
+  Channel<int> channel(1);
+  ASSERT_TRUE(channel.Push(0));  // fill the buffer
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 1; p <= 3; ++p) {
+    producers.emplace_back([&, p] {
+      if (!channel.Push(p)) rejected.fetch_add(1);
+    });
+  }
+  channel.Close();  // all three blocked producers must return
+  for (std::thread& producer : producers) producer.join();
+
+  int drained = 0;
+  int value = 0;
+  while (channel.Pop(value)) ++drained;
+  // The prefilled value always drains; a blocked producer that won the
+  // race with Close may have landed one more. The rest were rejected.
+  EXPECT_GE(drained, 1);
+  EXPECT_EQ(drained + rejected.load(), 4);
+}
+
 }  // namespace
 }  // namespace somr::parallel

@@ -1,0 +1,317 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <stdlib.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "matching/graph_io.h"
+#include "serve/client.h"
+#include "serve/http.h"
+#include "state/context_store.h"
+#include "wikigen/corpus.h"
+#include "xmldump/dump.h"
+
+namespace somr::serve {
+namespace {
+
+constexpr extract::ObjectType kAllTypes[] = {
+    extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+    extract::ObjectType::kList};
+
+// Small but non-trivial corpus: several pages, enough revisions that
+// splitting each history in half is meaningful.
+xmldump::Dump TestDump() {
+  wikigen::CorpusConfig config;
+  config.focal_type = extract::ObjectType::kTable;
+  config.strata_caps = {3};
+  config.pages_per_stratum = 3;
+  config.min_revisions = 10;
+  config.max_revisions = 16;
+  config.seed = 11;
+  return wikigen::CorpusToDump(wikigen::GenerateGoldCorpus(config));
+}
+
+std::string PageXml(const xmldump::PageHistory& page) {
+  xmldump::Dump one;
+  one.pages.push_back(page);
+  return xmldump::WriteDump(one);
+}
+
+// The server's /graph body for comparison against batch results.
+std::string BatchGraphs(const core::PageResult& result) {
+  std::string out;
+  for (extract::ObjectType type : kAllTypes) {
+    out += matching::SerializeIdentityGraph(result.GraphFor(type));
+  }
+  return out;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/somr-serve-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    StopServer();
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    std::system(cmd.c_str());
+  }
+
+  // Opens (or reopens) the fixture-owned store. The fixture owns it so
+  // it outlives the server: shard threads checkpoint into the store
+  // during shutdown, which happens in TearDown — after any stack local
+  // in the test body would already be gone.
+  void OpenStore(bool create) {
+    StopServer();  // never leave a server pointing at a dying store
+    store_ = std::make_unique<state::ContextStore>(dir_);
+    ASSERT_TRUE(store_->Open(create).ok());
+  }
+
+  // Starts a server over the fixture store and a client connected to it.
+  void StartServer(size_t cache_capacity) {
+    ServeOptions options;
+    options.shards = 2;
+    options.cache_capacity = cache_capacity;
+    options.connection_workers = 2;
+    options.socket_timeout_millis = 50;
+    server_ = std::make_unique<Server>(store_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+    serve_thread_ = std::thread([this] { serve_status_ = server_->Serve(); });
+    ASSERT_TRUE(client_.Connect(server_->port()).ok());
+  }
+
+  void StopServer() {
+    client_.Close();
+    if (server_ != nullptr) server_->Stop();
+    if (serve_thread_.joinable()) serve_thread_.join();
+    if (server_ != nullptr) {
+      EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+    }
+    server_.reset();
+  }
+
+  ClientResponse Post(const std::string& target, const std::string& body,
+                      bool chunked = false) {
+    StatusOr<ClientResponse> response =
+        client_.Request("POST", target, body, chunked);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? *response : ClientResponse{};
+  }
+
+  ClientResponse Get(const std::string& target) {
+    StatusOr<ClientResponse> response = client_.Request("GET", target);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? *response : ClientResponse{};
+  }
+
+  std::string dir_;
+  std::unique_ptr<state::ContextStore> store_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+  Status serve_status_;
+  HttpClient client_;
+};
+
+TEST_F(ServerTest, HealthzAndMetricsAnswer) {
+  OpenStore(/*create=*/true);
+  StartServer(8);
+
+  ClientResponse health = Get("/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  ClientResponse metrics = Get("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("somr_serve_requests_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("# TYPE"), std::string::npos);
+}
+
+TEST_F(ServerTest, UnknownRoutesAndMethodsAreCleanErrors) {
+  OpenStore(/*create=*/true);
+  StartServer(8);
+
+  EXPECT_EQ(Get("/nope").status, 404);
+  EXPECT_EQ(Post("/healthz", "").status, 405);
+  EXPECT_EQ(Get("/context/missing/graph").status, 404);
+  EXPECT_EQ(Get("/context/missing/history/table:0").status, 404);
+  ClientResponse bad = Post("/context/x/revision", "not xml at all");
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("error"), std::string::npos);
+}
+
+TEST_F(ServerTest, MalformedHttpGets400NotAbort) {
+  OpenStore(/*create=*/true);
+  StartServer(8);
+
+  // Raw malformed requests over a bare socket; the server must answer
+  // 400 (not crash, not hang) and keep serving healthy connections.
+  for (const char* wire :
+       {"GARBAGE\r\n\r\n",
+        "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n",
+        "POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"}) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server_->port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    ASSERT_GT(::send(fd, wire, std::strlen(wire), MSG_NOSIGNAL), 0);
+    char buf[512];
+    ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+    ASSERT_GT(n, 0) << "no response for: " << wire;
+    buf[n] = '\0';
+    EXPECT_NE(std::string(buf).find("400 Bad Request"), std::string::npos)
+        << "request: " << wire << " response: " << buf;
+    ::close(fd);
+  }
+
+  // The healthy client still works afterwards.
+  EXPECT_EQ(Get("/healthz").status, 200);
+}
+
+// The tentpole acceptance gate: ingestion through the HTTP daemon —
+// including forced LRU evictions mid-context (cache_capacity=1 with 3+
+// pages interleaved), an /admin/checkpoint, and a full server restart —
+// must produce identity graphs byte-identical to the batch pipeline.
+TEST_F(ServerTest, ServeIngestMatchesBatchByteForByte) {
+  xmldump::Dump dump = TestDump();
+  ASSERT_GE(dump.pages.size(), 3u);
+
+  // Batch reference.
+  core::Pipeline pipeline;
+  StatusOr<std::vector<core::PageResult>> batch =
+      pipeline.ProcessDumpXml(xmldump::WriteDump(dump));
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+  OpenStore(/*create=*/true);
+  // capacity 1 per shard: every interleaved POST below evicts the
+  // previous context, spilling and faulting constantly.
+  StartServer(1);
+
+  // Phase 1: first half of every page, interleaved.
+  for (const xmldump::PageHistory& page : dump.pages) {
+    xmldump::PageHistory half = page;
+    half.revisions.resize(half.revisions.size() / 2);
+    ClientResponse response =
+        Post("/context/" + PercentEncode(page.title) + "/revision",
+             PageXml(half), /*chunked=*/true);
+    ASSERT_EQ(response.status, 200) << response.body;
+    EXPECT_NE(response.body.find("\"page_skipped\": false"),
+              std::string::npos);
+    EXPECT_NE(response.body.find("\"decisions\": ["), std::string::npos);
+  }
+  EXPECT_EQ(Post("/admin/checkpoint", "").status, 200);
+
+  // Restart: the second phase must resume from checkpoints alone.
+  OpenStore(/*create=*/false);
+  StartServer(1);
+
+  // Phase 2: full histories restated; the server skips the seen half.
+  for (const xmldump::PageHistory& page : dump.pages) {
+    ClientResponse response = Post(
+        "/context/" + PercentEncode(page.title) + "/revision", PageXml(page));
+    ASSERT_EQ(response.status, 200) << response.body;
+    // The first-half revisions were ingested before the restart; the
+    // restated history must surface them as skipped (nonzero count).
+    EXPECT_EQ(response.body.find("\"skipped_revisions\": 0,"),
+              std::string::npos)
+        << "expected skips to be surfaced: " << response.body;
+  }
+
+  // Restating a page yet again skips everything: surfaced per response.
+  ClientResponse skipped = Post(
+      "/context/" + PercentEncode(dump.pages[0].title) + "/revision",
+      PageXml(dump.pages[0]));
+  ASSERT_EQ(skipped.status, 200);
+  EXPECT_NE(skipped.body.find("\"page_skipped\": true"), std::string::npos);
+  EXPECT_NE(skipped.body.find("\"new_revisions\": 0"), std::string::npos);
+
+  // The gate: per-page graphs over HTTP == batch graphs, byte for byte.
+  for (size_t i = 0; i < dump.pages.size(); ++i) {
+    ClientResponse graph =
+        Get("/context/" + PercentEncode(dump.pages[i].title) + "/graph");
+    ASSERT_EQ(graph.status, 200);
+    EXPECT_EQ(graph.body, BatchGraphs((*batch)[i]))
+        << "graph mismatch for page " << dump.pages[i].title;
+  }
+
+  // History and provenance answer for a context that went through
+  // eviction, faulting and restart.
+  ClientResponse history =
+      Get("/context/" + PercentEncode(dump.pages[0].title) +
+          "/history/table:0");
+  ASSERT_EQ(history.status, 200);
+  EXPECT_NE(history.body.find("\"versions\": ["), std::string::npos);
+
+  ClientResponse provenance =
+      Get("/context/" + PercentEncode(dump.pages[0].title) +
+          "/provenance?limit=5");
+  ASSERT_EQ(provenance.status, 200);
+}
+
+TEST_F(ServerTest, DrainCheckpointsEveryDirtyContext) {
+  xmldump::Dump dump = TestDump();
+  OpenStore(/*create=*/true);
+  // Capacity high enough that nothing spills by pressure: only the
+  // drain checkpoint can have persisted the contexts.
+  StartServer(64);
+  for (const xmldump::PageHistory& page : dump.pages) {
+    ASSERT_EQ(Post("/context/" + PercentEncode(page.title) + "/revision",
+                   PageXml(page))
+                  .status,
+              200);
+  }
+  ClientResponse drain = Post("/admin/drain", "");
+  EXPECT_EQ(drain.status, 200);
+  if (serve_thread_.joinable()) serve_thread_.join();
+  EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+  server_.reset();
+  client_.Close();
+
+  OpenStore(/*create=*/false);
+  for (const xmldump::PageHistory& page : dump.pages) {
+    auto info = store_->Lookup(page.title);
+    ASSERT_TRUE(info.has_value()) << page.title;
+    EXPECT_EQ(info->revisions_ingested, page.revisions.size());
+  }
+}
+
+TEST_F(ServerTest, IngestRejectsMismatchedTitleAndMultiPageBodies) {
+  OpenStore(/*create=*/true);
+  StartServer(8);
+
+  xmldump::Dump dump = TestDump();
+  // Title mismatch between URL and body.
+  ClientResponse mismatch =
+      Post("/context/SomethingElse/revision", PageXml(dump.pages[0]));
+  EXPECT_EQ(mismatch.status, 400);
+  // Two pages in one body.
+  xmldump::Dump two;
+  two.pages.push_back(dump.pages[0]);
+  two.pages.push_back(dump.pages[1]);
+  ClientResponse multi =
+      Post("/context/" + PercentEncode(dump.pages[0].title) + "/revision",
+           xmldump::WriteDump(two));
+  EXPECT_EQ(multi.status, 400);
+}
+
+}  // namespace
+}  // namespace somr::serve

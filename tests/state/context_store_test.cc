@@ -67,6 +67,39 @@ TEST_F(ContextStoreTest, CreateThenReopen) {
   EXPECT_EQ(pages[1].revisions_ingested, 5u);
 }
 
+TEST_F(ContextStoreTest, LookupIsManifestIndexProbe) {
+  ContextStore store(dir_);
+  ASSERT_TRUE(store.Open(/*create=*/true).ok());
+  EXPECT_FALSE(store.Lookup("Alpha").has_value());
+
+  ASSERT_TRUE(store.Save(MakeState("Alpha", 3)).ok());
+  std::optional<ContextStore::PageInfo> info = store.Lookup("Alpha");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->title, "Alpha");
+  EXPECT_EQ(info->last_revision_id, 3);
+  EXPECT_EQ(info->revisions_ingested, 3u);
+  EXPECT_FALSE(info->file.empty());
+  EXPECT_FALSE(store.Lookup("Beta").has_value());
+}
+
+TEST_F(ContextStoreTest, VersionBumpsPerSaveAndResetsOnOpen) {
+  ContextStore store(dir_);
+  ASSERT_TRUE(store.Open(/*create=*/true).ok());
+  ASSERT_TRUE(store.Save(MakeState("Alpha", 1)).ok());
+  EXPECT_EQ(store.Lookup("Alpha")->version, 1u);
+  ASSERT_TRUE(store.Save(MakeState("Alpha", 2)).ok());
+  EXPECT_EQ(store.Lookup("Alpha")->version, 2u);
+  ASSERT_TRUE(store.Save(MakeState("Beta", 1)).ok());
+  EXPECT_EQ(store.Lookup("Beta")->version, 1u);
+
+  // Versions are in-memory generations, not persisted: a reopened store
+  // starts every manifest entry at 1 again.
+  ContextStore reopened(dir_);
+  ASSERT_TRUE(reopened.Open(/*create=*/false).ok());
+  EXPECT_EQ(reopened.Lookup("Alpha")->version, 1u);
+  EXPECT_EQ(reopened.Lookup("Beta")->version, 1u);
+}
+
 TEST_F(ContextStoreTest, LoadRestoresSavedState) {
   ContextStore store(dir_);
   ASSERT_TRUE(store.Open(/*create=*/true).ok());

@@ -126,7 +126,8 @@ void CheckBannedNewArray(const SourceFile& file,
 void CheckRegexInHotPath(const SourceFile& file,
                          std::vector<Diagnostic>* out) {
   if (!PathContains(file, "src/matching") && !PathContains(file, "src/sim") &&
-      !PathContains(file, "src/retrieval")) {
+      !PathContains(file, "src/retrieval") &&
+      !PathContains(file, "src/serve")) {
     return;
   }
   for (size_t l = 0; l < file.code_lines().size(); ++l) {
@@ -387,7 +388,8 @@ const std::vector<Rule>& Rules() {
        "raw new[] expressions (use std::vector / make_unique<T[]>)",
        CheckBannedNewArray, nullptr},
       {"regex-in-hot-path",
-       "std::regex or <regex> under src/matching, src/sim, or src/retrieval",
+       "std::regex or <regex> under src/matching, src/sim, src/retrieval, "
+       "or src/serve",
        CheckRegexInHotPath, nullptr},
       {"volatile-sync",
        "volatile used where std::atomic belongs",

@@ -1,0 +1,204 @@
+# Serving smoke test, run via `cmake -P` from ctest (see
+# tools/CMakeLists.txt). Exercises the HTTP daemon end to end against
+# the batch pipeline on the demo corpus:
+#   1. batch reference graphs via `somr_process --demo --graphs-out`,
+#   2. daemon with a deliberately tiny context cache (capacity 2 for 6
+#      pages -> constant LRU spill + fault), fed the first half of every
+#      page history over chunked POSTs,
+#   3. SIGTERM graceful shutdown (checkpoints every dirty context),
+#   4. a fresh daemon resumed from the checkpoints alone, fed the full
+#      histories -- the already-seen halves must surface as skipped,
+#   5. `demo-graphs` fetched over HTTP and byte-compared against the
+#      batch reference,
+#   6. /healthz + /metrics scraped, then POST /admin/drain and a clean
+#      daemon exit.
+# Requires: -DSOMR_SERVE=<path> -DSOMR_PROCESS=<path> -DWORK_DIR=<dir>.
+
+cmake_minimum_required(VERSION 3.25)
+
+if(NOT DEFINED SOMR_SERVE OR NOT DEFINED SOMR_PROCESS OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "serve_smoke: pass -DSOMR_SERVE, -DSOMR_PROCESS and -DWORK_DIR")
+endif()
+
+# The daemon runs in the background; `sh` launches it and bash's
+# /dev/tcp scrapes endpoints the client tool has no subcommand for.
+find_program(SH_BIN sh REQUIRED)
+find_program(BASH_BIN bash REQUIRED)
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(state_dir "${WORK_DIR}/state")
+set(pid_file "${WORK_DIR}/serve.pid")
+set(port_file "${WORK_DIR}/serve.port")
+
+# Kills a still-running daemon before failing so a broken smoke run
+# never leaks a listener into the test machine.
+macro(die msg)
+  if(EXISTS "${pid_file}")
+    file(READ "${pid_file}" _pid)
+    string(STRIP "${_pid}" _pid)
+    execute_process(COMMAND "${SH_BIN}" -c "kill -9 ${_pid} 2>/dev/null")
+  endif()
+  message(FATAL_ERROR "serve_smoke: ${msg}")
+endmacro()
+
+# Launches the daemon detached, then blocks until it has published its
+# ephemeral port. `log` names a file under WORK_DIR for its output.
+macro(start_daemon log)
+  file(REMOVE "${port_file}")
+  execute_process(
+    COMMAND "${SH_BIN}" -c
+      "'${SOMR_SERVE}' run --state-dir='${state_dir}' --port=0 \
+       --port-file='${port_file}' --shards=2 --cache-capacity=2 \
+       > '${WORK_DIR}/${log}' 2>&1 & echo $! > '${pid_file}'"
+    RESULT_VARIABLE launch_result)
+  if(NOT launch_result EQUAL 0)
+    die("cannot launch daemon (${launch_result})")
+  endif()
+  set(port "")
+  foreach(attempt RANGE 100)
+    if(EXISTS "${port_file}")
+      file(READ "${port_file}" port)
+      string(STRIP "${port}" port)
+      if(NOT port STREQUAL "")
+        break()
+      endif()
+    endif()
+    execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+  endforeach()
+  if(port STREQUAL "")
+    die("daemon never published a port (see ${WORK_DIR}/${log})")
+  endif()
+endmacro()
+
+# Waits for the daemon to exit and asserts it logged a clean shutdown.
+macro(await_exit log)
+  file(READ "${pid_file}" pid)
+  string(STRIP "${pid}" pid)
+  set(gone FALSE)
+  foreach(attempt RANGE 100)
+    execute_process(COMMAND "${SH_BIN}" -c "kill -0 ${pid} 2>/dev/null"
+      RESULT_VARIABLE alive)
+    if(NOT alive EQUAL 0)
+      set(gone TRUE)
+      break()
+    endif()
+    execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+  endforeach()
+  if(NOT gone)
+    die("daemon ${pid} did not exit")
+  endif()
+  file(REMOVE "${pid_file}")
+  file(READ "${WORK_DIR}/${log}" daemon_log)
+  if(NOT daemon_log MATCHES "drained and checkpointed")
+    message(FATAL_ERROR
+      "serve_smoke: daemon exited without a clean drain:\n${daemon_log}")
+  endif()
+endmacro()
+
+# Issues a bare HTTP/1.1 request over bash /dev/tcp; the response
+# (headers + body) lands in `out_var`.
+macro(scrape method target out_var)
+  execute_process(
+    COMMAND "${BASH_BIN}" -c
+      "exec 3<>/dev/tcp/127.0.0.1/${port}; \
+       printf '${method} ${target} HTTP/1.1\\r\\nHost: smoke\\r\\nContent-Length: 0\\r\\nConnection: close\\r\\n\\r\\n' >&3; \
+       cat <&3"
+    RESULT_VARIABLE scrape_result
+    OUTPUT_VARIABLE ${out_var})
+  if(NOT scrape_result EQUAL 0)
+    die("${method} ${target} failed (${scrape_result})")
+  endif()
+endmacro()
+
+# --- Batch reference ----------------------------------------------------
+execute_process(
+  COMMAND "${SOMR_PROCESS}" --demo --summary=false
+    "--graphs-out=${WORK_DIR}/batch.graphs"
+  RESULT_VARIABLE batch_result
+  OUTPUT_VARIABLE batch_stdout ERROR_VARIABLE batch_stderr)
+if(NOT batch_result EQUAL 0)
+  message(FATAL_ERROR
+    "somr_process --demo failed (${batch_result}):\n${batch_stderr}")
+endif()
+
+# --- Phase 1: half histories over chunked POSTs, then SIGTERM -----------
+start_daemon(serve-first.log)
+execute_process(
+  COMMAND "${SOMR_SERVE}" demo-feed "--port=${port}" --phase=first --chunked
+  RESULT_VARIABLE feed_result
+  OUTPUT_VARIABLE feed_stdout ERROR_VARIABLE feed_stderr)
+if(NOT feed_result EQUAL 0)
+  die("demo-feed first failed (${feed_result}):\n${feed_stdout}${feed_stderr}")
+endif()
+if(NOT feed_stdout MATCHES "0 pages fully skipped")
+  die("first feed unexpectedly skipped pages: ${feed_stdout}")
+endif()
+
+file(READ "${pid_file}" pid)
+string(STRIP "${pid}" pid)
+execute_process(COMMAND "${SH_BIN}" -c "kill -TERM ${pid}")
+await_exit(serve-first.log)
+
+# --- Phase 2: restart from checkpoints, restate full histories ----------
+start_daemon(serve-rest.log)
+execute_process(
+  COMMAND "${SOMR_SERVE}" demo-feed "--port=${port}" --phase=rest
+  RESULT_VARIABLE rest_result
+  OUTPUT_VARIABLE rest_stdout ERROR_VARIABLE rest_stderr)
+if(NOT rest_result EQUAL 0)
+  die("demo-feed rest failed (${rest_result}):\n${rest_stdout}${rest_stderr}")
+endif()
+# Everything ingested before the restart must resurface as skipped: the
+# daemon resumed from checkpoints, not from scratch.
+if(NOT rest_stdout MATCHES " ([1-9][0-9]*) skipped")
+  die("restated feed reported no skipped revisions: ${rest_stdout}")
+endif()
+
+# --- The gate: serve graphs == batch graphs, byte for byte --------------
+execute_process(
+  COMMAND "${SOMR_SERVE}" demo-graphs "--port=${port}"
+    "--out=${WORK_DIR}/serve.graphs"
+  RESULT_VARIABLE graphs_result
+  OUTPUT_VARIABLE graphs_stdout ERROR_VARIABLE graphs_stderr)
+if(NOT graphs_result EQUAL 0)
+  die("demo-graphs failed (${graphs_result}):\n${graphs_stderr}")
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+    "${WORK_DIR}/batch.graphs" "${WORK_DIR}/serve.graphs"
+  RESULT_VARIABLE compare_result)
+if(NOT compare_result EQUAL 0)
+  die("serve graphs differ from batch graphs \
+(${WORK_DIR}/batch.graphs vs ${WORK_DIR}/serve.graphs)")
+endif()
+
+# --- Health, metrics, drain ---------------------------------------------
+scrape(GET /healthz health)
+if(NOT health MATCHES "200 OK" OR NOT health MATCHES "ok")
+  die("unexpected /healthz response:\n${health}")
+endif()
+scrape(GET /metrics metrics)
+foreach(needle
+    somr_serve_requests_total
+    somr_serve_contexts_evicted
+    somr_ingest_pages_skipped_total)
+  if(NOT metrics MATCHES "${needle}")
+    die("/metrics is missing ${needle}:\n${metrics}")
+  endif()
+endforeach()
+# The tiny cache must actually have spilled under pressure, or the
+# eviction/fault path was never on trial.
+if(NOT metrics MATCHES "somr_serve_contexts_evicted ([1-9][0-9]*)")
+  die("expected nonzero context evictions:\n${metrics}")
+endif()
+
+scrape(POST /admin/drain drain)
+if(NOT drain MATCHES "draining")
+  die("unexpected /admin/drain response:\n${drain}")
+endif()
+await_exit(serve-rest.log)
+
+message(STATUS "serve_smoke: OK (graphs byte-identical across "
+  "chunked ingest, eviction pressure, SIGTERM restart and drain)")

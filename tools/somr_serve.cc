@@ -1,0 +1,248 @@
+// somr_serve — the somr matching daemon: a dependency-free HTTP/1.1
+// server holding many matcher contexts resident, sharded by context id,
+// with LRU spill to a durable context store.
+//
+//   somr_serve --state-dir=/var/somr run --port=8080
+//   curl -X POST --data-binary @page.xml \
+//        http://127.0.0.1:8080/context/Page%20Title/revision
+//   curl http://127.0.0.1:8080/context/Page%20Title/graph
+//   curl http://127.0.0.1:8080/metrics
+//
+// The demo subcommands drive a running daemon with the same generated
+// corpus `somr_process --demo` uses, so serve-side ingestion can be
+// compared byte-for-byte against the batch pipeline:
+//
+//   somr_serve run --port-file=port.txt &
+//   somr_serve demo-feed --port=$(cat port.txt) --phase=first
+//   somr_serve demo-feed --port=$(cat port.txt) --phase=rest
+//   somr_serve demo-graphs --port=$(cat port.txt) --out=graphs.txt
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/flags.h"
+#include "serve/client.h"
+#include "serve/http.h"
+#include "serve/server.h"
+#include "state/context_store.h"
+#include "wikigen/corpus.h"
+#include "xmldump/dump.h"
+
+namespace {
+
+using namespace somr;
+
+// Same corpus as `somr_process --demo` / `somr_ingest --demo`.
+xmldump::Dump DemoDump() {
+  wikigen::CorpusConfig config;
+  config.focal_type = extract::ObjectType::kTable;
+  config.strata_caps = {3, 8};
+  config.pages_per_stratum = 3;
+  config.min_revisions = 25;
+  config.max_revisions = 60;
+  config.seed = 4;
+  return wikigen::CorpusToDump(wikigen::GenerateGoldCorpus(config));
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "somr_serve: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+serve::Server* g_server = nullptr;
+
+// Stop() is an atomic flag flip plus shutdown(2) on the listen fd —
+// both async-signal-safe — which pops the accept loop out of accept().
+void OnSignal(int) {
+  if (g_server != nullptr) g_server->Stop();
+}
+
+int RunServe(state::ContextStore& store, const FlagParser& flags) {
+  serve::ServeOptions options;
+  options.port = static_cast<uint16_t>(flags.GetInt("port"));
+  options.shards = static_cast<unsigned>(flags.GetInt("shards"));
+  options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity"));
+  options.connection_workers =
+      static_cast<unsigned>(flags.GetInt("connection-workers"));
+
+  serve::Server server(&store, options);
+  if (Status status = server.Start(); !status.ok()) return Fail(status);
+
+  g_server = &server;
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  const std::string port_file = flags.GetString("port-file");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << "\n";
+    if (!out.good()) {
+      return Fail(Status::Internal("cannot write " + port_file));
+    }
+  }
+  std::printf("somr_serve: listening on 127.0.0.1:%u (%u shards, "
+              "%zu contexts/shard resident)\n",
+              server.port(), options.shards, options.cache_capacity);
+  std::fflush(stdout);
+
+  Status status = server.Serve();
+  g_server = nullptr;
+  if (!status.ok()) return Fail(status);
+  std::printf("somr_serve: drained and checkpointed, bye\n");
+  return 0;
+}
+
+// Pulls `"key": <int>` out of a serve JSON response; -1 when absent.
+long JsonIntField(const std::string& body, const std::string& key) {
+  const std::string marker = "\"" + key + "\": ";
+  size_t at = body.find(marker);
+  if (at == std::string::npos) return -1;
+  return std::atol(body.c_str() + at + marker.size());
+}
+
+int RunDemoFeed(const FlagParser& flags) {
+  const std::string phase = flags.GetString("phase");
+  if (phase != "first" && phase != "rest") {
+    std::fprintf(stderr, "somr_serve: --phase must be first | rest\n");
+    return 2;
+  }
+  serve::HttpClient client;
+  if (Status status =
+          client.Connect(static_cast<uint16_t>(flags.GetInt("port")));
+      !status.ok()) {
+    return Fail(status);
+  }
+
+  xmldump::Dump dump = DemoDump();
+  size_t new_revisions = 0, skipped = 0, pages_skipped = 0;
+  for (xmldump::PageHistory& page : dump.pages) {
+    if (phase == "first") {
+      page.revisions.resize(page.revisions.size() / 2);
+    }
+    xmldump::Dump one;
+    one.pages.push_back(page);
+    const std::string target =
+        "/context/" + serve::PercentEncode(page.title) + "/revision";
+    StatusOr<serve::ClientResponse> response = client.Request(
+        "POST", target, xmldump::WriteDump(one),
+        /*chunked=*/flags.GetBool("chunked"));
+    if (!response.ok()) return Fail(response.status());
+    if (response->status != 200) {
+      std::fprintf(stderr, "somr_serve: POST %s -> %d: %s", target.c_str(),
+                   response->status, response->body.c_str());
+      return 1;
+    }
+    new_revisions +=
+        static_cast<size_t>(JsonIntField(response->body, "new_revisions"));
+    skipped += static_cast<size_t>(
+        JsonIntField(response->body, "skipped_revisions"));
+    if (response->body.find("\"page_skipped\": true") != std::string::npos) {
+      ++pages_skipped;
+    }
+  }
+  std::printf("demo-feed %s: %zu pages, %zu new revisions, %zu skipped, "
+              "%zu pages fully skipped\n",
+              phase.c_str(), dump.pages.size(), new_revisions, skipped,
+              pages_skipped);
+  return 0;
+}
+
+int RunDemoGraphs(const FlagParser& flags) {
+  const std::string out_path = flags.GetString("out");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "somr_serve: demo-graphs needs --out\n");
+    return 2;
+  }
+  serve::HttpClient client;
+  if (Status status =
+          client.Connect(static_cast<uint16_t>(flags.GetInt("port")));
+      !status.ok()) {
+    return Fail(status);
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "somr_serve: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  xmldump::Dump dump = DemoDump();
+  for (const xmldump::PageHistory& page : dump.pages) {
+    StatusOr<serve::ClientResponse> response = client.Request(
+        "GET", "/context/" + serve::PercentEncode(page.title) + "/graph");
+    if (!response.ok()) return Fail(response.status());
+    if (response->status != 200) {
+      std::fprintf(stderr, "somr_serve: GET graph for \"%s\" -> %d\n",
+                   page.title.c_str(), response->status);
+      return 1;
+    }
+    out << "## page: " << page.title << "\n" << response->body;
+  }
+  std::printf("identity graphs -> %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("state-dir", "",
+                  "context-store directory (required for run)");
+  flags.AddInt("port", 0, "TCP port (run: 0 = ephemeral; see --port-file)");
+  flags.AddString("port-file", "",
+                  "run: write the bound port here once listening");
+  flags.AddInt("shards", 4, "run: shard workers (contexts hash to shards)");
+  flags.AddInt("cache-capacity", 256,
+               "run: resident contexts per shard before LRU spill");
+  flags.AddInt("connection-workers", 4, "run: concurrent connections");
+  flags.AddString("phase", "first",
+                  "demo-feed: first (half of each history) | rest (full "
+                  "restate; server skips the seen half)");
+  flags.AddBool("chunked", false,
+                "demo-feed: send bodies as Transfer-Encoding: chunked");
+  flags.AddString("out", "", "demo-graphs: identity-graph output path");
+  flags.AddBool("help", false, "show this help");
+
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 2;
+  }
+  std::string usage = flags.Usage(argv[0]) +
+                      "commands:\n"
+                      "  run          start the daemon (blocks until "
+                      "SIGINT/SIGTERM or POST /admin/drain)\n"
+                      "  demo-feed    POST the demo corpus to a daemon\n"
+                      "  demo-graphs  GET every demo context's graph\n";
+  if (flags.GetBool("help")) {
+    std::fputs(usage.c_str(), stdout);
+    return 0;
+  }
+  if (flags.Positional().empty()) {
+    std::fprintf(stderr, "no command\n%s", usage.c_str());
+    return 2;
+  }
+
+  const std::string& command = flags.Positional()[0];
+  if (command == "run") {
+    if (flags.GetString("state-dir").empty()) {
+      std::fprintf(stderr, "--state-dir is required\n%s", usage.c_str());
+      return 2;
+    }
+    state::ContextStore store(flags.GetString("state-dir"));
+    if (Status status = store.Open(/*create=*/true); !status.ok()) {
+      return Fail(status);
+    }
+    return RunServe(store, flags);
+  }
+  if (command == "demo-feed") return RunDemoFeed(flags);
+  if (command == "demo-graphs") return RunDemoGraphs(flags);
+
+  std::fprintf(stderr, "unknown command \"%s\"\n%s", command.c_str(),
+               usage.c_str());
+  return 2;
+}
