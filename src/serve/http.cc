@@ -301,7 +301,10 @@ size_t HttpRequestParser::Feed(const char* data, size_t size) {
           state_ = State::kChunkTrailer;
           break;
         }
-        if (request_.body.size() + chunk > limits_.max_body_bytes) {
+        // Subtraction form: body.size() never exceeds the limit (earlier
+        // checks enforce it), and `chunk` can be up to SIZE_MAX, so the
+        // additive form could wrap and bypass the cap.
+        if (chunk > limits_.max_body_bytes - request_.body.size()) {
           Fail("body exceeds limit");
           break;
         }
@@ -405,6 +408,10 @@ bool HttpResponseParser::ParseHeaderBlock() {
       Fail("invalid content-length");
       return false;
     }
+    if (length > limits_.max_body_bytes) {
+      Fail("body exceeds limit");
+      return false;
+    }
     body_remaining_ = length;
     state_ = length == 0 ? State::kDone : State::kBody;
   } else {
@@ -421,11 +428,15 @@ size_t HttpResponseParser::Feed(const char* data, size_t size) {
   while (used < size && state_ != State::kDone && state_ != State::kError) {
     switch (state_) {
       case State::kHeaders: {
-        size_t take = size - used;
+        size_t take = std::min(size - used,
+                               limits_.max_header_bytes + 4 - buffer_.size());
         buffer_.append(data + used, take);
         size_t end = HeaderBlockEnd(buffer_);
         if (end == std::string::npos) {
           used += take;
+          if (buffer_.size() >= limits_.max_header_bytes) {
+            Fail("header block exceeds limit");
+          }
           break;
         }
         used += take - (buffer_.size() - end);
@@ -443,6 +454,10 @@ size_t HttpResponseParser::Feed(const char* data, size_t size) {
       }
       case State::kChunkHeader: {
         buffer_.push_back(data[used++]);
+        if (buffer_.size() > 64) {
+          Fail("chunk-size line exceeds limit");
+          break;
+        }
         if (buffer_.back() != '\n') break;
         buffer_.pop_back();
         std::string_view line(buffer_);
@@ -459,6 +474,12 @@ size_t HttpResponseParser::Feed(const char* data, size_t size) {
         buffer_.clear();
         if (chunk == 0) {
           state_ = State::kChunkTrailer;
+          break;
+        }
+        // Subtraction form, as in the request parser: avoids size_t wrap
+        // when `chunk` approaches SIZE_MAX.
+        if (chunk > limits_.max_body_bytes - body_.size()) {
+          Fail("body exceeds limit");
           break;
         }
         body_remaining_ = chunk;
@@ -478,6 +499,10 @@ size_t HttpResponseParser::Feed(const char* data, size_t size) {
       }
       case State::kChunkTrailer: {
         buffer_.push_back(data[used++]);
+        if (buffer_.size() > limits_.max_header_bytes) {
+          Fail("chunk trailer exceeds limit");
+          break;
+        }
         if (buffer_.back() != '\n') break;
         buffer_.pop_back();
         if (Trim(std::string_view(buffer_)).empty()) state_ = State::kDone;

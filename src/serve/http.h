@@ -29,6 +29,16 @@ struct HttpResponse {
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
   bool close_connection = false;
+  /// Server-side routing decided the whole server must stop once this
+  /// response is on the wire (/admin/drain). Not serialized.
+  bool shutdown_after_send = false;
+};
+
+/// Size caps shared by the request and response parsers; every overrun
+/// lands in the parser's error state, never unbounded buffering.
+struct HttpParserLimits {
+  size_t max_header_bytes = 64 * 1024;
+  size_t max_body_bytes = 64 * 1024 * 1024;
 };
 
 const char* HttpStatusReason(int status);
@@ -48,10 +58,7 @@ std::string SerializeResponse(const HttpResponse& response);
 /// message — never an abort — so the server can answer 400.
 class HttpRequestParser {
  public:
-  struct Limits {
-    size_t max_header_bytes = 64 * 1024;
-    size_t max_body_bytes = 64 * 1024 * 1024;
-  };
+  using Limits = HttpParserLimits;
 
   HttpRequestParser() = default;
   explicit HttpRequestParser(Limits limits) : limits_(limits) {}
@@ -97,9 +104,15 @@ class HttpRequestParser {
 /// Incremental HTTP/1.1 response parser for the built-in client. Same
 /// feeding contract as HttpRequestParser; the body must be delimited by
 /// Content-Length or chunked encoding (which SerializeResponse and every
-/// well-behaved server provide).
+/// well-behaved server provide). The same HttpParserLimits apply, so a
+/// misbehaving server cannot grow client buffers without bound.
 class HttpResponseParser {
  public:
+  using Limits = HttpParserLimits;
+
+  HttpResponseParser() = default;
+  explicit HttpResponseParser(Limits limits) : limits_(limits) {}
+
   size_t Feed(const char* data, size_t size);
 
   bool done() const { return state_ == State::kDone; }
@@ -126,6 +139,7 @@ class HttpResponseParser {
   void Fail(std::string message);
   bool ParseHeaderBlock();
 
+  Limits limits_;
   State state_ = State::kHeaders;
   std::string buffer_;
   std::string error_;

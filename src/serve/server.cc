@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 #include <utility>
 
@@ -403,9 +404,10 @@ void Server::HandleConnection(int fd) {
         stopping_.load(std::memory_order_relaxed);
     const bool ok = SendAll(fd, SerializeResponse(response));
 
-    // /admin/drain: the response is out; now take the server down.
-    if (response.status == 200 && request.method == "POST" &&
-        request.target == "/admin/drain") {
+    // /admin/drain: the response is out; now take the server down. The
+    // flag comes from Route (which matches decoded, normalized segments)
+    // so no raw-target re-match can disagree with the routing decision.
+    if (response.shutdown_after_send) {
       Stop();
       break;
     }
@@ -452,6 +454,7 @@ HttpResponse Server::Route(const HttpRequest& request,
       if (response.status != 200) return response;
       response.body = "{\"draining\": true}\n";
       response.close_connection = true;
+      response.shutdown_after_send = true;
       return response;
     }
     return ErrorResponse(404, "unknown admin action");
@@ -603,7 +606,14 @@ HttpResponse Server::HandleHistory(const std::string& id,
       id_digits.find_first_not_of("0123456789") != std::string::npos) {
     return ErrorResponse(400, "object id must be a non-negative integer");
   }
-  object_id = std::stoll(id_digits);
+  // from_chars, not stoll: an all-digit id can still overflow int64, and
+  // stoll would throw out of the handler instead of answering 400.
+  const char* digits_end = id_digits.data() + id_digits.size();
+  const std::from_chars_result parsed =
+      std::from_chars(id_digits.data(), digits_end, object_id);
+  if (parsed.ec != std::errc() || parsed.ptr != digits_end) {
+    return ErrorResponse(400, "object id out of range");
+  }
 
   return OnShard(id, [id, type, type_name,
                       object_id](ContextCache& cache) -> HttpResponse {

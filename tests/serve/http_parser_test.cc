@@ -124,6 +124,20 @@ TEST(HttpParserTest, ChunkedBodyOverLimitErrors) {
   ASSERT_TRUE(parser.error());
 }
 
+// A 16-hex-digit chunk size is close to SIZE_MAX; with a non-empty body
+// the additive limit check `body + chunk > max` would wrap and pass,
+// letting the parser buffer attacker-streamed data without bound.
+TEST(HttpParserTest, ChunkSizeNearSizeMaxCannotBypassBodyLimit) {
+  HttpRequestParser parser;
+  const std::string raw =
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "1\r\na\r\n"
+      "ffffffffffffffff\r\n";
+  parser.Feed(raw.data(), raw.size());
+  ASSERT_TRUE(parser.error());
+  EXPECT_NE(parser.error_message().find("body"), std::string::npos);
+}
+
 TEST(HttpParserTest, MalformedChunkSizeErrorsNotAborts) {
   for (const char* bad : {"zz\r\n", "\r\n", "123456789abcdef01\r\n"}) {
     HttpRequestParser parser;
@@ -191,6 +205,51 @@ TEST(HttpParserTest, SerializeThenParseRoundTrips) {
     EXPECT_EQ(parser.status(), 404);
     EXPECT_EQ(parser.body(), response.body);
   }
+}
+
+// The response parser buffers under the same limits as the request
+// parser: a misbehaving server must not be able to grow client memory
+// without bound via endless headers, huge content-length, or a chunk
+// size near SIZE_MAX.
+TEST(HttpResponseParserTest, OversizedHeadersError) {
+  HttpResponseParser::Limits limits;
+  limits.max_header_bytes = 128;
+  HttpResponseParser parser(limits);
+  std::string raw = "HTTP/1.1 200 OK\r\nX-Big: ";
+  raw.append(500, 'a');
+  raw += "\r\n\r\n";
+  parser.Feed(raw.data(), raw.size());
+  ASSERT_TRUE(parser.error());
+  EXPECT_NE(parser.error_message().find("header"), std::string::npos);
+}
+
+TEST(HttpResponseParserTest, BodyOverLimitErrors) {
+  HttpResponseParser::Limits limits;
+  limits.max_body_bytes = 10;
+  HttpResponseParser parser(limits);
+  const std::string raw =
+      "HTTP/1.1 200 OK\r\nContent-Length: 11\r\n\r\nhello world";
+  parser.Feed(raw.data(), raw.size());
+  ASSERT_TRUE(parser.error());
+}
+
+TEST(HttpResponseParserTest, ChunkSizeNearSizeMaxCannotBypassBodyLimit) {
+  HttpResponseParser parser;
+  const std::string raw =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "1\r\na\r\n"
+      "ffffffffffffffff\r\n";
+  parser.Feed(raw.data(), raw.size());
+  ASSERT_TRUE(parser.error());
+  EXPECT_NE(parser.error_message().find("body"), std::string::npos);
+}
+
+TEST(HttpResponseParserTest, OversizedChunkSizeLineErrors) {
+  HttpResponseParser parser;
+  std::string raw = "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n";
+  raw.append(200, ' ');  // a framing line that never ends
+  parser.Feed(raw.data(), raw.size());
+  ASSERT_TRUE(parser.error());
 }
 
 TEST(HttpUrlTest, PercentRoundTrip) {

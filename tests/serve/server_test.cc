@@ -148,6 +148,13 @@ TEST_F(ServerTest, UnknownRoutesAndMethodsAreCleanErrors) {
   EXPECT_EQ(Post("/healthz", "").status, 405);
   EXPECT_EQ(Get("/context/missing/graph").status, 404);
   EXPECT_EQ(Get("/context/missing/history/table:0").status, 404);
+  EXPECT_EQ(Get("/context/missing/history/table").status, 400);
+  EXPECT_EQ(Get("/context/missing/history/widget:0").status, 400);
+  // All digits but past int64: must answer 400, not throw out of stoll
+  // and take the daemon down.
+  EXPECT_EQ(
+      Get("/context/missing/history/table:99999999999999999999999").status,
+      400);
   ClientResponse bad = Post("/context/x/revision", "not xml at all");
   EXPECT_EQ(bad.status, 400);
   EXPECT_NE(bad.body.find("error"), std::string::npos);
@@ -292,6 +299,23 @@ TEST_F(ServerTest, DrainCheckpointsEveryDirtyContext) {
     ASSERT_TRUE(info.has_value()) << page.title;
     EXPECT_EQ(info->revisions_ingested, page.revisions.size());
   }
+}
+
+// Drain must shut the server down however the target is spelled, as
+// long as it routes: a query string (or an extra slash, or a percent-
+// escaped byte) must not leave the server stuck permanently draining.
+TEST_F(ServerTest, DrainWithQueryStringStillStopsServer) {
+  OpenStore(/*create=*/true);
+  StartServer(8);
+  ClientResponse drain = Post("/admin/drain?source=test", "");
+  EXPECT_EQ(drain.status, 200);
+  EXPECT_NE(drain.body.find("\"draining\": true"), std::string::npos);
+  // Pre-fix this join hung: the raw-target comparison missed the query
+  // string, so Stop() was never called.
+  if (serve_thread_.joinable()) serve_thread_.join();
+  EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+  server_.reset();
+  client_.Close();
 }
 
 TEST_F(ServerTest, IngestRejectsMismatchedTitleAndMultiPageBodies) {
