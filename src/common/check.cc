@@ -1,11 +1,21 @@
 #include "common/check.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string_view>
 
 namespace somr {
+
+namespace {
+std::atomic<CheckFailureHook> g_check_failure_hook{nullptr};
+}  // namespace
+
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook) {
+  return g_check_failure_hook.exchange(hook);
+}
+
 namespace check_internal {
 
 CheckFailure::CheckFailure(const char* file, int line,
@@ -23,6 +33,11 @@ CheckFailure::~CheckFailure() {
   std::string message = stream_.str();
   std::fprintf(stderr, "%s\n", message.c_str());
   std::fflush(stderr);
+  // One-shot: exchange prevents a hook that itself fails a check from
+  // recursing into the dump.
+  if (CheckFailureHook hook = g_check_failure_hook.exchange(nullptr)) {
+    hook(message.c_str());
+  }
   std::abort();
 }
 

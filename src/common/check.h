@@ -28,6 +28,15 @@
 #include <vector>
 
 namespace somr {
+
+/// Hook invoked (once, with the failure message) after a SOMR_CHECK
+/// failure is printed and before abort(). Used by the observability
+/// flight recorder to dump the trace ring + metrics snapshot next to the
+/// crash. The hook runs on the failing thread and must not throw;
+/// returns the previously installed hook (nullptr if none).
+using CheckFailureHook = void (*)(const char* message);
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook);
+
 namespace check_internal {
 
 /// Accumulates the streamed message for a failing check and aborts the

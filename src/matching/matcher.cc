@@ -279,6 +279,7 @@ void TemporalMatcher::RunStages(
         d.kind = edge_accepted[e] != 0
                      ? obs::MatchDecision::Kind::kMatch
                      : obs::MatchDecision::Kind::kReject;
+        d.trace_id = obs::CurrentTraceId();
         d.object_type = extract::ObjectTypeName(type_);
         d.revision = revision_index;
         d.stage = stage.number;
@@ -316,6 +317,7 @@ void TemporalMatcher::CommitAssignments(
       if (provenance_ != nullptr) {
         obs::MatchDecision d;
         d.kind = obs::MatchDecision::Kind::kNewObject;
+        d.trace_id = obs::CurrentTraceId();
         d.object_type = extract::ObjectTypeName(type_);
         d.revision = revision_index;
         d.object_id = object_id;
@@ -410,6 +412,7 @@ void TemporalMatcher::ProcessRevision(
   if (provenance_ != nullptr) {
     obs::MatchDecision d;
     d.kind = obs::MatchDecision::Kind::kStep;
+    d.trace_id = obs::CurrentTraceId();
     d.object_type = extract::ObjectTypeName(type_);
     d.revision = revision_index;
     d.similarities = stats_.similarities_computed - similarities_before;

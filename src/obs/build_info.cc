@@ -1,0 +1,82 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace somr::obs {
+
+namespace internal {
+// Defined in the CMake-generated build_info_data.cc.
+extern const char* kBuildVersion;
+extern const char* kBuildCompiler;
+extern const char* kBuildType;
+}  // namespace internal
+
+namespace {
+
+std::chrono::steady_clock::time_point& ProcessStart() {
+  static std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+Gauge* UptimeGauge() {
+  static Gauge* gauge = MetricsRegistry::Global().GetGauge(
+      "somr_uptime_seconds", "Seconds since process metrics registration");
+  return gauge;
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{internal::kBuildVersion,
+                              internal::kBuildCompiler,
+                              internal::kBuildType};
+  return info;
+}
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - ProcessStart())
+      .count();
+}
+
+void RegisterProcessMetrics() {
+  ProcessStart();  // pin the uptime epoch
+  const BuildInfo& info = GetBuildInfo();
+  // No label support in the registry: the Prometheus-style label set is
+  // part of the metric name, which the text exposition renders verbatim.
+  std::string name = "somr_build_info{version=\"";
+  name += info.version;
+  name += "\",compiler=\"";
+  name += info.compiler;
+  name += "\",build_type=\"";
+  name += info.build_type;
+  name += "\"}";
+  MetricsRegistry::Global()
+      .GetGauge(name, "Build identity (constant 1; labels in name)")
+      ->Set(1.0);
+  TouchProcessMetrics();
+}
+
+void TouchProcessMetrics() { UptimeGauge()->Set(ProcessUptimeSeconds()); }
+
+std::string BuildInfoJson() {
+  std::string out = "{\"version\": \"";
+  out += GetBuildInfo().version;
+  out += "\", \"compiler\": \"";
+  out += GetBuildInfo().compiler;
+  out += "\", \"build_type\": \"";
+  out += GetBuildInfo().build_type;
+  out += "\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ", \"uptime_seconds\": %.3f",
+                ProcessUptimeSeconds());
+  out += buf;
+  out += "}";
+  return out;
+}
+
+}  // namespace somr::obs

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+namespace somr::obs {
+
+/// Compile-time build identity, stamped by CMake (git describe at
+/// configure time, compiler id/version, build type). All fields are
+/// static strings; "unknown" when the tree was built outside git.
+struct BuildInfo {
+  const char* version;
+  const char* compiler;
+  const char* build_type;
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// Seconds since the process registered its metrics (monotonic).
+double ProcessUptimeSeconds();
+
+/// Registers somr_build_info (constant 1, identity in the metric name's
+/// label set) and somr_uptime_seconds in the global MetricsRegistry, and
+/// starts the uptime clock. Idempotent; call once at CLI startup.
+void RegisterProcessMetrics();
+
+/// Refreshes somr_uptime_seconds. Call before scraping (gauges are
+/// last-write-wins, so the value is only as fresh as the last touch).
+void TouchProcessMetrics();
+
+/// {"version": "...", "compiler": "...", "build_type": "...",
+///  "uptime_seconds": N} — the /healthz and /debug/vars building block.
+std::string BuildInfoJson();
+
+}  // namespace somr::obs

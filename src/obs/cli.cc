@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "obs/build_info.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -21,12 +23,17 @@ void CliObservability::AddFlags(FlagParser& flags) {
   flags.AddInt("trace-capacity",
                static_cast<int64_t>(TraceRecorder::kDefaultCapacity),
                "span ring-buffer capacity (events) for --trace-out");
+  flags.AddString("log-level", "info",
+                  "structured-log threshold: debug|info|warn|error|off");
 }
 
 Status CliObservability::Init(const FlagParser& flags) {
   metrics_path_ = flags.GetString("metrics-out");
   trace_path_ = flags.GetString("trace-out");
   explain_path_ = flags.GetString("explain-out");
+
+  RegisterProcessMetrics();
+  SetLogLevel(ParseLogLevel(flags.GetString("log-level")));
 
   if (!trace_path_.empty()) {
     int64_t capacity = flags.GetInt("trace-capacity");
@@ -68,6 +75,7 @@ Status CliObservability::Finish() {
                 trace_path_.c_str());
   }
   if (!metrics_path_.empty()) {
+    TouchProcessMetrics();
     SOMR_RETURN_IF_ERROR(WriteMetricsFile(metrics_path_));
     std::printf("metrics -> %s\n", metrics_path_.c_str());
   }

@@ -1,0 +1,108 @@
+#include "obs/flight_recorder.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace somr::obs {
+
+namespace {
+
+// One mutable global (the destination directory), written only by
+// InstallFlightRecorder before any crash can use it.
+std::string& RecorderDir() {
+  static std::string* dir = new std::string();
+  return *dir;
+}
+
+std::atomic<bool> g_dump_in_progress{false};
+
+Status WriteWholeFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("flight recorder: cannot open " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return Status::Internal("flight recorder: short write to " + path);
+  }
+  return Status::OK();
+}
+
+void DumpFromCrash(const char* reason) {
+  // Reentrancy guard: a crash inside the dump (this path is not
+  // async-signal safe by design) must not loop.
+  if (g_dump_in_progress.exchange(true)) return;
+  const std::string& dir = RecorderDir();
+  if (!dir.empty()) {
+    Status status = DumpFlightRecord(dir, reason);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    }
+  }
+}
+
+void OnCheckFailure(const char* /*message*/) { DumpFromCrash("check"); }
+
+const char* SignalName(int signo) {
+  switch (signo) {
+    case SIGSEGV:
+      return "sigsegv";
+    case SIGABRT:
+      return "sigabrt";
+    case SIGBUS:
+      return "sigbus";
+    case SIGFPE:
+      return "sigfpe";
+    case SIGILL:
+      return "sigill";
+  }
+  return "signal";
+}
+
+void OnFatalSignal(int signo) {
+  DumpFromCrash(SignalName(signo));
+  // Restore the default disposition and re-raise so the process still
+  // dies with the original signal (core dumps, CI status, sanitizers).
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
+Status DumpFlightRecord(const std::string& dir, const std::string& reason) {
+  const long long ts = static_cast<long long>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  char stamp[96];
+  std::snprintf(stamp, sizeof(stamp), "/flight-%lld-%s", ts,
+                reason.empty() ? "manual" : reason.c_str());
+  const std::string base = dir + stamp;
+
+  Status trace_status = WriteWholeFile(
+      base + ".trace.json", TraceRecorder::Global().ExportChromeTraceJson());
+  Status metrics_status = WriteWholeFile(
+      base + ".metrics.json",
+      RenderMetricsJson(MetricsRegistry::Global().Scrape()));
+  if (!trace_status.ok()) return trace_status;
+  return metrics_status;
+}
+
+void InstallFlightRecorder(const std::string& dir) {
+  RecorderDir() = dir;
+  SetCheckFailureHook(&OnCheckFailure);
+  std::signal(SIGSEGV, &OnFatalSignal);
+  std::signal(SIGABRT, &OnFatalSignal);
+  std::signal(SIGBUS, &OnFatalSignal);
+  std::signal(SIGFPE, &OnFatalSignal);
+  std::signal(SIGILL, &OnFatalSignal);
+}
+
+}  // namespace somr::obs

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace somr::obs {
+
+/// Crash-time observability dump: when a SOMR_CHECK fails or a fatal
+/// signal (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL) arrives, writes the
+/// trace ring (Chrome trace JSON) and a metrics snapshot into `dir`:
+///
+///   <dir>/flight-<unix_ts>-<reason>.trace.json
+///   <dir>/flight-<unix_ts>-<reason>.metrics.json
+///
+/// Installation is idempotent (last directory wins) and chains to any
+/// previously installed signal handlers by re-raising after the dump.
+///
+/// The dump path allocates and takes locks, which is NOT async-signal
+/// safe; this is the standard flight-recorder trade-off — the process is
+/// dying anyway, a torn dump beats no dump, and a reentrancy guard stops
+/// a crash inside the dump from looping.
+void InstallFlightRecorder(const std::string& dir);
+
+/// Writes a dump immediately (reason tags the filenames). Used by the
+/// crash paths and by tests; safe to call without InstallFlightRecorder.
+Status DumpFlightRecord(const std::string& dir, const std::string& reason);
+
+}  // namespace somr::obs

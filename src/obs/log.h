@@ -1,0 +1,108 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace somr::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// Parses "debug" | "info" | "warn" | "error" | "off"; falls back to
+/// kInfo on unknown input.
+LogLevel ParseLogLevel(const std::string& name);
+
+/// Runtime threshold: messages below it are discarded before their
+/// stream arguments are evaluated (the SOMR_LOG macro short-circuits).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+bool LogEnabled(LogLevel level);
+
+/// Replaces the line sink (default: one JSONL line to stderr). Pass an
+/// empty function to restore the default. Used by tests to capture
+/// output; the sink is called with the full serialized line, newline
+/// included, and must be thread-safe (the logger holds no lock across
+/// the call).
+void SetLogSink(std::function<void(const std::string& line)> sink);
+
+/// Per-call-site rate-limiter state, allocated once per SOMR_LOG
+/// statement via a function-local static. A site may emit at most
+/// kMaxPerWindow lines per kWindowSeconds window; excess lines only bump
+/// `suppressed`, and the next admitted line carries the suppressed count
+/// so bursts stay visible without flooding the sink.
+struct LogSite {
+  static constexpr uint32_t kMaxPerWindow = 32;
+  static constexpr int64_t kWindowSeconds = 10;
+
+  std::atomic<int64_t> window_start_s{-1};
+  std::atomic<uint32_t> emitted_in_window{0};
+  std::atomic<uint64_t> suppressed{0};
+
+  /// True when this call may emit now; false bumps the suppressed
+  /// counter instead. On admit, *suppressed_out receives (and clears)
+  /// the count of lines this site suppressed since its last emission.
+  bool Admit(int64_t now_s, uint64_t* suppressed_out);
+};
+
+/// One in-flight log statement: collects the message via operator<<,
+/// serializes and emits a JSONL line on destruction. Stamped fields:
+/// ts (unix seconds), level, msg, file, line, trace_id (when a request
+/// scope is active), suppressed (when the site rate-limited earlier
+/// calls). A rate-limited statement still evaluates its stream arguments
+/// but emits nothing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, LogSite* site);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (admitted_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool admitted_ = false;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  uint64_t suppressed_ = 0;
+  std::ostringstream stream_;
+};
+
+/// glog-style adapter giving the ternary in SOMR_LOG a void else-branch.
+/// operator& binds looser than operator<<, so the whole stream chain
+/// evaluates into the LogMessage first.
+struct LogVoidify {
+  void operator&(const LogMessage&) {}
+};
+
+}  // namespace somr::obs
+
+/// SOMR_LOG(Info) << "resident contexts: " << n;
+///
+/// Level check first (one relaxed load — stream arguments are never
+/// evaluated for discarded levels), then per-site rate limiting inside
+/// LogMessage. Expands to a single expression (dangling-else safe).
+#define SOMR_LOG(severity)                                          \
+  (!::somr::obs::LogEnabled(::somr::obs::LogLevel::k##severity))    \
+      ? (void)0                                                     \
+      : ::somr::obs::LogVoidify() &                                 \
+            ::somr::obs::LogMessage(                                \
+                ::somr::obs::LogLevel::k##severity, __FILE__,       \
+                __LINE__, ([]() -> ::somr::obs::LogSite* {          \
+                  static ::somr::obs::LogSite somr_log_site;        \
+                  return &somr_log_site;                            \
+                })())

@@ -225,6 +225,19 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+// Most metric names are plain identifiers, but labeled names such as
+// somr_build_info{version="..."} embed quotes that must be escaped when
+// the name becomes a JSON object key.
+std::string JsonEscapeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string RenderMetricsText(const MetricsSnapshot& snapshot) {
@@ -263,15 +276,13 @@ std::string RenderMetricsText(const MetricsSnapshot& snapshot) {
 }
 
 std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
-  // Metric names are restricted identifiers, so no string escaping is
-  // needed; help texts are authored in-repo and kept escape-free.
   std::string out = "{\n  \"counters\": {";
   char buf[128];
   bool first = true;
   for (const auto& c : snapshot.counters) {
-    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %" PRIu64,
-                  first ? "" : ",", c.name.c_str(), c.value);
-    out += buf;
+    out += first ? "\n    " : ",\n    ";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, c.value);
+    out += "\"" + JsonEscapeName(c.name) + "\": " + buf;
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";
@@ -279,7 +290,7 @@ std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
   first = true;
   for (const auto& g : snapshot.gauges) {
     out += first ? "\n    " : ",\n    ";
-    out += "\"" + g.name + "\": " + FormatDouble(g.value);
+    out += "\"" + JsonEscapeName(g.name) + "\": " + FormatDouble(g.value);
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";
@@ -287,7 +298,7 @@ std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
   first = true;
   for (const auto& h : snapshot.histograms) {
     out += first ? "\n    " : ",\n    ";
-    out += "\"" + h.name + "\": {\"bounds\": [";
+    out += "\"" + JsonEscapeName(h.name) + "\": {\"bounds\": [";
     for (size_t b = 0; b < h.bounds.size(); ++b) {
       if (b > 0) out += ", ";
       out += FormatDouble(h.bounds[b]);

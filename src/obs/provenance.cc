@@ -115,6 +115,12 @@ std::string MatchDecisionToJson(const MatchDecision& d) {
     out += d.reason;
     out += "\"";
   }
+  // Schema v3 (additive): request attribution for served ingests.
+  if (d.trace_id != 0) {
+    std::snprintf(buf, sizeof(buf), ", \"trace_id\": \"%016llx\"",
+                  static_cast<unsigned long long>(d.trace_id));
+    out += buf;
+  }
   out += "}";
   return out;
 }

@@ -24,6 +24,10 @@ struct MatchDecision {
   std::string page;              // filled by the pipeline layer
   const char* object_type = "";  // "table" | "infobox" | "list"
   int revision = 0;
+  // Request trace id of the HTTP request that triggered this decision
+  // (obs::CurrentTraceId() at emission; 0 in batch runs). Serialized as
+  // "trace_id": "<16 hex>" when nonzero — schema v3, additive.
+  uint64_t trace_id = 0;
 
   // Pair records (kMatch/kReject); kNewObject fills object_id/position.
   int stage = 0;           // 1..3

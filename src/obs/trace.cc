@@ -23,12 +23,73 @@ uint32_t LocalThreadId() {
   return tid;
 }
 
+thread_local uint64_t tl_trace_id = 0;
+
+// splitmix64 finalizer: bijective, so distinct counter values can never
+// collide, and the avalanche spreads sequential counters across the full
+// 64-bit space.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 int64_t TraceNowNanos() { return EpochNanos(); }
 
 bool TracingEnabled() {
   return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+uint64_t CurrentTraceId() { return tl_trace_id; }
+
+TraceIdScope::TraceIdScope(uint64_t trace_id) : previous_(tl_trace_id) {
+  tl_trace_id = trace_id;
+}
+
+TraceIdScope::~TraceIdScope() { tl_trace_id = previous_; }
+
+uint64_t NextTraceId() {
+  // Seed the counter from the wall clock once so ids stay unique across
+  // process restarts (a flight-recorder dump from a previous run must not
+  // alias a live request).
+  static std::atomic<uint64_t> counter{static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count())};
+  uint64_t id = 0;
+  while (id == 0) {
+    id = SplitMix64(counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+std::string TraceIdHex(uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf);
+}
+
+uint64_t ParseTraceIdHex(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16) return 0;
+  uint64_t value = 0;
+  for (char c : hex) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return 0;
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
 }
 
 TraceRecorder& TraceRecorder::Global() {
@@ -55,7 +116,8 @@ void TraceRecorder::Clear() {
 }
 
 void TraceRecorder::Record(const char* name, const char* cat,
-                           int64_t start_ns, int64_t dur_ns) {
+                           int64_t start_ns, int64_t dur_ns,
+                           uint64_t trace_id) {
   // The ring is only resized while tracing is off, so the capacity read
   // here is stable for the lifetime of any in-flight Record call.
   const size_t capacity = ring_.size();
@@ -67,6 +129,7 @@ void TraceRecorder::Record(const char* name, const char* cat,
   slot.tid = LocalThreadId();
   slot.start_ns = start_ns;
   slot.dur_ns = dur_ns;
+  slot.trace_id = trace_id;
 }
 
 size_t TraceRecorder::dropped() const {
@@ -93,23 +156,48 @@ std::vector<TraceEvent> TraceRecorder::Events() const {
   return events;
 }
 
-std::string TraceRecorder::ExportChromeTraceJson() const {
+std::vector<TraceEvent> TraceRecorder::EventsSince(int64_t since_ns) const {
   std::vector<TraceEvent> events = Events();
+  size_t kept = 0;
+  for (const TraceEvent& e : events) {
+    if (e.start_ns >= since_ns) events[kept++] = e;
+  }
+  events.resize(kept);
+  return events;
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
-  char buf[256];
+  char buf[320];
   bool first = true;
   for (const TraceEvent& e : events) {
-    std::snprintf(buf, sizeof(buf),
-                  "%s\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
-                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
-                  first ? "" : ",", e.name, e.cat,
-                  static_cast<double>(e.start_ns) / 1000.0,
-                  static_cast<double>(e.dur_ns) / 1000.0, e.tid);
+    if (e.trace_id != 0) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+          "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+          "\"args\": {\"trace_id\": \"%016llx\"}}",
+          first ? "" : ",", e.name, e.cat,
+          static_cast<double>(e.start_ns) / 1000.0,
+          static_cast<double>(e.dur_ns) / 1000.0, e.tid,
+          static_cast<unsigned long long>(e.trace_id));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                    "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                    first ? "" : ",", e.name, e.cat,
+                    static_cast<double>(e.start_ns) / 1000.0,
+                    static_cast<double>(e.dur_ns) / 1000.0, e.tid);
+    }
     out += buf;
     first = false;
   }
   out += "\n]}\n";
   return out;
+}
+
+std::string TraceRecorder::ExportChromeTraceJson() const {
+  return ChromeTraceJson(Events());
 }
 
 }  // namespace somr::obs

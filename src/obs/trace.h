@@ -26,7 +26,41 @@ struct TraceEvent {
   uint32_t tid = 0;      // small sequential thread id, stable per thread
   int64_t start_ns = 0;  // relative to the trace epoch
   int64_t dur_ns = 0;
+  uint64_t trace_id = 0;  // owning request (0 = no request context)
 };
+
+/// The request trace id bound to the calling thread (0 when the thread
+/// is not serving a traced request). Every span recorded and every
+/// provenance decision stamped while a TraceIdScope is active carries
+/// this id, which is what ties a slow span in the matcher back to the
+/// HTTP request that caused it.
+uint64_t CurrentTraceId();
+
+/// RAII binding of a request trace id to the calling thread. Nests:
+/// the previous id is restored on destruction. The executor propagates
+/// the current id into submitted tasks, so spans on worker threads stay
+/// attributed to the originating request.
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(uint64_t trace_id);
+  ~TraceIdScope();
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+/// Mints a fresh process-unique nonzero 64-bit trace id (splitmix64 over
+/// an atomic counter seeded from the clock, so ids are unique across
+/// restarts with overwhelming probability and never influence matching).
+uint64_t NextTraceId();
+
+/// Canonical wire format of a trace id: 16 lowercase hex digits.
+std::string TraceIdHex(uint64_t trace_id);
+
+/// Parses the TraceIdHex format (1..16 hex digits); 0 on malformed input.
+uint64_t ParseTraceIdHex(const std::string& hex);
 
 /// Process-wide lock-free ring buffer of completed spans. Writers claim
 /// slots with one fetch_add; when the ring wraps, the oldest events are
@@ -44,7 +78,7 @@ class TraceRecorder {
   void Clear();
 
   void Record(const char* name, const char* cat, int64_t start_ns,
-              int64_t dur_ns);
+              int64_t dur_ns, uint64_t trace_id = 0);
 
   /// Events currently retained, oldest first.
   std::vector<TraceEvent> Events() const;
@@ -54,6 +88,10 @@ class TraceRecorder {
   /// Chrome trace_event JSON ("X" complete events, microsecond
   /// timestamps): loadable by chrome://tracing and https://ui.perfetto.dev.
   std::string ExportChromeTraceJson() const;
+
+  /// Retained events whose start is at or after `since_ns` (trace-epoch
+  /// nanoseconds), oldest first — the /debug/trace capture primitive.
+  std::vector<TraceEvent> EventsSince(int64_t since_ns) const;
 
   static constexpr size_t kDefaultCapacity = 1 << 16;
 
@@ -74,12 +112,14 @@ class TraceSpan {
       name_ = name;
       cat_ = cat;
       start_ns_ = TraceNowNanos();
+      trace_id_ = CurrentTraceId();
     }
   }
   ~TraceSpan() {
     if (name_ != nullptr) {
       TraceRecorder::Global().Record(name_, cat_, start_ns_,
-                                     TraceNowNanos() - start_ns_);
+                                     TraceNowNanos() - start_ns_,
+                                     trace_id_);
     }
   }
   TraceSpan(const TraceSpan&) = delete;
@@ -89,7 +129,13 @@ class TraceSpan {
   const char* name_ = nullptr;
   const char* cat_ = "somr";
   int64_t start_ns_ = 0;
+  uint64_t trace_id_ = 0;
 };
+
+/// Renders `events` as Chrome trace_event JSON. Events carrying a trace
+/// id expose it as args.trace_id (TraceIdHex format) so chrome://tracing
+/// and Perfetto can filter one request's spans.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
 
 }  // namespace somr::obs
 

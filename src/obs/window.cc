@@ -1,0 +1,189 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace somr::obs {
+
+int64_t WindowNowSeconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+WindowedHistogram::WindowedHistogram(double first_bound, double growth,
+                                     size_t bucket_count,
+                                     double slo_threshold,
+                                     int64_t sub_window_seconds,
+                                     size_t sub_windows)
+    : first_bound_(first_bound),
+      growth_(growth),
+      bucket_count_(bucket_count == 0 ? 1 : bucket_count),
+      slo_threshold_(slo_threshold),
+      sub_window_seconds_(sub_window_seconds < 1 ? 1 : sub_window_seconds),
+      slots_(sub_windows == 0 ? 1 : sub_windows) {
+  for (Slot& slot : slots_) slot.buckets.assign(bucket_count_ + 2, 0);
+}
+
+void WindowedHistogram::Observe(double value) {
+  ObserveAt(value, WindowNowSeconds());
+}
+
+void WindowedHistogram::ObserveAt(double value, int64_t now_s) {
+  const int64_t epoch = now_s / sub_window_seconds_;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[static_cast<size_t>(epoch) % slots_.size()];
+  if (slot.epoch != epoch) {
+    // The slot last served an epoch a full ring-revolution ago (or never)
+    // — lazily recycle it for the current epoch.
+    slot.epoch = epoch;
+    slot.count = 0;
+    slot.sum = 0.0;
+    slot.slo_violations = 0;
+    std::fill(slot.buckets.begin(), slot.buckets.end(), uint64_t{0});
+  }
+  ++slot.count;
+  slot.sum += value;
+  if (slo_threshold_ > 0.0 && value > slo_threshold_) ++slot.slo_violations;
+  size_t bucket = 0;  // underflow
+  if (value >= first_bound_) {
+    double bound = first_bound_;
+    bucket = bucket_count_ + 1;  // overflow unless a bound catches it
+    for (size_t i = 0; i < bucket_count_; ++i) {
+      bound *= growth_;
+      if (value < bound) {
+        bucket = i + 1;
+        break;
+      }
+    }
+  }
+  ++slot.buckets[bucket];
+}
+
+WindowStats WindowedHistogram::StatsOver(int64_t horizon_seconds) const {
+  return StatsOverAt(horizon_seconds, WindowNowSeconds());
+}
+
+WindowStats WindowedHistogram::StatsOverAt(int64_t horizon_seconds,
+                                           int64_t now_s) const {
+  const int64_t now_epoch = now_s / sub_window_seconds_;
+  int64_t epochs = (horizon_seconds + sub_window_seconds_ - 1) /
+                   sub_window_seconds_;
+  epochs = std::min<int64_t>(std::max<int64_t>(epochs, 1),
+                             static_cast<int64_t>(slots_.size()));
+
+  WindowStats stats;
+  std::vector<uint64_t> merged(bucket_count_ + 2, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int64_t back = 0; back < epochs; ++back) {
+    const int64_t epoch = now_epoch - back;
+    if (epoch < 0) break;
+    const Slot& slot = slots_[static_cast<size_t>(epoch) % slots_.size()];
+    if (slot.epoch != epoch) continue;  // stale or never-written slot
+    stats.count += slot.count;
+    stats.sum += slot.sum;
+    stats.slo_violations += slot.slo_violations;
+    for (size_t i = 0; i < merged.size(); ++i) merged[i] += slot.buckets[i];
+  }
+  if (stats.count > 0) {
+    stats.p50 = Percentile(merged, stats.count, 0.50);
+    stats.p95 = Percentile(merged, stats.count, 0.95);
+    stats.p99 = Percentile(merged, stats.count, 0.99);
+  }
+  return stats;
+}
+
+double WindowedHistogram::Percentile(const std::vector<uint64_t>& merged,
+                                     uint64_t count, double q) const {
+  // Rank of the target observation, then linear interpolation inside the
+  // bucket that contains it. Bucket 0 spans [0, first_bound); bucket i
+  // spans [first_bound * growth^(i-1), first_bound * growth^i); the last
+  // (overflow) bucket is capped at one more growth step for reporting.
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  double lower = 0.0;
+  double upper = first_bound_;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    const double in_bucket = static_cast<double>(merged[i]);
+    if (in_bucket > 0.0 && cumulative + in_bucket >= target) {
+      const double fraction = (target - cumulative) / in_bucket;
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += in_bucket;
+    lower = upper;
+    upper *= growth_;
+  }
+  return lower;  // unreachable when count > 0; defensive
+}
+
+WindowRegistry& WindowRegistry::Global() {
+  static WindowRegistry* registry = new WindowRegistry();
+  return *registry;
+}
+
+WindowedHistogram* WindowRegistry::GetHistogram(
+    const std::string& name, double first_bound, double growth,
+    size_t bucket_count, double slo_threshold) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : histograms_) {
+    if (entry.first == name) return entry.second;
+  }
+  auto* histogram = new WindowedHistogram(first_bound, growth, bucket_count,
+                                          slo_threshold);
+  histograms_.emplace_back(name, histogram);
+  return histogram;
+}
+
+std::string WindowRegistry::RenderJsonAt(int64_t now_s) const {
+  std::vector<std::pair<std::string, WindowedHistogram*>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries = histograms_;
+  }
+  std::string out = "{\n  \"windows\": {";
+  char buf[256];
+  bool first = true;
+  for (const auto& entry : entries) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + entry.first + "\": {";
+    const char* horizon_names[2] = {"1m", "5m"};
+    const int64_t horizons[2] = {60, 300};
+    for (int h = 0; h < 2; ++h) {
+      const WindowStats s =
+          entry.second->StatsOverAt(horizons[h], now_s);
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s\"%s\": {\"count\": %llu, \"sum\": %.6f, \"p50\": %.6f, "
+          "\"p95\": %.6f, \"p99\": %.6f, \"slo_violations\": %llu}",
+          h == 0 ? "" : ", ", horizon_names[h],
+          static_cast<unsigned long long>(s.count), s.sum, s.p50, s.p95,
+          s.p99, static_cast<unsigned long long>(s.slo_violations));
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string WindowRegistry::RenderJson() const {
+  return RenderJsonAt(WindowNowSeconds());
+}
+
+uint64_t WindowRegistry::SloViolationsAt(int64_t now_s) const {
+  std::vector<std::pair<std::string, WindowedHistogram*>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries = histograms_;
+  }
+  uint64_t total = 0;
+  for (const auto& entry : entries) {
+    total += entry.second->StatsOverAt(entry.second->span_seconds(), now_s)
+                 .slo_violations;
+  }
+  return total;
+}
+
+}  // namespace somr::obs

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace somr::obs {
+
+/// Percentile summary over a rolling time window, merged from the
+/// sub-window ring of a WindowedHistogram.
+struct WindowStats {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  uint64_t slo_violations = 0;  // observations above the SLO threshold
+};
+
+/// Rolling-window histogram: a ring of `sub_windows` time-bucketed
+/// snapshots, each covering `sub_window_seconds`. Observations land in
+/// the sub-window of their epoch (now / sub_window_seconds); reads merge
+/// the sub-windows younger than the requested horizon. Stale slots are
+/// lazily reset when their epoch comes around again, so an idle endpoint
+/// costs nothing and old samples age out without a background thread.
+///
+/// Buckets are exponential (like obs::Histogram): bucket i spans
+/// [first_bound * growth^(i-1), first_bound * growth^i), with an
+/// underflow bucket below first_bound and an overflow bucket above the
+/// last bound. Percentiles interpolate linearly inside the bucket, which
+/// is exact enough for SLO work (the error is bounded by the growth
+/// factor).
+///
+/// Thread-safe via one mutex per histogram — observation granularity is
+/// one HTTP request, so contention is irrelevant next to socket I/O.
+class WindowedHistogram {
+ public:
+  /// `slo_threshold` <= 0 disables SLO accounting.
+  WindowedHistogram(double first_bound, double growth, size_t bucket_count,
+                    double slo_threshold = 0.0,
+                    int64_t sub_window_seconds = kDefaultSubWindowSeconds,
+                    size_t sub_windows = kDefaultSubWindows);
+
+  void Observe(double value);
+  /// Time-injected variant for deterministic tests; `now_s` is seconds
+  /// on any monotonic scale (callers must use one scale consistently).
+  void ObserveAt(double value, int64_t now_s);
+
+  /// Stats over the last `horizon_seconds` (clamped to the ring span).
+  WindowStats StatsOver(int64_t horizon_seconds) const;
+  WindowStats StatsOverAt(int64_t horizon_seconds, int64_t now_s) const;
+
+  double slo_threshold() const { return slo_threshold_; }
+  /// Longest horizon the ring can answer, in seconds.
+  int64_t span_seconds() const {
+    return sub_window_seconds_ * static_cast<int64_t>(slots_.size());
+  }
+
+  static constexpr int64_t kDefaultSubWindowSeconds = 5;
+  static constexpr size_t kDefaultSubWindows = 60;  // 5 min span
+
+ private:
+  struct Slot {
+    int64_t epoch = -1;  // -1 = never used
+    uint64_t count = 0;
+    double sum = 0.0;
+    uint64_t slo_violations = 0;
+    std::vector<uint64_t> buckets;  // bucket_count + 2 (under/overflow)
+  };
+
+  double Percentile(const std::vector<uint64_t>& merged, uint64_t count,
+                    double q) const;
+
+  const double first_bound_;
+  const double growth_;
+  const size_t bucket_count_;
+  const double slo_threshold_;
+  const int64_t sub_window_seconds_;
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+};
+
+/// Named registry of windowed histograms, one per endpoint. Separate
+/// from MetricsRegistry on purpose: windowed stats are served-layer
+/// state with point-in-time reads, not cumulative scrape counters.
+class WindowRegistry {
+ public:
+  static WindowRegistry& Global();
+
+  /// Returns the histogram registered under `name`, creating it with the
+  /// given shape on first use (later calls ignore the shape arguments).
+  WindowedHistogram* GetHistogram(
+      const std::string& name, double first_bound, double growth,
+      size_t bucket_count, double slo_threshold = 0.0);
+
+  /// JSON object mapping each name to its 1m and 5m WindowStats — the
+  /// /metrics/window payload. Values are seconds (latency histograms).
+  std::string RenderJson() const;
+  std::string RenderJsonAt(int64_t now_s) const;
+
+  /// Total SLO violations across all histograms over the full ring span
+  /// (the burn counter exported on /metrics).
+  uint64_t SloViolationsAt(int64_t now_s) const;
+
+ private:
+  WindowRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, WindowedHistogram*>> histograms_;
+};
+
+/// Seconds on the steady clock — the time scale WindowedHistogram's
+/// non-injected entry points use.
+int64_t WindowNowSeconds();
+
+}  // namespace somr::obs

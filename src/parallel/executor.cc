@@ -146,6 +146,7 @@ void Executor::Wake(size_t n) {
 }
 
 void Executor::Dispatch(internal::Task* task, size_t wake) {
+  task->trace_id = obs::CurrentTraceId();
   pending_tasks_.fetch_add(1, std::memory_order_relaxed);
   const unsigned slot = CurrentSlot();
   if (slot < num_workers()) {
@@ -196,6 +197,7 @@ internal::Task* Executor::FindTask(unsigned slot) {
 
 void Executor::RunTask(internal::Task* task) {
   {
+    obs::TraceIdScope trace_scope(task->trace_id);
     SOMR_TRACE_SCOPE_CAT("parallel", "executor/task");
     task->run(*task);  // may delete the task (Submit) — do not touch after
   }

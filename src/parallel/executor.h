@@ -30,6 +30,10 @@ struct Task {
   void* state = nullptr;
   size_t begin = 0;
   size_t end = 0;
+  // Request trace id captured at dispatch and rebound (TraceIdScope) on
+  // the executing thread, so spans and provenance emitted by stolen work
+  // stay attributed to the originating request.
+  uint64_t trace_id = 0;
 };
 
 /// Non-owning callable reference for ParallelFor bodies: avoids the

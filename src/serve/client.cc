@@ -115,8 +115,17 @@ StatusOr<ClientResponse> HttpClient::Request(const std::string& method,
   ClientResponse response;
   response.status = parser.status();
   response.body = parser.body();
+  response.headers = parser.headers();
   if (parser.Header("connection") == "close") Close();
   return response;
+}
+
+const std::string& ClientResponse::Header(const std::string& name) const {
+  static const std::string kEmpty;
+  for (const auto& header : headers) {
+    if (header.first == name) return header.second;
+  }
+  return kEmpty;
 }
 
 }  // namespace somr::serve

@@ -12,6 +12,11 @@ namespace somr::serve {
 struct ClientResponse {
   int status = 0;
   std::string body;
+  /// Response headers, names lower-cased by the parser.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First value of `name` (lower-case), or "" when absent.
+  const std::string& Header(const std::string& name) const;
 };
 
 /// Minimal blocking HTTP/1.1 client over one keep-alive connection —

@@ -34,6 +34,7 @@ StatusOr<state::PageState*> ContextCache::GetOrLoad(const std::string& id,
   // A freshly created context has no snapshot yet; it must survive
   // eviction even if no revision ever arrives.
   lru_.front().dirty = !store_->Lookup(id).has_value();
+  if (lru_.front().dirty) ++dirty_;
   SOMR_RETURN_IF_ERROR(EvictToCapacity());
   // Eviction never removes the most-recently-used entry (capacity >= 1).
   return &lru_.front().state;
@@ -41,7 +42,10 @@ StatusOr<state::PageState*> ContextCache::GetOrLoad(const std::string& id,
 
 void ContextCache::MarkDirty(const std::string& id) {
   auto it = entries_.find(id);
-  if (it != entries_.end()) it->second->dirty = true;
+  if (it != entries_.end() && !it->second->dirty) {
+    it->second->dirty = true;
+    ++dirty_;
+  }
 }
 
 Status ContextCache::EvictToCapacity() {
@@ -50,6 +54,7 @@ Status ContextCache::EvictToCapacity() {
     if (victim.dirty) {
       SOMR_RETURN_IF_ERROR(store_->Save(victim.state));
       ++stats_.spills;
+      --dirty_;
     }
     ++stats_.evictions;
     entries_.erase(victim.id);
@@ -63,6 +68,7 @@ Status ContextCache::CheckpointAll() {
     if (!entry.dirty) continue;
     SOMR_RETURN_IF_ERROR(store_->Save(entry.state));
     entry.dirty = false;
+    --dirty_;
   }
   return Status::OK();
 }

@@ -52,6 +52,9 @@ class ContextCache {
   Status CheckpointAll();
 
   size_t resident() const { return entries_.size(); }
+  /// Resident contexts holding un-checkpointed changes — the data at
+  /// risk in a crash, exported as somr_serve_contexts_dirty.
+  size_t dirty() const { return dirty_; }
   size_t capacity() const { return capacity_; }
   const Stats& stats() const { return stats_; }
 
@@ -75,6 +78,7 @@ class ContextCache {
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
   Stats stats_;
+  size_t dirty_ = 0;  // resident entries with dirty == true
 };
 
 }  // namespace somr::serve

@@ -162,6 +162,12 @@ std::string SerializeResponse(const HttpResponse& response) {
   out += HttpStatusReason(response.status);
   out += "\r\nContent-Type: ";
   out += response.content_type;
+  for (const auto& header : response.extra_headers) {
+    out += "\r\n";
+    out += header.first;
+    out += ": ";
+    out += header.second;
+  }
   out += "\r\nContent-Length: ";
   out += std::to_string(response.body.size());
   out += "\r\nConnection: ";

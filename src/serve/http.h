@@ -28,6 +28,10 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Additional response headers (name, value), serialized verbatim after
+  /// Content-Type. Names must be valid header tokens; values must not
+  /// contain CR/LF (the serve layer only sets fixed names and hex ids).
+  std::vector<std::pair<std::string, std::string>> extra_headers;
   bool close_connection = false;
   /// Server-side routing decided the whole server must stop once this
   /// response is on the wire (/admin/drain). Not serialized.
@@ -122,6 +126,9 @@ class HttpResponseParser {
   int status() const { return status_; }
   const std::string& body() const { return body_; }
   const std::string& Header(const std::string& name) const;
+  const std::vector<std::pair<std::string, std::string>>& headers() const {
+    return headers_;
+  }
 
   void Reset();
 

@@ -7,13 +7,19 @@
 
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/hash.h"
 #include "common/timer.h"
 #include "matching/graph_io.h"
+#include "obs/build_info.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/window.h"
 #include "state/incremental_pipeline.h"
 #include "xmldump/dump.h"
 
@@ -28,9 +34,12 @@ constexpr extract::ObjectType kAllTypes[] = {
 struct ServeMetrics {
   obs::Counter* requests;
   obs::Counter* http_errors;
+  obs::Counter* slo_violations;
   obs::Gauge* resident;
   obs::Gauge* evicted;
   obs::Gauge* faulted;
+  obs::Gauge* dirty;
+  obs::Gauge* spilled;
   obs::Histogram* latency_revision;
   obs::Histogram* latency_graph;
   obs::Histogram* latency_history;
@@ -49,6 +58,15 @@ obs::Histogram* LatencyHistogram(obs::MetricsRegistry& reg,
                           1e-4, 4.0, 10);
 }
 
+/// Rolling-window latency per endpoint, same bucket shape as the
+/// cumulative histograms. The window registry is process-global, so the
+/// SLO threshold of the first server to register an endpoint wins.
+obs::WindowedHistogram* WindowLatency(const char* endpoint,
+                                      double slo_threshold) {
+  return obs::WindowRegistry::Global().GetHistogram(endpoint, 1e-4, 4.0, 10,
+                                                    slo_threshold);
+}
+
 const ServeMetrics& GetServeMetrics() {
   static const ServeMetrics metrics = [] {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
@@ -58,6 +76,9 @@ const ServeMetrics& GetServeMetrics() {
     m.http_errors = reg.GetCounter(
         "somr_serve_http_errors_total",
         "Requests answered with a 4xx/5xx status (incl. parse errors)");
+    m.slo_violations = reg.GetCounter(
+        "somr_serve_slo_violations_total",
+        "Requests slower than the configured SLO threshold");
     m.resident = reg.GetGauge("somr_serve_contexts_resident",
                               "Matcher contexts live in shard LRU caches");
     m.evicted = reg.GetGauge(
@@ -66,6 +87,12 @@ const ServeMetrics& GetServeMetrics() {
     m.faulted = reg.GetGauge(
         "somr_serve_contexts_faulted",
         "Contexts restored from ContextStore snapshots on demand");
+    m.dirty = reg.GetGauge(
+        "somr_serve_contexts_dirty",
+        "Resident contexts holding un-checkpointed changes");
+    m.spilled = reg.GetGauge(
+        "somr_serve_context_spills",
+        "Evictions that had to write a snapshot before dropping");
     m.latency_revision = LatencyHistogram(reg, "revision");
     m.latency_graph = LatencyHistogram(reg, "graph");
     m.latency_history = LatencyHistogram(reg, "history");
@@ -192,14 +219,121 @@ size_t RingProvenanceSink::size() const {
   return rows_.size();
 }
 
+// --- RequestTracker --------------------------------------------------------
+
+RequestTracker::RequestTracker(size_t recent_capacity,
+                               double slow_threshold_seconds)
+    : recent_capacity_(recent_capacity < 1 ? 1 : recent_capacity),
+      slow_threshold_seconds_(slow_threshold_seconds) {}
+
+void RequestTracker::Begin(uint64_t trace_id, const std::string& method,
+                           const std::string& target) {
+  Row row;
+  row.trace_id = trace_id;
+  row.method = method;
+  row.target = target;
+  row.start_ns = obs::TraceNowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  in_flight_.push_back(std::move(row));
+}
+
+void RequestTracker::Stage(uint64_t trace_id, const char* stage,
+                           const std::string& context, int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Row& row : in_flight_) {
+    if (row.trace_id != trace_id) continue;
+    row.stage = stage;
+    row.context = context;
+    row.shard = shard;
+    return;
+  }
+}
+
+void RequestTracker::End(uint64_t trace_id, const char* endpoint,
+                         int status, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < in_flight_.size(); ++i) {
+    if (in_flight_[i].trace_id != trace_id) continue;
+    Row row = std::move(in_flight_[i]);
+    in_flight_.erase(in_flight_.begin() +
+                     static_cast<std::ptrdiff_t>(i));
+    row.stage = "done";
+    row.endpoint = endpoint;
+    row.status = status;
+    row.seconds = seconds;
+    if (slow_threshold_seconds_ <= 0.0 ||
+        seconds >= slow_threshold_seconds_) {
+      recent_.push_front(std::move(row));
+      if (recent_.size() > recent_capacity_) recent_.pop_back();
+    }
+    return;
+  }
+}
+
+std::string RequestTracker::RenderJson() const {
+  const int64_t now_ns = obs::TraceNowNanos();
+  char buf[128];
+  std::string out = "{\n  \"in_flight\": [";
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto render_common = [&](const Row& row) {
+    std::string json = "{\"trace_id\": \"";
+    json += obs::TraceIdHex(row.trace_id);
+    json += "\", \"method\": \"" + JsonEscape(row.method) + "\"";
+    json += ", \"target\": \"" + JsonEscape(row.target) + "\"";
+    if (!row.context.empty()) {
+      json += ", \"context\": \"" + JsonEscape(row.context) + "\"";
+    }
+    if (row.shard >= 0) {
+      json += ", \"shard\": " + std::to_string(row.shard);
+    }
+    json += std::string(", \"stage\": \"") + row.stage + "\"";
+    return json;
+  };
+  bool first = true;
+  for (const Row& row : in_flight_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += render_common(row);
+    std::snprintf(buf, sizeof(buf), ", \"age_ms\": %.3f}",
+                  static_cast<double>(now_ns - row.start_ns) / 1e6);
+    out += buf;
+  }
+  out += "\n  ],\n  \"recent\": [";
+  first = true;
+  for (const Row& row : recent_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += render_common(row);
+    std::snprintf(buf, sizeof(buf),
+                  ", \"endpoint\": \"%s\", \"status\": %d, "
+                  "\"duration_ms\": %.3f}",
+                  row.endpoint, row.status, row.seconds * 1e3);
+    out += buf;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
 // --- Server ----------------------------------------------------------------
 
 Server::Server(state::ContextStore* store, ServeOptions options)
     : store_(store),
       options_(options),
-      provenance_(options.provenance_capacity) {
+      provenance_(options.provenance_capacity),
+      tracker_(options.slow_request_capacity,
+               options.slow_threshold_seconds) {
   if (options_.shards < 1) options_.shards = 1;
   if (options_.connection_workers < 1) options_.connection_workers = 1;
+  std::string config = "shards=" + std::to_string(options_.shards);
+  config += ";cache_capacity=" + std::to_string(options_.cache_capacity);
+  config += ";connection_workers=" +
+            std::to_string(options_.connection_workers);
+  config += ";provenance_capacity=" +
+            std::to_string(options_.provenance_capacity);
+  config += ";trace_capacity=" + std::to_string(options_.trace_capacity);
+  config += ";slo_threshold_seconds=" +
+            std::to_string(options_.slo_threshold_seconds);
+  config_fingerprint_ = obs::TraceIdHex(Fnv1a64(config));
 }
 
 Server::~Server() {
@@ -215,6 +349,16 @@ Server::~Server() {
 }
 
 Status Server::Start() {
+  // /debug/trace needs a live span ring. Respect a recorder the CLI
+  // already enabled (--trace-out picks its own capacity).
+  if (!obs::TracingEnabled()) {
+    obs::TraceRecorder::Global().Enable(
+        options_.trace_capacity != 0
+            ? options_.trace_capacity
+            : obs::TraceRecorder::kDefaultCapacity);
+  }
+  obs::RegisterProcessMetrics();
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -268,15 +412,20 @@ void Server::PublishResidencyGauges() {
   // cache belongs to its shard worker alone, and this runs on whichever
   // shard finished a job last.
   uint64_t resident = 0, evicted = 0, faulted = 0;
+  uint64_t dirty = 0, spilled = 0;
   for (const auto& shard : shards_) {
     resident += shard->resident.load(std::memory_order_relaxed);
     evicted += shard->evicted.load(std::memory_order_relaxed);
     faulted += shard->faulted.load(std::memory_order_relaxed);
+    dirty += shard->dirty.load(std::memory_order_relaxed);
+    spilled += shard->spilled.load(std::memory_order_relaxed);
   }
   const ServeMetrics& metrics = GetServeMetrics();
   metrics.resident->Set(static_cast<double>(resident));
   metrics.evicted->Set(static_cast<double>(evicted));
   metrics.faulted->Set(static_cast<double>(faulted));
+  metrics.dirty->Set(static_cast<double>(dirty));
+  metrics.spilled->Set(static_cast<double>(spilled));
 }
 
 void Server::ShardMain(Shard& shard) {
@@ -286,6 +435,9 @@ void Server::ShardMain(Shard& shard) {
     shard.evicted.store(shard.cache->stats().evictions,
                         std::memory_order_relaxed);
     shard.faulted.store(shard.cache->stats().faults,
+                        std::memory_order_relaxed);
+    shard.dirty.store(shard.cache->dirty(), std::memory_order_relaxed);
+    shard.spilled.store(shard.cache->stats().spills,
                         std::memory_order_relaxed);
   };
   std::function<void()> job;
@@ -298,6 +450,8 @@ void Server::ShardMain(Shard& shard) {
   // Graceful shutdown: every dirty resident context gets a snapshot.
   Status status = shard.cache->CheckpointAll();
   if (!status.ok()) {
+    SOMR_LOG(Error) << "shard checkpoint failed at shutdown: "
+                    << status.ToString();
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (shutdown_error_.ok()) shutdown_error_ = status;
   }
@@ -378,10 +532,32 @@ void Server::HandleConnection(int fd) {
     const bool peer_close = request.Header("connection") == "close" ||
                             request.version == "HTTP/1.0";
 
+    // Request context: adopt the caller's trace id (distributed callers
+    // pass x-somr-trace-id) or mint a fresh one, and bind it to this
+    // thread so every span and provenance record below carries it.
+    uint64_t trace_id =
+        obs::ParseTraceIdHex(request.Header("x-somr-trace-id"));
+    if (trace_id == 0) trace_id = obs::NextTraceId();
+    obs::TraceIdScope trace_scope(trace_id);
+    tracker_.Begin(trace_id, request.method, request.target);
+
     Timer timer;
     const char* endpoint = "other";
-    HttpResponse response = Route(request, &endpoint);
+    HttpResponse response;
+    {
+      SOMR_TRACE_SCOPE_CAT("serve", "serve/request");
+      response = Route(request, &endpoint);
+    }
     const double seconds = timer.ElapsedSeconds();
+    tracker_.End(trace_id, endpoint, response.status, seconds);
+    response.extra_headers.emplace_back("x-somr-trace-id",
+                                        obs::TraceIdHex(trace_id));
+    WindowLatency(endpoint, options_.slo_threshold_seconds)
+        ->Observe(seconds);
+    if (options_.slo_threshold_seconds > 0.0 &&
+        seconds > options_.slo_threshold_seconds) {
+      metrics.slo_violations->Increment();
+    }
     if (std::strcmp(endpoint, "revision") == 0) {
       metrics.latency_revision->Observe(seconds);
     } else if (std::strcmp(endpoint, "graph") == 0) {
@@ -432,17 +608,36 @@ HttpResponse Server::Route(const HttpRequest& request,
     *endpoint = "healthz";
     if (request.method != "GET") return ErrorResponse(405, "GET only");
     HttpResponse response;
-    response.body = "ok\n";
+    response.content_type = "application/json";
+    response.body =
+        "{\"status\": \"ok\", \"build\": " + obs::BuildInfoJson() + "}\n";
     return response;
   }
   if (segments.size() == 1 && segments[0] == "metrics") {
     *endpoint = "metrics";
     if (request.method != "GET") return ErrorResponse(405, "GET only");
+    obs::TouchProcessMetrics();
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body =
         obs::RenderMetricsText(obs::MetricsRegistry::Global().Scrape());
     return response;
+  }
+  if (segments.size() == 2 && segments[0] == "metrics" &&
+      segments[1] == "window") {
+    *endpoint = "metrics";
+    if (request.method != "GET") return ErrorResponse(405, "GET only");
+    return JsonResponse(obs::WindowRegistry::Global().RenderJson());
+  }
+  if (segments.size() == 2 && segments[0] == "debug") {
+    *endpoint = "debug";
+    if (request.method != "GET") return ErrorResponse(405, "GET only");
+    if (segments[1] == "vars") return HandleDebugVars();
+    if (segments[1] == "requests") {
+      return JsonResponse(tracker_.RenderJson());
+    }
+    if (segments[1] == "trace") return HandleDebugTrace(query);
+    return ErrorResponse(404, "unknown debug endpoint");
   }
   if (segments.size() == 2 && segments[0] == "admin") {
     *endpoint = "admin";
@@ -489,7 +684,14 @@ HttpResponse Server::Route(const HttpRequest& request,
 
 HttpResponse Server::OnShard(const std::string& id,
                              std::function<HttpResponse(ContextCache&)> fn) {
-  Shard& shard = *shards_[Fnv1a64(id) % shards_.size()];
+  const size_t shard_index = Fnv1a64(id) % shards_.size();
+  Shard& shard = *shards_[shard_index];
+
+  // The shard worker is a different thread: carry the request's trace id
+  // across the queue hop explicitly and rebind it inside the job.
+  const uint64_t trace_id = obs::CurrentTraceId();
+  tracker_.Stage(trace_id, "shard_queue", id,
+                 static_cast<int>(shard_index));
 
   struct Waiter {
     std::mutex mu;
@@ -499,9 +701,17 @@ HttpResponse Server::OnShard(const std::string& id,
   };
   auto waiter = std::make_shared<Waiter>();
   ContextCache* cache = shard.cache.get();
-  const bool pushed = shard.queue.Push([waiter, cache,
+  const bool pushed = shard.queue.Push([this, waiter, cache, trace_id, id,
+                                        shard_index,
                                         fn = std::move(fn)]() mutable {
-    HttpResponse response = fn(*cache);
+    obs::TraceIdScope trace_scope(trace_id);
+    tracker_.Stage(trace_id, "shard_run", id,
+                   static_cast<int>(shard_index));
+    HttpResponse response;
+    {
+      SOMR_TRACE_SCOPE_CAT("serve", "serve/shard_job");
+      response = fn(*cache);
+    }
     {
       std::lock_guard<std::mutex> lock(waiter->mu);
       waiter->response = std::move(response);
@@ -701,6 +911,71 @@ HttpResponse Server::HandleCheckpoint() {
   }
   return JsonResponse("{\"checkpointed_shards\": " +
                       std::to_string(shards_.size()) + "}\n");
+}
+
+HttpResponse Server::HandleDebugVars() {
+  std::string body = "{\n  \"build\": " + obs::BuildInfoJson() + ",\n";
+  body += "  \"config_fingerprint\": \"" + config_fingerprint_ + "\",\n";
+  body += "  \"config\": {\"shards\": " + std::to_string(options_.shards);
+  body +=
+      ", \"cache_capacity\": " + std::to_string(options_.cache_capacity);
+  body += ", \"connection_workers\": " +
+          std::to_string(options_.connection_workers);
+  body += ", \"provenance_capacity\": " +
+          std::to_string(options_.provenance_capacity);
+  body += ", \"trace_capacity\": " +
+          std::to_string(options_.trace_capacity);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ", \"slo_threshold_seconds\": %g},\n",
+                options_.slo_threshold_seconds);
+  body += buf;
+  body += "  \"shards\": [";
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    body += s == 0 ? "\n    " : ",\n    ";
+    body += "{\"shard\": " + std::to_string(s);
+    body += ", \"resident\": " +
+            std::to_string(shard.resident.load(std::memory_order_relaxed));
+    body += ", \"dirty\": " +
+            std::to_string(shard.dirty.load(std::memory_order_relaxed));
+    body += ", \"evicted\": " +
+            std::to_string(shard.evicted.load(std::memory_order_relaxed));
+    body += ", \"faulted\": " +
+            std::to_string(shard.faulted.load(std::memory_order_relaxed));
+    body += ", \"spilled\": " +
+            std::to_string(shard.spilled.load(std::memory_order_relaxed));
+    body += ", \"queue_depth\": " + std::to_string(shard.queue.size());
+    body += "}";
+  }
+  body += "\n  ],\n";
+  body += "  \"provenance_ring\": " + std::to_string(provenance_.size());
+  body += ",\n  \"trace_recorded\": " +
+          std::to_string(obs::TraceRecorder::Global().recorded());
+  body += ",\n  \"trace_dropped\": " +
+          std::to_string(obs::TraceRecorder::Global().dropped());
+  body += "\n}\n";
+  return JsonResponse(std::move(body));
+}
+
+HttpResponse Server::HandleDebugTrace(const std::string& query) {
+  // Capture window: spans STARTING from now on, rendered after ms have
+  // elapsed. Clamped hard — this parks one connection worker.
+  int64_t ms = 100;
+  const std::string ms_param = QueryParam(query, "ms");
+  if (!ms_param.empty()) {
+    if (ms_param.find_first_not_of("0123456789") != std::string::npos ||
+        ms_param.size() > 6) {
+      return ErrorResponse(400, "ms must be a small non-negative integer");
+    }
+    ms = static_cast<int64_t>(std::stol(ms_param));
+  }
+  if (ms > 2000) ms = 2000;
+  const int64_t since_ns = obs::TraceNowNanos();
+  if (ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+  return JsonResponse(obs::ChromeTraceJson(
+      obs::TraceRecorder::Global().EventsSince(since_ns)));
 }
 
 }  // namespace somr::serve

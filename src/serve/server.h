@@ -64,6 +64,59 @@ struct ServeOptions {
   size_t provenance_capacity = 4096;
   /// Idle-read poll granularity; shutdown latency is bounded by it.
   int socket_timeout_millis = 200;
+  /// Trace ring capacity (events) for /debug/trace. 0 uses the recorder
+  /// default; an already-enabled recorder (--trace-out) is left alone.
+  size_t trace_capacity = 0;
+  /// Request latency above this counts as an SLO violation (rolling
+  /// window burn counter + somr_serve_slo_violations_total). <= 0
+  /// disables SLO accounting.
+  double slo_threshold_seconds = 0.5;
+  /// Finished requests at least this slow enter the /debug/requests
+  /// recent ring; <= 0 records every finished request.
+  double slow_threshold_seconds = 0.0;
+  /// Capacity of that recent-request ring.
+  size_t slow_request_capacity = 64;
+};
+
+/// Tracks requests for /debug/requests: an in-flight table keyed by
+/// trace id plus a bounded ring of recently finished requests with
+/// endpoint, status, duration and stage/shard/context attribution.
+/// Thread-safe (connection workers and shard workers update rows).
+class RequestTracker {
+ public:
+  RequestTracker(size_t recent_capacity, double slow_threshold_seconds);
+
+  void Begin(uint64_t trace_id, const std::string& method,
+             const std::string& target);
+  /// Stage transition ("shard_queue" -> "shard_run"), stamping the shard
+  /// and context once routing resolved them. `stage` must be a literal.
+  void Stage(uint64_t trace_id, const char* stage,
+             const std::string& context, int shard);
+  void End(uint64_t trace_id, const char* endpoint, int status,
+           double seconds);
+
+  /// {"in_flight": [...], "recent": [...]} — newest-first recent ring.
+  std::string RenderJson() const;
+
+ private:
+  struct Row {
+    uint64_t trace_id = 0;
+    std::string method;
+    std::string target;
+    std::string context;
+    const char* stage = "route";
+    const char* endpoint = "";
+    int shard = -1;
+    int status = 0;
+    int64_t start_ns = 0;  // trace-epoch nanoseconds
+    double seconds = 0.0;  // finished rows only
+  };
+
+  const size_t recent_capacity_;
+  const double slow_threshold_seconds_;
+  mutable std::mutex mu_;
+  std::vector<Row> in_flight_;
+  std::deque<Row> recent_;  // front = newest
 };
 
 /// The somr matching daemon: a dependency-free HTTP/1.1 server holding
@@ -79,9 +132,18 @@ struct ServeOptions {
 ///   GET  /context/<id>/history/<type>:<object>   object version history
 ///   GET  /context/<id>/provenance[?limit=N]      recent decisions JSONL
 ///   GET  /metrics                 Prometheus text exposition
-///   GET  /healthz                 liveness probe
+///   GET  /metrics/window          rolling-window latency JSON (p50/95/99)
+///   GET  /healthz                 liveness probe (JSON, build + uptime)
+///   GET  /debug/vars              build info, config, per-shard state
+///   GET  /debug/requests          in-flight + recent request table
+///   GET  /debug/trace?ms=N        capture spans for N ms, Chrome JSON
 ///   POST /admin/checkpoint        snapshot every dirty context now
 ///   POST /admin/drain             checkpoint, then shut the server down
+///
+/// Every request runs under a 64-bit trace id (minted per request, or
+/// adopted from an x-somr-trace-id header) that is propagated across the
+/// shard hop into matcher spans and provenance records, and echoed back
+/// as the x-somr-trace-id response header.
 class Server {
  public:
   /// `store` must be Open()ed and outlive the server.
@@ -121,6 +183,8 @@ class Server {
     std::atomic<uint64_t> resident{0};
     std::atomic<uint64_t> evicted{0};
     std::atomic<uint64_t> faulted{0};
+    std::atomic<uint64_t> dirty{0};
+    std::atomic<uint64_t> spilled{0};
   };
 
   void ShardMain(Shard& shard);
@@ -144,6 +208,8 @@ class Server {
   HttpResponse HandleProvenance(const std::string& id,
                                 const std::string& query);
   HttpResponse HandleCheckpoint();
+  HttpResponse HandleDebugVars();
+  HttpResponse HandleDebugTrace(const std::string& query);
 
   void PublishResidencyGauges();
 
@@ -157,6 +223,8 @@ class Server {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<parallel::Executor> executor_;
   RingProvenanceSink provenance_;
+  RequestTracker tracker_;
+  std::string config_fingerprint_;  // FNV-1a64 hex of the options
 
   // Open connections, so shutdown can wait for handlers to finish.
   std::mutex conn_mu_;

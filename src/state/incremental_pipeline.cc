@@ -84,6 +84,7 @@ IngestReport ApplyPageToState(PageState& state,
                               const xmldump::PageHistory& page,
                               obs::ProvenanceSink* provenance,
                               parallel::Executor* executor) {
+  SOMR_TRACE_SCOPE_CAT("state", "state/apply_page");
   if (state.page_id == 0) state.page_id = page.page_id;
   if (executor != nullptr) state.matcher.SetExecutor(executor);
   obs::PageScopedSink scoped(provenance, page.title);

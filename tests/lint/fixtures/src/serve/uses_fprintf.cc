@@ -1,0 +1,11 @@
+// Seeded violations for raw-stderr-log: daemon code writing straight to
+// stderr instead of the structured log.
+#include <cstdio>
+
+void Violations(int code, FILE* sink) {
+  fprintf(stderr, "shard worker died: %d\n", code);
+  std::fprintf(stderr, "checkpoint failed\n");
+  // Writing to a caller-provided stream is plain I/O, not logging.
+  fprintf(sink, "report %d\n", code);
+  fprintf(stderr, "noisy but allowed\n");  // somr-lint: allow(raw-stderr-log)
+}

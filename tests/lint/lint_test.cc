@@ -88,6 +88,28 @@ TEST(LintFixtureTest, RegexRuleIsPathScoped) {
   EXPECT_EQ(CountRule(r, "regex-in-hot-path"), 0u);
 }
 
+TEST(LintFixtureTest, RawStderrLog) {
+  LintResult r = LintFixture("src/serve/uses_fprintf.cc");
+  // The two stderr writes flag; the caller-stream write does not, and
+  // the allow-suppressed line is counted under suppressed.
+  EXPECT_EQ(CountRule(r, "raw-stderr-log"), 2u);
+  EXPECT_EQ(r.diagnostics.size(), 2u);
+  EXPECT_EQ(LinesOfRule(r, "raw-stderr-log"), (std::vector<int>{6, 7}));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintFixtureTest, RawStderrLogIsPathScoped) {
+  // The same content outside src/serve//src/state is allowed: CLI tools
+  // may still print usage errors to stderr directly.
+  std::string content = ReadFixture("src/serve/uses_fprintf.cc");
+  LintResult r =
+      LintContent("tools/uses_fprintf.cc", content, {}, nullptr);
+  EXPECT_EQ(CountRule(r, "raw-stderr-log"), 0u);
+  LintResult state = LintContent("src/state/uses_fprintf.cc", content, {},
+                                 nullptr);
+  EXPECT_EQ(CountRule(state, "raw-stderr-log"), 2u);
+}
+
 TEST(LintFixtureTest, VolatileSync) {
   LintResult r = LintFixture("volatile_sync.cc");
   EXPECT_EQ(CountRule(r, "volatile-sync"), 1u);

@@ -1,0 +1,125 @@
+#include "obs/log.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json_checker.h"
+#include "obs/trace.h"
+
+namespace somr::obs {
+namespace {
+
+using somr::testutil::JsonChecker;
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogLevel(LogLevel::kDebug);
+    SetLogSink([this](const std::string& line) { lines_.push_back(line); });
+  }
+  void TearDown() override {
+    SetLogSink({});  // restore stderr
+    SetLogLevel(LogLevel::kInfo);
+  }
+
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, LevelThresholdDiscardsBelow) {
+  SetLogLevel(LogLevel::kWarn);
+  SOMR_LOG(Debug) << "dropped";
+  SOMR_LOG(Info) << "dropped";
+  SOMR_LOG(Warn) << "kept";
+  SOMR_LOG(Error) << "kept";
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_NE(lines_[0].find("\"level\": \"warn\""), std::string::npos);
+  EXPECT_NE(lines_[1].find("\"level\": \"error\""), std::string::npos);
+}
+
+TEST_F(LogTest, DiscardedStatementsDoNotEvaluateArguments) {
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  SOMR_LOG(Error) << [&] {
+    ++evaluations;
+    return "side effect";
+  }();
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, LineIsOneValidJsonObjectWithStampedFields) {
+  SOMR_LOG(Info) << "resident contexts: " << 42;
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_TRUE(JsonChecker(line.substr(0, line.size() - 1)).Valid()) << line;
+  EXPECT_NE(line.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(line.find("\"msg\": \"resident contexts: 42\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"file\": \"log_test.cc\""), std::string::npos);
+  EXPECT_NE(line.find("\"line\": "), std::string::npos);
+}
+
+TEST_F(LogTest, MessageContentIsJsonEscaped) {
+  SOMR_LOG(Warn) << "quote \" backslash \\ newline \n done";
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  EXPECT_TRUE(JsonChecker(line.substr(0, line.size() - 1)).Valid()) << line;
+  EXPECT_NE(line.find("quote \\\" backslash \\\\ newline \\n done"),
+            std::string::npos);
+}
+
+TEST_F(LogTest, TraceIdStampedOnlyInsideRequestScope) {
+  SOMR_LOG(Info) << "outside";
+  {
+    TraceIdScope scope(0xabc);
+    SOMR_LOG(Info) << "inside";
+  }
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(lines_[0].find("trace_id"), std::string::npos);
+  EXPECT_NE(lines_[1].find("\"trace_id\": \"0000000000000abc\""),
+            std::string::npos);
+}
+
+TEST_F(LogTest, SiteRateLimitCapsAWindowAndReportsSuppression) {
+  // Drive the limiter directly with injected time: 40 calls in one
+  // window admit kMaxPerWindow and suppress the rest; the first call of
+  // the next window carries the suppressed count.
+  LogSite site;
+  uint64_t suppressed = 0;
+  uint32_t admitted = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (site.Admit(/*now_s=*/100, &suppressed)) ++admitted;
+  }
+  EXPECT_EQ(admitted, LogSite::kMaxPerWindow);
+  ASSERT_TRUE(site.Admit(/*now_s=*/100 + LogSite::kWindowSeconds,
+                         &suppressed));
+  EXPECT_EQ(suppressed, 40u - LogSite::kMaxPerWindow);
+  // The counter was claimed by that line; it does not repeat.
+  ASSERT_TRUE(site.Admit(100 + LogSite::kWindowSeconds, &suppressed));
+  EXPECT_EQ(suppressed, 0u);
+}
+
+TEST_F(LogTest, MacroBurstIsRateLimitedPerSite) {
+  for (int i = 0; i < 100; ++i) {
+    SOMR_LOG(Error) << "burst " << i;
+  }
+  // One call site, one window (the loop runs in microseconds).
+  EXPECT_EQ(lines_.size(), static_cast<size_t>(LogSite::kMaxPerWindow));
+}
+
+TEST_F(LogTest, ParseLogLevelRoundTripsAndDefaultsToInfo) {
+  for (LogLevel level :
+       {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError,
+        LogLevel::kOff}) {
+    EXPECT_EQ(ParseLogLevel(LogLevelName(level)), level);
+  }
+  EXPECT_EQ(ParseLogLevel("verbose"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel(""), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace somr::obs

@@ -1,129 +1,18 @@
 #include "obs/trace.h"
 
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "json_checker.h"
+
 namespace somr::obs {
 namespace {
 
-/// Minimal recursive-descent JSON well-formedness checker — enough to
-/// validate the exporter's output without a JSON dependency.
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : text_(text) {}
-
-  bool Valid() {
-    SkipSpace();
-    if (!Value()) return false;
-    SkipSpace();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool Value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{':
-        return Object();
-      case '[':
-        return Array();
-      case '"':
-        return String();
-      case 't':
-        return Literal("true");
-      case 'f':
-        return Literal("false");
-      case 'n':
-        return Literal("null");
-      default:
-        return Number();
-    }
-  }
-
-  bool Object() {
-    ++pos_;  // '{'
-    SkipSpace();
-    if (Peek() == '}') return ++pos_, true;
-    while (true) {
-      SkipSpace();
-      if (!String()) return false;
-      SkipSpace();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipSpace();
-      if (!Value()) return false;
-      SkipSpace();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == '}') return ++pos_, true;
-      return false;
-    }
-  }
-
-  bool Array() {
-    ++pos_;  // '['
-    SkipSpace();
-    if (Peek() == ']') return ++pos_, true;
-    while (true) {
-      SkipSpace();
-      if (!Value()) return false;
-      SkipSpace();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == ']') return ++pos_, true;
-      return false;
-    }
-  }
-
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') ++pos_;
-      ++pos_;
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;
-    return true;
-  }
-
-  bool Number() {
-    size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' ||
-            text_[pos_] == '.' || text_[pos_] == 'e' ||
-            text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool Literal(const char* word) {
-    size_t len = std::string(word).size();
-    if (text_.compare(pos_, len, word) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-
-  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+using somr::testutil::JsonChecker;
 
 class TraceTest : public ::testing::Test {
  protected:
@@ -236,6 +125,102 @@ TEST_F(TraceTest, EnableResetsPriorEvents) {
   recorder.Enable(16);  // re-enable clears
   EXPECT_TRUE(recorder.Events().empty());
   EXPECT_EQ(recorder.recorded(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Request trace ids.
+
+TEST_F(TraceTest, NextTraceIdIsNonzeroAndUnique) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t id = NextTraceId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate trace id";
+  }
+}
+
+TEST_F(TraceTest, TraceIdHexRoundTrips) {
+  EXPECT_EQ(TraceIdHex(0xdeadbeef12345678ULL), "deadbeef12345678");
+  EXPECT_EQ(TraceIdHex(1), "0000000000000001");
+  EXPECT_EQ(ParseTraceIdHex("deadbeef12345678"), 0xdeadbeef12345678ULL);
+  EXPECT_EQ(ParseTraceIdHex("1"), 1u);  // short form accepted
+  EXPECT_EQ(ParseTraceIdHex("ABCD"), 0xabcdu);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t id = NextTraceId();
+    EXPECT_EQ(ParseTraceIdHex(TraceIdHex(id)), id);
+  }
+  // Malformed inputs parse to 0 (no request context).
+  EXPECT_EQ(ParseTraceIdHex(""), 0u);
+  EXPECT_EQ(ParseTraceIdHex("xyz"), 0u);
+  EXPECT_EQ(ParseTraceIdHex("12g4"), 0u);
+  EXPECT_EQ(ParseTraceIdHex("0123456789abcdef0"), 0u);  // 17 digits
+}
+
+TEST_F(TraceTest, TraceIdScopeNestsAndRestores) {
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  {
+    TraceIdScope outer(0x11);
+    EXPECT_EQ(CurrentTraceId(), 0x11u);
+    {
+      TraceIdScope inner(0x22);
+      EXPECT_EQ(CurrentTraceId(), 0x22u);
+    }
+    EXPECT_EQ(CurrentTraceId(), 0x11u);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+}
+
+TEST_F(TraceTest, TraceIdIsThreadLocal) {
+  TraceIdScope scope(0x33);
+  uint64_t on_other_thread = 1;
+  std::thread([&] { on_other_thread = CurrentTraceId(); }).join();
+  EXPECT_EQ(on_other_thread, 0u);
+  EXPECT_EQ(CurrentTraceId(), 0x33u);
+}
+
+TEST_F(TraceTest, SpansCaptureTheActiveTraceId) {
+  TraceRecorder::Global().Enable(16);
+  { SOMR_TRACE_SCOPE("test/unowned"); }
+  {
+    TraceIdScope scope(0xabc);
+    SOMR_TRACE_SCOPE("test/owned");
+  }
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  EXPECT_EQ(events[1].trace_id, 0xabcu);
+}
+
+TEST_F(TraceTest, ChromeJsonCarriesTraceIdArg) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(16);
+  {
+    TraceIdScope scope(0xdeadbeef12345678ULL);
+    SOMR_TRACE_SCOPE("test/traced");
+  }
+  { SOMR_TRACE_SCOPE("test/untraced"); }
+  recorder.Disable();
+
+  std::string json = recorder.ExportChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"trace_id\": \"deadbeef12345678\""),
+            std::string::npos)
+      << json;
+  // Exactly one event has the arg: the untraced span omits it.
+  EXPECT_EQ(json.find("trace_id"), json.rfind("trace_id"));
+}
+
+TEST_F(TraceTest, EventsSinceFiltersByStartTime) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(16);
+  recorder.Record("test/early", "test", 100, 1);
+  recorder.Record("test/late", "test", 500, 1);
+  std::vector<TraceEvent> all = recorder.EventsSince(0);
+  ASSERT_EQ(all.size(), 2u);
+  std::vector<TraceEvent> late = recorder.EventsSince(200);
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_STREQ(late[0].name, "test/late");
+  EXPECT_TRUE(recorder.EventsSince(501).empty());
 }
 
 }  // namespace

@@ -1,0 +1,150 @@
+#include "obs/window.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "json_checker.h"
+
+namespace somr::obs {
+namespace {
+
+using somr::testutil::JsonChecker;
+
+// Shape used throughout: exponential buckets [1,2) [2,4) [4,8) [8,16)
+// plus underflow [0,1) and overflow [16,inf), tiny 2s sub-windows so a
+// test can age samples out quickly.
+WindowedHistogram MakeHistogram(double slo_threshold = 0.0) {
+  return WindowedHistogram(/*first_bound=*/1.0, /*growth=*/2.0,
+                           /*bucket_count=*/4, slo_threshold,
+                           /*sub_window_seconds=*/2, /*sub_windows=*/5);
+}
+
+TEST(WindowedHistogramTest, EmptyStatsAreZero) {
+  WindowedHistogram h = MakeHistogram();
+  WindowStats s = h.StatsOverAt(60, /*now_s=*/1000);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p95, 0.0);
+  EXPECT_EQ(s.slo_violations, 0u);
+}
+
+TEST(WindowedHistogramTest, CountSumAndPercentileBounds) {
+  WindowedHistogram h = MakeHistogram();
+  // 90 fast observations in [1,2), 10 slow ones in [8,16).
+  for (int i = 0; i < 90; ++i) h.ObserveAt(1.5, /*now_s=*/1000);
+  for (int i = 0; i < 10; ++i) h.ObserveAt(9.0, /*now_s=*/1000);
+
+  WindowStats s = h.StatsOverAt(60, /*now_s=*/1000);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.sum, 90 * 1.5 + 10 * 9.0);
+  // p50 interpolates inside the [1,2) bucket; p95 and p99 land in the
+  // slow [8,16) bucket. Interpolation is bucket-linear, so assert
+  // bucket-level containment rather than exact values.
+  EXPECT_GE(s.p50, 1.0);
+  EXPECT_LT(s.p50, 2.0);
+  EXPECT_GE(s.p95, 8.0);
+  EXPECT_LE(s.p95, 16.0);
+  EXPECT_GE(s.p99, 8.0);
+  EXPECT_LE(s.p99, 16.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(WindowedHistogramTest, SloViolationsCountOnlyAboveThreshold) {
+  WindowedHistogram h = MakeHistogram(/*slo_threshold=*/5.0);
+  h.ObserveAt(1.0, 1000);
+  h.ObserveAt(5.0, 1000);   // exactly at threshold: not a violation
+  h.ObserveAt(5.1, 1000);
+  h.ObserveAt(100.0, 1000);
+  WindowStats s = h.StatsOverAt(60, 1000);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.slo_violations, 2u);
+}
+
+TEST(WindowedHistogramTest, ZeroThresholdDisablesSlo) {
+  WindowedHistogram h = MakeHistogram(/*slo_threshold=*/0.0);
+  h.ObserveAt(1e9, 1000);
+  EXPECT_EQ(h.StatsOverAt(60, 1000).slo_violations, 0u);
+}
+
+TEST(WindowedHistogramTest, HorizonExcludesOlderSubWindows) {
+  WindowedHistogram h = MakeHistogram();
+  h.ObserveAt(1.0, /*now_s=*/1000);  // epoch 500
+  h.ObserveAt(1.0, /*now_s=*/1004);  // epoch 502
+  // A 2s horizon read at t=1004 only covers epoch 502.
+  EXPECT_EQ(h.StatsOverAt(2, 1004).count, 1u);
+  // A full-span horizon covers both.
+  EXPECT_EQ(h.StatsOverAt(h.span_seconds(), 1004).count, 2u);
+}
+
+TEST(WindowedHistogramTest, SamplesAgeOutPastTheRingSpan) {
+  WindowedHistogram h = MakeHistogram();  // span = 2s * 5 = 10s
+  ASSERT_EQ(h.span_seconds(), 10);
+  h.ObserveAt(3.0, /*now_s=*/1000);
+  EXPECT_EQ(h.StatsOverAt(10, 1000).count, 1u);
+  // 8s later the sample is still inside the span...
+  EXPECT_EQ(h.StatsOverAt(10, 1008).count, 1u);
+  // ...but after a full ring revolution it is gone even though the slot
+  // was never overwritten (stale-epoch slots are skipped on read).
+  EXPECT_EQ(h.StatsOverAt(10, 1020).count, 0u);
+}
+
+TEST(WindowedHistogramTest, SlotRecyclingDropsTheOldEpoch) {
+  WindowedHistogram h = MakeHistogram();
+  h.ObserveAt(1.0, /*now_s=*/1000);  // epoch 500 -> slot 0
+  h.ObserveAt(1.0, /*now_s=*/1020);  // epoch 510 -> same slot, recycled
+  WindowStats s = h.StatsOverAt(h.span_seconds(), 1020);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.sum, 1.0);
+}
+
+TEST(WindowedHistogramTest, HorizonClampsToTheRingSpan) {
+  WindowedHistogram h = MakeHistogram();
+  h.ObserveAt(2.0, 1000);
+  // Asking for an hour is answered over the 10s the ring actually holds.
+  EXPECT_EQ(h.StatsOverAt(3600, 1000).count, 1u);
+  EXPECT_EQ(h.StatsOverAt(3600, 1020).count, 0u);
+}
+
+TEST(WindowRegistryTest, SameNameReturnsSameHistogram) {
+  WindowedHistogram* a = WindowRegistry::Global().GetHistogram(
+      "window_test_dup", 1e-4, 4.0, 10, 0.5);
+  WindowedHistogram* b = WindowRegistry::Global().GetHistogram(
+      "window_test_dup", 9.9, 9.9, 3, 0.1);  // shape args ignored
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(b->slo_threshold(), 0.5);  // first registration wins
+}
+
+TEST(WindowRegistryTest, RenderJsonIsWellFormedAndCarriesPercentiles) {
+  WindowedHistogram* h = WindowRegistry::Global().GetHistogram(
+      "window_test_render", 1e-4, 4.0, 10, 0.5);
+  h->Observe(0.001);
+  h->Observe(0.9);  // SLO violation at 0.5s threshold
+
+  std::string json = WindowRegistry::Global().RenderJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"windows\""), std::string::npos);
+  EXPECT_NE(json.find("\"window_test_render\""), std::string::npos);
+  EXPECT_NE(json.find("\"1m\""), std::string::npos);
+  EXPECT_NE(json.find("\"5m\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"slo_violations\": 1"), std::string::npos) << json;
+}
+
+TEST(WindowRegistryTest, SloViolationsSumAcrossHistograms) {
+  const int64_t now_s = WindowNowSeconds();
+  WindowedHistogram* a = WindowRegistry::Global().GetHistogram(
+      "window_test_slo_a", 1e-4, 4.0, 10, 0.5);
+  WindowedHistogram* b = WindowRegistry::Global().GetHistogram(
+      "window_test_slo_b", 1e-4, 4.0, 10, 0.5);
+  const uint64_t before = WindowRegistry::Global().SloViolationsAt(now_s);
+  a->ObserveAt(1.0, now_s);
+  a->ObserveAt(0.1, now_s);
+  b->ObserveAt(2.0, now_s);
+  EXPECT_EQ(WindowRegistry::Global().SloViolationsAt(now_s), before + 2);
+}
+
+}  // namespace
+}  // namespace somr::obs

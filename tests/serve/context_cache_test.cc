@@ -113,6 +113,43 @@ TEST_F(ContextCacheTest, CheckpointAllSavesDirtyAndClearsFlag) {
   EXPECT_EQ(store_->Lookup("A")->version, version_a);
 }
 
+// The somr_serve_contexts_dirty gauge source: dirty() must track the
+// at-risk entry count exactly through a forced capacity-1 create /
+// evict-spill / checkpoint / fault cycle.
+TEST_F(ContextCacheTest, DirtyCountTracksEvictFaultCheckpointCycle) {
+  ContextCache cache(store_.get(), 1);
+  EXPECT_EQ(cache.dirty(), 0u);
+
+  // A fresh context is born dirty (no snapshot exists yet); re-marking
+  // it must not double count.
+  ASSERT_TRUE(cache.GetOrLoad("A", true).ok());
+  EXPECT_EQ(cache.dirty(), 1u);
+  cache.MarkDirty("A");
+  EXPECT_EQ(cache.dirty(), 1u);
+
+  // Loading B evicts A: the spill writes A's snapshot, so only B (fresh,
+  // dirty) remains at risk.
+  ASSERT_TRUE(cache.GetOrLoad("B", true).ok());
+  EXPECT_EQ(cache.stats().spills, 1u);
+  EXPECT_EQ(cache.dirty(), 1u);
+
+  // Checkpointing cleans B in place.
+  ASSERT_TRUE(cache.CheckpointAll().ok());
+  EXPECT_EQ(cache.dirty(), 0u);
+  EXPECT_EQ(cache.resident(), 1u);
+
+  // Faulting A back in loads a snapshot: clean on arrival, and evicting
+  // the clean B costs no spill.
+  ASSERT_TRUE(cache.GetOrLoad("A", false).ok());
+  EXPECT_EQ(cache.stats().faults, 1u);
+  EXPECT_EQ(cache.stats().spills, 1u);
+  EXPECT_EQ(cache.dirty(), 0u);
+
+  // A mutation re-dirties it.
+  cache.MarkDirty("A");
+  EXPECT_EQ(cache.dirty(), 1u);
+}
+
 TEST_F(ContextCacheTest, CapacityClampsToOne) {
   ContextCache cache(store_.get(), 0);
   EXPECT_EQ(cache.capacity(), 1u);

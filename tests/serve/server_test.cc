@@ -7,6 +7,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -14,8 +16,10 @@
 #include <thread>
 #include <vector>
 
+#include "../obs/json_checker.h"
 #include "core/pipeline.h"
 #include "matching/graph_io.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/http.h"
 #include "state/context_store.h"
@@ -24,6 +28,8 @@
 
 namespace somr::serve {
 namespace {
+
+using somr::testutil::JsonChecker;
 
 constexpr extract::ObjectType kAllTypes[] = {
     extract::ObjectType::kTable, extract::ObjectType::kInfobox,
@@ -131,13 +137,90 @@ TEST_F(ServerTest, HealthzAndMetricsAnswer) {
 
   ClientResponse health = Get("/healthz");
   EXPECT_EQ(health.status, 200);
-  EXPECT_EQ(health.body, "ok\n");
+  EXPECT_TRUE(JsonChecker(health.body).Valid()) << health.body;
+  EXPECT_NE(health.body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"version\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"uptime_seconds\""), std::string::npos);
+  // Every response is stamped with the request's trace id: 16 hex digits.
+  const std::string& trace_id = health.Header("x-somr-trace-id");
+  ASSERT_EQ(trace_id.size(), 16u);
+  EXPECT_NE(obs::ParseTraceIdHex(trace_id), 0u);
 
   ClientResponse metrics = Get("/metrics");
   EXPECT_EQ(metrics.status, 200);
   EXPECT_NE(metrics.body.find("somr_serve_requests_total"),
             std::string::npos);
   EXPECT_NE(metrics.body.find("# TYPE"), std::string::npos);
+  EXPECT_NE(metrics.body.find("somr_build_info"), std::string::npos);
+  EXPECT_NE(metrics.body.find("somr_uptime_seconds"), std::string::npos);
+  EXPECT_NE(metrics.body.find("somr_serve_slo_violations_total"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, DebugEndpointsAnswerWellFormedJson) {
+  OpenStore(/*create=*/true);
+  StartServer(8);
+
+  ClientResponse vars = Get("/debug/vars");
+  EXPECT_EQ(vars.status, 200);
+  EXPECT_TRUE(JsonChecker(vars.body).Valid()) << vars.body;
+  EXPECT_NE(vars.body.find("\"config_fingerprint\""), std::string::npos);
+  EXPECT_NE(vars.body.find("\"shards\": [") , std::string::npos);
+  EXPECT_NE(vars.body.find("\"queue_depth\""), std::string::npos);
+  EXPECT_NE(vars.body.find("\"trace_recorded\""), std::string::npos);
+
+  ClientResponse requests = Get("/debug/requests");
+  EXPECT_EQ(requests.status, 200);
+  EXPECT_TRUE(JsonChecker(requests.body).Valid()) << requests.body;
+  EXPECT_NE(requests.body.find("\"in_flight\""), std::string::npos);
+  EXPECT_NE(requests.body.find("\"recent\""), std::string::npos);
+  // The /debug/vars request just finished: it is in the recent ring.
+  EXPECT_NE(requests.body.find("\"target\": \"/debug/vars\""),
+            std::string::npos)
+      << requests.body;
+
+  ClientResponse window = Get("/metrics/window");
+  EXPECT_EQ(window.status, 200);
+  EXPECT_TRUE(JsonChecker(window.body).Valid()) << window.body;
+  EXPECT_NE(window.body.find("\"windows\""), std::string::npos);
+  EXPECT_NE(window.body.find("\"p95\""), std::string::npos);
+
+  EXPECT_EQ(Post("/debug/vars", "").status, 405);
+  EXPECT_EQ(Get("/debug/nope").status, 404);
+}
+
+TEST_F(ServerTest, DebugTraceCapturesLiveSpansAsChromeJson) {
+  OpenStore(/*create=*/true);
+  StartServer(8);
+
+  // Generate traffic on a second connection while /debug/trace's capture
+  // window is open, so freshly started spans land inside it.
+  std::atomic<bool> stop{false};
+  std::thread traffic([&] {
+    HttpClient side;
+    if (!side.Connect(server_->port()).ok()) return;
+    while (!stop.load()) {
+      if (!side.Request("GET", "/healthz").ok()) break;
+    }
+  });
+  StatusOr<ClientResponse> trace =
+      client_.Request("GET", "/debug/trace?ms=200");
+  stop.store(true);
+  traffic.join();
+
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace->status, 200);
+  EXPECT_TRUE(JsonChecker(trace->body).Valid()) << trace->body;
+  EXPECT_NE(trace->body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace->body.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(trace->body.find("serve/request"), std::string::npos)
+      << trace->body;
+  // Served spans carry their request's trace id into the export.
+  EXPECT_NE(trace->body.find("\"trace_id\": \""), std::string::npos)
+      << trace->body;
+
+  EXPECT_EQ(Get("/debug/trace?ms=abc").status, 400);
+  EXPECT_EQ(Get("/debug/trace?ms=9999999").status, 400);
 }
 
 TEST_F(ServerTest, UnknownRoutesAndMethodsAreCleanErrors) {
@@ -272,6 +355,121 @@ TEST_F(ServerTest, ServeIngestMatchesBatchByteForByte) {
       Get("/context/" + PercentEncode(dump.pages[0].title) +
           "/provenance?limit=5");
   ASSERT_EQ(provenance.status, 200);
+}
+
+// Sends one raw HTTP/1.1 request (the HttpClient has no custom-header
+// support) and returns the full response text; `Connection: close` in
+// the request bounds the read at EOF.
+std::string RawRoundTrip(uint16_t port, const std::string& wire) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// The tracing acceptance gate: a caller-supplied x-somr-trace-id must be
+// adopted for the whole request — echoed in the response header, stamped
+// on every match decision (response body and provenance ring), and
+// carried by the spans recorded on the connection, shard, and pipeline
+// layers.
+TEST_F(ServerTest, CallerTraceIdReachesSpansDecisionsAndProvenance) {
+  xmldump::Dump dump = TestDump();
+  OpenStore(/*create=*/true);
+  StartServer(8);
+
+  const std::string kHex = "deadbeef12345678";
+  const std::string body = PageXml(dump.pages[0]);
+  const std::string target =
+      "/context/" + PercentEncode(dump.pages[0].title) + "/revision";
+  std::string wire = "POST " + target +
+                     " HTTP/1.1\r\n"
+                     "Host: test\r\n"
+                     "x-somr-trace-id: " +
+                     kHex +
+                     "\r\n"
+                     "Content-Length: " +
+                     std::to_string(body.size()) +
+                     "\r\n"
+                     "Connection: close\r\n\r\n" +
+                     body;
+  std::string response = RawRoundTrip(server_->port(), wire);
+  ASSERT_NE(response.find("200 OK"), std::string::npos) << response;
+  // Echoed back on the wire.
+  EXPECT_NE(response.find("x-somr-trace-id: " + kHex), std::string::npos);
+  // Stamped on every decision in the ingest response body.
+  EXPECT_NE(response.find("\"trace_id\": \"" + kHex + "\""),
+            std::string::npos);
+
+  // The provenance ring remembers the id.
+  ClientResponse provenance =
+      Get("/context/" + PercentEncode(dump.pages[0].title) +
+          "/provenance?limit=5");
+  ASSERT_EQ(provenance.status, 200);
+  EXPECT_NE(provenance.body.find("\"trace_id\": \"" + kHex + "\""),
+            std::string::npos)
+      << provenance.body;
+
+  // The spans recorded while serving the request carry the id across
+  // every layer: connection handling, the shard hop, and the state
+  // pipeline that ran the matcher.
+  const uint64_t id = obs::ParseTraceIdHex(kHex);
+  std::vector<std::string> spans;
+  for (const obs::TraceEvent& event :
+       obs::TraceRecorder::Global().Events()) {
+    if (event.trace_id == id) spans.emplace_back(event.name);
+  }
+  for (const char* expected :
+       {"serve/request", "serve/shard_job", "state/apply_page"}) {
+    EXPECT_NE(std::find(spans.begin(), spans.end(), expected), spans.end())
+        << "no span named " << expected << " carries the caller trace id";
+  }
+}
+
+TEST_F(ServerTest, MetricsWindowReportsIngestLatency) {
+  xmldump::Dump dump = TestDump();
+  OpenStore(/*create=*/true);
+  StartServer(8);
+  ASSERT_EQ(Post("/context/" + PercentEncode(dump.pages[0].title) +
+                     "/revision",
+                 PageXml(dump.pages[0]))
+                .status,
+            200);
+
+  ClientResponse window = Get("/metrics/window");
+  ASSERT_EQ(window.status, 200);
+  EXPECT_TRUE(JsonChecker(window.body).Valid()) << window.body;
+  // The ingest endpoint has a rolling-window entry with percentiles,
+  // and both horizons saw at least the POST above.
+  const size_t at = window.body.find("\"revision\"");
+  ASSERT_NE(at, std::string::npos) << window.body;
+  const size_t end = window.body.find("}}", at);
+  ASSERT_NE(end, std::string::npos);
+  const std::string entry = window.body.substr(at, end - at);
+  EXPECT_NE(entry.find("\"1m\""), std::string::npos);
+  EXPECT_NE(entry.find("\"5m\""), std::string::npos);
+  EXPECT_NE(entry.find("\"p95\": "), std::string::npos);
+  EXPECT_EQ(entry.find("\"count\": 0,"), std::string::npos) << entry;
 }
 
 TEST_F(ServerTest, DrainCheckpointsEveryDirtyContext) {

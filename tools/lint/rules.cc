@@ -148,6 +148,35 @@ void CheckRegexInHotPath(const SourceFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// raw-stderr-log
+
+void CheckRawStderrLog(const SourceFile& file,
+                       std::vector<Diagnostic>* out) {
+  if (!PathContains(file, "src/serve") && !PathContains(file, "src/state")) {
+    return;
+  }
+  for (size_t l = 0; l < file.code_lines().size(); ++l) {
+    const std::string& line = file.code_lines()[l];
+    for (size_t pos : FindWord(line, "fprintf")) {
+      // Flag only writes to stderr: fprintf(stderr, ...). Other streams
+      // (files opened by the code) are legitimate I/O, not logging.
+      size_t open = line.find_first_not_of(' ', pos + 7);
+      if (open == std::string::npos || line[open] != '(') continue;
+      size_t arg = line.find_first_not_of(' ', open + 1);
+      if (arg != std::string::npos &&
+          line.compare(arg, 6, "stderr") == 0) {
+        out->push_back({file.path(), static_cast<int>(l) + 1,
+                        "raw-stderr-log",
+                        "raw fprintf(stderr, ...) bypasses the structured "
+                        "log (no level, rate limit, or trace id); use "
+                        "SOMR_LOG(...) from obs/log.h",
+                        false});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // volatile-sync
 
 void CheckVolatileSync(const SourceFile& file,
@@ -391,6 +420,10 @@ const std::vector<Rule>& Rules() {
        "std::regex or <regex> under src/matching, src/sim, src/retrieval, "
        "or src/serve",
        CheckRegexInHotPath, nullptr},
+      {"raw-stderr-log",
+       "fprintf(stderr, ...) under src/serve or src/state (use "
+       "SOMR_LOG from obs/log.h)",
+       CheckRawStderrLog, nullptr},
       {"volatile-sync",
        "volatile used where std::atomic belongs",
        CheckVolatileSync, nullptr},

@@ -11,7 +11,10 @@
 #   5. `demo-graphs` fetched over HTTP and byte-compared against the
 #      batch reference,
 #   6. /healthz + /metrics scraped, then POST /admin/drain and a clean
-#      daemon exit.
+#      daemon exit,
+#   7. the observability surface scraped live: /debug/vars,
+#      /debug/requests and /metrics/window must return parseable JSON,
+#      and the provenance ring must stamp request trace ids.
 # Requires: -DSOMR_SERVE=<path> -DSOMR_PROCESS=<path> -DWORK_DIR=<dir>.
 
 cmake_minimum_required(VERSION 3.25)
@@ -103,12 +106,36 @@ macro(scrape method target out_var)
   execute_process(
     COMMAND "${BASH_BIN}" -c
       "exec 3<>/dev/tcp/127.0.0.1/${port}; \
-       printf '${method} ${target} HTTP/1.1\\r\\nHost: smoke\\r\\nContent-Length: 0\\r\\nConnection: close\\r\\n\\r\\n' >&3; \
+       printf '%b' '${method} ${target} HTTP/1.1\\r\\nHost: smoke\\r\\nContent-Length: 0\\r\\nConnection: close\\r\\n\\r\\n' >&3; \
        cat <&3"
     RESULT_VARIABLE scrape_result
     OUTPUT_VARIABLE ${out_var})
   if(NOT scrape_result EQUAL 0)
     die("${method} ${target} failed (${scrape_result})")
+  endif()
+endmacro()
+
+# Splits a scraped response into its body (after the header block) and
+# asserts it parses as JSON (string(JSON) fatals on malformed input
+# unless given an error variable).  execute_process strips the CR from
+# CRLF line endings in OUTPUT_VARIABLE, so the header/body boundary in a
+# scraped response is a bare "\n\n"; the CRLF form is kept as a fallback
+# in case that normalization ever changes.
+macro(json_body response_var out_var)
+  string(FIND "${${response_var}}" "\n\n" _body_at)
+  set(_body_skip 2)
+  if(_body_at EQUAL -1)
+    string(FIND "${${response_var}}" "\r\n\r\n" _body_at)
+    set(_body_skip 4)
+  endif()
+  if(_body_at EQUAL -1)
+    die("no body in response:\n${${response_var}}")
+  endif()
+  math(EXPR _body_at "${_body_at} + ${_body_skip}")
+  string(SUBSTRING "${${response_var}}" ${_body_at} -1 ${out_var})
+  string(JSON _json_kind ERROR_VARIABLE _json_error TYPE "${${out_var}}")
+  if(NOT _json_error STREQUAL "NOTFOUND")
+    die("${out_var} is not valid JSON (${_json_error}):\n${${out_var}}")
   endif()
 endmacro()
 
@@ -176,14 +203,22 @@ endif()
 
 # --- Health, metrics, drain ---------------------------------------------
 scrape(GET /healthz health)
-if(NOT health MATCHES "200 OK" OR NOT health MATCHES "ok")
+if(NOT health MATCHES "200 OK" OR NOT health MATCHES "\"status\": \"ok\"")
   die("unexpected /healthz response:\n${health}")
+endif()
+json_body(health health_json)
+string(JSON health_version GET "${health_json}" build version)
+if(health_version STREQUAL "")
+  die("/healthz build info has no version:\n${health_json}")
 endif()
 scrape(GET /metrics metrics)
 foreach(needle
     somr_serve_requests_total
     somr_serve_contexts_evicted
-    somr_ingest_pages_skipped_total)
+    somr_serve_contexts_dirty
+    somr_ingest_pages_skipped_total
+    somr_build_info
+    somr_uptime_seconds)
   if(NOT metrics MATCHES "${needle}")
     die("/metrics is missing ${needle}:\n${metrics}")
   endif()
@@ -192,6 +227,69 @@ endforeach()
 # eviction/fault path was never on trial.
 if(NOT metrics MATCHES "somr_serve_contexts_evicted ([1-9][0-9]*)")
   die("expected nonzero context evictions:\n${metrics}")
+endif()
+
+# --- Debug introspection suite ------------------------------------------
+# /debug/vars: build + config + per-shard residency as parseable JSON.
+scrape(GET /debug/vars vars_response)
+json_body(vars_response vars_json)
+string(JSON vars_fingerprint GET "${vars_json}" config_fingerprint)
+if(NOT vars_fingerprint MATCHES "^[0-9a-f]+$")
+  die("/debug/vars config_fingerprint is not hex: ${vars_fingerprint}")
+endif()
+string(JSON vars_shard_count LENGTH "${vars_json}" shards)
+if(NOT vars_shard_count EQUAL 2)
+  die("/debug/vars reports ${vars_shard_count} shards, expected 2")
+endif()
+string(JSON vars_resident GET "${vars_json}" shards 0 resident)
+string(JSON vars_queue GET "${vars_json}" shards 1 queue_depth)
+
+# /debug/requests: the request table must already hold finished rows
+# (the scrapes above), each stamped with a hex trace id.
+scrape(GET /debug/requests requests_response)
+json_body(requests_response requests_json)
+string(JSON requests_kind TYPE "${requests_json}" recent)
+if(NOT requests_kind STREQUAL "ARRAY")
+  die("/debug/requests recent is ${requests_kind}, expected ARRAY")
+endif()
+if(NOT requests_json MATCHES "\"trace_id\": \"[0-9a-f]+\"")
+  die("/debug/requests rows carry no trace ids:\n${requests_json}")
+endif()
+
+# /metrics/window: per-endpoint rolling-window percentiles; the feed
+# drove /context/.../revision, so the revision endpoint must have
+# observations and a p95 in its 5m horizon.
+scrape(GET /metrics/window window_response)
+json_body(window_response window_json)
+string(JSON revision_count GET "${window_json}" windows revision 5m count)
+string(JSON revision_p95 GET "${window_json}" windows revision 5m p95)
+if(revision_count EQUAL 0)
+  die("/metrics/window shows no revision-endpoint samples:\n${window_json}")
+endif()
+
+# /debug/trace: a zero-length capture still returns loadable Chrome
+# trace JSON (a traceEvents array).
+scrape(GET /debug/trace?ms=0 trace_response)
+json_body(trace_response trace_json)
+string(JSON trace_kind TYPE "${trace_json}" traceEvents)
+if(NOT trace_kind STREQUAL "ARRAY")
+  die("/debug/trace traceEvents is ${trace_kind}, expected ARRAY")
+endif()
+
+# Provenance records written during the served ingest carry the ingest
+# request's trace id. Pick a page title out of the served graphs dump.
+file(READ "${WORK_DIR}/serve.graphs" serve_graphs)
+if(NOT serve_graphs MATCHES "## page: ([^\n]+)")
+  die("no page titles in ${WORK_DIR}/serve.graphs")
+endif()
+string(REPLACE " " "%20" title_enc "${CMAKE_MATCH_1}")
+string(REPLACE "'" "%27" title_enc "${title_enc}")
+scrape(GET "/context/${title_enc}/provenance?limit=10" prov_response)
+if(NOT prov_response MATCHES "200 OK")
+  die("provenance scrape for ${title_enc} failed:\n${prov_response}")
+endif()
+if(NOT prov_response MATCHES "\"trace_id\": \"[0-9a-f]+\"")
+  die("provenance records carry no trace ids:\n${prov_response}")
 endif()
 
 scrape(POST /admin/drain drain)

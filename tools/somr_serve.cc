@@ -24,6 +24,10 @@
 #include <string>
 
 #include "common/flags.h"
+#include "obs/cli.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/http.h"
 #include "serve/server.h"
@@ -48,7 +52,7 @@ xmldump::Dump DemoDump() {
 }
 
 int Fail(const Status& status) {
-  std::fprintf(stderr, "somr_serve: %s\n", status.ToString().c_str());
+  SOMR_LOG(Error) << "somr_serve: " << status.ToString();
   return 1;
 }
 
@@ -68,6 +72,19 @@ int RunServe(state::ContextStore& store, const FlagParser& flags) {
       static_cast<size_t>(flags.GetInt("cache-capacity"));
   options.connection_workers =
       static_cast<unsigned>(flags.GetInt("connection-workers"));
+  // Shared observability flags: the daemon's span ring is sized by the
+  // same --trace-capacity the batch CLIs use for --trace-out.
+  const int64_t trace_capacity = flags.GetInt("trace-capacity");
+  options.trace_capacity =
+      trace_capacity > 0 ? static_cast<size_t>(trace_capacity) : 0;
+  options.slo_threshold_seconds = flags.GetDouble("slo-threshold");
+  options.slow_threshold_seconds = flags.GetDouble("slow-threshold");
+
+  // Crash dumps (trace ring + metrics) land next to the context store by
+  // default, so a wedged daemon leaves evidence where its state lives.
+  std::string flight_dir = flags.GetString("flight-dir");
+  if (flight_dir.empty()) flight_dir = flags.GetString("state-dir");
+  if (flight_dir != "none") obs::InstallFlightRecorder(flight_dir);
 
   serve::Server server(&store, options);
   if (Status status = server.Start(); !status.ok()) return Fail(status);
@@ -132,8 +149,8 @@ int RunDemoFeed(const FlagParser& flags) {
         /*chunked=*/flags.GetBool("chunked"));
     if (!response.ok()) return Fail(response.status());
     if (response->status != 200) {
-      std::fprintf(stderr, "somr_serve: POST %s -> %d: %s", target.c_str(),
-                   response->status, response->body.c_str());
+      SOMR_LOG(Error) << "POST " << target << " -> " << response->status
+                      << ": " << response->body;
       return 1;
     }
     new_revisions +=
@@ -175,8 +192,8 @@ int RunDemoGraphs(const FlagParser& flags) {
         "GET", "/context/" + serve::PercentEncode(page.title) + "/graph");
     if (!response.ok()) return Fail(response.status());
     if (response->status != 200) {
-      std::fprintf(stderr, "somr_serve: GET graph for \"%s\" -> %d\n",
-                   page.title.c_str(), response->status);
+      SOMR_LOG(Error) << "GET graph for \"" << page.title << "\" -> "
+                      << response->status;
       return 1;
     }
     out << "## page: " << page.title << "\n" << response->body;
@@ -204,7 +221,17 @@ int main(int argc, char** argv) {
   flags.AddBool("chunked", false,
                 "demo-feed: send bodies as Transfer-Encoding: chunked");
   flags.AddString("out", "", "demo-graphs: identity-graph output path");
+  flags.AddString("flight-dir", "",
+                  "run: crash-dump directory for the flight recorder "
+                  "(default: --state-dir; \"none\" disables)");
+  flags.AddDouble("slo-threshold", 0.5,
+                  "run: request latency (seconds) counted as an SLO "
+                  "violation (<= 0 disables)");
+  flags.AddDouble("slow-threshold", 0.0,
+                  "run: only requests at least this slow (seconds) enter "
+                  "the /debug/requests recent ring (0 keeps every request)");
   flags.AddBool("help", false, "show this help");
+  obs::CliObservability::AddFlags(flags);
 
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -233,11 +260,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--state-dir is required\n%s", usage.c_str());
       return 2;
     }
+    obs::CliObservability obs;
+    if (Status status = obs.Init(flags); !status.ok()) return Fail(status);
     state::ContextStore store(flags.GetString("state-dir"));
     if (Status status = store.Open(/*create=*/true); !status.ok()) {
       return Fail(status);
     }
-    return RunServe(store, flags);
+    const int code = RunServe(store, flags);
+    if (Status status = obs.Finish(); !status.ok()) return Fail(status);
+    return code;
   }
   if (command == "demo-feed") return RunDemoFeed(flags);
   if (command == "demo-graphs") return RunDemoGraphs(flags);
