@@ -4,6 +4,9 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "obs/metrics.h"
@@ -18,6 +21,25 @@ namespace {
 std::string& RecorderDir() {
   static std::string* dir = new std::string();
   return *dir;
+}
+
+struct AuxSection {
+  std::string name;
+  std::function<std::string()> render;
+};
+
+// Registered aux sections, ordered by registration. Guarded by a mutex
+// that the dump path also takes — like the rest of the recorder this is
+// not async-signal safe, and a crash while the lock is held is caught
+// by the reentrancy guard upstream.
+std::mutex& SectionsMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<AuxSection>& Sections() {
+  static std::vector<AuxSection>* sections = new std::vector<AuxSection>();
+  return *sections;
 }
 
 std::atomic<bool> g_dump_in_progress{false};
@@ -91,8 +113,35 @@ Status DumpFlightRecord(const std::string& dir, const std::string& reason) {
   Status metrics_status = WriteWholeFile(
       base + ".metrics.json",
       RenderMetricsJson(MetricsRegistry::Global().Scrape()));
+  Status aux_status;
+  {
+    std::lock_guard<std::mutex> lock(SectionsMu());
+    for (const AuxSection& section : Sections()) {
+      Status s = WriteWholeFile(base + "." + section.name + ".json",
+                                section.render());
+      if (!s.ok() && aux_status.ok()) aux_status = s;
+    }
+  }
   if (!trace_status.ok()) return trace_status;
-  return metrics_status;
+  if (!metrics_status.ok()) return metrics_status;
+  return aux_status;
+}
+
+void AddFlightRecorderSection(const std::string& name,
+                              std::function<std::string()> render) {
+  std::lock_guard<std::mutex> lock(SectionsMu());
+  std::vector<AuxSection>& sections = Sections();
+  for (auto it = sections.begin(); it != sections.end(); ++it) {
+    if (it->name == name) {
+      if (render) {
+        it->render = std::move(render);
+      } else {
+        sections.erase(it);
+      }
+      return;
+    }
+  }
+  if (render) sections.push_back({name, std::move(render)});
 }
 
 void InstallFlightRecorder(const std::string& dir) {

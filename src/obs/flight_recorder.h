@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "common/status.h"
@@ -13,6 +14,9 @@ namespace somr::obs {
 ///   <dir>/flight-<unix_ts>-<reason>.trace.json
 ///   <dir>/flight-<unix_ts>-<reason>.metrics.json
 ///
+/// plus one `<base>.<name>.json` per registered aux section (see
+/// AddFlightRecorderSection).
+///
 /// Installation is idempotent (last directory wins) and chains to any
 /// previously installed signal handlers by re-raising after the dump.
 ///
@@ -25,5 +29,15 @@ void InstallFlightRecorder(const std::string& dir);
 /// Writes a dump immediately (reason tags the filenames). Used by the
 /// crash paths and by tests; safe to call without InstallFlightRecorder.
 Status DumpFlightRecord(const std::string& dir, const std::string& reason);
+
+/// Registers an auxiliary dump section: every flight record additionally
+/// writes `render()` to `<base>.<name>.json`. This is how higher layers
+/// (which obs cannot depend on) attach their state to crash dumps — the
+/// serve tool registers the context store's shard/compaction shape here.
+/// Re-registering a name replaces its renderer; an empty renderer
+/// removes it. `render` runs on the crashing thread and must tolerate
+/// being called at any point after registration.
+void AddFlightRecorderSection(const std::string& name,
+                              std::function<std::string()> render);
 
 }  // namespace somr::obs

@@ -282,7 +282,10 @@ std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
   for (const auto& c : snapshot.counters) {
     out += first ? "\n    " : ",\n    ";
     std::snprintf(buf, sizeof(buf), "%" PRIu64, c.value);
-    out += "\"" + JsonEscapeName(c.name) + "\": " + buf;
+    out += '"';
+    out += JsonEscapeName(c.name);
+    out += "\": ";
+    out += buf;
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";
@@ -290,7 +293,10 @@ std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
   first = true;
   for (const auto& g : snapshot.gauges) {
     out += first ? "\n    " : ",\n    ";
-    out += "\"" + JsonEscapeName(g.name) + "\": " + FormatDouble(g.value);
+    out += '"';
+    out += JsonEscapeName(g.name);
+    out += "\": ";
+    out += FormatDouble(g.value);
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";
@@ -298,7 +304,9 @@ std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
   first = true;
   for (const auto& h : snapshot.histograms) {
     out += first ? "\n    " : ",\n    ";
-    out += "\"" + JsonEscapeName(h.name) + "\": {\"bounds\": [";
+    out += '"';
+    out += JsonEscapeName(h.name);
+    out += "\": {\"bounds\": [";
     for (size_t b = 0; b < h.bounds.size(); ++b) {
       if (b > 0) out += ", ";
       out += FormatDouble(h.bounds[b]);

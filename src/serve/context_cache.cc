@@ -64,9 +64,19 @@ Status ContextCache::EvictToCapacity() {
 }
 
 Status ContextCache::CheckpointAll() {
+  // Batch commit: append every dirty context's record first (cheap
+  // sequential writes), then pay the fsync + index/manifest rewrite
+  // once. Entries stay dirty until the Commit lands — a failure at any
+  // point leaves them flagged for the next checkpoint.
+  bool appended = false;
   for (Entry& entry : lru_) {
     if (!entry.dirty) continue;
-    SOMR_RETURN_IF_ERROR(store_->Save(entry.state));
+    SOMR_RETURN_IF_ERROR(store_->SaveUncommitted(entry.state));
+    appended = true;
+  }
+  if (appended) SOMR_RETURN_IF_ERROR(store_->Commit());
+  for (Entry& entry : lru_) {
+    if (!entry.dirty) continue;
     entry.dirty = false;
     --dirty_;
   }

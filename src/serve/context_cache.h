@@ -48,7 +48,10 @@ class ContextCache {
   void MarkDirty(const std::string& id);
 
   /// Saves every dirty resident context (they stay resident and become
-  /// clean). The graceful-shutdown and /admin/checkpoint path.
+  /// clean). Appends all records first and commits the store once, so a
+  /// checkpoint pays one fsync + index rewrite regardless of how many
+  /// contexts are dirty. The graceful-shutdown and /admin/checkpoint
+  /// path; on failure every entry stays dirty for the next attempt.
   Status CheckpointAll();
 
   size_t resident() const { return entries_.size(); }

@@ -344,6 +344,7 @@ Server::~Server() {
     shard->queue.Close();
     if (shard->thread.joinable()) shard->thread.join();
   }
+  if (executor_ != nullptr) store_->set_executor(nullptr);
   executor_.reset();
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
@@ -399,6 +400,9 @@ Status Server::Start() {
   }
   executor_ = std::make_unique<parallel::Executor>(
       options_.connection_workers);
+  // Checkpoint-triggered record-log compactions ride the connection
+  // pool instead of blocking a shard worker mid-checkpoint.
+  store_->set_executor(executor_.get());
   return Status::OK();
 }
 
@@ -488,6 +492,9 @@ Status Server::Serve() {
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
   }
+  // Detach the store from the pool (waits for in-flight compactions)
+  // before the pool dies.
+  store_->set_executor(nullptr);
   executor_.reset();
   std::lock_guard<std::mutex> lock(conn_mu_);
   return shutdown_error_;
@@ -948,6 +955,7 @@ HttpResponse Server::HandleDebugVars() {
     body += "}";
   }
   body += "\n  ],\n";
+  body += "  \"storage\": " + store_->StatsJson() + ",\n";
   body += "  \"provenance_ring\": " + std::to_string(provenance_.size());
   body += ",\n  \"trace_recorded\": " +
           std::to_string(obs::TraceRecorder::Global().recorded());

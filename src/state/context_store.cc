@@ -1,15 +1,19 @@
 #include "state/context_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/executor.h"
 
 namespace somr::state {
 
@@ -20,7 +24,11 @@ namespace {
 struct SnapshotMetrics {
   obs::Counter* saves;
   obs::Counter* loads;
+  obs::Counter* full_records;
+  obs::Counter* delta_records;
+  obs::Counter* delta_replays;
   obs::Histogram* snapshot_bytes;
+  obs::Histogram* fault_seconds;
 };
 
 const SnapshotMetrics& GetSnapshotMetrics() {
@@ -31,106 +39,58 @@ const SnapshotMetrics& GetSnapshotMetrics() {
                              "Page snapshots written to a context store");
     m.loads = reg.GetCounter("somr_snapshot_loads_total",
                              "Page snapshots loaded from a context store");
+    m.full_records =
+        reg.GetCounter("somr_state_full_records_total",
+                       "Full snapshot records appended to the record log");
+    m.delta_records =
+        reg.GetCounter("somr_state_delta_records_total",
+                       "Delta records appended to the record log");
+    m.delta_replays =
+        reg.GetCounter("somr_state_delta_replays_total",
+                       "Delta records replayed while faulting contexts");
     m.snapshot_bytes = reg.GetHistogram(
-        "somr_snapshot_bytes", "Serialized size of written page snapshots",
-        256.0, 4.0, 12);
+        "somr_snapshot_bytes",
+        "Serialized record payload bytes written per page save", 256.0,
+        4.0, 12);
+    m.fault_seconds = reg.GetHistogram(
+        "somr_state_fault_seconds",
+        "Context fault latency: record-chain read and replay", 1e-4, 4.0,
+        12);
     return m;
   }();
   return metrics;
 }
 
 constexpr const char* kManifestName = "manifest.tsv";
-constexpr const char* kManifestHeader = "# somr-context-store v1";
-
-/// Titles may contain tabs/newlines; the manifest is line- and
-/// tab-delimited, so escape those plus the escape character itself.
-std::string EscapeTitle(const std::string& title) {
-  std::string out;
-  out.reserve(title.size());
-  for (char c : title) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out.push_back(c);
-    }
-  }
-  return out;
-}
-
-std::string UnescapeTitle(std::string_view escaped) {
-  std::string out;
-  out.reserve(escaped.size());
-  for (size_t i = 0; i < escaped.size(); ++i) {
-    if (escaped[i] == '\\' && i + 1 < escaped.size()) {
-      ++i;
-      switch (escaped[i]) {
-        case 't':
-          out.push_back('\t');
-          break;
-        case 'n':
-          out.push_back('\n');
-          break;
-        default:
-          out.push_back(escaped[i]);
-      }
-    } else {
-      out.push_back(escaped[i]);
-    }
-  }
-  return out;
-}
-
-/// Writes `content` to `path` atomically: temp file in the same
-/// directory, flush, rename over the target.
-Status AtomicWrite(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::Internal("cannot create " + tmp);
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out.good()) return Status::Internal("write failed for " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::Internal("rename failed for " + path);
-  }
-  return Status::OK();
-}
+constexpr const char* kManifestHeader = "# somr-context-store v2";
+constexpr const char* kManifestHeaderV1 = "# somr-context-store v1";
 
 }  // namespace
 
-ContextStore::ContextStore(std::string dir, matching::MatcherConfig config)
+ContextStore::ContextStore(std::string dir, matching::MatcherConfig config,
+                           StoreOptions options)
     : dir_(std::move(dir)),
       config_(config),
-      fingerprint_(ConfigFingerprint(config)) {}
-
-std::string ContextStore::SnapshotFileFor(const std::string& title) const {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(Fnv1a64(title)));
-  return std::string("page-") + buf + ".snap";
+      fingerprint_(ConfigFingerprint(config)),
+      options_(options),
+      log_(dir_, RecordLog::Options{options.shard_count,
+                                    options.compact_ratio,
+                                    options.compact_min_bytes}) {
+  if (options_.full_snapshot_every == 0) options_.full_snapshot_every = 1;
 }
 
-std::string ContextStore::PathFor(const std::string& file) const {
-  return (fs::path(dir_) / file).string();
-}
+ContextStore::~ContextStore() { WaitForCompactions(); }
 
 Status ContextStore::Open(bool create) {
   std::lock_guard<std::mutex> lock(mu_);
   pages_.clear();
+  watermarks_.clear();
   open_ = false;
+  manifest_dirty_ = false;
 
   std::error_code ec;
-  const std::string manifest_path = PathFor(kManifestName);
+  const std::string manifest_path =
+      (fs::path(dir_) / kManifestName).string();
   if (!fs::exists(manifest_path, ec)) {
     if (!create) {
       return Status::NotFound("no context store at " + dir_ +
@@ -141,6 +101,7 @@ Status ContextStore::Open(bool create) {
       return Status::Internal("cannot create state dir " + dir_ + ": " +
                               ec.message());
     }
+    SOMR_RETURN_IF_ERROR(log_.Open(/*create=*/true));
     open_ = true;
     return WriteManifestLocked();
   }
@@ -148,11 +109,21 @@ Status ContextStore::Open(bool create) {
   std::ifstream in(manifest_path);
   if (!in) return Status::Internal("cannot read " + manifest_path);
   std::string line;
-  if (!std::getline(in, line) || line.rfind(kManifestHeader, 0) != 0) {
+  if (!std::getline(in, line)) {
     return Status::ParseError(manifest_path + ": not a context-store "
                               "manifest");
   }
-  // Header carries the fingerprint: "# somr-context-store v1 config=<hex>".
+  if (line.rfind(kManifestHeaderV1, 0) == 0) {
+    return Status::InvalidArgument(
+        "context store at " + dir_ + " uses the v1 one-file-per-page "
+        "layout, which predates the record log; re-ingest its dumps "
+        "into a fresh store to migrate (see DESIGN.md §15)");
+  }
+  if (line.rfind(kManifestHeader, 0) != 0) {
+    return Status::ParseError(manifest_path + ": not a context-store "
+                              "manifest");
+  }
+  // Header carries the fingerprint: "# somr-context-store v2 config=<hex>".
   const std::string marker = "config=";
   size_t at = line.find(marker);
   if (at == std::string::npos) {
@@ -169,31 +140,42 @@ Status ContextStore::Open(bool create) {
         " was built under a different MatcherConfig; refusing to resume");
   }
 
+  SOMR_RETURN_IF_ERROR(log_.Open(/*create=*/false));
+
   size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
     std::vector<std::string_view> fields = SplitString(line, '\t');
-    if (fields.size() != 6) {
+    if (fields.size() != 5) {
       return Status::ParseError(manifest_path + ":" +
                                 std::to_string(line_number) +
-                                ": expected 6 tab-separated fields");
+                                ": expected 5 tab-separated fields");
     }
     PageInfo info;
-    info.file = std::string(fields[0]);
     try {
-      info.page_id = std::stoll(std::string(fields[1]));
-      info.last_revision_id = std::stoll(std::string(fields[2]));
-      info.last_timestamp = std::stoll(std::string(fields[3]));
+      info.page_id = std::stoll(std::string(fields[0]));
+      info.last_revision_id = std::stoll(std::string(fields[1]));
+      info.last_timestamp = std::stoll(std::string(fields[2]));
       info.revisions_ingested =
-          static_cast<uint32_t>(std::stoul(std::string(fields[4])));
+          static_cast<uint32_t>(std::stoul(std::string(fields[3])));
     } catch (const std::exception&) {
       return Status::ParseError(manifest_path + ":" +
                                 std::to_string(line_number) +
                                 ": non-numeric manifest field");
     }
-    info.title = UnescapeTitle(fields[5]);
+    info.title = UnescapeKey(fields[4]);
     info.version = 1;
+    const size_t depth = log_.ChainDepth(info.title);
+    if (depth == 0) {
+      return Status::ParseError(
+          manifest_path + ":" + std::to_string(line_number) +
+          ": manifest row \"" + info.title +
+          "\" has no record chain in the log");
+    }
+    info.shard = log_.ShardFor(info.title);
+    info.delta_depth = static_cast<uint32_t>(depth - 1);
+    info.chain_bytes = log_.ChainBytes(info.title);
     pages_[info.title] = std::move(info);
   }
   open_ = true;
@@ -227,55 +209,156 @@ std::vector<ContextStore::PageInfo> ContextStore::Pages() const {
 
 StatusOr<PageState> ContextStore::Load(const std::string& title) const {
   SOMR_TRACE_SCOPE_CAT("state", "state/snapshot_load");
-  std::string file;
+  const auto started = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = pages_.find(title);
-    if (it == pages_.end()) {
+    if (!open_) return Status::Internal("context store not opened");
+    if (pages_.find(title) == pages_.end()) {
       return Status::NotFound("no context for page \"" + title + "\"");
     }
-    file = it->second.file;
   }
-  std::ifstream in(PathFor(file), std::ios::binary);
-  if (!in) {
-    return Status::Internal("cannot open snapshot " + PathFor(file));
+  StatusOr<std::vector<ChainRecord>> chain = log_.ReadChain(title);
+  SOMR_RETURN_IF_ERROR(chain.status());
+  if (chain->empty() || chain->front().kind != RecordKind::kFull) {
+    return Status::ParseError("record chain for \"" + title +
+                              "\" does not start with a full snapshot");
   }
+
   PageState state(config_);
-  SOMR_RETURN_IF_ERROR(LoadPageSnapshot(in, config_, &state));
-  if (state.title != title) {
-    return Status::Internal("snapshot " + file + " holds page \"" +
-                            state.title + "\", expected \"" + title + "\"");
+  {
+    std::istringstream in(chain->front().payload, std::ios::binary);
+    SOMR_RETURN_IF_ERROR(LoadPageSnapshot(in, config_, &state));
   }
-  GetSnapshotMetrics().loads->Increment();
+  for (size_t i = 1; i < chain->size(); ++i) {
+    if ((*chain)[i].kind != RecordKind::kDelta) {
+      return Status::ParseError("record chain for \"" + title +
+                                "\" holds a second full snapshot");
+    }
+    SOMR_TRACE_SCOPE_CAT("state", "state/delta_replay");
+    std::istringstream in((*chain)[i].payload, std::ios::binary);
+    SOMR_RETURN_IF_ERROR(ApplyPageDelta(in, config_, &state));
+    GetSnapshotMetrics().delta_replays->Increment();
+  }
+  if (state.title != title) {
+    return Status::Internal("record chain holds page \"" + state.title +
+                            "\", expected \"" + title + "\"");
+  }
+  {
+    // The replayed state *is* the last persisted record: remember its
+    // watermark so the next save of this page can be a delta.
+    std::lock_guard<std::mutex> lock(mu_);
+    watermarks_[title] = CaptureWatermark(state);
+  }
+  const SnapshotMetrics& metrics = GetSnapshotMetrics();
+  metrics.loads->Increment();
+  metrics.fault_seconds->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count());
   return state;
 }
 
 Status ContextStore::Save(const PageState& state) {
+  return SaveInternal(state, /*commit=*/true);
+}
+
+Status ContextStore::SaveUncommitted(const PageState& state) {
+  return SaveInternal(state, /*commit=*/false);
+}
+
+Status ContextStore::SaveInternal(const PageState& state, bool commit) {
   SOMR_TRACE_SCOPE_CAT("state", "state/snapshot_save");
-  const std::string file = SnapshotFileFor(state.title);
+
+  // Decide the record kind: a delta needs a live watermark (this
+  // process wrote or replayed the page's last record), room under the
+  // chain cap, and a state that actually descends from the base.
+  bool as_delta = false;
+  SnapshotWatermark base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_) return Status::Internal("context store not opened");
+    auto mark = watermarks_.find(state.title);
+    if (mark != watermarks_.end() && options_.full_snapshot_every > 1 &&
+        log_.ChainDepth(state.title) <
+            static_cast<size_t>(options_.full_snapshot_every) &&
+        mark->second.revisions_ingested <= state.revisions_ingested) {
+      as_delta = true;
+      base = mark->second;
+    }
+  }
 
   std::ostringstream bytes(std::ios::binary);
-  SOMR_RETURN_IF_ERROR(SavePageSnapshot(state, bytes));
+  if (as_delta) {
+    Status status = SavePageDelta(state, base, bytes);
+    if (status.code() == StatusCode::kInvalidArgument) {
+      // Not a descendant of the persisted base (e.g. the caller saved
+      // an older copy): re-anchor with a full snapshot.
+      as_delta = false;
+      bytes.str(std::string());
+      bytes.clear();
+    } else {
+      SOMR_RETURN_IF_ERROR(status);
+    }
+  }
+  if (!as_delta) {
+    SOMR_RETURN_IF_ERROR(SavePageSnapshot(state, bytes));
+  }
   const std::string serialized = bytes.str();
-  SOMR_RETURN_IF_ERROR(AtomicWrite(PathFor(file), serialized));
+
+  StatusOr<RecordRef> ref = log_.Append(
+      state.title, as_delta ? RecordKind::kDelta : RecordKind::kFull,
+      serialized, /*start_chain=*/!as_delta);
+  SOMR_RETURN_IF_ERROR(ref.status());
+
   const SnapshotMetrics& metrics = GetSnapshotMetrics();
   metrics.saves->Increment();
+  (as_delta ? metrics.delta_records : metrics.full_records)->Increment();
   metrics.snapshot_bytes->Observe(static_cast<double>(serialized.size()));
 
   PageInfo info;
   info.title = state.title;
-  info.file = file;
   info.page_id = state.page_id;
   info.last_revision_id = state.last_revision_id;
   info.last_timestamp = state.last_timestamp;
   info.revisions_ingested = state.revisions_ingested;
+  info.shard = ref->shard;
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!open_) return Status::Internal("context store not opened");
-  auto it = pages_.find(info.title);
-  info.version = it == pages_.end() ? 1 : it->second.version + 1;
-  pages_[info.title] = std::move(info);
-  return WriteManifestLocked();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t depth = log_.ChainDepth(state.title);
+    info.delta_depth = depth == 0 ? 0 : static_cast<uint32_t>(depth - 1);
+    info.chain_bytes = log_.ChainBytes(state.title);
+    auto it = pages_.find(info.title);
+    info.version = it == pages_.end() ? 1 : it->second.version + 1;
+    pages_[info.title] = std::move(info);
+    watermarks_[state.title] = CaptureWatermark(state);
+    manifest_dirty_ = true;
+  }
+  return commit ? CommitInternal() : Status::OK();
+}
+
+Status ContextStore::Commit() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_) return Status::Internal("context store not opened");
+  }
+  return CommitInternal();
+}
+
+Status ContextStore::CommitInternal() {
+  // Records first, then the manifest: a crash in between leaves chains
+  // that are a superset of the manifest (invisible but harmless), never
+  // manifest rows pointing at missing records.
+  SOMR_RETURN_IF_ERROR(log_.Commit());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (manifest_dirty_) {
+      SOMR_RETURN_IF_ERROR(WriteManifestLocked());
+      manifest_dirty_ = false;
+    }
+  }
+  ScheduleCompactions();
+  return Status::OK();
 }
 
 Status ContextStore::WriteManifestLocked() {
@@ -295,9 +378,6 @@ Status ContextStore::WriteManifestLocked() {
             });
   for (const PageInfo* row : rows) {
     const PageInfo& info = *row;
-    const std::string& title = info.title;
-    content += info.file;
-    content += '\t';
     content += std::to_string(info.page_id);
     content += '\t';
     content += std::to_string(info.last_revision_id);
@@ -306,10 +386,125 @@ Status ContextStore::WriteManifestLocked() {
     content += '\t';
     content += std::to_string(info.revisions_ingested);
     content += '\t';
-    content += EscapeTitle(title);
+    content += EscapeKey(info.title);
     content += '\n';
   }
-  return AtomicWrite(PathFor(kManifestName), content);
+  return AtomicWriteDurable((fs::path(dir_) / kManifestName).string(),
+                            content);
+}
+
+Status ContextStore::CompactNow() {
+  while (true) {
+    std::vector<uint32_t> due = log_.ShardsNeedingCompaction();
+    if (due.empty()) return Status::OK();
+    for (uint32_t shard : due) {
+      StatusOr<bool> compacted = log_.Compact(shard);
+      SOMR_RETURN_IF_ERROR(compacted.status());
+      if (!*compacted) return Status::OK();  // a background pass owns it
+    }
+  }
+}
+
+void ContextStore::ScheduleCompactions() {
+  const std::vector<uint32_t> due = log_.ShardsNeedingCompaction();
+  if (due.empty()) return;
+  parallel::Executor* executor = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(compaction_mu_);
+    executor = executor_;
+    if (executor != nullptr) pending_compactions_ += due.size();
+  }
+  for (uint32_t shard : due) {
+    if (executor == nullptr) {
+      StatusOr<bool> compacted = log_.Compact(shard);
+      if (!compacted.ok()) {
+        SOMR_LOG(Error) << "shard " << shard << " compaction failed: "
+                        << compacted.status().ToString();
+      }
+      continue;
+    }
+    executor->Submit([this, shard] {
+      StatusOr<bool> compacted = log_.Compact(shard);
+      if (!compacted.ok()) {
+        SOMR_LOG(Error) << "shard " << shard << " compaction failed: "
+                        << compacted.status().ToString();
+      }
+      std::lock_guard<std::mutex> lock(compaction_mu_);
+      --pending_compactions_;
+      compaction_cv_.notify_all();
+    });
+  }
+}
+
+void ContextStore::WaitForCompactions() {
+  std::unique_lock<std::mutex> lock(compaction_mu_);
+  compaction_cv_.wait(lock, [this] { return pending_compactions_ == 0; });
+}
+
+void ContextStore::set_executor(parallel::Executor* executor) {
+  {
+    std::lock_guard<std::mutex> lock(compaction_mu_);
+    executor_ = executor;
+  }
+  if (executor == nullptr) WaitForCompactions();
+}
+
+ContextStore::StoreStats ContextStore::Stats() const {
+  StoreStats stats;
+  stats.shards = log_.Shards();
+  for (const ShardStats& shard : stats.shards) {
+    stats.size_bytes += shard.size_bytes;
+    stats.live_bytes += shard.live_bytes;
+    stats.superseded_bytes += shard.superseded_bytes;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.contexts = pages_.size();
+    for (const auto& [title, info] : pages_) {
+      stats.max_delta_depth =
+          std::max<uint64_t>(stats.max_delta_depth, info.delta_depth);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(compaction_mu_);
+    stats.pending_compactions = pending_compactions_;
+  }
+  return stats;
+}
+
+std::string ContextStore::StatsJson() const {
+  const StoreStats stats = Stats();
+  std::string out = "{";
+  out += "\"shard_count\": " + std::to_string(stats.shards.size());
+  out += ", \"contexts\": " + std::to_string(stats.contexts);
+  out += ", \"size_bytes\": " + std::to_string(stats.size_bytes);
+  out += ", \"live_bytes\": " + std::to_string(stats.live_bytes);
+  out += ", \"superseded_bytes\": " +
+         std::to_string(stats.superseded_bytes);
+  out += ", \"max_delta_depth\": " +
+         std::to_string(stats.max_delta_depth);
+  out += ", \"pending_compactions\": " +
+         std::to_string(stats.pending_compactions);
+  out += ", \"shards\": [";
+  for (size_t i = 0; i < stats.shards.size(); ++i) {
+    const ShardStats& s = stats.shards[i];
+    if (i > 0) out += ", ";
+    out += "{\"shard\": " + std::to_string(s.shard);
+    out += ", \"generation\": " + std::to_string(s.generation);
+    out += ", \"size_bytes\": " + std::to_string(s.size_bytes);
+    out += ", \"live_bytes\": " + std::to_string(s.live_bytes);
+    out += ", \"superseded_bytes\": " +
+           std::to_string(s.superseded_bytes);
+    out += ", \"records\": " + std::to_string(s.records);
+    out += ", \"compactions\": " + std::to_string(s.compactions);
+    out += ", \"last_compaction_unix\": " +
+           std::to_string(s.last_compaction_unix);
+    out += ", \"tail_recovered_bytes\": " +
+           std::to_string(s.tail_recovered_bytes);
+    out += "}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace somr::state

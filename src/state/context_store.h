@@ -1,5 +1,6 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -10,25 +11,66 @@
 #include "common/status.h"
 #include "common/time_util.h"
 #include "matching/matcher.h"
+#include "state/record_log.h"
 #include "state/snapshot.h"
+
+namespace somr::parallel {
+class Executor;
+}  // namespace somr::parallel
 
 namespace somr::state {
 
-/// Durable directory of per-page matching contexts. Each page's state
-/// lives in its own snapshot file (named by a hash of the title, so any
-/// title is filesystem-safe); `manifest.tsv` records per page the
-/// snapshot file, page id, last ingested revision id/timestamp and
-/// revision count, plus the store-wide config fingerprint.
+/// Durable directory of per-page matching contexts, backed by a sharded
+/// append-only RecordLog. Each page's state lives as a *chain* of
+/// records in its shard: one full snapshot followed by delta records
+/// (only what changed since the previous record), re-anchored by a
+/// fresh full snapshot every `full_snapshot_every` saves. A fault
+/// (Load) replays the chain — full snapshot, then each delta — and
+/// reconstructs the exact state that was saved, byte-for-byte.
 ///
-/// Durability: snapshot and manifest updates are write-to-temp then
-/// rename, so a crash mid-write leaves the previous consistent version
-/// in place (plus at most a stray `*.tmp`). Save() is thread-safe;
-/// distinct pages write distinct snapshot files.
+/// `manifest.tsv` carries only page metadata (ids, revision
+/// bookkeeping, titles) plus the store-wide config fingerprint; record
+/// placement lives in the log's own index. Both are rewritten
+/// atomically (write temp, fsync, rename, fsync dir) by Commit().
+///
+/// Durability: Save() commits immediately. Batch writers (checkpoint
+/// fan-outs, dump ingest) should call SaveUncommitted() per page and
+/// one Commit() at the end — appends are cheap sequential writes, and
+/// the O(pages) index/manifest rewrite plus fsyncs happen once per
+/// checkpoint instead of once per page. Appends that were never
+/// committed are dropped by crash recovery (the previous committed
+/// chain stays loadable).
+///
+/// Compaction: when a shard accumulates superseded bytes past the
+/// configured ratio and floor, Commit() schedules a compaction — on
+/// the executor from set_executor() when present, inline otherwise —
+/// which rewrites live records into a fresh shard generation and swaps
+/// it without disturbing concurrent readers.
+///
+/// Thread safety: all methods are safe to call concurrently, except
+/// that saves of the *same* page must be externally serialized (serve
+/// shards and the ingest pipeline both guarantee a single writer per
+/// page).
+struct StoreOptions {
+  /// Record-log shards (fixed at store creation; reopening adopts
+  /// the on-disk count).
+  uint32_t shard_count = 8;
+  /// Chain length cap: every Nth save of a page re-anchors its chain
+  /// with a full snapshot. 1 disables deltas entirely.
+  uint32_t full_snapshot_every = 8;
+  /// Compaction triggers, forwarded to the RecordLog: superseded
+  /// bytes must exceed `compact_ratio` of the shard file and the
+  /// `compact_min_bytes` floor.
+  double compact_ratio = 0.5;
+  uint64_t compact_min_bytes = 1 << 20;
+};
+
 class ContextStore {
  public:
+  using StoreOptions = somr::state::StoreOptions;
+
   struct PageInfo {
     std::string title;
-    std::string file;  // snapshot filename relative to dir
     int64_t page_id = 0;
     int64_t last_revision_id = 0;
     UnixSeconds last_timestamp = 0;
@@ -37,52 +79,112 @@ class ContextStore {
     /// manifest at Open(), bumped on every Save(). Not persisted — it
     /// lets a reader tell whether a page changed since it last looked.
     uint64_t version = 0;
+    /// Record-log placement: the shard the chain lives in, how many
+    /// delta records follow the full snapshot, and the chain's total
+    /// frame bytes (what a fault must read).
+    uint32_t shard = 0;
+    uint32_t delta_depth = 0;
+    uint64_t chain_bytes = 0;
   };
 
-  ContextStore(std::string dir, matching::MatcherConfig config = {});
+  /// Aggregate store shape for status/debug/flight-recorder reporting.
+  struct StoreStats {
+    std::vector<ShardStats> shards;
+    uint64_t contexts = 0;
+    uint64_t size_bytes = 0;
+    uint64_t live_bytes = 0;
+    uint64_t superseded_bytes = 0;
+    uint64_t max_delta_depth = 0;
+    uint64_t pending_compactions = 0;
+  };
 
-  /// Opens the store. `create` makes the directory and an empty manifest
-  /// when absent; without it a missing manifest is NotFound. An existing
-  /// manifest whose config fingerprint differs from this store's config
-  /// is refused with InvalidArgument.
+  ContextStore(std::string dir, matching::MatcherConfig config = {},
+               StoreOptions options = {});
+  /// Blocks until in-flight background compactions finish.
+  ~ContextStore();
+
+  /// Opens the store. `create` makes the directory, record log, and an
+  /// empty manifest when absent; without it a missing manifest is
+  /// NotFound. An existing manifest whose config fingerprint differs
+  /// from this store's config is refused with InvalidArgument, as is a
+  /// v1 (one-file-per-page) store, which predates the record log.
   Status Open(bool create);
 
   bool Contains(const std::string& title) const;
 
-  /// O(1) manifest-index probe: the page's manifest row (snapshot file,
-  /// revision bookkeeping, version) without touching the filesystem, or
-  /// nullopt when the page has never been saved. The index is built once
-  /// at Open() and maintained by Save(), so serve-side fault decisions
-  /// ("is there a snapshot to load?") never pay a directory scan.
+  /// O(1) manifest-index probe: the page's metadata and record-chain
+  /// placement without touching the filesystem, or nullopt when the
+  /// page has never been saved.
   std::optional<PageInfo> Lookup(const std::string& title) const;
 
   /// Manifest entries sorted by title.
   std::vector<PageInfo> Pages() const;
 
-  /// Loads the snapshot for `title`; NotFound when the page has never
-  /// been saved, ParseError/InvalidArgument per LoadPageSnapshot.
+  /// Replays the page's record chain (full snapshot + deltas) into a
+  /// fresh state; NotFound when the page has never been saved,
+  /// ParseError/InvalidArgument per LoadPageSnapshot/ApplyPageDelta.
   StatusOr<PageState> Load(const std::string& title) const;
 
-  /// Atomically persists `state` and updates the manifest.
+  /// Persists `state` (as a delta when the chain allows it) and makes
+  /// it durable: equivalent to SaveUncommitted() + Commit().
   Status Save(const PageState& state);
+
+  /// Appends the page's record without committing the index/manifest.
+  /// Cheap (sequential write, no fsync); not durable until Commit().
+  Status SaveUncommitted(const PageState& state);
+
+  /// The durability point: fsyncs dirty record shards, atomically
+  /// rewrites the log index and the manifest, then kicks off any due
+  /// shard compactions.
+  Status Commit();
+
+  /// Runs every due compaction inline and returns when the store is
+  /// back under its superseded-bytes bounds.
+  Status CompactNow();
+
+  /// Background compactions run on `executor` when set. Passing
+  /// nullptr detaches: blocks until in-flight jobs finish, after which
+  /// compactions run inline on the committing thread.
+  void set_executor(parallel::Executor* executor);
+
+  StoreStats Stats() const;
+  /// Stats rendered as a JSON object (for /debug/vars and the flight
+  /// recorder's storage dump).
+  std::string StatsJson() const;
 
   const matching::MatcherConfig& config() const { return config_; }
   const std::string& dir() const { return dir_; }
+  const StoreOptions& options() const { return options_; }
 
  private:
-  std::string SnapshotFileFor(const std::string& title) const;
-  std::string PathFor(const std::string& file) const;
+  Status SaveInternal(const PageState& state, bool commit);
   Status WriteManifestLocked();
+  Status CommitInternal();
+  void ScheduleCompactions();
+  void WaitForCompactions();
 
   std::string dir_;
   matching::MatcherConfig config_;
   uint64_t fingerprint_;
+  StoreOptions options_;
+  RecordLog log_;
+
   mutable std::mutex mu_;
   /// The manifest index: title -> PageInfo, hash-keyed so Lookup() and
   /// Contains() are O(1). Manifest writes sort rows by title, keeping
   /// the on-disk file deterministic regardless of table order.
   std::unordered_map<std::string, PageInfo> pages_;
+  /// Last-persisted watermark per page: the base the next delta save
+  /// is encoded against. Populated by Save() and Load(); a page
+  /// without one (cold since Open) gets a full snapshot first.
+  mutable std::unordered_map<std::string, SnapshotWatermark> watermarks_;
   bool open_ = false;
+  bool manifest_dirty_ = false;
+
+  mutable std::mutex compaction_mu_;
+  std::condition_variable compaction_cv_;
+  size_t pending_compactions_ = 0;
+  parallel::Executor* executor_ = nullptr;
 };
 
 }  // namespace somr::state

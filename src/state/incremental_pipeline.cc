@@ -60,7 +60,8 @@ StatusOr<IngestReport> IncrementalPipeline::IngestPage(
 }
 
 StatusOr<IngestReport> IncrementalPipeline::IngestPageWith(
-    const xmldump::PageHistory& page, parallel::Executor* executor) {
+    const xmldump::PageHistory& page, parallel::Executor* executor,
+    bool commit) {
   SOMR_TRACE_SCOPE_CAT("state", "state/ingest_page");
   PageState state(store_->config());
   if (store_->Contains(page.title)) {
@@ -75,7 +76,8 @@ StatusOr<IngestReport> IncrementalPipeline::IngestPageWith(
   IngestReport report = ApplyPageToState(state, page, provenance_, executor);
 
   if (report.new_revisions > 0 || !store_->Contains(page.title)) {
-    SOMR_RETURN_IF_ERROR(store_->Save(state));
+    SOMR_RETURN_IF_ERROR(commit ? store_->Save(state)
+                                : store_->SaveUncommitted(state));
   }
   return report;
 }
@@ -138,18 +140,21 @@ StatusOr<IngestReport> IncrementalPipeline::IngestDump(
 
   if (num_threads <= 1 && executor_ == nullptr) {
     while (std::optional<xmldump::PageHistory> page = reader.NextPage()) {
-      StatusOr<IngestReport> report = IngestPage(*page);
+      StatusOr<IngestReport> report =
+          IngestPageWith(*page, nullptr, /*commit=*/false);
       if (!report.ok()) return report.status();
       total.Add(*report);
     }
+    SOMR_RETURN_IF_ERROR(store_->Commit());
     if (!reader.status().ok()) return reader.status();
     return total;
   }
 
   // Bounded producer/consumer on the pool: the calling thread parses
   // page blocks and Pushes them into the channel, one consumer job per
-  // worker ingests them. Pages shard naturally (one snapshot file each);
-  // ContextStore::Save serializes the manifest update internally. After
+  // worker ingests them. Pages shard naturally (each owns one record
+  // chain); the record log serializes appends internally, and the
+  // index/manifest rewrite is deferred to a single Commit below. After
   // a failure the producer stops feeding (consumers still drain what was
   // queued), and the first error wins.
   std::optional<parallel::Executor> local_pool;
@@ -171,7 +176,8 @@ StatusOr<IngestReport> IncrementalPipeline::IngestDump(
     group.Run([this, exec, &channel, &mu, &total, &first_error, &failed] {
       xmldump::PageHistory page;
       while (channel.Pop(page)) {
-        StatusOr<IngestReport> report = IngestPageWith(page, exec);
+        StatusOr<IngestReport> report =
+            IngestPageWith(page, exec, /*commit=*/false);
         std::lock_guard<std::mutex> lock(mu);
         if (report.ok()) {
           total.Add(*report);
@@ -190,7 +196,10 @@ StatusOr<IngestReport> IncrementalPipeline::IngestDump(
   channel.Close();
   group.Wait();
 
+  // Commit even on a partial run: pages that did save stay durable.
+  Status committed = store_->Commit();
   if (!first_error.ok()) return first_error;
+  SOMR_RETURN_IF_ERROR(committed);
   if (!reader.status().ok()) return reader.status();
   return total;
 }

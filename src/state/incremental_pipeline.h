@@ -74,8 +74,12 @@ class IncrementalPipeline {
  private:
   /// IngestPage with an explicit executor for the page's matcher (the
   /// parallel ingest path passes the pool its page tasks run on).
+  /// `commit` false defers the store's index/manifest rewrite and
+  /// fsyncs to one ContextStore::Commit at the end of the dump —
+  /// per-page appends stay sequential writes.
   StatusOr<IngestReport> IngestPageWith(const xmldump::PageHistory& page,
-                                        parallel::Executor* executor);
+                                        parallel::Executor* executor,
+                                        bool commit = true);
 
   ContextStore* store_;
   obs::ProvenanceSink* provenance_ = nullptr;  // optional, not owned

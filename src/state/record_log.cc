@@ -1,0 +1,843 @@
+#include "state/record_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <mutex>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "state/serde.h"
+
+namespace somr::state {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RecordLogMetrics {
+  obs::Counter* commits;
+  obs::Counter* appended_bytes;
+  obs::Counter* compactions;
+  obs::Counter* reclaimed_bytes;
+  obs::Counter* tail_recovered_bytes;
+};
+
+const RecordLogMetrics& GetRecordLogMetrics() {
+  static const RecordLogMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    RecordLogMetrics m;
+    m.commits = reg.GetCounter("somr_recordlog_commits_total",
+                               "Durable record-log index commits");
+    m.appended_bytes =
+        reg.GetCounter("somr_recordlog_appended_bytes_total",
+                       "Record frame bytes appended to shard files");
+    m.compactions = reg.GetCounter("somr_recordlog_compactions_total",
+                                   "Completed shard compaction passes");
+    m.reclaimed_bytes =
+        reg.GetCounter("somr_recordlog_reclaimed_bytes_total",
+                       "Superseded bytes dropped by shard compaction");
+    m.tail_recovered_bytes = reg.GetCounter(
+        "somr_recordlog_tail_recovered_bytes_total",
+        "Uncommitted/torn shard tail bytes dropped during recovery");
+    return m;
+  }();
+  return metrics;
+}
+
+constexpr char kFrameMagic[4] = {'S', 'R', 'L', 'F'};
+constexpr const char* kIndexName = "records.idx";
+constexpr const char* kIndexHeader = "# somr-record-log v1";
+// magic + kind byte + key length prefix + payload length + checksum.
+constexpr uint64_t kFrameFixedBytes = 4 + 1 + 8 + 8 + 8;
+
+std::string EncodeFrame(const std::string& key, RecordKind kind,
+                        std::string_view payload) {
+  ByteWriter w;
+  for (char c : kFrameMagic) w.U8(static_cast<uint8_t>(c));
+  w.U8(static_cast<uint8_t>(kind));
+  w.Str(key);
+  w.U64(payload.size());
+  w.U64(Fnv1a64(payload));
+  std::string frame = w.Take();
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+/// Decodes one frame from `data` starting at `at`. On success fills the
+/// outputs (any may be null) and returns the frame length; returns 0 for
+/// anything invalid or incomplete — the caller treats that as a torn
+/// tail, not an error.
+uint64_t DecodeFrame(std::string_view data, uint64_t at, std::string* key,
+                     RecordKind* kind, std::string* payload) {
+  if (at > data.size() || data.size() - at < kFrameFixedBytes) return 0;
+  ByteReader r(data.substr(static_cast<size_t>(at)));
+  for (char expected : kFrameMagic) {
+    uint8_t byte = 0;
+    if (!r.U8(&byte).ok() || byte != static_cast<uint8_t>(expected)) {
+      return 0;
+    }
+  }
+  uint8_t kind_byte = 0;
+  if (!r.U8(&kind_byte).ok()) return 0;
+  if (kind_byte != static_cast<uint8_t>(RecordKind::kFull) &&
+      kind_byte != static_cast<uint8_t>(RecordKind::kDelta)) {
+    return 0;
+  }
+  std::string frame_key;
+  if (!r.Str(&frame_key).ok()) return 0;
+  uint64_t payload_len = 0, checksum = 0;
+  if (!r.U64(&payload_len).ok() || !r.U64(&checksum).ok()) return 0;
+  std::string frame_payload;
+  if (!r.Bytes(payload_len, &frame_payload).ok()) return 0;
+  if (Fnv1a64(frame_payload) != checksum) return 0;
+  const uint64_t frame_len = kFrameFixedBytes + frame_key.size() + payload_len;
+  if (key != nullptr) *key = std::move(frame_key);
+  if (kind != nullptr) *kind = static_cast<RecordKind>(kind_byte);
+  if (payload != nullptr) *payload = std::move(frame_payload);
+  return frame_len;
+}
+
+Status PReadExact(int fd, uint64_t offset, uint64_t length,
+                  std::string* out) {
+  out->resize(static_cast<size_t>(length));
+  uint64_t done = 0;
+  while (done < length) {
+    ssize_t n = ::pread(fd, out->data() + done,
+                        static_cast<size_t>(length - done),
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("pread failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) return Status::Internal("pread hit EOF mid-record");
+    done += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PWriteAll(int fd, uint64_t offset, std::string_view data) {
+  uint64_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::pwrite(fd, data.data() + done, data.size() - done,
+                         static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("pwrite failed: ") +
+                              std::strerror(errno));
+    }
+    done += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Releases a shard's `compacting` flag on scope exit.
+class CompactionClaim {
+ public:
+  explicit CompactionClaim(std::atomic_flag* flag) : flag_(flag) {}
+  ~CompactionClaim() {
+    if (flag_ != nullptr) flag_->clear(std::memory_order_release);
+  }
+  CompactionClaim(const CompactionClaim&) = delete;
+  CompactionClaim& operator=(const CompactionClaim&) = delete;
+
+ private:
+  std::atomic_flag* flag_;
+};
+
+}  // namespace
+
+Status AtomicWriteDurable(const std::string& path,
+                          std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Internal("cannot create " + tmp);
+  Status status = PWriteAll(fd, 0, content);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::Internal("fsync failed for " + tmp);
+  }
+  ::close(fd);
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed for " + path);
+  }
+  // fsync the directory so the rename itself survives a crash.
+  const std::string dir = fs::path(path).parent_path().string();
+  int dfd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+std::string EscapeKey(std::string_view key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeKey(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '\\' && i + 1 < escaped.size()) {
+      ++i;
+      switch (escaped[i]) {
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        default:
+          out.push_back(escaped[i]);
+      }
+    } else {
+      out.push_back(escaped[i]);
+    }
+  }
+  return out;
+}
+
+RecordLog::RecordLog(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.shard_count == 0) options_.shard_count = 1;
+  if (options_.compact_ratio <= 0.0) options_.compact_ratio = 0.5;
+}
+
+RecordLog::~RecordLog() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& shard : shards_) {
+    if (shard->fd >= 0) ::close(shard->fd);
+  }
+}
+
+std::string RecordLog::ShardPath(uint32_t shard,
+                                 uint64_t generation) const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "records-%04u-g%06llu.rec", shard,
+                static_cast<unsigned long long>(generation));
+  return (fs::path(dir_) / buf).string();
+}
+
+std::string RecordLog::IndexPath() const {
+  return (fs::path(dir_) / kIndexName).string();
+}
+
+Status RecordLog::OpenShardFile(uint32_t shard, bool truncate) {
+  Shard& s = *shards_[shard];
+  const std::string path = ShardPath(shard, s.generation);
+  s.fd = ::open(path.c_str(), O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0),
+                0644);
+  if (s.fd < 0) return Status::Internal("cannot open shard file " + path);
+  std::error_code ec;
+  const uint64_t size = fs::file_size(path, ec);
+  if (ec) return Status::Internal("cannot stat shard file " + path);
+  if (size < s.durable_size) {
+    return Status::ParseError("shard file " + path + " is " +
+                              std::to_string(size) +
+                              " bytes, below its committed size " +
+                              std::to_string(s.durable_size));
+  }
+  s.size = size;
+  return Status::OK();
+}
+
+Status RecordLog::RecoverTailLocked(uint32_t shard) {
+  Shard& s = *shards_[shard];
+  if (s.size <= s.durable_size) return Status::OK();
+  // Everything past the committed prefix was appended but never indexed
+  // (a crash before Commit); no chain can reference it. Scan it anyway
+  // so torn writes are distinguished from complete-but-uncommitted
+  // frames in the log line, then drop the whole tail.
+  const uint64_t tail_len = s.size - s.durable_size;
+  std::string tail;
+  SOMR_RETURN_IF_ERROR(PReadExact(s.fd, s.durable_size, tail_len, &tail));
+  uint64_t at = 0;
+  size_t complete_frames = 0;
+  while (true) {
+    const uint64_t frame = DecodeFrame(tail, at, nullptr, nullptr, nullptr);
+    if (frame == 0) break;
+    at += frame;
+    ++complete_frames;
+  }
+  const uint64_t torn = tail_len - at;
+  SOMR_LOG(Warn) << "record log shard " << shard << ": dropping "
+                 << tail_len << " uncommitted tail bytes ("
+                 << complete_frames << " complete frames, " << torn
+                 << " torn bytes)";
+  if (::ftruncate(s.fd, static_cast<off_t>(s.durable_size)) != 0) {
+    return Status::Internal("ftruncate failed for shard " +
+                            std::to_string(shard));
+  }
+  s.size = s.durable_size;
+  s.tail_recovered = tail_len;
+  GetRecordLogMetrics().tail_recovered_bytes->Increment(tail_len);
+  return Status::OK();
+}
+
+Status RecordLog::LoadIndexLocked(const std::string& content) {
+  const std::string path = IndexPath();
+  size_t line_number = 0;
+  size_t pos = 0;
+  bool have_header = false;
+  while (pos <= content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string_view line(content.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++line_number;
+    if (line.empty()) {
+      if (pos > content.size()) break;
+      continue;
+    }
+    const std::string where = path + ":" + std::to_string(line_number);
+    if (!have_header) {
+      if (line.rfind(kIndexHeader, 0) != 0) {
+        return Status::ParseError(where + ": not a record-log index");
+      }
+      const std::string marker = "shards=";
+      size_t at = line.find(marker);
+      unsigned shard_count = 0;
+      if (at == std::string::npos ||
+          std::sscanf(std::string(line.substr(at + marker.size())).c_str(),
+                      "%u", &shard_count) != 1 ||
+          shard_count == 0) {
+        return Status::ParseError(where + ": bad shard count");
+      }
+      shards_.clear();
+      for (unsigned i = 0; i < shard_count; ++i) {
+        shards_.push_back(std::make_unique<Shard>());
+      }
+      have_header = true;
+      continue;
+    }
+    if (line[0] == '#') continue;
+    std::vector<std::string_view> fields = SplitString(line, '\t');
+    if (line[0] == 'S') {
+      if (fields.size() != 6) {
+        return Status::ParseError(where + ": shard row needs 6 fields");
+      }
+      unsigned shard = 0;
+      unsigned long long generation = 0, durable = 0, compactions = 0;
+      long long last_compaction = 0;
+      if (std::sscanf(std::string(fields[1]).c_str(), "%u", &shard) != 1 ||
+          shard >= shards_.size() ||
+          std::sscanf(std::string(fields[2]).c_str(), "%llu",
+                      &generation) != 1 ||
+          generation == 0 ||
+          std::sscanf(std::string(fields[3]).c_str(), "%llu", &durable) !=
+              1 ||
+          std::sscanf(std::string(fields[4]).c_str(), "%llu",
+                      &compactions) != 1 ||
+          std::sscanf(std::string(fields[5]).c_str(), "%lld",
+                      &last_compaction) != 1) {
+        return Status::ParseError(where + ": bad shard row");
+      }
+      Shard& s = *shards_[shard];
+      s.generation = generation;
+      s.durable_size = durable;
+      s.compactions = compactions;
+      s.last_compaction_unix = last_compaction;
+    } else if (line[0] == 'C') {
+      if (fields.size() != 4) {
+        return Status::ParseError(where + ": chain row needs 4 fields");
+      }
+      unsigned shard = 0;
+      if (std::sscanf(std::string(fields[1]).c_str(), "%u", &shard) != 1 ||
+          shard >= shards_.size()) {
+        return Status::ParseError(where + ": bad chain shard");
+      }
+      std::vector<RecordRef> chain;
+      for (std::string_view part : SplitString(fields[2], ',')) {
+        unsigned long long offset = 0, length = 0;
+        unsigned kind = 0;
+        if (std::sscanf(std::string(part).c_str(), "%llu:%llu:%u", &offset,
+                        &length, &kind) != 3 ||
+            (kind != static_cast<unsigned>(RecordKind::kFull) &&
+             kind != static_cast<unsigned>(RecordKind::kDelta))) {
+          return Status::ParseError(where + ": bad chain ref \"" +
+                                    std::string(part) + "\"");
+        }
+        RecordRef ref;
+        ref.shard = shard;
+        ref.offset = offset;
+        ref.length = length;
+        ref.kind = static_cast<RecordKind>(kind);
+        chain.push_back(ref);
+      }
+      if (chain.empty() || chain.front().kind != RecordKind::kFull) {
+        return Status::ParseError(where +
+                                  ": chain must start with a full record");
+      }
+      for (const RecordRef& ref : chain) {
+        if (ref.offset + ref.length > shards_[shard]->durable_size) {
+          return Status::ParseError(where +
+                                    ": chain ref beyond committed bytes");
+        }
+        shards_[shard]->live_bytes += ref.length;
+      }
+      const std::string key = UnescapeKey(fields[3]);
+      if (!chains_.emplace(key, std::move(chain)).second) {
+        return Status::ParseError(where + ": duplicate chain key");
+      }
+    } else {
+      return Status::ParseError(where + ": unknown row type");
+    }
+  }
+  if (!have_header) {
+    return Status::ParseError(path + ": empty record-log index");
+  }
+  return Status::OK();
+}
+
+std::string RecordLog::RenderIndexLocked() const {
+  std::string out = kIndexHeader;
+  out += " shards=";
+  out += std::to_string(shards_.size());
+  out += "\n";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    out += "S\t";
+    out += std::to_string(i);
+    out += '\t';
+    out += std::to_string(s.generation);
+    out += '\t';
+    out += std::to_string(s.size);  // durable after the commit fsyncs
+    out += '\t';
+    out += std::to_string(s.compactions);
+    out += '\t';
+    out += std::to_string(s.last_compaction_unix);
+    out += '\n';
+  }
+  std::vector<const std::pair<const std::string, std::vector<RecordRef>>*>
+      rows;
+  rows.reserve(chains_.size());
+  for (const auto& entry : chains_) rows.push_back(&entry);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* row : rows) {
+    const std::vector<RecordRef>& chain = row->second;
+    out += "C\t";
+    out += std::to_string(chain.front().shard);
+    out += '\t';
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(chain[i].offset);
+      out += ':';
+      out += std::to_string(chain[i].length);
+      out += ':';
+      out += std::to_string(static_cast<unsigned>(chain[i].kind));
+    }
+    out += '\t';
+    out += EscapeKey(row->first);
+    out += '\n';
+  }
+  return out;
+}
+
+void RecordLog::RemoveStaleGenerationsLocked() {
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned shard = 0;
+    unsigned long long generation = 0;
+    if (std::sscanf(name.c_str(), "records-%4u-g%6llu.rec", &shard,
+                    &generation) != 2 ||
+        name.size() != std::strlen("records-0000-g000000.rec")) {
+      continue;
+    }
+    if (shard < shards_.size() &&
+        generation == shards_[shard]->generation) {
+      continue;
+    }
+    // A generation orphaned by a crash mid-compaction (either side of
+    // the index commit) or a shard beyond the store's width.
+    std::error_code remove_ec;
+    fs::remove(entry.path(), remove_ec);
+    SOMR_LOG(Warn) << "record log: removed stale shard file " << name;
+  }
+}
+
+Status RecordLog::Open(bool create) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& shard : shards_) {
+    if (shard->fd >= 0) ::close(shard->fd);
+  }
+  shards_.clear();
+  chains_.clear();
+  open_ = false;
+
+  std::error_code ec;
+  const std::string index_path = IndexPath();
+  if (!fs::exists(index_path, ec)) {
+    if (!create) {
+      return Status::NotFound("no record log at " + dir_ + " (missing " +
+                              kIndexName + ")");
+    }
+    fs::create_directories(dir_, ec);
+    if (ec) {
+      return Status::Internal("cannot create record-log dir " + dir_ +
+                              ": " + ec.message());
+    }
+    for (uint32_t i = 0; i < options_.shard_count; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    RemoveStaleGenerationsLocked();  // leftovers from an unindexed store
+    for (uint32_t i = 0; i < options_.shard_count; ++i) {
+      // Truncate: with no index, any surviving generation-1 bytes are
+      // unreferenced garbage from a crash before the first commit.
+      SOMR_RETURN_IF_ERROR(OpenShardFile(i, /*truncate=*/true));
+    }
+    open_ = true;
+    return CommitLocked();
+  }
+
+  StatusOr<std::string> content = ReadFileToString(index_path);
+  if (!content.ok()) return content.status();
+  SOMR_RETURN_IF_ERROR(LoadIndexLocked(*content));
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    SOMR_RETURN_IF_ERROR(OpenShardFile(i, /*truncate=*/false));
+    SOMR_RETURN_IF_ERROR(RecoverTailLocked(i));
+  }
+  RemoveStaleGenerationsLocked();
+  open_ = true;
+  return Status::OK();
+}
+
+uint32_t RecordLog::ShardFor(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const size_t count = shards_.empty() ? options_.shard_count
+                                       : shards_.size();
+  return static_cast<uint32_t>(Fnv1a64(key) % count);
+}
+
+StatusOr<RecordRef> RecordLog::Append(const std::string& key,
+                                      RecordKind kind,
+                                      std::string_view payload,
+                                      bool start_chain) {
+  const std::string frame = EncodeFrame(key, kind, payload);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!open_) return Status::Internal("record log not opened");
+  const uint32_t shard =
+      static_cast<uint32_t>(Fnv1a64(key) % shards_.size());
+  Shard& s = *shards_[shard];
+
+  std::vector<RecordRef>& chain = chains_[key];
+  if (!start_chain && chain.empty()) {
+    chains_.erase(key);
+    return Status::Internal("delta append for \"" + key +
+                            "\" without an existing chain");
+  }
+  if (!start_chain && kind == RecordKind::kFull) {
+    return Status::Internal("full record cannot extend a chain");
+  }
+  if (start_chain && kind != RecordKind::kFull) {
+    if (chain.empty()) chains_.erase(key);
+    return Status::Internal("chain must start with a full record");
+  }
+
+  RecordRef ref;
+  ref.shard = shard;
+  ref.offset = s.size;
+  ref.length = frame.size();
+  ref.kind = kind;
+  SOMR_RETURN_IF_ERROR(PWriteAll(s.fd, s.size, frame));
+  s.size += frame.size();
+  s.live_bytes += frame.size();
+  GetRecordLogMetrics().appended_bytes->Increment(frame.size());
+
+  if (start_chain) {
+    for (const RecordRef& old : chain) {
+      shards_[old.shard]->live_bytes -= old.length;
+    }
+    chain.clear();
+  }
+  chain.push_back(ref);
+  return ref;
+}
+
+StatusOr<std::vector<ChainRecord>> RecordLog::ReadChain(
+    const std::string& key) const {
+  // Shared lock across both the index lookup and the preads: a
+  // compaction swap takes the unique lock, so the refs we hold always
+  // point into the file the fds still name.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!open_) return Status::Internal("record log not opened");
+  auto it = chains_.find(key);
+  if (it == chains_.end()) {
+    return Status::NotFound("no record chain for \"" + key + "\"");
+  }
+  std::vector<ChainRecord> out;
+  out.reserve(it->second.size());
+  for (const RecordRef& ref : it->second) {
+    std::string frame;
+    SOMR_RETURN_IF_ERROR(
+        PReadExact(shards_[ref.shard]->fd, ref.offset, ref.length, &frame));
+    std::string frame_key;
+    ChainRecord record;
+    const uint64_t decoded =
+        DecodeFrame(frame, 0, &frame_key, &record.kind, &record.payload);
+    if (decoded != ref.length || frame_key != key ||
+        record.kind != ref.kind) {
+      return Status::ParseError("record corrupt for \"" + key +
+                                "\" (shard " + std::to_string(ref.shard) +
+                                " offset " + std::to_string(ref.offset) +
+                                ")");
+    }
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+bool RecordLog::Contains(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return chains_.count(key) > 0;
+}
+
+size_t RecordLog::ChainDepth(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = chains_.find(key);
+  return it == chains_.end() ? 0 : it->second.size();
+}
+
+uint64_t RecordLog::ChainBytes(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = chains_.find(key);
+  if (it == chains_.end()) return 0;
+  uint64_t total = 0;
+  for (const RecordRef& ref : it->second) total += ref.length;
+  return total;
+}
+
+Status RecordLog::CommitLocked() {
+  SOMR_TRACE_SCOPE_CAT("state", "state/record_commit");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    if (s.size == s.durable_size) continue;
+    if (::fdatasync(s.fd) != 0) {
+      return Status::Internal("fdatasync failed for shard " +
+                              std::to_string(i));
+    }
+  }
+  SOMR_RETURN_IF_ERROR(AtomicWriteDurable(IndexPath(), RenderIndexLocked()));
+  for (auto& shard : shards_) shard->durable_size = shard->size;
+  GetRecordLogMetrics().commits->Increment();
+  return Status::OK();
+}
+
+Status RecordLog::Commit() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!open_) return Status::Internal("record log not opened");
+  return CommitLocked();
+}
+
+std::vector<uint32_t> RecordLog::ShardsNeedingCompaction() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    const uint64_t superseded = s.size - s.live_bytes;
+    if (superseded >= options_.compact_min_bytes &&
+        static_cast<double>(superseded) >
+            options_.compact_ratio * static_cast<double>(s.size)) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+StatusOr<bool> RecordLog::Compact(uint32_t shard) {
+  SOMR_TRACE_SCOPE_CAT("state", "state/compact_shard");
+  Shard* s = nullptr;
+  uint64_t base_size = 0, old_generation = 0;
+  int old_fd = -1;
+  std::vector<std::pair<uint64_t, uint64_t>> live;  // (offset, length)
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (!open_) return Status::Internal("record log not opened");
+    if (shard >= shards_.size()) {
+      return Status::InvalidArgument("no shard " + std::to_string(shard));
+    }
+    s = shards_[shard].get();
+    if (s->compacting.test_and_set(std::memory_order_acquire)) {
+      return false;  // another compaction of this shard is running
+    }
+    base_size = s->size;
+    old_generation = s->generation;
+    old_fd = s->fd;
+    for (const auto& [key, chain] : chains_) {
+      if (chain.empty() || chain.front().shard != shard) continue;
+      for (const RecordRef& ref : chain) {
+        live.emplace_back(ref.offset, ref.length);
+      }
+    }
+  }
+  CompactionClaim claim(&s->compacting);
+  std::sort(live.begin(), live.end());
+
+  // Bulk phase, no lock held: the snapshot region [0, base_size) is
+  // immutable (appends only extend the file; only compaction replaces
+  // it, and the claim flag excludes a second compactor), so these
+  // preads race with nothing.
+  const std::string old_path = ShardPath(shard, old_generation);
+  const std::string new_path = ShardPath(shard, old_generation + 1);
+  std::remove(new_path.c_str());
+  int new_fd = ::open(new_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (new_fd < 0) {
+    return Status::Internal("cannot create shard file " + new_path);
+  }
+  std::unordered_map<uint64_t, uint64_t> relocated;
+  relocated.reserve(live.size());
+  uint64_t out_offset = 0;
+  for (const auto& [offset, length] : live) {
+    std::string frame;
+    Status status = PReadExact(old_fd, offset, length, &frame);
+    if (status.ok() &&
+        DecodeFrame(frame, 0, nullptr, nullptr, nullptr) != length) {
+      status = Status::ParseError("record corrupt during compaction "
+                                  "(shard " +
+                                  std::to_string(shard) + " offset " +
+                                  std::to_string(offset) + ")");
+    }
+    if (status.ok()) status = PWriteAll(new_fd, out_offset, frame);
+    if (!status.ok()) {
+      ::close(new_fd);
+      std::remove(new_path.c_str());
+      return status;
+    }
+    relocated.emplace(offset, out_offset);
+    out_offset += length;
+  }
+
+  uint64_t reclaimed = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Catch-up: frames appended while we copied move over verbatim;
+    // their offsets shift by a fixed amount.
+    const uint64_t tail_base = out_offset;
+    const uint64_t current_size = s->size;
+    if (current_size > base_size) {
+      std::string tail;
+      Status status = PReadExact(old_fd, base_size,
+                                 current_size - base_size, &tail);
+      if (status.ok()) status = PWriteAll(new_fd, tail_base, tail);
+      if (!status.ok()) {
+        ::close(new_fd);
+        std::remove(new_path.c_str());
+        return status;
+      }
+      out_offset += current_size - base_size;
+    }
+    for (auto& [key, chain] : chains_) {
+      for (RecordRef& ref : chain) {
+        if (ref.shard != shard) continue;
+        if (ref.offset >= base_size) {
+          ref.offset = tail_base + (ref.offset - base_size);
+          continue;
+        }
+        auto it = relocated.find(ref.offset);
+        if (it == relocated.end()) {
+          ::close(new_fd);
+          std::remove(new_path.c_str());
+          return Status::Internal("compaction lost a live record for \"" +
+                                  key + "\"");
+        }
+        ref.offset = it->second;
+      }
+    }
+    if (::fdatasync(new_fd) != 0) {
+      ::close(new_fd);
+      std::remove(new_path.c_str());
+      return Status::Internal("fdatasync failed for " + new_path);
+    }
+    reclaimed = current_size - out_offset;
+    ::close(s->fd);
+    s->fd = new_fd;
+    s->generation = old_generation + 1;
+    s->size = out_offset;
+    s->durable_size = 0;  // forces the commit below to re-render it
+    uint64_t live_bytes = 0;
+    for (const auto& [key, chain] : chains_) {
+      for (const RecordRef& ref : chain) {
+        if (ref.shard == shard) live_bytes += ref.length;
+      }
+    }
+    s->live_bytes = live_bytes;
+    ++s->compactions;
+    s->last_compaction_unix = static_cast<int64_t>(std::time(nullptr));
+    // Persist the new generation before dropping the old one. On
+    // failure the old file stays on disk and the durable index keeps
+    // referencing it; the next successful Open cleans the orphan.
+    SOMR_RETURN_IF_ERROR(CommitLocked());
+  }
+  std::remove(old_path.c_str());
+  const RecordLogMetrics& metrics = GetRecordLogMetrics();
+  metrics.compactions->Increment();
+  metrics.reclaimed_bytes->Increment(reclaimed);
+  return true;
+}
+
+std::vector<ShardStats> RecordLog::Shards() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  std::vector<uint64_t> records(shards_.size(), 0);
+  for (const auto& [key, chain] : chains_) {
+    for (const RecordRef& ref : chain) ++records[ref.shard];
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    ShardStats stats;
+    stats.shard = static_cast<uint32_t>(i);
+    stats.generation = s.generation;
+    stats.size_bytes = s.size;
+    stats.live_bytes = s.live_bytes;
+    stats.superseded_bytes = s.size - s.live_bytes;
+    stats.records = records[i];
+    stats.compactions = s.compactions;
+    stats.last_compaction_unix = s.last_compaction_unix;
+    stats.tail_recovered_bytes = s.tail_recovered;
+    out.push_back(stats);
+  }
+  return out;
+}
+
+uint32_t RecordLog::shard_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<uint32_t>(shards_.empty() ? options_.shard_count
+                                               : shards_.size());
+}
+
+}  // namespace somr::state

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace somr::state {
+
+/// What a record holds: a complete serialized context or a delta over
+/// the previous record in its chain. The log itself never interprets
+/// payloads; kinds exist so replay can refuse a chain whose shape is
+/// wrong (delta without a preceding full record).
+enum class RecordKind : uint8_t {
+  kFull = 1,
+  kDelta = 2,
+};
+
+/// Location of one record's frame inside a shard file.
+struct RecordRef {
+  uint32_t shard = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;  // whole frame: header + key + payload
+  RecordKind kind = RecordKind::kFull;
+};
+
+/// One decoded chain entry handed back by ReadChain.
+struct ChainRecord {
+  RecordKind kind = RecordKind::kFull;
+  std::string payload;
+};
+
+/// Point-in-time shape of one shard, for status/debug reporting.
+struct ShardStats {
+  uint32_t shard = 0;
+  uint64_t generation = 0;
+  uint64_t size_bytes = 0;        // current file size (incl. uncommitted)
+  uint64_t live_bytes = 0;        // bytes referenced by some chain
+  uint64_t superseded_bytes = 0;  // size - live: reclaimable by compaction
+  uint64_t records = 0;           // live records (chain entries)
+  uint64_t compactions = 0;       // completed compaction passes
+  int64_t last_compaction_unix = 0;  // 0 = never compacted
+  uint64_t tail_recovered_bytes = 0;  // torn/orphan tail dropped at Open
+};
+
+/// Writes `content` to `path` with full durability: temp file in the
+/// same directory, write, fsync, rename over the target, fsync the
+/// directory. A crash at any point leaves either the old or the new
+/// complete content, never a torn mix.
+Status AtomicWriteDurable(const std::string& path, std::string_view content);
+
+/// Escapes tabs/newlines/backslashes so arbitrary keys survive a line-
+/// and tab-delimited index file; UnescapeKey inverts it.
+std::string EscapeKey(std::string_view key);
+std::string UnescapeKey(std::string_view escaped);
+
+/// Sharded append-only record log: the byte store under ContextStore.
+///
+/// Records are length-prefixed, FNV-1a64-checksummed frames appended
+/// sequentially to one of N shard files (a key hashes to a fixed
+/// shard). An in-memory chain index maps key -> ordered record refs
+/// (one full record, then deltas), so a cold fault is O(chain) preads
+/// with no directory scan. The index is made durable by Commit(),
+/// which fdatasyncs every dirty shard and then atomically rewrites
+/// `records.idx`; bytes appended after the last Commit are recovered
+/// or dropped at Open() by a checksum scan of each shard's tail
+/// (torn final records are skipped, never fatal).
+///
+/// Shard files are generation-named (`records-SSSS-gGGGGGG.rec`):
+/// compaction writes live records into generation g+1, commits an
+/// index referencing it, then unlinks generation g — a crash between
+/// any two steps leaves a fully consistent store plus at most one
+/// orphan file, which Open() removes.
+///
+/// Thread safety: all public methods are safe to call concurrently.
+/// Reads hold a shared lock across index lookup and frame pread, so a
+/// compaction swap (unique lock) can never yank a file out from under
+/// a reader. Appends to the same key must be externally serialized
+/// (ContextStore guarantees one writer per page).
+class RecordLog {
+ public:
+  struct Options {
+    uint32_t shard_count = 8;
+    /// Compaction trigger: superseded bytes must exceed this fraction
+    /// of the shard file...
+    double compact_ratio = 0.5;
+    /// ...and this floor, so small shards are never churned.
+    uint64_t compact_min_bytes = 1 << 20;
+  };
+
+  RecordLog(std::string dir, Options options);
+  ~RecordLog();
+
+  RecordLog(const RecordLog&) = delete;
+  RecordLog& operator=(const RecordLog&) = delete;
+
+  /// Opens (or with `create`, initializes) the log in `dir`. Recovers
+  /// each shard's uncommitted tail: complete, checksum-valid frames
+  /// past the durable offset are dropped along with torn bytes (they
+  /// were never committed, so no chain references them), and stale
+  /// generation files from interrupted compactions are removed.
+  Status Open(bool create);
+
+  /// Appends one record frame for `key` to its shard and updates the
+  /// in-memory chain: `start_chain` replaces the key's whole chain
+  /// (superseding its old records), otherwise the record extends it.
+  /// Not durable until Commit().
+  StatusOr<RecordRef> Append(const std::string& key, RecordKind kind,
+                             std::string_view payload, bool start_chain);
+
+  /// Reads and checksum-verifies every record in `key`'s chain, in
+  /// order (full record first). NotFound for unknown keys.
+  StatusOr<std::vector<ChainRecord>> ReadChain(const std::string& key) const;
+
+  bool Contains(const std::string& key) const;
+  /// Chain length (0 = unknown key); depth 1 is a lone full record.
+  size_t ChainDepth(const std::string& key) const;
+  /// Total frame bytes across the key's chain.
+  uint64_t ChainBytes(const std::string& key) const;
+  /// Shard the key's records land in (stable hash, valid before any
+  /// Append).
+  uint32_t ShardFor(const std::string& key) const;
+
+  /// Makes every append so far durable: fdatasync dirty shard files,
+  /// then atomically rewrite the index.
+  Status Commit();
+
+  /// Shards whose superseded bytes exceed both the ratio and the floor.
+  std::vector<uint32_t> ShardsNeedingCompaction() const;
+
+  /// Rewrites `shard`'s live records into a fresh generation file and
+  /// atomically swaps it in (commit included). Concurrent readers are
+  /// unaffected; concurrent appends land in the new generation via a
+  /// catch-up copy. Returns false without compacting when another
+  /// compaction of the same shard is already running.
+  StatusOr<bool> Compact(uint32_t shard);
+
+  std::vector<ShardStats> Shards() const;
+  uint32_t shard_count() const;
+  const std::string& dir() const { return dir_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Shard {
+    int fd = -1;
+    uint64_t generation = 1;
+    uint64_t size = 0;          // current append offset
+    uint64_t durable_size = 0;  // committed (index-covered) prefix
+    uint64_t live_bytes = 0;
+    uint64_t compactions = 0;
+    int64_t last_compaction_unix = 0;
+    uint64_t tail_recovered = 0;
+    bool dirty = false;  // has appends since the last fdatasync
+    std::atomic_flag compacting = ATOMIC_FLAG_INIT;
+  };
+
+  std::string ShardPath(uint32_t shard, uint64_t generation) const;
+  std::string IndexPath() const;
+  Status OpenShardFile(uint32_t shard, bool truncate);
+  Status RecoverTailLocked(uint32_t shard);
+  Status LoadIndexLocked(const std::string& content);
+  std::string RenderIndexLocked() const;
+  Status CommitLocked();
+  void RemoveStaleGenerationsLocked();
+
+  std::string dir_;
+  Options options_;
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<std::string, std::vector<RecordRef>> chains_;
+  bool open_ = false;
+};
+
+}  // namespace somr::state

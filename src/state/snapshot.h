@@ -65,4 +65,47 @@ Status LoadPageSnapshot(std::istream& in,
                         const matching::MatcherConfig& config,
                         PageState* state);
 
+/// Per-object-type high-water marks of the monotone matcher structures.
+/// Everything a delta needs to know about its base is three counters:
+/// the token pool, the identity graph's object list, and the per-step
+/// timing vector only ever grow, and a Tracked entry mutates only when
+/// its object matches (which stamps `last_revision` past the mark).
+struct TypeWatermark {
+  uint64_t pool_size = 0;
+  uint64_t object_count = 0;
+  uint64_t step_count = 0;
+};
+
+/// Position of a persisted snapshot in the page's monotone history:
+/// the base every subsequent delta is encoded against.
+struct SnapshotWatermark {
+  uint32_t revisions_ingested = 0;
+  /// Indexed by extract::ObjectType order: table, infobox, list.
+  TypeWatermark types[3];
+};
+
+/// Reads the watermark off a live state (what SavePageSnapshot or
+/// SavePageDelta of this state would become the base of).
+SnapshotWatermark CaptureWatermark(const PageState& state);
+
+/// Serializes only what changed in `state` since `base`: new token-pool
+/// spellings, touched/new tracked objects with their version-chain
+/// tails and full rear-view windows, match-stat scalars plus the
+/// step-timing tail, and the new history entries. Same container
+/// framing as SavePageSnapshot under magic "SOMRDELT". Returns
+/// InvalidArgument when `state` is not a descendant of `base` (counts
+/// ran backwards) — the caller should write a full snapshot instead.
+Status SavePageDelta(const PageState& state, const SnapshotWatermark& base,
+                     std::ostream& out);
+
+/// Replays a delta written by SavePageDelta onto `*state`, which must
+/// be exactly the base the delta was encoded against (enforced via the
+/// encoded base counts; mismatch is ParseError). After a successful
+/// apply, `*state` is byte-identical — SavePageSnapshot-equal — to the
+/// state the delta was saved from. On error `*state` may be partially
+/// mutated and must be discarded.
+Status ApplyPageDelta(std::istream& in,
+                      const matching::MatcherConfig& config,
+                      PageState* state);
+
 }  // namespace somr::state

@@ -12,7 +12,8 @@ namespace somr::state {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'O', 'M', 'R', 'S', 'N', 'A', 'P'};
-constexpr uint32_t kFormatVersion = 2;  // keep in sync with snapshot.cc
+constexpr char kDeltaMagic[8] = {'S', 'O', 'M', 'R', 'D', 'E', 'L', 'T'};
+constexpr uint32_t kFormatVersion = 3;  // keep in sync with snapshot.cc
 
 }  // namespace
 
@@ -20,12 +21,21 @@ void ValidateSnapshotBytes(std::string_view bytes,
                            const matching::MatcherConfig* expected_config,
                            ValidationReport* report) {
   ByteReader r(bytes);
-  for (char expected : kMagic) {
+  // Full snapshots and delta records share the container layout; only
+  // the magic differs.
+  bool full = true, delta = true;
+  for (size_t i = 0; i < sizeof(kMagic); ++i) {
     uint8_t byte = 0;
-    if (!r.U8(&byte).ok() || byte != static_cast<uint8_t>(expected)) {
+    if (!r.U8(&byte).ok()) {
       report->AddIssue("snapshot") << "bad magic (not a somr snapshot)";
       return;
     }
+    full = full && byte == static_cast<uint8_t>(kMagic[i]);
+    delta = delta && byte == static_cast<uint8_t>(kDeltaMagic[i]);
+  }
+  if (!full && !delta) {
+    report->AddIssue("snapshot") << "bad magic (not a somr snapshot)";
+    return;
   }
   uint32_t version = 0;
   if (!r.U32(&version).ok()) {

@@ -1,0 +1,10 @@
+// Fixture: seeded regex-in-hot-path violations (include + use). The
+// path contains src/state, where record-log replay and index parsing
+// run on every checkpoint and fault — they must stay on hand-rolled
+// scanners.
+#include <regex>
+
+bool LooksLikeShardName(const std::string& name) {
+  static const std::regex kShard("records-[0-9]{4}-g[0-9]{6}\\.rec");
+  return std::regex_match(name, kShard);
+}

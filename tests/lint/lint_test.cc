@@ -80,6 +80,13 @@ TEST(LintFixtureTest, RegexInHotPathCoversServe) {
   EXPECT_GE(CountRule(r, "regex-in-hot-path"), 2u);  // include + use
 }
 
+TEST(LintFixtureTest, RegexInHotPathCoversState) {
+  // Record-log replay and index parsing run on every checkpoint and
+  // fault, so src/state is in scope too.
+  LintResult r = LintFixture("src/state/uses_regex.cc");
+  EXPECT_GE(CountRule(r, "regex-in-hot-path"), 2u);  // include + use
+}
+
 TEST(LintFixtureTest, RegexRuleIsPathScoped) {
   // The same content outside src/matching//src/sim is allowed.
   std::string content = ReadFixture("src/matching/uses_regex.cc");

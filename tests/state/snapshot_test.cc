@@ -215,6 +215,182 @@ TEST(SnapshotTest, FailedLoadLeavesStateUntouched) {
   EXPECT_EQ(state.title, "sentinel");  // no partial restore
 }
 
+// Applies revisions [state.revisions_ingested, limit) of `page`.
+void ExtendState(PageState& state, const xmldump::PageHistory& page,
+                 size_t limit) {
+  for (size_t r = state.revisions_ingested;
+       r < page.revisions.size() && r < limit; ++r) {
+    extract::PageObjects objects =
+        extract::ExtractFromWikitextSource(page.revisions[r].text);
+    state.matcher.ProcessRevision(
+        static_cast<int>(state.revisions_ingested), objects);
+    state.revisions.push_back(std::move(objects));
+    state.timestamps.push_back(page.revisions[r].timestamp);
+    state.last_revision_id = page.revisions[r].id;
+    state.last_timestamp = page.revisions[r].timestamp;
+    ++state.revisions_ingested;
+  }
+}
+
+std::string Delta(const PageState& state, const SnapshotWatermark& base) {
+  std::ostringstream out;
+  Status status = SavePageDelta(state, base, out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out.str();
+}
+
+TEST(DeltaSnapshotTest, SingleDeltaReplayIsByteIdentical) {
+  xmldump::PageHistory page = SamplePage();
+  const size_t half = page.revisions.size() / 2;
+
+  PageState state = StateFromPage(page, half);
+  const std::string base_bytes = Snapshot(state);
+  const SnapshotWatermark base = CaptureWatermark(state);
+  ExtendState(state, page, page.revisions.size());
+  const std::string delta_bytes = Delta(state, base);
+
+  // Replay: full snapshot of the base, then the delta.
+  std::istringstream base_in(base_bytes);
+  PageState replayed;
+  ASSERT_TRUE(
+      LoadPageSnapshot(base_in, matching::MatcherConfig{}, &replayed).ok());
+  std::istringstream delta_in(delta_bytes);
+  Status applied =
+      ApplyPageDelta(delta_in, matching::MatcherConfig{}, &replayed);
+  ASSERT_TRUE(applied.ok()) << applied.ToString();
+
+  EXPECT_EQ(Snapshot(replayed), Snapshot(state));
+}
+
+TEST(DeltaSnapshotTest, DeltaIsMuchSmallerThanFullSnapshot) {
+  xmldump::PageHistory page = SamplePage();
+  PageState state = StateFromPage(page, page.revisions.size() - 1);
+  const SnapshotWatermark base = CaptureWatermark(state);
+  ExtendState(state, page, page.revisions.size());
+
+  const std::string full = Snapshot(state);
+  const std::string delta = Delta(state, base);
+  // One revision's worth of change vs the whole history: the entire
+  // point of delta checkpoints.
+  EXPECT_LT(delta.size() * 2, full.size())
+      << "delta " << delta.size() << "B vs full " << full.size() << "B";
+}
+
+TEST(DeltaSnapshotTest, EmptyDeltaReplaysToSameState) {
+  PageState state = StateFromPage(SamplePage());
+  const SnapshotWatermark base = CaptureWatermark(state);
+  const std::string delta_bytes = Delta(state, base);  // nothing changed
+
+  std::istringstream full_in(Snapshot(state));
+  PageState replayed;
+  ASSERT_TRUE(
+      LoadPageSnapshot(full_in, matching::MatcherConfig{}, &replayed).ok());
+  std::istringstream delta_in(delta_bytes);
+  ASSERT_TRUE(
+      ApplyPageDelta(delta_in, matching::MatcherConfig{}, &replayed).ok());
+  EXPECT_EQ(Snapshot(replayed), Snapshot(state));
+}
+
+// The acceptance bar: a chain of deltas over randomized page histories,
+// one corpus per focal object type, replays to the exact bytes a direct
+// full snapshot produces — at every intermediate checkpoint.
+TEST(DeltaSnapshotTest, RandomizedChainReplayMatchesDirectSnapshot) {
+  for (extract::ObjectType focal :
+       {extract::ObjectType::kTable, extract::ObjectType::kInfobox,
+        extract::ObjectType::kList}) {
+    for (unsigned seed : {11u, 47u}) {
+      wikigen::CorpusConfig config = TinyConfig();
+      config.focal_type = focal;
+      config.seed = seed;
+      xmldump::Dump dump =
+          wikigen::CorpusToDump(wikigen::GenerateGoldCorpus(config));
+      const xmldump::PageHistory& page = dump.pages[0];
+      const size_t n = page.revisions.size();
+      // Checkpoints: anchor at ~1/4, then three delta saves.
+      const size_t marks[] = {n / 4, n / 2, 3 * n / 4, n};
+
+      PageState state = StateFromPage(page, marks[0]);
+      std::istringstream anchor_in(Snapshot(state));
+      PageState replayed;
+      ASSERT_TRUE(LoadPageSnapshot(anchor_in, matching::MatcherConfig{},
+                                   &replayed)
+                      .ok());
+      for (size_t m = 1; m < 4; ++m) {
+        const SnapshotWatermark base = CaptureWatermark(state);
+        ExtendState(state, page, marks[m]);
+        std::istringstream delta_in(Delta(state, base));
+        Status applied =
+            ApplyPageDelta(delta_in, matching::MatcherConfig{}, &replayed);
+        ASSERT_TRUE(applied.ok())
+            << applied.ToString() << " (focal " << static_cast<int>(focal)
+            << " seed " << seed << " mark " << m << ")";
+        ASSERT_EQ(Snapshot(replayed), Snapshot(state))
+            << "focal " << static_cast<int>(focal) << " seed " << seed
+            << " diverged at mark " << m;
+      }
+    }
+  }
+}
+
+TEST(DeltaSnapshotTest, NonDescendantBaseIsInvalidArgument) {
+  xmldump::PageHistory page = SamplePage();
+  PageState full = StateFromPage(page);
+  PageState half = StateFromPage(page, page.revisions.size() / 2);
+  // Base "ahead" of the state: counts would run backwards.
+  const SnapshotWatermark base = CaptureWatermark(full);
+  std::ostringstream out;
+  EXPECT_EQ(SavePageDelta(half, base, out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaSnapshotTest, DeltaOnWrongBaseIsParseError) {
+  xmldump::PageHistory page = SamplePage();
+  const size_t half = page.revisions.size() / 2;
+  PageState state = StateFromPage(page, half);
+  const SnapshotWatermark base = CaptureWatermark(state);
+  ExtendState(state, page, page.revisions.size());
+  const std::string delta_bytes = Delta(state, base);
+
+  // Applying to a fresh (empty) state, not the base: refused.
+  PageState not_base;
+  not_base.title = state.title;
+  std::istringstream in(delta_bytes);
+  Status status =
+      ApplyPageDelta(in, matching::MatcherConfig{}, &not_base);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+}
+
+TEST(DeltaSnapshotTest, RejectsDeltaCorruptionEverywhere) {
+  xmldump::PageHistory page = SamplePage();
+  const size_t half = page.revisions.size() / 2;
+  PageState state = StateFromPage(page, half);
+  const std::string base_bytes = Snapshot(state);
+  const SnapshotWatermark base = CaptureWatermark(state);
+  ExtendState(state, page, page.revisions.size());
+  const std::string delta_bytes = Delta(state, base);
+  const std::string want = Snapshot(state);
+
+  const size_t stride = delta_bytes.size() / 53 + 1;
+  for (size_t pos = 0; pos < delta_bytes.size(); pos += stride) {
+    std::string corrupt = delta_bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x41);
+    // A failed apply may leave the base partially mutated; rebuild it
+    // from the anchor snapshot for every flip.
+    std::istringstream base_in(base_bytes);
+    PageState replayed;
+    ASSERT_TRUE(LoadPageSnapshot(base_in, matching::MatcherConfig{},
+                                 &replayed)
+                    .ok());
+    std::istringstream in(corrupt);
+    Status status =
+        ApplyPageDelta(in, matching::MatcherConfig{}, &replayed);
+    if (status.ok()) {
+      // The flip must at minimum never silently yield the wrong state.
+      EXPECT_EQ(Snapshot(replayed), want) << "flip at byte " << pos;
+    }
+  }
+}
+
 TEST(ConfigFingerprintTest, StableAndSensitive) {
   matching::MatcherConfig a, b;
   EXPECT_EQ(ConfigFingerprint(a), ConfigFingerprint(b));

@@ -127,7 +127,8 @@ void CheckRegexInHotPath(const SourceFile& file,
                          std::vector<Diagnostic>* out) {
   if (!PathContains(file, "src/matching") && !PathContains(file, "src/sim") &&
       !PathContains(file, "src/retrieval") &&
-      !PathContains(file, "src/serve")) {
+      !PathContains(file, "src/serve") &&
+      !PathContains(file, "src/state")) {
     return;
   }
   for (size_t l = 0; l < file.code_lines().size(); ++l) {
@@ -418,7 +419,7 @@ const std::vector<Rule>& Rules() {
        CheckBannedNewArray, nullptr},
       {"regex-in-hot-path",
        "std::regex or <regex> under src/matching, src/sim, src/retrieval, "
-       "or src/serve",
+       "src/serve, or src/state",
        CheckRegexInHotPath, nullptr},
       {"raw-stderr-log",
        "fprintf(stderr, ...) under src/serve or src/state (use "

@@ -1,6 +1,7 @@
 // somr_ingest — checkpointed incremental ingestion: feed MediaWiki dump
 // XML (full dumps or append-only revision feeds) into a durable context
-// store, one snapshot per page, resumable at any revision boundary.
+// store (one record chain per page in a sharded append-only log),
+// resumable at any revision boundary.
 //
 //   somr_ingest --state-dir=/var/somr init first-dump.xml --threads=8
 //   somr_ingest --state-dir=/var/somr append todays-feed.xml
@@ -69,6 +70,9 @@ int RunIngest(state::ContextStore& store, const FlagParser& flags,
   if (threads > 1) {
     pool.emplace(threads);
     pipeline.set_executor(&*pool);
+    // Record-log compactions triggered by the end-of-dump commit run on
+    // the same pool the pages did.
+    store.set_executor(&*pool);
   }
 
   StatusOr<state::IngestReport> report =
@@ -103,6 +107,8 @@ int RunIngest(state::ContextStore& store, const FlagParser& flags,
     }
   }
 
+  // Detach before `pool` leaves scope (waits for in-flight compactions).
+  if (pool.has_value()) store.set_executor(nullptr);
   if (Status status = obs.Finish(); !status.ok()) return Fail(status);
   if (!report.ok()) return Fail(report.status());
   std::printf("%s: %zu pages, %zu new revisions, %zu already ingested\n",
@@ -114,13 +120,15 @@ int RunIngest(state::ContextStore& store, const FlagParser& flags,
 int RunStatus(const state::ContextStore& store, const FlagParser& flags) {
   std::vector<state::ContextStore::PageInfo> pages = store.Pages();
   const bool metrics = flags.GetBool("metrics");
-  std::printf("%-40s %10s %12s  %s\n", "page", "revisions", "last rev id",
-              "last timestamp");
+  std::printf("%-40s %10s %12s  %-20s %6s %6s %10s\n", "page", "revisions",
+              "last rev id", "last timestamp", "shard", "deltas", "chain B");
   for (const auto& info : pages) {
-    std::printf("%-40.40s %10u %12lld  %s\n", info.title.c_str(),
-                info.revisions_ingested,
+    std::printf("%-40.40s %10u %12lld  %-20s %6u %6u %10llu\n",
+                info.title.c_str(), info.revisions_ingested,
                 static_cast<long long>(info.last_revision_id),
-                FormatIso8601(info.last_timestamp).c_str());
+                FormatIso8601(info.last_timestamp).c_str(), info.shard,
+                info.delta_depth,
+                static_cast<unsigned long long>(info.chain_bytes));
     if (!metrics) continue;
     // Per-context matcher accounting, summed over the three object types
     // and restored from the stored snapshot (survives process restarts).
@@ -149,7 +157,34 @@ int RunStatus(const state::ContextStore& store, const FlagParser& flags) {
         Percentile(total.step_millis, 0.50),
         Percentile(total.step_millis, 0.95));
   }
+  // Store shape: how the record log is laid out on disk and how much of
+  // it is superseded bytes waiting for (or below the threshold of)
+  // compaction.
+  const state::ContextStore::StoreStats stats = store.Stats();
   std::printf("%zu pages in %s\n", pages.size(), store.dir().c_str());
+  std::printf("record log: %zu shards, %llu bytes (%llu live, %llu "
+              "superseded), max delta depth %llu\n",
+              stats.shards.size(),
+              static_cast<unsigned long long>(stats.size_bytes),
+              static_cast<unsigned long long>(stats.live_bytes),
+              static_cast<unsigned long long>(stats.superseded_bytes),
+              static_cast<unsigned long long>(stats.max_delta_depth));
+  for (const state::ShardStats& shard : stats.shards) {
+    std::printf("  shard %03u: %8llu bytes  %8llu live  %8llu superseded  "
+                "%4llu records  %llu compactions%s%s\n",
+                shard.shard,
+                static_cast<unsigned long long>(shard.size_bytes),
+                static_cast<unsigned long long>(shard.live_bytes),
+                static_cast<unsigned long long>(shard.superseded_bytes),
+                static_cast<unsigned long long>(shard.records),
+                static_cast<unsigned long long>(shard.compactions),
+                shard.compactions > 0 ? ", last " : "",
+                shard.compactions > 0
+                    ? FormatIso8601(static_cast<UnixSeconds>(
+                                        shard.last_compaction_unix))
+                          .c_str()
+                    : "");
+  }
   return 0;
 }
 
@@ -217,6 +252,12 @@ int main(int argc, char** argv) {
   flags.AddString("cube-format", "csv", "export: cube format csv | jsonl");
   flags.AddBool("metrics", false,
                 "status: print per-context matcher accounting");
+  flags.AddInt("full-snapshot-every", 8,
+               "store: re-anchor a context's record chain with a full "
+               "snapshot every N checkpoints (1 disables deltas)");
+  flags.AddDouble("compact-ratio", 0.5,
+                  "store: compact a record-log shard once superseded "
+                  "bytes exceed this fraction of the file");
   flags.AddBool("help", false, "show this help");
   obs::CliObservability::AddFlags(flags);
 
@@ -246,7 +287,14 @@ int main(int argc, char** argv) {
   }
 
   const std::string& command = flags.Positional()[0];
-  state::ContextStore store(flags.GetString("state-dir"));
+  state::StoreOptions store_options;
+  const int64_t cadence = flags.GetInt("full-snapshot-every");
+  store_options.full_snapshot_every =
+      cadence > 0 ? static_cast<uint32_t>(cadence) : 1;
+  const double ratio = flags.GetDouble("compact-ratio");
+  if (ratio > 0.0) store_options.compact_ratio = ratio;
+  state::ContextStore store(flags.GetString("state-dir"), {},
+                            store_options);
 
   if (command == "init") {
     Status status = store.Open(/*create=*/true);

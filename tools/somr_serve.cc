@@ -82,9 +82,17 @@ int RunServe(state::ContextStore& store, const FlagParser& flags) {
 
   // Crash dumps (trace ring + metrics) land next to the context store by
   // default, so a wedged daemon leaves evidence where its state lives.
+  // The store's record-log shape (per-shard live/superseded bytes,
+  // pending compactions) rides along as its own dump section — the
+  // first question after a storage crash is what compaction was doing.
   std::string flight_dir = flags.GetString("flight-dir");
   if (flight_dir.empty()) flight_dir = flags.GetString("state-dir");
-  if (flight_dir != "none") obs::InstallFlightRecorder(flight_dir);
+  if (flight_dir != "none") {
+    obs::InstallFlightRecorder(flight_dir);
+    state::ContextStore* raw_store = &store;
+    obs::AddFlightRecorderSection(
+        "storage", [raw_store] { return raw_store->StatsJson(); });
+  }
 
   serve::Server server(&store, options);
   if (Status status = server.Start(); !status.ok()) return Fail(status);
@@ -108,6 +116,9 @@ int RunServe(state::ContextStore& store, const FlagParser& flags) {
 
   Status status = server.Serve();
   g_server = nullptr;
+  // The store may outlive this frame's dump usefulness but not the
+  // process; drop the section so a late crash can't touch a dead store.
+  obs::AddFlightRecorderSection("storage", nullptr);
   if (!status.ok()) return Fail(status);
   std::printf("somr_serve: drained and checkpointed, bye\n");
   return 0;
@@ -224,6 +235,12 @@ int main(int argc, char** argv) {
   flags.AddString("flight-dir", "",
                   "run: crash-dump directory for the flight recorder "
                   "(default: --state-dir; \"none\" disables)");
+  flags.AddInt("full-snapshot-every", 8,
+               "store: re-anchor a context's record chain with a full "
+               "snapshot every N checkpoints (1 disables deltas)");
+  flags.AddDouble("compact-ratio", 0.5,
+                  "store: compact a record-log shard once superseded "
+                  "bytes exceed this fraction of the file");
   flags.AddDouble("slo-threshold", 0.5,
                   "run: request latency (seconds) counted as an SLO "
                   "violation (<= 0 disables)");
@@ -262,7 +279,14 @@ int main(int argc, char** argv) {
     }
     obs::CliObservability obs;
     if (Status status = obs.Init(flags); !status.ok()) return Fail(status);
-    state::ContextStore store(flags.GetString("state-dir"));
+    state::StoreOptions store_options;
+    const int64_t cadence = flags.GetInt("full-snapshot-every");
+    store_options.full_snapshot_every =
+        cadence > 0 ? static_cast<uint32_t>(cadence) : 1;
+    const double ratio = flags.GetDouble("compact-ratio");
+    if (ratio > 0.0) store_options.compact_ratio = ratio;
+    state::ContextStore store(flags.GetString("state-dir"), {},
+                              store_options);
     if (Status status = store.Open(/*create=*/true); !status.ok()) {
       return Fail(status);
     }
