@@ -6,9 +6,10 @@
 # and intra-step wall times at 1/2/4/8 workers, with the machine's
 # hardware_concurrency recorded alongside) and the candidate-generation
 # sweep (swept vs retrieval-index matching step at 10..10000 tracked
-# objects, merged under ns_per_op.candidate_gen). Compare the file across
-# commits to catch hot-path regressions — the observability layer must
-# stay within 2% when disabled.
+# objects, merged under ns_per_op.candidate_gen), and the somr_lint
+# analysis-pass full-tree runtime (ns_per_op.lint_analysis). Compare the
+# file across commits to catch hot-path regressions — the observability
+# layer must stay within 2% when disabled.
 #
 #   scripts/bench.sh             # build + run, writes ./BENCH_matching.json
 #   JOBS=8 scripts/bench.sh      # override build parallelism
@@ -20,11 +21,13 @@ export CMAKE_BUILD_PARALLEL_LEVEL="$JOBS"
 
 cmake --preset release
 cmake --build --preset release --target bench_micro_kernels \
-  bench_parallel_scaling bench_retrieval_index
-# Order matters: bench_micro_kernels writes the file fresh, the other two
+  bench_parallel_scaling bench_retrieval_index bench_lint_analysis
+# Order matters: bench_micro_kernels writes the file fresh, the others
 # merge their sections ("parallel_scaling" at the top level, then
-# "candidate_gen" inside "ns_per_op") into the existing report.
+# "candidate_gen" and "lint_analysis" inside "ns_per_op") into the
+# existing report.
 build/release/bench/bench_micro_kernels --json BENCH_matching.json
 build/release/bench/bench_parallel_scaling --json BENCH_matching.json
 build/release/bench/bench_retrieval_index --json BENCH_matching.json
+build/release/bench/bench_lint_analysis --json BENCH_matching.json
 echo "==> wrote BENCH_matching.json"

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Tier-1 verification in one invocation: static analysis first (the
-# project linter, header self-sufficiency TUs, clang-tidy and
-# clang-format when installed), then configure + build + ctest for the
+# project linter, header self-sufficiency TUs, clang-tidy,
+# clang-format and clang thread-safety analysis when installed), then
+# configure + build + ctest for the
 # release preset, again under AddressSanitizer/UBSan, once more with
 # tracing compiled in plus the end-to-end observability and serving
 # smoke tests (`somr_process --demo` with trace/metrics/provenance
@@ -30,6 +31,7 @@ for preset in $presets; do
     # message when its binary is not installed.
     scripts/format.sh --check
     scripts/tidy.sh build/lint
+    scripts/clang_tsa.sh
   fi
 done
 echo "==> verify OK ($presets)"

@@ -1,0 +1,70 @@
+#pragma once
+
+// Thread-safety annotations (DESIGN.md §16). SOMR_GUARDED_BY(m) and
+// friends document which mutex protects which member and which locks a
+// function expects held. Two independent checkers consume them:
+//
+//  1. somr_lint's analysis passes (tools/lint/analysis/) parse the
+//     macros textually and enforce lock discipline, lock-order
+//     acyclicity, and annotation coverage on every build — no compiler
+//     support needed.
+//  2. Under clang with -DSOMR_THREAD_SAFETY_ANALYSIS (the clang-tsa
+//     verify step, scripts/clang_tsa.sh), the macros expand to clang's
+//     thread-safety attributes so -Wthread-safety checks them too.
+//
+// The clang expansion is opt-in rather than keyed on __clang__ alone
+// because libstdc++'s std::mutex is not declared as a TSA capability:
+// annotating members with it draws -Wthread-safety-attributes noise and
+// the analysis cannot see std::lock_guard acquisitions unless libc++ is
+// used with _LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS. clang_tsa.sh
+// arranges the right flags; every other build sees empty macros.
+//
+// Conventions (README "Static analysis & contracts"):
+//  - Every member written or read under a mutex carries
+//    SOMR_GUARDED_BY(that_mutex), placed after the declarator name.
+//  - Members a mutex-holding class deliberately leaves unguarded
+//    (ctor-init-only config, internally synchronized sub-objects,
+//    lock-free rings) carry SOMR_NOT_GUARDED plus a comment saying why.
+//  - Private helpers that assume a lock is already held are suffixed
+//    `Locked` and declared with SOMR_REQUIRES(mu_).
+
+#if defined(__clang__) && defined(SOMR_THREAD_SAFETY_ANALYSIS)
+#define SOMR_TSA_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SOMR_TSA_ATTRIBUTE(x)
+#endif
+
+/// Member may only be read or written while holding `m`.
+#define SOMR_GUARDED_BY(m) SOMR_TSA_ATTRIBUTE(guarded_by(m))
+
+/// Pointer member: the pointee (not the pointer) is protected by `m`.
+#define SOMR_PT_GUARDED_BY(m) SOMR_TSA_ATTRIBUTE(pt_guarded_by(m))
+
+/// Function must be called with the listed mutexes held exclusively.
+#define SOMR_REQUIRES(...) \
+  SOMR_TSA_ATTRIBUTE(exclusive_locks_required(__VA_ARGS__))
+
+/// Function must be called with the listed mutexes held (shared mode).
+#define SOMR_REQUIRES_SHARED(...) \
+  SOMR_TSA_ATTRIBUTE(shared_locks_required(__VA_ARGS__))
+
+/// Function must be called with the listed mutexes NOT held.
+#define SOMR_EXCLUDES(...) SOMR_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the listed mutexes and returns with them held.
+#define SOMR_ACQUIRE(...) \
+  SOMR_TSA_ATTRIBUTE(exclusive_lock_function(__VA_ARGS__))
+
+/// Function releases the listed mutexes.
+#define SOMR_RELEASE(...) SOMR_TSA_ATTRIBUTE(unlock_function(__VA_ARGS__))
+
+/// Escape hatch: function is exempt from thread-safety analysis.
+#define SOMR_NO_THREAD_SAFETY_ANALYSIS \
+  SOMR_TSA_ATTRIBUTE(no_thread_safety_analysis)
+
+/// Intent marker (expands to nothing everywhere): a member of a
+/// mutex-holding class that is deliberately NOT guarded by any lock —
+/// set before threads start, internally synchronized, atomic-adjacent,
+/// or synchronized by a join/happens-before edge. Satisfies the
+/// annotation-coverage lint pass; pair it with a comment saying why.
+#define SOMR_NOT_GUARDED

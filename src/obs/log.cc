@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/thread_annotations.h"
+
 #include "obs/trace.h"
 
 namespace somr::obs {
@@ -13,7 +15,8 @@ namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 
 std::mutex g_sink_mu;
-std::function<void(const std::string&)> g_sink;  // empty = stderr
+// empty = stderr
+std::function<void(const std::string&)> g_sink SOMR_GUARDED_BY(g_sink_mu);
 
 int64_t WallNowSeconds() {
   return std::chrono::duration_cast<std::chrono::seconds>(

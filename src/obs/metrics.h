@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace somr::obs {
 
@@ -182,18 +183,21 @@ class MetricsRegistry {
 
   MetricsRegistry() = default;
 
-  uint64_t SumU64Locked(uint32_t cell) const;
-  double SumF64Locked(uint32_t cell) const;
+  uint64_t SumU64Locked(uint32_t cell) const SOMR_REQUIRES(mu_);
+  double SumF64Locked(uint32_t cell) const SOMR_REQUIRES(mu_);
 
   mutable std::mutex mu_;
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::vector<internal::MetricShard*> live_shards_;
-  internal::MetricShard retired_;  // merged cells of exited threads
-  uint32_t next_u64_cell_ = 1;     // cell 0 is the overflow scratch sink
-  uint32_t next_f64_cell_ = 1;
-  bool budget_warning_emitted_ = false;
+  std::deque<Counter> counters_ SOMR_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ SOMR_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ SOMR_GUARDED_BY(mu_);
+  std::vector<internal::MetricShard*> live_shards_ SOMR_GUARDED_BY(mu_);
+  // Merged cells of exited threads. The cells are atomics, but the
+  // struct is only reached under mu_ (retire fold + locked sums).
+  internal::MetricShard retired_ SOMR_GUARDED_BY(mu_);
+  uint32_t next_u64_cell_ SOMR_GUARDED_BY(mu_) = 1;  // cell 0 is the
+                                                     // overflow sink
+  uint32_t next_f64_cell_ SOMR_GUARDED_BY(mu_) = 1;
+  bool budget_warning_emitted_ SOMR_GUARDED_BY(mu_) = false;
 };
 
 /// Prometheus-style text exposition of a snapshot.

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <string>
 
+#include "common/thread_annotations.h"
+
 namespace somr::obs {
 
 /// One match-decision record: why an incoming instance was (or was not)
@@ -80,8 +82,8 @@ class JsonlProvenanceWriter : public ProvenanceSink {
  private:
   mutable std::mutex mu_;
   std::ostream& out_;
-  size_t records_ = 0;
-  size_t match_records_ = 0;
+  size_t records_ SOMR_GUARDED_BY(mu_) = 0;
+  size_t match_records_ SOMR_GUARDED_BY(mu_) = 0;
 };
 
 /// Renders one decision as a single-line JSON object (no newline).

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace somr::obs {
 
 /// Nanoseconds since the process-wide trace epoch (steady clock).
@@ -99,7 +101,10 @@ class TraceRecorder {
   TraceRecorder() = default;
 
   mutable std::mutex mu_;  // guards resize (Enable/Clear) only
-  std::vector<TraceEvent> ring_;
+  // Deliberately lock-free: writers claim slots via next_ and store
+  // into ring_ without mu_ (torn reads during export are documented
+  // above). mu_ only serialises resizes against each other.
+  std::vector<TraceEvent> ring_ SOMR_NOT_GUARDED;
   std::atomic<uint64_t> next_{0};
 };
 

@@ -22,6 +22,8 @@ WindowedHistogram::WindowedHistogram(double first_bound, double growth,
       bucket_count_(bucket_count == 0 ? 1 : bucket_count),
       slo_threshold_(slo_threshold),
       sub_window_seconds_(sub_window_seconds < 1 ? 1 : sub_window_seconds),
+      span_seconds_(sub_window_seconds_ *
+                    static_cast<int64_t>(sub_windows == 0 ? 1 : sub_windows)),
       slots_(sub_windows == 0 ? 1 : sub_windows) {
   for (Slot& slot : slots_) slot.buckets.assign(bucket_count_ + 2, 0);
 }
@@ -70,12 +72,12 @@ WindowStats WindowedHistogram::StatsOverAt(int64_t horizon_seconds,
   const int64_t now_epoch = now_s / sub_window_seconds_;
   int64_t epochs = (horizon_seconds + sub_window_seconds_ - 1) /
                    sub_window_seconds_;
-  epochs = std::min<int64_t>(std::max<int64_t>(epochs, 1),
-                             static_cast<int64_t>(slots_.size()));
 
   WindowStats stats;
   std::vector<uint64_t> merged(bucket_count_ + 2, 0);
   std::lock_guard<std::mutex> lock(mu_);
+  epochs = std::min<int64_t>(std::max<int64_t>(epochs, 1),
+                             static_cast<int64_t>(slots_.size()));
   for (int64_t back = 0; back < epochs; ++back) {
     const int64_t epoch = now_epoch - back;
     if (epoch < 0) break;

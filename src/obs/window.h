@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace somr::obs {
 
 /// Percentile summary over a rolling time window, merged from the
@@ -53,10 +55,9 @@ class WindowedHistogram {
   WindowStats StatsOverAt(int64_t horizon_seconds, int64_t now_s) const;
 
   double slo_threshold() const { return slo_threshold_; }
-  /// Longest horizon the ring can answer, in seconds.
-  int64_t span_seconds() const {
-    return sub_window_seconds_ * static_cast<int64_t>(slots_.size());
-  }
+  /// Longest horizon the ring can answer, in seconds. Fixed at
+  /// construction, so reading it never needs the mutex.
+  int64_t span_seconds() const { return span_seconds_; }
 
   static constexpr int64_t kDefaultSubWindowSeconds = 5;
   static constexpr size_t kDefaultSubWindows = 60;  // 5 min span
@@ -78,9 +79,10 @@ class WindowedHistogram {
   const size_t bucket_count_;
   const double slo_threshold_;
   const int64_t sub_window_seconds_;
+  const int64_t span_seconds_;  // sub_window_seconds_ * ring length
 
   mutable std::mutex mu_;
-  std::vector<Slot> slots_;
+  std::vector<Slot> slots_ SOMR_GUARDED_BY(mu_);
 };
 
 /// Named registry of windowed histograms, one per endpoint. Separate
@@ -109,7 +111,8 @@ class WindowRegistry {
   WindowRegistry() = default;
 
   mutable std::mutex mu_;
-  std::vector<std::pair<std::string, WindowedHistogram*>> histograms_;
+  std::vector<std::pair<std::string, WindowedHistogram*>> histograms_
+      SOMR_GUARDED_BY(mu_);
 };
 
 /// Seconds on the steady clock — the time scale WindowedHistogram's

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -60,12 +61,12 @@ uint64_t NextSeed(std::atomic<uint64_t>& seed) {
 // Shared state of one ParallelFor call; lives on the caller's stack (the
 // call blocks until pending hits zero, so chunk tasks never outlive it).
 struct ParallelForState {
-  internal::ChunkFnRef fn;
+  const internal::ChunkFnRef fn;  // immutable; called concurrently
   std::atomic<size_t> pending;
   std::mutex mu;
   std::condition_variable cv;
-  std::exception_ptr first_error;
-  bool done = false;  // set under mu by the last finisher
+  std::exception_ptr first_error SOMR_GUARDED_BY(mu);
+  bool done SOMR_GUARDED_BY(mu) = false;  // set by the last finisher
 
   explicit ParallelForState(internal::ChunkFnRef f, size_t chunks)
       : fn(f), pending(chunks) {}
@@ -281,13 +282,17 @@ void Executor::ParallelFor(size_t begin, size_t end, size_t grain,
       return state.pending.load(std::memory_order_acquire) == 0;
     });
   }
+  std::exception_ptr first_error;
   {
     // `state` lives on this frame: wait for the last finisher to leave
     // its critical section before the state (mutex, cv) is destroyed.
+    // first_error is read under the same lock — the unsynchronized read
+    // it replaces was benign only through the acquire on `pending`.
     std::unique_lock<std::mutex> lock(state.mu);
     state.cv.wait(lock, [&] { return state.done; });
+    first_error = state.first_error;
   }
-  if (state.first_error) std::rethrow_exception(state.first_error);
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 // --- Submit -------------------------------------------------------------

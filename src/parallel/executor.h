@@ -12,6 +12,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "parallel/work_stealing_deque.h"
 
 namespace somr::parallel {
@@ -150,18 +151,20 @@ class Executor {
 
   void Wake(size_t n);
 
-  std::vector<std::unique_ptr<Worker>> workers_;
+  // Immutable after the constructor returns (threads join in the
+  // destructor); the deques inside are their own concurrent structures.
+  std::vector<std::unique_ptr<Worker>> workers_ SOMR_NOT_GUARDED;
 
   std::mutex injector_mu_;
-  std::deque<internal::Task*> injector_;
+  std::deque<internal::Task*> injector_ SOMR_GUARDED_BY(injector_mu_);
 
   // Parking: persistent wake signals (a counting semaphore guarded by
   // park_mu_) so a Wake that lands between a worker's last empty scan
   // and its wait can never be lost.
   std::mutex park_mu_;
   std::condition_variable park_cv_;
-  size_t wake_signals_ = 0;
-  bool shutdown_ = false;
+  size_t wake_signals_ SOMR_GUARDED_BY(park_mu_) = 0;
+  bool shutdown_ SOMR_GUARDED_BY(park_mu_) = false;
   std::atomic<unsigned> parked_{0};
 
   // Tasks pushed but not yet finished; the destructor drains to zero
@@ -194,12 +197,14 @@ class TaskGroup {
   std::atomic<size_t> pending_{0};
   std::mutex mu_;
   std::condition_variable cv_;
-  std::exception_ptr first_error_;
-  // Guarded by mu_: Wait() returns only once completed_ == submitted_,
-  // which synchronizes group destruction with the last job's notify.
-  size_t submitted_ = 0;
-  size_t completed_ = 0;
-  bool waited_ = false;
+  std::exception_ptr first_error_ SOMR_GUARDED_BY(mu_);
+  // Wait() returns only once completed_ == submitted_, which
+  // synchronizes group destruction with the last job's notify.
+  size_t submitted_ SOMR_GUARDED_BY(mu_) = 0;
+  size_t completed_ SOMR_GUARDED_BY(mu_) = 0;
+  // Touched only by the owning thread (Run/Wait/dtor are not
+  // concurrent with each other by contract).
+  bool waited_ SOMR_NOT_GUARDED = false;
 };
 
 }  // namespace somr::parallel

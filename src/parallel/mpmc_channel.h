@@ -6,6 +6,8 @@
 #include <mutex>
 #include <utility>
 
+#include "common/thread_annotations.h"
+
 namespace somr::parallel {
 
 /// Bounded multi-producer / multi-consumer channel: the hand-off
@@ -76,8 +78,8 @@ class Channel {
   mutable std::mutex mu_;
   std::condition_variable can_push_;
   std::condition_variable can_pop_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  std::deque<T> items_ SOMR_GUARDED_BY(mu_);
+  bool closed_ SOMR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace somr::parallel

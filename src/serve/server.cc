@@ -703,8 +703,8 @@ HttpResponse Server::OnShard(const std::string& id,
   struct Waiter {
     std::mutex mu;
     std::condition_variable cv;
-    bool done = false;
-    HttpResponse response;
+    bool done SOMR_GUARDED_BY(mu) = false;
+    HttpResponse response SOMR_GUARDED_BY(mu);
   };
   auto waiter = std::make_shared<Waiter>();
   ContextCache* cache = shard.cache.get();
@@ -886,13 +886,13 @@ HttpResponse Server::HandleCheckpoint() {
   // Fan one checkpoint job out per shard so each cache is touched only
   // by its own worker, and wait for all of them.
   struct Waiter {
+    explicit Waiter(size_t n) : pending(n) {}
     std::mutex mu;
     std::condition_variable cv;
-    size_t pending;
-    Status first_error;
+    size_t pending SOMR_GUARDED_BY(mu);
+    Status first_error SOMR_GUARDED_BY(mu);
   };
-  auto waiter = std::make_shared<Waiter>();
-  waiter->pending = shards_.size();
+  auto waiter = std::make_shared<Waiter>(shards_.size());
   for (auto& shard : shards_) {
     ContextCache* cache = shard->cache.get();
     const bool pushed = shard->queue.Push([waiter, cache] {

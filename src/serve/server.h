@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/provenance.h"
 #include "parallel/executor.h"
 #include "parallel/mpmc_channel.h"
@@ -46,7 +47,7 @@ class RingProvenanceSink : public obs::ProvenanceSink {
 
   const size_t capacity_;
   mutable std::mutex mu_;
-  std::deque<Row> rows_;
+  std::deque<Row> rows_ SOMR_GUARDED_BY(mu_);
 };
 
 struct ServeOptions {
@@ -115,8 +116,8 @@ class RequestTracker {
   const size_t recent_capacity_;
   const double slow_threshold_seconds_;
   mutable std::mutex mu_;
-  std::vector<Row> in_flight_;
-  std::deque<Row> recent_;  // front = newest
+  std::vector<Row> in_flight_ SOMR_GUARDED_BY(mu_);
+  std::deque<Row> recent_ SOMR_GUARDED_BY(mu_);  // front = newest
 };
 
 /// The somr matching daemon: a dependency-free HTTP/1.1 server holding
@@ -213,24 +214,29 @@ class Server {
 
   void PublishResidencyGauges();
 
-  state::ContextStore* store_;
-  ServeOptions options_;
-  int listen_fd_ = -1;
-  uint16_t bound_port_ = 0;
+  // Set by the constructor / Start() before any worker thread exists,
+  // immutable while Serve() runs; the objects behind shards_, executor_,
+  // provenance_ and tracker_ are internally synchronized.
+  state::ContextStore* store_ SOMR_NOT_GUARDED;
+  ServeOptions options_ SOMR_NOT_GUARDED;
+  int listen_fd_ SOMR_NOT_GUARDED = -1;
+  uint16_t bound_port_ SOMR_NOT_GUARDED = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
 
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::unique_ptr<parallel::Executor> executor_;
-  RingProvenanceSink provenance_;
-  RequestTracker tracker_;
-  std::string config_fingerprint_;  // FNV-1a64 hex of the options
+  std::vector<std::unique_ptr<Shard>> shards_ SOMR_NOT_GUARDED;
+  std::unique_ptr<parallel::Executor> executor_ SOMR_NOT_GUARDED;
+  RingProvenanceSink provenance_ SOMR_NOT_GUARDED;
+  RequestTracker tracker_ SOMR_NOT_GUARDED;
+  // FNV-1a64 hex of the options; computed in the constructor.
+  std::string config_fingerprint_ SOMR_NOT_GUARDED;
 
   // Open connections, so shutdown can wait for handlers to finish.
   std::mutex conn_mu_;
   std::condition_variable conn_cv_;
-  size_t active_connections_ = 0;
-  Status shutdown_error_;  // first checkpoint failure, guarded by conn_mu_
+  size_t active_connections_ SOMR_GUARDED_BY(conn_mu_) = 0;
+  // First checkpoint failure seen during drain.
+  Status shutdown_error_ SOMR_GUARDED_BY(conn_mu_);
 };
 
 }  // namespace somr::serve

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/time_util.h"
 #include "matching/matcher.h"
 #include "state/record_log.h"
@@ -158,33 +159,37 @@ class ContextStore {
 
  private:
   Status SaveInternal(const PageState& state, bool commit);
-  Status WriteManifestLocked();
+  Status WriteManifestLocked() SOMR_REQUIRES(mu_);
   Status CommitInternal();
   void ScheduleCompactions();
   void WaitForCompactions();
 
-  std::string dir_;
-  matching::MatcherConfig config_;
-  uint64_t fingerprint_;
-  StoreOptions options_;
-  RecordLog log_;
+  // Set in the constructor, immutable afterwards (the const accessors
+  // above read them without the lock).
+  std::string dir_ SOMR_NOT_GUARDED;
+  matching::MatcherConfig config_ SOMR_NOT_GUARDED;
+  uint64_t fingerprint_ SOMR_NOT_GUARDED;
+  StoreOptions options_ SOMR_NOT_GUARDED;
+  // Internally synchronized (every RecordLog method takes its own lock).
+  RecordLog log_ SOMR_NOT_GUARDED;
 
   mutable std::mutex mu_;
   /// The manifest index: title -> PageInfo, hash-keyed so Lookup() and
   /// Contains() are O(1). Manifest writes sort rows by title, keeping
   /// the on-disk file deterministic regardless of table order.
-  std::unordered_map<std::string, PageInfo> pages_;
+  std::unordered_map<std::string, PageInfo> pages_ SOMR_GUARDED_BY(mu_);
   /// Last-persisted watermark per page: the base the next delta save
   /// is encoded against. Populated by Save() and Load(); a page
   /// without one (cold since Open) gets a full snapshot first.
-  mutable std::unordered_map<std::string, SnapshotWatermark> watermarks_;
-  bool open_ = false;
-  bool manifest_dirty_ = false;
+  mutable std::unordered_map<std::string, SnapshotWatermark> watermarks_
+      SOMR_GUARDED_BY(mu_);
+  bool open_ SOMR_GUARDED_BY(mu_) = false;
+  bool manifest_dirty_ SOMR_GUARDED_BY(mu_) = false;
 
   mutable std::mutex compaction_mu_;
   std::condition_variable compaction_cv_;
-  size_t pending_compactions_ = 0;
-  parallel::Executor* executor_ = nullptr;
+  size_t pending_compactions_ SOMR_GUARDED_BY(compaction_mu_) = 0;
+  parallel::Executor* executor_ SOMR_GUARDED_BY(compaction_mu_) = nullptr;
 };
 
 }  // namespace somr::state

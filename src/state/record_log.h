@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace somr::state {
 
@@ -163,19 +164,22 @@ class RecordLog {
 
   std::string ShardPath(uint32_t shard, uint64_t generation) const;
   std::string IndexPath() const;
-  Status OpenShardFile(uint32_t shard, bool truncate);
-  Status RecoverTailLocked(uint32_t shard);
-  Status LoadIndexLocked(const std::string& content);
-  std::string RenderIndexLocked() const;
-  Status CommitLocked();
-  void RemoveStaleGenerationsLocked();
+  Status OpenShardFile(uint32_t shard, bool truncate) SOMR_REQUIRES(mu_);
+  Status RecoverTailLocked(uint32_t shard) SOMR_REQUIRES(mu_);
+  Status LoadIndexLocked(const std::string& content) SOMR_REQUIRES(mu_);
+  std::string RenderIndexLocked() const SOMR_REQUIRES(mu_);
+  Status CommitLocked() SOMR_REQUIRES(mu_);
+  void RemoveStaleGenerationsLocked() SOMR_REQUIRES(mu_);
 
-  std::string dir_;
-  Options options_;
+  // Set in the constructor, immutable afterwards (dir()/options() read
+  // them without the lock).
+  std::string dir_ SOMR_NOT_GUARDED;
+  Options options_ SOMR_NOT_GUARDED;
   mutable std::shared_mutex mu_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::unordered_map<std::string, std::vector<RecordRef>> chains_;
-  bool open_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_ SOMR_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::vector<RecordRef>> chains_
+      SOMR_GUARDED_BY(mu_);
+  bool open_ SOMR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace somr::state

@@ -1,0 +1,20 @@
+// Seeded annotation-coverage violation: Buffer owns a mutex but leaves
+// a mutable sibling member unannotated (neither SOMR_GUARDED_BY nor
+// SOMR_NOT_GUARDED).
+#include <mutex>
+
+namespace somr::obs {
+
+class Buffer {
+ public:
+  void Add(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += v;
+  }
+
+ private:
+  std::mutex mu_;
+  int total_ = 0;  // violation: unannotated next to mu_
+};
+
+}  // namespace somr::obs

@@ -1,0 +1,28 @@
+// Seeded lock-discipline violation: UnsafePeek() reads a guarded field
+// without holding its mutex (Set() is the correct pattern and must not
+// flag).
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace somr::serve {
+
+class SessionTable {
+ public:
+  void Set(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    value_ = v;
+    dirty_ = true;
+  }
+
+  int UnsafePeek() const {
+    return value_;  // violation: mu_ not held
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int value_ SOMR_GUARDED_BY(mu_) = 0;
+  bool dirty_ SOMR_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace somr::serve

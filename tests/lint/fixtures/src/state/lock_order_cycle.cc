@@ -1,0 +1,29 @@
+// Seeded lock-order violation: Credit() acquires mu_a_ then mu_b_,
+// Debit() acquires them in the opposite order — a classic AB/BA
+// deadlock cycle the lock-order pass must report.
+#include <mutex>
+
+namespace somr::state {
+
+class Ledger {
+ public:
+  void Credit() {
+    std::lock_guard<std::mutex> a(mu_a_);
+    std::lock_guard<std::mutex> b(mu_b_);
+    ++balance_a_;
+  }
+
+  void Debit() {
+    std::lock_guard<std::mutex> b(mu_b_);
+    std::lock_guard<std::mutex> a(mu_a_);
+    ++balance_b_;
+  }
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+  int balance_a_ SOMR_GUARDED_BY(mu_a_) = 0;
+  int balance_b_ SOMR_GUARDED_BY(mu_b_) = 0;
+};
+
+}  // namespace somr::state

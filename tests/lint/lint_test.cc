@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "lint/analysis/passes.h"
 #include "lint/lint.h"
 
 namespace somr::lint {
@@ -246,6 +247,208 @@ TEST(SourceFileTest, RawStringBodyIsBlanked) {
                   "int keep = 2;\n");
   EXPECT_EQ(file.code_lines()[0].find("rand"), std::string::npos);
   EXPECT_EQ(file.code_lines()[1].substr(0, 13), "int keep = 2;");
+}
+
+// ---- analysis passes (lock-discipline / lock-order / coverage) ------
+
+TEST(LintAnalysisTest, GuardedFieldFixture) {
+  LintResult r = LintFixture("src/serve/guarded_no_lock.cc");
+  EXPECT_EQ(CountRule(r, "lock-discipline"), 1u);
+  EXPECT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(LinesOfRule(r, "lock-discipline"), (std::vector<int>{19}));
+}
+
+TEST(LintAnalysisTest, LockOrderCycleFixture) {
+  LintResult r = LintFixture("src/state/lock_order_cycle.cc");
+  EXPECT_EQ(CountRule(r, "lock-order"), 1u);
+  EXPECT_EQ(r.diagnostics.size(), 1u);
+  // The graph carries both edges and the detected cycle.
+  EXPECT_EQ(r.lock_graph.edges.size(), 2u);
+  ASSERT_EQ(r.lock_graph.cycles.size(), 1u);
+}
+
+TEST(LintAnalysisTest, UnannotatedMutexFixture) {
+  LintResult r = LintFixture("src/obs/unannotated_mutex.cc");
+  EXPECT_EQ(CountRule(r, "annotation-coverage"), 1u);
+  EXPECT_EQ(r.diagnostics.size(), 1u);
+}
+
+TEST(LintAnalysisTest, NestedScopesCoverInnerAccessOnly) {
+  // The inner block's guard ends at its closing brace: the access after
+  // it is unprotected.
+  LintResult r = LintContent("src/serve/x.cc",
+                             "#include <mutex>\n"
+                             "class T {\n"
+                             " public:\n"
+                             "  void F() {\n"
+                             "    {\n"
+                             "      std::lock_guard<std::mutex> l(mu_);\n"
+                             "      v_ = 1;\n"
+                             "    }\n"
+                             "    v_ = 2;\n"
+                             "  }\n"
+                             " private:\n"
+                             "  std::mutex mu_;\n"
+                             "  int v_ SOMR_GUARDED_BY(mu_) = 0;\n"
+                             "};\n",
+                             {}, nullptr);
+  EXPECT_EQ(LinesOfRule(r, "lock-discipline"), (std::vector<int>{9}));
+}
+
+TEST(LintAnalysisTest, EarlyUnlockEndsTheScope) {
+  LintResult r = LintContent("src/serve/x.cc",
+                             "#include <mutex>\n"
+                             "class T {\n"
+                             " public:\n"
+                             "  void F() {\n"
+                             "    std::unique_lock<std::mutex> l(mu_);\n"
+                             "    v_ = 1;\n"
+                             "    l.unlock();\n"
+                             "    v_ = 2;\n"
+                             "  }\n"
+                             " private:\n"
+                             "  std::mutex mu_;\n"
+                             "  int v_ SOMR_GUARDED_BY(mu_) = 0;\n"
+                             "};\n",
+                             {}, nullptr);
+  EXPECT_EQ(LinesOfRule(r, "lock-discipline"), (std::vector<int>{8}));
+}
+
+TEST(LintAnalysisTest, RequiresContractPropagates) {
+  // The REQUIRES method may touch the field; the unlocked call site is
+  // the violation, and the locked one is fine.
+  LintResult r = LintContent("src/serve/x.cc",
+                             "#include <mutex>\n"
+                             "class T {\n"
+                             " public:\n"
+                             "  int SumLocked() const SOMR_REQUIRES(mu_) {\n"
+                             "    return v_;\n"
+                             "  }\n"
+                             "  int Good() const {\n"
+                             "    std::lock_guard<std::mutex> l(mu_);\n"
+                             "    return SumLocked();\n"
+                             "  }\n"
+                             "  int Bad() const { return SumLocked(); }\n"
+                             " private:\n"
+                             "  mutable std::mutex mu_;\n"
+                             "  int v_ SOMR_GUARDED_BY(mu_) = 0;\n"
+                             "};\n",
+                             {}, nullptr);
+  EXPECT_EQ(LinesOfRule(r, "lock-discipline"), (std::vector<int>{11}));
+}
+
+TEST(LintAnalysisTest, ScopedLockGroupAddsNoIntraGroupEdges) {
+  // std::scoped_lock(a, b) orders its own acquisitions internally — no
+  // lock-order edge (and thus no cycle) between its arguments.
+  LintResult r = LintContent("src/serve/x.cc",
+                             "#include <mutex>\n"
+                             "class T {\n"
+                             " public:\n"
+                             "  void F() { std::scoped_lock l(mu_a_, mu_b_); }\n"
+                             "  void G() { std::scoped_lock l(mu_b_, mu_a_); }\n"
+                             " private:\n"
+                             "  std::mutex mu_a_;\n"
+                             "  std::mutex mu_b_;\n"
+                             "};\n",
+                             {}, nullptr);
+  EXPECT_EQ(CountRule(r, "lock-order"), 0u);
+  EXPECT_TRUE(r.lock_graph.edges.empty());
+}
+
+TEST(LintAnalysisTest, CoverageExemptions) {
+  // const / static / atomic / cv / mutex / thread members and
+  // SOMR_NOT_GUARDED are all exempt from coverage.
+  LintResult r = LintContent(
+      "src/obs/x.cc",
+      "#include <atomic>\n"
+      "#include <condition_variable>\n"
+      "#include <mutex>\n"
+      "class T {\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  std::condition_variable cv_;\n"
+      "  std::atomic<int> counter_{0};\n"
+      "  const int limit_ = 8;\n"
+      "  static int shared_;\n"
+      "  int scratch_ SOMR_NOT_GUARDED = 0;\n"
+      "  int guarded_ SOMR_GUARDED_BY(mu_) = 0;\n"
+      "};\n",
+      {}, nullptr);
+  EXPECT_EQ(CountRule(r, "annotation-coverage"), 0u);
+}
+
+TEST(LintAnalysisTest, AnnotationNamingUnknownMutexFlags) {
+  LintResult r = LintContent("src/obs/x.cc",
+                             "#include <mutex>\n"
+                             "class T {\n"
+                             " private:\n"
+                             "  std::mutex mu_;\n"
+                             "  int v_ SOMR_GUARDED_BY(other_mu_) = 0;\n"
+                             "};\n",
+                             {}, nullptr);
+  EXPECT_EQ(CountRule(r, "annotation-coverage"), 1u);
+}
+
+TEST(LintAnalysisTest, DotRenderingMarksCycleEdgesRed) {
+  LintResult r = LintFixture("src/state/lock_order_cycle.cc");
+  const std::string dot = analysis::RenderLockGraphDot(r.lock_graph);
+  EXPECT_EQ(dot.rfind("digraph somr_lock_order {", 0), 0u);
+  EXPECT_NE(dot.find("state::Ledger::mu_a_"), std::string::npos);
+  EXPECT_NE(dot.find("state::Ledger::mu_b_"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(LintAnalysisTest, SuppressionSilencesAnalysisFinding) {
+  LintResult r = LintContent("src/serve/x.cc",
+                             "#include <mutex>\n"
+                             "class T {\n"
+                             " public:\n"
+                             "  // somr-lint: allow(lock-discipline)\n"
+                             "  int F() const { return v_; }\n"
+                             " private:\n"
+                             "  mutable std::mutex mu_;\n"
+                             "  int v_ SOMR_GUARDED_BY(mu_) = 0;\n"
+                             "};\n",
+                             {}, nullptr);
+  EXPECT_EQ(CountRule(r, "lock-discipline"), 0u);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintJsonTest, RoundTrip) {
+  LintResult r = LintFixture("src/serve/guarded_no_lock.cc");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  const std::string json = RenderDiagnosticsJson(r);
+  LintResult parsed;
+  ASSERT_TRUE(ParseDiagnosticsJson(json, &parsed));
+  ASSERT_EQ(parsed.diagnostics.size(), r.diagnostics.size());
+  EXPECT_EQ(parsed.diagnostics[0].rule, r.diagnostics[0].rule);
+  EXPECT_EQ(parsed.diagnostics[0].file, r.diagnostics[0].file);
+  EXPECT_EQ(parsed.diagnostics[0].line, r.diagnostics[0].line);
+  EXPECT_EQ(parsed.diagnostics[0].message, r.diagnostics[0].message);
+  EXPECT_EQ(parsed.diagnostics[0].fixable, r.diagnostics[0].fixable);
+  EXPECT_EQ(parsed.files_scanned, r.files_scanned);
+  EXPECT_EQ(parsed.files_fixed, r.files_fixed);
+  EXPECT_EQ(parsed.suppressed, r.suppressed);
+}
+
+TEST(LintJsonTest, EscapesSpecialCharacters) {
+  LintResult r;
+  r.diagnostics.push_back(
+      {"a\"b\\c.cc", 3, "rule", "tab\there\nnewline", false});
+  const std::string json = RenderDiagnosticsJson(r);
+  LintResult parsed;
+  ASSERT_TRUE(ParseDiagnosticsJson(json, &parsed));
+  ASSERT_EQ(parsed.diagnostics.size(), 1u);
+  EXPECT_EQ(parsed.diagnostics[0].file, "a\"b\\c.cc");
+  EXPECT_EQ(parsed.diagnostics[0].message, "tab\there\nnewline");
+}
+
+TEST(LintJsonTest, RejectsMalformedInput) {
+  LintResult parsed;
+  EXPECT_FALSE(ParseDiagnosticsJson("", &parsed));
+  EXPECT_FALSE(ParseDiagnosticsJson("[]", &parsed));
+  EXPECT_FALSE(ParseDiagnosticsJson("{\"findings\": [", &parsed));
 }
 
 TEST(SourceFileTest, BlockCommentSpanningLines) {

@@ -1,0 +1,90 @@
+// Annotation-coverage pass: in the concurrent subsystems (src/serve,
+// src/state, src/obs, src/parallel) a class that owns a mutex must say
+// something about every sibling data member — SOMR_GUARDED_BY(mu) when
+// the mutex protects it, SOMR_NOT_GUARDED plus a why-comment when it
+// does not. Members that cannot race (const, static, atomics, the
+// synchronisation primitives themselves, references bound at
+// construction) are exempt automatically. Everywhere in the tree,
+// every SOMR_GUARDED_BY argument must name a mutex the checker can
+// see, so a typo in an annotation cannot silently disable checking.
+
+#include <string>
+#include <vector>
+
+#include "lint/analysis/internal.h"
+#include "lint/analysis/model.h"
+
+namespace somr::lint::analysis {
+
+namespace {
+
+bool InCoverageScope(std::string path) {
+  for (char& c : path) {
+    if (c == '\\') c = '/';
+  }
+  return path.find("src/serve") != std::string::npos ||
+         path.find("src/state") != std::string::npos ||
+         path.find("src/obs") != std::string::npos ||
+         path.find("src/parallel") != std::string::npos;
+}
+
+bool IsPlainName(const std::string& expr) {
+  return expr.find("->") == std::string::npos &&
+         expr.find('.') == std::string::npos &&
+         expr.find("::") == std::string::npos;
+}
+
+bool IsGlobalMutex(const FileModel& model, const std::string& name) {
+  for (const MutexMember& gm : model.global_mutexes) {
+    if (gm.name == name) return true;
+  }
+  return false;
+}
+
+bool HasMutex(const ClassModel& cls, const std::string& name) {
+  for (const MutexMember& m : cls.mutexes) {
+    if (m.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void RunCoverage(const ProjectIndex& index, const FileModel& model,
+                 std::vector<Diagnostic>* out) {
+  (void)index;
+  const bool scoped = InCoverageScope(model.path);
+  for (const ClassModel& cls : model.classes) {
+    // Annotation validity: everywhere, a plain GUARDED_BY argument must
+    // be a mutex member of the class or a file-scope mutex.
+    for (const GuardedField& gf : cls.guarded) {
+      if (!IsPlainName(gf.mutex)) continue;  // base->mu etc: not checkable
+      if (HasMutex(cls, gf.mutex) || IsGlobalMutex(model, gf.mutex)) {
+        continue;
+      }
+      out->push_back({model.path, gf.line, "annotation-coverage",
+                      "SOMR_GUARDED_BY on '" + gf.name +
+                          "' names unknown mutex '" + gf.mutex + "'",
+                      false});
+    }
+    if (!scoped || cls.mutexes.empty()) continue;
+    for (const PlainMember& m : cls.members) {
+      if (m.exempt) continue;
+      out->push_back(
+          {model.path, m.line, "annotation-coverage",
+           "'" + cls.name + "' has a mutex member but '" + m.name +
+               "' is neither SOMR_GUARDED_BY(...) nor SOMR_NOT_GUARDED",
+           false});
+    }
+  }
+  for (const GuardedField& gf : model.global_guarded) {
+    if (!IsPlainName(gf.mutex)) continue;
+    if (IsGlobalMutex(model, gf.mutex)) continue;
+    out->push_back({model.path, gf.line, "annotation-coverage",
+                    "SOMR_GUARDED_BY on '" + gf.name +
+                        "' names unknown mutex '" + gf.mutex + "'",
+                    false});
+  }
+}
+
+}  // namespace somr::lint::analysis

@@ -1,0 +1,89 @@
+#pragma once
+
+// Shared internals of the analysis passes: the cross-file project index
+// and the per-pass entry points driven by AnalysisDriver::Run. Not part
+// of the lint public surface.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/analysis/model.h"
+#include "lint/lint.h"
+
+namespace somr::lint::analysis {
+
+/// Merged view of every annotated class across the project, keyed by
+/// qualified class name. Out-of-line method bodies resolve their
+/// `Class::Method` prefix against this index, so annotations written in
+/// a header govern definitions in the matching .cc.
+struct ProjectIndex {
+  struct ClassInfo {
+    std::set<std::string> mutexes;
+    std::map<std::string, GuardedField> guarded;   // field name -> info
+    std::map<std::string, MethodContract> contracts;  // method name -> c
+  };
+  std::map<std::string, ClassInfo> classes;  // qualified name -> info
+  /// Unqualified class name -> qualified names (for `Class::Method`
+  /// definition prefixes).
+  std::map<std::string, std::vector<std::string>> by_name;
+  /// Guarded field name -> owning qualified class names.
+  std::map<std::string, std::vector<std::string>> field_owners;
+  /// Method name with a non-empty SOMR_REQUIRES -> owning classes.
+  std::map<std::string, std::vector<std::string>> contract_methods;
+  /// Mutex member name -> owning qualified class names (for naming
+  /// `base->mu` lock expressions in the lock graph).
+  std::map<std::string, std::vector<std::string>> mutex_owners;
+  /// Member names that exist unguarded in at least one class. An
+  /// `obj->name` access cannot be attributed to a guarded field when
+  /// some other class owns a plain member of the same name (the model
+  /// has no types), so such names are skipped for object accesses.
+  std::set<std::string> unguarded_members;
+};
+
+ProjectIndex BuildIndex(const std::vector<const FileModel*>& models);
+
+/// Qualified class a function body belongs to ("" for free functions
+/// and unresolvable prefixes).
+std::string ResolveClassRef(const ProjectIndex& index,
+                            const FunctionModel& fn);
+
+/// Effective contract of a function: contracts written at the
+/// definition site merged with the class-declaration contract.
+/// SOMR_RELEASE arguments count as held-at-entry.
+MethodContract EffectiveContract(const ProjectIndex& index,
+                                 const FunctionModel& fn,
+                                 const std::string& resolved_class);
+
+/// Extra lock scopes implied by calls to SOMR_ACQUIRE / SOMR_RELEASE
+/// annotated methods of the same class (held from the call to the
+/// matching release call or the end of the body).
+std::vector<LockScope> ContractScopes(const ProjectIndex& index,
+                                      const FileModel& model);
+
+/// Index of the innermost function whose body contains `pos`, or
+/// SIZE_MAX.
+size_t InnermostFunction(const FileModel& model, size_t pos);
+
+/// Lock-discipline over one file (fields + REQUIRES call sites).
+void RunLockDiscipline(const ProjectIndex& index, const FileModel& model,
+                       const std::vector<LockScope>& contract_scopes,
+                       std::vector<Diagnostic>* out);
+
+/// Lock-order edge extraction for one file. Edges whose acquisition
+/// line carries a lock-order suppression are dropped.
+void CollectLockEdges(const ProjectIndex& index, const FileModel& model,
+                      const std::vector<LockScope>& contract_scopes,
+                      const SourceFile& file, std::vector<LockEdge>* out);
+
+/// Cycle detection over the deduplicated edge set; fills
+/// `graph->cycles` and appends one diagnostic per cycle.
+void DetectLockCycles(LockGraph* graph, std::vector<Diagnostic>* out);
+
+/// Annotation-coverage over one file (path-scoped to the concurrent
+/// subsystems) plus project-wide annotation validity checks.
+void RunCoverage(const ProjectIndex& index, const FileModel& model,
+                 std::vector<Diagnostic>* out);
+
+}  // namespace somr::lint::analysis

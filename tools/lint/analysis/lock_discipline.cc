@@ -1,0 +1,304 @@
+// Lock-discipline pass: every occurrence of an SOMR_GUARDED_BY(m)
+// field must sit inside a lexical scope holding m — a guard object
+// (lock_guard / unique_lock / scoped_lock / shared_lock), a raw
+// m.lock() region, an SOMR_REQUIRES(m) contract on the enclosing
+// function, or an SOMR_ACQUIRE(m) call — with constructors,
+// destructors, and SOMR_NO_THREAD_SAFETY_ANALYSIS functions exempt
+// (mirroring clang's analysis). `obj->field` accesses require a lock
+// on `obj->m`. Calls to SOMR_REQUIRES methods are checked the same
+// way. Soundness limits in DESIGN.md §16.
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "lint/analysis/internal.h"
+#include "lint/analysis/model.h"
+
+namespace somr::lint::analysis {
+
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// What precedes a member occurrence: a direct access (plain name or
+/// this->), an object expression we can name, or something we cannot
+/// model (call results, qualified names) and must skip.
+struct BaseRef {
+  enum Kind { kDirect, kObject, kSkip };
+  Kind kind = kDirect;
+  std::string expr;  // kObject: the base, `this->` stripped
+};
+
+BaseRef BaseBefore(const std::string& flat, size_t pos) {
+  size_t i = pos;
+  while (i > 0 && flat[i - 1] == ' ') --i;
+  if (i >= 2 && flat[i - 2] == ':' && flat[i - 1] == ':') {
+    return {BaseRef::kSkip, ""};
+  }
+  size_t sep = 0;
+  if (i >= 2 && flat[i - 2] == '-' && flat[i - 1] == '>') {
+    sep = 2;
+  } else if (i >= 1 && flat[i - 1] == '.') {
+    sep = 1;
+  } else {
+    return {BaseRef::kDirect, ""};
+  }
+  // Collect the base chain backwards: idents joined by -> . ::
+  std::vector<std::string> segs;  // reversed
+  size_t j = i - sep;
+  while (true) {
+    while (j > 0 && flat[j - 1] == ' ') --j;
+    if (j == 0 || !IsIdentChar(flat[j - 1])) return {BaseRef::kSkip, ""};
+    const size_t e = j;
+    while (j > 0 && IsIdentChar(flat[j - 1])) --j;
+    segs.push_back(flat.substr(j, e - j));
+    size_t k = j;
+    while (k > 0 && flat[k - 1] == ' ') --k;
+    if (k >= 2 && flat[k - 2] == '-' && flat[k - 1] == '>') {
+      segs.push_back("->");
+      j = k - 2;
+      continue;
+    }
+    if (k >= 2 && flat[k - 2] == ':' && flat[k - 1] == ':') {
+      segs.push_back("::");
+      j = k - 2;
+      continue;
+    }
+    if (k >= 1 && flat[k - 1] == '.' &&
+        !(k >= 2 && std::isdigit(static_cast<unsigned char>(flat[k - 2])))) {
+      segs.push_back(".");
+      j = k - 1;
+      continue;
+    }
+    break;
+  }
+  std::string base;
+  for (size_t s = segs.size(); s-- > 0;) base += segs[s];
+  if (base == "this") return {BaseRef::kDirect, ""};
+  if (base.rfind("this->", 0) == 0) base.erase(0, 6);
+  return {BaseRef::kObject, base};
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// True when `pos` lies inside a lock scope over any of `exprs`.
+bool Covered(const FileModel& model,
+             const std::vector<LockScope>& contract_scopes, size_t pos,
+             const std::vector<std::string>& exprs) {
+  auto match = [&](const LockScope& s) {
+    const size_t end = s.end == 0 ? model.flat.size() : s.end;
+    return s.begin <= pos && pos < end && Contains(exprs, s.expr);
+  };
+  for (const LockScope& s : model.locks) {
+    if (match(s)) return true;
+  }
+  for (const LockScope& s : contract_scopes) {
+    if (match(s)) return true;
+  }
+  return false;
+}
+
+/// Is the occurrence a call — `name(` — rather than a data access?
+bool IsCall(const std::string& flat, size_t pos, size_t len) {
+  size_t after = pos + len;
+  while (after < flat.size() && flat[after] == ' ') ++after;
+  return after < flat.size() && flat[after] == '(';
+}
+
+/// Dereference check for SOMR_PT_GUARDED_BY: `p->x`, `(*p)`, `p[i]`.
+bool IsDeref(const std::string& flat, size_t pos, size_t len) {
+  size_t after = pos + len;
+  while (after < flat.size() && flat[after] == ' ') ++after;
+  if (after + 1 < flat.size() && flat[after] == '-' &&
+      flat[after + 1] == '>') {
+    return true;
+  }
+  if (after < flat.size() && flat[after] == '[') return true;
+  size_t before = pos;
+  while (before > 0 && flat[before - 1] == ' ') --before;
+  return before > 0 && flat[before - 1] == '*';
+}
+
+/// Walks identifier-boundary occurrences of `word` in model.flat that
+/// sit inside a function body, invoking fn(occurrence_pos, fn_index).
+template <typename Fn>
+void ForEachOccurrence(const FileModel& model, const std::string& word,
+                       Fn&& fn) {
+  size_t pos = 0;
+  while ((pos = model.flat.find(word, pos)) != std::string::npos) {
+    const size_t occ = pos;
+    pos += word.size();
+    if (!IsWordAt(model.flat, occ, word.size())) continue;
+    const size_t fi = InnermostFunction(model, occ);
+    if (fi == kNone) continue;
+    fn(occ, fi);
+  }
+}
+
+}  // namespace
+
+void RunLockDiscipline(const ProjectIndex& index, const FileModel& model,
+                       const std::vector<LockScope>& contract_scopes,
+                       std::vector<Diagnostic>* out) {
+  // --- guarded fields ------------------------------------------------
+  for (const auto& [field, owners] : index.field_owners) {
+    ForEachOccurrence(model, field, [&](size_t occ, size_t fi) {
+      if (IsCall(model.flat, occ, field.size())) return;
+      const BaseRef base = BaseBefore(model.flat, occ);
+      if (base.kind == BaseRef::kSkip) return;
+      // `obj->field` is only attributable when no class anywhere owns a
+      // plain member of the same name (no type information here).
+      if (base.kind == BaseRef::kObject &&
+          index.unguarded_members.count(field) != 0) {
+        return;
+      }
+      const FunctionModel& fn = model.functions[fi];
+      const std::string fn_class = ResolveClassRef(index, fn);
+      bool checked = false;
+      bool ok = false;
+      std::string expect;
+      for (const std::string& owner : owners) {
+        const ProjectIndex::ClassInfo& info = index.classes.at(owner);
+        const GuardedField& gf = info.guarded.at(field);
+        if (gf.pointee_only && !IsDeref(model.flat, occ, field.size())) {
+          // Reading the pointer itself is allowed for PT_GUARDED_BY.
+          checked = true;
+          ok = true;
+          break;
+        }
+        if (base.kind == BaseRef::kDirect) {
+          if (fn_class != owner) continue;
+          checked = true;
+          expect = gf.mutex;
+          if (fn.ctor_or_dtor) {
+            ok = true;
+            break;
+          }
+          const MethodContract eff =
+              EffectiveContract(index, fn, fn_class);
+          if (eff.no_analysis || Contains(eff.requires_held, gf.mutex) ||
+              Contains(eff.acquires, gf.mutex) ||
+              Covered(model, contract_scopes, occ, {gf.mutex})) {
+            ok = true;
+            break;
+          }
+        } else {
+          checked = true;
+          expect = gf.mutex;
+          if (Covered(model, contract_scopes, occ,
+                      {base.expr + "->" + gf.mutex,
+                       base.expr + "." + gf.mutex})) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (checked && !ok) {
+        out->push_back({model.path, LineAt(model, occ), "lock-discipline",
+                        "'" + field + "' is SOMR_GUARDED_BY('" + expect +
+                            "') but accessed without holding it",
+                        false});
+      }
+    });
+  }
+
+  // --- file-scope guarded globals -------------------------------------
+  for (const GuardedField& gf : model.global_guarded) {
+    ForEachOccurrence(model, gf.name, [&](size_t occ, size_t fi) {
+      if (IsCall(model.flat, occ, gf.name.size())) return;
+      if (gf.pointee_only && !IsDeref(model.flat, occ, gf.name.size())) {
+        return;
+      }
+      if (BaseBefore(model.flat, occ).kind != BaseRef::kDirect) return;
+      const FunctionModel& fn = model.functions[fi];
+      const MethodContract eff =
+          EffectiveContract(index, fn, ResolveClassRef(index, fn));
+      if (fn.ctor_or_dtor || eff.no_analysis ||
+          Contains(eff.requires_held, gf.mutex) ||
+          Covered(model, contract_scopes, occ, {gf.mutex})) {
+        return;
+      }
+      out->push_back({model.path, LineAt(model, occ), "lock-discipline",
+                      "'" + gf.name + "' is SOMR_GUARDED_BY('" + gf.mutex +
+                          "') but accessed without holding it",
+                      false});
+    });
+  }
+
+  // --- SOMR_REQUIRES call sites ---------------------------------------
+  for (const auto& [method, owners] : index.contract_methods) {
+    ForEachOccurrence(model, method, [&](size_t occ, size_t fi) {
+      if (!IsCall(model.flat, occ, method.size())) return;
+      const BaseRef base = BaseBefore(model.flat, occ);
+      if (base.kind == BaseRef::kSkip) return;
+      const FunctionModel& fn = model.functions[fi];
+      const std::string fn_class = ResolveClassRef(index, fn);
+      bool checked = false;
+      bool ok = false;
+      std::string missing;
+      for (const std::string& owner : owners) {
+        const auto& contracts = index.classes.at(owner).contracts;
+        auto cit = contracts.find(method);
+        if (cit == contracts.end()) continue;
+        const std::vector<std::string>& req = cit->second.requires_held;
+        if (base.kind == BaseRef::kDirect) {
+          if (fn_class != owner) continue;
+          checked = true;
+          if (fn.ctor_or_dtor) {
+            ok = true;
+            break;
+          }
+          const MethodContract eff =
+              EffectiveContract(index, fn, fn_class);
+          if (eff.no_analysis) {
+            ok = true;
+            break;
+          }
+          bool all = true;
+          for (const std::string& r : req) {
+            if (!Contains(eff.requires_held, r) &&
+                !Contains(eff.acquires, r) &&
+                !Covered(model, contract_scopes, occ, {r})) {
+              all = false;
+              missing = r;
+            }
+          }
+          if (all) {
+            ok = true;
+            break;
+          }
+        } else {
+          checked = true;
+          bool all = true;
+          for (const std::string& r : req) {
+            if (!Covered(model, contract_scopes, occ,
+                         {base.expr + "->" + r, base.expr + "." + r})) {
+              all = false;
+              missing = r;
+            }
+          }
+          if (all) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (checked && !ok) {
+        out->push_back({model.path, LineAt(model, occ), "lock-discipline",
+                        "call to '" + method + "()' SOMR_REQUIRES('" +
+                            missing + "') which is not held here",
+                        false});
+      }
+    });
+  }
+}
+
+}  // namespace somr::lint::analysis

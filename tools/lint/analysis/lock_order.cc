@@ -1,0 +1,120 @@
+// Lock-order pass, edge extraction half: inside one function, an
+// acquisition whose scope opens while another scope is still open adds
+// the edge held -> acquired. Edges are named project-wide — a plain
+// `mu_` in a method of class C becomes "C::mu_", so acquisitions in
+// different TUs over the same member fold onto one node and cycles
+// across files are caught. Expressions we cannot tie to a class or a
+// file-scope mutex are prefixed with the file stem, which keeps two
+// unrelated locals called `mu` in different files from fabricating a
+// cross-file cycle. Members of a single std::scoped_lock(a, b) share a
+// group and contribute no edge between each other (std::lock orders
+// them deadlock-free).
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/analysis/internal.h"
+#include "lint/analysis/model.h"
+
+namespace somr::lint::analysis {
+
+namespace {
+
+std::string PathStem(const std::string& path) {
+  const size_t slash = path.find_last_of("/\\");
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Project-wide name for a lock expression acquired inside `fn_class`.
+std::string MutexId(const ProjectIndex& index, const FileModel& model,
+                    const std::string& fn_class, const std::string& expr) {
+  const bool plain = expr.find("->") == std::string::npos &&
+                     expr.find('.') == std::string::npos &&
+                     expr.find("::") == std::string::npos;
+  if (plain) {
+    if (!fn_class.empty()) {
+      auto it = index.classes.find(fn_class);
+      if (it != index.classes.end() && it->second.mutexes.count(expr)) {
+        return fn_class + "::" + expr;
+      }
+    }
+    for (const MutexMember& gm : model.global_mutexes) {
+      if (gm.name == expr) return PathStem(model.path) + "::" + expr;
+    }
+    return PathStem(model.path) + ":" + expr;  // local / parameter
+  }
+  // base->name or base.name: attributable when exactly one class owns a
+  // mutex member with that name.
+  const size_t arrow = expr.rfind("->");
+  const size_t dot = expr.rfind('.');
+  size_t cut = std::string::npos;
+  size_t sep_len = 0;
+  if (arrow != std::string::npos && (dot == std::string::npos || arrow > dot)) {
+    cut = arrow;
+    sep_len = 2;
+  } else if (dot != std::string::npos) {
+    cut = dot;
+    sep_len = 1;
+  }
+  if (cut != std::string::npos) {
+    const std::string name = expr.substr(cut + sep_len);
+    auto it = index.mutex_owners.find(name);
+    if (it != index.mutex_owners.end() && it->second.size() == 1) {
+      return it->second.front() + "::" + name;
+    }
+  }
+  return PathStem(model.path) + ":" + expr;
+}
+
+}  // namespace
+
+void CollectLockEdges(const ProjectIndex& index, const FileModel& model,
+                      const std::vector<LockScope>& contract_scopes,
+                      const SourceFile& file, std::vector<LockEdge>* out) {
+  for (size_t fi = 0; fi < model.functions.size(); ++fi) {
+    const FunctionModel& fn = model.functions[fi];
+    const std::string fn_class = ResolveClassRef(index, fn);
+
+    std::vector<LockScope> scopes;
+    for (const LockScope& s : model.locks) {
+      if (s.function == fi) scopes.push_back(s);
+    }
+    for (const LockScope& s : contract_scopes) {
+      if (s.function == fi) scopes.push_back(s);
+    }
+    // SOMR_REQUIRES(m): m is held across the whole body, so every
+    // acquisition inside is an m -> x edge.
+    const MethodContract eff = EffectiveContract(index, fn, fn_class);
+    for (const std::string& r : eff.requires_held) {
+      bool dup = false;
+      for (const LockScope& s : scopes) {
+        if (s.expr == r && s.begin == fn.body_begin) dup = true;
+      }
+      if (!dup) {
+        scopes.push_back({r, fn.body_begin, fn.body_end, fn.line, fi,
+                          /*group=*/0, /*shared=*/false});
+      }
+    }
+    if (scopes.size() < 2) continue;
+
+    for (const LockScope& held : scopes) {
+      const size_t held_end =
+          held.end == 0 ? model.flat.size() : held.end;
+      for (const LockScope& acq : scopes) {
+        if (&acq == &held) continue;
+        if (!(acq.begin > held.begin && acq.begin < held_end)) continue;
+        if (held.group != 0 && held.group == acq.group) continue;
+        const std::string held_id =
+            MutexId(index, model, fn_class, held.expr);
+        const std::string acq_id =
+            MutexId(index, model, fn_class, acq.expr);
+        if (held_id == acq_id) continue;  // reacquire/recursive pattern
+        if (file.IsSuppressed(acq.line, "lock-order")) continue;
+        out->push_back({held_id, acq_id, model.path, acq.line});
+      }
+    }
+  }
+}
+
+}  // namespace somr::lint::analysis

@@ -1,0 +1,1004 @@
+#include "lint/analysis/model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace somr::lint::analysis {
+
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+struct Tok {
+  enum Kind { kIdent, kNum, kPunct };
+  Kind kind = kPunct;
+  std::string text;
+  size_t pos = 0;  // offset into FileModel::flat
+};
+
+/// Multi-character punctuators we keep whole — chiefly so `<<` / `>>`
+/// in shift expressions never register as template angle brackets.
+const char* const kMultiPunct[] = {
+    "->*", "...", "<<=", ">>=", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",  ".*",
+};
+
+std::vector<Tok> Tokenize(const std::string& flat) {
+  std::vector<Tok> toks;
+  size_t i = 0;
+  const size_t n = flat.size();
+  while (i < n) {
+    const char c = flat[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(flat[j])) ++j;
+      toks.push_back({Tok::kIdent, flat.substr(i, j - i), i});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      while (j < n && (IsIdentChar(flat[j]) || flat[j] == '.' ||
+                       flat[j] == '\'')) {
+        ++j;
+      }
+      toks.push_back({Tok::kNum, flat.substr(i, j - i), i});
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    for (const char* p : kMultiPunct) {
+      const size_t len = std::char_traits<char>::length(p);
+      if (flat.compare(i, len, p) == 0) {
+        toks.push_back({Tok::kPunct, std::string(p), i});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      toks.push_back({Tok::kPunct, std::string(1, c), i});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+bool IsClassKey(const std::string& t) {
+  return t == "class" || t == "struct";
+}
+
+bool IsMutexType(const std::string& t) {
+  return t == "mutex" || t == "shared_mutex" || t == "recursive_mutex" ||
+         t == "timed_mutex" || t == "recursive_timed_mutex" ||
+         t == "shared_timed_mutex";
+}
+
+bool IsGuardType(const std::string& t) {
+  return t == "lock_guard" || t == "unique_lock" || t == "scoped_lock" ||
+         t == "shared_lock";
+}
+
+bool IsAnnotationMacro(const std::string& t) {
+  return t == "SOMR_GUARDED_BY" || t == "SOMR_PT_GUARDED_BY" ||
+         t == "SOMR_REQUIRES" || t == "SOMR_REQUIRES_SHARED" ||
+         t == "SOMR_EXCLUDES" || t == "SOMR_ACQUIRE" ||
+         t == "SOMR_RELEASE" || t == "SOMR_NO_THREAD_SAFETY_ANALYSIS" ||
+         t == "SOMR_NOT_GUARDED";
+}
+
+/// Joins an expression token span into its normalized spelling
+/// ("state->mu", "std::defer_lock"). `this->` prefixes are stripped so
+/// lock arguments compare equal to annotation arguments.
+std::string JoinExpr(const std::vector<Tok>& toks, size_t begin,
+                     size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end; ++i) out += toks[i].text;
+  if (out.rfind("this->", 0) == 0) out.erase(0, 6);
+  if (out.rfind("(", 0) == 0 && !out.empty() && out.back() == ')') {
+    out = out.substr(1, out.size() - 2);  // (expr) -> expr
+    if (out.rfind("this->", 0) == 0) out.erase(0, 6);
+  }
+  return out;
+}
+
+/// Index of the matching closer for the opener at `open` within
+/// [open, end), or `end` when unbalanced. Openers/closers are single
+/// tokens ("(", ")", "{", "}", "[", "]").
+size_t MatchingClose(const std::vector<Tok>& toks, size_t open, size_t end,
+                     const char* opener, const char* closer) {
+  int depth = 0;
+  for (size_t i = open; i < end; ++i) {
+    if (toks[i].text == opener) ++depth;
+    if (toks[i].text == closer && --depth == 0) return i;
+  }
+  return end;
+}
+
+struct ParsedContract {
+  MethodContract contract;
+  bool any = false;
+};
+
+/// Splits the parenthesized argument list starting at the macro's `(`
+/// into top-level comma-separated normalized expressions.
+std::vector<std::string> MacroArgs(const std::vector<Tok>& toks,
+                                   size_t open, size_t close) {
+  std::vector<std::string> args;
+  size_t start = open + 1;
+  int depth = 0;
+  for (size_t i = open + 1; i < close; ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(" || t == "[" || t == "{" || t == "<") ++depth;
+    if (t == ")" || t == "]" || t == "}" || t == ">") --depth;
+    if (t == "," && depth == 0) {
+      args.push_back(JoinExpr(toks, start, i));
+      start = i + 1;
+    }
+  }
+  if (start < close) args.push_back(JoinExpr(toks, start, close));
+  return args;
+}
+
+/// Collects SOMR_* contract macros anywhere in a declaration head.
+ParsedContract ParseContract(const std::vector<Tok>& head) {
+  ParsedContract out;
+  for (size_t i = 0; i < head.size(); ++i) {
+    const std::string& t = head[i].text;
+    if (t == "SOMR_NO_THREAD_SAFETY_ANALYSIS") {
+      out.contract.no_analysis = true;
+      out.any = true;
+      continue;
+    }
+    if (t != "SOMR_REQUIRES" && t != "SOMR_REQUIRES_SHARED" &&
+        t != "SOMR_ACQUIRE" && t != "SOMR_RELEASE") {
+      continue;
+    }
+    if (i + 1 >= head.size() || head[i + 1].text != "(") continue;
+    const size_t close = MatchingClose(head, i + 1, head.size(), "(", ")");
+    std::vector<std::string> args = MacroArgs(head, i + 1, close);
+    std::vector<std::string>* dst =
+        (t == "SOMR_ACQUIRE")   ? &out.contract.acquires
+        : (t == "SOMR_RELEASE") ? &out.contract.releases
+                                : &out.contract.requires_held;
+    dst->insert(dst->end(), args.begin(), args.end());
+    out.any = true;
+  }
+  return out;
+}
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(const SourceFile& file) {
+    model_.path = file.path();
+    Flatten(file);
+    toks_ = Tokenize(model_.flat);
+  }
+
+  FileModel Build() {
+    Parse();
+    std::sort(model_.functions.begin(), model_.functions.end(),
+              [](const FunctionModel& a, const FunctionModel& b) {
+                return a.body_begin < b.body_begin;
+              });
+    return std::move(model_);
+  }
+
+ private:
+  struct GuardVar {
+    std::vector<std::string> mutexes;
+    std::vector<size_t> open;  // indices into model_.locks
+  };
+
+  struct Scope {
+    enum Kind { kNamespace, kClass, kFunction, kBlock, kOther };
+    Kind kind = kBlock;
+    std::string name;             // namespace / class unqualified name
+    size_t class_index = kNone;   // kClass
+    size_t func_index = kNone;    // kFunction
+    std::vector<size_t> locks;    // lock scopes closed at this '}'
+    // Raw expr.lock() holds open in this function (kFunction only).
+    std::vector<std::pair<std::string, size_t>> raw_locks;
+    // Guard-variable map of the enclosing function, saved across a
+    // nested function scope (a local class's inline method).
+    std::map<std::string, GuardVar> saved_guards;
+  };
+
+  /// Joins the code view into `flat`, blanking preprocessor lines
+  /// (including continuations) so macro bodies cannot unbalance braces.
+  void Flatten(const SourceFile& file) {
+    const std::vector<std::string>& code = file.code_lines();
+    bool in_pp = false;
+    for (const std::string& line : code) {
+      model_.line_starts.push_back(model_.flat.size());
+      const size_t first = line.find_first_not_of(' ');
+      const bool starts_hash = first != std::string::npos &&
+                               line[first] == '#';
+      if (in_pp || starts_hash) {
+        const size_t last = line.find_last_not_of(' ');
+        in_pp = last != std::string::npos && line[last] == '\\';
+        model_.flat.append(line.size(), ' ');
+      } else {
+        model_.flat += line;
+      }
+      model_.flat += '\n';
+    }
+  }
+
+  bool InDeclScope() const {
+    if (stack_.empty()) return true;
+    const Scope::Kind k = stack_.back().kind;
+    return k == Scope::kNamespace || k == Scope::kClass ||
+           k == Scope::kOther;
+  }
+
+  const Scope* EnclosingClass() const {
+    for (size_t i = stack_.size(); i-- > 0;) {
+      if (stack_[i].kind == Scope::kClass) return &stack_[i];
+      if (stack_[i].kind == Scope::kFunction) break;  // stop at method
+    }
+    return nullptr;
+  }
+
+  size_t EnclosingFunctionScope() const {
+    for (size_t i = stack_.size(); i-- > 0;) {
+      if (stack_[i].kind == Scope::kFunction) return i;
+    }
+    return kNone;
+  }
+
+  /// Qualified prefix from the scope stack: namespaces, classes, and —
+  /// for structs local to a function — the enclosing function name.
+  std::string QualifiedPrefix() const {
+    std::string out;
+    for (const Scope& s : stack_) {
+      if (s.kind == Scope::kNamespace || s.kind == Scope::kClass) {
+        if (!out.empty()) out += "::";
+        out += s.name;
+      } else if (s.kind == Scope::kFunction &&
+                 s.func_index != kNone) {
+        if (!out.empty()) out += "::";
+        out += model_.functions[s.func_index].name;
+      }
+    }
+    return out;
+  }
+
+  int TokLine(const Tok& t) const { return LineAt(model_, t.pos); }
+
+  int ParenDepth(const std::vector<Tok>& head) const {
+    int depth = 0;
+    for (const Tok& t : head) {
+      if (t.text == "(") ++depth;
+      if (t.text == ")") --depth;
+    }
+    return depth;
+  }
+
+  bool HasTopLevel(const std::vector<Tok>& head,
+                   const std::string& text) const {
+    int depth = 0;
+    for (const Tok& t : head) {
+      if (t.text == "(" || t.text == "[") ++depth;
+      if (t.text == ")" || t.text == "]") --depth;
+      if (depth == 0 && t.text == text) return true;
+    }
+    return false;
+  }
+
+  /// Index of the first `(` at paren/bracket depth 0 that is not the
+  /// argument list of an SOMR_* annotation macro; kNone otherwise.
+  size_t FirstCallParen(const std::vector<Tok>& head) const {
+    int depth = 0;
+    for (size_t i = 0; i < head.size(); ++i) {
+      const std::string& t = head[i].text;
+      if (t == "(" && depth == 0) {
+        if (i > 0 && IsAnnotationMacro(head[i - 1].text)) {
+          // Skip the macro's argument list wholesale.
+          const size_t close = MatchingClose(head, i, head.size(), "(", ")");
+          i = close;
+          continue;
+        }
+        return i;
+      }
+      if (t == "(" || t == "[") ++depth;
+      if (t == ")" || t == "]") --depth;
+    }
+    return kNone;
+  }
+
+  // ---- parsing -------------------------------------------------------
+
+  void Parse() {
+    std::vector<Tok> head;
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      const Tok& t = toks_[i];
+      if (t.text == "{") {
+        i = HandleOpenBrace(head, i);
+        continue;
+      }
+      if (t.text == "}") {
+        PopScope(t.pos);
+        head.clear();
+        continue;
+      }
+      if (t.text == ";") {
+        if (InDeclScope()) {
+          HandleDecl(head);
+        } else {
+          HandleStmt(head, t.pos);
+        }
+        head.clear();
+        continue;
+      }
+      if (t.text == ":" && InDeclScope() && head.size() == 1 &&
+          (head[0].text == "public" || head[0].text == "private" ||
+           head[0].text == "protected")) {
+        head.clear();
+        continue;
+      }
+      head.push_back(t);
+    }
+    // Close anything left open at EOF.
+    while (!stack_.empty()) PopScope(model_.flat.size());
+  }
+
+  /// Handles a `{` at token index `i`; returns the index to resume the
+  /// outer loop at (either `i` after pushing a scope, or the matching
+  /// `}` when the braced region is skipped or kept in the head).
+  size_t HandleOpenBrace(std::vector<Tok>& head, size_t i) {
+    // An unbalanced `(` in the head means this brace is a lambda (or
+    // brace-init) inside an unfinished expression. In declaration scope
+    // that is a default-argument initializer (`Foo(Opts o = {});`) —
+    // skip it balanced so the parameter list never leaks into a member
+    // declaration. In statement scope enter a plain block so lambda
+    // bodies keep being modeled as part of the enclosing function.
+    if (ParenDepth(head) > 0) {
+      if (InDeclScope()) {
+        const size_t close = MatchingClose(toks_, i, toks_.size(), "{", "}");
+        return close == toks_.size() ? close - 1 : close;
+      }
+      PushScope({Scope::kBlock, "", kNone, kNone, {}, {}, {}});
+      return i;
+    }
+    if (InDeclScope()) return HandleDeclBrace(head, i);
+    return HandleStmtBrace(head, i);
+  }
+
+  size_t HandleDeclBrace(std::vector<Tok>& head, size_t i) {
+    // Brace initializers (`int x[] = {...}`, `Foo f{...}` via `=`) and
+    // enum/union bodies: skip to the matching `}` and keep the head so
+    // the trailing declarator still reaches HandleDecl at `;`.
+    const bool initializer = HasTopLevel(head, "=");
+    const bool enum_or_union = HasTopLevel(head, "enum") ||
+                               HasTopLevel(head, "union");
+    if (initializer || enum_or_union) {
+      const size_t close = MatchingClose(toks_, i, toks_.size(), "{", "}");
+      return close == toks_.size() ? close - 1 : close;
+    }
+    // namespace N {
+    if (HasTopLevel(head, "namespace")) {
+      std::string name = "(anon)";
+      for (const Tok& t : head) {
+        if (t.kind == Tok::kIdent && t.text != "namespace") name = t.text;
+        if (t.text == "::" && name != "(anon)") name += "::";
+      }
+      PushScope({Scope::kNamespace, name, kNone, kNone, {}, {}, {}});
+      head.clear();
+      return i;
+    }
+    // class / struct definition
+    size_t ck = ClassKeyIndex(head);
+    if (ck != kNone) {
+      PushClass(head, ck, toks_[i].pos);
+      head.clear();
+      return i;
+    }
+    // function / method definition
+    const size_t paren = FirstCallParen(head);
+    if (paren != kNone && paren > 0) {
+      PushFunction(head, paren, i);
+      head.clear();
+      return i;
+    }
+    // Anything else (attribute blocks, stray braces): skip balanced.
+    const size_t close = MatchingClose(toks_, i, toks_.size(), "{", "}");
+    head.clear();
+    return close == toks_.size() ? close - 1 : close;
+  }
+
+  size_t HandleStmtBrace(std::vector<Tok>& head, size_t i) {
+    // Local class: `struct Waiter { ... };` inside a function body.
+    const size_t ck = ClassKeyIndex(head);
+    if (ck != kNone && !HasTopLevel(head, "=") &&
+        FirstCallParen(head) == kNone && ck + 1 < head.size() &&
+        head[ck + 1].kind == Tok::kIdent) {
+      PushClass(head, ck, toks_[i].pos);
+      head.clear();
+      return i;
+    }
+    PushScope({Scope::kBlock, "", kNone, kNone, {}, {}, {}});
+    head.clear();
+    return i;
+  }
+
+  /// Index of a top-level `class`/`struct` keyword opening a definition
+  /// (after an optional `template <...>` preamble); kNone otherwise.
+  size_t ClassKeyIndex(const std::vector<Tok>& head) const {
+    size_t i = 0;
+    if (i < head.size() && head[i].text == "template" &&
+        i + 1 < head.size() && head[i + 1].text == "<") {
+      int depth = 0;
+      for (i = i + 1; i < head.size(); ++i) {
+        if (head[i].text == "<") ++depth;
+        if (head[i].text == ">" && --depth == 0) {
+          ++i;
+          break;
+        }
+        if (head[i].text == ">>" && (depth -= 2) <= 0) {
+          ++i;
+          break;
+        }
+      }
+    }
+    if (i < head.size() && IsClassKey(head[i].text) &&
+        !HasTopLevel(head, "=")) {
+      // `struct X f(...)` (elaborated type in a signature) is not a
+      // definition — require no top-level call parens before the key.
+      const size_t paren = FirstCallParen(head);
+      if (paren == kNone || paren > i) return i;
+    }
+    return kNone;
+  }
+
+  void PushClass(const std::vector<Tok>& head, size_t class_key,
+                 size_t brace_pos) {
+    size_t ni = class_key + 1;
+    // Skip alignas(...) and annotation macros between key and name.
+    while (ni < head.size() &&
+           (head[ni].text == "alignas" || IsAnnotationMacro(head[ni].text))) {
+      if (ni + 1 < head.size() && head[ni + 1].text == "(") {
+        ni = MatchingClose(head, ni + 1, head.size(), "(", ")") + 1;
+      } else {
+        ++ni;
+      }
+    }
+    // Collect the (possibly qualified) class name: `struct X::Y {` is
+    // an out-of-line definition of the nested class Y.
+    std::string name = "(anon)";
+    std::string qual_chain;
+    while (ni < head.size() && head[ni].kind == Tok::kIdent) {
+      name = head[ni].text;
+      qual_chain += qual_chain.empty() ? name : "::" + name;
+      if (ni + 1 < head.size() && head[ni + 1].text == "::") {
+        ni += 2;
+      } else {
+        break;
+      }
+    }
+    if (qual_chain.empty()) qual_chain = name;
+    ClassModel cls;
+    cls.name = name;
+    const std::string prefix = QualifiedPrefix();
+    cls.qualified = prefix.empty() ? qual_chain : prefix + "::" + qual_chain;
+    cls.line = LineAt(model_, brace_pos);
+    model_.classes.push_back(std::move(cls));
+    PushScope({Scope::kClass, name, model_.classes.size() - 1, kNone,
+               {}, {}, {}});
+  }
+
+  void PushFunction(const std::vector<Tok>& head, size_t paren,
+                    size_t brace_tok) {
+    FunctionModel fn;
+    // Walk the identifier chain backwards from the parameter list:
+    // `Status RecordLog::Open` -> name "Open", prefix "RecordLog".
+    size_t j = paren;
+    std::vector<std::string> chain;  // reversed
+    bool tilde = false;
+    while (j > 0) {
+      const Tok& p = head[j - 1];
+      if (p.text == "operator") {
+        chain.clear();
+        chain.push_back("operator()");
+        --j;
+        break;
+      }
+      if (p.kind == Tok::kIdent && chain.empty()) {
+        chain.push_back(p.text);
+        --j;
+        continue;
+      }
+      if (p.text == "~" && chain.size() == 1 && !tilde) {
+        chain.front() = "~" + chain.front();
+        tilde = true;
+        --j;
+        continue;
+      }
+      if (p.text == "::" && !chain.empty()) {
+        // Qualified: keep collecting the prefix.
+        if (j >= 2 && head[j - 2].kind == Tok::kIdent) {
+          chain.push_back(head[j - 2].text);
+          j -= 2;
+          continue;
+        }
+        break;
+      }
+      if (p.text == ">" && !chain.empty()) break;  // templated prefix: stop
+      if (p.text == "==" || p.text == "!=" || p.text == "<" ||
+          p.text == ">") {
+        if (j >= 2 && head[j - 2].text == "operator") {
+          chain.clear();
+          chain.push_back("operator" + p.text);
+          j -= 2;
+        }
+        break;
+      }
+      break;
+    }
+    if (chain.empty()) chain.push_back("(anon-fn)");
+    fn.name = chain.front();
+    std::string prefix;
+    for (size_t k = chain.size(); k-- > 1;) {
+      if (!prefix.empty()) prefix += "::";
+      prefix += chain[k];
+    }
+    const Scope* cls = EnclosingClass();
+    if (!prefix.empty()) {
+      fn.class_ref = prefix;
+      fn.class_ref_qualified = false;
+    } else if (cls != nullptr) {
+      fn.class_ref = model_.classes[cls->class_index].qualified;
+      fn.class_ref_qualified = true;
+    }
+    const std::string class_tail =
+        !prefix.empty() ? chain[1]
+        : (cls != nullptr ? cls->name : std::string());
+    fn.ctor_or_dtor = !class_tail.empty() &&
+                      (fn.name == class_tail || fn.name == "~" + class_tail);
+    ParsedContract pc = ParseContract(head);
+    fn.contract = pc.contract;
+    fn.body_begin = toks_[brace_tok].pos + 1;
+    fn.line = LineAt(model_, head[paren > 0 ? paren - 1 : 0].pos);
+    // Contracts written on an inline definition also register on the
+    // enclosing class so callers in other files see them.
+    if (cls != nullptr && pc.any) {
+      model_.classes[cls->class_index].contracts.emplace_back(fn.name,
+                                                              pc.contract);
+    }
+    model_.functions.push_back(std::move(fn));
+    Scope scope;
+    scope.kind = Scope::kFunction;
+    scope.func_index = model_.functions.size() - 1;
+    scope.saved_guards = std::move(guard_vars_);
+    guard_vars_.clear();
+    PushScope(std::move(scope));
+  }
+
+  void PushScope(Scope s) { stack_.push_back(std::move(s)); }
+
+  void PopScope(size_t pos) {
+    if (stack_.empty()) return;
+    Scope s = std::move(stack_.back());
+    stack_.pop_back();
+    for (size_t li : s.locks) {
+      if (model_.locks[li].end == 0) model_.locks[li].end = pos;
+    }
+    if (s.kind == Scope::kFunction) {
+      for (const auto& [expr, li] : s.raw_locks) {
+        if (model_.locks[li].end == 0) model_.locks[li].end = pos;
+      }
+      if (s.func_index != kNone) {
+        model_.functions[s.func_index].body_end = pos;
+      }
+      guard_vars_ = std::move(s.saved_guards);
+    }
+  }
+
+  // ---- declarations --------------------------------------------------
+
+  void HandleDecl(const std::vector<Tok>& head) {
+    if (head.empty()) return;
+    const Scope* cls = EnclosingClass();
+    const bool in_class = !stack_.empty() &&
+                          stack_.back().kind == Scope::kClass;
+    const bool in_namespace = stack_.empty() ||
+                              stack_.back().kind == Scope::kNamespace;
+    if (!in_class && !in_namespace) return;
+    const std::string& first = head[0].text;
+    if (first == "using" || first == "typedef" || first == "friend" ||
+        first == "static_assert" || first == "enum" ||
+        first == "template" || first == "extern") {
+      return;
+    }
+    // Forward declaration (`struct Job;`, possibly nested/qualified):
+    // a head of just a class key and name tokens declares no member.
+    if (IsClassKey(first)) {
+      bool only_names = true;
+      for (size_t i = 1; i < head.size(); ++i) {
+        if (head[i].kind != Tok::kIdent && head[i].text != "::") {
+          only_names = false;
+          break;
+        }
+      }
+      if (only_names) return;
+    }
+    for (const Tok& t : head) {
+      if (t.text == "operator") return;  // operator members / overloads
+    }
+
+    const size_t paren = FirstCallParen(head);
+    const size_t eq = TopLevelIndex(head, "=");
+    const bool is_function_decl =
+        paren != kNone && paren > 0 && (eq == kNone || paren < eq) &&
+        head[paren - 1].kind == Tok::kIdent;
+    if (is_function_decl) {
+      // Method declaration: record contracts for cross-file checking.
+      if (in_class) {
+        ParsedContract pc = ParseContract(head);
+        if (pc.any && cls != nullptr) {
+          model_.classes[cls->class_index].contracts.emplace_back(
+              head[paren - 1].text, pc.contract);
+        }
+      }
+      return;
+    }
+
+    ParseVariableDecl(head, in_class ? cls : nullptr);
+  }
+
+  size_t TopLevelIndex(const std::vector<Tok>& head,
+                       const std::string& text) const {
+    int depth = 0;
+    for (size_t i = 0; i < head.size(); ++i) {
+      const std::string& t = head[i].text;
+      if (depth == 0 && t == text) return i;
+      if (t == "(" || t == "[") ++depth;
+      if (t == ")" || t == "]") --depth;
+    }
+    return kNone;
+  }
+
+  /// Parses one member / namespace-scope variable declaration.
+  void ParseVariableDecl(const std::vector<Tok>& head, const Scope* cls) {
+    const size_t eq = TopLevelIndex(head, "=");
+    const size_t end = eq == kNone ? head.size() : eq;
+
+    // Annotations present anywhere in the declaration.
+    size_t guarded_at = kNone;
+    bool pointee = false;
+    bool not_guarded = false;
+    for (size_t i = 0; i < end; ++i) {
+      if (head[i].text == "SOMR_GUARDED_BY" ||
+          head[i].text == "SOMR_PT_GUARDED_BY") {
+        guarded_at = i;
+        pointee = head[i].text == "SOMR_PT_GUARDED_BY";
+      }
+      if (head[i].text == "SOMR_NOT_GUARDED") not_guarded = true;
+    }
+
+    // Declarator: the identifier right before the annotation macro, or
+    // the last identifier outside template/bracket nesting.
+    std::string name;
+    int line = TokLine(head[0]);
+    if (guarded_at != kNone && guarded_at > 0 &&
+        head[guarded_at - 1].kind == Tok::kIdent) {
+      name = head[guarded_at - 1].text;
+      line = TokLine(head[guarded_at - 1]);
+    } else {
+      int angle = 0;
+      int bracket = 0;
+      const size_t stop = guarded_at == kNone ? end : guarded_at;
+      for (size_t i = 0; i < stop; ++i) {
+        const std::string& t = head[i].text;
+        if (t == "<") ++angle;
+        if (t == ">") angle = std::max(0, angle - 1);
+        if (t == ">>") angle = std::max(0, angle - 2);
+        if (t == "[") ++bracket;
+        if (t == "]") --bracket;
+        if (angle == 0 && bracket == 0 && head[i].kind == Tok::kIdent &&
+            !IsAnnotationMacro(t)) {
+          name = t;
+          line = TokLine(head[i]);
+        }
+      }
+    }
+    if (name.empty()) return;
+
+    // Type classification over the pre-initializer region.
+    bool is_mutex = false;
+    bool is_shared = false;
+    std::string exempt_reason;
+    int angle = 0;
+    for (size_t i = 0; i < end; ++i) {
+      const std::string& t = head[i].text;
+      if (t == "<") ++angle;
+      if (t == ">") angle = std::max(0, angle - 1);
+      if (t == ">>") angle = std::max(0, angle - 2);
+      if (angle > 0) continue;
+      if (IsMutexType(t)) {
+        is_mutex = true;
+        is_shared = t.find("shared") != std::string::npos;
+      }
+      if (exempt_reason.empty()) {
+        if (t == "const" || t == "constexpr") exempt_reason = "const";
+        if (t == "static") exempt_reason = "static";
+        if (t == "condition_variable" || t == "condition_variable_any") {
+          exempt_reason = "condition variable";
+        }
+        if (t.rfind("atomic", 0) == 0) exempt_reason = "atomic";
+        if (t == "thread" || t == "jthread") exempt_reason = "thread handle";
+        if (t == "&" && i + 1 < end && head[i + 1].text == name) {
+          exempt_reason = "reference";
+        }
+      }
+    }
+
+    if (cls == nullptr) {
+      // Namespace scope: only mutexes and guarded globals matter.
+      if (is_mutex) {
+        model_.global_mutexes.push_back({name, line, is_shared});
+      } else if (guarded_at != kNone) {
+        std::vector<std::string> args = AnnotationArgs(head, guarded_at);
+        if (!args.empty()) {
+          model_.global_guarded.push_back({name, args[0], line, pointee});
+        }
+      }
+      return;
+    }
+
+    ClassModel& model_cls = model_.classes[cls->class_index];
+    if (is_mutex) {
+      model_cls.mutexes.push_back({name, line, is_shared});
+      return;
+    }
+    if (guarded_at != kNone) {
+      std::vector<std::string> args = AnnotationArgs(head, guarded_at);
+      if (!args.empty()) {
+        model_cls.guarded.push_back({name, args[0], line, pointee});
+        return;
+      }
+    }
+    PlainMember m;
+    m.name = name;
+    m.line = line;
+    if (not_guarded) {
+      m.exempt = true;
+      m.exempt_reason = "SOMR_NOT_GUARDED";
+    } else if (!exempt_reason.empty()) {
+      m.exempt = true;
+      m.exempt_reason = exempt_reason;
+    }
+    model_cls.members.push_back(std::move(m));
+  }
+
+  std::vector<std::string> AnnotationArgs(const std::vector<Tok>& head,
+                                          size_t macro) const {
+    if (macro + 1 >= head.size() || head[macro + 1].text != "(") return {};
+    const size_t close = MatchingClose(head, macro + 1, head.size(), "(",
+                                       ")");
+    return MacroArgs(head, macro + 1, close);
+  }
+
+  // ---- statements ----------------------------------------------------
+
+  void HandleStmt(const std::vector<Tok>& stmt, size_t semi_pos) {
+    if (stmt.empty()) return;
+    if (TryGuardDecl(stmt, semi_pos)) return;
+    ScanLockCalls(stmt);
+  }
+
+  /// `std::lock_guard<std::mutex> l(mu_);` and friends. Returns true
+  /// when the statement declared a guard.
+  bool TryGuardDecl(const std::vector<Tok>& stmt, size_t semi_pos) {
+    size_t g = kNone;
+    for (size_t i = 0; i < stmt.size(); ++i) {
+      if (stmt[i].kind == Tok::kIdent && IsGuardType(stmt[i].text)) {
+        // Reject expressions like `foo.lock_guard(...)`.
+        if (i > 0 && (stmt[i - 1].text == "." || stmt[i - 1].text == "->")) {
+          continue;
+        }
+        g = i;
+        break;
+      }
+    }
+    if (g == kNone) return false;
+    const std::string& guard_type = stmt[g].text;
+    size_t i = g + 1;
+    if (i < stmt.size() && stmt[i].text == "<") {
+      int depth = 0;
+      for (; i < stmt.size(); ++i) {
+        if (stmt[i].text == "<") ++depth;
+        if (stmt[i].text == ">" && --depth == 0) {
+          ++i;
+          break;
+        }
+        if (stmt[i].text == ">>" && (depth -= 2) <= 0) {
+          ++i;
+          break;
+        }
+      }
+    }
+    std::string var;
+    if (i < stmt.size() && stmt[i].text == "(" && g >= 2 &&
+        stmt[g - 1].text == "::" ) {
+      // CTAD form `auto lk = std::scoped_lock(a, b);` — the variable is
+      // the identifier before the top-level `=`.
+      const size_t eq = TopLevelIndex(stmt, "=");
+      if (eq != kNone && eq > 0 && eq < g &&
+          stmt[eq - 1].kind == Tok::kIdent) {
+        var = stmt[eq - 1].text;
+      } else {
+        return false;  // guard ctor in an expression we cannot model
+      }
+    } else if (i < stmt.size() && stmt[i].kind == Tok::kIdent) {
+      var = stmt[i].text;
+      ++i;
+    } else {
+      return false;
+    }
+    if (i >= stmt.size() || stmt[i].text != "(") {
+      // `std::unique_lock<std::mutex> lk;` — deferred, nothing held.
+      guard_vars_[var] = {};
+      return true;
+    }
+    const size_t close = MatchingClose(stmt, i, stmt.size(), "(", ")");
+    std::vector<std::string> args = MacroArgs(stmt, i, close);
+    bool deferred = false;
+    std::vector<std::string> mutexes;
+    for (const std::string& a : args) {
+      if (a == "std::defer_lock" || a == "defer_lock") {
+        deferred = true;
+        continue;
+      }
+      if (a == "std::adopt_lock" || a == "adopt_lock" ||
+          a == "std::try_to_lock" || a == "try_to_lock") {
+        continue;
+      }
+      mutexes.push_back(a);
+    }
+    GuardVar& gv = guard_vars_[var];
+    gv.mutexes = mutexes;
+    gv.open.clear();
+    if (deferred || mutexes.empty()) return true;
+    const size_t group = mutexes.size() > 1 && guard_type == "scoped_lock"
+                             ? next_group_++
+                             : 0;
+    for (const std::string& m : mutexes) {
+      gv.open.push_back(OpenLock(m, semi_pos + 1, TokLine(stmt[g]), group,
+                                 guard_type == "shared_lock",
+                                 /*raw=*/false));
+    }
+    return true;
+  }
+
+  /// Raw `expr.lock()` / `expr.unlock()` and guard-var
+  /// `lk.lock()` / `lk.unlock()` calls anywhere in a statement.
+  void ScanLockCalls(const std::vector<Tok>& stmt) {
+    for (size_t i = 0; i + 1 < stmt.size(); ++i) {
+      const std::string& t = stmt[i].text;
+      const bool is_lock = t == "lock" || t == "lock_shared";
+      const bool is_unlock = t == "unlock" || t == "unlock_shared";
+      if (!is_lock && !is_unlock) continue;
+      if (stmt[i + 1].text != "(") continue;
+      if (i == 0 ||
+          (stmt[i - 1].text != "." && stmt[i - 1].text != "->")) {
+        continue;
+      }
+      // Collect the base chain backwards: idents joined by :: . ->
+      size_t b = i - 1;  // at the . / ->
+      size_t start = b;
+      while (start > 0) {
+        const Tok& p = stmt[start - 1];
+        if (p.kind == Tok::kIdent || p.text == "::" || p.text == "." ||
+            p.text == "->") {
+          --start;
+        } else {
+          break;
+        }
+      }
+      if (start == b) continue;  // no base expression
+      const std::string expr = JoinExpr(stmt, start, b);
+      const bool shared = t == "lock_shared" || t == "unlock_shared";
+      auto gv = guard_vars_.find(expr);
+      if (gv != guard_vars_.end()) {
+        if (is_unlock) {
+          for (size_t li : gv->second.open) {
+            if (model_.locks[li].end == 0) {
+              model_.locks[li].end = stmt[i].pos;
+            }
+          }
+          gv->second.open.clear();
+        } else {
+          gv->second.open.clear();
+          for (const std::string& m : gv->second.mutexes) {
+            gv->second.open.push_back(OpenLock(m, stmt[i].pos,
+                                               TokLine(stmt[i]), 0, shared,
+                                               /*raw=*/false));
+          }
+        }
+        continue;
+      }
+      // Raw mutex call: held until the matching unlock or function end.
+      const size_t fs = EnclosingFunctionScope();
+      if (fs == kNone) continue;
+      if (is_unlock) {
+        auto& raw = stack_[fs].raw_locks;
+        for (size_t r = raw.size(); r-- > 0;) {
+          if (raw[r].first == expr &&
+              model_.locks[raw[r].second].end == 0) {
+            model_.locks[raw[r].second].end = stmt[i].pos;
+            raw.erase(raw.begin() + static_cast<ptrdiff_t>(r));
+            break;
+          }
+        }
+      } else {
+        const size_t li = OpenLock(expr, stmt[i].pos, TokLine(stmt[i]), 0,
+                                   shared, /*raw=*/true);
+        stack_[fs].raw_locks.emplace_back(expr, li);
+      }
+    }
+  }
+
+  size_t OpenLock(const std::string& expr, size_t begin, int line,
+                  size_t group, bool shared, bool raw) {
+    LockScope scope;
+    scope.expr = expr;
+    scope.begin = begin;
+    scope.line = line;
+    scope.group = group;
+    scope.shared = shared;
+    const size_t fs = EnclosingFunctionScope();
+    scope.function =
+        fs == kNone ? kNone : stack_[fs].func_index;
+    model_.locks.push_back(std::move(scope));
+    const size_t li = model_.locks.size() - 1;
+    if (!raw && !stack_.empty()) {
+      stack_.back().locks.push_back(li);
+    }
+    return li;
+  }
+
+  FileModel model_;
+  std::vector<Tok> toks_;
+  std::vector<Scope> stack_;
+  std::map<std::string, GuardVar> guard_vars_;
+  size_t next_group_ = 1;
+};
+
+}  // namespace
+
+FileModel BuildFileModel(const SourceFile& file) {
+  return ModelBuilder(file).Build();
+}
+
+int LineAt(const FileModel& model, size_t pos) {
+  auto it = std::upper_bound(model.line_starts.begin(),
+                             model.line_starts.end(), pos);
+  return static_cast<int>(it - model.line_starts.begin());
+}
+
+bool IsWordAt(const std::string& flat, size_t pos, size_t len) {
+  if (pos > 0 && IsIdentChar(flat[pos - 1])) return false;
+  if (pos + len < flat.size() && IsIdentChar(flat[pos + len])) return false;
+  return true;
+}
+
+}  // namespace somr::lint::analysis

@@ -1,0 +1,123 @@
+#pragma once
+
+// Per-TU structural model for somr_lint's analysis passes (DESIGN.md
+// §16). Built on the SourceFile code view (comments and literal bodies
+// already blanked), BuildFileModel runs a lightweight tokenizer and a
+// single forward parse with an explicit scope stack, recording:
+//
+//  - class/struct scopes (including structs local to a function) with
+//    their mutex members, SOMR_GUARDED_BY fields, SOMR_NOT_GUARDED
+//    markers, unannotated data members, and per-method contracts
+//    (SOMR_REQUIRES / SOMR_ACQUIRE / SOMR_RELEASE);
+//  - function and method body extents in a flattened code text, with
+//    out-of-line `Class::Method` definitions kept for later resolution
+//    against classes declared in other files;
+//  - lexical lock scopes: `std::lock_guard` / `unique_lock` /
+//    `shared_lock` / `scoped_lock` declarations (held to the end of
+//    the enclosing block, truncated by an early `guard.unlock()`),
+//    and raw `expr.lock()` / `expr.unlock()` pairs (held to the
+//    matching unlock or the end of the function);
+//  - namespace-scope mutexes and guarded globals (`g_sink` style).
+//
+// This is a lexical model, not a compiler: see DESIGN.md §16 for the
+// soundness limits the passes inherit from it.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace somr::lint::analysis {
+
+/// A mutex-typed data member (std::mutex, shared_mutex, ...).
+struct MutexMember {
+  std::string name;
+  int line = 0;
+  bool shared = false;  // std::shared_mutex
+};
+
+/// A member annotated SOMR_GUARDED_BY / SOMR_PT_GUARDED_BY.
+struct GuardedField {
+  std::string name;
+  std::string mutex;  // annotation argument, `this->` stripped
+  int line = 0;
+  bool pointee_only = false;  // SOMR_PT_GUARDED_BY: *ptr guarded, ptr free
+};
+
+/// A data member with no thread-safety annotation (coverage input).
+struct PlainMember {
+  std::string name;
+  int line = 0;
+  bool exempt = false;       // const/static/atomic/cv/mutex/thread/ref/
+                             // SOMR_NOT_GUARDED
+  std::string exempt_reason;
+};
+
+/// Contracts attached to a method declaration inside its class.
+struct MethodContract {
+  std::vector<std::string> requires_held;    // SOMR_REQUIRES(...)
+  std::vector<std::string> acquires;         // SOMR_ACQUIRE(...)
+  std::vector<std::string> releases;         // SOMR_RELEASE(...)
+  bool no_analysis = false;                  // SOMR_NO_THREAD_SAFETY_ANALYSIS
+};
+
+struct ClassModel {
+  std::string qualified;    // ns::...::(EnclosingFn::)Class
+  std::string name;         // unqualified
+  int line = 0;
+  std::vector<MutexMember> mutexes;
+  std::vector<GuardedField> guarded;
+  std::vector<PlainMember> members;  // everything else
+  // method name -> contract, from declarations seen in the class body.
+  std::vector<std::pair<std::string, MethodContract>> contracts;
+};
+
+/// One function or method body in the flattened code text.
+struct FunctionModel {
+  std::string name;        // unqualified ("Open", "~Server", "operator()")
+  std::string class_ref;   // enclosing class (qualified) or the textual
+                           // `A::B` prefix of an out-of-line definition
+  bool class_ref_qualified = false;  // class_ref is a qualified name
+  size_t body_begin = 0;   // flat offset just inside '{'
+  size_t body_end = 0;     // flat offset of the matching '}'
+  int line = 0;
+  bool ctor_or_dtor = false;
+  MethodContract contract;  // contracts written at the definition site
+};
+
+/// One lexical region during which a mutex expression is held.
+struct LockScope {
+  std::string expr;       // normalized argument: "mu_", "waiter->mu", ...
+  size_t begin = 0;       // flat offset where the hold starts
+  size_t end = 0;         // flat offset where the hold ends
+  int line = 0;           // acquisition line
+  size_t function = 0;    // index into FileModel::functions
+  size_t group = 0;       // scoped_lock(a, b) group id; 0 = none
+  bool shared = false;    // shared_lock / lock_shared()
+};
+
+/// Everything the passes need from one file.
+struct FileModel {
+  std::string path;
+  std::string flat;          // code view joined by '\n', preprocessor
+                             // lines blanked
+  std::vector<size_t> line_starts;  // flat offset of each line
+  std::vector<ClassModel> classes;
+  std::vector<FunctionModel> functions;  // sorted by body_begin
+  std::vector<LockScope> locks;
+  std::vector<MutexMember> global_mutexes;   // namespace-scope mutexes
+  std::vector<GuardedField> global_guarded;  // namespace-scope guarded vars
+};
+
+/// Builds the model from a pre-parsed SourceFile.
+FileModel BuildFileModel(const SourceFile& file);
+
+/// 1-based line of a flat offset.
+int LineAt(const FileModel& model, size_t pos);
+
+/// True when flat[pos, pos+len) is an identifier occurrence of exactly
+/// that length (identifier-boundary check on both sides).
+bool IsWordAt(const std::string& flat, size_t pos, size_t len);
+
+}  // namespace somr::lint::analysis

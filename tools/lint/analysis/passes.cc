@@ -1,0 +1,365 @@
+#include "lint/analysis/passes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/analysis/internal.h"
+#include "lint/analysis/model.h"
+
+namespace somr::lint::analysis {
+
+const std::vector<AnalysisRuleInfo>& AnalysisRules() {
+  static const std::vector<AnalysisRuleInfo> kRules = {
+      {"lock-discipline",
+       "SOMR_GUARDED_BY field accessed without holding its mutex"},
+      {"lock-order",
+       "cycle in the project-wide acquired-while-holding lock graph"},
+      {"annotation-coverage",
+       "mutex-holding class with unannotated sibling mutable state"},
+  };
+  return kRules;
+}
+
+ProjectIndex BuildIndex(const std::vector<const FileModel*>& models) {
+  ProjectIndex index;
+  for (const FileModel* model : models) {
+    for (const ClassModel& cls : model->classes) {
+      ProjectIndex::ClassInfo& info = index.classes[cls.qualified];
+      for (const MutexMember& m : cls.mutexes) info.mutexes.insert(m.name);
+      for (const GuardedField& f : cls.guarded) {
+        info.guarded.emplace(f.name, f);
+      }
+      for (const auto& [method, contract] : cls.contracts) {
+        MethodContract& dst = info.contracts[method];
+        dst.requires_held.insert(dst.requires_held.end(),
+                                 contract.requires_held.begin(),
+                                 contract.requires_held.end());
+        dst.acquires.insert(dst.acquires.end(), contract.acquires.begin(),
+                            contract.acquires.end());
+        dst.releases.insert(dst.releases.end(), contract.releases.begin(),
+                            contract.releases.end());
+        dst.no_analysis = dst.no_analysis || contract.no_analysis;
+      }
+      for (const PlainMember& m : cls.members) {
+        index.unguarded_members.insert(m.name);
+      }
+    }
+  }
+  for (const auto& [qualified, info] : index.classes) {
+    const size_t sep = qualified.rfind("::");
+    const std::string unqualified =
+        sep == std::string::npos ? qualified : qualified.substr(sep + 2);
+    index.by_name[unqualified].push_back(qualified);
+    for (const auto& [field, gf] : info.guarded) {
+      index.field_owners[field].push_back(qualified);
+    }
+    for (const std::string& m : info.mutexes) {
+      index.mutex_owners[m].push_back(qualified);
+    }
+    for (const auto& [method, contract] : info.contracts) {
+      if (!contract.requires_held.empty()) {
+        index.contract_methods[method].push_back(qualified);
+      }
+    }
+  }
+  return index;
+}
+
+std::string ResolveClassRef(const ProjectIndex& index,
+                            const FunctionModel& fn) {
+  if (fn.class_ref.empty()) return "";
+  if (fn.class_ref_qualified) return fn.class_ref;
+  // `A::B::Method` definition prefix: exact qualified match first, then
+  // suffix match against known classes.
+  if (index.classes.count(fn.class_ref) != 0) return fn.class_ref;
+  const size_t sep = fn.class_ref.rfind("::");
+  const std::string tail =
+      sep == std::string::npos ? fn.class_ref : fn.class_ref.substr(sep + 2);
+  auto it = index.by_name.find(tail);
+  if (it == index.by_name.end()) return "";
+  const std::string suffix = "::" + fn.class_ref;
+  std::vector<std::string> matches;
+  for (const std::string& q : it->second) {
+    if (q == fn.class_ref ||
+        (q.size() > suffix.size() &&
+         q.compare(q.size() - suffix.size(), suffix.size(), suffix) == 0)) {
+      matches.push_back(q);
+    }
+  }
+  if (matches.empty() && it->second.size() == 1 && sep == std::string::npos) {
+    // Single class with that unqualified name anywhere in the project.
+    return it->second.front();
+  }
+  return matches.empty() ? "" : matches.front();
+}
+
+MethodContract EffectiveContract(const ProjectIndex& index,
+                                 const FunctionModel& fn,
+                                 const std::string& resolved_class) {
+  MethodContract out = fn.contract;
+  if (!resolved_class.empty()) {
+    auto cit = index.classes.find(resolved_class);
+    if (cit != index.classes.end()) {
+      auto mit = cit->second.contracts.find(fn.name);
+      if (mit != cit->second.contracts.end()) {
+        const MethodContract& decl = mit->second;
+        out.requires_held.insert(out.requires_held.end(),
+                                 decl.requires_held.begin(),
+                                 decl.requires_held.end());
+        out.acquires.insert(out.acquires.end(), decl.acquires.begin(),
+                            decl.acquires.end());
+        out.releases.insert(out.releases.end(), decl.releases.begin(),
+                            decl.releases.end());
+        out.no_analysis = out.no_analysis || decl.no_analysis;
+      }
+    }
+  }
+  // A release function starts with its mutexes held.
+  out.requires_held.insert(out.requires_held.end(), out.releases.begin(),
+                           out.releases.end());
+  return out;
+}
+
+size_t InnermostFunction(const FileModel& model, size_t pos) {
+  size_t best = static_cast<size_t>(-1);
+  size_t best_span = static_cast<size_t>(-1);
+  for (size_t i = 0; i < model.functions.size(); ++i) {
+    const FunctionModel& fn = model.functions[i];
+    if (fn.body_begin > pos || fn.body_end <= pos) continue;
+    const size_t span = fn.body_end - fn.body_begin;
+    if (span < best_span) {
+      best = i;
+      best_span = span;
+    }
+  }
+  return best;
+}
+
+std::vector<LockScope> ContractScopes(const ProjectIndex& index,
+                                      const FileModel& model) {
+  std::vector<LockScope> out;
+  for (size_t fi = 0; fi < model.functions.size(); ++fi) {
+    const FunctionModel& fn = model.functions[fi];
+    const std::string cls = ResolveClassRef(index, fn);
+    if (cls.empty()) continue;
+    auto cit = index.classes.find(cls);
+    if (cit == index.classes.end()) continue;
+    for (const auto& [method, contract] : cit->second.contracts) {
+      if (contract.acquires.empty() && contract.releases.empty()) continue;
+      // Same-class calls only: plain `Method(` (this-> is normalized
+      // away by the flat scan below checking the preceding chars).
+      size_t pos = fn.body_begin;
+      while (pos < fn.body_end) {
+        pos = model.flat.find(method, pos);
+        if (pos == std::string::npos || pos >= fn.body_end) break;
+        if (!IsWordAt(model.flat, pos, method.size())) {
+          pos += method.size();
+          continue;
+        }
+        size_t after = pos + method.size();
+        while (after < fn.body_end && model.flat[after] == ' ') ++after;
+        if (after >= fn.body_end || model.flat[after] != '(') {
+          pos += method.size();
+          continue;
+        }
+        for (const std::string& m : contract.acquires) {
+          LockScope scope;
+          scope.expr = m;
+          scope.begin = pos;
+          scope.end = fn.body_end;
+          scope.line = LineAt(model, pos);
+          scope.function = fi;
+          out.push_back(std::move(scope));
+        }
+        for (const std::string& m : contract.releases) {
+          for (LockScope& open : out) {
+            if (open.function == fi && open.expr == m &&
+                open.end == fn.body_end && open.begin < pos) {
+              open.end = pos;
+            }
+          }
+        }
+        pos += method.size();
+      }
+    }
+  }
+  return out;
+}
+
+// ---- driver ----------------------------------------------------------
+
+struct AnalysisDriver::Entry {
+  SourceFile file;
+  FileModel model;
+};
+
+AnalysisDriver::AnalysisDriver() = default;
+AnalysisDriver::~AnalysisDriver() = default;
+AnalysisDriver::AnalysisDriver(AnalysisDriver&&) noexcept = default;
+AnalysisDriver& AnalysisDriver::operator=(AnalysisDriver&&) noexcept =
+    default;
+
+void AnalysisDriver::AddFile(const SourceFile& file) {
+  entries_.push_back({file, BuildFileModel(file)});
+}
+
+namespace {
+
+bool RuleEnabled(const LintOptions& options, const char* name) {
+  return options.only_rules.empty() ||
+         std::find(options.only_rules.begin(), options.only_rules.end(),
+                   name) != options.only_rules.end();
+}
+
+}  // namespace
+
+void AnalysisDriver::Run(const LintOptions& options, LintResult* result) {
+  std::vector<const FileModel*> models;
+  models.reserve(entries_.size());
+  for (const Entry& e : entries_) models.push_back(&e.model);
+  const ProjectIndex index = BuildIndex(models);
+
+  std::vector<LockEdge> edges;
+  for (const Entry& e : entries_) {
+    const std::vector<LockScope> contract_scopes =
+        ContractScopes(index, e.model);
+    std::vector<Diagnostic> found;
+    if (RuleEnabled(options, "lock-discipline")) {
+      RunLockDiscipline(index, e.model, contract_scopes, &found);
+    }
+    if (RuleEnabled(options, "annotation-coverage")) {
+      RunCoverage(index, e.model, &found);
+    }
+    for (Diagnostic& d : found) {
+      if (e.file.IsSuppressed(d.line, d.rule)) {
+        ++result->suppressed;
+      } else {
+        result->diagnostics.push_back(std::move(d));
+      }
+    }
+    if (RuleEnabled(options, "lock-order")) {
+      CollectLockEdges(index, e.model, contract_scopes, e.file, &edges);
+    }
+  }
+
+  // Deduplicate edges (first site wins) and look for cycles.
+  std::set<std::pair<std::string, std::string>> seen;
+  for (LockEdge& e : edges) {
+    if (seen.insert({e.held, e.acquired}).second) {
+      graph_.edges.push_back(std::move(e));
+    }
+  }
+  if (RuleEnabled(options, "lock-order")) {
+    DetectLockCycles(&graph_, &result->diagnostics);
+  }
+  result->lock_graph = graph_;
+}
+
+// ---- cycles ----------------------------------------------------------
+
+void DetectLockCycles(LockGraph* graph, std::vector<Diagnostic>* out) {
+  std::map<std::string, std::vector<size_t>> adj;  // node -> edge indices
+  for (size_t i = 0; i < graph->edges.size(); ++i) {
+    adj[graph->edges[i].held].push_back(i);
+    adj.try_emplace(graph->edges[i].acquired);
+  }
+  enum Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const auto& [node, unused] : adj) color[node] = kWhite;
+  std::set<std::string> reported;  // canonical cycle keys
+
+  // Iterative DFS; `path` mirrors the gray stack as (node, edge index).
+  for (const auto& [root, unused] : adj) {
+    if (color[root] != kWhite) continue;
+    std::vector<std::pair<std::string, size_t>> stack = {{root, 0}};
+    std::vector<std::string> path;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      if (next == 0) {
+        color[node] = kGray;
+        path.push_back(node);
+      }
+      const std::vector<size_t>& edges_out = adj[node];
+      if (next >= edges_out.size()) {
+        color[node] = kBlack;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const LockEdge& edge = graph->edges[edges_out[next]];
+      ++next;
+      const std::string& to = edge.acquired;
+      if (color[to] == kGray) {
+        // Back edge: the cycle is the path suffix starting at `to`.
+        auto it = std::find(path.begin(), path.end(), to);
+        std::vector<std::string> cycle(it, path.end());
+        // Canonical key: rotate so the smallest node leads.
+        auto smallest = std::min_element(cycle.begin(), cycle.end());
+        std::vector<std::string> canon(smallest, cycle.end());
+        canon.insert(canon.end(), cycle.begin(), smallest);
+        std::string key;
+        for (const std::string& n : canon) key += n + "|";
+        if (reported.insert(key).second) {
+          graph->cycles.push_back(canon);
+          std::string msg = "lock-order cycle (deadlock risk): ";
+          for (const std::string& n : canon) msg += n + " -> ";
+          msg += canon.front();
+          out->push_back({edge.file, edge.line, "lock-order", msg, false});
+        }
+      } else if (color[to] == kWhite) {
+        stack.push_back({to, 0});
+      }
+    }
+  }
+}
+
+// ---- DOT -------------------------------------------------------------
+
+namespace {
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderLockGraphDot(const LockGraph& graph) {
+  std::set<std::pair<std::string, std::string>> cycle_edges;
+  for (const std::vector<std::string>& cycle : graph.cycles) {
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      cycle_edges.insert({cycle[i], cycle[(i + 1) % cycle.size()]});
+    }
+  }
+  std::set<std::string> nodes;
+  for (const LockEdge& e : graph.edges) {
+    nodes.insert(e.held);
+    nodes.insert(e.acquired);
+  }
+  std::string out = "digraph somr_lock_order {\n  rankdir=LR;\n";
+  out += "  node [shape=box, fontsize=10];\n";
+  for (const std::string& n : nodes) {
+    out += "  \"" + DotEscape(n) + "\";\n";
+  }
+  for (const LockEdge& e : graph.edges) {
+    out += "  \"" + DotEscape(e.held) + "\" -> \"" + DotEscape(e.acquired) +
+           "\" [label=\"" + DotEscape(e.file) + ":" +
+           std::to_string(e.line) + "\"";
+    if (cycle_edges.count({e.held, e.acquired}) != 0) {
+      out += ", color=red, penwidth=2";
+    }
+    out += "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace somr::lint::analysis

@@ -1,0 +1,72 @@
+#pragma once
+
+// Project-wide analysis passes over per-TU FileModels (DESIGN.md §16):
+//
+//   lock-discipline      access to an SOMR_GUARDED_BY(m) field outside a
+//                        scope holding m (or an SOMR_REQUIRES(m)
+//                        function), plus call-site checking of
+//                        SOMR_REQUIRES contracts;
+//   lock-order           "acquired b while holding a" edges extracted
+//                        across the whole tree; any cycle is a deadlock
+//                        risk. `somr_lint --lock-graph=out.dot` dumps
+//                        the graph;
+//   annotation-coverage  a class with a mutex member and unannotated
+//                        sibling mutable state must annotate it
+//                        (SOMR_GUARDED_BY or SOMR_NOT_GUARDED), and
+//                        every annotation must name a known mutex.
+//
+// The driver is fed whole files (AddFile) and runs the passes at the
+// end (Run) so annotations in headers apply to out-of-line method
+// bodies in other TUs. Findings flow through the same `somr-lint:
+// allow(...)` suppressions as token rules; suppressing "lock-order" on
+// an acquisition line removes that edge from the graph.
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace somr::lint::analysis {
+
+struct AnalysisRuleInfo {
+  const char* name;
+  const char* description;
+};
+
+/// The three passes, in stable order (for --list-rules).
+const std::vector<AnalysisRuleInfo>& AnalysisRules();
+
+/// Runs every pass over a set of files. Collect with AddFile, then call
+/// Run once; diagnostics are appended per file in AddFile order.
+class AnalysisDriver {
+ public:
+  /// Parses `file` into a FileModel and keeps both (the SourceFile for
+  /// suppression queries at Run time).
+  void AddFile(const SourceFile& file);
+
+  /// Runs the passes selected by `options.only_rules` (all when empty),
+  /// appending unsuppressed findings to `result->diagnostics` and
+  /// counting suppressed ones into `result->suppressed`.
+  void Run(const LintOptions& options, LintResult* result);
+
+  /// The project lock graph, populated by Run.
+  const LockGraph& lock_graph() const { return graph_; }
+
+ private:
+  struct Entry;
+  std::vector<Entry> entries_;
+  LockGraph graph_;
+
+ public:
+  // Entry must be complete where std::vector member functions are
+  // instantiated; defined in passes.cc.
+  AnalysisDriver();
+  ~AnalysisDriver();
+  AnalysisDriver(AnalysisDriver&&) noexcept;
+  AnalysisDriver& operator=(AnalysisDriver&&) noexcept;
+};
+
+/// Graphviz rendering of the lock graph; cycle edges come out red.
+std::string RenderLockGraphDot(const LockGraph& graph);
+
+}  // namespace somr::lint::analysis

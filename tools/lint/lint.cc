@@ -7,6 +7,8 @@
 #include <iterator>
 #include <sstream>
 
+#include "lint/analysis/passes.h"
+
 namespace somr::lint {
 
 namespace {
@@ -242,11 +244,27 @@ void CheckFile(const SourceFile& file, const LintOptions& options,
   }
 }
 
-}  // namespace
+/// True when at least one analysis pass would run under `options`
+/// (building FileModels is pointless otherwise).
+bool AnalysisEnabled(const LintOptions& options) {
+  if (options.only_rules.empty()) return true;
+  for (const analysis::AnalysisRuleInfo& info : analysis::AnalysisRules()) {
+    if (std::find(options.only_rules.begin(), options.only_rules.end(),
+                  info.name) != options.only_rules.end()) {
+      return true;
+    }
+  }
+  return false;
+}
 
-LintResult LintContent(const std::string& path, const std::string& content,
-                       const LintOptions& options,
-                       std::string* fixed_content) {
+/// Token-rule half of LintContent. When `driver` is non-null the final
+/// (post-fix) SourceFile is handed to it for the project-wide analysis
+/// passes instead of being analysed on its own.
+LintResult LintContentImpl(const std::string& path,
+                           const std::string& content,
+                           const LintOptions& options,
+                           std::string* fixed_content,
+                           analysis::AnalysisDriver* driver) {
   LintResult result;
   result.files_scanned = 1;
   std::string current = content;
@@ -287,11 +305,10 @@ LintResult LintContent(const std::string& path, const std::string& content,
   }
   SourceFile file(path, current);
   CheckFile(file, options, &result);
+  if (driver != nullptr) driver->AddFile(file);
   if (fixed_content != nullptr) *fixed_content = std::move(current);
   return result;
 }
-
-namespace {
 
 bool HasLintableExtension(const std::filesystem::path& path) {
   const std::string ext = path.extension().string();
@@ -327,6 +344,19 @@ void CollectFiles(const std::filesystem::path& root,
 
 }  // namespace
 
+LintResult LintContent(const std::string& path, const std::string& content,
+                       const LintOptions& options,
+                       std::string* fixed_content) {
+  if (!AnalysisEnabled(options)) {
+    return LintContentImpl(path, content, options, fixed_content, nullptr);
+  }
+  analysis::AnalysisDriver driver;
+  LintResult result =
+      LintContentImpl(path, content, options, fixed_content, &driver);
+  driver.Run(options, &result);
+  return result;
+}
+
 LintResult LintPaths(const std::vector<std::string>& paths,
                      const LintOptions& options) {
   std::vector<std::string> files;
@@ -334,6 +364,8 @@ LintResult LintPaths(const std::vector<std::string>& paths,
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  const bool run_analysis = AnalysisEnabled(options);
+  analysis::AnalysisDriver driver;
   LintResult total;
   for (const std::string& path : files) {
     std::ifstream in(path, std::ios::binary);
@@ -345,7 +377,11 @@ LintResult LintPaths(const std::vector<std::string>& paths,
     std::string content((std::istreambuf_iterator<char>(in)),
                         std::istreambuf_iterator<char>());
     std::string fixed;
-    LintResult one = LintContent(path, content, options, &fixed);
+    // The analysis passes run once project-wide (headers annotate
+    // bodies in other files), so per-file linting only feeds the
+    // shared driver here.
+    LintResult one = LintContentImpl(path, content, options, &fixed,
+                                     run_analysis ? &driver : nullptr);
     if (options.fix && one.files_fixed > 0) {
       std::ofstream out(path, std::ios::binary | std::ios::trunc);
       out << fixed;
@@ -356,7 +392,290 @@ LintResult LintPaths(const std::vector<std::string>& paths,
     std::move(one.diagnostics.begin(), one.diagnostics.end(),
               std::back_inserter(total.diagnostics));
   }
+  if (run_analysis) driver.Run(options, &total);
   return total;
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          *out += "\\u00";
+          out->push_back(kHex[(c >> 4) & 0xf]);
+          out->push_back(kHex[c & 0xf]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Minimal cursor over the JSON subset somr_lint emits (objects,
+/// arrays, strings, integers, booleans, null).
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  bool SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ < text_.size();
+  }
+
+  bool Consume(char c) {
+    if (!SkipWs() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Peek(char c) { return SkipWs() && text_[pos_] == c; }
+
+  bool AtEnd() { return !SkipWs(); }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned value = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          if (value < 0x80) {
+            out->push_back(static_cast<char>(value));
+          } else {
+            out->push_back('?');  // outside the emitted subset
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseInt(long long* out) {
+    if (!SkipWs()) return false;
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t digits = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == digits) return false;
+    *out = std::stoll(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool ParseBool(bool* out) {
+    if (!SkipWs()) return false;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = true;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = false;
+      return true;
+    }
+    return false;
+  }
+
+  /// Skips any value (for keys this reader does not know).
+  bool SkipValue() {
+    if (!SkipWs()) return false;
+    const char c = text_[pos_];
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos_;
+      if (Consume(close)) return true;
+      while (true) {
+        if (c == '{') {
+          std::string key;
+          if (!ParseString(&key) || !Consume(':')) return false;
+        }
+        if (!SkipValue()) return false;
+        if (Consume(close)) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    bool b;
+    long long n;
+    if (ParseBool(&b)) return true;
+    return ParseInt(&n);
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool ParseFinding(JsonCursor* cur, Diagnostic* d) {
+  if (!cur->Consume('{')) return false;
+  if (cur->Consume('}')) return true;  // degenerate but well-formed
+  while (true) {
+    std::string key;
+    if (!cur->ParseString(&key) || !cur->Consume(':')) return false;
+    if (key == "rule") {
+      if (!cur->ParseString(&d->rule)) return false;
+    } else if (key == "file") {
+      if (!cur->ParseString(&d->file)) return false;
+    } else if (key == "message") {
+      if (!cur->ParseString(&d->message)) return false;
+    } else if (key == "line") {
+      long long n = 0;
+      if (!cur->ParseInt(&n)) return false;
+      d->line = static_cast<int>(n);
+    } else if (key == "fixable") {
+      if (!cur->ParseBool(&d->fixable)) return false;
+    } else {
+      if (!cur->SkipValue()) return false;
+    }
+    if (cur->Consume('}')) return true;
+    if (!cur->Consume(',')) return false;
+  }
+}
+
+}  // namespace
+
+std::string RenderDiagnosticsJson(const LintResult& result) {
+  std::string out = "{\n  \"findings\": [";
+  for (size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"rule\": ";
+    AppendJsonString(d.rule, &out);
+    out += ", \"file\": ";
+    AppendJsonString(d.file, &out);
+    out += ", \"line\": " + std::to_string(d.line);
+    out += ", \"message\": ";
+    AppendJsonString(d.message, &out);
+    out += ", \"fixable\": ";
+    out += d.fixable ? "true" : "false";
+    out += "}";
+  }
+  if (!result.diagnostics.empty()) out += "\n  ";
+  out += "],\n";
+  out += "  \"files_scanned\": " + std::to_string(result.files_scanned) +
+         ",\n";
+  out += "  \"files_fixed\": " + std::to_string(result.files_fixed) + ",\n";
+  out += "  \"suppressed\": " + std::to_string(result.suppressed) + "\n";
+  out += "}\n";
+  return out;
+}
+
+bool ParseDiagnosticsJson(const std::string& json, LintResult* out) {
+  *out = LintResult{};
+  JsonCursor cur(json);
+  if (!cur.Consume('{')) return false;
+  if (cur.Consume('}')) return cur.AtEnd() ? true : false;
+  while (true) {
+    std::string key;
+    if (!cur.ParseString(&key) || !cur.Consume(':')) return false;
+    if (key == "findings") {
+      if (!cur.Consume('[')) return false;
+      if (!cur.Consume(']')) {
+        while (true) {
+          Diagnostic d;
+          if (!ParseFinding(&cur, &d)) return false;
+          out->diagnostics.push_back(std::move(d));
+          if (cur.Consume(']')) break;
+          if (!cur.Consume(',')) return false;
+        }
+      }
+    } else if (key == "files_scanned" || key == "files_fixed" ||
+               key == "suppressed") {
+      long long n = 0;
+      if (!cur.ParseInt(&n) || n < 0) return false;
+      const size_t v = static_cast<size_t>(n);
+      if (key == "files_scanned") {
+        out->files_scanned = v;
+      } else if (key == "files_fixed") {
+        out->files_fixed = v;
+      } else {
+        out->suppressed = v;
+      }
+    } else {
+      if (!cur.SkipValue()) return false;
+    }
+    if (cur.Consume('}')) break;
+    if (!cur.Consume(',')) return false;
+  }
+  return true;
 }
 
 }  // namespace somr::lint

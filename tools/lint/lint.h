@@ -91,11 +91,30 @@ struct LintOptions {
   std::vector<std::string> only_rules;
 };
 
+/// "Acquired `acquired` while holding `held`" — one edge of the
+/// project-wide lock-order graph (analysis lock-order pass). `file` and
+/// `line` point at the inner acquisition site.
+struct LockEdge {
+  std::string held;
+  std::string acquired;
+  std::string file;
+  int line = 0;
+};
+
+/// The lock-order graph: deduplicated edges plus every detected cycle
+/// (node sequence; the last node closes back to the first). Rendered
+/// as DOT by analysis::RenderLockGraphDot / `somr_lint --lock-graph=`.
+struct LockGraph {
+  std::vector<LockEdge> edges;
+  std::vector<std::vector<std::string>> cycles;
+};
+
 struct LintResult {
   std::vector<Diagnostic> diagnostics;  // post-suppression, post-fix
   size_t files_scanned = 0;
   size_t files_fixed = 0;
   size_t suppressed = 0;
+  LockGraph lock_graph;  // populated by the analysis passes
 };
 
 /// Lints one already-loaded file (no filesystem access). With
@@ -112,5 +131,15 @@ LintResult LintContent(const std::string& path, const std::string& content,
 /// whatever their extension or location.
 LintResult LintPaths(const std::vector<std::string>& paths,
                      const LintOptions& options);
+
+/// Machine-readable findings (`somr_lint --json`): a JSON object with
+/// "findings" (rule/file/line/message/fixable per entry),
+/// "files_scanned", "files_fixed", and "suppressed".
+std::string RenderDiagnosticsJson(const LintResult& result);
+
+/// Inverse of RenderDiagnosticsJson for the fields somr_lint emits;
+/// used by CI consumers and the round-trip test. Returns false on
+/// malformed input.
+bool ParseDiagnosticsJson(const std::string& json, LintResult* out);
 
 }  // namespace somr::lint

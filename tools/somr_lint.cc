@@ -1,35 +1,48 @@
-// somr_lint — project-rule linter (DESIGN.md §11).
+// somr_lint — project-rule linter and thread-safety analyzer
+// (DESIGN.md §11, §16).
 //
 //   somr_lint src tools bench tests        # exit 1 on any violation
 //   somr_lint --fix src                    # apply mechanical fixes
 //   somr_lint --list-rules
-//   somr_lint --rule=pragma-once src      # run a single rule
+//   somr_lint --rule=pragma-once src       # run a single rule
+//   somr_lint --rule=lock-order src        # just the deadlock pass
+//   somr_lint --json src                   # findings as JSON on stdout
+//   somr_lint --lock-graph=locks.dot src   # dump the lock-order graph
 //
 // Suppress a finding with `// somr-lint: allow(<rule>)` on (or directly
 // above) the offending line, or `// somr-lint: allow-file(<rule>)`.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "lint/analysis/passes.h"
 #include "lint/lint.h"
 
 int main(int argc, char** argv) {
   somr::lint::LintOptions options;
   std::vector<std::string> paths;
   bool list_rules = false;
+  bool json = false;
+  std::string lock_graph_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fix") {
       options.fix = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--lock-graph=", 0) == 0) {
+      lock_graph_path = arg.substr(std::strlen("--lock-graph="));
     } else if (arg.rfind("--rule=", 0) == 0) {
       options.only_rules.push_back(arg.substr(std::strlen("--rule=")));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--fix] [--list-rules] [--rule=<name>]... "
+          "usage: %s [--fix] [--list-rules] [--json] "
+          "[--lock-graph=<out.dot>] [--rule=<name>]... "
           "<files-or-dirs>...\n",
           argv[0]);
       return 0;
@@ -46,6 +59,10 @@ int main(int argc, char** argv) {
       std::printf("%-24s %s%s\n", rule.name, rule.description,
                   rule.fix != nullptr ? "  [fixable]" : "");
     }
+    for (const somr::lint::analysis::AnalysisRuleInfo& info :
+         somr::lint::analysis::AnalysisRules()) {
+      std::printf("%-24s %s  [analysis]\n", info.name, info.description);
+    }
     return 0;
   }
   if (paths.empty()) {
@@ -54,6 +71,22 @@ int main(int argc, char** argv) {
   }
 
   somr::lint::LintResult result = somr::lint::LintPaths(paths, options);
+
+  if (!lock_graph_path.empty()) {
+    std::ofstream out(lock_graph_path,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", lock_graph_path.c_str());
+      return 2;
+    }
+    out << somr::lint::analysis::RenderLockGraphDot(result.lock_graph);
+  }
+
+  if (json) {
+    std::fputs(somr::lint::RenderDiagnosticsJson(result).c_str(), stdout);
+    return result.diagnostics.empty() ? 0 : 1;
+  }
+
   for (const somr::lint::Diagnostic& d : result.diagnostics) {
     std::fprintf(stderr, "%s:%d: [%s] %s\n", d.file.c_str(), d.line,
                  d.rule.c_str(), d.message.c_str());
